@@ -1,0 +1,99 @@
+// Ablations for the design knobs the paper calls out:
+//
+//  1. XPBuffer size (§5.5 ②: "Enlarging the XPBuffer size can also alleviate
+//     this problem because the memory module has more space to merge cache
+//     lines") — un-flushed eviction traffic vs buffer capacity.
+//  2. Small-log-window slot count (§4.3: "2~3 transactions") — why not more:
+//     a bigger window stops fitting in cache and starts leaking NVM writes.
+//  3. Hot-tuple-set capacity (D2) — Zipfian media writes vs LRU size.
+
+#include <cstdio>
+
+#include "bench/fixtures.h"
+
+using namespace falcon;
+
+namespace {
+
+// 1 — XPBuffer capacity vs write amplification of uncontrolled evictions.
+void XpBufferAblation() {
+  std::printf("--- XPBuffer size vs eviction write amplification ---\n");
+  std::printf("%-14s %14s %12s\n", "buffer blocks", "amplification", "full drains%");
+  for (const uint32_t blocks : {16u, 64u, 384u, 1536u, 6144u}) {
+    NvmDevice device(1ull << 30, CostParams{}, blocks);
+    ThreadContext ctx(0, &device, CacheGeometry{.sets = 256, .ways = 16});
+    Rng rng(1);
+    // Write whole 256B blocks at random addresses through the cache and let
+    // evictions deliver them (no clwb).
+    const uint64_t payload[32] = {};
+    for (int i = 0; i < 200000; ++i) {
+      const uint64_t block = rng.NextBounded(device.capacity() / kNvmBlockSize);
+      ctx.Store(device.base() + block * kNvmBlockSize, payload, kNvmBlockSize);
+    }
+    ctx.cache().WritebackAll();
+    device.DrainAll();
+    const DeviceStats s = device.stats();
+    std::printf("%-14u %14.2f %11.1f%%\n", blocks, s.WriteAmplification(),
+                100.0 * static_cast<double>(s.full_drains) /
+                    static_cast<double>(s.full_drains + s.partial_drains));
+  }
+}
+
+// 2 — log window slot count: beyond a few slots the window outgrows the
+// cache and logging starts writing to NVM again.
+void WindowSlotsAblation() {
+  std::printf("\n--- small-log-window slots vs logging NVM writes (YCSB-A) ---\n");
+  std::printf("%-8s %12s %16s\n", "slots", "MTxn/s", "media wr/txn");
+  for (const uint32_t slots : {2u, 3u, 8u, 32u, 128u}) {
+    EngineConfig config = EngineConfig::Falcon(CcScheme::kOcc);
+    config.log_window_slots = slots;
+    YcsbFixture f = YcsbFixture::Create(config, 8, BenchYcsbConfig('A', false, 20000));
+    std::vector<YcsbThreadState> states;
+    for (uint32_t t = 0; t < 8; ++t) {
+      states.emplace_back(f.workload->config(), t, 8, 10 + t);
+    }
+    const BenchResult r = RunBench(*f.engine, 8, 2000,
+                                   [&](Worker& worker, uint32_t t, uint64_t) {
+                                     return f.workload->RunOne(worker, states[t]);
+                                   });
+    std::printf("%-8u %12.3f %16.2f\n", slots, r.mtxn_per_s,
+                static_cast<double>(r.device.media_writes) /
+                    static_cast<double>(std::max<uint64_t>(1, r.commits)));
+  }
+}
+
+// 3 — hot tuple capacity under Zipfian: too small misses the hot set, too
+// large defers cold tuples whose eviction amplifies.
+void HotCapacityAblation() {
+  std::printf("\n--- hot-tuple LRU capacity vs Zipfian media writes ---\n");
+  std::printf("%-10s %12s %16s\n", "capacity", "MTxn/s", "media wr/txn");
+  for (const size_t capacity : {0ul, 16ul, 64ul, 256ul, 2048ul}) {
+    EngineConfig config = EngineConfig::Falcon(CcScheme::kOcc);
+    config.hot_tuple_capacity = capacity == 0 ? 1 : capacity;  // ~0 = AllFlush-like
+    if (capacity == 0) {
+      config.flush_policy = FlushPolicy::kAll;
+    }
+    YcsbFixture f = YcsbFixture::Create(config, 8, BenchYcsbConfig('A', true, 20000));
+    std::vector<YcsbThreadState> states;
+    for (uint32_t t = 0; t < 8; ++t) {
+      states.emplace_back(f.workload->config(), t, 8, 20 + t);
+    }
+    const BenchResult r = RunBench(*f.engine, 8, 2000,
+                                   [&](Worker& worker, uint32_t t, uint64_t) {
+                                     return f.workload->RunOne(worker, states[t]);
+                                   });
+    std::printf("%-10zu %12.3f %16.2f\n", capacity, r.mtxn_per_s,
+                static_cast<double>(r.device.media_writes) /
+                    static_cast<double>(std::max<uint64_t>(1, r.commits)));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablations for §4.3 / §4.4 / §5.5 design knobs ===\n");
+  XpBufferAblation();
+  WindowSlotsAblation();
+  HotCapacityAblation();
+  return 0;
+}

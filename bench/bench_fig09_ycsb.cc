@@ -1,0 +1,54 @@
+// Figure 9: "YCSB-A..F throughput (48 threads, Uniform and Zipfian 0.99)" —
+// all engines, OCC, full-tuple (10-field) updates.
+//
+// Paper shape (§6.2.3):
+//   * Falcon / Falcon(All Flush) 1.7-2x over Inp under Uniform A/F (small
+//     log window removes logging writes);
+//   * under Zipfian, Falcon adds hot-tuple tracking: ~3.1x over Inp and
+//     ~1.75x over Falcon(All Flush);
+//   * flushes help under Uniform (+40% for Falcon/AllFlush/ZenS vs their
+//     No-Flush variants) but hurt hot tuples under Zipfian;
+//   * ZenS up to 1.24x over Outp; ZenS drops under Zipfian F (copy-on-write
+//     of contended tuples).
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench/fixtures.h"
+
+using namespace falcon;
+
+int main(int argc, char** argv) {
+  const uint32_t threads = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 48;
+  const uint64_t txns_per_thread = argc > 2 ? static_cast<uint64_t>(std::atoi(argv[2])) : 250;
+  const char* workloads = argc > 3 ? argv[3] : "ABCDEF";
+
+  std::printf("=== Figure 9: YCSB throughput, %u threads, OCC (MTxn/s, simulated) ===\n",
+              threads);
+  for (const char* wl = workloads; *wl != '\0'; ++wl) {
+    for (const bool zipf : {false, true}) {
+      std::printf("\nYCSB-%c %s\n", *wl, zipf ? "Zipfian(0.99)" : "Uniform");
+      std::printf("%-22s %10s %10s %14s\n", "engine", "MTxn/s", "abort%", "media wr/txn");
+      for (const EngineEntry& entry : PaperEngines()) {
+        YcsbFixture f = YcsbFixture::Create(entry.make(CcScheme::kOcc), threads,
+                                            BenchYcsbConfig(*wl, zipf));
+        std::vector<YcsbThreadState> states;
+        for (uint32_t t = 0; t < threads; ++t) {
+          states.emplace_back(f.workload->config(), t, threads, 31 + t);
+        }
+        const BenchResult result = RunBench(*f.engine, threads, txns_per_thread,
+                                            [&](Worker& worker, uint32_t t, uint64_t) {
+                                              return f.workload->RunOne(worker, states[t]);
+                                            });
+        std::printf("%-22s %10.3f %10.1f %14.2f\n", entry.label, result.mtxn_per_s,
+                    result.AbortRate() * 100,
+                    static_cast<double>(result.device.media_writes) /
+                        static_cast<double>(std::max<uint64_t>(1, result.commits)));
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("\npaper reference (48 threads, MTxn/s): A/F Uniform: Falcon ~8-10, Inp ~4-5,\n"
+              "Outp ~5-6, ZenS ~6-7; A/F Zipfian: Falcon ~14-18, Inp ~4-5, ZenS drops on F.\n");
+  return 0;
+}

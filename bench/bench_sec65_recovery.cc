@@ -1,0 +1,84 @@
+// §6.5 "Recovery": crash mid-commit, reopen, and time recovery — Falcon
+// (catalog + instant NVM-index recovery + log-window replay; heap-size
+// independent) vs ZenS (full heap scan to rebuild the DRAM index; time
+// proportional to data size).
+//
+// Paper result: Falcon 3.276 ms total (1.272 catalog + 1.057 index + 0.97
+// replay) on 256GB; ZenS 9.4 s. Here the absolute numbers shrink with the
+// scaled-down heap; the scaling behavior is the reproduced result.
+
+#include <cstdio>
+
+#include "bench/fixtures.h"
+
+using namespace falcon;
+
+namespace {
+
+RecoveryReport CrashAndMeasure(const EngineConfig& config, uint64_t rows) {
+  NvmDevice device(8ull << 30);
+  YcsbConfig yc;
+  yc.record_count = rows;
+  yc.field_count = 10;
+  yc.field_size = 100;
+
+  {
+    Engine engine(&device, config, 4);
+    YcsbWorkload workload(&engine, yc);
+    std::vector<std::thread> loaders;
+    for (uint32_t t = 0; t < 4; ++t) {
+      const uint64_t per = rows / 4;
+      const uint64_t begin = t * per;
+      const uint64_t end = t == 3 ? rows : begin + per;
+      loaders.emplace_back(
+          [&, t, begin, end] { workload.LoadRange(engine.worker(t), begin, end); });
+    }
+    for (auto& th : loaders) {
+      th.join();
+    }
+    // A little churn, then a crash in the middle of a commit (SIGKILL-style,
+    // as in the paper's methodology).
+    Worker& w = engine.worker(0);
+    YcsbThreadState state(yc, 0, 1, 99);
+    for (int i = 0; i < 200; ++i) {
+      workload.RunOne(w, state);
+    }
+    engine.ArmCrashPoint(CrashPoint::kMidApply);
+    try {
+      std::vector<std::byte> row(engine.TupleDataSize(workload.table()), std::byte{1});
+      Txn txn = w.Begin();
+      txn.UpdateFull(workload.table(), 1, row.data());
+      txn.UpdateFull(workload.table(), 2, row.data());
+      txn.Commit();
+    } catch (const TxnCrashed&) {
+    }
+  }
+
+  Engine recovered(&device, config, 4);
+  return recovered.recovery_report();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 1;
+  std::printf("=== Section 6.5: recovery time after a mid-commit crash (wall clock) ===\n");
+  std::printf("%-10s %-8s %10s %10s %10s %10s %10s %12s\n", "engine", "rows", "total ms",
+              "catalog", "index", "replay", "rebuild", "heap scanned");
+  for (const uint64_t rows : {25000ull * scale, 50000ull * scale, 100000ull * scale}) {
+    for (const bool zens : {false, true}) {
+      const EngineConfig config =
+          zens ? EngineConfig::ZenS(CcScheme::kOcc) : EngineConfig::Falcon(CcScheme::kOcc);
+      const RecoveryReport r = CrashAndMeasure(config, rows);
+      std::printf("%-10s %-8lu %10.3f %10.3f %10.3f %10.3f %10.3f %12lu\n",
+                  zens ? "ZenS" : "Falcon", rows, r.total_ms, r.catalog_ms, r.index_ms,
+                  r.replay_ms, r.rebuild_ms, r.tuples_scanned);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\npaper shape: Falcon's recovery is flat in heap size (log-window replay only);\n"
+      "ZenS's grows linearly with the heap (index rebuild scan). Paper: 3.3ms vs 9.4s\n"
+      "at 256GB.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Shared setup helpers for the benchmark binaries: engine + loaded workload,
+// with scaled-down defaults (see EXPERIMENTS.md for the scaling notes).
+
+#ifndef BENCH_FIXTURES_H_
+#define BENCH_FIXTURES_H_
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/workload/bench_runner.h"
+#include "src/workload/tpcc.h"
+#include "src/workload/ycsb.h"
+
+namespace falcon {
+
+// Per-thread simulated cache for benchmarks: 256KB (256 sets x 16 ways).
+// The dataset is scaled down ~1000x from the paper's 256GB, so the cache
+// scales too — what matters is the regime: the small log window (48KB) and
+// the hot tuple set fit; the cold working set does not.
+inline CacheGeometry BenchCacheGeometry() { return CacheGeometry{.sets = 256, .ways = 16}; }
+
+template <typename Config>
+inline Config WithBenchCache(Config config) {
+  config.cache_geometry = BenchCacheGeometry();
+  return config;
+}
+
+// Default benchmark scale (paper testbed: 2048 warehouses / 256GB YCSB on
+// 768GB Optane; here: laptop-scale, shape-preserving).
+// The paper gives every thread its own home warehouse (2048 warehouses for
+// 48 threads), so cross-warehouse contention comes only from the standard
+// 1%/15% remote accesses. Benchmarks therefore default to one warehouse per
+// worker, with per-warehouse content scaled down.
+inline TpccConfig BenchTpccConfig(uint32_t warehouses = 48) {
+  TpccConfig c;
+  c.warehouses = warehouses;
+  c.districts_per_warehouse = 10;
+  c.customers_per_district = 64;
+  c.items = 500;
+  c.initial_orders_per_district = 10;
+  return c;
+}
+
+struct TpccFixture {
+  std::unique_ptr<NvmDevice> device;
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<TpccWorkload> workload;
+
+  static TpccFixture Create(const EngineConfig& config, uint32_t workers,
+                            const TpccConfig& tpcc) {
+    TpccFixture f;
+    f.device = std::make_unique<NvmDevice>(6ull << 30);
+    f.engine = std::make_unique<Engine>(f.device.get(), WithBenchCache(config), workers);
+    f.workload = std::make_unique<TpccWorkload>(f.engine.get(), tpcc);
+    f.workload->LoadItems(f.engine->worker(0));
+    std::vector<std::thread> loaders;
+    const uint32_t loader_threads = std::min(workers, tpcc.warehouses);
+    const uint32_t per = (tpcc.warehouses + loader_threads - 1) / loader_threads;
+    for (uint32_t t = 0; t < loader_threads; ++t) {
+      const uint32_t first = 1 + t * per;
+      const uint32_t last = std::min(tpcc.warehouses, first + per - 1);
+      if (first > last) {
+        continue;
+      }
+      loaders.emplace_back([&f, t, first, last] {
+        f.workload->LoadWarehouseSlice(f.engine->worker(t), first, last);
+      });
+    }
+    for (auto& th : loaders) {
+      th.join();
+    }
+    return f;
+  }
+};
+
+inline YcsbConfig BenchYcsbConfig(char workload, bool zipfian, uint64_t records = 50000) {
+  YcsbConfig c;
+  c.record_count = records;
+  c.field_count = 10;
+  c.field_size = 100;  // ~1KB tuples as in §6.1
+  c.workload = workload;
+  c.zipfian = zipfian;
+  return c;
+}
+
+struct YcsbFixture {
+  std::unique_ptr<NvmDevice> device;
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<YcsbWorkload> workload;
+
+  // `scaled_cache` applies the 256KB benchmark cache; Figure 12 instead
+  // keeps the full-size per-thread cache because the experiment is exactly
+  // about when the log window outgrows it.
+  static YcsbFixture Create(const EngineConfig& config, uint32_t workers, const YcsbConfig& yc,
+                            uint64_t device_bytes = 4ull << 30, bool scaled_cache = true) {
+    YcsbFixture f;
+    f.device = std::make_unique<NvmDevice>(device_bytes);
+    f.engine = std::make_unique<Engine>(
+        f.device.get(), scaled_cache ? WithBenchCache(config) : config, workers);
+    f.workload = std::make_unique<YcsbWorkload>(f.engine.get(), yc);
+    std::vector<std::thread> loaders;
+    const uint64_t per = yc.record_count / workers;
+    for (uint32_t t = 0; t < workers; ++t) {
+      const uint64_t begin = t * per;
+      const uint64_t end = t + 1 == workers ? yc.record_count : begin + per;
+      loaders.emplace_back(
+          [&f, t, begin, end] { f.workload->LoadRange(f.engine->worker(t), begin, end); });
+    }
+    for (auto& th : loaders) {
+      th.join();
+    }
+    return f;
+  }
+};
+
+// The engine lineup of Figures 7-9.
+struct EngineEntry {
+  const char* label;
+  EngineConfig (*make)(CcScheme);
+};
+
+inline EngineConfig MakeFalcon(CcScheme cc) { return EngineConfig::Falcon(cc); }
+inline EngineConfig MakeFalconDram(CcScheme cc) { return EngineConfig::FalconDramIndex(cc); }
+inline EngineConfig MakeFalconAll(CcScheme cc) { return EngineConfig::FalconAllFlush(cc); }
+inline EngineConfig MakeFalconNo(CcScheme cc) { return EngineConfig::FalconNoFlush(cc); }
+inline EngineConfig MakeInp(CcScheme cc) { return EngineConfig::Inp(cc); }
+inline EngineConfig MakeInpNo(CcScheme cc) { return EngineConfig::InpNoFlush(cc); }
+inline EngineConfig MakeInpSlw(CcScheme cc) { return EngineConfig::InpSmallLogWindow(cc); }
+inline EngineConfig MakeInpHtt(CcScheme cc) { return EngineConfig::InpHotTupleTracking(cc); }
+inline EngineConfig MakeOutp(CcScheme cc) { return EngineConfig::Outp(cc); }
+inline EngineConfig MakeZenS(CcScheme cc) { return EngineConfig::ZenS(cc); }
+inline EngineConfig MakeZenSNo(CcScheme cc) { return EngineConfig::ZenSNoFlush(cc); }
+
+// Figure 7/8/9 lineup (paper order).
+inline const std::vector<EngineEntry>& PaperEngines() {
+  static const std::vector<EngineEntry> engines = {
+      {"Falcon (DRAM Index)", MakeFalconDram}, {"Falcon", MakeFalcon},
+      {"Falcon (All Flush)", MakeFalconAll},   {"Falcon (No Flush)", MakeFalconNo},
+      {"Inp", MakeInp},                        {"Outp", MakeOutp},
+      {"ZenS (No Flush)", MakeZenSNo},         {"ZenS", MakeZenS},
+  };
+  return engines;
+}
+
+}  // namespace falcon
+
+#endif  // BENCH_FIXTURES_H_

@@ -1,0 +1,101 @@
+// Crash-recovery walkthrough:
+//   1. why eADR changes the rules — the same unflushed store survives an
+//      eADR power failure but is lost under ADR (SemanticCache demo, §3.1);
+//   2. an engine-level crash mid-commit and Falcon's millisecond recovery,
+//      vs ZenS's heap-scan recovery (§6.5).
+//
+//   ./build/examples/crash_recovery
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "src/sim/semantic_cache.h"
+#include "src/workload/ycsb.h"
+
+using namespace falcon;
+
+static void DemoPersistenceDomains() {
+  std::printf("== 1. ADR vs eADR semantics ==\n");
+  alignas(64) static uint64_t nvm_image[16] = {};
+
+  {
+    SemanticCache cache;  // volatile-cache platform (ADR)
+    const uint64_t value = 42;
+    cache.Store(&nvm_image[0], &value, sizeof(value));
+    cache.CrashAdr();
+    std::printf("ADR:  store 42 without clwb, power failure -> image holds %lu (lost!)\n",
+                nvm_image[0]);
+  }
+  {
+    SemanticCache cache;  // persistent-cache platform (eADR)
+    const uint64_t value = 42;
+    cache.Store(&nvm_image[1], &value, sizeof(value));
+    cache.CrashEadr();
+    std::printf("eADR: store 42 without clwb, power failure -> image holds %lu (persistent)\n",
+                nvm_image[1]);
+  }
+}
+
+static void DemoEngineRecovery(const EngineConfig& base_config, const char* label) {
+  NvmDevice device(1ull << 30);
+  constexpr uint64_t kRows = 50000;
+
+  YcsbConfig yc;
+  yc.record_count = kRows;
+  yc.field_count = 4;
+  yc.field_size = 25;
+
+  // Phase 1: populate, then crash in the middle of a commit.
+  {
+    Engine engine(&device, base_config, 2);
+    YcsbWorkload workload(&engine, yc);
+    workload.LoadRange(engine.worker(0), 0, kRows);
+
+    engine.ArmCrashPoint(CrashPoint::kMidApply);
+    try {
+      Worker& w = engine.worker(0);
+      Txn txn = w.Begin();
+      const uint64_t v = 123456;
+      txn.UpdateColumn(workload.table(), 7, 0, &v);
+      txn.UpdateColumn(workload.table(), 8, 0, &v);
+      txn.Commit();
+      std::printf("unexpected: crash point did not fire\n");
+    } catch (const TxnCrashed&) {
+      // Power failure: under eADR the arena contents at this instant are
+      // exactly the persistent image. Drop the engine without cleanup.
+    }
+  }
+
+  // Phase 2: reopen over the same device -> automatic recovery.
+  Engine engine(&device, base_config, 2);
+  const RecoveryReport& report = engine.recovery_report();
+  std::printf(
+      "%-22s recovered in %7.3f ms  (catalog %.3f + index %.3f + replay %.3f + rebuild %.3f; "
+      "%lu slots replayed, %lu discarded, %lu tuples scanned)\n",
+      label, report.total_ms, report.catalog_ms, report.index_ms, report.replay_ms,
+      report.rebuild_ms, report.slots_replayed, report.slots_discarded, report.tuples_scanned);
+
+  // The committed-but-interrupted transaction must be complete.
+  auto workload = YcsbWorkload::Attach(&engine, yc);
+  Worker& w = engine.worker(0);
+  Txn txn = w.Begin();
+  uint64_t a = 0;
+  uint64_t b = 0;
+  txn.ReadColumn(workload->table(), 7, 0, &a);
+  txn.ReadColumn(workload->table(), 8, 0, &b);
+  txn.Commit();
+  std::printf("%-22s post-recovery values: %lu / %lu (expected 123456 / 123456)\n", label, a,
+              b);
+}
+
+int main() {
+  DemoPersistenceDomains();
+
+  std::printf("\n== 2. Engine crash + recovery (50K rows) ==\n");
+  // Falcon: replay bounded by the small log window; indexes recover in NVM.
+  DemoEngineRecovery(EngineConfig::Falcon(CcScheme::kOcc), "Falcon");
+  // ZenS: DRAM index must be rebuilt by scanning the whole tuple heap.
+  DemoEngineRecovery(EngineConfig::ZenS(CcScheme::kOcc), "ZenS");
+  return 0;
+}

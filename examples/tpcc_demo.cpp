@@ -1,0 +1,79 @@
+// TPC-C demo: loads a small TPC-C database and runs the standard mix on
+// Falcon, printing per-transaction-type throughput and NVM media traffic.
+//
+//   ./build/examples/tpcc_demo [threads] [warehouses]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/workload/bench_runner.h"
+#include "src/workload/tpcc.h"
+
+using namespace falcon;
+
+int main(int argc, char** argv) {
+  const uint32_t threads = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 4;
+  const uint32_t warehouses = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : threads;
+
+  NvmDevice device(4ull << 30);
+  Engine engine(&device, EngineConfig::Falcon(CcScheme::kOcc), threads);
+
+  TpccConfig config;
+  config.warehouses = warehouses;
+  config.districts_per_warehouse = 10;
+  config.customers_per_district = 256;
+  config.items = 5000;
+  config.initial_orders_per_district = 40;
+
+  TpccWorkload workload(&engine, config);
+  std::printf("loading TPC-C: %u warehouses, %u items...\n", warehouses, config.items);
+  workload.LoadItems(engine.worker(0));
+  {
+    std::vector<std::thread> loaders;
+    const uint32_t per = (warehouses + threads - 1) / threads;
+    for (uint32_t t = 0; t < threads; ++t) {
+      const uint32_t first = 1 + t * per;
+      const uint32_t last = std::min(warehouses, first + per - 1);
+      if (first > last) {
+        continue;
+      }
+      loaders.emplace_back(
+          [&, t, first, last] { workload.LoadWarehouseSlice(engine.worker(t), first, last); });
+    }
+    for (auto& th : loaders) {
+      th.join();
+    }
+  }
+
+  std::printf("running the standard mix on %u threads...\n", threads);
+  std::vector<TpccStats> stats(threads);
+  std::vector<Rng> rngs;
+  for (uint32_t t = 0; t < threads; ++t) {
+    rngs.emplace_back(1000 + t);
+  }
+  const BenchResult result =
+      RunBench(engine, threads, /*txns_per_thread=*/20000,
+               [&](Worker& worker, uint32_t t, uint64_t) {
+                 bool committed = false;
+                 const TpccTxnType type = workload.RunOne(worker, rngs[t], &committed);
+                 (committed ? stats[t].committed : stats[t].aborted)[type] += 1;
+                 return committed;
+               });
+
+  TpccStats merged;
+  for (const TpccStats& s : stats) {
+    merged.Merge(s);
+  }
+  static const char* kNames[5] = {"NewOrder", "Payment", "OrderStatus", "Delivery",
+                                  "StockLevel"};
+  std::printf("\n%-12s %12s %10s\n", "txn type", "committed", "aborted");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("%-12s %12lu %10lu\n", kNames[i], merged.committed[i], merged.aborted[i]);
+  }
+  std::printf(
+      "\nthroughput: %.3f MTxn/s (simulated) | avg latency %.1f us | abort rate %.1f%%\n",
+      result.mtxn_per_s, result.avg_us, result.AbortRate() * 100);
+  std::printf("NVM: %lu media writes, %lu media reads, write amplification %.2fx\n",
+              result.device.media_writes, result.device.media_reads, result.write_amp);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Engine shoot-out on YCSB-A: runs the same Zipfian update-heavy workload on
+// Falcon, Inp, Outp, and ZenS and prints why Falcon wins — NVM media writes
+// per transaction.
+//
+//   ./build/examples/ycsb_engine_compare [threads]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/workload/bench_runner.h"
+#include "src/workload/ycsb.h"
+
+using namespace falcon;
+
+static void RunEngine(const EngineConfig& config, uint32_t threads) {
+  NvmDevice device(2ull << 30);
+  Engine engine(&device, config, threads);
+
+  YcsbConfig yc;
+  yc.record_count = 200000;
+  yc.field_count = 10;
+  yc.field_size = 100;  // ~1KB tuples, as in the paper's YCSB setup
+  yc.workload = 'A';
+  yc.zipfian = true;
+
+  YcsbWorkload workload(&engine, yc);
+  {
+    std::vector<std::thread> loaders;
+    const uint64_t per = yc.record_count / threads;
+    for (uint32_t t = 0; t < threads; ++t) {
+      const uint64_t begin = t * per;
+      const uint64_t end = t + 1 == threads ? yc.record_count : begin + per;
+      loaders.emplace_back(
+          [&, t, begin, end] { workload.LoadRange(engine.worker(t), begin, end); });
+    }
+    for (auto& th : loaders) {
+      th.join();
+    }
+  }
+
+  std::vector<YcsbThreadState> states;
+  for (uint32_t t = 0; t < threads; ++t) {
+    states.emplace_back(workload.config(), t, threads, 777 + t);
+  }
+  const BenchResult result = RunBench(engine, threads, 20000,
+                                      [&](Worker& worker, uint32_t t, uint64_t) {
+                                        return workload.RunOne(worker, states[t]);
+                                      });
+
+  std::printf("%-22s  %8.3f MTxn/s  | media writes/txn %6.2f | write amp %5.2fx\n",
+              config.name.c_str(), result.mtxn_per_s,
+              static_cast<double>(result.device.media_writes) /
+                  static_cast<double>(std::max<uint64_t>(1, result.commits)),
+              result.write_amp);
+}
+
+int main(int argc, char** argv) {
+  const uint32_t threads = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 4;
+  std::printf("YCSB-A, Zipfian(0.99), 1KB tuples, %u threads (simulated time)\n\n", threads);
+  RunEngine(EngineConfig::Falcon(CcScheme::kOcc), threads);
+  RunEngine(EngineConfig::FalconNoFlush(CcScheme::kOcc), threads);
+  RunEngine(EngineConfig::FalconAllFlush(CcScheme::kOcc), threads);
+  RunEngine(EngineConfig::Inp(CcScheme::kOcc), threads);
+  RunEngine(EngineConfig::InpNoFlush(CcScheme::kOcc), threads);
+  RunEngine(EngineConfig::Outp(CcScheme::kOcc), threads);
+  RunEngine(EngineConfig::ZenS(CcScheme::kOcc), threads);
+  return 0;
+}

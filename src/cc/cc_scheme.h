@@ -1,0 +1,60 @@
+// Concurrency-control scheme selection (paper §5.2.1: "Falcon's design is
+// neutral to concurrency control algorithms").
+
+#ifndef SRC_CC_CC_SCHEME_H_
+#define SRC_CC_CC_SCHEME_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace falcon {
+
+enum class CcScheme : uint8_t {
+  k2pl,     // two-phase locking, no-wait
+  kTo,      // timestamp ordering
+  kOcc,     // optimistic, 3-phase (read / validate / write)
+  kMv2pl,   // 2PL + DRAM version chains for non-blocking read-only txns
+  kMvTo,    // TO + version chains
+  kMvOcc,   // OCC + version chains
+};
+
+constexpr bool IsMultiVersion(CcScheme s) {
+  return s == CcScheme::kMv2pl || s == CcScheme::kMvTo || s == CcScheme::kMvOcc;
+}
+
+// The single-version protocol a (possibly MV) scheme runs for read-write
+// transactions.
+constexpr CcScheme BaseScheme(CcScheme s) {
+  switch (s) {
+    case CcScheme::kMv2pl:
+      return CcScheme::k2pl;
+    case CcScheme::kMvTo:
+      return CcScheme::kTo;
+    case CcScheme::kMvOcc:
+      return CcScheme::kOcc;
+    default:
+      return s;
+  }
+}
+
+constexpr std::string_view CcSchemeName(CcScheme s) {
+  switch (s) {
+    case CcScheme::k2pl:
+      return "2PL";
+    case CcScheme::kTo:
+      return "TO";
+    case CcScheme::kOcc:
+      return "OCC";
+    case CcScheme::kMv2pl:
+      return "MV2PL";
+    case CcScheme::kMvTo:
+      return "MVTO";
+    case CcScheme::kMvOcc:
+      return "MVOCC";
+  }
+  return "?";
+}
+
+}  // namespace falcon
+
+#endif  // SRC_CC_CC_SCHEME_H_

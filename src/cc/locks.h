@@ -1,0 +1,134 @@
+// Tuple-level concurrency-control primitives over the 8-byte cc_word in the
+// tuple header (paper §5.2.1 and Figure 5's "CC Metadata Field" table).
+//
+//   2PL family:  cc_word = [write_lock:1 | reader_count:63], cas-acquired,
+//                no-wait policy (conflict -> immediate abort, avoids
+//                deadlocks).
+//   TO/OCC:      cc_word = [lock:1 | write_ts:63]; read_ts is a separate
+//                header field maintained with an atomic max (TO only).
+//
+// All operations are free functions over std::atomic<uint64_t> so every
+// engine variant shares them.
+
+#ifndef SRC_CC_LOCKS_H_
+#define SRC_CC_LOCKS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace falcon {
+
+inline constexpr uint64_t kCcLockBit = 1ull << 63;
+// Set when an out-of-place engine supersedes a version: the timestamp stays
+// readable for snapshot visibility, but the word changes so optimistic
+// readers that observed the pre-retirement word fail validation.
+inline constexpr uint64_t kCcRetiredBit = 1ull << 62;
+inline constexpr uint64_t kCcTsMask = kCcRetiredBit - 1;
+
+// ---- 2PL (no-wait) --------------------------------------------------------
+//
+// Layout: [write:1 | generation:8 | reader_count:55].
+//
+// The generation tag (from the catalog, bumped on every recovery) makes lock
+// state left behind by a crash decode as "unlocked": read locks belong to
+// volatile read sets the recovery log replay cannot see, so without the tag
+// a crashed reader would block writers forever. This keeps Falcon's recovery
+// free of heap scans (§5.3).
+
+inline constexpr uint64_t k2plWriteBit = 1ull << 63;
+inline constexpr int k2plGenShift = 55;
+inline constexpr uint64_t k2plGenMask = 0xffull << k2plGenShift;
+inline constexpr uint64_t k2plReaderMask = (1ull << k2plGenShift) - 1;
+
+// Decodes `word` under `gen`: a stale generation reads as fully unlocked.
+inline uint64_t Normalize2pl(uint64_t word, uint64_t gen) {
+  if (((word & k2plGenMask) >> k2plGenShift) != (gen & 0xff)) {
+    return (gen & 0xff) << k2plGenShift;
+  }
+  return word;
+}
+
+// Acquires the write lock iff the tuple is entirely unlocked.
+inline bool TryLockWrite2pl(std::atomic<uint64_t>& word, uint64_t gen) {
+  uint64_t cur = word.load(std::memory_order_acquire);
+  for (;;) {
+    const uint64_t norm = Normalize2pl(cur, gen);
+    if ((norm & k2plWriteBit) != 0 || (norm & k2plReaderMask) != 0) {
+      return false;
+    }
+    if (word.compare_exchange_weak(cur, norm | k2plWriteBit, std::memory_order_acquire)) {
+      return true;
+    }
+  }
+}
+
+// Acquires one read lock iff no writer holds the tuple.
+inline bool TryLockRead2pl(std::atomic<uint64_t>& word, uint64_t gen) {
+  uint64_t cur = word.load(std::memory_order_acquire);
+  for (;;) {
+    const uint64_t norm = Normalize2pl(cur, gen);
+    if ((norm & k2plWriteBit) != 0) {
+      return false;
+    }
+    if (word.compare_exchange_weak(cur, norm + 1, std::memory_order_acquire)) {
+      return true;
+    }
+  }
+}
+
+// Upgrades a held read lock to a write lock iff the caller is the only
+// reader. Fails (no-wait) otherwise; the caller still holds its read lock.
+inline bool TryUpgrade2pl(std::atomic<uint64_t>& word, uint64_t gen) {
+  uint64_t expected = ((gen & 0xff) << k2plGenShift) | 1;
+  return word.compare_exchange_strong(expected, ((gen & 0xff) << k2plGenShift) | k2plWriteBit,
+                                      std::memory_order_acquire);
+}
+
+inline void UnlockWrite2pl(std::atomic<uint64_t>& word, uint64_t gen) {
+  word.store((gen & 0xff) << k2plGenShift, std::memory_order_release);
+}
+
+inline void UnlockRead2pl(std::atomic<uint64_t>& word) {
+  word.fetch_sub(1, std::memory_order_release);
+}
+
+// ---- TO / OCC (timestamped word with lock bit) ----------------------------
+
+// Locks the word iff it is unlocked, preserving the timestamp. Returns the
+// pre-lock timestamp through `ts_out`.
+inline bool TryLockTs(std::atomic<uint64_t>& word, uint64_t* ts_out) {
+  uint64_t cur = word.load(std::memory_order_acquire);
+  while ((cur & kCcLockBit) == 0) {
+    if (word.compare_exchange_weak(cur, cur | kCcLockBit, std::memory_order_acquire)) {
+      *ts_out = cur;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Unlocks and installs a new timestamp in one release store.
+inline void UnlockWithTs(std::atomic<uint64_t>& word, uint64_t new_ts) {
+  word.store(new_ts & kCcTsMask, std::memory_order_release);
+}
+
+// Unlocks, restoring the pre-lock word (abort path). Preserves the retired
+// bit; only the lock bit is cleared.
+inline void UnlockRestoreTs(std::atomic<uint64_t>& word, uint64_t old_ts) {
+  word.store(old_ts & ~kCcLockBit, std::memory_order_release);
+}
+
+inline bool IsLockedTs(uint64_t word) { return (word & kCcLockBit) != 0; }
+inline uint64_t TsOf(uint64_t word) { return word & kCcTsMask; }
+
+// Monotone max update of a read timestamp (TO).
+inline void AdvanceReadTs(std::atomic<uint64_t>& read_ts, uint64_t tid) {
+  uint64_t cur = read_ts.load(std::memory_order_relaxed);
+  while (cur < tid &&
+         !read_ts.compare_exchange_weak(cur, tid, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace falcon
+
+#endif  // SRC_CC_LOCKS_H_

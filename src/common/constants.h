@@ -1,0 +1,47 @@
+// Global constants shared by the simulator and the engine.
+//
+// The values mirror the hardware the paper evaluates on (Intel Optane PMem in
+// eADR mode on Xeon Gold 5320); see DESIGN.md §2 for the substitution notes.
+
+#ifndef SRC_COMMON_CONSTANTS_H_
+#define SRC_COMMON_CONSTANTS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace falcon {
+
+// CPU cache line size in bytes (§3.2 of the paper: "typically 64B").
+inline constexpr size_t kCacheLineSize = 64;
+
+// Optane media access granularity in bytes (§3.2: "256B in Intel Optane NVM").
+inline constexpr size_t kNvmBlockSize = 256;
+
+// Cache lines per NVM media block.
+inline constexpr size_t kLinesPerBlock = kNvmBlockSize / kCacheLineSize;
+
+// Page size used by the NVM space manager (§5.1: "pages (2MB each)").
+inline constexpr size_t kPageSize = 2ul * 1024 * 1024;
+
+// Maximum number of worker threads an engine instance supports. The TID
+// layout reserves 8 bits for the thread id (§5.2.1 footnote 2).
+inline constexpr uint32_t kMaxThreads = 256;
+
+// Number of transactions a small log window holds slots for (§4.3: "a small
+// number (2~3) of transactions").
+inline constexpr uint32_t kLogWindowSlots = 3;
+
+// Default capacity of one small-log-window slot in bytes. Three slots of 16KB
+// per thread keeps the aggregate window footprint well below the simulated L2
+// size for the default thread counts.
+inline constexpr size_t kLogSlotBytes = 16 * 1024;
+
+// Default capacity of the per-thread hot tuple LRU (D2, hot tuple tracking).
+inline constexpr size_t kHotTupleCapacity = 64;
+
+// Per-thread version-queue length that triggers old-version recycling (§5.4).
+inline constexpr size_t kVersionQueueGcThreshold = 256;
+
+}  // namespace falcon
+
+#endif  // SRC_COMMON_CONSTANTS_H_

@@ -1,0 +1,92 @@
+// Log-bucketed latency histogram for benchmark reporting (avg / percentiles).
+// Single-writer; merge histograms from multiple threads with Merge().
+
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace falcon {
+
+// Records uint64 samples (nanoseconds in practice) into 2x-geometric buckets
+// with 16 linear sub-buckets each, giving ~6% relative error on percentiles.
+class Histogram {
+ public:
+  static constexpr int kExponents = 40;   // covers up to ~2^40 ns
+  static constexpr int kSubBuckets = 16;  // linear sub-buckets per exponent
+
+  void Record(uint64_t value) {
+    ++count_;
+    sum_ += value;
+    if (value > max_) {
+      max_ = value;
+    }
+    ++buckets_[BucketFor(value)];
+  }
+
+  void Merge(const Histogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+
+  // Returns an upper bound on the p-th percentile (p in [0, 100]).
+  uint64_t Percentile(double p) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    const auto target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_ - 1)) + 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= target) {
+        return UpperBoundFor(i);
+      }
+    }
+    return max_;
+  }
+
+  void Reset() { *this = Histogram{}; }
+
+ private:
+  static size_t BucketFor(uint64_t value) {
+    if (value < kSubBuckets) {
+      return static_cast<size_t>(value);
+    }
+    const int msb = 63 - __builtin_clzll(value);
+    const int exponent = msb - 3;  // first 16 values are handled above (2^4)
+    const auto sub = static_cast<size_t>((value >> exponent) & (kSubBuckets - 1));
+    const size_t index = static_cast<size_t>(exponent) * kSubBuckets + sub;
+    return index < kExponents * kSubBuckets ? index : kExponents * kSubBuckets - 1;
+  }
+
+  static uint64_t UpperBoundFor(size_t bucket) {
+    if (bucket < kSubBuckets) {
+      return bucket;
+    }
+    // For bucket = exponent * 16 + sub (sub in [8, 15]), the bucket holds all
+    // values v with (v >> exponent) == sub, i.e. v < (sub + 1) << exponent.
+    const size_t exponent = bucket / kSubBuckets;
+    const uint64_t sub = bucket % kSubBuckets;
+    return ((sub + 1) << exponent) - 1;
+  }
+
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  std::array<uint64_t, kExponents * kSubBuckets> buckets_ = {};
+};
+
+}  // namespace falcon
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

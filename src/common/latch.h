@@ -1,0 +1,42 @@
+// Minimal spin latches for short critical sections in the simulator.
+// Engine-level concurrency control does NOT use these; tuple locks live in
+// NVM tuple metadata (src/cc). These latches protect simulator-internal
+// shared state such as XPBuffer shards.
+
+#ifndef SRC_COMMON_LATCH_H_
+#define SRC_COMMON_LATCH_H_
+
+#include <atomic>
+
+namespace falcon {
+
+// Test-and-test-and-set spin latch. Satisfies the Lockable requirements so it
+// works with std::lock_guard.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (flag_.load(std::memory_order_relaxed)) {
+        // Spin on a cached read until the lock looks free.
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace falcon
+
+#endif  // SRC_COMMON_LATCH_H_

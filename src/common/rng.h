@@ -1,0 +1,69 @@
+// Fast deterministic pseudo-random number generation (xoshiro256** and
+// splitmix64). Workload generators need speed and reproducibility; <random>'s
+// mersenne twister is unnecessarily heavy for that.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace falcon {
+
+// splitmix64: used to seed the main generator and for cheap hash mixing.
+constexpr uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Mixes a 64-bit value into a well-distributed hash (stateless splitmix64).
+constexpr uint64_t Mix64(uint64_t x) {
+  uint64_t s = x;
+  return SplitMix64(s);
+}
+
+// xoshiro256**: small, fast, high-quality PRNG. Not thread safe; create one
+// per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x2545f4914f6cdd1dull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextRange(uint64_t lo, uint64_t hi) { return lo + NextBounded(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace falcon
+
+#endif  // SRC_COMMON_RNG_H_

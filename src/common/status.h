@@ -1,0 +1,52 @@
+// Lightweight status codes used on engine hot paths instead of exceptions.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace falcon {
+
+// Result of a storage or transaction operation.
+enum class Status : uint8_t {
+  kOk = 0,
+  // The transaction must abort (lock conflict, validation failure, ...).
+  kAborted,
+  // The requested key does not exist (or is delete-flagged).
+  kNotFound,
+  // The key already exists (insert conflict).
+  kDuplicate,
+  // Out of space in the arena / page / log slot.
+  kNoSpace,
+  // The argument is malformed (bad column id, oversized value, ...).
+  kInvalidArgument,
+  // Internal invariant violation; indicates a bug.
+  kInternal,
+};
+
+constexpr bool IsOk(Status s) { return s == Status::kOk; }
+
+constexpr std::string_view StatusString(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kAborted:
+      return "aborted";
+    case Status::kNotFound:
+      return "not found";
+    case Status::kDuplicate:
+      return "duplicate";
+    case Status::kNoSpace:
+      return "no space";
+    case Status::kInvalidArgument:
+      return "invalid argument";
+    case Status::kInternal:
+      return "internal error";
+  }
+  return "unknown";
+}
+
+}  // namespace falcon
+
+#endif  // SRC_COMMON_STATUS_H_

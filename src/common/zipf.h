@@ -1,0 +1,68 @@
+// Zipfian key-distribution generator following the YCSB reference
+// implementation (Gray et al., "Quickly generating billion-record synthetic
+// databases", SIGMOD '94). Used for the paper's Zipfian(theta = 0.99) YCSB
+// workloads (§6.1).
+
+#ifndef SRC_COMMON_ZIPF_H_
+#define SRC_COMMON_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace falcon {
+
+class ZipfianGenerator {
+ public:
+  // Generates values in [0, item_count) with skew `theta` (0 < theta < 1).
+  ZipfianGenerator(uint64_t item_count, double theta = 0.99, uint64_t seed = 1)
+      : items_(item_count), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(item_count, theta);
+    zeta2theta_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+           (1.0 - zeta2theta_ / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const double frac = eta_ * u - eta_ + 1.0;
+    const auto rank = static_cast<uint64_t>(static_cast<double>(items_) * std::pow(frac, alpha_));
+    return rank >= items_ ? items_ - 1 : rank;
+  }
+
+  // Scrambled variant: spreads the hot ranks across the key space so that hot
+  // keys are not physically adjacent (matches YCSB's ScrambledZipfian).
+  uint64_t NextScrambled() { return Mix64(Next()) % items_; }
+
+  uint64_t item_count() const { return items_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t items_;
+  double theta_;
+  double zetan_;
+  double zeta2theta_;
+  double alpha_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace falcon
+
+#endif  // SRC_COMMON_ZIPF_H_

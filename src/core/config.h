@@ -1,0 +1,167 @@
+// Engine configuration knobs and the named presets from the paper's engine
+// comparison (Table 1 and Figure 10).
+
+#ifndef SRC_CORE_CONFIG_H_
+#define SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/cc/cc_scheme.h"
+#include "src/common/constants.h"
+#include "src/sim/cost_model.h"
+
+namespace falcon {
+
+enum class UpdateMode : uint8_t {
+  kInPlace,     // redo-log then modify the tuple (Falcon, Inp)
+  kOutOfPlace,  // log-free: a new version in the heap is the update (Outp, ZenS)
+};
+
+enum class LogMode : uint8_t {
+  kSmallWindow,  // D1: tiny per-thread circular window, never flushed (needs
+                 // eADR; stays cache-resident so logging causes no NVM writes)
+  kNvmFlushed,   // conventional large per-thread redo region, clwb+sfence
+                 // before commit (Inp)
+  kNvmNoFlush,   // large region with the clwbs removed: correct under eADR
+                 // but log lines evict at the cache's whim (Inp (No Flush))
+  kNone,         // log-free (out-of-place engines)
+};
+
+constexpr bool LogIsFlushed(LogMode m) { return m == LogMode::kNvmFlushed; }
+constexpr bool LogIsSmallWindow(LogMode m) { return m == LogMode::kSmallWindow; }
+
+enum class FlushPolicy : uint8_t {
+  kNone,       // no clwb on data; rely on cache eviction ("No Flush")
+  kAll,        // hinted flush of every touched tuple ("All Flush")
+  kSelective,  // D2: hinted flush unless the tuple is hot (Falcon)
+};
+
+enum class IndexPlacement : uint8_t {
+  kNvm,   // persistent index, instant recovery
+  kDram,  // faster, rebuilt by heap scan on recovery
+};
+
+struct EngineConfig {
+  std::string name = "Falcon";
+  UpdateMode update_mode = UpdateMode::kInPlace;
+  LogMode log_mode = LogMode::kSmallWindow;
+  FlushPolicy flush_policy = FlushPolicy::kSelective;
+  IndexPlacement index_placement = IndexPlacement::kNvm;
+  CcScheme cc = CcScheme::kOcc;
+  // ZenS: DRAM Met-Cache holding hot tuple copies + their CC metadata.
+  bool use_tuple_cache = false;
+
+  uint32_t log_window_slots = kLogWindowSlots;
+  // Slot count for the conventional (large) log region used by kNvmFlushed /
+  // kNvmNoFlush; sized so the region cycles far outside the CPU cache.
+  uint32_t large_log_slots = 64;
+  uint64_t log_slot_bytes = kLogSlotBytes;
+
+  uint32_t EffectiveLogSlots() const {
+    return log_mode == LogMode::kSmallWindow ? log_window_slots : large_log_slots;
+  }
+  size_t hot_tuple_capacity = kHotTupleCapacity;
+  size_t tuple_cache_slots = 1 << 16;
+  size_t version_gc_threshold = kVersionQueueGcThreshold;
+
+  CacheGeometry cache_geometry;
+  CostParams cost_params;
+
+  // ---- Named presets (paper Table 1 / Figure 10) --------------------------
+
+  static EngineConfig Falcon(CcScheme cc = CcScheme::kOcc) {
+    EngineConfig c;
+    c.name = "Falcon";
+    c.cc = cc;
+    return c;
+  }
+
+  static EngineConfig FalconNoFlush(CcScheme cc = CcScheme::kOcc) {
+    EngineConfig c = Falcon(cc);
+    c.name = "Falcon (No Flush)";
+    c.flush_policy = FlushPolicy::kNone;
+    return c;
+  }
+
+  static EngineConfig FalconAllFlush(CcScheme cc = CcScheme::kOcc) {
+    EngineConfig c = Falcon(cc);
+    c.name = "Falcon (All Flush)";
+    c.flush_policy = FlushPolicy::kAll;
+    return c;
+  }
+
+  static EngineConfig FalconDramIndex(CcScheme cc = CcScheme::kOcc) {
+    EngineConfig c = Falcon(cc);
+    c.name = "Falcon (DRAM Index)";
+    c.index_placement = IndexPlacement::kDram;
+    return c;
+  }
+
+  // Pure in-place baseline: conventional flushed redo log + flush-all data.
+  static EngineConfig Inp(CcScheme cc = CcScheme::kOcc) {
+    EngineConfig c;
+    c.name = "Inp";
+    c.cc = cc;
+    c.log_mode = LogMode::kNvmFlushed;
+    c.flush_policy = FlushPolicy::kAll;
+    return c;
+  }
+
+  static EngineConfig InpNoFlush(CcScheme cc = CcScheme::kOcc) {
+    EngineConfig c = Inp(cc);
+    c.name = "Inp (No Flush)";
+    // No clwb anywhere: the (large) log region and the data are left to
+    // cache evictions. Correct under eADR only.
+    c.log_mode = LogMode::kNvmNoFlush;
+    c.flush_policy = FlushPolicy::kNone;
+    return c;
+  }
+
+  static EngineConfig InpSmallLogWindow(CcScheme cc = CcScheme::kOcc) {
+    EngineConfig c = Inp(cc);
+    c.name = "Inp (Small Log Window)";
+    c.log_mode = LogMode::kSmallWindow;
+    return c;
+  }
+
+  static EngineConfig InpHotTupleTracking(CcScheme cc = CcScheme::kOcc) {
+    EngineConfig c = Inp(cc);
+    c.name = "Inp (Hot Tuple Tracking)";
+    c.flush_policy = FlushPolicy::kSelective;
+    return c;
+  }
+
+  // Pure out-of-place baseline: log-free, NVM index, flush-all.
+  static EngineConfig Outp(CcScheme cc = CcScheme::kOcc) {
+    EngineConfig c;
+    c.name = "Outp";
+    c.cc = cc;
+    c.update_mode = UpdateMode::kOutOfPlace;
+    c.log_mode = LogMode::kNone;
+    c.flush_policy = FlushPolicy::kAll;
+    return c;
+  }
+
+  // Re-implementation of Zen's storage engine (paper §6.2.1): out-of-place,
+  // DRAM index, DRAM tuple cache.
+  static EngineConfig ZenS(CcScheme cc = CcScheme::kOcc) {
+    EngineConfig c = Outp(cc);
+    c.name = "ZenS";
+    c.index_placement = IndexPlacement::kDram;
+    c.use_tuple_cache = true;
+    return c;
+  }
+
+  static EngineConfig ZenSNoFlush(CcScheme cc = CcScheme::kOcc) {
+    EngineConfig c = ZenS(cc);
+    c.name = "ZenS (No Flush)";
+    c.flush_policy = FlushPolicy::kNone;
+    return c;
+  }
+};
+
+}  // namespace falcon
+
+#endif  // SRC_CORE_CONFIG_H_

@@ -1,0 +1,511 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/cc/locks.h"
+#include "src/index/art_index.h"
+#include "src/index/btree_index.h"
+#include "src/index/hash_index.h"
+#include "src/storage/table.h"
+
+namespace falcon {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+// ---- Worker ---------------------------------------------------------------
+
+Worker::Worker(Engine* engine, uint32_t id, PmOffset log_base)
+    : engine_(engine),
+      id_(id),
+      ctx_(id, engine->device(), engine->config().cache_geometry, engine->config().cost_params),
+      hot_(engine->config().hot_tuple_capacity),
+      versions_(engine->config().version_gc_threshold) {
+  const EngineConfig& cfg = engine->config();
+  const bool flush_log = LogIsFlushed(cfg.log_mode);
+  const uint64_t slot_bytes =
+      cfg.log_mode == LogMode::kNone ? kCacheLineSize * 2 : cfg.log_slot_bytes;
+  const uint32_t slots = cfg.log_mode == LogMode::kNone ? 4 : cfg.EffectiveLogSlots();
+  log_ = std::make_unique<LogWindow>(&engine->arena(), log_base, slots, slot_bytes, flush_log);
+}
+
+Txn Worker::Begin(bool read_only) { return Txn(this, read_only); }
+
+void Worker::ResetStats() {
+  stats_ = WorkerStats{};
+  ctx_.ResetClock();
+}
+
+// ---- Engine lifecycle -----------------------------------------------------
+
+Engine::Engine(NvmDevice* device, EngineConfig config, uint32_t workers)
+    : device_(device),
+      config_(std::move(config)),
+      arena_(NvmArena::IsFormatted(*device) ? NvmArena::Open(device) : NvmArena::Format(device)) {
+  if (config_.index_placement == IndexPlacement::kNvm) {
+    index_space_ = std::make_unique<NvmIndexSpace>(&arena_);
+  } else {
+    index_space_ = std::make_unique<DramIndexSpace>();
+  }
+  Superblock* sb = GetSuperblock(arena_);
+  if (sb->worker_count == 0) {
+    FormatFresh(workers);
+  } else {
+    OpenExisting(workers);
+  }
+}
+
+Engine::~Engine() = default;
+
+// Bytes of one worker's log region given the engine configuration.
+static uint64_t LogRegionBytes(const EngineConfig& cfg) {
+  const uint64_t slot_bytes =
+      cfg.log_mode == LogMode::kNone ? kCacheLineSize * 2 : cfg.log_slot_bytes;
+  const uint32_t slots = cfg.log_mode == LogMode::kNone ? 4 : cfg.EffectiveLogSlots();
+  return LogWindow::RegionBytes(slots, slot_bytes);
+}
+
+void Engine::FormatFresh(uint32_t workers) {
+  Superblock* sb = GetSuperblock(arena_);
+  sb->worker_count = workers;
+  lock_gen_ = sb->generation.load(std::memory_order_relaxed);
+
+  ThreadContext setup_ctx(0, device_, config_.cache_geometry, config_.cost_params);
+  const uint64_t region = LogRegionBytes(config_);
+  for (uint32_t t = 0; t < workers; ++t) {
+    const uint64_t pages = (region + kPageDataStart + kPageSize - 1) / kPageSize;
+    const PmOffset base = arena_.AllocContiguousPages(pages, PagePurpose::kLogWindow, t, 0);
+    sb->log_windows[t] = base + kPageDataStart;
+    // Zero the slot headers so every slot starts kFree.
+    std::memset(arena_.Ptr<void>(sb->log_windows[t]), 0, region);
+  }
+  AttachWorkers(workers);
+}
+
+void Engine::OpenExisting(uint32_t workers) {
+  const auto t_start = std::chrono::steady_clock::now();
+  RecoveryReport report;
+  report.recovered = true;
+
+  Superblock* sb = GetSuperblock(arena_);
+  if (sb->worker_count != workers) {
+    // Recovery must reuse the pre-crash log-region layout.
+    workers = static_cast<uint32_t>(sb->worker_count);
+  }
+  lock_gen_ = sb->generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  ThreadContext ctx(0, device_, config_.cache_geometry, config_.cost_params);
+
+  // Stage 1: catalog + in-DRAM structures (tables, heaps, workers).
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < sb->table_count; ++i) {
+    if (sb->tables[i].in_use != 0) {
+      AttachTable(&sb->tables[i], ctx, /*fresh=*/false);
+    }
+  }
+  AttachWorkers(workers);
+
+  // Restart the TID clock above every pre-crash timestamp by scanning the
+  // log slots (paper §5.2.1 footnote 2: "Falcon recovers monotonic
+  // increasing timestamps by scanning the logs").
+  uint64_t floor = sb->max_committed_tid.load(std::memory_order_relaxed);
+  for (uint32_t t = 0; t < workers; ++t) {
+    LogWindow& log = *workers_[t]->log_;
+    for (uint32_t s = 0; s < log.slot_count(); ++s) {
+      floor = std::max(floor, log.SlotAt(s)->tid);
+    }
+  }
+  tid_gen_.Reset(floor);
+  report.catalog_ms = ElapsedMs(t0);
+
+  // Stage 2: persistent index recovery (instant for Dash/NBTree-style).
+  t0 = std::chrono::steady_clock::now();
+  if (config_.index_placement == IndexPlacement::kNvm) {
+    for (auto& table : tables_) {
+      table.index->Recover(ctx);
+    }
+  }
+  report.index_ms = ElapsedMs(t0);
+
+  // Stage 3: log replay (in-place) or heap reconciliation (out-of-place).
+  t0 = std::chrono::steady_clock::now();
+  if (config_.update_mode == UpdateMode::kInPlace) {
+    RecoverInPlace(ctx, report);
+  } else {
+    RecoverOutOfPlace(ctx, report);
+  }
+  report.replay_ms = ElapsedMs(t0);
+
+  // Stage 4: DRAM indexes must be rebuilt from a full heap scan — the
+  // recovery cost the paper's ZenS comparison highlights (§6.5).
+  t0 = std::chrono::steady_clock::now();
+  if (config_.index_placement == IndexPlacement::kDram) {
+    RebuildDramIndexes(ctx, report);
+  }
+  report.rebuild_ms = ElapsedMs(t0);
+
+  sb->max_committed_tid.store(floor, std::memory_order_relaxed);
+  report.total_ms = ElapsedMs(t_start);
+  recovery_report_ = report;
+}
+
+void Engine::AttachWorkers(uint32_t workers) {
+  Superblock* sb = GetSuperblock(arena_);
+  workers_.clear();
+  workers_.reserve(workers);
+  for (uint32_t t = 0; t < workers; ++t) {
+    workers_.push_back(std::unique_ptr<Worker>(new Worker(this, t, sb->log_windows[t])));
+  }
+}
+
+void Engine::AttachTable(TableMeta* meta, ThreadContext& ctx, bool fresh) {
+  TableRuntime runtime;
+  runtime.meta = meta;
+  runtime.heap = std::make_unique<TupleHeap>(&arena_, meta);
+
+  // Reclamation hooks: a tombstone is not reusable while a reviving
+  // transaction holds its lock, and its stale index entry is removed right
+  // before the slot is recycled.
+  const bool two_pl = BaseScheme(config_.cc) == CcScheme::k2pl;
+  runtime.heap->SetReclaimHooks(
+      [this, two_pl](const TupleHeader* header) {
+        const uint64_t word = header->cc_word.load(std::memory_order_acquire);
+        if (two_pl) {
+          const uint64_t norm = Normalize2pl(word, lock_gen_);
+          return (norm & (k2plWriteBit | k2plReaderMask)) != 0;
+        }
+        return IsLockedTs(word);
+      },
+      [this, id = meta->id](ThreadContext& hook_ctx, uint64_t key, PmOffset offset) {
+        Index& index = *tables_[id].index;
+        if (index.Lookup(hook_ctx, key) == offset) {
+          index.Remove(hook_ctx, key);
+        }
+      });
+
+  const auto kind = static_cast<IndexKind>(meta->index_kind);
+  const bool persistent = config_.index_placement == IndexPlacement::kNvm;
+  if (kind == IndexKind::kBTree) {
+    if (persistent && !fresh) {
+      runtime.index = std::make_unique<BTreeIndex>(index_space_.get(),
+                                                   static_cast<IndexHandle>(meta->index_root));
+    } else {
+      auto index = std::make_unique<BTreeIndex>(index_space_.get(), ctx);
+      if (persistent) {
+        meta->index_root = index->root_handle();
+      }
+      runtime.index = std::move(index);
+    }
+  } else if (kind == IndexKind::kArt) {
+    if (persistent && !fresh) {
+      runtime.index = std::make_unique<ArtIndex>(index_space_.get(),
+                                                 static_cast<IndexHandle>(meta->index_root));
+    } else {
+      auto index = std::make_unique<ArtIndex>(index_space_.get(), ctx);
+      if (persistent) {
+        meta->index_root = index->root_handle();
+      }
+      runtime.index = std::move(index);
+    }
+  } else {
+    if (persistent && !fresh) {
+      runtime.index = std::make_unique<HashIndex>(index_space_.get(),
+                                                  static_cast<IndexHandle>(meta->index_root));
+    } else {
+      auto index = std::make_unique<HashIndex>(index_space_.get(), ctx);
+      if (persistent) {
+        meta->index_root = index->root_handle();
+      }
+      runtime.index = std::move(index);
+    }
+  }
+  runtime.index->set_flush_writes(config_.flush_policy == FlushPolicy::kAll);
+
+  if (config_.use_tuple_cache) {
+    // (Re)create the cache sized for the largest tuple across all tables.
+    // Tables are created during setup, before transactions run, so the
+    // recreation never races workers.
+    uint64_t largest = meta->tuple_data_size;
+    for (const auto& t : tables_) {
+      if (t.meta != nullptr) {
+        largest = std::max(largest, t.meta->tuple_data_size);
+      }
+    }
+    tuple_cache_ =
+        std::make_unique<TupleCache>(config_.tuple_cache_slots, static_cast<uint32_t>(largest));
+  }
+
+  const auto id = static_cast<TableId>(meta->id);
+  if (tables_.size() <= id) {
+    tables_.resize(id + 1);
+  }
+  tables_[id] = std::move(runtime);
+}
+
+TableId Engine::CreateTable(const SchemaBuilder& schema, IndexKind index_kind) {
+  TableMeta* meta = falcon::CreateTable(arena_, schema, index_kind);
+  if (meta == nullptr) {
+    return kInvalidTable;  // catalog full or duplicate name
+  }
+  ThreadContext ctx(0, device_, config_.cache_geometry, config_.cost_params);
+  AttachTable(meta, ctx, /*fresh=*/true);
+  return meta->id;
+}
+
+std::optional<TableId> Engine::FindTableId(std::string_view name) const {
+  Superblock* sb = GetSuperblock(arena_);
+  for (uint64_t i = 0; i < sb->table_count; ++i) {
+    if (sb->tables[i].in_use != 0 && name == sb->tables[i].name) {
+      return sb->tables[i].id;
+    }
+  }
+  return std::nullopt;
+}
+
+uint64_t Engine::MinActiveTid() const {
+  return active_tids_.MinActive(tid_gen_.UpperBound());
+}
+
+WorkerStats Engine::AggregateStats() const {
+  WorkerStats total;
+  for (const auto& worker : workers_) {
+    total.commits += worker->stats().commits;
+    total.aborts += worker->stats().aborts;
+    total.reads += worker->stats().reads;
+    total.writes += worker->stats().writes;
+    total.sim_ns = std::max(total.sim_ns, worker->stats().sim_ns + worker->ctx_.sim_ns());
+  }
+  return total;
+}
+
+// ---- Recovery: in-place (log replay, §5.3) --------------------------------
+
+void Engine::RecoverInPlace(ThreadContext& ctx, RecoveryReport& report) {
+  const bool nvm_index = config_.index_placement == IndexPlacement::kNvm;
+
+  // Collect every non-free slot and replay committed ones in TID order so
+  // overlapping writes from different threads re-apply in serialization
+  // order.
+  struct PendingSlot {
+    uint64_t tid;
+    LogSlotHeader* slot;
+    bool committed;
+  };
+  std::vector<PendingSlot> pending;
+  for (auto& worker : workers_) {
+    LogWindow& log = *worker->log_;
+    for (uint32_t s = 0; s < log.slot_count(); ++s) {
+      LogSlotHeader* slot = log.SlotAt(s);
+      const auto state = static_cast<SlotState>(slot->state.load(std::memory_order_acquire));
+      if (state == SlotState::kCommitted) {
+        pending.push_back({slot->tid, slot, true});
+      } else if (state == SlotState::kUncommitted) {
+        pending.push_back({slot->tid, slot, false});
+      }
+    }
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingSlot& a, const PendingSlot& b) { return a.tid < b.tid; });
+
+  for (const PendingSlot& p : pending) {
+    LogSlotHeader* slot = p.slot;
+    std::byte* payload = LogWindow::SlotPayload(slot);
+    uint64_t pos = 0;
+    for (uint64_t e = 0; e < slot->entry_count; ++e) {
+      LogEntryHeader entry;
+      std::memcpy(&entry, payload + pos, sizeof(entry));
+      ctx.TouchLoad(payload + pos, sizeof(entry) + entry.len);
+      const std::byte* value = payload + pos + sizeof(entry);
+      pos += sizeof(entry) + entry.len;
+
+      TableRuntime& table = tables_[entry.table_id];
+      TupleHeader* header = table.heap->Header(entry.tuple);
+
+      if (p.committed) {
+        switch (static_cast<LogOpKind>(entry.kind)) {
+          case LogOpKind::kUpdate:
+            ctx.Store(TupleData(header) + entry.offset, value, entry.len);
+            break;
+          case LogOpKind::kInsert:
+            // Tuple data persisted at execution time (eADR); just make sure
+            // the index reaches it.
+            if (nvm_index && table.index->Lookup(ctx, entry.key) != entry.tuple) {
+              table.index->Insert(ctx, entry.key, entry.tuple);
+            }
+            break;
+          case LogOpKind::kDelete:
+            if ((header->flags.load(std::memory_order_relaxed) & kTupleDeleted) == 0) {
+              table.heap->MarkDeleted(ctx, entry.tuple, slot->tid);
+            }
+            if (nvm_index) {
+              table.index->Remove(ctx, entry.key);
+            }
+            break;
+        }
+        // Clear the lock and stamp the committing TID (replaying "clears the
+        // lock bits", §6.5). 2PL generations make its locks self-clearing;
+        // the TO/OCC word carries the write timestamp.
+        if (config_.cc == CcScheme::k2pl || config_.cc == CcScheme::kMv2pl) {
+          header->read_ts.store(slot->tid, std::memory_order_relaxed);
+        } else {
+          header->cc_word.store(slot->tid & kCcTsMask, std::memory_order_relaxed);
+        }
+        ctx.TouchStore(header, sizeof(TupleHeader));
+      } else {
+        // Uncommitted: tuples are untouched (redo-only logging); undo the
+        // execution-time side effects of inserts and clear lock bits.
+        if (static_cast<LogOpKind>(entry.kind) == LogOpKind::kInsert) {
+          if (nvm_index && table.index->Lookup(ctx, entry.key) == entry.tuple) {
+            table.index->Remove(ctx, entry.key);
+          }
+          if ((header->flags.load(std::memory_order_relaxed) & kTupleDeleted) == 0) {
+            table.heap->MarkDeleted(ctx, entry.tuple, /*delete_tid=*/0);
+          }
+        } else {
+          const uint64_t w = header->cc_word.load(std::memory_order_relaxed);
+          if (config_.cc != CcScheme::k2pl && config_.cc != CcScheme::kMv2pl &&
+              IsLockedTs(w)) {
+            header->cc_word.store(TsOf(w), std::memory_order_relaxed);
+            ctx.TouchStore(header, sizeof(uint64_t));
+          }
+        }
+      }
+    }
+    if (p.committed) {
+      ++report.slots_replayed;
+    } else {
+      ++report.slots_discarded;
+    }
+    slot->state.store(static_cast<uint64_t>(SlotState::kFree), std::memory_order_release);
+  }
+}
+
+// ---- Recovery: out-of-place (heap reconciliation) --------------------------
+
+void Engine::RecoverOutOfPlace(ThreadContext& ctx, RecoveryReport& report) {
+  // Commit records: a transaction is committed iff its versions carry the
+  // committed flag, or its TID appears in a slot marked COMMITTED.
+  std::unordered_set<uint64_t> committed_tids;
+  for (auto& worker : workers_) {
+    LogWindow& log = *worker->log_;
+    for (uint32_t s = 0; s < log.slot_count(); ++s) {
+      LogSlotHeader* slot = log.SlotAt(s);
+      const auto state = static_cast<SlotState>(slot->state.load(std::memory_order_acquire));
+      if (state == SlotState::kCommitted) {
+        committed_tids.insert(slot->tid);
+        ++report.slots_replayed;
+      } else if (state == SlotState::kUncommitted) {
+        ++report.slots_discarded;
+      }
+      slot->state.store(static_cast<uint64_t>(SlotState::kFree), std::memory_order_release);
+    }
+  }
+
+  const bool nvm_index = config_.index_placement == IndexPlacement::kNvm;
+  for (auto& table : tables_) {
+    if (table.meta == nullptr) {
+      continue;
+    }
+    // Latest committed version per key (the scan the paper times at 9.4s for
+    // ZenS on a 256GB heap).
+    struct Winner {
+      PmOffset tuple;
+      uint64_t ts;
+    };
+    std::unordered_map<uint64_t, Winner> winners;
+    std::vector<PmOffset> losers;
+    table.heap->ForEachSlot([&](PmOffset offset, TupleHeader* header) {
+      ++report.tuples_scanned;
+      ctx.TouchLoad(header, sizeof(TupleHeader));
+      const uint64_t flags = header->flags.load(std::memory_order_relaxed);
+      if ((flags & kTupleDeleted) != 0) {
+        return;  // old version already retired
+      }
+      const uint64_t word = header->cc_word.load(std::memory_order_relaxed);
+      const uint64_t ts = BaseScheme(config_.cc) == CcScheme::k2pl
+                              ? header->read_ts.load(std::memory_order_relaxed)
+                              : TsOf(word);
+      const bool committed =
+          (flags & kTupleCommitted) != 0 || committed_tids.count(ts) != 0;
+      if (!committed) {
+        losers.push_back(offset);
+        return;
+      }
+      const auto it = winners.find(header->key);
+      if (it == winners.end()) {
+        winners.emplace(header->key, Winner{offset, ts});
+      } else if (ts > it->second.ts) {
+        losers.push_back(it->second.tuple);
+        it->second = Winner{offset, ts};
+      } else {
+        losers.push_back(offset);
+      }
+    });
+
+    for (const PmOffset loser : losers) {
+      TupleHeader* header = table.heap->Header(loser);
+      if (nvm_index && table.index->Lookup(ctx, header->key) == loser) {
+        // The index still points at a discarded version (e.g. an insert
+        // whose transaction never committed): repoint or remove it.
+        const auto it = winners.find(header->key);
+        if (it != winners.end()) {
+          table.index->Update(ctx, header->key, it->second.tuple);
+        } else {
+          table.index->Remove(ctx, header->key);
+        }
+      }
+      if ((header->flags.load(std::memory_order_relaxed) & kTupleDeleted) == 0) {
+        table.heap->MarkDeleted(ctx, loser, /*delete_tid=*/0);
+      }
+    }
+    for (auto& [key, winner] : winners) {
+      TupleHeader* header = table.heap->Header(winner.tuple);
+      if (BaseScheme(config_.cc) == CcScheme::k2pl) {
+        header->read_ts.store(winner.ts, std::memory_order_relaxed);
+        header->cc_word.store(0, std::memory_order_relaxed);  // stale gen = unlocked
+      } else {
+        header->cc_word.store(winner.ts, std::memory_order_relaxed);
+      }
+      header->flags.fetch_or(kTupleCommitted, std::memory_order_relaxed);
+      ctx.TouchStore(header, sizeof(TupleHeader));
+      if (nvm_index) {
+        if (table.index->Update(ctx, key, winner.tuple) == Status::kNotFound) {
+          table.index->Insert(ctx, key, winner.tuple);
+        }
+      }
+    }
+  }
+}
+
+void Engine::RebuildDramIndexes(ThreadContext& ctx, RecoveryReport& report) {
+  const bool out_of_place = config_.update_mode == UpdateMode::kOutOfPlace;
+  for (auto& table : tables_) {
+    if (table.meta == nullptr) {
+      continue;
+    }
+    table.heap->ForEachSlot([&](PmOffset offset, TupleHeader* header) {
+      ++report.tuples_scanned;
+      ctx.TouchLoad(header, sizeof(TupleHeader));
+      const uint64_t flags = header->flags.load(std::memory_order_relaxed);
+      if ((flags & kTupleDeleted) != 0) {
+        return;
+      }
+      if (out_of_place && (flags & kTupleCommitted) == 0) {
+        return;
+      }
+      table.index->Insert(ctx, header->key, offset);
+    });
+  }
+}
+
+}  // namespace falcon

@@ -1,0 +1,336 @@
+// The Falcon OLTP engine (paper §5) and its comparison configurations.
+//
+// One Engine instance owns a simulated NVM device's arena: catalog, tuple
+// heaps, (optionally NVM-resident) indexes, and the per-thread log regions.
+// Worker objects are per-thread sessions; Txn is the transaction handle.
+//
+// Typical use:
+//
+//   NvmDevice dev(1ull << 30);
+//   Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), /*workers=*/4);
+//   TableId t = engine.CreateTable(schema, IndexKind::kHash);
+//   Worker& w = engine.worker(0);
+//   Txn txn = w.Begin();
+//   txn.Insert(t, key, data);
+//   if (txn.Commit() != Status::kOk) { /* retry */ }
+//
+// Crash testing: construct an Engine over a device that already holds a
+// formatted arena and it recovers automatically (replaying the small log
+// windows, re-attaching or rebuilding indexes); see RecoveryReport.
+
+#ifndef SRC_CORE_ENGINE_H_
+#define SRC_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cc/cc_scheme.h"
+#include "src/cc/tid.h"
+#include "src/core/config.h"
+#include "src/core/hot_tuple_set.h"
+#include "src/core/log_window.h"
+#include "src/core/tuple_cache.h"
+#include "src/index/index.h"
+#include "src/pmem/catalog.h"
+#include "src/sim/thread_context.h"
+#include "src/storage/schema.h"
+#include "src/storage/tuple_heap.h"
+#include "src/storage/version_heap.h"
+
+namespace falcon {
+
+using TableId = uint64_t;
+inline constexpr TableId kInvalidTable = UINT64_MAX;
+
+// Test-only crash injection points inside Commit() (§5.3 scenarios). When the
+// engine's crash hook fires at one of these points, Commit throws
+// TxnCrashed, freezing all engine state exactly as a power failure under
+// eADR would.
+enum class CrashPoint : uint8_t {
+  kNone = 0,
+  kBeforeCommitMark,  // write set logged but state still UNCOMMITTED
+  kAfterCommitMark,   // state = COMMITTED, tuples not yet modified
+  kMidApply,          // some tuples modified, some not
+  kAfterApply,        // all modified, locks possibly still held
+};
+
+struct TxnCrashed {
+  CrashPoint point = CrashPoint::kNone;
+};
+
+struct RecoveryReport {
+  bool recovered = false;        // false when the arena was freshly formatted
+  double catalog_ms = 0;         // re-open catalog + in-DRAM structures
+  double index_ms = 0;           // persistent-index Recover() calls
+  double replay_ms = 0;          // log replay / undo (in-place engines)
+  double rebuild_ms = 0;         // heap scan + DRAM index rebuild (if needed)
+  double total_ms = 0;
+  uint64_t slots_replayed = 0;   // committed write sets re-applied
+  uint64_t slots_discarded = 0;  // uncommitted write sets undone/ignored
+  uint64_t tuples_scanned = 0;   // heap-scan recovery work (ZenS path)
+};
+
+struct WorkerStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t sim_ns = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+};
+
+class Engine;
+class Worker;
+
+// A transaction handle. Not thread safe; lives on one worker.
+class Txn {
+ public:
+  // Not movable or copyable: C++17 guaranteed elision covers `Txn t =
+  // worker.Begin();`, and a second live handle could double-rollback.
+  Txn(Txn&&) = delete;
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+  Txn& operator=(Txn&&) = delete;
+
+  // A transaction dropped while still active rolls back.
+  ~Txn() {
+    if (active_) {
+      Abort();
+    }
+  }
+
+  // Reads the whole tuple data for `key` into `out` (tuple_data_size bytes).
+  Status Read(TableId table, uint64_t key, void* out);
+
+  // Reads one column.
+  Status ReadColumn(TableId table, uint64_t key, uint32_t column, void* out);
+
+  // Overwrites one column.
+  Status UpdateColumn(TableId table, uint64_t key, uint32_t column, const void* value);
+
+  // Overwrites an arbitrary byte range of the tuple data.
+  Status UpdatePartial(TableId table, uint64_t key, uint32_t offset, uint32_t len,
+                       const void* value);
+
+  // Overwrites the whole tuple data.
+  Status UpdateFull(TableId table, uint64_t key, const void* value);
+
+  // Inserts a new tuple. kDuplicate if the key exists.
+  Status Insert(TableId table, uint64_t key, const void* data);
+
+  // Deletes the tuple (delete-flag + deferred reclamation, §5.4).
+  Status Delete(TableId table, uint64_t key);
+
+  // Ordered scan (B+tree tables only): visits tuples with key in
+  // [start_key, end_key], ascending, up to `limit`. The visitor gets the key
+  // and the tuple data snapshot.
+  Status Scan(TableId table, uint64_t start_key, uint64_t end_key, size_t limit,
+              const std::function<void(uint64_t, const std::byte*)>& visit);
+
+  // Two-phase commit epilogue per Algorithm 1. On kAborted all effects are
+  // rolled back and the caller may retry.
+  Status Commit();
+
+  // Explicit abort; releases locks and the log slot.
+  void Abort();
+
+  uint64_t tid() const { return tid_; }
+  bool read_only() const { return read_only_; }
+
+ private:
+  friend class Worker;
+
+  struct ReadEntry {
+    TupleHeader* header;
+    uint64_t observed;  // cc_word snapshot (OCC validation)
+  };
+
+  struct LockEntry {
+    TupleHeader* header;
+    bool write;               // 2PL: read vs write lock; TO/OCC always write
+    uint64_t restore_ts = 0;  // TO/OCC: pre-lock timestamp for abort
+  };
+
+  struct WriteEntry {
+    TableId table;
+    uint64_t key;
+    PmOffset tuple;       // target (in-place) or current head (out-of-place)
+    LogOpKind kind;
+    uint32_t offset;
+    uint32_t len;
+    uint64_t payload_pos;  // byte offset of payload inside the log slot
+    uint64_t observed;     // cc_word snapshot at op time (OCC)
+    PmOffset new_version;  // out-of-place: freshly written version
+  };
+
+  Txn(Worker* worker, bool read_only);
+
+  // Resolves key -> tuple offset via the table's index.
+  PmOffset Lookup(TableId table, uint64_t key);
+
+  // CC-checked stable read of tuple data into out (nullptr = presence only).
+  Status ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out);
+
+  // Raw data copy, optionally served by the ZenS DRAM tuple cache.
+  void ReadTupleData(TableId table, uint64_t key, TupleHeader* header, void* out,
+                     uint32_t data_size);
+
+  // Multi-version snapshot read for read-only transactions.
+  Status ReadSnapshot(TableId table, uint64_t key, PmOffset tuple, void* out);
+
+  // Common write-intent path: CC admission + redo buffering.
+  Status WriteIntent(TableId table, uint64_t key, LogOpKind kind, uint32_t offset,
+                     uint32_t len, const void* value);
+
+  // Out-of-place: writes the new version into the heap at execution time.
+  Status OutOfPlaceIntent(TableId table, uint64_t key, PmOffset tuple, LogOpKind kind,
+                          uint32_t offset, uint32_t len, const void* value, uint64_t observed,
+                          bool allow_reclaim = true);
+
+  // CC admission for a write (locks for 2PL/TO, observation for OCC).
+  Status AdmitWrite(PmOffset tuple, TupleHeader* header, uint64_t* observed_out);
+
+  Status CommitInPlace();
+  Status CommitOutOfPlace();
+
+  // Copies the pre-image into the DRAM version heap and links the chain.
+  void CreateDramVersion(TableId table, TupleHeader* header);
+
+  // Installs write_ts = tid and releases the tuple (Algorithm 1 line 5).
+  void FinalizeTuple(TupleHeader* header);
+
+  // Out-of-place apply helpers: stamp a committed version / retire the
+  // superseded head while preserving its creation timestamp.
+  void StampCommitted(TupleHeader* header);
+  void RetireOldVersion(TupleHeader* header, bool superseded);
+
+  // The tuple's commit timestamp under the current scheme.
+  uint64_t WriteTsOf(TupleHeader* header) const;
+
+  bool EnsureSlot();
+  LockEntry* FindLock(TupleHeader* header);
+  bool WriteSetContains(PmOffset tuple) const;
+  void ReleaseLocks();
+  void MaybeCrash(CrashPoint point);
+
+  // Overlays this txn's pending writes of `tuple` onto `buf` (read-own-writes).
+  void OverlayPendingWrites(PmOffset tuple, std::byte* buf, uint32_t data_size);
+
+  Worker* worker_;
+  uint64_t tid_;
+  bool read_only_;
+  bool active_ = true;
+  bool slot_open_ = false;
+  std::vector<ReadEntry> read_set_;
+  std::vector<WriteEntry> write_set_;
+  std::vector<LockEntry> locks_;  // 2PL locks / TO write locks held
+};
+
+// Per-thread session: simulation context, small log window, hot tuple set,
+// version heap.
+class Worker {
+ public:
+  Txn Begin(bool read_only = false);
+
+  ThreadContext& ctx() { return ctx_; }
+  uint32_t id() const { return id_; }
+  Engine* engine() { return engine_; }
+  const WorkerStats& stats() const { return stats_; }
+  void ResetStats();
+
+ private:
+  friend class Engine;
+  friend class Txn;
+
+  Worker(Engine* engine, uint32_t id, PmOffset log_base);
+
+  Engine* engine_;
+  uint32_t id_;
+  ThreadContext ctx_;
+  std::unique_ptr<LogWindow> log_;
+  HotTupleSet hot_;
+  VersionHeap versions_;
+  WorkerStats stats_;
+};
+
+class Engine {
+ public:
+  // Formats a fresh database on `device`, or — if the device already holds a
+  // formatted arena — opens it and runs recovery (§5.3).
+  Engine(NvmDevice* device, EngineConfig config, uint32_t workers);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Creates a table (fresh databases only; tables are re-attached on open).
+  // Returns kInvalidTable when the catalog is full or the name is taken.
+  TableId CreateTable(const SchemaBuilder& schema, IndexKind index_kind);
+
+  // Looks up a table id by name (after recovery).
+  std::optional<TableId> FindTableId(std::string_view name) const;
+
+  Worker& worker(uint32_t id) { return *workers_[id]; }
+  uint32_t worker_count() const { return static_cast<uint32_t>(workers_.size()); }
+
+  const EngineConfig& config() const { return config_; }
+  NvmArena& arena() { return arena_; }
+  NvmDevice* device() { return device_; }
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+
+  uint64_t TupleDataSize(TableId table) const { return tables_[table].meta->tuple_data_size; }
+  const TableMeta& table_meta(TableId table) const { return *tables_[table].meta; }
+  Index& table_index(TableId table) { return *tables_[table].index; }
+  TupleHeap& table_heap(TableId table) { return *tables_[table].heap; }
+
+  // Oldest in-flight TID (GC horizon).
+  uint64_t MinActiveTid() const;
+
+  // Test hook: the next time any commit passes `point`, throw TxnCrashed.
+  void ArmCrashPoint(CrashPoint point) { crash_point_.store(static_cast<uint8_t>(point)); }
+
+  // Aggregated worker stats + device stats for benchmark reporting.
+  WorkerStats AggregateStats() const;
+
+ private:
+  friend class Txn;
+  friend class Worker;
+
+  struct TableRuntime {
+    TableMeta* meta = nullptr;
+    std::unique_ptr<TupleHeap> heap;
+    std::unique_ptr<Index> index;
+  };
+
+  void FormatFresh(uint32_t workers);
+  void OpenExisting(uint32_t workers);
+  void AttachWorkers(uint32_t workers);
+  void AttachTable(TableMeta* meta, ThreadContext& ctx, bool fresh);
+
+  // Recovery stages (§5.3).
+  void RecoverInPlace(ThreadContext& ctx, RecoveryReport& report);
+  void RecoverOutOfPlace(ThreadContext& ctx, RecoveryReport& report);
+  void RebuildDramIndexes(ThreadContext& ctx, RecoveryReport& report);
+
+  // Current 8-bit lock generation (stale 2PL lock words decode as free).
+  uint64_t lock_generation() const { return lock_gen_; }
+
+  NvmDevice* device_;
+  EngineConfig config_;
+  NvmArena arena_;
+  std::vector<TableRuntime> tables_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<IndexSpace> index_space_;
+  std::unique_ptr<TupleCache> tuple_cache_;
+  TidGenerator tid_gen_;
+  ActiveTidTable active_tids_;
+  uint64_t lock_gen_ = 1;
+  std::atomic<uint8_t> crash_point_{0};
+  RecoveryReport recovery_report_;
+};
+
+}  // namespace falcon
+
+#endif  // SRC_CORE_ENGINE_H_

@@ -1,0 +1,63 @@
+// Hot tuple tracking (paper D2, §4.4): a small per-thread LRU of tuple
+// offsets. Tuples found in the set are NOT hint-flushed at commit — repeated
+// updates to hot tuples coalesce in the (persistent) cache instead of being
+// written to NVM over and over. Tuples missing from the set are flushed and
+// then cached (Algorithm 1, lines 9-11).
+
+#ifndef SRC_CORE_HOT_TUPLE_SET_H_
+#define SRC_CORE_HOT_TUPLE_SET_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/pmem/arena.h"
+
+namespace falcon {
+
+class HotTupleSet {
+ public:
+  explicit HotTupleSet(size_t capacity) : capacity_(capacity) {}
+
+  // True if `tuple` is tracked as hot. Refreshes its recency.
+  bool Contains(PmOffset tuple) {
+    const auto it = map_.find(tuple);
+    if (it == map_.end()) {
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+
+  // Starts tracking `tuple`, evicting the coldest entry if full.
+  void Cache(PmOffset tuple) {
+    const auto it = map_.find(tuple);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(tuple);
+    map_[tuple] = lru_.begin();
+  }
+
+  void Clear() {
+    map_.clear();
+    lru_.clear();
+  }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::list<PmOffset> lru_;
+  std::unordered_map<PmOffset, std::list<PmOffset>::iterator> map_;
+};
+
+}  // namespace falcon
+
+#endif  // SRC_CORE_HOT_TUPLE_SET_H_

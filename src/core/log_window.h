@@ -1,0 +1,133 @@
+// The small log window (paper D1, §4.3) and its conventional large-log
+// cousin, unified: a per-thread circular array of redo-log slots living at
+// NVM addresses.
+//
+// One slot holds the write set of one transaction:
+//
+//   SlotHeader { state, tid, bytes, entry_count }
+//   entry*     { table_id, key, tuple (PmOffset), kind, offset, len, payload }
+//
+// The slot state drives recovery (paper §5.2.2, Algorithm 1):
+//   kFree / kUncommitted -> the transaction never committed; tuples are
+//                           untouched; discard.
+//   kCommitted           -> replay every entry (entries are idempotent
+//                           by construction: they record absolute values).
+//
+// Falcon's configuration (3 slots x 16KB) keeps the whole window inside the
+// CPU cache: the circular reuse gives the lines enough temporal locality
+// that they are never evicted, so logging generates zero NVM media writes
+// while remaining persistent under eADR.
+
+#ifndef SRC_CORE_LOG_WINDOW_H_
+#define SRC_CORE_LOG_WINDOW_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/pmem/arena.h"
+#include "src/pmem/catalog.h"
+#include "src/sim/thread_context.h"
+
+namespace falcon {
+
+enum class SlotState : uint64_t {
+  kFree = 0,
+  kUncommitted = 1,
+  kCommitted = 2,
+};
+
+enum class LogOpKind : uint32_t {
+  kUpdate = 0,  // overwrite [offset, offset+len) of the tuple data
+  kInsert = 1,  // full tuple image; replay re-links the index
+  kDelete = 2,  // raise the delete flag; replay re-removes from the index
+};
+
+struct LogSlotHeader {
+  std::atomic<uint64_t> state{};  // SlotState
+  uint64_t tid = 0;
+  uint64_t bytes = 0;  // payload bytes used (entries, excluding this header)
+  uint64_t entry_count = 0;
+};
+static_assert(sizeof(LogSlotHeader) == 32);
+
+struct LogEntryHeader {
+  uint64_t table_id = 0;
+  uint64_t key = 0;
+  PmOffset tuple = kNullPm;
+  uint32_t kind = 0;    // LogOpKind
+  uint32_t offset = 0;  // byte offset within the tuple data area
+  uint32_t len = 0;     // payload length
+  uint32_t pad = 0;
+  // `len` payload bytes follow.
+};
+static_assert(sizeof(LogEntryHeader) == 40);
+
+// View over one thread's log region. The region itself is NVM (allocated at
+// engine creation and registered in the catalog); this class is a volatile
+// cursor over it.
+class LogWindow {
+ public:
+  // `base` points at the thread's log region: `slots` slots of `slot_bytes`
+  // (each beginning with a LogSlotHeader).
+  LogWindow(NvmArena* arena, PmOffset base, uint32_t slots, uint64_t slot_bytes,
+            bool flush_to_nvm)
+      : arena_(arena),
+        base_(base),
+        slots_(slots),
+        slot_bytes_(slot_bytes),
+        flush_to_nvm_(flush_to_nvm) {}
+
+  // Total bytes required for a region with these parameters.
+  static uint64_t RegionBytes(uint32_t slots, uint64_t slot_bytes) {
+    return static_cast<uint64_t>(slots) * slot_bytes;
+  }
+
+  // Opens the next slot for a transaction: state <- kUncommitted, cursor
+  // reset. The previous occupant of the slot is long since applied (commit
+  // is synchronous), so reuse is safe.
+  void OpenSlot(ThreadContext& ctx, uint64_t tid);
+
+  // Appends one redo entry; returns false if the slot cannot fit it (the
+  // caller aborts the transaction — the paper's stated limitation §5.5 ①).
+  bool Append(ThreadContext& ctx, uint64_t table_id, uint64_t key, PmOffset tuple,
+              LogOpKind kind, uint32_t offset, uint32_t len, const void* payload);
+
+  // Durably marks the slot committed. For flushed logs this issues
+  // clwb+sfence over the written bytes first (the conventional protocol);
+  // for window logs persistence comes from eADR and only an sfence is
+  // needed for ordering (§4.3).
+  void MarkCommitted(ThreadContext& ctx);
+
+  // Marks the slot free again (after apply, or on abort).
+  void Release(ThreadContext& ctx);
+
+  // Payload-relative offset where the next Append's value bytes will land
+  // (call before Append; used for read-own-writes overlays).
+  uint64_t NextPayloadPos() const { return write_pos_ + sizeof(LogEntryHeader); }
+
+  LogSlotHeader* current_slot() const { return SlotAt(cursor_); }
+  uint32_t slot_count() const { return slots_; }
+  uint64_t slot_bytes() const { return slot_bytes_; }
+
+  LogSlotHeader* SlotAt(uint32_t i) const {
+    return arena_->Ptr<LogSlotHeader>(base_ + static_cast<uint64_t>(i) * slot_bytes_);
+  }
+
+  // Payload area of a slot.
+  static std::byte* SlotPayload(LogSlotHeader* slot) {
+    return reinterpret_cast<std::byte*>(slot) + sizeof(LogSlotHeader);
+  }
+
+ private:
+  NvmArena* arena_;
+  PmOffset base_;
+  uint32_t slots_;
+  uint64_t slot_bytes_;
+  bool flush_to_nvm_;
+  uint32_t cursor_ = 0;
+  uint64_t write_pos_ = 0;  // payload bytes appended in the open slot
+};
+
+}  // namespace falcon
+
+#endif  // SRC_CORE_LOG_WINDOW_H_

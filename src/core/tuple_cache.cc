@@ -1,0 +1,96 @@
+#include "src/core/tuple_cache.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "src/common/rng.h"
+
+namespace falcon {
+
+TupleCache::TupleCache(size_t slots, uint32_t max_data) : max_data_(max_data) {
+  size_t n = 1;
+  while (n < slots) {
+    n <<= 1;
+  }
+  mask_ = n - 1;
+  slots_ = std::vector<Slot>(n);
+}
+
+TupleCache::Slot& TupleCache::SlotFor(uint64_t table, uint64_t key) {
+  return slots_[Mix64(key * 31 + table) & mask_];
+}
+
+bool TupleCache::Lookup(ThreadContext& ctx, uint64_t table, uint64_t key, uint64_t version_ts,
+                        void* out, uint32_t size) {
+  if (size > max_data_) {
+    return false;
+  }
+  Slot& slot = SlotFor(table, key);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const uint32_t v1 = slot.version.load(std::memory_order_acquire);
+    if ((v1 & 1u) != 0) {
+      continue;
+    }
+    if (!slot.valid || slot.table != table || slot.key != key || slot.size != size ||
+        slot.version_ts != version_ts) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    std::memcpy(out, slot.data.get(), size);
+    ctx.TouchLoad(slot.data.get(), size);  // DRAM-latency read
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.version.load(std::memory_order_acquire) == v1) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void TupleCache::Fill(ThreadContext& ctx, uint64_t table, uint64_t key, uint64_t version_ts,
+                      const void* data, uint32_t size) {
+  if (size > max_data_) {
+    return;
+  }
+  Slot& slot = SlotFor(table, key);
+  std::lock_guard<SpinLatch> guard(slot.write_latch);
+  if (slot.valid && slot.table == table && slot.key == key && slot.version_ts > version_ts) {
+    return;  // never roll a cached tuple back to an older version
+  }
+  slot.version.fetch_add(1, std::memory_order_acquire);  // odd: writers active
+  if (slot.data == nullptr) {
+    slot.data = std::make_unique<std::byte[]>(max_data_);
+  }
+  slot.table = table;
+  slot.key = key;
+  slot.version_ts = version_ts;
+  slot.size = size;
+  slot.valid = true;
+  std::memcpy(slot.data.get(), data, size);
+  ctx.TouchStore(slot.data.get(), size);
+  slot.version.fetch_add(1, std::memory_order_release);
+}
+
+void TupleCache::Invalidate(ThreadContext& ctx, uint64_t table, uint64_t key) {
+  Slot& slot = SlotFor(table, key);
+  std::lock_guard<SpinLatch> guard(slot.write_latch);
+  if (!slot.valid || slot.table != table || slot.key != key) {
+    return;
+  }
+  slot.version.fetch_add(1, std::memory_order_acquire);
+  slot.valid = false;
+  ctx.TouchStore(&slot.valid, sizeof(bool));
+  slot.version.fetch_add(1, std::memory_order_release);
+}
+
+void TupleCache::Clear() {
+  for (Slot& slot : slots_) {
+    std::lock_guard<SpinLatch> guard(slot.write_latch);
+    slot.version.fetch_add(1, std::memory_order_acquire);
+    slot.valid = false;
+    slot.version.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace falcon

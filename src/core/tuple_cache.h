@@ -1,0 +1,71 @@
+// DRAM tuple cache for the ZenS re-implementation (paper §6.2.1: "ZenS ...
+// uses an in-DRAM index and a buffer pool for tuple cache"; Zen's Met-Cache,
+// §7). Read hits serve tuple data at DRAM latency instead of NVM latency.
+//
+// Direct-mapped over (table, key) with per-slot seqlocks: readers copy and
+// validate; writers latch. Capacity misses simply overwrite the slot.
+
+#ifndef SRC_CORE_TUPLE_CACHE_H_
+#define SRC_CORE_TUPLE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/latch.h"
+#include "src/sim/thread_context.h"
+
+namespace falcon {
+
+class TupleCache {
+ public:
+  // `slots` is rounded up to a power of two. `max_data` caps cached tuple
+  // size; larger tuples bypass the cache.
+  TupleCache(size_t slots, uint32_t max_data);
+
+  // Copies the cached data for (table, key) into `out` (exactly `size`
+  // bytes) if the cached copy carries exactly `version_ts` — the caller's
+  // validated view of the tuple. The exact-version match keeps the cache
+  // coherent with CC validation: serving an older (or newer) copy than the
+  // version the transaction validated against would break serializability.
+  bool Lookup(ThreadContext& ctx, uint64_t table, uint64_t key, uint64_t version_ts, void* out,
+              uint32_t size);
+
+  // Installs the cache entry (read-miss fill or update apply) tagged with
+  // the data's version. Never overwrites a newer version with an older one.
+  void Fill(ThreadContext& ctx, uint64_t table, uint64_t key, uint64_t version_ts,
+            const void* data, uint32_t size);
+
+  // Drops the entry for (table, key) if cached (delete path).
+  void Invalidate(ThreadContext& ctx, uint64_t table, uint64_t key);
+
+  void Clear();
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Slot {
+    std::atomic<uint32_t> version{0};  // seqlock: odd = being written
+    SpinLatch write_latch;
+    bool valid = false;
+    uint64_t table = 0;
+    uint64_t key = 0;
+    uint64_t version_ts = 0;
+    uint32_t size = 0;
+    std::unique_ptr<std::byte[]> data;
+  };
+
+  Slot& SlotFor(uint64_t table, uint64_t key);
+
+  size_t mask_;
+  uint32_t max_data_;
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace falcon
+
+#endif  // SRC_CORE_TUPLE_CACHE_H_

@@ -1,0 +1,1188 @@
+// Transaction execution paths: CC admission, redo buffering in the small
+// log window, Algorithm 1 commit (in-place) and the log-free out-of-place
+// commit, snapshot reads, and rollback.
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/cc/locks.h"
+#include "src/core/engine.h"
+
+namespace falcon {
+
+Txn::Txn(Worker* worker, bool read_only) : worker_(worker), read_only_(read_only) {
+  Engine* engine = worker_->engine_;
+  tid_ = engine->tid_gen_.Next(worker_->id_);
+  // Publish before any access: the GC horizon must cover us (§5.4).
+  engine->active_tids_.Publish(worker_->id_, tid_);
+  worker_->ctx_.Work(engine->config().cost_params.txn_overhead_ns);
+}
+
+PmOffset Txn::Lookup(TableId table, uint64_t key) {
+  return worker_->engine_->table_index(table).Lookup(worker_->ctx_, key);
+}
+
+void Txn::MaybeCrash(CrashPoint point) {
+  Engine* engine = worker_->engine_;
+  uint8_t expected = static_cast<uint8_t>(point);
+  if (engine->crash_point_.load(std::memory_order_relaxed) == expected &&
+      engine->crash_point_.compare_exchange_strong(expected, 0)) {
+    // Freeze the transaction: the exception unwinds through the Txn's
+    // destructor, which must NOT roll back — a power failure leaves state
+    // exactly as-is, and that is what recovery is tested against.
+    active_ = false;
+    throw TxnCrashed{point};
+  }
+}
+
+Txn::LockEntry* Txn::FindLock(TupleHeader* header) {
+  for (auto& lock : locks_) {
+    if (lock.header == header) {
+      return &lock;
+    }
+  }
+  return nullptr;
+}
+
+// ---- Reads ------------------------------------------------------------------
+
+Status Txn::Read(TableId table, uint64_t key, void* out) {
+  Engine* engine = worker_->engine_;
+  if (!active_) {
+    return Status::kAborted;
+  }
+  worker_->ctx_.Work(engine->config().cost_params.op_overhead_ns);
+  const PmOffset tuple = Lookup(table, key);
+  if (tuple == kNullPm) {
+    return Status::kNotFound;
+  }
+  if (read_only_ && IsMultiVersion(engine->config().cc)) {
+    return ReadSnapshot(table, key, tuple, out);
+  }
+  const Status s = ReadTuple(table, key, tuple, out);
+  if (s == Status::kAborted) {
+    Abort();
+  }
+  ++worker_->stats_.reads;
+  return s;
+}
+
+Status Txn::ReadColumn(TableId table, uint64_t key, uint32_t column, void* out) {
+  Engine* engine = worker_->engine_;
+  const TableMeta& meta = engine->table_meta(table);
+  if (column >= meta.column_count) {
+    return Status::kInvalidArgument;
+  }
+  // Column reads go through the whole-tuple path with a scratch buffer: the
+  // simulated cost of the extra bytes is what distinguishes columnar access
+  // patterns, and it is charged by Load() below either way. For the large
+  // tuples used in §6.4 a stack buffer would not do; reuse a worker scratch.
+  thread_local std::vector<std::byte> scratch;
+  scratch.resize(meta.tuple_data_size);
+  const Status s = Read(table, key, scratch.data());
+  if (s != Status::kOk) {
+    return s;
+  }
+  std::memcpy(out, scratch.data() + meta.columns[column].offset, meta.columns[column].size);
+  return Status::kOk;
+}
+
+Status Txn::ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out) {
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+  TupleHeap& heap = engine->table_heap(table);
+  TupleHeader* header = heap.Header(tuple);
+  const auto data_size = static_cast<uint32_t>(engine->table_meta(table).tuple_data_size);
+  const CcScheme scheme = BaseScheme(engine->config().cc);
+  const uint64_t gen = engine->lock_generation();
+
+  LockEntry* held = FindLock(header);
+
+  switch (scheme) {
+    case CcScheme::k2pl: {
+      if (held == nullptr && !WriteSetContains(tuple)) {  // own inserts are born locked
+        if (!TryLockRead2pl(header->cc_word, gen)) {
+          return Status::kAborted;  // no-wait (§5.2.1)
+        }
+        ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
+        locks_.push_back(LockEntry{header, /*write=*/false});
+      }
+      if (header->key != key) {
+        return Status::kNotFound;  // slot recycled under a stale index read
+      }
+      const uint64_t flags_2pl = header->flags.load(std::memory_order_acquire);
+      if ((flags_2pl & kTupleSuperseded) != 0) {
+        return Status::kAborted;  // stale head: a newer version exists
+      }
+      if ((flags_2pl & kTupleDeleted) != 0) {
+        return Status::kNotFound;
+      }
+      if (out != nullptr) {
+        ReadTupleData(table, key, header, out, data_size);
+        OverlayPendingWrites(tuple, static_cast<std::byte*>(out), data_size);
+      }
+      return Status::kOk;
+    }
+    case CcScheme::kTo:
+    case CcScheme::kOcc: {
+      const bool mine = held != nullptr || WriteSetContains(tuple);
+      uint64_t observed = 0;
+      for (int attempt = 0;; ++attempt) {
+        observed = header->cc_word.load(std::memory_order_acquire);
+        if (IsLockedTs(observed) && !mine) {
+          return Status::kAborted;  // writer in its commit window: no-wait
+        }
+        if (scheme == CcScheme::kTo && TsOf(observed) > tid_) {
+          return Status::kAborted;  // we would read from our future
+        }
+        const uint64_t cur_flags = header->flags.load(std::memory_order_acquire);
+        if ((cur_flags & kTupleSuperseded) != 0 && !mine) {
+          return Status::kAborted;  // stale head: a newer version exists
+        }
+        if (header->key != key || (cur_flags & kTupleDeleted) != 0) {
+          if (scheme == CcScheme::kOcc && !mine) {
+            read_set_.push_back(ReadEntry{header, observed});
+          }
+          return Status::kNotFound;
+        }
+        if (out != nullptr) {
+          ReadTupleData(table, key, header, out, data_size);
+        }
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (mine || header->cc_word.load(std::memory_order_acquire) == observed) {
+          break;
+        }
+        if (attempt >= 8) {
+          return Status::kAborted;
+        }
+      }
+      if (scheme == CcScheme::kTo) {
+        AdvanceReadTs(header->read_ts, tid_);
+        ctx.TouchStore(&header->read_ts, sizeof(uint64_t));
+      } else if (!mine) {
+        read_set_.push_back(ReadEntry{header, observed});
+      }
+      if (out != nullptr) {
+        OverlayPendingWrites(tuple, static_cast<std::byte*>(out), data_size);
+      }
+      return Status::kOk;
+    }
+    default:
+      return Status::kInternal;
+  }
+}
+
+void Txn::ReadTupleData(TableId table, uint64_t key, TupleHeader* header, void* out,
+                        uint32_t data_size) {
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+  TupleCache* cache = engine->tuple_cache_.get();
+  if (cache == nullptr) {
+    ctx.Load(out, TupleData(header), data_size);
+    return;
+  }
+  // The cache is coherent by version: a hit requires the cached copy to
+  // carry exactly the write timestamp the caller is validating against.
+  const uint64_t version_ts = WriteTsOf(header);
+  if (cache->Lookup(ctx, table, key, version_ts, out, data_size)) {
+    // ZenS: hot data served from DRAM; the header access above already paid
+    // the (unavoidable) NVM metadata cost.
+    return;
+  }
+  ctx.Load(out, TupleData(header), data_size);
+  // Only cache quiescent data: a locked word means a writer is mid-commit.
+  if (!IsLockedTs(header->cc_word.load(std::memory_order_acquire))) {
+    cache->Fill(ctx, table, key, version_ts, out, data_size);
+  }
+}
+
+Status Txn::ReadSnapshot(TableId table, uint64_t key, PmOffset tuple, void* out) {
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+  TupleHeap& heap = engine->table_heap(table);
+  const auto data_size = static_cast<uint32_t>(engine->table_meta(table).tuple_data_size);
+  const uint64_t gen = engine->lock_generation();
+  const bool two_pl = BaseScheme(engine->config().cc) == CcScheme::k2pl;
+
+  if (engine->config().update_mode == UpdateMode::kOutOfPlace) {
+    // Version chain lives in the NVM heap via `prev` offsets. A chained slot
+    // can be reclaimed and rewritten mid-walk, so every observation is
+    // validated after the copy; on any inconsistency the walk restarts from
+    // a fresh index lookup.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      PmOffset cur = attempt == 0 ? tuple : engine->table_index(table).Lookup(ctx, key);
+      if (cur == kNullPm) {
+        return Status::kNotFound;
+      }
+      bool restart = false;
+      while (cur != kNullPm) {
+        TupleHeader* header = heap.Header(cur);
+        ctx.TouchLoad(header, sizeof(TupleHeader));
+        if (header->key != key) {
+          restart = true;  // chained slot was reclaimed and reused
+          break;
+        }
+        const uint64_t word = header->cc_word.load(std::memory_order_acquire);
+        const uint64_t flags = header->flags.load(std::memory_order_acquire);
+        const bool locked =
+            two_pl ? (Normalize2pl(word, gen) & k2plWriteBit) != 0 : IsLockedTs(word);
+        const uint64_t version_ts =
+            two_pl ? header->read_ts.load(std::memory_order_acquire) : TsOf(word);
+        if ((flags & kTupleCommitted) != 0 && !locked && version_ts <= tid_) {
+          if ((flags & kTupleDeleted) != 0 && header->delete_ts <= tid_) {
+            return Status::kNotFound;
+          }
+          ctx.Load(out, TupleData(header), data_size);
+          std::atomic_thread_fence(std::memory_order_acquire);
+          if (header->cc_word.load(std::memory_order_acquire) != word ||
+              header->flags.load(std::memory_order_acquire) != flags) {
+            restart = true;  // version mutated under the copy
+            break;
+          }
+          return Status::kOk;
+        }
+        cur = header->prev.load(std::memory_order_acquire);
+      }
+      if (!restart) {
+        return Status::kNotFound;
+      }
+    }
+    return Status::kAborted;
+  }
+
+  // In-place: old versions live in the DRAM version heap (§5.2.3, Figure 6).
+  TupleHeader* header = heap.Header(tuple);
+  if (header->key != key) {
+    return Status::kNotFound;  // slot recycled under a stale index read
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const uint64_t word = header->cc_word.load(std::memory_order_acquire);
+    ctx.TouchLoad(header, sizeof(TupleHeader));
+    const bool locked =
+        two_pl ? (Normalize2pl(word, gen) & k2plWriteBit) != 0 : IsLockedTs(word);
+    const uint64_t write_ts =
+        two_pl ? header->read_ts.load(std::memory_order_acquire) : TsOf(word);
+    const uint64_t flags = header->flags.load(std::memory_order_acquire);
+
+    if (!locked && write_ts <= tid_) {
+      // The tuple itself is in our snapshot.
+      if ((flags & kTupleDeleted) != 0 && header->delete_ts <= tid_) {
+        return Status::kNotFound;
+      }
+      ctx.Load(out, TupleData(header), data_size);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (header->cc_word.load(std::memory_order_acquire) == word) {
+        return Status::kOk;
+      }
+      continue;  // writer slipped in during the copy
+    }
+
+    // Walk the version chain for the newest version inside the snapshot
+    // (Figure 6: the transaction at TS=6 selects TupleA.V3 with begin 5).
+    const uint64_t head_word = header->version_head.load(std::memory_order_acquire);
+    const Version* v = UnpackTaggedPtr<Version>(engine->lock_generation(), head_word);
+    while (v != nullptr && v->begin_ts > tid_) {
+      v = v->prev;
+    }
+    if (v != nullptr) {
+      std::memcpy(out, v->data(), data_size);
+      ctx.TouchLoad(v->data(), data_size);  // DRAM-latency read
+      return Status::kOk;
+    }
+    if (!locked) {
+      // write_ts > tid and no covering version: the tuple was created after
+      // our snapshot began.
+      return Status::kNotFound;
+    }
+    // Writer mid-commit: its pre-image version will appear momentarily.
+  }
+  return Status::kAborted;
+}
+
+bool Txn::WriteSetContains(PmOffset tuple) const {
+  for (const WriteEntry& w : write_set_) {
+    if (w.tuple == tuple) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Txn::OverlayPendingWrites(PmOffset tuple, std::byte* buf, uint32_t data_size) {
+  Engine* engine = worker_->engine_;
+  for (const WriteEntry& w : write_set_) {
+    if (w.tuple != tuple) {
+      continue;
+    }
+    if (engine->config().update_mode == UpdateMode::kOutOfPlace) {
+      if (w.kind == LogOpKind::kUpdate && w.new_version != kNullPm) {
+        TupleHeader* nh = engine->table_heap(w.table).Header(w.new_version);
+        std::memcpy(buf, TupleData(nh), data_size);
+      }
+    } else if (w.kind == LogOpKind::kUpdate) {
+      const std::byte* payload =
+          LogWindow::SlotPayload(worker_->log_->current_slot()) + w.payload_pos;
+      std::memcpy(buf + w.offset, payload, w.len);
+    }
+  }
+}
+
+// ---- Writes -----------------------------------------------------------------
+
+Status Txn::UpdateColumn(TableId table, uint64_t key, uint32_t column, const void* value) {
+  const TableMeta& meta = worker_->engine_->table_meta(table);
+  if (column >= meta.column_count) {
+    return Status::kInvalidArgument;
+  }
+  return UpdatePartial(table, key, meta.columns[column].offset, meta.columns[column].size,
+                       value);
+}
+
+Status Txn::UpdateFull(TableId table, uint64_t key, const void* value) {
+  return UpdatePartial(table, key, 0,
+                       static_cast<uint32_t>(worker_->engine_->table_meta(table).tuple_data_size),
+                       value);
+}
+
+Status Txn::UpdatePartial(TableId table, uint64_t key, uint32_t offset, uint32_t len,
+                          const void* value) {
+  return WriteIntent(table, key, LogOpKind::kUpdate, offset, len, value);
+}
+
+Status Txn::Delete(TableId table, uint64_t key) {
+  return WriteIntent(table, key, LogOpKind::kDelete, 0, 0, nullptr);
+}
+
+bool Txn::EnsureSlot() {
+  if (slot_open_) {
+    return true;
+  }
+  worker_->log_->OpenSlot(worker_->ctx_, tid_);
+  slot_open_ = true;
+  return true;
+}
+
+Status Txn::AdmitWrite(PmOffset tuple, TupleHeader* header, uint64_t* observed_out) {
+  // CC admission for a write to an existing tuple. On success, 2PL/TO hold
+  // the tuple lock; OCC records the observed version for validation.
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+  const CcScheme scheme = BaseScheme(engine->config().cc);
+  const uint64_t gen = engine->lock_generation();
+  LockEntry* held = FindLock(header);
+  const bool pending = WriteSetContains(tuple);  // e.g. our own fresh insert
+
+  switch (scheme) {
+    case CcScheme::k2pl: {
+      if (pending || (held != nullptr && held->write)) {
+        return Status::kOk;
+      }
+      if (held != nullptr) {
+        if (!TryUpgrade2pl(header->cc_word, gen)) {
+          return Status::kAborted;
+        }
+        held->write = true;
+      } else {
+        if (!TryLockWrite2pl(header->cc_word, gen)) {
+          return Status::kAborted;
+        }
+        locks_.push_back(LockEntry{header, /*write=*/true});
+      }
+      ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
+      *observed_out = header->read_ts.load(std::memory_order_acquire);  // old write_ts
+      return Status::kOk;
+    }
+    case CcScheme::kTo: {
+      if (pending || held != nullptr) {
+        *observed_out = held != nullptr ? held->restore_ts : 0;
+        return Status::kOk;
+      }
+      uint64_t pre_ts = 0;
+      if (!TryLockTs(header->cc_word, &pre_ts)) {
+        return Status::kAborted;
+      }
+      ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
+      if (TsOf(pre_ts) > tid_ || header->read_ts.load(std::memory_order_acquire) > tid_) {
+        // A younger transaction already read or wrote this tuple.
+        UnlockRestoreTs(header->cc_word, pre_ts);
+        return Status::kAborted;
+      }
+      locks_.push_back(LockEntry{header, /*write=*/true, pre_ts});
+      *observed_out = pre_ts;
+      return Status::kOk;
+    }
+    case CcScheme::kOcc: {
+      // Reuse the first observation for repeated writes to the same tuple
+      // (including our own fresh inserts, which are born locked).
+      for (const WriteEntry& w : write_set_) {
+        if (w.tuple == tuple) {
+          *observed_out = w.observed;
+          return Status::kOk;
+        }
+      }
+      const uint64_t word = header->cc_word.load(std::memory_order_acquire);
+      if (IsLockedTs(word)) {
+        return Status::kAborted;
+      }
+      *observed_out = word;
+      return Status::kOk;
+    }
+    default:
+      return Status::kInternal;
+  }
+}
+
+Status Txn::WriteIntent(TableId table, uint64_t key, LogOpKind kind, uint32_t offset,
+                        uint32_t len, const void* value) {
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+  if (!active_) {
+    return Status::kAborted;
+  }
+  if (read_only_) {
+    return Status::kInvalidArgument;
+  }
+  ctx.Work(engine->config().cost_params.op_overhead_ns);
+
+  const PmOffset tuple = Lookup(table, key);
+  if (tuple == kNullPm) {
+    return Status::kNotFound;
+  }
+  TupleHeap& heap = engine->table_heap(table);
+  TupleHeader* header = heap.Header(tuple);
+  ctx.TouchLoad(header, sizeof(TupleHeader));
+
+  if (header->key != key) {
+    return Status::kNotFound;  // slot recycled under a stale index read
+  }
+  uint64_t observed = 0;
+  const Status admit = AdmitWrite(tuple, header, &observed);
+  if (admit != Status::kOk) {
+    Abort();
+    return Status::kAborted;
+  }
+  const uint64_t post_flags = header->flags.load(std::memory_order_acquire);
+  if ((post_flags & kTupleSuperseded) != 0) {
+    Abort();  // stale head: a newer version exists; retry from the index
+    return Status::kAborted;
+  }
+  if (header->key != key || (post_flags & kTupleDeleted) != 0) {
+    return Status::kNotFound;
+  }
+
+  if (engine->config().update_mode == UpdateMode::kOutOfPlace) {
+    return OutOfPlaceIntent(table, key, tuple, kind, offset, len, value, observed);
+  }
+
+  if (!EnsureSlot()) {
+    Abort();
+    return Status::kAborted;
+  }
+  const uint64_t payload_pos = worker_->log_->NextPayloadPos();
+  if (!worker_->log_->Append(ctx, table, key, tuple, kind, offset, len, value)) {
+    // Redo log larger than a window slot: the §5.5 limitation.
+    Abort();
+    return Status::kNoSpace;
+  }
+  write_set_.push_back(WriteEntry{table, key, tuple, kind, offset, len, payload_pos, observed,
+                                  kNullPm});
+  ++worker_->stats_.writes;
+  return Status::kOk;
+}
+
+Status Txn::OutOfPlaceIntent(TableId table, uint64_t key, PmOffset tuple, LogOpKind kind,
+                             uint32_t offset, uint32_t len, const void* value,
+                             uint64_t observed, bool allow_reclaim) {
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+  TupleHeap& heap = engine->table_heap(table);
+  const auto data_size = static_cast<uint32_t>(engine->table_meta(table).tuple_data_size);
+
+  if (kind == LogOpKind::kDelete) {
+    write_set_.push_back(
+        WriteEntry{table, key, tuple, kind, 0, 0, 0, observed, kNullPm});
+    ++worker_->stats_.writes;
+    return Status::kOk;
+  }
+
+  // Repeated update of the same tuple: overlay onto the pending version.
+  for (WriteEntry& w : write_set_) {
+    if (w.tuple == tuple && w.kind == LogOpKind::kUpdate) {
+      TupleHeader* nh = heap.Header(w.new_version);
+      ctx.Store(TupleData(nh) + offset, value, len);
+      return Status::kOk;
+    }
+  }
+
+  // Log-as-data: write the new version into the heap now; its commit flag
+  // stays clear until the commit record persists. Revivals must not reclaim
+  // (their predecessor sits at the head of this thread's deleted list).
+  const PmOffset fresh = heap.Allocate(ctx, key, allow_reclaim ? engine->MinActiveTid() : 0);
+  if (fresh == kNullPm) {
+    Abort();
+    return Status::kNoSpace;
+  }
+  TupleHeader* nh = heap.Header(fresh);
+  nh->cc_word.store(tid_ & kCcTsMask, std::memory_order_relaxed);
+  // Mirror the creator TID in read_ts too: 2PL keeps its write timestamp
+  // there, and recovery matches versions to commit records by this value.
+  nh->read_ts.store(tid_, std::memory_order_relaxed);
+  nh->prev.store(tuple, std::memory_order_relaxed);
+  ctx.TouchStore(nh, sizeof(TupleHeader));
+
+  TupleHeader* oh = heap.Header(tuple);
+  if (offset != 0 || len != data_size) {
+    // Partial update: out-of-place must copy the whole old tuple first —
+    // the write amplification the paper calls out for TPC-C (§6.2.2).
+    ctx.Load(TupleData(nh), TupleData(oh), data_size);
+  }
+  ctx.Store(TupleData(nh) + offset, value, len);
+
+  write_set_.push_back(
+      WriteEntry{table, key, tuple, kind, offset, len, 0, observed, fresh});
+  ++worker_->stats_.writes;
+  return Status::kOk;
+}
+
+Status Txn::Insert(TableId table, uint64_t key, const void* data) {
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+  if (!active_) {
+    return Status::kAborted;
+  }
+  if (read_only_) {
+    return Status::kInvalidArgument;
+  }
+  ctx.Work(engine->config().cost_params.op_overhead_ns);
+
+  TupleHeap& heap = engine->table_heap(table);
+  const auto data_size = static_cast<uint32_t>(engine->table_meta(table).tuple_data_size);
+  const CcScheme scheme = BaseScheme(engine->config().cc);
+
+  // A still-indexed tombstone (deleted, not yet reclaimed) is revived in
+  // place under regular CC rather than re-allocated, so the index never
+  // needs an entry swap.
+  const PmOffset existing = Lookup(table, key);
+  if (existing != kNullPm) {
+    TupleHeader* tombstone = heap.Header(existing);
+    ctx.TouchLoad(tombstone, sizeof(TupleHeader));
+    if (tombstone->key != key ||
+        (tombstone->flags.load(std::memory_order_acquire) & kTupleDeleted) == 0) {
+      return Status::kDuplicate;
+    }
+    uint64_t observed = 0;
+    if (AdmitWrite(existing, tombstone, &observed) != Status::kOk) {
+      Abort();
+      return Status::kAborted;
+    }
+    const uint64_t ts_flags = tombstone->flags.load(std::memory_order_acquire);
+    if (tombstone->key != key || (ts_flags & kTupleDeleted) == 0 ||
+        (ts_flags & kTupleSuperseded) != 0) {
+      Abort();  // revived, superseded, or recycled while we were admitting
+      return Status::kAborted;
+    }
+    if (engine->config().update_mode == UpdateMode::kOutOfPlace) {
+      // Revival is a regular out-of-place update whose predecessor happens
+      // to be a tombstone: the new version supersedes it at commit.
+      return OutOfPlaceIntent(table, key, existing, LogOpKind::kUpdate, 0, data_size, data,
+                              observed, /*allow_reclaim=*/false);
+    }
+    if (!EnsureSlot()) {
+      Abort();
+      return Status::kAborted;
+    }
+    const uint64_t payload_pos = worker_->log_->NextPayloadPos();
+    if (!worker_->log_->Append(ctx, table, key, existing, LogOpKind::kInsert, 0, data_size,
+                               data)) {
+      Abort();
+      return Status::kNoSpace;
+    }
+    write_set_.push_back(WriteEntry{table, key, existing, LogOpKind::kInsert, 0, data_size,
+                                    payload_pos, observed, kNullPm});
+    ++worker_->stats_.writes;
+    return Status::kOk;
+  }
+
+  const PmOffset fresh = heap.Allocate(ctx, key, engine->MinActiveTid());
+  if (fresh == kNullPm) {
+    Abort();
+    return Status::kNoSpace;
+  }
+  TupleHeader* header = heap.Header(fresh);
+  // The tuple is born locked so concurrent transactions cannot read it
+  // before commit.
+  if (scheme == CcScheme::k2pl) {
+    header->cc_word.store(((engine->lock_generation() & 0xff) << k2plGenShift) | k2plWriteBit,
+                          std::memory_order_relaxed);
+  } else {
+    // Locked, with the creator TID as the timestamp: out-of-place recovery
+    // matches in-flight versions against commit records by this value.
+    header->cc_word.store(kCcLockBit | (tid_ & kCcTsMask), std::memory_order_relaxed);
+  }
+  // Creator TID, used as the 2PL write timestamp.
+  header->read_ts.store(tid_, std::memory_order_relaxed);
+  ctx.Store(TupleData(header), data, data_size);
+
+  // Log before exposing via the index: an UNCOMMITTED slot entry is what
+  // recovery uses to undo the index insertion.
+  if (engine->config().log_mode != LogMode::kNone) {
+    if (!EnsureSlot()) {
+      Abort();
+      return Status::kAborted;
+    }
+    if (!worker_->log_->Append(ctx, table, key, fresh, LogOpKind::kInsert, 0, 0, nullptr)) {
+      heap.MarkDeleted(ctx, fresh, /*delete_tid=*/0);
+      Abort();
+      return Status::kNoSpace;
+    }
+  }
+
+  const Status inserted = engine->table_index(table).Insert(ctx, key, fresh);
+  if (inserted != Status::kOk) {
+    heap.MarkDeleted(ctx, fresh, /*delete_tid=*/0);
+    return inserted;  // kDuplicate: the transaction may continue
+  }
+  // len == 0 marks a fresh insert; revivals carry len == data_size.
+  write_set_.push_back(WriteEntry{table, key, fresh, LogOpKind::kInsert, 0, 0, 0, 0, kNullPm});
+  ++worker_->stats_.writes;
+  return Status::kOk;
+}
+
+Status Txn::Scan(TableId table, uint64_t start_key, uint64_t end_key, size_t limit,
+                 const std::function<void(uint64_t, const std::byte*)>& visit) {
+  Engine* engine = worker_->engine_;
+  if (!active_) {
+    return Status::kAborted;
+  }
+  worker_->ctx_.Work(engine->config().cost_params.op_overhead_ns);
+  std::vector<IndexEntry> entries;
+  const Status s =
+      engine->table_index(table).Scan(worker_->ctx_, start_key, end_key, limit, entries);
+  if (s != Status::kOk) {
+    return s;
+  }
+  const auto data_size = engine->table_meta(table).tuple_data_size;
+  std::vector<std::byte> buf(data_size);
+  for (const IndexEntry& entry : entries) {
+    Status rs;
+    if (read_only_ && IsMultiVersion(engine->config().cc)) {
+      rs = ReadSnapshot(table, entry.key, entry.value, buf.data());
+    } else {
+      rs = ReadTuple(table, entry.key, entry.value, buf.data());
+    }
+    if (rs == Status::kAborted) {
+      Abort();
+      return Status::kAborted;
+    }
+    if (rs == Status::kNotFound) {
+      continue;  // deleted or out of snapshot
+    }
+    ++worker_->stats_.reads;
+    visit(entry.key, buf.data());
+  }
+  return Status::kOk;
+}
+
+// ---- Commit -----------------------------------------------------------------
+
+Status Txn::Commit() {
+  Engine* engine = worker_->engine_;
+  if (!active_) {
+    return Status::kAborted;
+  }
+  worker_->ctx_.Work(engine->config().cost_params.txn_overhead_ns);
+
+  Status result;
+  if (engine->config().update_mode == UpdateMode::kInPlace) {
+    result = CommitInPlace();
+  } else {
+    result = CommitOutOfPlace();
+  }
+  if (result != Status::kOk) {
+    return result;
+  }
+
+  active_ = false;
+  engine->active_tids_.Clear(worker_->id_);
+  ++worker_->stats_.commits;
+
+  // Lazily maintain the persistent TID high-water mark (recovery floor).
+  if ((worker_->stats_.commits & 0xff) == 0) {
+    Superblock* sb = GetSuperblock(engine->arena());
+    uint64_t cur = sb->max_committed_tid.load(std::memory_order_relaxed);
+    while (cur < tid_ &&
+           !sb->max_committed_tid.compare_exchange_weak(cur, tid_, std::memory_order_relaxed)) {
+    }
+  }
+
+  // Opportunistic old-version recycling (§5.4): worker threads do their own
+  // GC; no dedicated recycler.
+  if (worker_->versions_.NeedsGc()) {
+    worker_->versions_.Gc(engine->MinActiveTid());
+  }
+  return Status::kOk;
+}
+
+uint64_t Txn::WriteTsOf(TupleHeader* header) const {
+  const CcScheme scheme = BaseScheme(worker_->engine_->config().cc);
+  return scheme == CcScheme::k2pl ? header->read_ts.load(std::memory_order_acquire)
+                                  : TsOf(header->cc_word.load(std::memory_order_acquire));
+}
+
+void Txn::CreateDramVersion(TableId table, TupleHeader* header) {
+  // Copy the pre-image into the DRAM version heap and link it at the chain
+  // head (§5.2.3). Caller holds the tuple's write latch/lock.
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+  const auto data_size = static_cast<uint32_t>(engine->table_meta(table).tuple_data_size);
+  const uint64_t gen = engine->lock_generation();
+
+  Version* version = worker_->versions_.Allocate(data_size);
+  version->begin_ts = WriteTsOf(header);
+  version->end_ts = tid_;
+  version->prev =
+      UnpackTaggedPtr<Version>(gen, header->version_head.load(std::memory_order_acquire));
+  std::memcpy(version->data(), TupleData(header), data_size);
+  ctx.TouchLoad(TupleData(header), data_size);
+  ctx.TouchStore(version->data(), data_size);
+  header->version_head.store(PackTaggedPtr(gen, version), std::memory_order_release);
+  ctx.TouchStore(&header->version_head, sizeof(uint64_t));
+  worker_->versions_.Enqueue(version);
+}
+
+void Txn::FinalizeTuple(TupleHeader* header) {
+  // Install write_ts = tid and release the tuple (Algorithm 1 line 5).
+  Engine* engine = worker_->engine_;
+  const CcScheme scheme = BaseScheme(engine->config().cc);
+  if (scheme == CcScheme::k2pl) {
+    header->read_ts.store(tid_, std::memory_order_release);  // write_ts slot for 2PL
+    UnlockWrite2pl(header->cc_word, engine->lock_generation());
+  } else {
+    UnlockWithTs(header->cc_word, tid_);
+  }
+  worker_->ctx_.TouchStore(header, sizeof(uint64_t) * 2);
+  // Drop from the held-locks list so rollback won't touch it again.
+  for (auto& lock : locks_) {
+    if (lock.header == header && lock.write) {
+      lock.header = nullptr;
+    }
+  }
+}
+
+Status Txn::CommitInPlace() {
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+  const EngineConfig& cfg = engine->config();
+  const CcScheme scheme = BaseScheme(cfg.cc);
+  const bool mv = IsMultiVersion(cfg.cc);
+
+  if (write_set_.empty()) {
+    ReleaseLocks();
+    if (slot_open_) {
+      worker_->log_->Release(ctx);
+    }
+    return Status::kOk;
+  }
+
+  // OCC validation phase (lock write set, then verify the read set).
+  if (scheme == CcScheme::kOcc) {
+    for (WriteEntry& w : write_set_) {
+      if (w.kind == LogOpKind::kInsert && w.len == 0) {
+        continue;  // fresh inserts are born locked; revivals validate below
+      }
+      TupleHeader* header = engine->table_heap(w.table).Header(w.tuple);
+      if (FindLock(header) != nullptr) {
+        continue;  // already locked for an earlier entry
+      }
+      uint64_t pre_ts = 0;
+      if (!TryLockTs(header->cc_word, &pre_ts)) {
+        Abort();
+        return Status::kAborted;
+      }
+      ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
+      locks_.push_back(LockEntry{header, /*write=*/true, pre_ts});
+      // Raw-word comparison: a set retired bit is a real change (the
+      // version was superseded since we observed it).
+      if (pre_ts != w.observed) {
+        Abort();
+        return Status::kAborted;
+      }
+    }
+    for (const ReadEntry& r : read_set_) {
+      const uint64_t now = r.header->cc_word.load(std::memory_order_acquire);
+      ctx.TouchLoad(r.header, sizeof(uint64_t));
+      if (now == r.observed) {
+        continue;
+      }
+      // Locked by us with an unchanged timestamp is still valid.
+      if (IsLockedTs(now) && TsOf(now) == TsOf(r.observed) &&
+          FindLock(r.header) != nullptr) {
+        continue;
+      }
+      Abort();
+      return Status::kAborted;
+    }
+  }
+
+  MaybeCrash(CrashPoint::kBeforeCommitMark);
+
+  // Commit point: the write-set state flips to COMMITTED in the (persistent-
+  // by-eADR) log window (Algorithm 1 line 2).
+  worker_->log_->MarkCommitted(ctx);
+
+  MaybeCrash(CrashPoint::kAfterCommitMark);
+
+  // Apply phase (Algorithm 1 lines 3-6): in-place updates, versions for MV,
+  // per-tuple release.
+  const size_t n = write_set_.size();
+  for (size_t i = 0; i < n; ++i) {
+    WriteEntry& w = write_set_[i];
+    TupleHeap& heap = engine->table_heap(w.table);
+    TupleHeader* header = heap.Header(w.tuple);
+
+    bool first_for_tuple = true;
+    for (size_t j = 0; j < i; ++j) {
+      if (write_set_[j].tuple == w.tuple) {
+        first_for_tuple = false;
+        break;
+      }
+    }
+    bool last_for_tuple = true;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (write_set_[j].tuple == w.tuple) {
+        last_for_tuple = false;
+        break;
+      }
+    }
+
+    if (mv && first_for_tuple && w.kind != LogOpKind::kInsert) {
+      CreateDramVersion(w.table, header);
+    }
+
+    switch (w.kind) {
+      case LogOpKind::kUpdate: {
+        const std::byte* payload =
+            LogWindow::SlotPayload(worker_->log_->current_slot()) + w.payload_pos;
+        ctx.Store(TupleData(header) + w.offset, payload, w.len);
+        if (engine->tuple_cache_ != nullptr) {
+          engine->tuple_cache_->Invalidate(ctx, w.table, w.key);
+        }
+        break;
+      }
+      case LogOpKind::kInsert:
+        if (w.len > 0) {
+          // Tombstone revival: install the new image and clear the flag.
+          const std::byte* payload =
+              LogWindow::SlotPayload(worker_->log_->current_slot()) + w.payload_pos;
+          ctx.Store(TupleData(header), payload, w.len);
+          header->flags.fetch_and(~kTupleDeleted, std::memory_order_release);
+          ctx.TouchStore(&header->flags, sizeof(uint64_t));
+          if (engine->tuple_cache_ != nullptr) {
+            engine->tuple_cache_->Invalidate(ctx, w.table, w.key);
+          }
+        }
+        break;  // fresh inserts wrote their data at execution time
+      case LogOpKind::kDelete:
+        // The index entry stays: tombstones remain reachable so snapshot
+        // readers can traverse their version chains; the entry is removed
+        // when the slot is reclaimed (§5.4).
+        heap.MarkDeleted(ctx, w.tuple, tid_);
+        if (engine->tuple_cache_ != nullptr) {
+          engine->tuple_cache_->Invalidate(ctx, w.table, w.key);
+        }
+        break;
+    }
+
+    if (last_for_tuple) {
+      FinalizeTuple(header);
+    }
+    if (i == 0) {
+      MaybeCrash(CrashPoint::kMidApply);
+    }
+  }
+
+  MaybeCrash(CrashPoint::kAfterApply);
+
+  // Algorithm 1 line 7: order the in-place updates before the flush hints.
+  ctx.Sfence();
+
+  // Selective data flush (Algorithm 1 lines 8-11 / D2).
+  if (cfg.flush_policy != FlushPolicy::kNone) {
+    for (size_t i = 0; i < n; ++i) {
+      const WriteEntry& w = write_set_[i];
+      bool first_for_tuple = true;
+      for (size_t j = 0; j < i; ++j) {
+        if (write_set_[j].tuple == w.tuple) {
+          first_for_tuple = false;
+          break;
+        }
+      }
+      if (!first_for_tuple) {
+        continue;
+      }
+      if (cfg.flush_policy == FlushPolicy::kSelective && worker_->hot_.Contains(w.tuple)) {
+        continue;  // hot tuples are never manually flushed
+      }
+      TupleHeader* header = engine->table_heap(w.table).Header(w.tuple);
+      // Hinted flush: <sfence + clwbs> over the contiguous tuple lines lets
+      // the XPBuffer merge them into full 256B writes (§4.4).
+      switch (w.kind) {
+        case LogOpKind::kUpdate:
+          ctx.Clwb(header, sizeof(TupleHeader));
+          ctx.Clwb(TupleData(header) + w.offset, w.len);
+          break;
+        case LogOpKind::kInsert:
+          ctx.Clwb(header, engine->table_meta(w.table).slot_size);
+          break;
+        case LogOpKind::kDelete:
+          ctx.Clwb(header, sizeof(TupleHeader));
+          break;
+      }
+      if (cfg.flush_policy == FlushPolicy::kSelective) {
+        worker_->hot_.Cache(w.tuple);
+      }
+    }
+  }
+
+  ReleaseLocks();  // remaining 2PL read locks
+  if (slot_open_) {
+    worker_->log_->Release(ctx);
+  }
+  return Status::kOk;
+}
+
+void Txn::StampCommitted(TupleHeader* header) {
+  // Installs write_ts = tid with the word unlocked, per scheme.
+  Engine* engine = worker_->engine_;
+  if (BaseScheme(engine->config().cc) == CcScheme::k2pl) {
+    header->read_ts.store(tid_, std::memory_order_release);
+    header->cc_word.store((engine->lock_generation() & 0xff) << k2plGenShift,
+                          std::memory_order_release);
+  } else {
+    header->cc_word.store(tid_ & kCcTsMask, std::memory_order_release);
+  }
+  worker_->ctx_.TouchStore(header, sizeof(uint64_t) * 2);
+}
+
+void Txn::RetireOldVersion(TupleHeader* header, bool superseded) {
+  // Unlocks the retired head while PRESERVING its creation timestamp —
+  // snapshot readers still need it for visibility (§5.2.3). The retired bit
+  // (or the 2PL unlock) changes the word so concurrent optimistic readers
+  // fail validation. `superseded` is set only when a replacement version
+  // took over the index entry (updates); delete tombstones stay reachable
+  // and answer kNotFound via the delete flag instead.
+  Engine* engine = worker_->engine_;
+  if (superseded) {
+    header->flags.fetch_or(kTupleSuperseded, std::memory_order_release);
+  }
+  if (BaseScheme(engine->config().cc) == CcScheme::k2pl) {
+    UnlockWrite2pl(header->cc_word, engine->lock_generation());
+  } else {
+    const uint64_t word = header->cc_word.load(std::memory_order_acquire);
+    header->cc_word.store(TsOf(word) | kCcRetiredBit, std::memory_order_release);
+  }
+  worker_->ctx_.TouchStore(header, sizeof(uint64_t) * 2);
+  for (auto& lock : locks_) {
+    if (lock.header == header) {
+      lock.header = nullptr;
+    }
+  }
+}
+
+Status Txn::CommitOutOfPlace() {
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+  const EngineConfig& cfg = engine->config();
+  const CcScheme scheme = BaseScheme(cfg.cc);
+
+  if (write_set_.empty()) {
+    ReleaseLocks();
+    return Status::kOk;
+  }
+
+  // OCC validation (on the *old* tuple headers readers see).
+  if (scheme == CcScheme::kOcc) {
+    for (WriteEntry& w : write_set_) {
+      if (w.kind == LogOpKind::kInsert && w.len == 0) {
+        continue;
+      }
+      TupleHeader* header = engine->table_heap(w.table).Header(w.tuple);
+      if (FindLock(header) != nullptr) {
+        continue;
+      }
+      uint64_t pre_ts = 0;
+      if (!TryLockTs(header->cc_word, &pre_ts)) {
+        Abort();
+        return Status::kAborted;
+      }
+      ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
+      locks_.push_back(LockEntry{header, /*write=*/true, pre_ts});
+      // Raw-word comparison: a set retired bit is a real change (the
+      // version was superseded since we observed it).
+      if (pre_ts != w.observed) {
+        Abort();
+        return Status::kAborted;
+      }
+    }
+    for (const ReadEntry& r : read_set_) {
+      const uint64_t now = r.header->cc_word.load(std::memory_order_acquire);
+      ctx.TouchLoad(r.header, sizeof(uint64_t));
+      if (now != r.observed &&
+          !(IsLockedTs(now) && TsOf(now) == TsOf(r.observed) &&
+            FindLock(r.header) != nullptr)) {
+        Abort();
+        return Status::kAborted;
+      }
+    }
+  }
+
+  // Commit record: one tiny per-thread slot {tid, COMMITTED} — the log-free
+  // protocol (Zen-style). Versions become "committed" when either their
+  // flag is set or this record names their TID.
+  if (!slot_open_) {
+    worker_->log_->OpenSlot(ctx, tid_);
+    slot_open_ = true;
+  }
+
+  MaybeCrash(CrashPoint::kBeforeCommitMark);
+
+  worker_->log_->MarkCommitted(ctx);
+
+  MaybeCrash(CrashPoint::kAfterCommitMark);
+
+  // Apply: flag versions committed, repoint the index, retire old versions.
+  const size_t n = write_set_.size();
+  for (size_t i = 0; i < n; ++i) {
+    WriteEntry& w = write_set_[i];
+    TupleHeap& heap = engine->table_heap(w.table);
+
+    switch (w.kind) {
+      case LogOpKind::kUpdate: {
+        TupleHeader* nh = heap.Header(w.new_version);
+        nh->flags.fetch_or(kTupleCommitted, std::memory_order_release);
+        StampCommitted(nh);
+        engine->table_index(w.table).Update(ctx, w.key, w.new_version);
+        if (engine->tuple_cache_ != nullptr) {
+          TupleHeader* data_header = heap.Header(w.new_version);
+          engine->tuple_cache_->Fill(
+              ctx, w.table, w.key, tid_, TupleData(data_header),
+              static_cast<uint32_t>(engine->table_meta(w.table).tuple_data_size));
+        }
+        // The old head becomes an old version; retire it for reclamation
+        // once no snapshot can need it. A revived tombstone predecessor is
+        // already on the deleted list.
+        TupleHeader* oh = heap.Header(w.tuple);
+        RetireOldVersion(oh, /*superseded=*/true);
+        if ((oh->flags.load(std::memory_order_acquire) & kTupleDeleted) == 0) {
+          heap.MarkDeleted(ctx, w.tuple, tid_);
+        }
+        break;
+      }
+      case LogOpKind::kInsert: {
+        TupleHeader* nh = heap.Header(w.tuple);
+        nh->flags.fetch_or(kTupleCommitted, std::memory_order_release);
+        StampCommitted(nh);
+        break;
+      }
+      case LogOpKind::kDelete: {
+        // The head keeps its creation timestamp (snapshots older than the
+        // delete must still see it); deletion visibility comes from the
+        // flag + delete_ts.
+        TupleHeader* oh = heap.Header(w.tuple);
+        RetireOldVersion(oh, /*superseded=*/false);
+        heap.MarkDeleted(ctx, w.tuple, tid_);
+        if (engine->tuple_cache_ != nullptr) {
+          engine->tuple_cache_->Invalidate(ctx, w.table, w.key);
+        }
+        break;
+      }
+    }
+    if (i == 0) {
+      MaybeCrash(CrashPoint::kMidApply);
+    }
+  }
+
+  MaybeCrash(CrashPoint::kAfterApply);
+
+  ctx.Sfence();
+  if (cfg.flush_policy != FlushPolicy::kNone) {
+    // Whole new versions flush as contiguous runs — out-of-place's one
+    // advantage on full-tuple updates (§6.2.3).
+    for (const WriteEntry& w : write_set_) {
+      const PmOffset target = w.kind == LogOpKind::kUpdate ? w.new_version : w.tuple;
+      TupleHeader* header = engine->table_heap(w.table).Header(target);
+      ctx.Clwb(header, engine->table_meta(w.table).slot_size);
+    }
+  }
+
+  ReleaseLocks();
+  if (slot_open_) {
+    worker_->log_->Release(ctx);
+  }
+  return Status::kOk;
+}
+
+// ---- Abort / rollback --------------------------------------------------------
+
+void Txn::ReleaseLocks() {
+  Engine* engine = worker_->engine_;
+  const CcScheme scheme = BaseScheme(engine->config().cc);
+  const uint64_t gen = engine->lock_generation();
+  for (LockEntry& lock : locks_) {
+    if (lock.header == nullptr) {
+      continue;  // finalized during apply
+    }
+    if (scheme == CcScheme::k2pl) {
+      if (lock.write) {
+        UnlockWrite2pl(lock.header->cc_word, gen);
+      } else {
+        UnlockRead2pl(lock.header->cc_word);
+      }
+    } else {
+      UnlockRestoreTs(lock.header->cc_word, lock.restore_ts);
+    }
+    worker_->ctx_.TouchStore(&lock.header->cc_word, sizeof(uint64_t));
+    lock.header = nullptr;
+  }
+  locks_.clear();
+}
+
+void Txn::Abort() {
+  if (!active_) {
+    return;
+  }
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+
+  // Undo execution-time side effects (inserts exposed via the index, and
+  // out-of-place versions already written to the heap).
+  for (const WriteEntry& w : write_set_) {
+    TupleHeap& heap = engine->table_heap(w.table);
+    if (w.kind == LogOpKind::kInsert && w.len == 0) {
+      // Fresh insert: unlink it from the index and retire the slot. A
+      // revival (len > 0) changed nothing at execution time; releasing its
+      // tombstone lock below is the whole rollback.
+      if (engine->table_index(w.table).Lookup(ctx, w.key) == w.tuple) {
+        engine->table_index(w.table).Remove(ctx, w.key);
+      }
+      heap.MarkDeleted(ctx, w.tuple, /*delete_tid=*/0);
+      // Its born-locked state dies with the slot (reinitialized on reuse).
+      for (auto& lock : locks_) {
+        if (lock.header == heap.Header(w.tuple)) {
+          lock.header = nullptr;
+        }
+      }
+    } else if (w.new_version != kNullPm) {
+      heap.MarkDeleted(ctx, w.new_version, /*delete_tid=*/0);
+    }
+  }
+  ReleaseLocks();
+  if (slot_open_) {
+    worker_->log_->Release(ctx);
+  }
+  active_ = false;
+  engine->active_tids_.Clear(worker_->id_);
+  ++worker_->stats_.aborts;
+}
+
+}  // namespace falcon

@@ -1,0 +1,623 @@
+#include "src/index/art_index.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace falcon {
+
+namespace {
+
+// Seqlock helpers (writers always hold the structural latch, so plain
+// lock/unlock suffices — the version only guards readers).
+uint32_t StableVersion(const std::atomic<uint32_t>& version) {
+  for (;;) {
+    const uint32_t v = version.load(std::memory_order_acquire);
+    if ((v & 1u) == 0) {
+      return v;
+    }
+  }
+}
+
+struct NodeLock {
+  explicit NodeLock(std::atomic<uint32_t>& version) : version_(version) {
+    version_.fetch_add(1, std::memory_order_acquire);
+  }
+  ~NodeLock() { version_.fetch_add(1, std::memory_order_release); }
+  std::atomic<uint32_t>& version_;
+};
+
+}  // namespace
+
+ArtIndex::ArtIndex(IndexSpace* space, ThreadContext& ctx) : space_(space) {
+  root_ = space_->Alloc(ctx, sizeof(Root), alignof(Root));
+  auto* r = root();
+  r->node.store(kNullHandle, std::memory_order_relaxed);
+  r->size.store(0, std::memory_order_release);
+}
+
+ArtIndex::ArtIndex(IndexSpace* space, IndexHandle root_handle)
+    : space_(space), root_(root_handle) {}
+
+IndexHandle ArtIndex::AllocLeaf(ThreadContext& ctx, uint64_t key, uint64_t value) {
+  const IndexHandle h = space_->Alloc(ctx, sizeof(Leaf), kCacheLineSize);
+  if (h == kNullHandle) {
+    return kNullHandle;
+  }
+  auto* leaf = space_->As<Leaf>(h);
+  leaf->header.version.store(0, std::memory_order_relaxed);
+  leaf->header.type = static_cast<uint8_t>(NodeType::kLeaf);
+  leaf->header.prefix_len = 0;
+  leaf->header.count = 0;
+  leaf->key = key;
+  leaf->value = value;
+  return h;
+}
+
+IndexHandle ArtIndex::AllocNode(ThreadContext& ctx, NodeType type) {
+  size_t bytes = 0;
+  switch (type) {
+    case NodeType::kN4:
+      bytes = sizeof(Node4);
+      break;
+    case NodeType::kN16:
+      bytes = sizeof(Node16);
+      break;
+    case NodeType::kN48:
+      bytes = sizeof(Node48);
+      break;
+    case NodeType::kN256:
+      bytes = sizeof(Node256);
+      break;
+    case NodeType::kLeaf:
+      return kNullHandle;
+  }
+  const IndexHandle h = space_->Alloc(ctx, bytes, kCacheLineSize);
+  if (h == kNullHandle) {
+    return kNullHandle;
+  }
+  std::memset(space_->Ptr(h), 0, bytes);
+  auto* header = Header(h);
+  header->type = static_cast<uint8_t>(type);
+  return h;
+}
+
+IndexHandle ArtIndex::FindChild(const NodeHeader* node, uint8_t byte) const {
+  switch (static_cast<NodeType>(node->type)) {
+    case NodeType::kN4: {
+      const auto* n = reinterpret_cast<const Node4*>(node);
+      for (uint16_t i = 0; i < node->count; ++i) {
+        if (n->keys[i] == byte) {
+          return n->children[i];
+        }
+      }
+      return kNullHandle;
+    }
+    case NodeType::kN16: {
+      const auto* n = reinterpret_cast<const Node16*>(node);
+      for (uint16_t i = 0; i < node->count; ++i) {
+        if (n->keys[i] == byte) {
+          return n->children[i];
+        }
+      }
+      return kNullHandle;
+    }
+    case NodeType::kN48: {
+      const auto* n = reinterpret_cast<const Node48*>(node);
+      const uint8_t slot = n->index[byte];
+      return slot == 0 ? kNullHandle : n->children[slot - 1];
+    }
+    case NodeType::kN256: {
+      const auto* n = reinterpret_cast<const Node256*>(node);
+      return n->children[byte];
+    }
+    case NodeType::kLeaf:
+      return kNullHandle;
+  }
+  return kNullHandle;
+}
+
+IndexHandle ArtIndex::AddChild(ThreadContext& ctx, IndexHandle node_handle, uint8_t byte,
+                               IndexHandle child) {
+  NodeHeader* header = Header(node_handle);
+  const auto type = static_cast<NodeType>(header->type);
+
+  // Grow when full: copy into the next-larger layout. The old node is
+  // retired in place (readers mid-traversal still see a consistent, merely
+  // stale, view and re-validate against the parent).
+  const uint16_t capacity =
+      type == NodeType::kN4 ? 4 : type == NodeType::kN16 ? 16 : type == NodeType::kN48 ? 48 : 256;
+  if (header->count == capacity && type != NodeType::kN256) {
+    const NodeType next = type == NodeType::kN4    ? NodeType::kN16
+                          : type == NodeType::kN16 ? NodeType::kN48
+                                                   : NodeType::kN256;
+    const IndexHandle grown_handle = AllocNode(ctx, next);
+    if (grown_handle == kNullHandle) {
+      return kNullHandle;
+    }
+    NodeHeader* grown = Header(grown_handle);
+    grown->prefix_len = header->prefix_len;
+    std::memcpy(grown->prefix, header->prefix, sizeof(header->prefix));
+    // Re-insert every existing child into the larger node.
+    for (uint32_t b = 0; b < 256; ++b) {
+      const IndexHandle existing = FindChild(header, static_cast<uint8_t>(b));
+      if (existing != kNullHandle) {
+        AddChild(ctx, grown_handle, static_cast<uint8_t>(b), existing);
+      }
+    }
+    AddChild(ctx, grown_handle, byte, child);
+    ctx.TouchStore(grown, sizeof(Node256));
+    MaybeFlush(ctx, grown, sizeof(Node256));
+    return grown_handle;
+  }
+
+  NodeLock lock(header->version);
+  switch (type) {
+    case NodeType::kN4: {
+      auto* n = space_->As<Node4>(node_handle);
+      n->keys[header->count] = byte;
+      n->children[header->count] = child;
+      break;
+    }
+    case NodeType::kN16: {
+      auto* n = space_->As<Node16>(node_handle);
+      n->keys[header->count] = byte;
+      n->children[header->count] = child;
+      break;
+    }
+    case NodeType::kN48: {
+      auto* n = space_->As<Node48>(node_handle);
+      uint8_t slot = 0;
+      while (n->children[slot] != kNullHandle) {
+        ++slot;
+      }
+      n->children[slot] = child;
+      n->index[byte] = static_cast<uint8_t>(slot + 1);
+      break;
+    }
+    case NodeType::kN256: {
+      auto* n = space_->As<Node256>(node_handle);
+      n->children[byte] = child;
+      break;
+    }
+    case NodeType::kLeaf:
+      return kNullHandle;
+  }
+  ++header->count;
+  ctx.TouchStore(header, kCacheLineSize);
+  MaybeFlush(ctx, header, kCacheLineSize);
+  return node_handle;
+}
+
+void ArtIndex::ReplaceChild(ThreadContext& ctx, NodeHeader* node, uint8_t byte,
+                            IndexHandle child) {
+  NodeLock lock(node->version);
+  switch (static_cast<NodeType>(node->type)) {
+    case NodeType::kN4: {
+      auto* n = reinterpret_cast<Node4*>(node);
+      for (uint16_t i = 0; i < node->count; ++i) {
+        if (n->keys[i] == byte) {
+          n->children[i] = child;
+        }
+      }
+      break;
+    }
+    case NodeType::kN16: {
+      auto* n = reinterpret_cast<Node16*>(node);
+      for (uint16_t i = 0; i < node->count; ++i) {
+        if (n->keys[i] == byte) {
+          n->children[i] = child;
+        }
+      }
+      break;
+    }
+    case NodeType::kN48: {
+      auto* n = reinterpret_cast<Node48*>(node);
+      n->children[n->index[byte] - 1] = child;
+      break;
+    }
+    case NodeType::kN256: {
+      auto* n = reinterpret_cast<Node256*>(node);
+      n->children[byte] = child;
+      break;
+    }
+    case NodeType::kLeaf:
+      break;
+  }
+  ctx.TouchStore(node, kCacheLineSize);
+  MaybeFlush(ctx, node, kCacheLineSize);
+}
+
+void ArtIndex::RemoveChild(ThreadContext& ctx, NodeHeader* node, uint8_t byte) {
+  NodeLock lock(node->version);
+  switch (static_cast<NodeType>(node->type)) {
+    case NodeType::kN4: {
+      auto* n = reinterpret_cast<Node4*>(node);
+      for (uint16_t i = 0; i < node->count; ++i) {
+        if (n->keys[i] == byte) {
+          n->keys[i] = n->keys[node->count - 1];
+          n->children[i] = n->children[node->count - 1];
+          break;
+        }
+      }
+      break;
+    }
+    case NodeType::kN16: {
+      auto* n = reinterpret_cast<Node16*>(node);
+      for (uint16_t i = 0; i < node->count; ++i) {
+        if (n->keys[i] == byte) {
+          n->keys[i] = n->keys[node->count - 1];
+          n->children[i] = n->children[node->count - 1];
+          break;
+        }
+      }
+      break;
+    }
+    case NodeType::kN48: {
+      auto* n = reinterpret_cast<Node48*>(node);
+      n->children[n->index[byte] - 1] = kNullHandle;
+      n->index[byte] = 0;
+      break;
+    }
+    case NodeType::kN256: {
+      auto* n = reinterpret_cast<Node256*>(node);
+      n->children[byte] = kNullHandle;
+      break;
+    }
+    case NodeType::kLeaf:
+      break;
+  }
+  --node->count;
+  ctx.TouchStore(node, kCacheLineSize);
+  MaybeFlush(ctx, node, kCacheLineSize);
+}
+
+IndexHandle ArtIndex::FindLeaf(ThreadContext& ctx, uint64_t key) const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    IndexHandle h = root()->node.load(std::memory_order_acquire);
+    uint32_t depth = 0;
+    bool restart = false;
+    while (h != kNullHandle) {
+      NodeHeader* header = Header(h);
+      const uint32_t v = StableVersion(header->version);
+      ctx.TouchLoad(header, kCacheLineSize);
+      if (static_cast<NodeType>(header->type) == NodeType::kLeaf) {
+        auto* leaf = space_->As<Leaf>(h);
+        const uint64_t leaf_key = leaf->key;
+        if (header->version.load(std::memory_order_acquire) != v) {
+          restart = true;
+          break;
+        }
+        return leaf_key == key ? h : kNullHandle;
+      }
+      // Prefix check.
+      bool mismatch = false;
+      const uint8_t plen = header->prefix_len;
+      for (uint8_t i = 0; i < plen; ++i) {
+        if (header->prefix[i] != KeyByte(key, depth + i)) {
+          mismatch = true;
+          break;
+        }
+      }
+      const uint8_t byte = KeyByte(key, depth + plen);
+      const IndexHandle child = mismatch ? kNullHandle : FindChild(header, byte);
+      if (header->version.load(std::memory_order_acquire) != v) {
+        restart = true;
+        break;
+      }
+      if (mismatch || child == kNullHandle) {
+        return kNullHandle;
+      }
+      depth += plen + 1;
+      h = child;
+    }
+    if (!restart) {
+      return kNullHandle;
+    }
+  }
+  return kNullHandle;
+}
+
+PmOffset ArtIndex::Lookup(ThreadContext& ctx, uint64_t key) {
+  const IndexHandle h = FindLeaf(ctx, key);
+  if (h == kNullHandle) {
+    return kNullPm;
+  }
+  auto* leaf = space_->As<Leaf>(h);
+  for (;;) {
+    const uint32_t v = StableVersion(leaf->header.version);
+    const uint64_t value = leaf->value;
+    if (leaf->header.version.load(std::memory_order_acquire) == v) {
+      return value;
+    }
+  }
+}
+
+Status ArtIndex::Insert(ThreadContext& ctx, uint64_t key, PmOffset value) {
+  std::lock_guard<SpinLatch> guard(smo_latch_);
+
+  IndexHandle h = root()->node.load(std::memory_order_acquire);
+  if (h == kNullHandle) {
+    const IndexHandle leaf = AllocLeaf(ctx, key, value);
+    if (leaf == kNullHandle) {
+      return Status::kNoSpace;
+    }
+    root()->node.store(leaf, std::memory_order_release);
+    root()->size.fetch_add(1, std::memory_order_relaxed);
+    return Status::kOk;
+  }
+
+  NodeHeader* parent = nullptr;
+  uint8_t parent_byte = 0;
+  uint32_t depth = 0;
+
+  for (;;) {
+    NodeHeader* header = Header(h);
+    ctx.TouchLoad(header, kCacheLineSize);
+
+    if (static_cast<NodeType>(header->type) == NodeType::kLeaf) {
+      auto* leaf = space_->As<Leaf>(h);
+      if (leaf->key == key) {
+        return Status::kDuplicate;
+      }
+      // Split: a new N4 covering the common bytes of the two keys.
+      uint32_t common = depth;
+      while (common < 8 && KeyByte(leaf->key, common) == KeyByte(key, common)) {
+        ++common;
+      }
+      const IndexHandle split_handle = AllocNode(ctx, NodeType::kN4);
+      const IndexHandle new_leaf = AllocLeaf(ctx, key, value);
+      if (split_handle == kNullHandle || new_leaf == kNullHandle) {
+        return Status::kNoSpace;
+      }
+      NodeHeader* split = Header(split_handle);
+      split->prefix_len = static_cast<uint8_t>(common - depth);
+      for (uint32_t i = depth; i < common; ++i) {
+        split->prefix[i - depth] = KeyByte(key, i);
+      }
+      AddChild(ctx, split_handle, KeyByte(leaf->key, common), h);
+      AddChild(ctx, split_handle, KeyByte(key, common), new_leaf);
+      if (parent == nullptr) {
+        root()->node.store(split_handle, std::memory_order_release);
+      } else {
+        ReplaceChild(ctx, parent, parent_byte, split_handle);
+      }
+      root()->size.fetch_add(1, std::memory_order_relaxed);
+      return Status::kOk;
+    }
+
+    // Prefix divergence: split the compressed path.
+    const uint8_t plen = header->prefix_len;
+    uint8_t diverge = plen;
+    for (uint8_t i = 0; i < plen; ++i) {
+      if (header->prefix[i] != KeyByte(key, depth + i)) {
+        diverge = i;
+        break;
+      }
+    }
+    if (diverge < plen) {
+      const IndexHandle split_handle = AllocNode(ctx, NodeType::kN4);
+      const IndexHandle new_leaf = AllocLeaf(ctx, key, value);
+      if (split_handle == kNullHandle || new_leaf == kNullHandle) {
+        return Status::kNoSpace;
+      }
+      NodeHeader* split = Header(split_handle);
+      split->prefix_len = diverge;
+      std::memcpy(split->prefix, header->prefix, diverge);
+      const uint8_t old_edge = header->prefix[diverge];
+      // Copy-on-write truncation: readers may be standing on the old node
+      // with a stale depth, so it must never change. The split points at a
+      // clone whose prefix starts past the divergence point; the original
+      // is retired untouched.
+      const IndexHandle truncated = CloneTruncated(ctx, h, diverge);
+      if (truncated == kNullHandle) {
+        return Status::kNoSpace;
+      }
+      AddChild(ctx, split_handle, old_edge, truncated);
+      AddChild(ctx, split_handle, KeyByte(key, depth + diverge), new_leaf);
+      if (parent == nullptr) {
+        root()->node.store(split_handle, std::memory_order_release);
+      } else {
+        ReplaceChild(ctx, parent, parent_byte, split_handle);
+      }
+      root()->size.fetch_add(1, std::memory_order_relaxed);
+      return Status::kOk;
+    }
+
+    depth += plen;
+    const uint8_t byte = KeyByte(key, depth);
+    const IndexHandle child = FindChild(header, byte);
+    if (child == kNullHandle) {
+      const IndexHandle new_leaf = AllocLeaf(ctx, key, value);
+      if (new_leaf == kNullHandle) {
+        return Status::kNoSpace;
+      }
+      const IndexHandle updated = AddChild(ctx, h, byte, new_leaf);
+      if (updated == kNullHandle) {
+        return Status::kNoSpace;
+      }
+      if (updated != h) {  // the node grew: repoint the parent
+        if (parent == nullptr) {
+          root()->node.store(updated, std::memory_order_release);
+        } else {
+          ReplaceChild(ctx, parent, parent_byte, updated);
+        }
+      }
+      root()->size.fetch_add(1, std::memory_order_relaxed);
+      return Status::kOk;
+    }
+    parent = header;
+    parent_byte = byte;
+    depth += 1;
+    h = child;
+  }
+}
+
+IndexHandle ArtIndex::CloneTruncated(ThreadContext& ctx, IndexHandle old_handle,
+                                     uint8_t diverge) {
+  NodeHeader* old_header = Header(old_handle);
+  const auto type = static_cast<NodeType>(old_header->type);
+  size_t bytes = 0;
+  switch (type) {
+    case NodeType::kN4:
+      bytes = sizeof(Node4);
+      break;
+    case NodeType::kN16:
+      bytes = sizeof(Node16);
+      break;
+    case NodeType::kN48:
+      bytes = sizeof(Node48);
+      break;
+    case NodeType::kN256:
+      bytes = sizeof(Node256);
+      break;
+    case NodeType::kLeaf:
+      return kNullHandle;
+  }
+  const IndexHandle clone_handle = space_->Alloc(ctx, bytes, kCacheLineSize);
+  if (clone_handle == kNullHandle) {
+    return kNullHandle;
+  }
+  std::memcpy(space_->Ptr(clone_handle), space_->Ptr(old_handle), bytes);
+  NodeHeader* clone = Header(clone_handle);
+  clone->version.store(0, std::memory_order_relaxed);
+  const uint8_t remaining = static_cast<uint8_t>(old_header->prefix_len - diverge - 1);
+  std::memmove(clone->prefix, clone->prefix + diverge + 1, remaining);
+  clone->prefix_len = remaining;
+  ctx.TouchStore(clone, bytes);
+  MaybeFlush(ctx, clone, bytes);
+  return clone_handle;
+}
+
+Status ArtIndex::Update(ThreadContext& ctx, uint64_t key, PmOffset value) {
+  const IndexHandle h = FindLeaf(ctx, key);
+  if (h == kNullHandle) {
+    return Status::kNotFound;
+  }
+  auto* leaf = space_->As<Leaf>(h);
+  NodeLock lock(leaf->header.version);
+  leaf->value = value;
+  ctx.TouchStore(&leaf->value, sizeof(uint64_t));
+  MaybeFlush(ctx, &leaf->value, sizeof(uint64_t));
+  return Status::kOk;
+}
+
+Status ArtIndex::Remove(ThreadContext& ctx, uint64_t key) {
+  std::lock_guard<SpinLatch> guard(smo_latch_);
+  IndexHandle h = root()->node.load(std::memory_order_acquire);
+  NodeHeader* parent = nullptr;
+  uint8_t parent_byte = 0;
+  uint32_t depth = 0;
+  while (h != kNullHandle) {
+    NodeHeader* header = Header(h);
+    ctx.TouchLoad(header, kCacheLineSize);
+    if (static_cast<NodeType>(header->type) == NodeType::kLeaf) {
+      auto* leaf = space_->As<Leaf>(h);
+      if (leaf->key != key) {
+        return Status::kNotFound;
+      }
+      if (parent == nullptr) {
+        root()->node.store(kNullHandle, std::memory_order_release);
+      } else {
+        RemoveChild(ctx, parent, parent_byte);
+      }
+      root()->size.fetch_sub(1, std::memory_order_relaxed);
+      return Status::kOk;
+    }
+    const uint8_t plen = header->prefix_len;
+    for (uint8_t i = 0; i < plen; ++i) {
+      if (header->prefix[i] != KeyByte(key, depth + i)) {
+        return Status::kNotFound;
+      }
+    }
+    depth += plen;
+    const uint8_t byte = KeyByte(key, depth);
+    const IndexHandle child = FindChild(header, byte);
+    if (child == kNullHandle) {
+      return Status::kNotFound;
+    }
+    parent = header;
+    parent_byte = byte;
+    depth += 1;
+    h = child;
+  }
+  return Status::kNotFound;
+}
+
+bool ArtIndex::CollectRange(ThreadContext& ctx, IndexHandle node_handle, uint64_t start_key,
+                            uint64_t end_key, size_t limit,
+                            std::vector<IndexEntry>& out) const {
+  if (node_handle == kNullHandle) {
+    return true;
+  }
+  NodeHeader* header = Header(node_handle);
+  ctx.TouchLoad(header, kCacheLineSize);
+  if (static_cast<NodeType>(header->type) == NodeType::kLeaf) {
+    auto* leaf = space_->As<Leaf>(node_handle);
+    if (leaf->key > end_key) {
+      return false;  // in-order traversal: everything after is larger too
+    }
+    if (leaf->key >= start_key) {
+      out.push_back(IndexEntry{leaf->key, leaf->value});
+      if (out.size() >= limit) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Children in ascending byte order => ascending key order.
+  for (uint32_t b = 0; b < 256; ++b) {
+    const IndexHandle child = FindChild(header, static_cast<uint8_t>(b));
+    if (child != kNullHandle &&
+        !CollectRange(ctx, child, start_key, end_key, limit, out)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status ArtIndex::Scan(ThreadContext& ctx, uint64_t start_key, uint64_t end_key, size_t limit,
+                      std::vector<IndexEntry>& out) {
+  // Simplification vs RoART: scans serialize with structural changes.
+  std::lock_guard<SpinLatch> guard(smo_latch_);
+  CollectRange(ctx, root()->node.load(std::memory_order_acquire), start_key, end_key, limit,
+               out);
+  return Status::kOk;
+}
+
+void ArtIndex::ClearLocks(ThreadContext& ctx, IndexHandle node_handle) {
+  if (node_handle == kNullHandle) {
+    return;
+  }
+  NodeHeader* header = Header(node_handle);
+  const uint32_t v = header->version.load(std::memory_order_relaxed);
+  if ((v & 1u) != 0) {
+    header->version.store(v + 1, std::memory_order_relaxed);
+    ctx.TouchStore(header, sizeof(uint32_t));
+  }
+  if (static_cast<NodeType>(header->type) == NodeType::kLeaf) {
+    return;
+  }
+  for (uint32_t b = 0; b < 256; ++b) {
+    ClearLocks(ctx, FindChild(header, static_cast<uint8_t>(b)));
+  }
+}
+
+void ArtIndex::Recover(ThreadContext& ctx) {
+  const IndexHandle node = root()->node.load(std::memory_order_acquire);
+  ClearLocks(ctx, node);
+  // Recount entries (the size counter may be stale after a crash).
+  std::vector<IndexEntry> all;
+  CollectRange(ctx, node, 0, UINT64_MAX, SIZE_MAX, all);
+  root()->size.store(all.size(), std::memory_order_relaxed);
+}
+
+uint64_t ArtIndex::Size() const { return root()->size.load(std::memory_order_relaxed); }
+
+void ArtIndex::MaybeFlush(ThreadContext& ctx, const void* addr, size_t len) {
+  if (flush_writes_ && space_->persistent()) {
+    ctx.Sfence();
+    ctx.Clwb(addr, len);
+  }
+}
+
+}  // namespace falcon

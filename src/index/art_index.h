@@ -1,0 +1,137 @@
+// RoART-style persistent Adaptive Radix Tree (Ma et al., FAST '21),
+// simplified. The paper lists ART as another index family that fits Falcon's
+// architecture (§5.1: "Other indexes [22, 39] are also possible under
+// Falcon's architecture") because in-place tuple updates never change the
+// indexed address.
+//
+// Keys are u64, traversed big-endian so in-order traversal yields ascending
+// key order (enabling range scans). Nodes use the classic adaptive layouts
+// (N4 / N16 / N48 / N256) with pessimistic path compression (the full prefix
+// bytes are stored inline — at 8-byte keys the prefix always fits).
+//
+// Concurrency: per-node seqlocks for optimistic reads (same discipline as
+// the B+tree); all structural modifications (insert/remove/grow) serialize
+// on a tree-level latch. Point lookups are latch-free; scans take the
+// structural latch (documented simplification vs RoART).
+
+#ifndef SRC_INDEX_ART_INDEX_H_
+#define SRC_INDEX_ART_INDEX_H_
+
+#include <atomic>
+
+#include "src/index/index.h"
+
+namespace falcon {
+
+class ArtIndex final : public Index {
+ public:
+  ArtIndex(IndexSpace* space, ThreadContext& ctx);
+  ArtIndex(IndexSpace* space, IndexHandle root);
+
+  IndexHandle root_handle() const { return root_; }
+
+  Status Insert(ThreadContext& ctx, uint64_t key, PmOffset value) override;
+  PmOffset Lookup(ThreadContext& ctx, uint64_t key) override;
+  Status Update(ThreadContext& ctx, uint64_t key, PmOffset value) override;
+  Status Remove(ThreadContext& ctx, uint64_t key) override;
+  Status Scan(ThreadContext& ctx, uint64_t start_key, uint64_t end_key, size_t limit,
+              std::vector<IndexEntry>& out) override;
+  void Recover(ThreadContext& ctx) override;
+  uint64_t Size() const override;
+  bool persistent() const override { return space_->persistent(); }
+
+ private:
+  enum class NodeType : uint8_t { kN4 = 0, kN16 = 1, kN48 = 2, kN256 = 3, kLeaf = 4 };
+
+  // Common node header. `version` is a seqlock (odd = locked).
+  struct NodeHeader {
+    std::atomic<uint32_t> version;
+    uint8_t type;         // NodeType
+    uint8_t prefix_len;   // compressed path bytes below the parent edge
+    uint16_t count;       // populated children
+    uint8_t prefix[8];
+  };
+
+  struct Leaf {
+    NodeHeader header;
+    uint64_t key;
+    uint64_t value;
+  };
+
+  struct Node4 {
+    NodeHeader header;
+    uint8_t keys[4];
+    IndexHandle children[4];
+  };
+
+  struct Node16 {
+    NodeHeader header;
+    uint8_t keys[16];
+    IndexHandle children[16];
+  };
+
+  struct Node48 {
+    NodeHeader header;
+    uint8_t index[256];  // byte -> child slot + 1 (0 = absent)
+    IndexHandle children[48];
+  };
+
+  struct Node256 {
+    NodeHeader header;
+    IndexHandle children[256];
+  };
+
+  struct Root {
+    std::atomic<IndexHandle> node;  // kNullHandle for an empty tree
+    std::atomic<uint64_t> size;
+  };
+
+  Root* root() const { return space_->As<Root>(root_); }
+  NodeHeader* Header(IndexHandle h) const { return space_->As<NodeHeader>(h); }
+
+  static uint8_t KeyByte(uint64_t key, uint32_t depth) {
+    return static_cast<uint8_t>(key >> (56 - depth * 8));
+  }
+
+  IndexHandle AllocLeaf(ThreadContext& ctx, uint64_t key, uint64_t value);
+  IndexHandle AllocNode(ThreadContext& ctx, NodeType type);
+
+  // Child lookup within one inner node; kNullHandle if absent.
+  IndexHandle FindChild(const NodeHeader* node, uint8_t byte) const;
+
+  // Adds a child, growing the node if full. Returns the (possibly new)
+  // handle of the node; kNullHandle on allocation failure. Caller holds the
+  // structural latch.
+  IndexHandle AddChild(ThreadContext& ctx, IndexHandle node_handle, uint8_t byte,
+                       IndexHandle child);
+
+  // Replaces the child for `byte`; the entry must exist.
+  void ReplaceChild(ThreadContext& ctx, NodeHeader* node, uint8_t byte, IndexHandle child);
+
+  // Removes the child entry for `byte` (no node shrinking; see header note).
+  void RemoveChild(ThreadContext& ctx, NodeHeader* node, uint8_t byte);
+
+  // Copy-on-write prefix truncation for path splits: clones `old_handle`
+  // with its prefix shifted past byte `diverge` (readers standing on the
+  // original must never observe a prefix change).
+  IndexHandle CloneTruncated(ThreadContext& ctx, IndexHandle old_handle, uint8_t diverge);
+
+  // Latch-free descent for Lookup; returns the leaf handle or kNullHandle.
+  IndexHandle FindLeaf(ThreadContext& ctx, uint64_t key) const;
+
+  // In-order traversal helper for Scan. Caller holds the structural latch.
+  bool CollectRange(ThreadContext& ctx, IndexHandle node_handle, uint64_t start_key,
+                    uint64_t end_key, size_t limit, std::vector<IndexEntry>& out) const;
+
+  void ClearLocks(ThreadContext& ctx, IndexHandle node_handle);
+
+  void MaybeFlush(ThreadContext& ctx, const void* addr, size_t len);
+
+  IndexSpace* space_;
+  IndexHandle root_ = kNullHandle;
+  SpinLatch smo_latch_;
+};
+
+}  // namespace falcon
+
+#endif  // SRC_INDEX_ART_INDEX_H_

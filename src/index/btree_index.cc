@@ -1,0 +1,397 @@
+#include "src/index/btree_index.h"
+
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace falcon {
+
+BTreeIndex::BTreeIndex(IndexSpace* space, ThreadContext& ctx) : space_(space) {
+  root_ = space_->Alloc(ctx, sizeof(Root), alignof(Root));
+  auto* r = root();
+  r->size.store(0, std::memory_order_relaxed);
+  const IndexHandle leaf = AllocNode(ctx, /*level=*/0);
+  r->node.store(leaf, std::memory_order_release);
+}
+
+BTreeIndex::BTreeIndex(IndexSpace* space, IndexHandle root_handle)
+    : space_(space), root_(root_handle) {}
+
+IndexHandle BTreeIndex::AllocNode(ThreadContext& ctx, uint16_t level) {
+  const IndexHandle handle = space_->Alloc(ctx, sizeof(Node), kNvmBlockSize);
+  if (handle == kNullHandle) {
+    return kNullHandle;
+  }
+  Node* node = NodeAt(handle);
+  node->version.store(0, std::memory_order_relaxed);
+  node->count = 0;
+  node->level = level;
+  node->next = kNullHandle;
+  return handle;
+}
+
+uint32_t BTreeIndex::StableVersion(const Node* node) {
+  for (;;) {
+    const uint32_t v = node->version.load(std::memory_order_acquire);
+    if ((v & 1u) == 0) {
+      return v;
+    }
+  }
+}
+
+bool BTreeIndex::TryLock(Node* node, uint32_t expected) {
+  uint32_t e = expected;
+  return node->version.compare_exchange_strong(e, expected + 1, std::memory_order_acquire);
+}
+
+void BTreeIndex::Unlock(Node* node) { node->version.fetch_add(1, std::memory_order_release); }
+
+uint32_t BTreeIndex::LowerBound(const Node* node, uint64_t key) {
+  uint32_t lo = 0;
+  uint32_t hi = node->count;
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    if (node->entries[mid].key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint32_t BTreeIndex::RouteSlot(const Node* node, uint64_t key) {
+  const uint32_t lb = LowerBound(node, key);
+  if (lb < node->count && node->entries[lb].key == key) {
+    return lb;
+  }
+  return lb == 0 ? 0 : lb - 1;
+}
+
+BTreeIndex::LeafRef BTreeIndex::DescendToLeaf(ThreadContext& ctx, uint64_t key) const {
+  for (;;) {
+    IndexHandle handle = root()->node.load(std::memory_order_acquire);
+    Node* node = NodeAt(handle);
+    uint32_t version = StableVersion(node);
+    bool restart = false;
+    while (node->level > 0) {
+      const uint32_t slot = RouteSlot(node, key);
+      const IndexHandle child = node->entries[slot].value;
+      ctx.TouchLoad(node, sizeof(Node));
+      Node* child_node = NodeAt(child);
+      const uint32_t child_version = StableVersion(child_node);
+      // Re-validate the parent only after the child's version is pinned;
+      // otherwise a split completing between the two reads could leave us on
+      // a leaf that no longer covers `key` (classic OLC hand-over-hand).
+      if (node->version.load(std::memory_order_acquire) != version) {
+        restart = true;
+        break;
+      }
+      handle = child;
+      node = child_node;
+      version = child_version;
+    }
+    if (!restart) {
+      return LeafRef{handle, version};
+    }
+  }
+}
+
+PmOffset BTreeIndex::Lookup(ThreadContext& ctx, uint64_t key) {
+  for (;;) {
+    const LeafRef ref = DescendToLeaf(ctx, key);
+    Node* leaf = NodeAt(ref.handle);
+    const uint32_t lb = LowerBound(leaf, key);
+    PmOffset result = kNullPm;
+    if (lb < leaf->count && leaf->entries[lb].key == key) {
+      result = leaf->entries[lb].value;
+    }
+    ctx.TouchLoad(leaf, sizeof(Node));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (leaf->version.load(std::memory_order_acquire) == ref.version) {
+      return result;
+    }
+  }
+}
+
+Status BTreeIndex::MutateLeaf(ThreadContext& ctx, uint64_t key, PmOffset value,
+                              MutateKind kind) {
+  for (;;) {
+    const LeafRef ref = DescendToLeaf(ctx, key);
+    Node* leaf = NodeAt(ref.handle);
+    if (!TryLock(leaf, ref.version)) {
+      continue;  // leaf changed under us; re-descend
+    }
+    const uint32_t lb = LowerBound(leaf, key);
+    const bool found = lb < leaf->count && leaf->entries[lb].key == key;
+
+    switch (kind) {
+      case MutateKind::kInsert: {
+        if (found) {
+          Unlock(leaf);
+          return Status::kDuplicate;
+        }
+        if (leaf->count == kBTreeFanout) {
+          Unlock(leaf);
+          const Status split = SplitForKey(ctx, key);
+          if (!IsOk(split)) {
+            return split;
+          }
+          continue;
+        }
+        std::memmove(&leaf->entries[lb + 1], &leaf->entries[lb],
+                     (leaf->count - lb) * sizeof(Entry));
+        leaf->entries[lb] = Entry{key, value};
+        ++leaf->count;
+        ctx.TouchStore(leaf, sizeof(Node));
+        MaybeFlush(ctx, leaf, sizeof(Node));
+        Unlock(leaf);
+        root()->size.fetch_add(1, std::memory_order_relaxed);
+        return Status::kOk;
+      }
+      case MutateKind::kUpdate: {
+        if (!found) {
+          Unlock(leaf);
+          return Status::kNotFound;
+        }
+        leaf->entries[lb].value = value;
+        ctx.TouchStore(&leaf->entries[lb], sizeof(Entry));
+        MaybeFlush(ctx, &leaf->entries[lb], sizeof(Entry));
+        Unlock(leaf);
+        return Status::kOk;
+      }
+      case MutateKind::kRemove: {
+        if (!found) {
+          Unlock(leaf);
+          return Status::kNotFound;
+        }
+        std::memmove(&leaf->entries[lb], &leaf->entries[lb + 1],
+                     (leaf->count - lb - 1) * sizeof(Entry));
+        --leaf->count;
+        ctx.TouchStore(leaf, sizeof(Node));
+        MaybeFlush(ctx, leaf, sizeof(Node));
+        Unlock(leaf);
+        root()->size.fetch_sub(1, std::memory_order_relaxed);
+        return Status::kOk;
+      }
+    }
+  }
+}
+
+Status BTreeIndex::Insert(ThreadContext& ctx, uint64_t key, PmOffset value) {
+  return MutateLeaf(ctx, key, value, MutateKind::kInsert);
+}
+
+Status BTreeIndex::Update(ThreadContext& ctx, uint64_t key, PmOffset value) {
+  return MutateLeaf(ctx, key, value, MutateKind::kUpdate);
+}
+
+Status BTreeIndex::Remove(ThreadContext& ctx, uint64_t key) {
+  return MutateLeaf(ctx, key, kNullPm, MutateKind::kRemove);
+}
+
+Status BTreeIndex::SplitForKey(ThreadContext& ctx, uint64_t key) {
+  std::lock_guard<SpinLatch> smo_guard(smo_latch_);
+
+  // Inner nodes only change under smo_latch_, which we hold, so the path
+  // collected below is stable except for the leaf itself.
+  for (;;) {
+    std::vector<IndexHandle> path;
+    IndexHandle handle = root()->node.load(std::memory_order_acquire);
+    Node* node = NodeAt(handle);
+    while (true) {
+      path.push_back(handle);
+      if (node->level == 0) {
+        break;
+      }
+      handle = node->entries[RouteSlot(node, key)].value;
+      ctx.TouchLoad(node, sizeof(Node));
+      node = NodeAt(handle);
+    }
+
+    Node* leaf = NodeAt(path.back());
+    const uint32_t leaf_version = StableVersion(leaf);
+    if (!TryLock(leaf, leaf_version)) {
+      continue;
+    }
+    if (leaf->count < kBTreeFanout) {
+      Unlock(leaf);
+      return Status::kOk;  // another writer already made room
+    }
+
+    // Split the leaf: upper half moves to a new right sibling.
+    const IndexHandle sibling_handle = AllocNode(ctx, /*level=*/0);
+    if (sibling_handle == kNullHandle) {
+      Unlock(leaf);
+      return Status::kNoSpace;
+    }
+    Node* sibling = NodeAt(sibling_handle);
+    const uint32_t keep = leaf->count / 2;
+    sibling->count = leaf->count - keep;
+    std::memcpy(sibling->entries, &leaf->entries[keep], sibling->count * sizeof(Entry));
+    sibling->next = leaf->next;
+    leaf->next = sibling_handle;
+    leaf->count = static_cast<uint16_t>(keep);
+    ctx.TouchStore(leaf, sizeof(Node));
+    ctx.TouchStore(sibling, sizeof(Node));
+    MaybeFlush(ctx, sibling, sizeof(Node));
+    MaybeFlush(ctx, leaf, sizeof(Node));
+    Unlock(leaf);
+
+    // Promote separators bottom-up. Inner nodes are write-locked while
+    // modified so concurrent readers retry.
+    uint64_t sep_key = sibling->entries[0].key;
+    IndexHandle sep_child = sibling_handle;
+    for (size_t i = path.size(); i-- > 1;) {
+      Node* parent = NodeAt(path[i - 1]);
+      const uint32_t pv = StableVersion(parent);
+      TryLock(parent, pv);  // cannot fail: inner nodes only change under smo
+
+      if (parent->count < kBTreeFanout) {
+        const uint32_t pos = LowerBound(parent, sep_key);
+        std::memmove(&parent->entries[pos + 1], &parent->entries[pos],
+                     (parent->count - pos) * sizeof(Entry));
+        parent->entries[pos] = Entry{sep_key, sep_child};
+        ++parent->count;
+        ctx.TouchStore(parent, sizeof(Node));
+        MaybeFlush(ctx, parent, sizeof(Node));
+        Unlock(parent);
+        return Status::kOk;
+      }
+
+      // Parent is full: split it, then keep promoting.
+      const IndexHandle psib_handle = AllocNode(ctx, parent->level);
+      if (psib_handle == kNullHandle) {
+        Unlock(parent);
+        return Status::kNoSpace;
+      }
+      Node* psib = NodeAt(psib_handle);
+      const uint32_t pkeep = parent->count / 2;
+      psib->count = parent->count - pkeep;
+      std::memcpy(psib->entries, &parent->entries[pkeep], psib->count * sizeof(Entry));
+      parent->count = static_cast<uint16_t>(pkeep);
+      const uint64_t promoted = psib->entries[0].key;
+
+      Node* target = sep_key < promoted ? parent : psib;
+      const uint32_t pos = LowerBound(target, sep_key);
+      std::memmove(&target->entries[pos + 1], &target->entries[pos],
+                   (target->count - pos) * sizeof(Entry));
+      target->entries[pos] = Entry{sep_key, sep_child};
+      ++target->count;
+      ctx.TouchStore(parent, sizeof(Node));
+      ctx.TouchStore(psib, sizeof(Node));
+      MaybeFlush(ctx, psib, sizeof(Node));
+      MaybeFlush(ctx, parent, sizeof(Node));
+      Unlock(parent);
+
+      sep_key = promoted;
+      sep_child = psib_handle;
+    }
+
+    // The root itself split: grow the tree by one level.
+    Node* old_root = NodeAt(path[0]);
+    const IndexHandle new_root_handle = AllocNode(ctx, static_cast<uint16_t>(old_root->level + 1));
+    if (new_root_handle == kNullHandle) {
+      return Status::kNoSpace;
+    }
+    Node* new_root = NodeAt(new_root_handle);
+    new_root->count = 2;
+    new_root->entries[0] = Entry{0, path[0]};  // -inf sentinel for the left child
+    new_root->entries[1] = Entry{sep_key, sep_child};
+    ctx.TouchStore(new_root, sizeof(Node));
+    MaybeFlush(ctx, new_root, sizeof(Node));
+    root()->node.store(new_root_handle, std::memory_order_release);
+    return Status::kOk;
+  }
+}
+
+Status BTreeIndex::Scan(ThreadContext& ctx, uint64_t start_key, uint64_t end_key, size_t limit,
+                        std::vector<IndexEntry>& out) {
+  uint64_t cursor = start_key;
+  LeafRef ref = DescendToLeaf(ctx, cursor);
+  while (out.size() < limit) {
+    Node* leaf = NodeAt(ref.handle);
+    // Snapshot the leaf under its seqlock.
+    Entry local[kBTreeFanout];
+    const uint32_t count = leaf->count;
+    std::memcpy(local, leaf->entries, sizeof(local));
+    const IndexHandle next = leaf->next;
+    ctx.TouchLoad(leaf, sizeof(Node));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (leaf->version.load(std::memory_order_acquire) != ref.version) {
+      ref = DescendToLeaf(ctx, cursor);  // leaf changed: re-position
+      continue;
+    }
+    for (uint32_t i = 0; i < count && i < kBTreeFanout; ++i) {
+      if (local[i].key < cursor) {
+        continue;
+      }
+      if (local[i].key > end_key) {
+        return Status::kOk;
+      }
+      out.push_back(IndexEntry{local[i].key, local[i].value});
+      if (out.size() == limit) {
+        return Status::kOk;
+      }
+      cursor = local[i].key + 1;
+    }
+    if (next == kNullHandle) {
+      return Status::kOk;
+    }
+    ref = LeafRef{next, StableVersion(NodeAt(next))};
+  }
+  return Status::kOk;
+}
+
+void BTreeIndex::Recover(ThreadContext& ctx) {
+  // Clear any latch bits left by in-flight writers (BFS over the tree) and
+  // recount entries via the leaf chain. The tree is orders of magnitude
+  // smaller than the tuple heap, so this stays within the paper's
+  // millisecond recovery budget.
+  std::vector<IndexHandle> frontier{root()->node.load(std::memory_order_acquire)};
+  IndexHandle leftmost = frontier[0];
+  while (!frontier.empty()) {
+    std::vector<IndexHandle> next_level;
+    for (const IndexHandle handle : frontier) {
+      Node* node = NodeAt(handle);
+      const uint32_t v = node->version.load(std::memory_order_relaxed);
+      if ((v & 1u) != 0) {
+        node->version.store(v + 1, std::memory_order_relaxed);
+        ctx.TouchStore(node, sizeof(uint32_t));
+      }
+      if (node->level > 0) {
+        for (uint32_t i = 0; i < node->count; ++i) {
+          next_level.push_back(node->entries[i].value);
+        }
+        if (handle == leftmost && node->count > 0) {
+          // Track the leftmost spine to find the head of the leaf chain.
+        }
+      }
+    }
+    if (!next_level.empty()) {
+      leftmost = next_level[0];
+    }
+    frontier = std::move(next_level);
+  }
+
+  uint64_t entries = 0;
+  IndexHandle handle = leftmost;
+  while (handle != kNullHandle) {
+    Node* leaf = NodeAt(handle);
+    ctx.TouchLoad(leaf, sizeof(Node));
+    entries += leaf->count;
+    handle = leaf->next;
+  }
+  root()->size.store(entries, std::memory_order_relaxed);
+}
+
+uint64_t BTreeIndex::Size() const { return root()->size.load(std::memory_order_relaxed); }
+
+void BTreeIndex::MaybeFlush(ThreadContext& ctx, const void* addr, size_t len) {
+  if (flush_writes_ && space_->persistent()) {
+    ctx.Sfence();
+    ctx.Clwb(addr, len);
+  }
+}
+
+}  // namespace falcon

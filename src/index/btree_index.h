@@ -1,0 +1,114 @@
+// NBTree-style persistent B+tree (Zhang et al., VLDB '22), simplified.
+//
+// Nodes are 512B (two NVM media blocks), leaves are chained for range scans
+// (needed by TPC-C OrderStatus/Delivery, paper §5.1: "We also implement scan
+// operations for NBTree"). Readers use optimistic seqlock validation and
+// never block; leaf-local writers lock only the leaf; structural changes
+// (splits, root growth) serialize on an SMO latch.
+//
+// Simplifications vs NBTree, documented in DESIGN.md: no node merging on
+// delete (leaves may become empty but remain chained), and split crash
+// consistency relies on the engine injecting crashes at transaction
+// boundaries rather than NBTree's log-free split protocol.
+
+#ifndef SRC_INDEX_BTREE_INDEX_H_
+#define SRC_INDEX_BTREE_INDEX_H_
+
+#include <atomic>
+
+#include "src/index/index.h"
+
+namespace falcon {
+
+inline constexpr uint32_t kBTreeFanout = 30;
+
+class BTreeIndex final : public Index {
+ public:
+  // Creates a fresh (empty) tree in `space`.
+  BTreeIndex(IndexSpace* space, ThreadContext& ctx);
+
+  // Attaches to an existing tree rooted at `root` (post-crash re-open).
+  BTreeIndex(IndexSpace* space, IndexHandle root);
+
+  IndexHandle root_handle() const { return root_; }
+
+  Status Insert(ThreadContext& ctx, uint64_t key, PmOffset value) override;
+  PmOffset Lookup(ThreadContext& ctx, uint64_t key) override;
+  Status Update(ThreadContext& ctx, uint64_t key, PmOffset value) override;
+  Status Remove(ThreadContext& ctx, uint64_t key) override;
+  Status Scan(ThreadContext& ctx, uint64_t start_key, uint64_t end_key, size_t limit,
+              std::vector<IndexEntry>& out) override;
+  void Recover(ThreadContext& ctx) override;
+  uint64_t Size() const override;
+  bool persistent() const override { return space_->persistent(); }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    uint64_t value;  // tuple offset (leaf) or child handle (inner)
+  };
+
+  // 512B node. `version` is a seqlock (odd = write-locked). Inner nodes
+  // route key K to the child of the largest separator <= K; entries[0].key
+  // acts as a -inf sentinel for the leftmost child.
+  struct Node {
+    std::atomic<uint32_t> version;
+    uint16_t count;
+    uint16_t level;    // 0 = leaf
+    IndexHandle next;  // right sibling (leaves only)
+    uint64_t pad[2];
+    Entry entries[kBTreeFanout];
+  };
+  static_assert(sizeof(Node) == 2 * kNvmBlockSize);
+
+  struct Root {
+    std::atomic<IndexHandle> node;
+    std::atomic<uint64_t> size;
+  };
+
+  Root* root() const { return space_->As<Root>(root_); }
+  Node* NodeAt(IndexHandle handle) const { return space_->As<Node>(handle); }
+
+  IndexHandle AllocNode(ThreadContext& ctx, uint16_t level);
+
+  // Stable (validated) read of a node's version; spins past writers.
+  static uint32_t StableVersion(const Node* node);
+
+  // Tries to move the seqlock from `expected` (even) to locked; false if the
+  // node changed since the caller observed `expected`.
+  static bool TryLock(Node* node, uint32_t expected);
+  static void Unlock(Node* node);
+
+  // Index of the child covering `key` in inner node `node`.
+  static uint32_t RouteSlot(const Node* node, uint64_t key);
+
+  // Position of the first entry with entry.key >= key.
+  static uint32_t LowerBound(const Node* node, uint64_t key);
+
+  // Optimistic descent to the leaf covering `key`. Returns {handle, version}
+  // of the leaf; retries internally until a consistent path is observed.
+  struct LeafRef {
+    IndexHandle handle;
+    uint32_t version;
+  };
+  LeafRef DescendToLeaf(ThreadContext& ctx, uint64_t key) const;
+
+  // Leaf-local mutation: calls `mutate(leaf)` with the leaf write-locked,
+  // provided the leaf has room (for inserts). Splits on demand.
+  enum class MutateKind { kInsert, kUpdate, kRemove };
+  Status MutateLeaf(ThreadContext& ctx, uint64_t key, PmOffset value, MutateKind kind);
+
+  // Splits the leaf covering `key` (and any full ancestors). Serialized by
+  // smo_latch_. The caller retries its leaf operation afterwards.
+  Status SplitForKey(ThreadContext& ctx, uint64_t key);
+
+  void MaybeFlush(ThreadContext& ctx, const void* addr, size_t len);
+
+  IndexSpace* space_;
+  IndexHandle root_ = kNullHandle;
+  SpinLatch smo_latch_;
+};
+
+}  // namespace falcon
+
+#endif  // SRC_INDEX_BTREE_INDEX_H_

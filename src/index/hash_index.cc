@@ -1,0 +1,309 @@
+#include "src/index/hash_index.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "src/common/rng.h"
+
+namespace falcon {
+
+HashIndex::HashIndex(IndexSpace* space, ThreadContext& ctx) : space_(space) {
+  root_ = space_->Alloc(ctx, sizeof(Root), alignof(Root));
+  auto* r = root();
+  r->size.store(0, std::memory_order_relaxed);
+
+  const IndexHandle dir_handle =
+      space_->Alloc(ctx, DirectoryBytes(kHashInitialDepth), kCacheLineSize);
+  auto* dir = space_->As<Directory>(dir_handle);
+  dir->global_depth = kHashInitialDepth;
+  for (uint64_t i = 0; i < (1ull << kHashInitialDepth); ++i) {
+    const IndexHandle bucket = AllocBucket(ctx, kHashInitialDepth);
+    dir->buckets[i] = bucket;
+  }
+  r->directory.store(dir_handle, std::memory_order_release);
+}
+
+HashIndex::HashIndex(IndexSpace* space, IndexHandle root_handle)
+    : space_(space), root_(root_handle) {}
+
+IndexHandle HashIndex::AllocBucket(ThreadContext& ctx, uint32_t local_depth) {
+  const IndexHandle handle = space_->Alloc(ctx, sizeof(Bucket), kNvmBlockSize);
+  if (handle == kNullHandle) {
+    return kNullHandle;
+  }
+  auto* bucket = space_->As<Bucket>(handle);
+  bucket->version.store(0, std::memory_order_relaxed);
+  bucket->count = 0;
+  bucket->local_depth = local_depth;
+  return handle;
+}
+
+HashIndex::Location HashIndex::Locate(ThreadContext& ctx, uint64_t hash) const {
+  Location loc;
+  loc.dir = root()->directory.load(std::memory_order_acquire);
+  auto* dir = space_->As<Directory>(loc.dir);
+  ctx.TouchLoad(dir, sizeof(Directory));
+  loc.slot = SlotFor(hash, dir->global_depth);
+  loc.bucket = dir->buckets[loc.slot];
+  ctx.TouchLoad(&dir->buckets[loc.slot], sizeof(IndexHandle));
+  return loc;
+}
+
+bool HashIndex::StillMapped(const Location& loc) const {
+  if (root()->directory.load(std::memory_order_acquire) != loc.dir) {
+    return false;
+  }
+  auto* dir = space_->As<Directory>(loc.dir);
+  return dir->buckets[loc.slot] == loc.bucket;
+}
+
+uint32_t HashIndex::LockBucket(Bucket* bucket) {
+  for (;;) {
+    uint32_t v = bucket->version.load(std::memory_order_acquire);
+    if ((v & 1u) == 0 &&
+        bucket->version.compare_exchange_weak(v, v + 1, std::memory_order_acquire)) {
+      return v;
+    }
+  }
+}
+
+void HashIndex::UnlockBucket(Bucket* bucket) {
+  bucket->version.fetch_add(1, std::memory_order_release);
+}
+
+void HashIndex::MaybeFlush(ThreadContext& ctx, const void* addr, size_t len) {
+  if (flush_writes_ && space_->persistent()) {
+    ctx.Sfence();
+    ctx.Clwb(addr, len);
+  }
+}
+
+PmOffset HashIndex::Lookup(ThreadContext& ctx, uint64_t key) {
+  const uint64_t hash = Mix64(key);
+  for (;;) {
+    const Location loc = Locate(ctx, hash);
+    auto* bucket = space_->As<Bucket>(loc.bucket);
+    const uint32_t v1 = bucket->version.load(std::memory_order_acquire);
+    if ((v1 & 1u) != 0) {
+      continue;  // writer active
+    }
+    PmOffset result = kNullPm;
+    const uint32_t count = bucket->count;
+    ctx.TouchLoad(bucket, sizeof(Bucket));
+    for (uint32_t i = 0; i < count && i < kHashBucketEntries; ++i) {
+      if (bucket->entries[i].key == key) {
+        result = bucket->entries[i].value;
+        break;
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (bucket->version.load(std::memory_order_acquire) == v1 && StillMapped(loc)) {
+      return result;
+    }
+  }
+}
+
+Status HashIndex::Insert(ThreadContext& ctx, uint64_t key, PmOffset value) {
+  const uint64_t hash = Mix64(key);
+  for (;;) {
+    const Location loc = Locate(ctx, hash);
+    auto* bucket = space_->As<Bucket>(loc.bucket);
+    LockBucket(bucket);
+    if (!StillMapped(loc)) {
+      UnlockBucket(bucket);
+      continue;
+    }
+    for (uint32_t i = 0; i < bucket->count; ++i) {
+      if (bucket->entries[i].key == key) {
+        UnlockBucket(bucket);
+        return Status::kDuplicate;
+      }
+    }
+    if (bucket->count < kHashBucketEntries) {
+      bucket->entries[bucket->count] = Entry{key, value};
+      ++bucket->count;
+      ctx.TouchStore(bucket, sizeof(Bucket));
+      MaybeFlush(ctx, bucket, sizeof(Bucket));
+      UnlockBucket(bucket);
+      root()->size.fetch_add(1, std::memory_order_relaxed);
+      return Status::kOk;
+    }
+    UnlockBucket(bucket);
+    const Status split_status = SplitBucket(ctx, hash);
+    if (!IsOk(split_status)) {
+      return split_status;
+    }
+  }
+}
+
+Status HashIndex::Update(ThreadContext& ctx, uint64_t key, PmOffset value) {
+  const uint64_t hash = Mix64(key);
+  for (;;) {
+    const Location loc = Locate(ctx, hash);
+    auto* bucket = space_->As<Bucket>(loc.bucket);
+    LockBucket(bucket);
+    if (!StillMapped(loc)) {
+      UnlockBucket(bucket);
+      continue;
+    }
+    for (uint32_t i = 0; i < bucket->count; ++i) {
+      if (bucket->entries[i].key == key) {
+        bucket->entries[i].value = value;
+        ctx.TouchStore(&bucket->entries[i], sizeof(Entry));
+        MaybeFlush(ctx, &bucket->entries[i], sizeof(Entry));
+        UnlockBucket(bucket);
+        return Status::kOk;
+      }
+    }
+    UnlockBucket(bucket);
+    return Status::kNotFound;
+  }
+}
+
+Status HashIndex::Remove(ThreadContext& ctx, uint64_t key) {
+  const uint64_t hash = Mix64(key);
+  for (;;) {
+    const Location loc = Locate(ctx, hash);
+    auto* bucket = space_->As<Bucket>(loc.bucket);
+    LockBucket(bucket);
+    if (!StillMapped(loc)) {
+      UnlockBucket(bucket);
+      continue;
+    }
+    for (uint32_t i = 0; i < bucket->count; ++i) {
+      if (bucket->entries[i].key == key) {
+        bucket->entries[i] = bucket->entries[bucket->count - 1];
+        --bucket->count;
+        ctx.TouchStore(bucket, sizeof(Bucket));
+        MaybeFlush(ctx, bucket, sizeof(Bucket));
+        UnlockBucket(bucket);
+        root()->size.fetch_sub(1, std::memory_order_relaxed);
+        return Status::kOk;
+      }
+    }
+    UnlockBucket(bucket);
+    return Status::kNotFound;
+  }
+}
+
+Status HashIndex::SplitBucket(ThreadContext& ctx, uint64_t hash) {
+  std::lock_guard<SpinLatch> resize_guard(resize_latch_);
+
+  // Re-locate under the latch; another thread may already have split.
+  Location loc = Locate(ctx, hash);
+  auto* bucket = space_->As<Bucket>(loc.bucket);
+  LockBucket(bucket);
+  if (!StillMapped(loc) || bucket->count < kHashBucketEntries) {
+    UnlockBucket(bucket);
+    return Status::kOk;  // progress happened elsewhere; caller retries
+  }
+
+  auto* dir = space_->As<Directory>(loc.dir);
+  if (bucket->local_depth == dir->global_depth) {
+    // Double the directory: allocate a new one with every entry duplicated,
+    // then atomically swap the root pointer. The old directory is retired
+    // (never reused — readers may still be traversing it).
+    const uint64_t new_depth = dir->global_depth + 1;
+    const IndexHandle new_dir_handle =
+        space_->Alloc(ctx, DirectoryBytes(new_depth), kCacheLineSize);
+    if (new_dir_handle == kNullHandle) {
+      UnlockBucket(bucket);
+      return Status::kNoSpace;
+    }
+    auto* new_dir = space_->As<Directory>(new_dir_handle);
+    new_dir->global_depth = new_depth;
+    for (uint64_t i = 0; i < (1ull << dir->global_depth); ++i) {
+      new_dir->buckets[2 * i] = dir->buckets[i];
+      new_dir->buckets[2 * i + 1] = dir->buckets[i];
+    }
+    ctx.TouchStore(new_dir, DirectoryBytes(new_depth));
+    MaybeFlush(ctx, new_dir, DirectoryBytes(new_depth));
+    root()->directory.store(new_dir_handle, std::memory_order_release);
+    loc.dir = new_dir_handle;
+    loc.slot = SlotFor(hash, new_depth);
+    dir = new_dir;
+  }
+
+  // Split: entries whose next depth bit is 1 move to the sibling.
+  const uint32_t old_depth = bucket->local_depth;
+  const IndexHandle sibling_handle = AllocBucket(ctx, old_depth + 1);
+  if (sibling_handle == kNullHandle) {
+    UnlockBucket(bucket);
+    return Status::kNoSpace;
+  }
+  auto* sibling = space_->As<Bucket>(sibling_handle);
+  bucket->local_depth = old_depth + 1;
+
+  uint32_t kept = 0;
+  for (uint32_t i = 0; i < bucket->count; ++i) {
+    const uint64_t entry_hash = Mix64(bucket->entries[i].key);
+    const bool to_sibling = ((entry_hash >> (63 - old_depth)) & 1u) != 0;
+    if (to_sibling) {
+      sibling->entries[sibling->count++] = bucket->entries[i];
+    } else {
+      bucket->entries[kept++] = bucket->entries[i];
+    }
+  }
+  bucket->count = kept;
+  ctx.TouchStore(bucket, sizeof(Bucket));
+  ctx.TouchStore(sibling, sizeof(Bucket));
+  MaybeFlush(ctx, bucket, sizeof(Bucket));
+  MaybeFlush(ctx, sibling, sizeof(Bucket));
+
+  // Repoint the directory entries in the bucket's range whose bit at
+  // position old_depth (from the top) is 1.
+  const uint64_t depth_gap = dir->global_depth - old_depth;
+  const uint64_t range_start = (loc.slot >> depth_gap) << depth_gap;
+  const uint64_t range_size = 1ull << depth_gap;
+  for (uint64_t i = 0; i < range_size; ++i) {
+    if ((i >> (depth_gap - 1)) & 1u) {
+      dir->buckets[range_start + i] = sibling_handle;
+    }
+  }
+  ctx.TouchStore(&dir->buckets[range_start], range_size * sizeof(IndexHandle));
+  MaybeFlush(ctx, &dir->buckets[range_start], range_size * sizeof(IndexHandle));
+
+  UnlockBucket(bucket);
+  return Status::kOk;
+}
+
+Status HashIndex::Scan(ThreadContext& ctx, uint64_t start_key, uint64_t end_key, size_t limit,
+                       std::vector<IndexEntry>& out) {
+  (void)ctx;
+  (void)start_key;
+  (void)end_key;
+  (void)limit;
+  (void)out;
+  // Hash indexes have no key order (paper: NBTree is used where TPC-C needs
+  // scans).
+  return Status::kInvalidArgument;
+}
+
+void HashIndex::Recover(ThreadContext& ctx) {
+  // Mirrors Dash's Recovery(): structural state is already persistent; only
+  // latch bits left by in-flight writers need clearing.
+  const IndexHandle dir_handle = root()->directory.load(std::memory_order_acquire);
+  auto* dir = space_->As<Directory>(dir_handle);
+  ctx.TouchLoad(dir, sizeof(Directory));
+  uint64_t entries = 0;
+  IndexHandle prev = kNullHandle;
+  for (uint64_t i = 0; i < (1ull << dir->global_depth); ++i) {
+    const IndexHandle handle = dir->buckets[i];
+    if (handle == prev) {
+      continue;  // contiguous duplicate pointers (local depth < global)
+    }
+    prev = handle;
+    auto* bucket = space_->As<Bucket>(handle);
+    const uint32_t v = bucket->version.load(std::memory_order_relaxed);
+    if ((v & 1u) != 0) {
+      bucket->version.store(v + 1, std::memory_order_relaxed);
+      ctx.TouchStore(bucket, sizeof(uint32_t));
+    }
+    entries += bucket->count;
+  }
+  root()->size.store(entries, std::memory_order_relaxed);
+}
+
+uint64_t HashIndex::Size() const { return root()->size.load(std::memory_order_relaxed); }
+
+}  // namespace falcon

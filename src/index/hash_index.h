@@ -1,0 +1,121 @@
+// Dash-style extendible hash index (Lu et al., VLDB '20), simplified.
+//
+// Buckets are exactly one 256B NVM media block — the amplification-aware
+// node sizing the paper cites (§3.2: "256 bytes for a node in B+tree or hash
+// bucket"). A directory of bucket handles indexed by the top global_depth
+// hash bits grows by doubling; full buckets split by local depth.
+//
+// Concurrency: per-bucket seqlocks (odd version = write-locked) give
+// lock-free reads with validation; splits and directory doubling serialize
+// on a resize latch. Readers re-verify the directory mapping after reading a
+// bucket, so they can never act on a bucket that moved under them.
+//
+// Persistence: with an NvmIndexSpace every node lives in the arena, so the
+// index recovers instantly after a crash (Recover() only clears latch bits,
+// mirroring Dash's Recovery()).
+
+#ifndef SRC_INDEX_HASH_INDEX_H_
+#define SRC_INDEX_HASH_INDEX_H_
+
+#include <atomic>
+
+#include "src/index/index.h"
+
+namespace falcon {
+
+inline constexpr uint32_t kHashBucketEntries = 15;
+inline constexpr uint32_t kHashInitialDepth = 4;
+
+class HashIndex final : public Index {
+ public:
+  // Creates a fresh index in `space`. `ctx` is only used for cost charging.
+  HashIndex(IndexSpace* space, ThreadContext& ctx);
+
+  // Attaches to an existing index whose root block is at `root` (used when
+  // re-opening a persistent index after a crash).
+  HashIndex(IndexSpace* space, IndexHandle root);
+
+  // Handle of the root block, stable for the index's lifetime; persistent
+  // engines store it in TableMeta::index_root.
+  IndexHandle root_handle() const { return root_; }
+
+  Status Insert(ThreadContext& ctx, uint64_t key, PmOffset value) override;
+  PmOffset Lookup(ThreadContext& ctx, uint64_t key) override;
+  Status Update(ThreadContext& ctx, uint64_t key, PmOffset value) override;
+  Status Remove(ThreadContext& ctx, uint64_t key) override;
+  Status Scan(ThreadContext& ctx, uint64_t start_key, uint64_t end_key, size_t limit,
+              std::vector<IndexEntry>& out) override;
+  void Recover(ThreadContext& ctx) override;
+  uint64_t Size() const override;
+  bool persistent() const override { return space_->persistent(); }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    uint64_t value;
+  };
+
+  // One 256B bucket. `version` is a seqlock; `count` entries are valid.
+  struct Bucket {
+    std::atomic<uint32_t> version;
+    uint32_t count;
+    uint32_t local_depth;
+    uint32_t pad;
+    Entry entries[kHashBucketEntries];
+  };
+  static_assert(sizeof(Bucket) == kNvmBlockSize);
+
+  struct Directory {
+    uint64_t global_depth;
+    uint64_t pad;
+    // 2^global_depth bucket handles follow.
+    IndexHandle buckets[1];
+  };
+
+  struct Root {
+    std::atomic<IndexHandle> directory;
+    std::atomic<uint64_t> size;
+  };
+
+  static uint64_t SlotFor(uint64_t hash, uint64_t depth) {
+    return depth == 0 ? 0 : hash >> (64 - depth);
+  }
+  static size_t DirectoryBytes(uint64_t depth) {
+    return sizeof(Directory) + (((1ull << depth) - 1) * sizeof(IndexHandle));
+  }
+
+  Root* root() const { return space_->As<Root>(root_); }
+
+  // Locates the bucket for `hash` and returns {dir_handle, slot, bucket
+  // handle}. Charges directory access costs.
+  struct Location {
+    IndexHandle dir;
+    uint64_t slot;
+    IndexHandle bucket;
+  };
+  Location Locate(ThreadContext& ctx, uint64_t hash) const;
+
+  // True if `loc` still maps to the same bucket (validated after reads and
+  // after taking a bucket lock).
+  bool StillMapped(const Location& loc) const;
+
+  // Spin-locks the bucket's seqlock; returns the pre-lock (even) version.
+  static uint32_t LockBucket(Bucket* bucket);
+  static void UnlockBucket(Bucket* bucket);
+
+  IndexHandle AllocBucket(ThreadContext& ctx, uint32_t local_depth);
+
+  // Splits the bucket at `loc` (retried by the caller afterwards). Takes the
+  // resize latch; doubles the directory first when local == global depth.
+  Status SplitBucket(ThreadContext& ctx, uint64_t hash);
+
+  void MaybeFlush(ThreadContext& ctx, const void* addr, size_t len);
+
+  IndexSpace* space_;
+  IndexHandle root_ = kNullHandle;
+  SpinLatch resize_latch_;
+};
+
+}  // namespace falcon
+
+#endif  // SRC_INDEX_HASH_INDEX_H_

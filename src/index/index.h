@@ -1,0 +1,137 @@
+// Index abstraction (paper §5.1 "Index"): u64 key -> tuple offset maps that
+// can live either in NVM (instant recovery, the Falcon default) or in DRAM
+// (faster, but must be rebuilt by a heap scan after a crash — the ZenS
+// configuration).
+//
+// Two implementations are provided, mirroring the paper's choices:
+//   * HashIndex  — Dash-style extendible hashing with 256B buckets
+//   * BTreeIndex — NBTree-style B+tree with linked leaves and range scans
+//
+// Placement is factored out through IndexSpace, so the same data-structure
+// code runs over NVM arena pages or malloc'd DRAM.
+
+#ifndef SRC_INDEX_INDEX_H_
+#define SRC_INDEX_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/latch.h"
+#include "src/common/status.h"
+#include "src/pmem/arena.h"
+#include "src/sim/thread_context.h"
+
+namespace falcon {
+
+// Allocation handle inside an IndexSpace. 0 is null. For NVM spaces the
+// handle is a PmOffset; for DRAM spaces it is the object address.
+using IndexHandle = uint64_t;
+inline constexpr IndexHandle kNullHandle = 0;
+
+// Node allocator for index structures. Thread safe. Freed nodes are not
+// recycled (index nodes are only retired on splits, a negligible volume).
+class IndexSpace {
+ public:
+  virtual ~IndexSpace() = default;
+
+  // Allocates `bytes` aligned to `align`; returns kNullHandle on exhaustion.
+  virtual IndexHandle Alloc(ThreadContext& ctx, size_t bytes, size_t align) = 0;
+  virtual void* Ptr(IndexHandle handle) const = 0;
+
+  // True if allocations live in the persistent arena.
+  virtual bool persistent() const = 0;
+
+  template <typename T>
+  T* As(IndexHandle handle) const {
+    return static_cast<T*>(Ptr(handle));
+  }
+};
+
+// Allocates index nodes from dedicated NVM arena pages.
+class NvmIndexSpace final : public IndexSpace {
+ public:
+  explicit NvmIndexSpace(NvmArena* arena) : arena_(arena) {}
+
+  IndexHandle Alloc(ThreadContext& ctx, size_t bytes, size_t align) override;
+  void* Ptr(IndexHandle handle) const override { return arena_->Ptr<void>(handle); }
+  bool persistent() const override { return true; }
+
+ private:
+  NvmArena* arena_;
+  SpinLatch latch_;
+  PmOffset current_page_ = kNullPm;
+};
+
+// Allocates index nodes from DRAM chunks owned by the space.
+class DramIndexSpace final : public IndexSpace {
+ public:
+  DramIndexSpace() = default;
+  ~DramIndexSpace() override;
+
+  DramIndexSpace(const DramIndexSpace&) = delete;
+  DramIndexSpace& operator=(const DramIndexSpace&) = delete;
+
+  IndexHandle Alloc(ThreadContext& ctx, size_t bytes, size_t align) override;
+  void* Ptr(IndexHandle handle) const override { return reinterpret_cast<void*>(handle); }
+  bool persistent() const override { return false; }
+
+ private:
+  static constexpr size_t kChunkBytes = 8ull << 20;
+
+  SpinLatch latch_;
+  std::vector<std::byte*> chunks_;
+  size_t chunk_used_ = kChunkBytes;  // forces a chunk on first alloc
+};
+
+// One scan result entry.
+struct IndexEntry {
+  uint64_t key = 0;
+  PmOffset value = kNullPm;
+};
+
+class Index {
+ public:
+  virtual ~Index() = default;
+
+  // Inserts key -> value. kDuplicate if the key exists.
+  virtual Status Insert(ThreadContext& ctx, uint64_t key, PmOffset value) = 0;
+
+  // Returns the value for key, or kNullPm.
+  virtual PmOffset Lookup(ThreadContext& ctx, uint64_t key) = 0;
+
+  // Replaces the value of an existing key (out-of-place engines repoint the
+  // index at the new version on every update). kNotFound if absent.
+  virtual Status Update(ThreadContext& ctx, uint64_t key, PmOffset value) = 0;
+
+  // Removes the key. kNotFound if absent.
+  virtual Status Remove(ThreadContext& ctx, uint64_t key) = 0;
+
+  // Collects up to `limit` entries with key in [start_key, end_key],
+  // ascending. kInvalidArgument for index types without ordered scans.
+  virtual Status Scan(ThreadContext& ctx, uint64_t start_key, uint64_t end_key, size_t limit,
+                      std::vector<IndexEntry>& out) = 0;
+
+  // Post-crash fixup for persistent indexes (clear latches). DRAM indexes
+  // are instead rebuilt by the recovery manager via heap scan.
+  virtual void Recover(ThreadContext& ctx) = 0;
+
+  // Number of keys currently indexed (approximate under concurrency).
+  virtual uint64_t Size() const = 0;
+
+  virtual bool persistent() const = 0;
+
+  // When true, every index write is followed by a hinted flush — matching
+  // the paper's "All Flush" baselines. No-op for DRAM placements.
+  void set_flush_writes(bool flush) { flush_writes_ = flush; }
+  bool flush_writes() const { return flush_writes_; }
+
+ protected:
+  bool flush_writes_ = false;
+};
+
+}  // namespace falcon
+
+#endif  // SRC_INDEX_INDEX_H_

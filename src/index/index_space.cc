@@ -1,0 +1,66 @@
+#include <mutex>
+
+#include "src/index/index.h"
+#include "src/pmem/catalog.h"
+
+namespace falcon {
+
+IndexHandle NvmIndexSpace::Alloc(ThreadContext& ctx, size_t bytes, size_t align) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  if (bytes > kPageSize - kPageDataStart) {
+    // Oversized object (e.g. a large hash directory): dedicated contiguous
+    // pages, data starting block-aligned after the first page's header.
+    const uint64_t pages = (bytes + kPageDataStart + kPageSize - 1) / kPageSize;
+    const PmOffset off =
+        arena_->AllocContiguousPages(pages, PagePurpose::kIndex, ctx.thread_id(), 0);
+    if (off == kNullPm) {
+      return kNullHandle;
+    }
+    ctx.TouchStore(arena_->Ptr<void>(off + kPageDataStart), bytes);
+    return off + kPageDataStart;
+  }
+  if (current_page_ != kNullPm) {
+    const PmOffset off = arena_->AllocFromPage(current_page_, bytes, align);
+    if (off != kNullPm) {
+      ctx.TouchStore(arena_->Ptr<void>(off), bytes);
+      return off;
+    }
+  }
+  current_page_ = arena_->AllocPage(PagePurpose::kIndex, ctx.thread_id(), /*table_id=*/0);
+  if (current_page_ == kNullPm) {
+    return kNullHandle;
+  }
+  const PmOffset off = arena_->AllocFromPage(current_page_, bytes, align);
+  if (off != kNullPm) {
+    ctx.TouchStore(arena_->Ptr<void>(off), bytes);
+  }
+  return off;
+}
+
+DramIndexSpace::~DramIndexSpace() {
+  for (std::byte* chunk : chunks_) {
+    ::operator delete[](chunk, std::align_val_t{kNvmBlockSize});
+  }
+}
+
+IndexHandle DramIndexSpace::Alloc(ThreadContext& ctx, size_t bytes, size_t align) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  const size_t aligned_used = (chunk_used_ + align - 1) / align * align;
+  if (aligned_used + bytes > kChunkBytes || chunks_.empty()) {
+    if (bytes > kChunkBytes) {
+      return kNullHandle;
+    }
+    auto* chunk = static_cast<std::byte*>(
+        ::operator new[](kChunkBytes, std::align_val_t{kNvmBlockSize}));
+    chunks_.push_back(chunk);
+    chunk_used_ = bytes;
+    ctx.TouchStore(chunk, bytes);
+    return reinterpret_cast<IndexHandle>(chunk);
+  }
+  std::byte* out = chunks_.back() + aligned_used;
+  chunk_used_ = aligned_used + bytes;
+  ctx.TouchStore(out, bytes);
+  return reinterpret_cast<IndexHandle>(out);
+}
+
+}  // namespace falcon

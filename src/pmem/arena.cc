@@ -1,0 +1,73 @@
+#include "src/pmem/arena.h"
+
+#include <cstring>
+
+#include "src/pmem/catalog.h"
+
+namespace falcon {
+
+NvmArena NvmArena::Format(NvmDevice* device) {
+  NvmArena arena(device);
+  auto* sb = GetSuperblock(arena);
+  std::memset(static_cast<void*>(sb), 0, sizeof(Superblock));
+  sb->version = kArenaVersion;
+  sb->next_free_page.store(kSuperblockPages, std::memory_order_relaxed);
+  sb->generation.store(1, std::memory_order_relaxed);
+  // The magic is written last so a half-formatted arena is not "formatted".
+  sb->magic = kArenaMagic;
+  return arena;
+}
+
+NvmArena NvmArena::Open(NvmDevice* device) {
+  NvmArena arena(device);
+  return arena;
+}
+
+bool NvmArena::IsFormatted(const NvmDevice& device) {
+  const auto* sb = reinterpret_cast<const Superblock*>(device.base());
+  return sb->magic == kArenaMagic && sb->version == kArenaVersion;
+}
+
+PmOffset NvmArena::AllocPage(PagePurpose purpose, uint32_t owner_thread, uint64_t table_id) {
+  return AllocContiguousPages(1, purpose, owner_thread, table_id);
+}
+
+PmOffset NvmArena::AllocContiguousPages(uint64_t count, PagePurpose purpose,
+                                        uint32_t owner_thread, uint64_t table_id) {
+  auto* sb = GetSuperblock(*this);
+  const uint64_t page_index = sb->next_free_page.fetch_add(count, std::memory_order_relaxed);
+  if (page_index + count > page_capacity()) {
+    sb->next_free_page.fetch_sub(count, std::memory_order_relaxed);
+    return kNullPm;
+  }
+  const PmOffset offset = page_index * kPageSize;
+  auto* header = Ptr<PageHeader>(offset);
+  header->purpose = static_cast<uint64_t>(purpose);
+  header->owner_thread = owner_thread;
+  header->table_id = table_id;
+  header->next_page = kNullPm;
+  // The first allocation slot starts line-aligned after the header.
+  header->used_bytes.store(kPageDataStart, std::memory_order_relaxed);
+  return offset;
+}
+
+PmOffset NvmArena::AllocFromPage(PmOffset page_offset, uint64_t bytes, uint64_t align) {
+  auto* header = Ptr<PageHeader>(page_offset);
+  uint64_t used = header->used_bytes.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t aligned = (used + align - 1) / align * align;
+    if (aligned + bytes > kPageSize) {
+      return kNullPm;
+    }
+    if (header->used_bytes.compare_exchange_weak(used, aligned + bytes,
+                                                 std::memory_order_relaxed)) {
+      return page_offset + aligned;
+    }
+  }
+}
+
+uint64_t NvmArena::pages_allocated() const {
+  return GetSuperblock(*this)->next_free_page.load(std::memory_order_relaxed);
+}
+
+}  // namespace falcon

@@ -1,0 +1,97 @@
+// NVM space management (paper §5.1): the arena divides the simulated NVM
+// device into 2MB pages handed out by an atomic bump allocator whose cursor
+// lives in the persistent superblock, so allocation state survives crashes.
+//
+// Persistent data structures refer to each other with arena-relative byte
+// offsets (PmOffset), never raw pointers: offsets stay valid across
+// (simulated) restarts. Offset 0 is the superblock and doubles as the null
+// offset.
+
+#ifndef SRC_PMEM_ARENA_H_
+#define SRC_PMEM_ARENA_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/constants.h"
+#include "src/common/status.h"
+#include "src/sim/nvm_device.h"
+
+namespace falcon {
+
+// Arena-relative byte offset of a persistent object. 0 == null (offset 0 is
+// the superblock, which nothing else may point to).
+using PmOffset = uint64_t;
+inline constexpr PmOffset kNullPm = 0;
+
+// Header at the start of every allocated page.
+struct PageHeader {
+  uint64_t purpose = 0;      // PagePurpose
+  uint64_t owner_thread = 0;
+  uint64_t table_id = 0;
+  PmOffset next_page = kNullPm;        // chain of pages with the same role
+  std::atomic<uint64_t> used_bytes{};  // bump cursor within this page
+};
+static_assert(sizeof(PageHeader) == 40);
+
+enum class PagePurpose : uint64_t {
+  kFree = 0,
+  kTupleHeap = 1,
+  kLogWindow = 2,
+  kIndex = 3,
+  kVersionHeap = 4,  // only used when versions are placed in NVM (Outp/ZenS)
+};
+
+class NvmArena {
+ public:
+  // Formats a fresh arena over `device` (writes the superblock) or re-opens
+  // an existing one. `device` must outlive the arena.
+  static NvmArena Format(NvmDevice* device);
+  static NvmArena Open(NvmDevice* device);
+
+  // True if `device` holds a formatted arena (magic matches).
+  static bool IsFormatted(const NvmDevice& device);
+
+  NvmDevice* device() const { return device_; }
+
+  // Translates a persistent offset to a live pointer (and back).
+  template <typename T>
+  T* Ptr(PmOffset offset) const {
+    return offset == kNullPm ? nullptr : reinterpret_cast<T*>(device_->base() + offset);
+  }
+  PmOffset Offset(const void* ptr) const {
+    return ptr == nullptr
+               ? kNullPm
+               : static_cast<PmOffset>(static_cast<const std::byte*>(ptr) - device_->base());
+  }
+
+  // Allocates one 2MB page; returns its offset or kNullPm when full. The
+  // page header is initialized; the body is zero (fresh mmap) or stale (if
+  // recycled — pages are never recycled in this implementation).
+  PmOffset AllocPage(PagePurpose purpose, uint32_t owner_thread, uint64_t table_id);
+
+  // Allocates `count` physically contiguous pages (for objects larger than
+  // one page, e.g. big hash directories). Only the first page gets a header.
+  PmOffset AllocContiguousPages(uint64_t count, PagePurpose purpose, uint32_t owner_thread,
+                                uint64_t table_id);
+
+  // Bump-allocates `bytes` (aligned to `align`) from the page at
+  // `page_offset`. Returns kNullPm if the page cannot fit the request.
+  PmOffset AllocFromPage(PmOffset page_offset, uint64_t bytes, uint64_t align);
+
+  // Total pages handed out so far (including the superblock page).
+  uint64_t pages_allocated() const;
+  uint64_t page_capacity() const { return device_->capacity() / kPageSize; }
+
+  // Offset of the first byte after the superblock area.
+  static constexpr PmOffset kSuperblockPages = 1;
+
+ private:
+  explicit NvmArena(NvmDevice* device) : device_(device) {}
+
+  NvmDevice* device_;
+};
+
+}  // namespace falcon
+
+#endif  // SRC_PMEM_ARENA_H_

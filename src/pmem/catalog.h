@@ -1,0 +1,99 @@
+// The persistent catalog (paper §5.1): database metadata stored at offset 0
+// of the arena — table schemas, per-thread tuple-heap page chains, deleted
+// lists, index roots, and the per-thread small-log-window locations. The
+// catalog is the first thing recovery reads.
+
+#ifndef SRC_PMEM_CATALOG_H_
+#define SRC_PMEM_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/constants.h"
+#include "src/pmem/arena.h"
+
+namespace falcon {
+
+inline constexpr uint64_t kArenaMagic = 0xfa1c0d6e4dbull;  // "falcon-eadr-db"
+inline constexpr uint64_t kArenaVersion = 1;
+inline constexpr uint32_t kMaxTables = 16;
+inline constexpr uint32_t kMaxColumns = 24;
+inline constexpr uint32_t kMaxTableNameLen = 31;
+
+// First usable byte inside a page (keeps tuple slots 256B-aligned so hinted
+// flushes can merge into full media blocks).
+inline constexpr uint64_t kPageDataStart = kNvmBlockSize;
+
+// Byte offset of the superblock within the arena.
+inline constexpr PmOffset kSuperblockOffset = 0;
+
+// Fixed-size byte column. All schema information is POD so the catalog can
+// live directly in NVM.
+struct ColumnMeta {
+  uint32_t size = 0;    // bytes
+  uint32_t offset = 0;  // byte offset inside the tuple data area
+};
+
+// Which index implementation a table uses (set at table creation).
+enum class IndexKind : uint64_t {
+  kNone = 0,
+  kHash = 1,   // Dash-style extendible hashing (point lookups)
+  kBTree = 2,  // NBTree-style B+tree (point + range)
+  kArt = 3,    // RoART-style adaptive radix tree (point + range)
+};
+
+struct TableMeta {
+  char name[kMaxTableNameLen + 1] = {};
+  uint64_t id = 0;
+  uint64_t in_use = 0;
+  uint64_t tuple_data_size = 0;  // bytes of user data per tuple
+  uint64_t slot_size = 0;        // header + data, rounded for alignment
+  uint64_t column_count = 0;
+  ColumnMeta columns[kMaxColumns] = {};
+
+  uint64_t index_kind = 0;      // IndexKind
+  PmOffset index_root = kNullPm;  // root of the NVM index (if any)
+
+  // Per-thread tuple-heap page chains (pages are dedicated to threads,
+  // paper §5.1 "NVM Space Management").
+  PmOffset heap_head[kMaxThreads] = {};
+  PmOffset heap_current[kMaxThreads] = {};
+
+  // Per-thread deleted-tuple lists (paper §5.4): append at tail, reclaim
+  // from head; entries are naturally sorted by delete timestamp.
+  PmOffset deleted_head[kMaxThreads] = {};
+  PmOffset deleted_tail[kMaxThreads] = {};
+
+  std::atomic<uint64_t> approx_tuple_count{};
+};
+
+struct Superblock {
+  uint64_t magic = 0;
+  uint64_t version = 0;
+  std::atomic<uint64_t> next_free_page{};
+  // Incremented on every recovery. DRAM pointers stored in NVM (version
+  // chain heads) are tagged with the generation; a stale tag reads as null.
+  std::atomic<uint64_t> generation{};
+  // High-water mark of committed TIDs, maintained lazily so recovery can
+  // restart the TID clock above every pre-crash timestamp (§5.2.1 fn 2).
+  std::atomic<uint64_t> max_committed_tid{};
+  uint64_t table_count = 0;
+  uint64_t worker_count = 0;
+  // Per-thread small log windows (or conventional NVM log regions for the
+  // volatile-cache baselines).
+  PmOffset log_windows[kMaxThreads] = {};
+  uint64_t clean_shutdown = 0;
+  TableMeta tables[kMaxTables];
+};
+
+static_assert(sizeof(Superblock) < kPageSize, "superblock must fit in one page");
+
+// The superblock lives at offset 0, which Ptr() treats as null; resolve it
+// directly from the device base instead.
+inline Superblock* GetSuperblock(const NvmArena& arena) {
+  return reinterpret_cast<Superblock*>(arena.device()->base());
+}
+
+}  // namespace falcon
+
+#endif  // SRC_PMEM_CATALOG_H_

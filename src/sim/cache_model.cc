@@ -1,0 +1,219 @@
+#include "src/sim/cache_model.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace falcon {
+
+namespace {
+
+constexpr uint32_t kNoWay = UINT32_MAX;
+
+uint64_t LineTagOf(uintptr_t addr) { return addr / kCacheLineSize; }
+
+// Number of lines covered by [addr, addr + len).
+uint64_t LinesCovered(uintptr_t addr, size_t len) {
+  if (len == 0) {
+    return 0;
+  }
+  const uint64_t first = LineTagOf(addr);
+  const uint64_t last = LineTagOf(addr + len - 1);
+  return last - first + 1;
+}
+
+}  // namespace
+
+CacheModel::CacheModel(NvmDevice* device, CacheGeometry geometry, CostParams params)
+    : device_(device), geometry_(geometry), params_(params) {
+  lines_.resize(static_cast<size_t>(geometry_.sets) * geometry_.ways);
+}
+
+uint32_t CacheModel::FindWay(const Line* set, uint64_t line_tag) const {
+  for (uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (set[w].valid && set[w].tag == line_tag) {
+      return w;
+    }
+  }
+  return kNoWay;
+}
+
+void CacheModel::WritebackLine(const Line& line) {
+  // clwb path: the program flushed this line deliberately, so it reaches the
+  // device in program order (mergeable with its neighbors).
+  const uintptr_t addr = line.tag * kCacheLineSize;
+  if (device_ != nullptr && device_->Contains(reinterpret_cast<const void*>(addr))) {
+    device_->LineWrite(addr);
+  }
+  // Dirty DRAM lines write back to DRAM; that traffic is not modeled.
+}
+
+void CacheModel::PoolEvictedLine(uintptr_t line_addr) {
+  if (device_ == nullptr || !device_->Contains(reinterpret_cast<const void*>(line_addr))) {
+    return;
+  }
+  eviction_pool_.push_back(line_addr);
+  if (eviction_pool_.size() >= kEvictionPoolSize) {
+    // Release a random pooled line: eviction order is uncontrollable.
+    const uint64_t pick = SplitMix64(pool_rng_) % eviction_pool_.size();
+    std::swap(eviction_pool_[pick], eviction_pool_.back());
+    device_->LineWrite(eviction_pool_.back());
+    eviction_pool_.pop_back();
+  }
+}
+
+void CacheModel::FlushEvictionPool() {
+  for (const uintptr_t addr : eviction_pool_) {
+    device_->LineWrite(addr);
+  }
+  eviction_pool_.clear();
+}
+
+uint32_t CacheModel::EvictVictim(Line* set) {
+  uint32_t victim = 0;
+  uint64_t oldest = UINT64_MAX;
+  for (uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (!set[w].valid) {
+      return w;
+    }
+    if (set[w].last_use < oldest) {
+      oldest = set[w].last_use;
+      victim = w;
+    }
+  }
+  if (set[victim].dirty) {
+    ++stats_.dirty_evictions;
+    PoolEvictedLine(set[victim].tag * kCacheLineSize);
+  }
+  set[victim].valid = false;
+  return victim;
+}
+
+uint64_t CacheModel::TouchLine(uint64_t line_tag, bool is_store, bool* prev_missed) {
+  Line* set = &lines_[static_cast<size_t>(line_tag % geometry_.sets) * geometry_.ways];
+  uint32_t way = FindWay(set, line_tag);
+  uint64_t cost = 0;
+  if (way != kNoWay) {
+    ++stats_.hits;
+    cost = params_.cache_hit_ns;
+    *prev_missed = false;
+  } else {
+    ++stats_.misses;
+    const uintptr_t addr = line_tag * kCacheLineSize;
+    const bool nvm =
+        device_ != nullptr && device_->Contains(reinterpret_cast<const void*>(addr));
+    // Loads: the first miss of a span pays full latency; follow-up misses
+    // of contiguous lines overlap in the memory system and cost bandwidth.
+    // Stores: posted through the store buffer, so the write-allocate fill
+    // never stalls the thread for the full latency.
+    if (is_store) {
+      cost = nvm ? params_.nvm_store_miss_ns : params_.dram_store_miss_ns;
+    } else if (*prev_missed) {
+      cost = nvm ? params_.nvm_seq_line_ns : params_.dram_seq_line_ns;
+    } else {
+      cost = nvm ? params_.nvm_miss_ns : params_.dram_miss_ns;
+    }
+    *prev_missed = true;
+    way = EvictVictim(set);
+    set[way].tag = line_tag;
+    set[way].valid = true;
+    set[way].dirty = false;
+  }
+  set[way].last_use = ++use_clock_;
+  if (is_store) {
+    set[way].dirty = true;
+    cost += params_.store_issue_ns;
+  }
+  return cost;
+}
+
+uint64_t CacheModel::OnStore(uintptr_t addr, size_t len) {
+  const uint64_t first = LineTagOf(addr);
+  const uint64_t n = LinesCovered(addr, len);
+  uint64_t cost = 0;
+  bool prev_missed = false;
+  for (uint64_t i = 0; i < n; ++i) {
+    cost += TouchLine(first + i, /*is_store=*/true, &prev_missed);
+  }
+  return cost;
+}
+
+uint64_t CacheModel::OnLoad(uintptr_t addr, size_t len) {
+  const uint64_t first = LineTagOf(addr);
+  const uint64_t n = LinesCovered(addr, len);
+  uint64_t cost = 0;
+  bool prev_missed = false;
+  for (uint64_t i = 0; i < n; ++i) {
+    cost += TouchLine(first + i, /*is_store=*/false, &prev_missed);
+  }
+  return cost;
+}
+
+uint64_t CacheModel::Clwb(uintptr_t addr, size_t len) {
+  const uint64_t first = LineTagOf(addr);
+  const uint64_t n = LinesCovered(addr, len);
+  uint64_t cost = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t line_tag = first + i;
+    Line* set = &lines_[static_cast<size_t>(line_tag % geometry_.sets) * geometry_.ways];
+    const uint32_t way = FindWay(set, line_tag);
+    cost += params_.clwb_issue_ns;
+    if (way != kNoWay && set[way].dirty) {
+      ++stats_.clwb_writebacks;
+      WritebackLine(set[way]);
+      // clwb retains the line in cache in a clean state.
+      set[way].dirty = false;
+    }
+  }
+  return cost;
+}
+
+uint64_t CacheModel::Sfence() {
+  ++stats_.sfences;
+  return params_.sfence_ns;
+}
+
+void CacheModel::WritebackAll() {
+  // Orderly drain (shutdown / steady-state accounting): co-resident dirty
+  // lines of the same block leave together, so they merge. Mid-run capacity
+  // evictions still go through the randomizing pool — that is where the
+  // uncontrollable-order penalty genuinely applies.
+  FlushEvictionPool();
+  std::vector<uint64_t> dirty_tags;
+  for (auto& line : lines_) {
+    if (line.valid && line.dirty) {
+      dirty_tags.push_back(line.tag);
+      line.dirty = false;
+    }
+  }
+  std::sort(dirty_tags.begin(), dirty_tags.end());
+  for (const uint64_t tag : dirty_tags) {
+    Line ordered;
+    ordered.tag = tag;
+    WritebackLine(ordered);
+  }
+}
+
+void CacheModel::InvalidateAll() {
+  eviction_pool_.clear();
+  for (auto& line : lines_) {
+    line.valid = false;
+    line.dirty = false;
+  }
+}
+
+bool CacheModel::IsResident(uintptr_t addr) const {
+  const uint64_t line_tag = LineTagOf(addr);
+  const Line* set = &lines_[static_cast<size_t>(line_tag % geometry_.sets) * geometry_.ways];
+  return FindWay(set, line_tag) != kNoWay;
+}
+
+bool CacheModel::IsDirty(uintptr_t addr) const {
+  const uint64_t line_tag = LineTagOf(addr);
+  const Line* set = &lines_[static_cast<size_t>(line_tag % geometry_.sets) * geometry_.ways];
+  const uint32_t way = FindWay(set, line_tag);
+  return way != kNoWay && set[way].dirty;
+}
+
+}  // namespace falcon

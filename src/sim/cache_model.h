@@ -1,0 +1,118 @@
+// Per-thread set-associative CPU cache model.
+//
+// The model tracks tags and dirty bits only — application data always lives
+// in its real memory (the NVM arena or DRAM heap objects). The model's job is
+// to decide which accesses hit, when dirty lines are evicted to the NVM
+// device, and what each operation costs on the thread's simulated clock.
+//
+// Persistence semantics under eADR are exact without buffering data: a crash
+// flushes caches, so the arena contents already equal the persistent image.
+// For ADR semantics (dirty lines lost on crash) see
+// src/sim/semantic_cache.h, which buffers real line data.
+
+#ifndef SRC_SIM_CACHE_MODEL_H_
+#define SRC_SIM_CACHE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/constants.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/nvm_device.h"
+
+namespace falcon {
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t dirty_evictions = 0;  // dirty NVM lines pushed to the device
+  uint64_t clwb_writebacks = 0;  // dirty lines written back by clwb
+  uint64_t sfences = 0;
+};
+
+class CacheModel {
+ public:
+  // `device` may be nullptr for a pure-DRAM model (no NVM traffic possible).
+  CacheModel(NvmDevice* device, CacheGeometry geometry, CostParams params);
+
+  CacheModel(const CacheModel&) = delete;
+  CacheModel& operator=(const CacheModel&) = delete;
+  CacheModel(CacheModel&&) = default;
+
+  // Store of `len` bytes at `addr`; marks the covered lines dirty. Returns
+  // the simulated cost in ns.
+  uint64_t OnStore(uintptr_t addr, size_t len);
+
+  // Load of `len` bytes at `addr`. Misses cost DRAM or NVM latency depending
+  // on whether the line is inside the device arena.
+  uint64_t OnLoad(uintptr_t addr, size_t len);
+
+  // clwb over the covered lines: dirty lines are written back to the device
+  // (and stay resident, clean). clwb is asynchronous, so only the issue cost
+  // is charged to the thread.
+  uint64_t Clwb(uintptr_t addr, size_t len);
+
+  // Store fence.
+  uint64_t Sfence();
+
+  // Writes back every dirty NVM line (used when a simulated thread retires,
+  // approximating its lines' eventual natural eviction) and flushes the
+  // eviction pool.
+  void WritebackAll();
+
+  // Drops all lines without writeback (test helper: simulates a cold cache).
+  void InvalidateAll();
+
+  // True if the line containing `addr` is currently resident.
+  bool IsResident(uintptr_t addr) const;
+  // True if the line containing `addr` is resident and dirty.
+  bool IsDirty(uintptr_t addr) const;
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheGeometry& geometry() const { return geometry_; }
+
+ private:
+  struct Line {
+    uint64_t tag = 0;       // line address (addr / 64)
+    uint64_t last_use = 0;  // LRU timestamp
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  // Returns the way index of `line_tag` in its set, or UINT32_MAX.
+  uint32_t FindWay(const Line* set, uint64_t line_tag) const;
+
+  // Touches one line for store/load; returns its cost. `prev_missed` tracks
+  // whether the previous line of the same span missed (sequential misses
+  // overlap in the memory system and cost bandwidth, not latency).
+  uint64_t TouchLine(uint64_t line_tag, bool is_store, bool* prev_missed);
+
+  // Evicts the LRU way of `set` to make room; writes back if dirty + NVM.
+  uint32_t EvictVictim(Line* set);
+
+  void WritebackLine(const Line& line);
+
+  // Natural (capacity) evictions leave the cache in an order the program
+  // cannot control (§4.4: "there is no direct mechanism in modern CPUs to
+  // control the cache line eviction order"). A small randomizing pool
+  // decorrelates adjacent evicted lines before they reach the device, so
+  // un-flushed neighbors rarely merge — the write amplification clwb's
+  // hinted ordering avoids.
+  void PoolEvictedLine(uintptr_t line_addr);
+  void FlushEvictionPool();
+
+  static constexpr size_t kEvictionPoolSize = 256;
+
+  NvmDevice* device_;
+  CacheGeometry geometry_;
+  CostParams params_;
+  std::vector<Line> lines_;  // sets * ways, set-major
+  std::vector<uintptr_t> eviction_pool_;
+  uint64_t pool_rng_ = 0x9e3779b97f4a7c15ull;
+  uint64_t use_clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace falcon
+
+#endif  // SRC_SIM_CACHE_MODEL_H_

@@ -1,0 +1,59 @@
+// Simulated-time cost parameters for the NVM + persistent-cache model.
+//
+// Absolute values are calibrated to public Optane PMem measurements (Yang et
+// al., FAST '20; Gugnani et al., VLDB '21) so that simulated throughputs land
+// in the same order of magnitude as the paper's testbed. The benchmark
+// *shapes* (engine ordering, crossovers) depend only on the relative costs of
+// cache traffic vs NVM media traffic, which these parameters express.
+
+#ifndef SRC_SIM_COST_MODEL_H_
+#define SRC_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace falcon {
+
+struct CostParams {
+  // CPU-side costs, charged to the issuing thread's simulated clock (ns).
+  uint64_t cache_hit_ns = 2;        // load/store that hits in cache
+  uint64_t dram_miss_ns = 80;       // cache-miss load served by DRAM
+  uint64_t nvm_miss_ns = 300;       // random cache-miss load served by NVM
+  // Follow-up misses of a contiguous span overlap in the memory system
+  // (prefetch + bank parallelism): charged at bandwidth, not latency.
+  uint64_t dram_seq_line_ns = 8;
+  uint64_t nvm_seq_line_ns = 40;
+  // Store misses are posted: the store buffer hides the write-allocate fill,
+  // so stores are charged bandwidth-like costs, never the full miss latency.
+  uint64_t dram_store_miss_ns = 4;
+  uint64_t nvm_store_miss_ns = 12;
+  uint64_t store_issue_ns = 1;      // per-line store issue cost
+  uint64_t clwb_issue_ns = 4;       // clwb is asynchronous; issue cost only
+  uint64_t sfence_ns = 8;          // fence/drain cost
+  uint64_t eviction_ns = 4;         // CPU-side cost of a dirty-line writeback
+
+  // Device-side media service times, accumulated on the device busy clock.
+  uint64_t media_write_ns = 160;    // one 256B 3D-XPoint block write
+  uint64_t media_read_ns = 120;     // one 256B 3D-XPoint block read
+
+  // Number of independent media channels (interleaved DIMMs). Device busy
+  // time is divided by min(channels, worker threads) when computing elapsed
+  // simulated time.
+  uint32_t device_channels = 6;
+
+  // Fixed CPU overheads charged by the engine (parsing, dispatch, ...).
+  uint64_t txn_overhead_ns = 150;  // per transaction begin/commit bookkeeping
+  uint64_t op_overhead_ns = 80;    // per engine operation
+};
+
+// Geometry of the per-thread simulated cache (default: 2MB, 16-way, 64B
+// lines — one Xeon Gold 5320 L2 slice plus a share of L3).
+struct CacheGeometry {
+  uint32_t sets = 2048;
+  uint32_t ways = 16;
+
+  uint64_t capacity_bytes() const { return static_cast<uint64_t>(sets) * ways * 64; }
+};
+
+}  // namespace falcon
+
+#endif  // SRC_SIM_COST_MODEL_H_

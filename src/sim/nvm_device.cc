@@ -1,0 +1,250 @@
+#include "src/sim/nvm_device.h"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+
+#include "src/common/rng.h"
+
+namespace falcon {
+
+namespace {
+
+constexpr uint32_t kNumShards = 8;
+constexpr uint32_t kNoSlot = UINT32_MAX;
+constexpr uint64_t kEmptyKey = UINT64_MAX;
+
+size_t RoundUpToPage(size_t bytes) { return (bytes + kPageSize - 1) / kPageSize * kPageSize; }
+
+}  // namespace
+
+NvmDevice::NvmDevice(size_t capacity, const CostParams& params, uint32_t xpbuffer_blocks,
+                     uint64_t drain_age)
+    : capacity_(RoundUpToPage(capacity)), params_(params) {
+  // Residency scales with buffer size (a 4x buffer holds blocks ~4x longer).
+  drain_age_ = drain_age != 0 ? drain_age : std::max<uint64_t>(2, xpbuffer_blocks / 48);
+  void* mem = mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (mem == MAP_FAILED) {
+    throw std::bad_alloc();
+  }
+  base_ = static_cast<std::byte*>(mem);
+
+  const uint32_t slots_per_shard = std::max<uint32_t>(4, xpbuffer_blocks / kNumShards);
+  shards_.reserve(kNumShards);
+  for (uint32_t i = 0; i < kNumShards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->slots.resize(slots_per_shard);
+    shard->free_slots.reserve(slots_per_shard);
+    for (uint32_t s = 0; s < slots_per_shard; ++s) {
+      shard->free_slots.push_back(slots_per_shard - 1 - s);
+    }
+    // Open-addressed table with power-of-two size >= 2x slots.
+    uint32_t table_size = 4;
+    while (table_size < slots_per_shard * 2) {
+      table_size <<= 1;
+    }
+    shard->table.assign(table_size, kNoSlot);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+NvmDevice::~NvmDevice() {
+  if (base_ != nullptr) {
+    munmap(base_, capacity_);
+  }
+}
+
+uint32_t NvmDevice::Shard::Lookup(uint64_t block_index) const {
+  const size_t mask = table.size() - 1;
+  size_t pos = Mix64(block_index) & mask;
+  for (size_t probes = 0; probes < table.size(); ++probes) {
+    const uint32_t slot = table[pos];
+    if (slot == kNoSlot) {
+      return kNoSlot;
+    }
+    if (slots[slot].valid && slots[slot].block_index == block_index) {
+      return slot;
+    }
+    pos = (pos + 1) & mask;
+  }
+  return kNoSlot;
+}
+
+void NvmDevice::Shard::Insert(uint64_t block_index, uint32_t slot) {
+  const size_t mask = table.size() - 1;
+  size_t pos = Mix64(block_index) & mask;
+  while (table[pos] != kNoSlot && slots[table[pos]].valid) {
+    pos = (pos + 1) & mask;
+  }
+  table[pos] = slot;
+}
+
+void NvmDevice::Shard::Erase(uint64_t block_index) {
+  // Deletion from linear probing requires re-inserting the rest of the
+  // cluster; the table is tiny so the cost is negligible.
+  const size_t mask = table.size() - 1;
+  size_t pos = Mix64(block_index) & mask;
+  while (table[pos] != kNoSlot) {
+    const uint32_t slot = table[pos];
+    if (slots[slot].valid && slots[slot].block_index == block_index) {
+      break;
+    }
+    pos = (pos + 1) & mask;
+  }
+  if (table[pos] == kNoSlot) {
+    return;
+  }
+  table[pos] = kNoSlot;
+  // Rehash the remainder of the probe cluster.
+  size_t next = (pos + 1) & mask;
+  while (table[next] != kNoSlot) {
+    const uint32_t slot = table[next];
+    table[next] = kNoSlot;
+    if (slots[slot].valid) {
+      Insert(slots[slot].block_index, slot);
+    }
+    next = (next + 1) & mask;
+  }
+}
+
+void NvmDevice::Shard::LruPushFront(uint32_t slot) {
+  slots[slot].lru_prev = kNoSlot;
+  slots[slot].lru_next = lru_head;
+  if (lru_head != kNoSlot) {
+    slots[lru_head].lru_prev = slot;
+  }
+  lru_head = slot;
+  if (lru_tail == kNoSlot) {
+    lru_tail = slot;
+  }
+}
+
+void NvmDevice::Shard::LruUnlink(uint32_t slot) {
+  const uint32_t prev = slots[slot].lru_prev;
+  const uint32_t next = slots[slot].lru_next;
+  if (prev != kNoSlot) {
+    slots[prev].lru_next = next;
+  } else {
+    lru_head = next;
+  }
+  if (next != kNoSlot) {
+    slots[next].lru_prev = prev;
+  } else {
+    lru_tail = prev;
+  }
+}
+
+void NvmDevice::DrainBlock(Shard& shard, uint32_t slot) {
+  BufferedBlock& block = shard.slots[slot];
+  const bool full = block.line_mask == (1u << kLinesPerBlock) - 1;
+  media_writes_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t service = params_.media_write_ns;
+  if (full) {
+    full_drains_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Partial block: the XPController must fetch the 256B block from the
+    // media, merge the arrived lines, and write it back (Figure 2, W1).
+    media_reads_.fetch_add(1, std::memory_order_relaxed);
+    partial_drains_.fetch_add(1, std::memory_order_relaxed);
+    service += params_.media_read_ns;
+  }
+  busy_ns_.fetch_add(service, std::memory_order_relaxed);
+
+  shard.Erase(block.block_index);
+  shard.LruUnlink(slot);
+  block.valid = false;
+  block.line_mask = 0;
+  shard.free_slots.push_back(slot);
+}
+
+void NvmDevice::LineWrite(uintptr_t line_addr) {
+  line_writes_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t offset = line_addr - reinterpret_cast<uintptr_t>(base_);
+  const uint64_t block_index = offset / kNvmBlockSize;
+  const auto line_in_block = static_cast<uint8_t>((offset / kCacheLineSize) % kLinesPerBlock);
+
+  Shard& shard = ShardFor(block_index);
+  std::lock_guard<SpinLatch> guard(shard.latch);
+
+  // Age-based drain: bounded buffer residency (see kDrainAge). The LRU tail
+  // is the least recently touched block; drain every one that has sat idle
+  // past the age limit.
+  ++shard.write_ticks;
+  while (shard.lru_tail != kNoSlot &&
+         shard.write_ticks - shard.slots[shard.lru_tail].last_touch > drain_age_) {
+    DrainBlock(shard, shard.lru_tail);
+  }
+
+  uint32_t slot = shard.Lookup(block_index);
+  if (slot == kNoSlot) {
+    if (shard.free_slots.empty()) {
+      // Buffer full: evict the least recently touched block. Under heavy
+      // multi-threaded traffic this is what breaks merging (paper §6.4:
+      // "cache thrashing in the underlying cache layer within the NVM
+      // module").
+      DrainBlock(shard, shard.lru_tail);
+    }
+    slot = shard.free_slots.back();
+    shard.free_slots.pop_back();
+    BufferedBlock& block = shard.slots[slot];
+    block.block_index = block_index;
+    block.line_mask = 0;
+    block.valid = true;
+    shard.Insert(block_index, slot);
+    shard.LruPushFront(slot);
+  } else {
+    shard.LruUnlink(slot);
+    shard.LruPushFront(slot);
+  }
+
+  BufferedBlock& block = shard.slots[slot];
+  block.last_touch = shard.write_ticks;
+  block.line_mask |= static_cast<uint8_t>(1u << line_in_block);
+  if (block.line_mask == (1u << kLinesPerBlock) - 1) {
+    // All four lines merged: drain immediately as one full media write.
+    DrainBlock(shard, slot);
+  }
+}
+
+void NvmDevice::LineRead(uintptr_t line_addr) {
+  (void)line_addr;
+  // Reads bypass the XPBuffer in this model; latency is charged by the cache
+  // model, and read traffic does not contribute to write amplification.
+}
+
+void NvmDevice::DrainAll() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<SpinLatch> guard(shard.latch);
+    while (shard.lru_head != kNoSlot) {
+      DrainBlock(shard, shard.lru_head);
+    }
+  }
+}
+
+DeviceStats NvmDevice::stats() const {
+  DeviceStats s;
+  s.line_writes = line_writes_.load(std::memory_order_relaxed);
+  s.media_writes = media_writes_.load(std::memory_order_relaxed);
+  s.media_reads = media_reads_.load(std::memory_order_relaxed);
+  s.full_drains = full_drains_.load(std::memory_order_relaxed);
+  s.partial_drains = partial_drains_.load(std::memory_order_relaxed);
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void NvmDevice::ResetStats() {
+  line_writes_.store(0, std::memory_order_relaxed);
+  media_writes_.store(0, std::memory_order_relaxed);
+  media_reads_.store(0, std::memory_order_relaxed);
+  full_drains_.store(0, std::memory_order_relaxed);
+  partial_drains_.store(0, std::memory_order_relaxed);
+  busy_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace falcon

@@ -1,0 +1,152 @@
+// Simulated byte-addressable NVM device with an XPBuffer write-combining
+// model (paper §3.2, Figure 2).
+//
+// The device owns a DRAM-backed arena that plays the role of the persistent
+// media image. Under eADR a power failure flushes the CPU caches, so the
+// arena contents at any instant are exactly the state recovery would see;
+// crash tests therefore simply reopen an engine over the same arena.
+//
+// Performance modeling: cache models (src/sim/cache_model.h) report every
+// line write that reaches the device (clwb or dirty eviction) through
+// LineWrite(). The XPBuffer model groups line writes into 256B media blocks.
+// A block whose four lines all arrive while it is buffered drains as a single
+// media write; a partially filled block drains as a media read plus a media
+// write (read-modify-write amplification — the granularity mismatch the
+// paper's hinted flush design targets).
+
+#ifndef SRC_SIM_NVM_DEVICE_H_
+#define SRC_SIM_NVM_DEVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/constants.h"
+#include "src/common/latch.h"
+#include "src/sim/cost_model.h"
+
+namespace falcon {
+
+// Media-traffic counters. All fields are cumulative since construction.
+struct DeviceStats {
+  uint64_t line_writes = 0;     // 64B line writes received from caches
+  uint64_t media_writes = 0;    // 256B block writes to the media
+  uint64_t media_reads = 0;     // 256B block reads caused by partial drains
+  uint64_t full_drains = 0;     // blocks drained with all 4 lines merged
+  uint64_t partial_drains = 0;  // blocks drained read-modify-write
+  uint64_t busy_ns = 0;         // total media service time
+
+  // Bytes of application line writes vs bytes moved on the media.
+  double WriteAmplification() const {
+    const uint64_t app = line_writes * kCacheLineSize;
+    const uint64_t media = (media_writes + media_reads) * kNvmBlockSize;
+    return app == 0 ? 0.0 : static_cast<double>(media) / static_cast<double>(app);
+  }
+};
+
+class NvmDevice {
+ public:
+  // Creates a device with `capacity` bytes of media, rounded up to a page.
+  // `xpbuffer_blocks` is the total number of 256B slots in the write buffer
+  // (Optane's XPBuffer is ~16KB per DIMM).
+  // `drain_age` bounds buffer residency: a block untouched for that many
+  // subsequent line writes (per shard) drains to the media. This models the
+  // controller writing blocks out within a short window, so only line writes
+  // that arrive close together merge - without it, repeatedly flushed hot
+  // blocks would coalesce forever and hot tuple tracking (D2) would have
+  // nothing to save. 0 = auto: scales with buffer capacity (a larger
+  // XPBuffer lets blocks linger longer, the Section 5.5 mitigation).
+  explicit NvmDevice(size_t capacity, const CostParams& params = {},
+                     uint32_t xpbuffer_blocks = 384, uint64_t drain_age = 0);
+
+  static constexpr uint64_t kDrainAge = 8;
+  ~NvmDevice();
+
+  NvmDevice(const NvmDevice&) = delete;
+  NvmDevice& operator=(const NvmDevice&) = delete;
+
+  std::byte* base() { return base_; }
+  const std::byte* base() const { return base_; }
+  size_t capacity() const { return capacity_; }
+  const CostParams& params() const { return params_; }
+
+  // True if `addr` points into the simulated persistent arena.
+  bool Contains(const void* addr) const {
+    const auto* p = static_cast<const std::byte*>(addr);
+    return p >= base_ && p < base_ + capacity_;
+  }
+
+  // A 64B line write arrived at the device (clwb completion or cache
+  // eviction). `line_addr` must be line-aligned and inside the arena.
+  void LineWrite(uintptr_t line_addr);
+
+  // A cache-miss read of a line. Only used for stats; the latency is charged
+  // by the cache model.
+  void LineRead(uintptr_t line_addr);
+
+  // Drains every buffered block (e.g. before reading final stats).
+  void DrainAll();
+
+  // Snapshot of the cumulative stats (consistent enough for reporting).
+  DeviceStats stats() const;
+
+  // Resets all counters (not the arena or buffered state).
+  void ResetStats();
+
+ private:
+  struct BufferedBlock {
+    uint64_t block_index = 0;  // arena offset / 256
+    uint64_t last_touch = 0;   // shard write tick of the last line arrival
+    uint8_t line_mask = 0;     // which of the 4 lines have arrived
+    uint32_t lru_prev = 0;
+    uint32_t lru_next = 0;
+    bool valid = false;
+  };
+
+  // The XPBuffer is sharded to keep multi-threaded simulation scalable; each
+  // shard is an LRU-ordered set of 256B block slots.
+  struct Shard {
+    SpinLatch latch;
+    std::vector<BufferedBlock> slots;
+    std::vector<uint32_t> free_slots;
+    uint64_t write_ticks = 0;  // line writes seen; drives age-based draining
+    // Intrusive LRU list head/tail over slot indexes; UINT32_MAX when empty.
+    uint32_t lru_head = UINT32_MAX;
+    uint32_t lru_tail = UINT32_MAX;
+    // Open-addressed map from block_index to slot, sized 2x slot count.
+    std::vector<uint32_t> table;
+
+    uint32_t Lookup(uint64_t block_index) const;
+    void Insert(uint64_t block_index, uint32_t slot);
+    void Erase(uint64_t block_index);
+    void LruPushFront(uint32_t slot);
+    void LruUnlink(uint32_t slot);
+  };
+
+  Shard& ShardFor(uint64_t block_index) {
+    return *shards_[block_index & (shards_.size() - 1)];
+  }
+
+  // Drains one block: full blocks cost one media write, partial blocks a
+  // read-modify-write. Caller holds the shard latch.
+  void DrainBlock(Shard& shard, uint32_t slot);
+
+  std::byte* base_ = nullptr;
+  size_t capacity_ = 0;
+  CostParams params_;
+  uint64_t drain_age_ = kDrainAge;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> line_writes_{0};
+  std::atomic<uint64_t> media_writes_{0};
+  std::atomic<uint64_t> media_reads_{0};
+  std::atomic<uint64_t> full_drains_{0};
+  std::atomic<uint64_t> partial_drains_{0};
+  std::atomic<uint64_t> busy_ns_{0};
+};
+
+}  // namespace falcon
+
+#endif  // SRC_SIM_NVM_DEVICE_H_

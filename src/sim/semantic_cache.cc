@@ -1,0 +1,102 @@
+#include "src/sim/semantic_cache.h"
+
+#include <algorithm>
+
+namespace falcon {
+
+namespace {
+
+uintptr_t LineBase(uintptr_t addr) { return addr & ~(kCacheLineSize - 1); }
+
+}  // namespace
+
+SemanticCache::LineBuf& SemanticCache::GetOrFill(uintptr_t line_addr) {
+  auto it = lines_.find(line_addr);
+  if (it != lines_.end()) {
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(line_addr);
+    it->second.lru_pos = lru_.begin();
+    return it->second;
+  }
+  EvictIfNeeded();
+  LineBuf& buf = lines_[line_addr];
+  std::memcpy(buf.data.data(), reinterpret_cast<const void*>(line_addr), kCacheLineSize);
+  lru_.push_front(line_addr);
+  buf.lru_pos = lru_.begin();
+  return buf;
+}
+
+void SemanticCache::WritebackAndErase(uintptr_t line_addr) {
+  auto it = lines_.find(line_addr);
+  if (it == lines_.end()) {
+    return;
+  }
+  std::memcpy(reinterpret_cast<void*>(line_addr), it->second.data.data(), kCacheLineSize);
+  lru_.erase(it->second.lru_pos);
+  lines_.erase(it);
+}
+
+void SemanticCache::EvictIfNeeded() {
+  while (lines_.size() >= max_lines_) {
+    // Hardware eviction persists the line in both ADR and eADR modes — the
+    // danger on ADR is only the lines that have NOT yet been evicted.
+    WritebackAndErase(lru_.back());
+  }
+}
+
+void SemanticCache::Store(void* dst, const void* src, size_t len) {
+  auto dst_addr = reinterpret_cast<uintptr_t>(dst);
+  const auto* src_bytes = static_cast<const std::byte*>(src);
+  size_t done = 0;
+  while (done < len) {
+    const uintptr_t line = LineBase(dst_addr + done);
+    const size_t offset = (dst_addr + done) - line;
+    const size_t chunk = std::min(kCacheLineSize - offset, len - done);
+    LineBuf& buf = GetOrFill(line);
+    std::memcpy(buf.data.data() + offset, src_bytes + done, chunk);
+    done += chunk;
+  }
+}
+
+void SemanticCache::Load(void* dst, const void* src, size_t len) {
+  auto src_addr = reinterpret_cast<uintptr_t>(src);
+  auto* dst_bytes = static_cast<std::byte*>(dst);
+  size_t done = 0;
+  while (done < len) {
+    const uintptr_t line = LineBase(src_addr + done);
+    const size_t offset = (src_addr + done) - line;
+    const size_t chunk = std::min(kCacheLineSize - offset, len - done);
+    auto it = lines_.find(line);
+    if (it != lines_.end()) {
+      std::memcpy(dst_bytes + done, it->second.data.data() + offset, chunk);
+    } else {
+      std::memcpy(dst_bytes + done, reinterpret_cast<const void*>(line + offset), chunk);
+    }
+    done += chunk;
+  }
+}
+
+void SemanticCache::Clwb(void* addr, size_t len) {
+  const auto base = reinterpret_cast<uintptr_t>(addr);
+  const uintptr_t first = LineBase(base);
+  const uintptr_t last = LineBase(base + (len == 0 ? 0 : len - 1));
+  for (uintptr_t line = first; line <= last; line += kCacheLineSize) {
+    WritebackAndErase(line);
+  }
+}
+
+void SemanticCache::CrashAdr() {
+  // Dirty cached data never reached the persistence domain: it is lost.
+  lines_.clear();
+  lru_.clear();
+}
+
+void SemanticCache::CrashEadr() {
+  // The eADR flush domain includes the cache: hardware writes everything
+  // back on power failure.
+  while (!lru_.empty()) {
+    WritebackAndErase(lru_.back());
+  }
+}
+
+}  // namespace falcon

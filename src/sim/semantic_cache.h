@@ -1,0 +1,72 @@
+// Data-buffering cache used to demonstrate ADR vs eADR crash semantics
+// (paper §3.1).
+//
+// Unlike CacheModel (tags only), SemanticCache holds the actual bytes of
+// dirty lines, so a simulated power failure can have real consequences:
+//
+//   * CrashAdr():  dirty lines are discarded — their contents never reach the
+//                  persistent image. This is what makes explicit clwb+sfence
+//                  mandatory on ADR platforms.
+//   * CrashEadr(): dirty lines are flushed by "hardware" — the persistent
+//                  image equals the program's view. This is the property the
+//                  small log window relies on.
+//
+// SemanticCache is single-threaded and used by tests and the crash_recovery
+// example; the multi-threaded engine data path uses CacheModel.
+
+#ifndef SRC_SIM_SEMANTIC_CACHE_H_
+#define SRC_SIM_SEMANTIC_CACHE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <list>
+#include <unordered_map>
+
+#include "src/common/constants.h"
+
+namespace falcon {
+
+class SemanticCache {
+ public:
+  // `max_lines` caps resident dirty lines; overflow evicts LRU lines, which
+  // — like real hardware in either mode — writes them to the backing memory.
+  explicit SemanticCache(size_t max_lines = 4096) : max_lines_(max_lines) {}
+
+  // Writes `len` bytes from `src` to `dst` through the cache: the bytes land
+  // in buffered lines, NOT in backing memory.
+  void Store(void* dst, const void* src, size_t len);
+
+  // Reads `len` bytes into `dst`, seeing buffered lines where present.
+  void Load(void* dst, const void* src, size_t len);
+
+  // Writes back (and keeps clean) every buffered line covering the range.
+  void Clwb(void* addr, size_t len);
+
+  // Power failure on an ADR platform: all buffered dirty lines are lost.
+  void CrashAdr();
+
+  // Power failure on an eADR platform: hardware flushes the cache.
+  void CrashEadr();
+
+  size_t dirty_lines() const { return lines_.size(); }
+
+ private:
+  struct LineBuf {
+    std::array<std::byte, kCacheLineSize> data;
+    std::list<uintptr_t>::iterator lru_pos;
+  };
+
+  LineBuf& GetOrFill(uintptr_t line_addr);
+  void WritebackAndErase(uintptr_t line_addr);
+  void EvictIfNeeded();
+
+  size_t max_lines_;
+  std::unordered_map<uintptr_t, LineBuf> lines_;
+  std::list<uintptr_t> lru_;  // front = most recent
+};
+
+}  // namespace falcon
+
+#endif  // SRC_SIM_SEMANTIC_CACHE_H_

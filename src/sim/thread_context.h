@@ -1,0 +1,88 @@
+// Per-worker-thread simulation context: the simulated clock, the thread's
+// private cache model, and convenience primitives that perform a real memory
+// operation and charge its modeled cost in one call.
+//
+// Every engine-side memory touch goes through one of these primitives so the
+// simulated clock and NVM media traffic faithfully reflect the access
+// pattern.
+
+#ifndef SRC_SIM_THREAD_CONTEXT_H_
+#define SRC_SIM_THREAD_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/rng.h"
+#include "src/sim/cache_model.h"
+#include "src/sim/nvm_device.h"
+
+namespace falcon {
+
+class ThreadContext {
+ public:
+  ThreadContext(uint32_t thread_id, NvmDevice* device, CacheGeometry geometry = {},
+                CostParams params = {})
+      : thread_id_(thread_id), params_(params), cache_(device, geometry, params) {}
+
+  uint32_t thread_id() const { return thread_id_; }
+  uint64_t sim_ns() const { return sim_ns_; }
+  CacheModel& cache() { return cache_; }
+  Rng& rng() { return rng_; }
+
+  // Copies `len` bytes from `src` to `dst` and charges store cost for the
+  // destination lines.
+  void Store(void* dst, const void* src, size_t len) {
+    std::memcpy(dst, src, len);
+    sim_ns_ += cache_.OnStore(reinterpret_cast<uintptr_t>(dst), len);
+  }
+
+  // Writes an 8-byte value with release semantics (for persistent state
+  // flags read by recovery and by concurrent readers).
+  void StoreRelease64(uint64_t* dst, uint64_t value) {
+    reinterpret_cast<std::atomic<uint64_t>*>(dst)->store(value, std::memory_order_release);
+    sim_ns_ += cache_.OnStore(reinterpret_cast<uintptr_t>(dst), sizeof(uint64_t));
+  }
+
+  // Copies `len` bytes from `src` to `dst` and charges load cost for the
+  // source lines.
+  void Load(void* dst, const void* src, size_t len) {
+    std::memcpy(dst, src, len);
+    sim_ns_ += cache_.OnLoad(reinterpret_cast<uintptr_t>(src), len);
+  }
+
+  // Charges load cost for `len` bytes at `src` without copying (the caller
+  // reads through a typed pointer).
+  void TouchLoad(const void* src, size_t len) {
+    sim_ns_ += cache_.OnLoad(reinterpret_cast<uintptr_t>(src), len);
+  }
+
+  // Charges store cost without copying (caller already wrote, e.g. via CAS).
+  void TouchStore(const void* dst, size_t len) {
+    sim_ns_ += cache_.OnStore(reinterpret_cast<uintptr_t>(dst), len);
+  }
+
+  // Issues clwb over [addr, addr+len).
+  void Clwb(const void* addr, size_t len) {
+    sim_ns_ += cache_.Clwb(reinterpret_cast<uintptr_t>(addr), len);
+  }
+
+  void Sfence() { sim_ns_ += cache_.Sfence(); }
+
+  // Charges fixed CPU work (parsing, hashing, ...) to the simulated clock.
+  void Work(uint64_t ns) { sim_ns_ += ns; }
+
+  // Resets the simulated clock (benchmark warmup boundaries).
+  void ResetClock() { sim_ns_ = 0; }
+
+ private:
+  uint32_t thread_id_;
+  CostParams params_;
+  CacheModel cache_;
+  uint64_t sim_ns_ = 0;
+  Rng rng_;
+};
+
+}  // namespace falcon
+
+#endif  // SRC_SIM_THREAD_CONTEXT_H_

@@ -1,0 +1,65 @@
+// Schema construction helpers over the POD catalog metadata.
+//
+// Tables have a u64 primary key (stored in the tuple header) plus fixed-size
+// byte columns. Column layout is computed at table-creation time and stored
+// in the persistent catalog so it survives restarts.
+
+#ifndef SRC_STORAGE_SCHEMA_H_
+#define SRC_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "src/pmem/catalog.h"
+
+namespace falcon {
+
+// Builder used when creating a table; the result is copied into a TableMeta.
+class SchemaBuilder {
+ public:
+  explicit SchemaBuilder(std::string_view name) {
+    const size_t n = name.size() < kMaxTableNameLen ? name.size() : kMaxTableNameLen;
+    std::memcpy(name_, name.data(), n);
+    name_[n] = '\0';
+  }
+
+  // Adds a fixed-size column; returns its column id.
+  uint32_t AddColumn(uint32_t size) {
+    columns_[count_].size = size;
+    columns_[count_].offset = data_size_;
+    data_size_ += size;
+    return count_++;
+  }
+
+  // Convenience for word-sized columns.
+  uint32_t AddU64() { return AddColumn(sizeof(uint64_t)); }
+
+  const char* name() const { return name_; }
+  uint32_t column_count() const { return count_; }
+  uint32_t data_size() const { return data_size_; }
+  const ColumnMeta* columns() const { return columns_; }
+
+ private:
+  char name_[kMaxTableNameLen + 1] = {};
+  ColumnMeta columns_[kMaxColumns] = {};
+  uint32_t count_ = 0;
+  uint32_t data_size_ = 0;
+};
+
+// Rounds a tuple slot (header + data) to an NVM-friendly size: multiples of
+// the cache line, and multiples of a full 256B media block once the slot
+// spans more than one block — so hinted flushes of one tuple cover whole
+// blocks and merge without read-modify-write (paper §4.4).
+constexpr uint64_t ComputeSlotSize(uint64_t header_size, uint64_t data_size) {
+  const uint64_t raw = header_size + data_size;
+  const uint64_t line_rounded = (raw + kCacheLineSize - 1) / kCacheLineSize * kCacheLineSize;
+  if (line_rounded <= kNvmBlockSize) {
+    return line_rounded;
+  }
+  return (raw + kNvmBlockSize - 1) / kNvmBlockSize * kNvmBlockSize;
+}
+
+}  // namespace falcon
+
+#endif  // SRC_STORAGE_SCHEMA_H_

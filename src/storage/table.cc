@@ -1,0 +1,51 @@
+#include "src/storage/table.h"
+
+#include <cstring>
+
+namespace falcon {
+
+TableMeta* CreateTable(NvmArena& arena, const SchemaBuilder& schema, IndexKind index_kind) {
+  Superblock* sb = GetSuperblock(arena);
+  if (FindTable(arena, schema.name()) != nullptr) {
+    return nullptr;
+  }
+  if (sb->table_count >= kMaxTables) {
+    return nullptr;
+  }
+  const uint64_t id = sb->table_count;
+  TableMeta* meta = &sb->tables[id];
+  std::memset(static_cast<void*>(meta), 0, sizeof(TableMeta));
+  std::memcpy(meta->name, schema.name(), kMaxTableNameLen + 1);
+  meta->id = id;
+  meta->tuple_data_size = schema.data_size();
+  meta->slot_size = ComputeSlotSize(sizeof(TupleHeader), schema.data_size());
+  meta->column_count = schema.column_count();
+  std::memcpy(meta->columns, schema.columns(), sizeof(ColumnMeta) * schema.column_count());
+  meta->index_kind = static_cast<uint64_t>(index_kind);
+  meta->index_root = kNullPm;
+  // Publish the table: in_use before table_count so a torn crash leaves the
+  // catalog consistent (count only ever includes fully initialized slots).
+  meta->in_use = 1;
+  sb->table_count = id + 1;
+  return meta;
+}
+
+TableMeta* FindTable(NvmArena& arena, std::string_view name) {
+  Superblock* sb = GetSuperblock(arena);
+  for (uint64_t i = 0; i < sb->table_count; ++i) {
+    if (sb->tables[i].in_use != 0 && name == sb->tables[i].name) {
+      return &sb->tables[i];
+    }
+  }
+  return nullptr;
+}
+
+TableMeta* FindTable(NvmArena& arena, uint64_t table_id) {
+  Superblock* sb = GetSuperblock(arena);
+  if (table_id >= sb->table_count || sb->tables[table_id].in_use == 0) {
+    return nullptr;
+  }
+  return &sb->tables[table_id];
+}
+
+}  // namespace falcon

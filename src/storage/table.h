@@ -1,0 +1,27 @@
+// Table creation/lookup over the persistent catalog.
+
+#ifndef SRC_STORAGE_TABLE_H_
+#define SRC_STORAGE_TABLE_H_
+
+#include <string_view>
+
+#include "src/pmem/catalog.h"
+#include "src/storage/schema.h"
+#include "src/storage/tuple.h"
+
+namespace falcon {
+
+// Creates a table from `schema` in the catalog and returns its metadata, or
+// nullptr if the catalog is full or the name is already taken. `index_kind`
+// selects the index implementation the engine will attach.
+TableMeta* CreateTable(NvmArena& arena, const SchemaBuilder& schema, IndexKind index_kind);
+
+// Finds a table by name; nullptr if absent.
+TableMeta* FindTable(NvmArena& arena, std::string_view name);
+
+// Finds a table by id; nullptr if out of range or unused.
+TableMeta* FindTable(NvmArena& arena, uint64_t table_id);
+
+}  // namespace falcon
+
+#endif  // SRC_STORAGE_TABLE_H_

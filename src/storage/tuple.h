@@ -1,0 +1,84 @@
+// Tuple layout in the NVM tuple heap (paper Figure 5): a 64B header holding
+// the concurrency-control metadata, delete flag, and version-chain pointer,
+// followed by the fixed-size data area.
+
+#ifndef SRC_STORAGE_TUPLE_H_
+#define SRC_STORAGE_TUPLE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/constants.h"
+#include "src/pmem/arena.h"
+
+namespace falcon {
+
+// Bits of TupleHeader::flags.
+inline constexpr uint64_t kTupleValid = 1ull << 0;      // slot holds an initialized tuple
+inline constexpr uint64_t kTupleDeleted = 1ull << 1;    // delete flag (§5.4)
+inline constexpr uint64_t kTupleCommitted = 1ull << 2;  // out-of-place: writer committed
+// Out-of-place: a newer version superseded this one. Current-path reads and
+// writes that land here (via a stale index observation) must abort; only
+// snapshot readers may traverse superseded versions.
+inline constexpr uint64_t kTupleSuperseded = 1ull << 3;
+
+struct TupleHeader {
+  // CC-dependent word: 2PL lock word, or write_ts with a lock bit for
+  // TO/OCC (§5.2.1, "CC Metadata Field" table in Figure 5).
+  std::atomic<uint64_t> cc_word{};
+  // Read timestamp, used by the TO family only.
+  std::atomic<uint64_t> read_ts{};
+  // Primary key (indexes store key -> tuple offset; the key is duplicated
+  // here so heap scans can rebuild DRAM indexes, as ZenS recovery must).
+  uint64_t key = 0;
+  // kTuple* flag bits.
+  std::atomic<uint64_t> flags{};
+  // Out-of-place engines: PmOffset of the previous version (chain walked by
+  // snapshot readers).
+  std::atomic<uint64_t> prev{};
+  // In-place MVCC: generation-tagged DRAM pointer to the newest old version
+  // (chain lives in the DRAM version heap, §5.2.3). Stale after a crash;
+  // the generation tag makes stale values read as null.
+  std::atomic<uint64_t> version_head{};
+  // TID of the transaction that deleted this tuple (reclamation check).
+  uint64_t delete_ts = 0;
+  // Next entry in the owning thread's deleted list (distinct from `prev` so
+  // retiring an out-of-place version never clobbers its version chain).
+  std::atomic<uint64_t> delete_next{};
+};
+static_assert(sizeof(TupleHeader) == kCacheLineSize, "header must be exactly one line");
+
+inline std::byte* TupleData(TupleHeader* header) {
+  return reinterpret_cast<std::byte*>(header) + sizeof(TupleHeader);
+}
+inline const std::byte* TupleData(const TupleHeader* header) {
+  return reinterpret_cast<const std::byte*>(header) + sizeof(TupleHeader);
+}
+
+// --- Generation-tagged DRAM pointers -------------------------------------
+//
+// DRAM addresses stored in NVM become garbage after a crash. Tagging them
+// with the arena generation (incremented on every recovery) makes pre-crash
+// values harmlessly decode to null, so recovery does not need to scan the
+// heap to clear them. x86-64 user pointers fit in 48 bits; 16 bits remain
+// for the tag.
+
+inline constexpr uint64_t kPtrBits = 48;
+inline constexpr uint64_t kPtrMask = (1ull << kPtrBits) - 1;
+
+inline uint64_t PackTaggedPtr(uint64_t generation, const void* ptr) {
+  return ((generation & 0xffff) << kPtrBits) | (reinterpret_cast<uint64_t>(ptr) & kPtrMask);
+}
+
+template <typename T>
+T* UnpackTaggedPtr(uint64_t generation, uint64_t word) {
+  if ((word >> kPtrBits) != (generation & 0xffff)) {
+    return nullptr;
+  }
+  return reinterpret_cast<T*>(word & kPtrMask);
+}
+
+}  // namespace falcon
+
+#endif  // SRC_STORAGE_TUPLE_H_

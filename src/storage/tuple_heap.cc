@@ -1,0 +1,152 @@
+#include "src/storage/tuple_heap.h"
+
+namespace falcon {
+
+PmOffset TupleHeap::Allocate(ThreadContext& ctx, uint64_t key, uint64_t min_active_tid) {
+  PmOffset slot = TryReclaim(ctx, min_active_tid);
+  if (slot == kNullPm) {
+    slot = AllocateFresh(ctx);
+    if (slot == kNullPm) {
+      return kNullPm;
+    }
+  }
+  TupleHeader* header = Header(slot);
+  // Initialize the header in place. The slot is not reachable from any index
+  // yet, so plain stores are safe; costs are charged through the context.
+  header->cc_word.store(0, std::memory_order_relaxed);
+  header->read_ts.store(0, std::memory_order_relaxed);
+  header->key = key;
+  header->prev.store(kNullPm, std::memory_order_relaxed);
+  header->version_head.store(0, std::memory_order_relaxed);
+  header->delete_ts = 0;
+  header->delete_next.store(kNullPm, std::memory_order_relaxed);
+  header->flags.store(kTupleValid, std::memory_order_release);
+  ctx.TouchStore(header, sizeof(TupleHeader));
+  meta_->approx_tuple_count.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void TupleHeap::MarkDeleted(ThreadContext& ctx, PmOffset tuple, uint64_t delete_tid) {
+  TupleHeader* header = Header(tuple);
+  header->delete_ts = delete_tid;
+  header->flags.fetch_or(kTupleDeleted, std::memory_order_release);
+  header->delete_next.store(kNullPm, std::memory_order_relaxed);
+  ctx.TouchStore(header, sizeof(TupleHeader));
+
+  // Append to this thread's deleted list (tail pointer lives in the catalog;
+  // entries chain through TupleHeader::delete_next). The list is local to
+  // the thread, so no synchronization is needed beyond the stores above.
+  const uint32_t t = ctx.thread_id();
+  const PmOffset tail = meta_->deleted_tail[t];
+  if (tail == kNullPm) {
+    meta_->deleted_head[t] = tuple;
+  } else {
+    Header(tail)->delete_next.store(tuple, std::memory_order_relaxed);
+    ctx.TouchStore(Header(tail), sizeof(uint64_t));
+  }
+  meta_->deleted_tail[t] = tuple;
+  ctx.TouchStore(&meta_->deleted_tail[t], sizeof(PmOffset));
+  meta_->approx_tuple_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+PmOffset TupleHeap::TryReclaim(ThreadContext& ctx, uint64_t min_active_tid) {
+  const uint32_t t = ctx.thread_id();
+  for (;;) {
+    const PmOffset head = meta_->deleted_head[t];
+    if (head == kNullPm) {
+      return kNullPm;
+    }
+    TupleHeader* header = Header(head);
+    ctx.TouchLoad(header, sizeof(TupleHeader));
+    // A revived tuple (delete flag cleared by a later insert) is live again:
+    // drop it from the list without reusing it.
+    const bool revived = (header->flags.load(std::memory_order_acquire) & kTupleDeleted) == 0;
+    if (!revived) {
+      // Entries are appended in delete-timestamp order, so if the head is
+      // not reclaimable nothing behind it is either (§5.4).
+      if (header->delete_ts >= min_active_tid) {
+        return kNullPm;
+      }
+      // A reviving transaction may hold the tombstone's lock: don't pull the
+      // slot out from under it.
+      if (reclaim_blocked_ && reclaim_blocked_(header)) {
+        return kNullPm;
+      }
+    }
+    const PmOffset next = header->delete_next.load(std::memory_order_relaxed);
+    meta_->deleted_head[t] = next;
+    if (next == kNullPm) {
+      meta_->deleted_tail[t] = kNullPm;
+    }
+    ctx.TouchStore(&meta_->deleted_head[t], sizeof(PmOffset));
+    if (revived) {
+      continue;
+    }
+    if (on_reclaim_) {
+      on_reclaim_(ctx, header->key, head);
+    }
+    return head;
+  }
+}
+
+PmOffset TupleHeap::AllocateFresh(ThreadContext& ctx) {
+  const uint32_t t = ctx.thread_id();
+  PmOffset page = meta_->heap_current[t];
+  if (page != kNullPm) {
+    const PmOffset slot = arena_->AllocFromPage(page, meta_->slot_size, kCacheLineSize);
+    if (slot != kNullPm) {
+      return slot;
+    }
+  }
+  // Current page exhausted (or absent): chain a fresh page.
+  const PmOffset fresh = arena_->AllocPage(PagePurpose::kTupleHeap, t, meta_->id);
+  if (fresh == kNullPm) {
+    return kNullPm;
+  }
+  if (page == kNullPm) {
+    meta_->heap_head[t] = fresh;
+  } else {
+    arena_->Ptr<PageHeader>(page)->next_page = fresh;
+    ctx.TouchStore(arena_->Ptr<PageHeader>(page), sizeof(PageHeader));
+  }
+  meta_->heap_current[t] = fresh;
+  ctx.TouchStore(&meta_->heap_current[t], sizeof(PmOffset));
+  return arena_->AllocFromPage(fresh, meta_->slot_size, kCacheLineSize);
+}
+
+void TupleHeap::ForEachSlot(const std::function<void(PmOffset, TupleHeader*)>& visit) const {
+  for (uint32_t t = 0; t < kMaxThreads; ++t) {
+    PmOffset page = meta_->heap_head[t];
+    while (page != kNullPm) {
+      auto* page_header = arena_->Ptr<PageHeader>(page);
+      const uint64_t used = page_header->used_bytes.load(std::memory_order_acquire);
+      for (uint64_t off = kPageDataStart; off + meta_->slot_size <= used;
+           off += meta_->slot_size) {
+        const PmOffset slot = page + off;
+        TupleHeader* header = arena_->Ptr<TupleHeader>(slot);
+        if ((header->flags.load(std::memory_order_acquire) & kTupleValid) != 0) {
+          visit(slot, header);
+        }
+      }
+      page = page_header->next_page;
+    }
+  }
+}
+
+uint64_t TupleHeap::CountSlots() const {
+  uint64_t n = 0;
+  for (uint32_t t = 0; t < kMaxThreads; ++t) {
+    PmOffset page = meta_->heap_head[t];
+    while (page != kNullPm) {
+      auto* page_header = arena_->Ptr<PageHeader>(page);
+      const uint64_t used = page_header->used_bytes.load(std::memory_order_acquire);
+      if (used > kPageDataStart) {
+        n += (used - kPageDataStart) / meta_->slot_size;
+      }
+      page = page_header->next_page;
+    }
+  }
+  return n;
+}
+
+}  // namespace falcon

@@ -1,0 +1,72 @@
+// The in-NVM tuple heap (paper §5.1): fixed-size tuple slots allocated from
+// per-thread 2MB page chains, with per-thread deleted lists for recycling
+// (§5.4). One TupleHeap instance manages one table.
+
+#ifndef SRC_STORAGE_TUPLE_HEAP_H_
+#define SRC_STORAGE_TUPLE_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/pmem/arena.h"
+#include "src/pmem/catalog.h"
+#include "src/sim/thread_context.h"
+#include "src/storage/tuple.h"
+
+namespace falcon {
+
+class TupleHeap {
+ public:
+  TupleHeap(NvmArena* arena, TableMeta* meta) : arena_(arena), meta_(meta) {}
+
+  // Reclamation hooks installed by the engine:
+  //  * `blocked` — true while the tuple is CC-locked (a reviving transaction
+  //    may hold it); reclamation stops at a blocked head.
+  //  * `on_reclaim(ctx, key, offset)` — runs just before the slot is reused;
+  //    the engine removes the tuple's (stale) index entry here.
+  void SetReclaimHooks(std::function<bool(const TupleHeader*)> blocked,
+                       std::function<void(ThreadContext&, uint64_t, PmOffset)> on_reclaim) {
+    reclaim_blocked_ = std::move(blocked);
+    on_reclaim_ = std::move(on_reclaim);
+  }
+
+  TableMeta* meta() const { return meta_; }
+  uint64_t slot_size() const { return meta_->slot_size; }
+  uint64_t data_size() const { return meta_->tuple_data_size; }
+
+  // Allocates a slot for `key` on `ctx`'s thread. Tries the thread's deleted
+  // list first: the head entry is reclaimable when its delete timestamp is
+  // below `min_active_tid` (no running transaction can still read it).
+  // Returns kNullPm when the arena is out of pages.
+  PmOffset Allocate(ThreadContext& ctx, uint64_t key, uint64_t min_active_tid);
+
+  // Marks the tuple deleted and appends it to the deleting thread's local
+  // deleted list. The caller must hold the tuple's write latch/lock.
+  void MarkDeleted(ThreadContext& ctx, PmOffset tuple, uint64_t delete_tid);
+
+  TupleHeader* Header(PmOffset tuple) const { return arena_->Ptr<TupleHeader>(tuple); }
+
+  // Visits every valid tuple slot in the table across all thread chains.
+  // Used by heap-scan recovery (ZenS) and by integrity checks. The visitor
+  // receives the slot offset and its header.
+  void ForEachSlot(const std::function<void(PmOffset, TupleHeader*)>& visit) const;
+
+  // Number of slots currently reachable in page chains (valid or not).
+  uint64_t CountSlots() const;
+
+ private:
+  // Pops the head of the thread's deleted list if reclaimable.
+  PmOffset TryReclaim(ThreadContext& ctx, uint64_t min_active_tid);
+
+  // Returns a fresh slot from the thread's current page, growing the chain.
+  PmOffset AllocateFresh(ThreadContext& ctx);
+
+  NvmArena* arena_;
+  TableMeta* meta_;
+  std::function<bool(const TupleHeader*)> reclaim_blocked_;
+  std::function<void(ThreadContext&, uint64_t, PmOffset)> on_reclaim_;
+};
+
+}  // namespace falcon
+
+#endif  // SRC_STORAGE_TUPLE_HEAP_H_

@@ -1,0 +1,45 @@
+#include "src/storage/version_heap.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace falcon {
+
+VersionHeap::~VersionHeap() { DropAll(); }
+
+Version* VersionHeap::Allocate(uint32_t data_size) {
+  void* mem = std::malloc(sizeof(Version) + data_size);
+  if (mem == nullptr) {
+    throw std::bad_alloc();
+  }
+  auto* version = new (mem) Version();
+  version->data_size = data_size;
+  live_bytes_ += sizeof(Version) + data_size;
+  return version;
+}
+
+void VersionHeap::Enqueue(Version* version) { queue_.push_back(version); }
+
+size_t VersionHeap::Gc(uint64_t min_active_tid) {
+  size_t recycled = 0;
+  while (!queue_.empty() && queue_.front()->end_ts < min_active_tid) {
+    Free(queue_.front());
+    queue_.pop_front();
+    ++recycled;
+  }
+  return recycled;
+}
+
+void VersionHeap::DropAll() {
+  for (Version* version : queue_) {
+    Free(version);
+  }
+  queue_.clear();
+}
+
+void VersionHeap::Free(Version* version) {
+  live_bytes_ -= sizeof(Version) + version->data_size;
+  std::free(version);
+}
+
+}  // namespace falcon

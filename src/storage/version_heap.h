@@ -1,0 +1,91 @@
+// In-DRAM version heap for MVCC (paper §5.2.3, Figure 6).
+//
+// Old versions of tuples are DRAM-only: they are rebuilt trivially (empty)
+// after a crash, which both avoids NVM writes during version creation and
+// removes old-version cleanup from the recovery path (§5.4).
+//
+// Each worker thread owns a VersionHeap: versions it creates go into its
+// per-thread version queue, naturally ordered by end_ts (the creating
+// transaction's TID). When the queue grows past a threshold, the owner
+// recycles every version whose end_ts is below the minimum active TID.
+//
+// Reclamation safety: a version V is freed only when V.end_ts < min_active.
+// A reader with TID T walks from the tuple onto the chain only when the
+// tuple's write_ts > T, and walks past a version N onto N.prev only when
+// N.begin_ts > T. Since the successor of V (newer version or the tuple
+// itself) has begin_ts/write_ts == V.end_ts, reaching V requires
+// T < V.end_ts — impossible for T >= min_active. TIDs are published before
+// any read and the global TID counter is monotone, so no current or future
+// transaction can reach a reclaimed version.
+
+#ifndef SRC_STORAGE_VERSION_HEAP_H_
+#define SRC_STORAGE_VERSION_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "src/common/constants.h"
+
+namespace falcon {
+
+// One old version of a tuple. Immutable once published (linked into a
+// chain); `prev` points to the next-older version.
+struct Version {
+  uint64_t begin_ts = 0;  // write_ts of the tuple before the update
+  uint64_t end_ts = 0;    // TID of the writer that superseded it
+  Version* prev = nullptr;
+  uint32_t data_size = 0;
+  // Tuple data follows the struct.
+  std::byte* data() { return reinterpret_cast<std::byte*>(this + 1); }
+  const std::byte* data() const { return reinterpret_cast<const std::byte*>(this + 1); }
+};
+
+// Per-thread version allocator + queue. Not thread safe: only the owning
+// worker allocates and recycles; other threads only traverse chains.
+class VersionHeap {
+ public:
+  explicit VersionHeap(size_t gc_threshold = kVersionQueueGcThreshold)
+      : gc_threshold_(gc_threshold) {}
+  ~VersionHeap();
+
+  VersionHeap(const VersionHeap&) = delete;
+  VersionHeap& operator=(const VersionHeap&) = delete;
+
+  // Allocates a version with room for `data_size` bytes. The caller fills
+  // data/timestamps, links it into the tuple's chain, then calls Enqueue.
+  Version* Allocate(uint32_t data_size);
+
+  // Inserts a published version into the recycling queue. Versions must be
+  // enqueued in end_ts order (guaranteed: per-thread TIDs are monotone).
+  void Enqueue(Version* version);
+
+  // True if the queue is long enough that the caller should pass a
+  // min_active_tid and recycle (paper: "above a predefined threshold").
+  bool NeedsGc() const { return queue_.size() >= gc_threshold_; }
+
+  // Frees every queued version with end_ts < min_active_tid. Returns the
+  // number recycled.
+  size_t Gc(uint64_t min_active_tid);
+
+  // Frees everything (crash simulation: DRAM contents vanish).
+  void DropAll();
+
+  size_t queued() const { return queue_.size(); }
+  size_t live_bytes() const { return live_bytes_; }
+
+ private:
+  void Free(Version* version);
+
+  size_t gc_threshold_;
+  std::deque<Version*> queue_;  // front = oldest end_ts
+  // Simple size-class free lists would be a premature optimization here;
+  // versions are malloc'd and freed, and their cost is modeled by the
+  // simulated clock, not by host allocator performance.
+  size_t live_bytes_ = 0;
+};
+
+}  // namespace falcon
+
+#endif  // SRC_STORAGE_VERSION_HEAP_H_

@@ -1,0 +1,115 @@
+// Multi-threaded benchmark runner over the simulated clock.
+//
+// Throughput is computed on SIMULATED time (see DESIGN.md §2): each worker
+// accumulates per-operation costs on its own clock, media writes accumulate
+// device service time, and the elapsed time of a run is
+//
+//   max( slowest worker clock,  device busy time / min(channels, threads) )
+//
+// which yields both CPU-bound and NVM-bandwidth-bound regimes — the source
+// of the paper's scalability shapes (Figures 11 and 12).
+
+#ifndef SRC_WORKLOAD_BENCH_RUNNER_H_
+#define SRC_WORKLOAD_BENCH_RUNNER_H_
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/core/engine.h"
+
+namespace falcon {
+
+struct BenchResult {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  double sim_seconds = 0;
+  double mtxn_per_s = 0;
+  double avg_us = 0;        // mean simulated latency per committed txn
+  uint64_t p95_ns = 0;
+  DeviceStats device;       // media traffic during the measured window
+  double write_amp = 0;
+
+  double AbortRate() const {
+    const uint64_t total = commits + aborts;
+    return total == 0 ? 0.0 : static_cast<double>(aborts) / static_cast<double>(total);
+  }
+};
+
+// Runs `txns_per_thread` transactions on each of `threads` workers.
+// `run_txn(worker, thread_id, i)` returns true when the transaction
+// committed. Worker clocks and device stats are reset before the run.
+inline BenchResult RunBench(
+    Engine& engine, uint32_t threads, uint64_t txns_per_thread,
+    const std::function<bool(Worker&, uint32_t, uint64_t)>& run_txn) {
+  NvmDevice& device = *engine.device();
+  // Start from a quiescent state: dirty lines left by loading (e.g. index
+  // buckets that selective-flush engines never clwb) belong to the load
+  // phase, not the measured window.
+  for (uint32_t t = 0; t < threads; ++t) {
+    engine.worker(t).ctx().cache().WritebackAll();
+    engine.worker(t).ResetStats();
+  }
+  device.DrainAll();
+  device.ResetStats();
+
+  std::vector<std::thread> pool;
+  std::vector<uint64_t> commits(threads, 0);
+  std::vector<uint64_t> aborts(threads, 0);
+  std::vector<Histogram> latencies(threads);
+  pool.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      Worker& worker = engine.worker(t);
+      for (uint64_t i = 0; i < txns_per_thread; ++i) {
+        const uint64_t before = worker.ctx().sim_ns();
+        if (run_txn(worker, t, i)) {
+          ++commits[t];
+          latencies[t].Record(worker.ctx().sim_ns() - before);
+        } else {
+          ++aborts[t];
+        }
+      }
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+  // Steady-state accounting: every line still dirty in a cache is data the
+  // engine deferred to "eventual eviction" — it WILL reach the media. Without
+  // this, short runs make no-flush configurations look free.
+  for (uint32_t t = 0; t < threads; ++t) {
+    engine.worker(t).ctx().cache().WritebackAll();
+  }
+  device.DrainAll();
+
+  BenchResult result;
+  uint64_t max_ns = 0;
+  Histogram merged;
+  for (uint32_t t = 0; t < threads; ++t) {
+    result.commits += commits[t];
+    result.aborts += aborts[t];
+    max_ns = std::max(max_ns, engine.worker(t).ctx().sim_ns());
+    merged.Merge(latencies[t]);
+  }
+  result.device = device.stats();
+  result.write_amp = result.device.WriteAmplification();
+
+  const uint32_t channels =
+      std::min<uint32_t>(engine.config().cost_params.device_channels, threads);
+  const double device_s =
+      static_cast<double>(result.device.busy_ns) / std::max(1u, channels) / 1e9;
+  result.sim_seconds = std::max(static_cast<double>(max_ns) / 1e9, device_s);
+  if (result.sim_seconds > 0) {
+    result.mtxn_per_s = static_cast<double>(result.commits) / result.sim_seconds / 1e6;
+  }
+  result.avg_us = merged.Mean() / 1000.0;
+  result.p95_ns = merged.Percentile(95);
+  return result;
+}
+
+}  // namespace falcon
+
+#endif  // SRC_WORKLOAD_BENCH_RUNNER_H_

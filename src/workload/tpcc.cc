@@ -1,0 +1,559 @@
+#include "src/workload/tpcc.h"
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace falcon {
+
+namespace {
+
+// Retries a transaction body until it commits. The body returns kOk
+// (committed), kAborted (retry), or another status (give up -> false).
+template <typename Body>
+bool RunToCompletion(Worker& worker, Body&& body, int max_attempts = 64) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const Status s = body();
+    if (s == Status::kOk) {
+      return true;
+    }
+    if (s != Status::kAborted) {
+      return false;
+    }
+  }
+  return false;
+}
+
+// Shorthand: abort-and-bubble on a CC conflict, give up on anything else.
+#define TPCC_TRY(expr)                 \
+  do {                                 \
+    const Status _s = (expr);          \
+    if (_s != Status::kOk) {           \
+      if (_s == Status::kAborted) {    \
+        return Status::kAborted;       \
+      }                                \
+      txn.Abort();                     \
+      return Status::kInvalidArgument; \
+    }                                  \
+  } while (0)
+
+}  // namespace
+
+TpccWorkload::TpccWorkload(Engine* engine, TpccConfig config)
+    : engine_(engine), config_(config) {
+  {
+    SchemaBuilder s("warehouse");
+    s.AddU64();        // tax (fixed-point cents)
+    s.AddU64();        // ytd
+    s.AddColumn(10);   // name
+    s.AddColumn(71);   // address
+    warehouse_ = engine_->CreateTable(s, IndexKind::kHash);
+  }
+  {
+    SchemaBuilder s("district");
+    s.AddU64();        // tax
+    s.AddU64();        // ytd
+    s.AddU64();        // next_o_id
+    s.AddColumn(10);   // name
+    s.AddColumn(71);   // address
+    district_ = engine_->CreateTable(s, IndexKind::kHash);
+  }
+  {
+    SchemaBuilder s("customer");
+    s.AddU64();        // balance (signed, stored biased)
+    s.AddU64();        // ytd_payment
+    s.AddU64();        // payment_cnt
+    s.AddU64();        // delivery_cnt
+    s.AddU64();        // last_order (simplification, see header)
+    s.AddColumn(416);  // name/address/credit/data
+    customer_ = engine_->CreateTable(s, IndexKind::kHash);
+  }
+  {
+    SchemaBuilder s("history");
+    s.AddU64();        // amount
+    s.AddU64();        // warehouse
+    s.AddU64();        // district
+    s.AddU64();        // customer
+    s.AddColumn(24);   // data
+    history_ = engine_->CreateTable(s, IndexKind::kHash);
+  }
+  {
+    SchemaBuilder s("orders");
+    s.AddU64();  // customer
+    s.AddU64();  // entry date
+    s.AddU64();  // carrier
+    s.AddU64();  // line count
+    s.AddU64();  // all local
+    order_ = engine_->CreateTable(s, IndexKind::kBTree);
+  }
+  {
+    SchemaBuilder s("new_order");
+    s.AddU64();  // placeholder payload
+    new_order_ = engine_->CreateTable(s, IndexKind::kBTree);
+  }
+  {
+    SchemaBuilder s("order_line");
+    s.AddU64();       // item
+    s.AddU64();       // supply warehouse
+    s.AddU64();       // delivery date (0 = undelivered)
+    s.AddU64();       // quantity
+    s.AddU64();       // amount
+    s.AddColumn(24);  // dist info
+    order_line_ = engine_->CreateTable(s, IndexKind::kBTree);
+  }
+  {
+    SchemaBuilder s("item");
+    s.AddU64();       // price
+    s.AddColumn(24);  // name
+    s.AddColumn(50);  // data
+    item_ = engine_->CreateTable(s, IndexKind::kHash);
+  }
+  {
+    SchemaBuilder s("stock");
+    s.AddU64();       // quantity
+    s.AddU64();       // ytd
+    s.AddU64();       // order_cnt
+    s.AddU64();       // remote_cnt
+    s.AddColumn(50);  // data
+    stock_ = engine_->CreateTable(s, IndexKind::kHash);
+  }
+}
+
+// ---- Loading ---------------------------------------------------------------
+
+void TpccWorkload::LoadItems(Worker& worker) {
+  std::vector<std::byte> row(engine_->TupleDataSize(item_));
+  Rng rng(42);
+  for (uint64_t i = 1; i <= config_.items; ++i) {
+    std::memset(row.data(), 0, row.size());
+    const uint64_t price = 100 + rng.NextBounded(9900);  // cents
+    std::memcpy(row.data(), &price, sizeof(price));
+    Txn txn = worker.Begin();
+    txn.Insert(item_, i, row.data());
+    txn.Commit();
+  }
+}
+
+void TpccWorkload::LoadWarehouseSlice(Worker& worker, uint32_t first_wh, uint32_t last_wh) {
+  Rng rng(7 + first_wh);
+  std::vector<std::byte> wh_row(engine_->TupleDataSize(warehouse_));
+  std::vector<std::byte> stock_row(engine_->TupleDataSize(stock_));
+
+  for (uint64_t w = first_wh; w <= last_wh; ++w) {
+    std::memset(wh_row.data(), 0, wh_row.size());
+    const uint64_t tax = rng.NextBounded(2000);  // 0..20% in basis points
+    std::memcpy(wh_row.data(), &tax, sizeof(tax));
+    {
+      Txn txn = worker.Begin();
+      txn.Insert(warehouse_, w, wh_row.data());
+      txn.Commit();
+    }
+    for (uint64_t i = 1; i <= config_.items; ++i) {
+      std::memset(stock_row.data(), 0, stock_row.size());
+      const uint64_t quantity = 10 + rng.NextBounded(91);
+      std::memcpy(stock_row.data(), &quantity, sizeof(quantity));
+      Txn txn = worker.Begin();
+      txn.Insert(stock_, StockKey(w, i), stock_row.data());
+      txn.Commit();
+    }
+    for (uint64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+      LoadDistrict(worker, w, d);
+    }
+  }
+}
+
+void TpccWorkload::LoadDistrict(Worker& worker, uint64_t w, uint64_t d) {
+  Rng rng(static_cast<uint64_t>(w) * 131 + d);
+  {
+    std::vector<std::byte> row(engine_->TupleDataSize(district_));
+    std::memset(row.data(), 0, row.size());
+    const uint64_t tax = rng.NextBounded(2000);
+    const uint64_t next_o_id = config_.initial_orders_per_district + 1;
+    std::memcpy(row.data(), &tax, sizeof(tax));
+    std::memcpy(row.data() + 16, &next_o_id, sizeof(next_o_id));
+    Txn txn = worker.Begin();
+    txn.Insert(district_, DistrictKey(w, d), row.data());
+    txn.Commit();
+  }
+  // Customers (balance stored biased by +1B so it never goes "negative").
+  {
+    std::vector<std::byte> row(engine_->TupleDataSize(customer_));
+    for (uint64_t c = 1; c <= config_.customers_per_district; ++c) {
+      std::memset(row.data(), 0, row.size());
+      const uint64_t balance = 1'000'000'000ull;
+      std::memcpy(row.data(), &balance, sizeof(balance));
+      Txn txn = worker.Begin();
+      txn.Insert(customer_, CustomerKey(w, d, c), row.data());
+      txn.Commit();
+    }
+  }
+  // Initial orders with order lines; the most recent third sit in NEW-ORDER.
+  std::vector<std::byte> order_row(engine_->TupleDataSize(order_));
+  std::vector<std::byte> line_row(engine_->TupleDataSize(order_line_));
+  std::vector<std::byte> no_row(engine_->TupleDataSize(new_order_));
+  for (uint64_t o = 1; o <= config_.initial_orders_per_district; ++o) {
+    const uint64_t customer = RandomCustomer(rng);
+    const uint64_t line_count =
+        config_.min_order_lines + rng.NextBounded(config_.max_order_lines -
+                                                  config_.min_order_lines + 1);
+    std::memset(order_row.data(), 0, order_row.size());
+    std::memcpy(order_row.data(), &customer, sizeof(customer));
+    const uint64_t carrier = rng.NextBounded(10) + 1;
+    std::memcpy(order_row.data() + 16, &carrier, sizeof(carrier));
+    std::memcpy(order_row.data() + 24, &line_count, sizeof(line_count));
+
+    Txn txn = worker.Begin();
+    txn.Insert(order_, OrderKey(w, d, o), order_row.data());
+    for (uint64_t ol = 1; ol <= line_count; ++ol) {
+      std::memset(line_row.data(), 0, line_row.size());
+      const uint64_t item = RandomItem(rng);
+      std::memcpy(line_row.data(), &item, sizeof(item));
+      std::memcpy(line_row.data() + 8, &w, sizeof(w));
+      const uint64_t delivered = o + 1;
+      std::memcpy(line_row.data() + 16, &delivered, sizeof(delivered));
+      txn.Insert(order_line_, OrderLineKey(w, d, o, ol), line_row.data());
+    }
+    if (o > config_.initial_orders_per_district * 2 / 3) {
+      std::memset(no_row.data(), 0, no_row.size());
+      txn.Insert(new_order_, OrderKey(w, d, o), no_row.data());
+    }
+    txn.Commit();
+  }
+}
+
+// ---- Transactions ------------------------------------------------------------
+
+TpccTxnType TpccWorkload::RunOne(Worker& worker, Rng& rng, bool* committed) {
+  const uint64_t roll = rng.NextBounded(100);
+  TpccTxnType type;
+  if (roll < 45) {
+    type = kNewOrder;
+  } else if (roll < 88) {
+    type = kPayment;
+  } else if (roll < 92) {
+    type = kOrderStatus;
+  } else if (roll < 96) {
+    type = kDelivery;
+  } else {
+    type = kStockLevel;
+  }
+  bool ok = false;
+  switch (type) {
+    case kNewOrder:
+      ok = NewOrder(worker, rng);
+      break;
+    case kPayment:
+      ok = Payment(worker, rng);
+      break;
+    case kOrderStatus:
+      ok = OrderStatus(worker, rng);
+      break;
+    case kDelivery:
+      ok = Delivery(worker, rng);
+      break;
+    case kStockLevel:
+      ok = StockLevel(worker, rng);
+      break;
+  }
+  if (committed != nullptr) {
+    *committed = ok;
+  }
+  return type;
+}
+
+bool TpccWorkload::NewOrder(Worker& worker, Rng& rng) {
+  const uint64_t w = 1 + (worker.id() % config_.warehouses);
+  const uint64_t d = RandomDistrict(rng);
+  const uint64_t c = RandomCustomer(rng);
+  const uint64_t line_count = config_.min_order_lines +
+                              rng.NextBounded(config_.max_order_lines -
+                                              config_.min_order_lines + 1);
+  // Pre-generate the order lines so retries replay the same transaction.
+  struct Line {
+    uint64_t item;
+    uint64_t supply_w;
+    uint64_t quantity;
+  };
+  std::vector<Line> lines(line_count);
+  bool rollback = false;
+  for (auto& line : lines) {
+    line.item = RandomItem(rng);
+    line.supply_w = w;
+    if (config_.warehouses > 1 && rng.NextBounded(100) < config_.remote_warehouse_pct) {
+      do {
+        line.supply_w = RandomWarehouse(rng);
+      } while (line.supply_w == w);
+    }
+    line.quantity = 1 + rng.NextBounded(10);
+  }
+  if (rng.NextBounded(100) < config_.invalid_item_pct) {
+    rollback = true;  // TPC-C 1% rollback via unused item id
+  }
+
+  return RunToCompletion(worker, [&]() -> Status {
+    Txn txn = worker.Begin();
+    uint64_t w_tax = 0;
+    TPCC_TRY(txn.ReadColumn(warehouse_, w, WarehouseCol::kTax, &w_tax));
+
+    uint64_t next_o_id = 0;
+    TPCC_TRY(txn.ReadColumn(district_, DistrictKey(w, d), DistrictCol::kNextOid, &next_o_id));
+    const uint64_t bumped = next_o_id + 1;
+    TPCC_TRY(txn.UpdateColumn(district_, DistrictKey(w, d), DistrictCol::kNextOid, &bumped));
+
+    uint64_t balance = 0;
+    TPCC_TRY(txn.ReadColumn(customer_, CustomerKey(w, d, c), CustomerCol::kBalance, &balance));
+
+    if (rollback) {
+      // Simulated invalid-item abort (user-initiated rollback).
+      txn.Abort();
+      return Status::kInvalidArgument;
+    }
+
+    const uint64_t o = next_o_id;
+    std::vector<std::byte> order_row(engine_->TupleDataSize(order_), std::byte{0});
+    std::memcpy(order_row.data(), &c, sizeof(c));
+    const uint64_t entry = o;
+    std::memcpy(order_row.data() + 8, &entry, sizeof(entry));
+    std::memcpy(order_row.data() + 24, &line_count, sizeof(line_count));
+    TPCC_TRY(txn.Insert(order_, OrderKey(w, d, o), order_row.data()));
+
+    std::vector<std::byte> no_row(engine_->TupleDataSize(new_order_), std::byte{0});
+    TPCC_TRY(txn.Insert(new_order_, OrderKey(w, d, o), no_row.data()));
+
+    std::vector<std::byte> line_row(engine_->TupleDataSize(order_line_));
+    for (uint64_t ol = 0; ol < line_count; ++ol) {
+      const Line& line = lines[ol];
+      uint64_t price = 0;
+      TPCC_TRY(txn.ReadColumn(item_, line.item, ItemCol::kPrice, &price));
+
+      const uint64_t stock_key = StockKey(line.supply_w, line.item);
+      uint64_t quantity = 0;
+      TPCC_TRY(txn.ReadColumn(stock_, stock_key, StockCol::kQuantity, &quantity));
+      const uint64_t new_quantity =
+          quantity >= line.quantity + 10 ? quantity - line.quantity : quantity + 91 - line.quantity;
+      TPCC_TRY(txn.UpdateColumn(stock_, stock_key, StockCol::kQuantity, &new_quantity));
+      uint64_t ytd = 0;
+      TPCC_TRY(txn.ReadColumn(stock_, stock_key, StockCol::kYtd, &ytd));
+      ytd += line.quantity;
+      TPCC_TRY(txn.UpdateColumn(stock_, stock_key, StockCol::kYtd, &ytd));
+
+      std::memset(line_row.data(), 0, line_row.size());
+      std::memcpy(line_row.data(), &line.item, sizeof(uint64_t));
+      std::memcpy(line_row.data() + 8, &line.supply_w, sizeof(uint64_t));
+      std::memcpy(line_row.data() + 24, &line.quantity, sizeof(uint64_t));
+      const uint64_t amount = price * line.quantity;
+      std::memcpy(line_row.data() + 32, &amount, sizeof(uint64_t));
+      TPCC_TRY(txn.Insert(order_line_, OrderLineKey(w, d, o, ol + 1), line_row.data()));
+    }
+
+    TPCC_TRY(txn.UpdateColumn(customer_, CustomerKey(w, d, c), CustomerCol::kLastOrder, &o));
+    return txn.Commit();
+  });
+}
+
+bool TpccWorkload::Payment(Worker& worker, Rng& rng) {
+  const uint64_t w = 1 + (worker.id() % config_.warehouses);
+  const uint64_t d = RandomDistrict(rng);
+  // 15%: customer pays through a remote warehouse/district (TPC-C 2.5.1.2).
+  uint64_t c_w = w;
+  uint64_t c_d = d;
+  if (config_.warehouses > 1 && rng.NextBounded(100) < 15) {
+    do {
+      c_w = RandomWarehouse(rng);
+    } while (c_w == w);
+    c_d = RandomDistrict(rng);
+  }
+  const uint64_t c = RandomCustomer(rng);
+  const uint64_t amount = 100 + rng.NextBounded(499900);  // cents
+
+  return RunToCompletion(worker, [&]() -> Status {
+    Txn txn = worker.Begin();
+    uint64_t w_ytd = 0;
+    TPCC_TRY(txn.ReadColumn(warehouse_, w, WarehouseCol::kYtd, &w_ytd));
+    w_ytd += amount;
+    TPCC_TRY(txn.UpdateColumn(warehouse_, w, WarehouseCol::kYtd, &w_ytd));
+
+    uint64_t d_ytd = 0;
+    TPCC_TRY(txn.ReadColumn(district_, DistrictKey(w, d), DistrictCol::kYtd, &d_ytd));
+    d_ytd += amount;
+    TPCC_TRY(txn.UpdateColumn(district_, DistrictKey(w, d), DistrictCol::kYtd, &d_ytd));
+
+    const uint64_t c_key = CustomerKey(c_w, c_d, c);
+    uint64_t balance = 0;
+    uint64_t ytd_payment = 0;
+    uint64_t payment_cnt = 0;
+    TPCC_TRY(txn.ReadColumn(customer_, c_key, CustomerCol::kBalance, &balance));
+    TPCC_TRY(txn.ReadColumn(customer_, c_key, CustomerCol::kYtdPayment, &ytd_payment));
+    TPCC_TRY(txn.ReadColumn(customer_, c_key, CustomerCol::kPaymentCnt, &payment_cnt));
+    balance -= amount;
+    ytd_payment += amount;
+    ++payment_cnt;
+    TPCC_TRY(txn.UpdateColumn(customer_, c_key, CustomerCol::kBalance, &balance));
+    TPCC_TRY(txn.UpdateColumn(customer_, c_key, CustomerCol::kYtdPayment, &ytd_payment));
+    TPCC_TRY(txn.UpdateColumn(customer_, c_key, CustomerCol::kPaymentCnt, &payment_cnt));
+
+    std::vector<std::byte> h_row(engine_->TupleDataSize(history_), std::byte{0});
+    std::memcpy(h_row.data(), &amount, sizeof(amount));
+    std::memcpy(h_row.data() + 8, &w, sizeof(w));
+    std::memcpy(h_row.data() + 16, &d, sizeof(d));
+    std::memcpy(h_row.data() + 24, &c, sizeof(c));
+    const uint64_t h_key = (static_cast<uint64_t>(worker.id()) << 40) |
+                           history_seq_.fetch_add(1, std::memory_order_relaxed);
+    TPCC_TRY(txn.Insert(history_, h_key, h_row.data()));
+    return txn.Commit();
+  });
+}
+
+bool TpccWorkload::OrderStatus(Worker& worker, Rng& rng) {
+  const uint64_t w = 1 + (worker.id() % config_.warehouses);
+  const uint64_t d = RandomDistrict(rng);
+  const uint64_t c = RandomCustomer(rng);
+
+  return RunToCompletion(worker, [&]() -> Status {
+    Txn txn = worker.Begin(/*read_only=*/true);
+    uint64_t last_order = 0;
+    const Status rs =
+        txn.ReadColumn(customer_, CustomerKey(w, d, c), CustomerCol::kLastOrder, &last_order);
+    if (rs == Status::kAborted) {
+      return Status::kAborted;
+    }
+    if (rs != Status::kOk || last_order == 0) {
+      return txn.Commit();  // customer has no orders yet
+    }
+    uint64_t carrier = 0;
+    const Status os =
+        txn.ReadColumn(order_, OrderKey(w, d, last_order), OrderCol::kCarrier, &carrier);
+    if (os == Status::kAborted) {
+      return Status::kAborted;
+    }
+    if (os == Status::kOk) {
+      uint64_t lines_seen = 0;
+      const Status ss = txn.Scan(order_line_, OrderLineKey(w, d, last_order, 0),
+                                 OrderLineKey(w, d, last_order, 15), 16,
+                                 [&lines_seen](uint64_t, const std::byte*) { ++lines_seen; });
+      if (ss == Status::kAborted) {
+        return Status::kAborted;
+      }
+    }
+    return txn.Commit();
+  });
+}
+
+bool TpccWorkload::Delivery(Worker& worker, Rng& rng) {
+  const uint64_t w = 1 + (worker.id() % config_.warehouses);
+  const uint64_t carrier = 1 + rng.NextBounded(10);
+
+  return RunToCompletion(worker, [&]() -> Status {
+    Txn txn = worker.Begin();
+    for (uint64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+      // Oldest undelivered order for this district.
+      uint64_t oldest = 0;
+      const Status ss =
+          txn.Scan(new_order_, OrderKey(w, d, 0), OrderKey(w, d, (1 << kOrderBits) - 1), 1,
+                   [&](uint64_t key, const std::byte*) {
+                     oldest = key & ((1ull << kOrderBits) - 1);
+                   });
+      if (ss == Status::kAborted) {
+        return Status::kAborted;
+      }
+      if (oldest == 0) {
+        continue;  // district fully delivered
+      }
+      TPCC_TRY(txn.Delete(new_order_, OrderKey(w, d, oldest)));
+
+      uint64_t customer = 0;
+      TPCC_TRY(txn.ReadColumn(order_, OrderKey(w, d, oldest), OrderCol::kCustomer, &customer));
+      TPCC_TRY(txn.UpdateColumn(order_, OrderKey(w, d, oldest), OrderCol::kCarrier, &carrier));
+
+      uint64_t total = 0;
+      std::vector<uint64_t> line_keys;
+      const Status ls = txn.Scan(order_line_, OrderLineKey(w, d, oldest, 0),
+                                 OrderLineKey(w, d, oldest, 15), 16,
+                                 [&](uint64_t key, const std::byte* row) {
+                                   uint64_t amount = 0;
+                                   std::memcpy(&amount, row + 32, sizeof(amount));
+                                   total += amount;
+                                   line_keys.push_back(key);
+                                 });
+      if (ls == Status::kAborted) {
+        return Status::kAborted;
+      }
+      const uint64_t now = oldest + 1;
+      for (const uint64_t key : line_keys) {
+        TPCC_TRY(txn.UpdateColumn(order_line_, key, OrderLineCol::kDeliveryDate, &now));
+      }
+
+      const uint64_t c_key = CustomerKey(w, d, customer);
+      uint64_t balance = 0;
+      uint64_t delivery_cnt = 0;
+      TPCC_TRY(txn.ReadColumn(customer_, c_key, CustomerCol::kBalance, &balance));
+      TPCC_TRY(txn.ReadColumn(customer_, c_key, CustomerCol::kDeliveryCnt, &delivery_cnt));
+      balance += total;
+      ++delivery_cnt;
+      TPCC_TRY(txn.UpdateColumn(customer_, c_key, CustomerCol::kBalance, &balance));
+      TPCC_TRY(txn.UpdateColumn(customer_, c_key, CustomerCol::kDeliveryCnt, &delivery_cnt));
+    }
+    return txn.Commit();
+  });
+}
+
+bool TpccWorkload::StockLevel(Worker& worker, Rng& rng) {
+  const uint64_t w = 1 + (worker.id() % config_.warehouses);
+  const uint64_t d = RandomDistrict(rng);
+  const uint64_t threshold = 10 + rng.NextBounded(11);  // 10..20
+
+  return RunToCompletion(worker, [&]() -> Status {
+    Txn txn = worker.Begin(/*read_only=*/true);
+    uint64_t next_o_id = 0;
+    const Status ds =
+        txn.ReadColumn(district_, DistrictKey(w, d), DistrictCol::kNextOid, &next_o_id);
+    if (ds != Status::kOk) {
+      return ds == Status::kAborted ? Status::kAborted : txn.Commit();
+    }
+    const uint64_t from = next_o_id > 20 ? next_o_id - 20 : 1;
+    std::set<uint64_t> items;
+    const Status ss = txn.Scan(order_line_, OrderLineKey(w, d, from, 0),
+                               OrderLineKey(w, d, next_o_id, 15), 400,
+                               [&items](uint64_t, const std::byte* row) {
+                                 uint64_t item = 0;
+                                 std::memcpy(&item, row, sizeof(item));
+                                 items.insert(item);
+                               });
+    if (ss == Status::kAborted) {
+      return Status::kAborted;
+    }
+    uint64_t low = 0;
+    for (const uint64_t item : items) {
+      uint64_t quantity = 0;
+      const Status qs = txn.ReadColumn(stock_, StockKey(w, item), StockCol::kQuantity, &quantity);
+      if (qs == Status::kAborted) {
+        return Status::kAborted;
+      }
+      if (qs == Status::kOk && quantity < threshold) {
+        ++low;
+      }
+    }
+    return txn.Commit();
+  });
+}
+
+uint64_t TpccWorkload::TotalNextOrderIds(Worker& worker) {
+  uint64_t total = 0;
+  for (uint64_t w = 1; w <= config_.warehouses; ++w) {
+    for (uint64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+      for (;;) {
+        Txn txn = worker.Begin();
+        uint64_t next_o_id = 0;
+        if (txn.ReadColumn(district_, DistrictKey(w, d), DistrictCol::kNextOid, &next_o_id) ==
+                Status::kOk &&
+            txn.Commit() == Status::kOk) {
+          total += next_o_id;
+          break;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace falcon

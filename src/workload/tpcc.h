@@ -1,0 +1,172 @@
+// TPC-C workload (paper §6.1): 9 tables, 5 transaction types with the
+// standard mix (NewOrder 45%, Payment 43%, OrderStatus/Delivery/StockLevel
+// 4% each). Composite keys are bit-packed into u64 so ordered tables
+// (ORDER, NEW-ORDER, ORDER-LINE) support the range scans OrderStatus,
+// Delivery, and StockLevel need.
+//
+// Simplifications (documented in DESIGN.md): customer lookup is by id only
+// (no last-name secondary index), and the customer row carries a
+// "last_order" column maintained by NewOrder so OrderStatus can find the
+// most recent order without a customer->order index.
+
+#ifndef SRC_WORKLOAD_TPCC_H_
+#define SRC_WORKLOAD_TPCC_H_
+
+#include <array>
+
+#include "src/core/engine.h"
+
+namespace falcon {
+
+struct TpccConfig {
+  uint32_t warehouses = 4;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 512;
+  uint32_t items = 10000;  // paper: 100,000
+  uint32_t initial_orders_per_district = 64;
+  // Per-transaction parameters.
+  uint32_t min_order_lines = 5;
+  uint32_t max_order_lines = 15;
+  uint32_t remote_warehouse_pct = 1;
+  uint32_t invalid_item_pct = 1;  // NewOrder rollback rate (TPC-C 2.4.1.4)
+};
+
+// Per-transaction-type counters.
+struct TpccStats {
+  uint64_t committed[5] = {};
+  uint64_t aborted[5] = {};
+
+  void Merge(const TpccStats& other) {
+    for (int i = 0; i < 5; ++i) {
+      committed[i] += other.committed[i];
+      aborted[i] += other.aborted[i];
+    }
+  }
+  uint64_t TotalCommitted() const {
+    uint64_t n = 0;
+    for (const uint64_t c : committed) {
+      n += c;
+    }
+    return n;
+  }
+};
+
+enum TpccTxnType : int {
+  kNewOrder = 0,
+  kPayment = 1,
+  kOrderStatus = 2,
+  kDelivery = 3,
+  kStockLevel = 4,
+};
+
+class TpccWorkload {
+ public:
+  // Creates all 9 tables in a fresh engine.
+  TpccWorkload(Engine* engine, TpccConfig config);
+
+  // Loads the initial database. Call LoadSlice from each worker in
+  // parallel (warehouses are partitioned across workers), and LoadItems
+  // once from any single worker.
+  void LoadItems(Worker& worker);
+  void LoadWarehouseSlice(Worker& worker, uint32_t first_wh, uint32_t last_wh);
+
+  // Runs one transaction of the standard mix; returns its type. `committed`
+  // reports whether it committed (CC aborts are retried by the caller).
+  TpccTxnType RunOne(Worker& worker, Rng& rng, bool* committed);
+
+  // Individual transactions (also used by targeted benches/tests).
+  bool NewOrder(Worker& worker, Rng& rng);
+  bool Payment(Worker& worker, Rng& rng);
+  bool OrderStatus(Worker& worker, Rng& rng);
+  bool Delivery(Worker& worker, Rng& rng);
+  bool StockLevel(Worker& worker, Rng& rng);
+
+  const TpccConfig& config() const { return config_; }
+
+  // Consistency check: sum of district next_o_id increments equals the
+  // number of committed NewOrder transactions (+ initial orders).
+  uint64_t TotalNextOrderIds(Worker& worker);
+
+  // Table ids (exposed for tests).
+  TableId warehouse_, district_, customer_, history_, order_, new_order_, order_line_, item_,
+      stock_;
+
+ private:
+  // --- key packing ---------------------------------------------------------
+  static constexpr uint64_t kDistrictBits = 4;    // <= 16 districts
+  static constexpr uint64_t kCustomerBits = 12;   // <= 4096 customers/district
+  static constexpr uint64_t kOrderBits = 24;      // <= 16M orders/district
+  static constexpr uint64_t kOrderLineBits = 4;   // <= 16 lines/order
+  static constexpr uint64_t kItemBits = 20;       // <= 1M items
+
+  uint64_t DistrictKey(uint64_t w, uint64_t d) const { return (w << kDistrictBits) | d; }
+  uint64_t CustomerKey(uint64_t w, uint64_t d, uint64_t c) const {
+    return (DistrictKey(w, d) << kCustomerBits) | c;
+  }
+  uint64_t OrderKey(uint64_t w, uint64_t d, uint64_t o) const {
+    return (DistrictKey(w, d) << kOrderBits) | o;
+  }
+  uint64_t OrderLineKey(uint64_t w, uint64_t d, uint64_t o, uint64_t ol) const {
+    return (OrderKey(w, d, o) << kOrderLineBits) | ol;
+  }
+  uint64_t StockKey(uint64_t w, uint64_t i) const { return (w << kItemBits) | i; }
+
+  uint64_t RandomWarehouse(Rng& rng) const { return 1 + rng.NextBounded(config_.warehouses); }
+  uint64_t RandomDistrict(Rng& rng) const {
+    return 1 + rng.NextBounded(config_.districts_per_warehouse);
+  }
+  uint64_t RandomCustomer(Rng& rng) const {
+    return 1 + rng.NextBounded(config_.customers_per_district);
+  }
+  uint64_t RandomItem(Rng& rng) const { return 1 + rng.NextBounded(config_.items); }
+
+  void LoadDistrict(Worker& worker, uint64_t w, uint64_t d);
+
+  Engine* engine_;
+  TpccConfig config_;
+  std::atomic<uint64_t> history_seq_{0};
+};
+
+// Column indices (schema layout lives in tpcc.cc and must match).
+struct WarehouseCol {
+  enum : uint32_t { kTax = 0, kYtd = 1, kName = 2, kAddress = 3 };
+};
+struct DistrictCol {
+  enum : uint32_t { kTax = 0, kYtd = 1, kNextOid = 2, kName = 3, kAddress = 4 };
+};
+struct CustomerCol {
+  enum : uint32_t {
+    kBalance = 0,
+    kYtdPayment = 1,
+    kPaymentCnt = 2,
+    kDeliveryCnt = 3,
+    kLastOrder = 4,
+    kData = 5,
+  };
+};
+struct OrderCol {
+  enum : uint32_t { kCustomer = 0, kEntryDate = 1, kCarrier = 2, kLineCount = 3, kAllLocal = 4 };
+};
+struct OrderLineCol {
+  enum : uint32_t {
+    kItem = 0,
+    kSupplyWarehouse = 1,
+    kDeliveryDate = 2,
+    kQuantity = 3,
+    kAmount = 4,
+    kDistInfo = 5,
+  };
+};
+struct StockCol {
+  enum : uint32_t { kQuantity = 0, kYtd = 1, kOrderCnt = 2, kRemoteCnt = 3, kData = 4 };
+};
+struct ItemCol {
+  enum : uint32_t { kPrice = 0, kName = 1, kData = 2 };
+};
+struct HistoryCol {
+  enum : uint32_t { kAmount = 0, kWarehouse = 1, kDistrict = 2, kCustomer = 3, kData = 4 };
+};
+
+}  // namespace falcon
+
+#endif  // SRC_WORKLOAD_TPCC_H_

@@ -1,0 +1,94 @@
+// YCSB workload driver (Cooper et al., SoCC '10), configured as in the
+// paper's §6.1: one table, u64 keys, 10 columns x 100B (~1KB tuples),
+// uniform or Zipfian(0.99) key choice, full-tuple reads and updates.
+//
+// Core workloads:
+//   A: 50% read / 50% update          (update-heavy)
+//   B: 95% read /  5% update          (read-heavy)
+//   C: 100% read                      (read-only)
+//   D: 95% read-latest / 5% insert
+//   E: 95% short scan / 5% insert     (needs a B+tree table)
+//   F: 50% read / 50% read-modify-write
+
+#ifndef SRC_WORKLOAD_YCSB_H_
+#define SRC_WORKLOAD_YCSB_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/common/zipf.h"
+#include "src/core/engine.h"
+
+namespace falcon {
+
+struct YcsbConfig {
+  uint64_t record_count = 100000;
+  uint32_t field_count = 10;
+  uint32_t field_size = 100;
+  char workload = 'A';  // 'A'..'F'
+  bool zipfian = false;
+  double theta = 0.99;
+  uint32_t scan_max_len = 100;  // E
+};
+
+// Per-thread generator state.
+class YcsbThreadState {
+ public:
+  YcsbThreadState(const YcsbConfig& config, uint32_t thread_id, uint32_t thread_count,
+                  uint64_t seed);
+
+  uint64_t NextKey(uint64_t current_records);
+  uint64_t NextInsertKey();
+
+  Rng& rng() { return rng_; }
+
+ private:
+  const YcsbConfig& config_;
+  uint32_t thread_id_;
+  uint32_t thread_count_;
+  Rng rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+  uint64_t insert_cursor_ = 0;
+};
+
+class YcsbWorkload {
+ public:
+  // Creates the table in `engine` (fresh engines only).
+  YcsbWorkload(Engine* engine, YcsbConfig config);
+
+  // Attaches to an existing table (after recovery); null if absent.
+  static std::unique_ptr<YcsbWorkload> Attach(Engine* engine, YcsbConfig config);
+
+  // Loads rows [begin, end) on the given worker.
+  void LoadRange(Worker& worker, uint64_t begin, uint64_t end);
+
+  // Runs one transaction; returns true if it committed.
+  bool RunOne(Worker& worker, YcsbThreadState& state);
+
+  TableId table() const { return table_; }
+  const YcsbConfig& config() const { return config_; }
+  uint64_t approx_records() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  YcsbWorkload(Engine* engine, YcsbConfig config, TableId table);
+
+  void FillRow(std::byte* row, uint64_t key) const;
+
+  bool TxnRead(Worker& worker, uint64_t key);
+  bool TxnUpdate(Worker& worker, YcsbThreadState& state, uint64_t key);
+  bool TxnReadModifyWrite(Worker& worker, YcsbThreadState& state, uint64_t key);
+  bool TxnInsert(Worker& worker, YcsbThreadState& state);
+  bool TxnScan(Worker& worker, YcsbThreadState& state, uint64_t key);
+
+  Engine* engine_;
+  YcsbConfig config_;
+  TableId table_ = 0;
+  uint32_t data_size_ = 0;
+  std::atomic<uint64_t> records_{0};
+};
+
+}  // namespace falcon
+
+#endif  // SRC_WORKLOAD_YCSB_H_

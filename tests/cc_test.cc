@@ -1,0 +1,209 @@
+// Unit tests for concurrency-control primitives: TID generation, the active
+// TID table, 2PL lock words with generation tagging, TO/OCC timestamp words.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/cc/locks.h"
+#include "src/cc/tid.h"
+
+namespace falcon {
+namespace {
+
+TEST(TidGeneratorTest, UniqueAndMonotonePerThread) {
+  TidGenerator gen;
+  uint64_t prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t tid = gen.Next(3);
+    EXPECT_GT(tid, prev);
+    EXPECT_EQ(tid & 0xff, 3u) << "thread id lives in the low byte (§5.2.1 fn 2)";
+    prev = tid;
+  }
+}
+
+TEST(TidGeneratorTest, DistinctAcrossThreads) {
+  TidGenerator gen;
+  std::vector<std::vector<uint64_t>> out(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 10000; ++i) {
+        out[t].push_back(gen.Next(static_cast<uint32_t>(t)));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::set<uint64_t> all;
+  for (const auto& v : out) {
+    for (const uint64_t tid : v) {
+      EXPECT_TRUE(all.insert(tid).second) << "duplicate TID";
+    }
+  }
+}
+
+TEST(TidGeneratorTest, FloorRestartsAboveEveryOldTid) {
+  TidGenerator gen;
+  uint64_t max_tid = 0;
+  for (int i = 0; i < 100; ++i) {
+    max_tid = gen.Next(7);
+  }
+  TidGenerator recovered(max_tid);
+  EXPECT_GT(recovered.Next(0), max_tid) << "post-recovery TIDs must stay monotone";
+  EXPECT_GE(gen.UpperBound(), max_tid);
+}
+
+TEST(ActiveTidTableTest, MinActiveTracksPublishedTids) {
+  ActiveTidTable table;
+  EXPECT_EQ(table.MinActive(999), 999u) << "idle table falls back";
+  table.Publish(0, 50);
+  table.Publish(1, 30);
+  table.Publish(2, 70);
+  EXPECT_EQ(table.MinActive(999), 30u);
+  table.Clear(1);
+  EXPECT_EQ(table.MinActive(999), 50u);
+  table.Clear(0);
+  table.Clear(2);
+  EXPECT_EQ(table.MinActive(999), 999u);
+}
+
+TEST(Locks2plTest, WriteExcludesEverything) {
+  std::atomic<uint64_t> word{0};
+  const uint64_t gen = 1;
+  ASSERT_TRUE(TryLockWrite2pl(word, gen));
+  EXPECT_FALSE(TryLockWrite2pl(word, gen));
+  EXPECT_FALSE(TryLockRead2pl(word, gen));
+  UnlockWrite2pl(word, gen);
+  EXPECT_TRUE(TryLockRead2pl(word, gen));
+}
+
+TEST(Locks2plTest, SharedReadersBlockWriters) {
+  std::atomic<uint64_t> word{0};
+  const uint64_t gen = 1;
+  ASSERT_TRUE(TryLockRead2pl(word, gen));
+  ASSERT_TRUE(TryLockRead2pl(word, gen));
+  EXPECT_FALSE(TryLockWrite2pl(word, gen));
+  UnlockRead2pl(word);
+  EXPECT_FALSE(TryLockWrite2pl(word, gen)) << "one reader still holds";
+  UnlockRead2pl(word);
+  EXPECT_TRUE(TryLockWrite2pl(word, gen));
+}
+
+TEST(Locks2plTest, UpgradeOnlyForSoleReader) {
+  std::atomic<uint64_t> word{0};
+  const uint64_t gen = 1;
+  ASSERT_TRUE(TryLockRead2pl(word, gen));
+  ASSERT_TRUE(TryLockRead2pl(word, gen));
+  EXPECT_FALSE(TryUpgrade2pl(word, gen)) << "two readers: no upgrade";
+  UnlockRead2pl(word);
+  EXPECT_TRUE(TryUpgrade2pl(word, gen));
+  EXPECT_FALSE(TryLockRead2pl(word, gen)) << "upgraded to exclusive";
+}
+
+TEST(Locks2plTest, StaleGenerationDecodesAsUnlocked) {
+  // The crash-recovery property: locks taken under generation 1 (readers
+  // that died with the crash) are invisible under generation 2.
+  std::atomic<uint64_t> word{0};
+  ASSERT_TRUE(TryLockRead2pl(word, /*gen=*/1));
+  ASSERT_TRUE(TryLockRead2pl(word, 1));
+  EXPECT_FALSE(TryLockWrite2pl(word, 1));
+  EXPECT_TRUE(TryLockWrite2pl(word, /*gen=*/2))
+      << "post-recovery writers must not block on pre-crash read locks";
+  UnlockWrite2pl(word, 2);
+  ASSERT_TRUE(TryLockWrite2pl(word, 2));
+  EXPECT_TRUE(TryLockWrite2pl(word, /*gen=*/3)) << "stale write lock also decodes as free";
+}
+
+TEST(Locks2plTest, ConcurrentReadersCountExactly) {
+  std::atomic<uint64_t> word{0};
+  const uint64_t gen = 5;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        while (!TryLockRead2pl(word, gen)) {
+        }
+        UnlockRead2pl(word);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(Normalize2pl(word.load(), gen) & k2plReaderMask, 0u);
+  EXPECT_TRUE(TryLockWrite2pl(word, gen));
+}
+
+TEST(LocksTsTest, LockPreservesTimestamp) {
+  std::atomic<uint64_t> word{12345};
+  uint64_t pre = 0;
+  ASSERT_TRUE(TryLockTs(word, &pre));
+  EXPECT_EQ(pre, 12345u);
+  EXPECT_TRUE(IsLockedTs(word.load()));
+  EXPECT_EQ(TsOf(word.load()), 12345u);
+  uint64_t again = 0;
+  EXPECT_FALSE(TryLockTs(word, &again)) << "no-wait";
+  UnlockWithTs(word, 999);
+  EXPECT_FALSE(IsLockedTs(word.load()));
+  EXPECT_EQ(TsOf(word.load()), 999u);
+}
+
+TEST(LocksTsTest, RestorePreservesRetiredBit) {
+  std::atomic<uint64_t> word{777 | kCcRetiredBit};
+  uint64_t pre = 0;
+  ASSERT_TRUE(TryLockTs(word, &pre));
+  UnlockRestoreTs(word, pre);
+  EXPECT_EQ(word.load(), 777u | kCcRetiredBit);
+  EXPECT_EQ(TsOf(word.load()), 777u) << "TsOf masks the retired bit";
+}
+
+TEST(LocksTsTest, AdvanceReadTsIsMonotoneMax) {
+  std::atomic<uint64_t> read_ts{10};
+  AdvanceReadTs(read_ts, 5);
+  EXPECT_EQ(read_ts.load(), 10u);
+  AdvanceReadTs(read_ts, 20);
+  EXPECT_EQ(read_ts.load(), 20u);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < 10000; ++i) {
+        AdvanceReadTs(read_ts, i * 8 + static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(read_ts.load(), 9999u * 8 + 7);
+}
+
+TEST(LocksTsTest, MutualExclusionUnderContention) {
+  std::atomic<uint64_t> word{0};
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        uint64_t pre = 0;
+        while (!TryLockTs(word, &pre)) {
+        }
+        ++counter;
+        UnlockRestoreTs(word, pre);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, 8 * 5000);
+}
+
+}  // namespace
+}  // namespace falcon

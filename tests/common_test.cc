@@ -1,0 +1,262 @@
+// Unit tests for src/common: rng, zipfian, histogram, latch, status.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/latch.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/zipf.h"
+
+namespace falcon {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.NextRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(10)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, kSamples / 10 * 0.9);
+    EXPECT_LT(c, kSamples / 10 * 1.1);
+  }
+}
+
+TEST(Mix64Test, InjectiveOnSmallRange) {
+  std::map<uint64_t, uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    const uint64_t h = Mix64(i);
+    EXPECT_EQ(seen.count(h), 0u);
+    seen[h] = i;
+  }
+}
+
+TEST(ZipfTest, ValuesInRange) {
+  ZipfianGenerator zipf(1000, 0.99, 3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfianGenerator zipf(100000, 0.99, 5);
+  constexpr int kSamples = 100000;
+  int in_top_100 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next() < 100) {
+      ++in_top_100;
+    }
+  }
+  // With theta=0.99 over 100K items, well over a third of accesses hit the
+  // 100 hottest ranks; a uniform distribution would put ~0.1% there.
+  EXPECT_GT(in_top_100, kSamples / 3);
+}
+
+TEST(ZipfTest, RankZeroIsHottest) {
+  ZipfianGenerator zipf(10000, 0.99, 8);
+  std::vector<int> counts(10000, 0);
+  for (int i = 0; i < 200000; ++i) {
+    ++counts[zipf.Next()];
+  }
+  const int max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(counts[0], max_count);
+}
+
+TEST(ZipfTest, ScrambledCoversRange) {
+  ZipfianGenerator zipf(1000, 0.99, 13);
+  std::vector<bool> seen(1000, false);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = zipf.NextScrambled();
+    ASSERT_LT(v, 1000u);
+    seen[v] = true;
+  }
+  const auto covered = static_cast<size_t>(std::count(seen.begin(), seen.end(), true));
+  EXPECT_GT(covered, 500u);  // scrambling spreads hot ranks over the space
+}
+
+TEST(ZipfTest, ThetaControlsSkew) {
+  ZipfianGenerator mild(10000, 0.5, 21);
+  ZipfianGenerator hot(10000, 0.99, 21);
+  int mild_top = 0;
+  int hot_top = 0;
+  for (int i = 0; i < 50000; ++i) {
+    mild_top += (mild.Next() < 10) ? 1 : 0;
+    hot_top += (hot.Next() < 10) ? 1 : 0;
+  }
+  EXPECT_GT(hot_top, mild_top * 2);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 100.0);
+  // Percentile returns the bucket upper bound: within ~6% of the true value.
+  EXPECT_GE(h.Percentile(50), 100u);
+  EXPECT_LE(h.Percentile(50), 112u);
+}
+
+TEST(HistogramTest, ExactForSmallValues) {
+  Histogram h;
+  for (uint64_t v = 0; v < 16; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Percentile(0), 0u);
+  EXPECT_EQ(h.Percentile(100), 15u);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(rng.NextBounded(1'000'000));
+  }
+  uint64_t prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
+    const uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, PercentileAccuracyOnUniform) {
+  Histogram h;
+  Rng rng(17);
+  for (int i = 0; i < 200000; ++i) {
+    h.Record(rng.NextBounded(1'000'000));
+  }
+  const uint64_t p50 = h.Percentile(50);
+  EXPECT_GT(p50, 450'000u);
+  EXPECT_LT(p50, 560'000u);
+  const uint64_t p95 = h.Percentile(95);
+  EXPECT_GT(p95, 900'000u);
+  EXPECT_LT(p95, 1'010'000u);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) {
+    a.Record(10);
+    b.Record(1000);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_LE(a.Percentile(25), 12u);
+  EXPECT_GE(a.Percentile(75), 900u);
+}
+
+TEST(HistogramTest, MaxTracksLargest) {
+  Histogram h;
+  h.Record(5);
+  h.Record(500000);
+  h.Record(50);
+  EXPECT_EQ(h.max(), 500000u);
+}
+
+TEST(SpinLatchTest, MutualExclusion) {
+  SpinLatch latch;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::lock_guard<SpinLatch> guard(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(SpinLatchTest, TryLockFailsWhenHeld) {
+  SpinLatch latch;
+  latch.lock();
+  EXPECT_FALSE(latch.try_lock());
+  latch.unlock();
+  EXPECT_TRUE(latch.try_lock());
+  latch.unlock();
+}
+
+TEST(StatusTest, StringsAreStable) {
+  EXPECT_EQ(StatusString(Status::kOk), "ok");
+  EXPECT_EQ(StatusString(Status::kAborted), "aborted");
+  EXPECT_EQ(StatusString(Status::kNotFound), "not found");
+  EXPECT_EQ(StatusString(Status::kDuplicate), "duplicate");
+  EXPECT_EQ(StatusString(Status::kNoSpace), "no space");
+  EXPECT_TRUE(IsOk(Status::kOk));
+  EXPECT_FALSE(IsOk(Status::kAborted));
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,310 @@
+// Unit tests for the core building blocks: the small log window, the hot
+// tuple LRU (D2), the ZenS tuple cache, and the engine configuration
+// presets (paper Table 1).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/core/config.h"
+#include "src/core/hot_tuple_set.h"
+#include "src/core/log_window.h"
+#include "src/core/tuple_cache.h"
+#include "src/pmem/catalog.h"
+
+namespace falcon {
+namespace {
+
+// ---- LogWindow --------------------------------------------------------------
+
+class LogWindowTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kSlots = 3;
+  static constexpr uint64_t kSlotBytes = 4096;
+
+  LogWindowTest()
+      : dev_(64ul << 20),
+        arena_(NvmArena::Format(&dev_)),
+        ctx_(0, &dev_),
+        base_(arena_.AllocPage(PagePurpose::kLogWindow, 0, 0) + kPageDataStart),
+        log_(&arena_, base_, kSlots, kSlotBytes, /*flush_to_nvm=*/false) {
+    std::memset(arena_.Ptr<void>(base_), 0, LogWindow::RegionBytes(kSlots, kSlotBytes));
+  }
+
+  NvmDevice dev_;
+  NvmArena arena_;
+  ThreadContext ctx_;
+  PmOffset base_;
+  LogWindow log_;
+};
+
+TEST_F(LogWindowTest, OpenSlotInitializesHeader) {
+  log_.OpenSlot(ctx_, /*tid=*/77);
+  LogSlotHeader* slot = log_.current_slot();
+  EXPECT_EQ(slot->tid, 77u);
+  EXPECT_EQ(slot->bytes, 0u);
+  EXPECT_EQ(slot->entry_count, 0u);
+  EXPECT_EQ(static_cast<SlotState>(slot->state.load()), SlotState::kUncommitted);
+}
+
+TEST_F(LogWindowTest, AppendWritesEntryAndPayload) {
+  log_.OpenSlot(ctx_, 1);
+  const uint64_t payload = 0xabcdef;
+  ASSERT_TRUE(log_.Append(ctx_, /*table=*/2, /*key=*/9, /*tuple=*/0x1000, LogOpKind::kUpdate,
+                          /*offset=*/16, /*len=*/8, &payload));
+  LogSlotHeader* slot = log_.current_slot();
+  EXPECT_EQ(slot->entry_count, 1u);
+  EXPECT_EQ(slot->bytes, sizeof(LogEntryHeader) + 8);
+
+  LogEntryHeader entry;
+  std::memcpy(&entry, LogWindow::SlotPayload(slot), sizeof(entry));
+  EXPECT_EQ(entry.table_id, 2u);
+  EXPECT_EQ(entry.key, 9u);
+  EXPECT_EQ(entry.tuple, 0x1000u);
+  EXPECT_EQ(entry.offset, 16u);
+  EXPECT_EQ(entry.len, 8u);
+  uint64_t stored = 0;
+  std::memcpy(&stored, LogWindow::SlotPayload(slot) + sizeof(entry), 8);
+  EXPECT_EQ(stored, payload);
+}
+
+TEST_F(LogWindowTest, AppendFailsWhenSlotFull) {
+  // The §5.5 limitation: one transaction's redo must fit a slot.
+  log_.OpenSlot(ctx_, 1);
+  std::byte big[1024] = {};
+  int appended = 0;
+  while (log_.Append(ctx_, 0, 0, 64, LogOpKind::kUpdate, 0, sizeof(big), big)) {
+    ++appended;
+  }
+  EXPECT_EQ(appended, 3);  // 3 x (40 + 1024) fits in 4096 - 32; the 4th does not
+}
+
+TEST_F(LogWindowTest, WindowCyclesThroughSlots) {
+  LogSlotHeader* seen[5];
+  for (int i = 0; i < 5; ++i) {
+    log_.OpenSlot(ctx_, static_cast<uint64_t>(i + 1));
+    seen[i] = log_.current_slot();
+    log_.MarkCommitted(ctx_);
+    log_.Release(ctx_);
+  }
+  EXPECT_NE(seen[0], seen[1]);
+  EXPECT_NE(seen[1], seen[2]);
+  EXPECT_EQ(seen[0], seen[3]) << "3-slot window must reuse slots circularly";
+  EXPECT_EQ(seen[1], seen[4]);
+}
+
+TEST_F(LogWindowTest, CommitAndReleaseDriveSlotStates) {
+  log_.OpenSlot(ctx_, 5);
+  LogSlotHeader* slot = log_.current_slot();
+  log_.MarkCommitted(ctx_);
+  EXPECT_EQ(static_cast<SlotState>(slot->state.load()), SlotState::kCommitted);
+  log_.Release(ctx_);
+  EXPECT_EQ(static_cast<SlotState>(slot->state.load()), SlotState::kFree);
+}
+
+TEST_F(LogWindowTest, UnflushedWindowStaysOutOfNvm) {
+  // D1's whole point: the cycling window generates no NVM media writes.
+  std::byte payload[256] = {};
+  for (int txn = 0; txn < 200; ++txn) {
+    log_.OpenSlot(ctx_, static_cast<uint64_t>(txn + 1));
+    for (int e = 0; e < 8; ++e) {
+      ASSERT_TRUE(log_.Append(ctx_, 0, e, 64, LogOpKind::kUpdate, 0, sizeof(payload), payload));
+    }
+    log_.MarkCommitted(ctx_);
+    log_.Release(ctx_);
+  }
+  dev_.DrainAll();
+  EXPECT_EQ(dev_.stats().media_writes, 0u)
+      << "small log window must never reach the media while it fits in cache";
+}
+
+TEST_F(LogWindowTest, FlushedLogWritesThroughEveryCommit) {
+  // The conventional (Inp) protocol: clwb + fence per commit -> media writes
+  // proportional to logging volume.
+  LogWindow flushed(&arena_, base_, kSlots, kSlotBytes, /*flush_to_nvm=*/true);
+  std::byte payload[256] = {};
+  for (int txn = 0; txn < 50; ++txn) {
+    flushed.OpenSlot(ctx_, static_cast<uint64_t>(txn + 1));
+    ASSERT_TRUE(
+        flushed.Append(ctx_, 0, 1, 64, LogOpKind::kUpdate, 0, sizeof(payload), payload));
+    flushed.MarkCommitted(ctx_);
+    flushed.Release(ctx_);
+  }
+  dev_.DrainAll();
+  EXPECT_GT(dev_.stats().media_writes, 50u);
+}
+
+// ---- HotTupleSet -------------------------------------------------------------
+
+TEST(HotTupleSetTest, ContainsAfterCache) {
+  HotTupleSet hot(4);
+  EXPECT_FALSE(hot.Contains(100));
+  hot.Cache(100);
+  EXPECT_TRUE(hot.Contains(100));
+  EXPECT_EQ(hot.size(), 1u);
+}
+
+TEST(HotTupleSetTest, EvictsLruWhenFull) {
+  HotTupleSet hot(3);
+  hot.Cache(1);
+  hot.Cache(2);
+  hot.Cache(3);
+  // Refresh 1 so 2 is the coldest.
+  EXPECT_TRUE(hot.Contains(1));
+  hot.Cache(4);
+  EXPECT_TRUE(hot.Contains(1));
+  EXPECT_FALSE(hot.Contains(2));
+  EXPECT_TRUE(hot.Contains(3));
+  EXPECT_TRUE(hot.Contains(4));
+  EXPECT_EQ(hot.size(), 3u);
+}
+
+TEST(HotTupleSetTest, RecachingRefreshesRecency) {
+  HotTupleSet hot(2);
+  hot.Cache(1);
+  hot.Cache(2);
+  hot.Cache(1);  // refresh
+  hot.Cache(3);  // evicts 2
+  EXPECT_TRUE(hot.Contains(1));
+  EXPECT_FALSE(hot.Contains(2));
+}
+
+TEST(HotTupleSetTest, ClearEmptiesTheSet) {
+  HotTupleSet hot(8);
+  for (uint64_t i = 0; i < 8; ++i) {
+    hot.Cache(i);
+  }
+  hot.Clear();
+  EXPECT_EQ(hot.size(), 0u);
+  EXPECT_FALSE(hot.Contains(0));
+}
+
+// ---- TupleCache --------------------------------------------------------------
+
+class TupleCacheTest : public ::testing::Test {
+ protected:
+  TupleCacheTest() : dev_(16ul << 20), ctx_(0, &dev_), cache_(64, 128) {}
+
+  NvmDevice dev_;
+  ThreadContext ctx_;
+  TupleCache cache_;
+};
+
+TEST_F(TupleCacheTest, FillThenLookupSameVersion) {
+  const char data[16] = "hello";
+  char out[16] = {};
+  EXPECT_FALSE(cache_.Lookup(ctx_, 1, 5, /*version_ts=*/10, out, sizeof(out)));
+  cache_.Fill(ctx_, 1, 5, 10, data, sizeof(data));
+  EXPECT_TRUE(cache_.Lookup(ctx_, 1, 5, 10, out, sizeof(out)));
+  EXPECT_STREQ(out, "hello");
+}
+
+TEST_F(TupleCacheTest, VersionMismatchMisses) {
+  const char data[16] = "v10";
+  char out[16] = {};
+  cache_.Fill(ctx_, 1, 5, 10, data, sizeof(data));
+  EXPECT_FALSE(cache_.Lookup(ctx_, 1, 5, 11, out, sizeof(out)))
+      << "a reader validating version 11 must not be served version 10";
+  EXPECT_FALSE(cache_.Lookup(ctx_, 1, 5, 9, out, sizeof(out)));
+}
+
+TEST_F(TupleCacheTest, NeverRollsBackToOlderVersion) {
+  const char newer[16] = "new";
+  const char older[16] = "old";
+  cache_.Fill(ctx_, 1, 5, 20, newer, sizeof(newer));
+  cache_.Fill(ctx_, 1, 5, 10, older, sizeof(older));  // stale fill: ignored
+  char out[16] = {};
+  EXPECT_TRUE(cache_.Lookup(ctx_, 1, 5, 20, out, sizeof(out)));
+  EXPECT_STREQ(out, "new");
+}
+
+TEST_F(TupleCacheTest, InvalidateRemovesEntry) {
+  const char data[8] = "x";
+  cache_.Fill(ctx_, 1, 5, 10, data, sizeof(data));
+  cache_.Invalidate(ctx_, 1, 5);
+  char out[8] = {};
+  EXPECT_FALSE(cache_.Lookup(ctx_, 1, 5, 10, out, sizeof(out)));
+}
+
+TEST_F(TupleCacheTest, OversizedTuplesBypass) {
+  std::vector<char> big(1024, 'a');
+  cache_.Fill(ctx_, 1, 5, 10, big.data(), big.size());  // max_data is 128
+  EXPECT_FALSE(cache_.Lookup(ctx_, 1, 5, 10, big.data(), big.size()));
+}
+
+TEST_F(TupleCacheTest, DistinctKeysCoexist) {
+  for (uint64_t k = 0; k < 32; ++k) {
+    const uint64_t v = k * 7;
+    cache_.Fill(ctx_, 1, k, 10, &v, sizeof(v));
+  }
+  int hits = 0;
+  for (uint64_t k = 0; k < 32; ++k) {
+    uint64_t out = 0;
+    if (cache_.Lookup(ctx_, 1, k, 10, &out, sizeof(out))) {
+      EXPECT_EQ(out, k * 7);
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, 16) << "direct-mapped collisions should not wipe most entries";
+  EXPECT_GT(cache_.hits(), 0u);
+}
+
+// ---- EngineConfig presets (Table 1) -------------------------------------------
+
+TEST(EngineConfigTest, PresetsMatchTable1) {
+  const EngineConfig falcon = EngineConfig::Falcon();
+  EXPECT_EQ(falcon.update_mode, UpdateMode::kInPlace);
+  EXPECT_EQ(falcon.log_mode, LogMode::kSmallWindow);
+  EXPECT_EQ(falcon.flush_policy, FlushPolicy::kSelective);
+  EXPECT_EQ(falcon.index_placement, IndexPlacement::kNvm);
+  EXPECT_FALSE(falcon.use_tuple_cache);
+
+  const EngineConfig inp = EngineConfig::Inp();
+  EXPECT_EQ(inp.log_mode, LogMode::kNvmFlushed);
+  EXPECT_EQ(inp.flush_policy, FlushPolicy::kAll);
+
+  const EngineConfig inp_no_flush = EngineConfig::InpNoFlush();
+  EXPECT_EQ(inp_no_flush.log_mode, LogMode::kNvmNoFlush);
+  EXPECT_EQ(inp_no_flush.flush_policy, FlushPolicy::kNone);
+
+  const EngineConfig zens = EngineConfig::ZenS();
+  EXPECT_EQ(zens.update_mode, UpdateMode::kOutOfPlace);
+  EXPECT_EQ(zens.log_mode, LogMode::kNone);
+  EXPECT_EQ(zens.index_placement, IndexPlacement::kDram);
+  EXPECT_TRUE(zens.use_tuple_cache);
+
+  const EngineConfig outp = EngineConfig::Outp();
+  EXPECT_EQ(outp.index_placement, IndexPlacement::kNvm);
+  EXPECT_FALSE(outp.use_tuple_cache);
+
+  // Figure 10's identities: Inp(SLW) = Inp + small window; Inp(HTT) = Inp +
+  // selective flush; Falcon = both.
+  const EngineConfig slw = EngineConfig::InpSmallLogWindow();
+  EXPECT_EQ(slw.log_mode, LogMode::kSmallWindow);
+  EXPECT_EQ(slw.flush_policy, FlushPolicy::kAll);
+  const EngineConfig htt = EngineConfig::InpHotTupleTracking();
+  EXPECT_EQ(htt.log_mode, LogMode::kNvmFlushed);
+  EXPECT_EQ(htt.flush_policy, FlushPolicy::kSelective);
+}
+
+TEST(EngineConfigTest, EffectiveLogSlots) {
+  EXPECT_EQ(EngineConfig::Falcon().EffectiveLogSlots(), kLogWindowSlots);
+  EXPECT_EQ(EngineConfig::Inp().EffectiveLogSlots(), EngineConfig::Inp().large_log_slots);
+  EXPECT_GT(EngineConfig::Inp().large_log_slots, kLogWindowSlots * 4)
+      << "the conventional log region must dwarf the small window";
+}
+
+TEST(CcSchemeTest, BaseAndMvClassification) {
+  EXPECT_TRUE(IsMultiVersion(CcScheme::kMv2pl));
+  EXPECT_TRUE(IsMultiVersion(CcScheme::kMvTo));
+  EXPECT_TRUE(IsMultiVersion(CcScheme::kMvOcc));
+  EXPECT_FALSE(IsMultiVersion(CcScheme::kOcc));
+  EXPECT_EQ(BaseScheme(CcScheme::kMv2pl), CcScheme::k2pl);
+  EXPECT_EQ(BaseScheme(CcScheme::kMvTo), CcScheme::kTo);
+  EXPECT_EQ(BaseScheme(CcScheme::kMvOcc), CcScheme::kOcc);
+  EXPECT_EQ(BaseScheme(CcScheme::kTo), CcScheme::kTo);
+  EXPECT_EQ(CcSchemeName(CcScheme::kMvTo), "MVTO");
+}
+
+}  // namespace
+}  // namespace falcon

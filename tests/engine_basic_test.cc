@@ -1,0 +1,383 @@
+// Engine CRUD + transaction semantics, parameterized over every engine
+// configuration from the paper's Table 1 and every CC scheme (§5.2.1).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/core/engine.h"
+
+namespace falcon {
+namespace {
+
+struct EngineParam {
+  const char* label;
+  EngineConfig (*make)(CcScheme);
+  CcScheme cc;
+};
+
+EngineConfig MakeFalcon(CcScheme cc) { return EngineConfig::Falcon(cc); }
+EngineConfig MakeFalconNoFlush(CcScheme cc) { return EngineConfig::FalconNoFlush(cc); }
+EngineConfig MakeFalconAllFlush(CcScheme cc) { return EngineConfig::FalconAllFlush(cc); }
+EngineConfig MakeFalconDram(CcScheme cc) { return EngineConfig::FalconDramIndex(cc); }
+EngineConfig MakeInp(CcScheme cc) { return EngineConfig::Inp(cc); }
+EngineConfig MakeInpNoFlush(CcScheme cc) { return EngineConfig::InpNoFlush(cc); }
+EngineConfig MakeInpSlw(CcScheme cc) { return EngineConfig::InpSmallLogWindow(cc); }
+EngineConfig MakeInpHtt(CcScheme cc) { return EngineConfig::InpHotTupleTracking(cc); }
+EngineConfig MakeOutp(CcScheme cc) { return EngineConfig::Outp(cc); }
+EngineConfig MakeZenS(CcScheme cc) { return EngineConfig::ZenS(cc); }
+EngineConfig MakeZenSNoFlush(CcScheme cc) { return EngineConfig::ZenSNoFlush(cc); }
+
+class EngineTest : public ::testing::TestWithParam<EngineParam> {
+ protected:
+  static constexpr uint64_t kRowBytes = 32;
+
+  EngineTest() : dev_(512ul * 1024 * 1024) {
+    engine_ = std::make_unique<Engine>(&dev_, GetParam().make(GetParam().cc), /*workers=*/4);
+    SchemaBuilder schema("accounts");
+    schema.AddU64();        // balance
+    schema.AddColumn(24);   // payload
+    table_ = engine_->CreateTable(schema, IndexKind::kHash);
+
+    SchemaBuilder orders("orders");
+    orders.AddU64();
+    ordered_table_ = engine_->CreateTable(orders, IndexKind::kBTree);
+  }
+
+  // Writes a recognizable 32-byte row for `seed`.
+  static void FillRow(std::byte* row, uint64_t seed) {
+    std::memset(row, static_cast<int>(seed & 0x7f), kRowBytes);
+    std::memcpy(row, &seed, sizeof(seed));
+  }
+
+  Status InsertRow(Worker& w, TableId table, uint64_t key, uint64_t seed) {
+    std::byte row[kRowBytes];
+    FillRow(row, seed);
+    Txn txn = w.Begin();
+    const Status s = txn.Insert(table, key, row);
+    if (s != Status::kOk) {
+      txn.Abort();
+      return s;
+    }
+    return txn.Commit();
+  }
+
+  NvmDevice dev_;
+  std::unique_ptr<Engine> engine_;
+  TableId table_ = 0;
+  TableId ordered_table_ = 0;
+};
+
+TEST_P(EngineTest, InsertThenRead) {
+  Worker& w = engine_->worker(0);
+  ASSERT_EQ(InsertRow(w, table_, 7, 0xabc), Status::kOk);
+
+  Txn txn = w.Begin();
+  std::byte got[kRowBytes];
+  ASSERT_EQ(txn.Read(table_, 7, got), Status::kOk);
+  std::byte want[kRowBytes];
+  FillRow(want, 0xabc);
+  EXPECT_EQ(std::memcmp(got, want, kRowBytes), 0);
+  EXPECT_EQ(txn.Commit(), Status::kOk);
+}
+
+TEST_P(EngineTest, ReadMissingKey) {
+  Worker& w = engine_->worker(0);
+  Txn txn = w.Begin();
+  std::byte got[kRowBytes];
+  EXPECT_EQ(txn.Read(table_, 999, got), Status::kNotFound);
+  EXPECT_EQ(txn.Commit(), Status::kOk);
+}
+
+TEST_P(EngineTest, DuplicateInsertRejected) {
+  Worker& w = engine_->worker(0);
+  ASSERT_EQ(InsertRow(w, table_, 1, 1), Status::kOk);
+  EXPECT_EQ(InsertRow(w, table_, 1, 2), Status::kDuplicate);
+  // Original row unchanged.
+  Txn txn = w.Begin();
+  std::byte got[kRowBytes];
+  ASSERT_EQ(txn.Read(table_, 1, got), Status::kOk);
+  std::byte want[kRowBytes];
+  FillRow(want, 1);
+  EXPECT_EQ(std::memcmp(got, want, kRowBytes), 0);
+  txn.Commit();
+}
+
+TEST_P(EngineTest, UpdateFullAndPartial) {
+  Worker& w = engine_->worker(0);
+  ASSERT_EQ(InsertRow(w, table_, 5, 10), Status::kOk);
+
+  {
+    Txn txn = w.Begin();
+    std::byte row[kRowBytes];
+    FillRow(row, 20);
+    ASSERT_EQ(txn.UpdateFull(table_, 5, row), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  {
+    Txn txn = w.Begin();
+    const uint64_t new_balance = 777;
+    ASSERT_EQ(txn.UpdateColumn(table_, 5, 0, &new_balance), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  Txn txn = w.Begin();
+  uint64_t balance = 0;
+  ASSERT_EQ(txn.ReadColumn(table_, 5, 0, &balance), Status::kOk);
+  EXPECT_EQ(balance, 777u);
+  std::byte got[kRowBytes];
+  ASSERT_EQ(txn.Read(table_, 5, got), Status::kOk);
+  EXPECT_EQ(static_cast<unsigned char>(got[kRowBytes - 1]), 20u & 0x7f);
+  txn.Commit();
+}
+
+TEST_P(EngineTest, ReadOwnWrites) {
+  Worker& w = engine_->worker(0);
+  ASSERT_EQ(InsertRow(w, table_, 3, 1), Status::kOk);
+
+  Txn txn = w.Begin();
+  const uint64_t v = 42;
+  ASSERT_EQ(txn.UpdateColumn(table_, 3, 0, &v), Status::kOk);
+  uint64_t got = 0;
+  ASSERT_EQ(txn.ReadColumn(table_, 3, 0, &got), Status::kOk);
+  EXPECT_EQ(got, 42u) << "transaction must see its own pending update";
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+}
+
+TEST_P(EngineTest, ReadOwnInsert) {
+  Worker& w = engine_->worker(0);
+  Txn txn = w.Begin();
+  std::byte row[kRowBytes];
+  FillRow(row, 9);
+  ASSERT_EQ(txn.Insert(table_, 30, row), Status::kOk);
+  std::byte got[kRowBytes];
+  ASSERT_EQ(txn.Read(table_, 30, got), Status::kOk);
+  EXPECT_EQ(std::memcmp(got, row, kRowBytes), 0);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+}
+
+TEST_P(EngineTest, AbortRollsBackUpdate) {
+  Worker& w = engine_->worker(0);
+  ASSERT_EQ(InsertRow(w, table_, 4, 50), Status::kOk);
+  {
+    Txn txn = w.Begin();
+    const uint64_t v = 999;
+    ASSERT_EQ(txn.UpdateColumn(table_, 4, 0, &v), Status::kOk);
+    txn.Abort();
+  }
+  Txn txn = w.Begin();
+  uint64_t got = 0;
+  ASSERT_EQ(txn.ReadColumn(table_, 4, 0, &got), Status::kOk);
+  EXPECT_EQ(got, 50u);
+  txn.Commit();
+}
+
+TEST_P(EngineTest, AbortRollsBackInsert) {
+  Worker& w = engine_->worker(0);
+  {
+    Txn txn = w.Begin();
+    std::byte row[kRowBytes];
+    FillRow(row, 1);
+    ASSERT_EQ(txn.Insert(table_, 77, row), Status::kOk);
+    txn.Abort();
+  }
+  Txn txn = w.Begin();
+  std::byte got[kRowBytes];
+  EXPECT_EQ(txn.Read(table_, 77, got), Status::kNotFound);
+  txn.Commit();
+  // The key is insertable again.
+  EXPECT_EQ(InsertRow(w, table_, 77, 2), Status::kOk);
+}
+
+TEST_P(EngineTest, ImplicitAbortOnDrop) {
+  Worker& w = engine_->worker(0);
+  ASSERT_EQ(InsertRow(w, table_, 8, 1), Status::kOk);
+  {
+    Txn txn = w.Begin();
+    const uint64_t v = 2;
+    ASSERT_EQ(txn.UpdateColumn(table_, 8, 0, &v), Status::kOk);
+    // Dropped without Commit: destructor must roll back and release locks.
+  }
+  Txn txn = w.Begin();
+  uint64_t got = 0;
+  ASSERT_EQ(txn.ReadColumn(table_, 8, 0, &got), Status::kOk);
+  EXPECT_EQ(got, 1u);
+  txn.Commit();
+}
+
+TEST_P(EngineTest, DeleteHidesTuple) {
+  Worker& w = engine_->worker(0);
+  ASSERT_EQ(InsertRow(w, table_, 11, 1), Status::kOk);
+  {
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.Delete(table_, 11), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  Txn txn = w.Begin();
+  std::byte got[kRowBytes];
+  EXPECT_EQ(txn.Read(table_, 11, got), Status::kNotFound);
+  txn.Commit();
+  // Key is re-insertable after the delete.
+  EXPECT_EQ(InsertRow(w, table_, 11, 3), Status::kOk);
+}
+
+TEST_P(EngineTest, MultiTupleTransactionIsAtomic) {
+  Worker& w = engine_->worker(0);
+  for (uint64_t k = 100; k < 105; ++k) {
+    ASSERT_EQ(InsertRow(w, table_, k, 1000), Status::kOk);
+  }
+  {
+    Txn txn = w.Begin();
+    for (uint64_t k = 100; k < 105; ++k) {
+      const uint64_t v = 2000 + k;
+      ASSERT_EQ(txn.UpdateColumn(table_, k, 0, &v), Status::kOk);
+    }
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  Txn txn = w.Begin();
+  for (uint64_t k = 100; k < 105; ++k) {
+    uint64_t got = 0;
+    ASSERT_EQ(txn.ReadColumn(table_, k, 0, &got), Status::kOk);
+    EXPECT_EQ(got, 2000 + k);
+  }
+  txn.Commit();
+}
+
+TEST_P(EngineTest, ScanOverBTreeTable) {
+  Worker& w = engine_->worker(0);
+  for (uint64_t k = 0; k < 50; ++k) {
+    std::byte row[8];
+    std::memcpy(row, &k, 8);
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.Insert(ordered_table_, k * 2, row), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  Txn txn = w.Begin();
+  std::vector<uint64_t> keys;
+  ASSERT_EQ(txn.Scan(ordered_table_, 10, 30, 100,
+                     [&](uint64_t key, const std::byte*) { keys.push_back(key); }),
+            Status::kOk);
+  ASSERT_EQ(keys.size(), 11u);  // 10, 12, ..., 30
+  EXPECT_EQ(keys.front(), 10u);
+  EXPECT_EQ(keys.back(), 30u);
+  txn.Commit();
+}
+
+TEST_P(EngineTest, RepeatedUpdatesKeepLatestValue) {
+  Worker& w = engine_->worker(0);
+  ASSERT_EQ(InsertRow(w, table_, 60, 0), Status::kOk);
+  for (uint64_t round = 1; round <= 100; ++round) {
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.UpdateColumn(table_, 60, 0, &round), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  Txn txn = w.Begin();
+  uint64_t got = 0;
+  ASSERT_EQ(txn.ReadColumn(table_, 60, 0, &got), Status::kOk);
+  EXPECT_EQ(got, 100u);
+  txn.Commit();
+}
+
+TEST_P(EngineTest, UpdateSameTupleTwiceInOneTxn) {
+  Worker& w = engine_->worker(0);
+  ASSERT_EQ(InsertRow(w, table_, 61, 0), Status::kOk);
+  Txn txn = w.Begin();
+  uint64_t v = 1;
+  ASSERT_EQ(txn.UpdateColumn(table_, 61, 0, &v), Status::kOk);
+  v = 2;
+  ASSERT_EQ(txn.UpdateColumn(table_, 61, 0, &v), Status::kOk);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+
+  Txn check = w.Begin();
+  uint64_t got = 0;
+  ASSERT_EQ(check.ReadColumn(table_, 61, 0, &got), Status::kOk);
+  EXPECT_EQ(got, 2u);
+  check.Commit();
+}
+
+TEST_P(EngineTest, WriteConflictAbortsOneSide) {
+  // Two workers update the same tuple with overlapping transactions: the
+  // no-wait policies must abort (not block or corrupt) one of them.
+  Worker& w0 = engine_->worker(0);
+  Worker& w1 = engine_->worker(1);
+  ASSERT_EQ(InsertRow(w0, table_, 70, 0), Status::kOk);
+
+  Txn a = w0.Begin();
+  Txn b = w1.Begin();
+  const uint64_t va = 1;
+  const uint64_t vb = 2;
+  const Status sa = a.UpdateColumn(table_, 70, 0, &va);
+  const Status sb = b.UpdateColumn(table_, 70, 0, &vb);
+  Status ca = sa == Status::kOk ? a.Commit() : Status::kAborted;
+  Status cb = sb == Status::kOk ? b.Commit() : Status::kAborted;
+  if (sa != Status::kOk) {
+    a.Abort();
+  }
+  if (sb != Status::kOk) {
+    b.Abort();
+  }
+  // At least one side must succeed; the final value reflects a winner.
+  EXPECT_TRUE(ca == Status::kOk || cb == Status::kOk);
+  Txn check = w0.Begin();
+  uint64_t got = 99;
+  ASSERT_EQ(check.ReadColumn(table_, 70, 0, &got), Status::kOk);
+  if (ca == Status::kOk && cb == Status::kOk) {
+    EXPECT_TRUE(got == 1 || got == 2);
+  } else if (ca == Status::kOk) {
+    EXPECT_EQ(got, 1u);
+  } else if (cb == Status::kOk) {
+    EXPECT_EQ(got, 2u);
+  }
+  check.Commit();
+}
+
+TEST_P(EngineTest, ReadOnlyTxnSeesCommittedData) {
+  Worker& w = engine_->worker(0);
+  ASSERT_EQ(InsertRow(w, table_, 80, 123), Status::kOk);
+  Txn ro = w.Begin(/*read_only=*/true);
+  uint64_t got = 0;
+  ASSERT_EQ(ro.ReadColumn(table_, 80, 0, &got), Status::kOk);
+  EXPECT_EQ(got, 123u);
+  EXPECT_EQ(ro.Commit(), Status::kOk);
+}
+
+TEST_P(EngineTest, StatsCountCommitsAndAborts) {
+  Worker& w = engine_->worker(2);
+  const uint64_t commits_before = w.stats().commits;
+  ASSERT_EQ(InsertRow(w, table_, 90, 1), Status::kOk);
+  {
+    Txn txn = w.Begin();
+    const uint64_t v = 2;
+    ASSERT_EQ(txn.UpdateColumn(table_, 90, 0, &v), Status::kOk);
+    txn.Abort();
+  }
+  EXPECT_EQ(w.stats().commits, commits_before + 1);
+  EXPECT_GE(w.stats().aborts, 1u);
+  EXPECT_GT(w.ctx().sim_ns(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineTest,
+    ::testing::Values(EngineParam{"Falcon_OCC", MakeFalcon, CcScheme::kOcc},
+                      EngineParam{"Falcon_2PL", MakeFalcon, CcScheme::k2pl},
+                      EngineParam{"Falcon_TO", MakeFalcon, CcScheme::kTo},
+                      EngineParam{"Falcon_MVOCC", MakeFalcon, CcScheme::kMvOcc},
+                      EngineParam{"Falcon_MV2PL", MakeFalcon, CcScheme::kMv2pl},
+                      EngineParam{"Falcon_MVTO", MakeFalcon, CcScheme::kMvTo},
+                      EngineParam{"FalconNoFlush_OCC", MakeFalconNoFlush, CcScheme::kOcc},
+                      EngineParam{"FalconAllFlush_OCC", MakeFalconAllFlush, CcScheme::kOcc},
+                      EngineParam{"FalconDramIndex_OCC", MakeFalconDram, CcScheme::kOcc},
+                      EngineParam{"Inp_OCC", MakeInp, CcScheme::kOcc},
+                      EngineParam{"InpNoFlush_OCC", MakeInpNoFlush, CcScheme::kOcc},
+                      EngineParam{"InpSLW_OCC", MakeInpSlw, CcScheme::kOcc},
+                      EngineParam{"InpHTT_OCC", MakeInpHtt, CcScheme::kOcc},
+                      EngineParam{"Outp_OCC", MakeOutp, CcScheme::kOcc},
+                      EngineParam{"Outp_2PL", MakeOutp, CcScheme::k2pl},
+                      EngineParam{"Outp_MVTO", MakeOutp, CcScheme::kMvTo},
+                      EngineParam{"ZenS_OCC", MakeZenS, CcScheme::kOcc},
+                      EngineParam{"ZenS_MVOCC", MakeZenS, CcScheme::kMvOcc},
+                      EngineParam{"ZenSNoFlush_OCC", MakeZenSNoFlush, CcScheme::kOcc}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+}  // namespace
+}  // namespace falcon

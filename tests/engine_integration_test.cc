@@ -1,0 +1,265 @@
+// End-to-end integration tests: a workload running across repeated crashes
+// with full data-integrity verification, ZenS vs Falcon recovery equivalence
+// on identical histories, and cross-table transactions.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/core/engine.h"
+
+namespace falcon {
+namespace {
+
+struct Param {
+  const char* label;
+  EngineConfig (*make)(CcScheme);
+  CcScheme cc;
+};
+
+EngineConfig MakeFalcon(CcScheme cc) { return EngineConfig::Falcon(cc); }
+EngineConfig MakeFalconDram(CcScheme cc) { return EngineConfig::FalconDramIndex(cc); }
+EngineConfig MakeInp(CcScheme cc) { return EngineConfig::Inp(cc); }
+EngineConfig MakeOutp(CcScheme cc) { return EngineConfig::Outp(cc); }
+EngineConfig MakeZenS(CcScheme cc) { return EngineConfig::ZenS(cc); }
+
+// Runs a randomized single-threaded workload against the engine AND a
+// std::map reference, crashing at random commit points every few hundred
+// transactions and recovering. After every recovery, the engine must agree
+// with the reference on every key (committed txns durable, uncommitted ones
+// invisible).
+class CrashLoopTest : public ::testing::TestWithParam<Param> {
+ protected:
+  static constexpr uint64_t kKeySpace = 400;
+
+  void RunCrashLoop() {
+    NvmDevice dev(1ul << 30);
+    std::map<uint64_t, uint64_t> reference;
+    Rng rng(2026);
+
+    for (int epoch = 0; epoch < 6; ++epoch) {
+      Engine engine(&dev, GetParam().make(GetParam().cc), 2);
+      TableId table;
+      if (!engine.recovery_report().recovered) {
+        SchemaBuilder schema("t");
+        schema.AddU64();
+        table = engine.CreateTable(schema, IndexKind::kHash);
+      } else {
+        table = *engine.FindTableId("t");
+        VerifyAgainstReference(engine, table, reference, epoch);
+      }
+
+      Worker& w = engine.worker(0);
+      const int txns = 150 + static_cast<int>(rng.NextBounded(100));
+      for (int i = 0; i < txns; ++i) {
+        // Arm a crash for the final transaction of the epoch at a random
+        // commit point.
+        const bool crash_now = (i == txns - 1) && epoch + 1 < 6;
+        if (crash_now) {
+          engine.ArmCrashPoint(
+              static_cast<CrashPoint>(1 + rng.NextBounded(4)));
+        }
+
+        const uint64_t key = rng.NextBounded(kKeySpace);
+        const uint64_t value = rng.Next() >> 8;
+        const uint64_t op = rng.NextBounded(10);
+        try {
+          Txn txn = w.Begin();
+          Status s;
+          bool applied = false;
+          if (op < 5) {
+            s = txn.UpdateColumn(table, key, 0, &value);
+            applied = (s == Status::kOk);
+          } else if (op < 8) {
+            s = txn.Insert(table, key, &value);
+            applied = (s == Status::kOk);
+          } else {
+            s = txn.Delete(table, key);
+            applied = (s == Status::kOk);
+          }
+          if (s == Status::kAborted) {
+            continue;
+          }
+          if (txn.Commit() != Status::kOk) {
+            continue;
+          }
+          if (applied) {
+            // Mirror the committed effect in the reference.
+            if (op < 5) {
+              reference[key] = value;
+            } else if (op < 8) {
+              reference[key] = value;
+            } else {
+              reference.erase(key);
+            }
+          }
+        } catch (const TxnCrashed& crashed) {
+          // The transaction's fate depends on where it died: after the
+          // commit mark it IS committed (recovery replays it); before, it is
+          // not. Mirror accordingly.
+          if (crashed.point != CrashPoint::kBeforeCommitMark) {
+            if (op < 8) {
+              reference[key] = value;
+            } else {
+              reference.erase(key);
+            }
+          }
+          break;  // "power failure": stop issuing transactions this epoch
+        }
+      }
+    }
+  }
+
+  void VerifyAgainstReference(Engine& engine, TableId table,
+                              const std::map<uint64_t, uint64_t>& reference, int epoch) {
+    Worker& w = engine.worker(0);
+    for (uint64_t key = 0; key < kKeySpace; ++key) {
+      Txn txn = w.Begin();
+      uint64_t got = 0;
+      const Status s = txn.ReadColumn(table, key, 0, &got);
+      txn.Commit();
+      const auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_EQ(s, Status::kNotFound) << "epoch " << epoch << " key " << key
+                                        << ": phantom value " << got;
+      } else {
+        ASSERT_EQ(s, Status::kOk) << "epoch " << epoch << " key " << key << ": lost value";
+        EXPECT_EQ(got, it->second) << "epoch " << epoch << " key " << key;
+      }
+    }
+  }
+};
+
+TEST_P(CrashLoopTest, RandomizedCrashRecoveryAgreesWithReference) { RunCrashLoop(); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, CrashLoopTest,
+    ::testing::Values(Param{"Falcon_OCC", MakeFalcon, CcScheme::kOcc},
+                      Param{"Falcon_2PL", MakeFalcon, CcScheme::k2pl},
+                      Param{"Falcon_TO", MakeFalcon, CcScheme::kTo},
+                      Param{"Falcon_MVOCC", MakeFalcon, CcScheme::kMvOcc},
+                      Param{"FalconDram_OCC", MakeFalconDram, CcScheme::kOcc},
+                      Param{"Inp_OCC", MakeInp, CcScheme::kOcc},
+                      Param{"Outp_OCC", MakeOutp, CcScheme::kOcc},
+                      Param{"ZenS_OCC", MakeZenS, CcScheme::kOcc}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(CrossTableTest, MultiTableTransactionIsAtomicAcrossCrash) {
+  // A transfer between two *tables*: both updates must survive or neither.
+  NvmDevice dev(512ul << 20);
+  {
+    Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), 2);
+    SchemaBuilder a("alpha");
+    a.AddU64();
+    SchemaBuilder b("beta");
+    b.AddU64();
+    const TableId ta = engine.CreateTable(a, IndexKind::kHash);
+    const TableId tb = engine.CreateTable(b, IndexKind::kBTree);
+    Worker& w = engine.worker(0);
+    {
+      Txn txn = w.Begin();
+      const uint64_t v = 500;
+      ASSERT_EQ(txn.Insert(ta, 1, &v), Status::kOk);
+      ASSERT_EQ(txn.Insert(tb, 1, &v), Status::kOk);
+      ASSERT_EQ(txn.Commit(), Status::kOk);
+    }
+    engine.ArmCrashPoint(CrashPoint::kMidApply);
+    try {
+      Txn txn = w.Begin();
+      const uint64_t a_new = 400;
+      const uint64_t b_new = 600;
+      ASSERT_EQ(txn.UpdateColumn(ta, 1, 0, &a_new), Status::kOk);
+      ASSERT_EQ(txn.UpdateColumn(tb, 1, 0, &b_new), Status::kOk);
+      txn.Commit();
+      FAIL() << "crash point did not fire";
+    } catch (const TxnCrashed&) {
+    }
+  }
+  Engine recovered(&dev, EngineConfig::Falcon(CcScheme::kOcc), 2);
+  const TableId ta = *recovered.FindTableId("alpha");
+  const TableId tb = *recovered.FindTableId("beta");
+  Worker& w = recovered.worker(0);
+  Txn txn = w.Begin();
+  uint64_t va = 0;
+  uint64_t vb = 0;
+  ASSERT_EQ(txn.ReadColumn(ta, 1, 0, &va), Status::kOk);
+  ASSERT_EQ(txn.ReadColumn(tb, 1, 0, &vb), Status::kOk);
+  txn.Commit();
+  EXPECT_EQ(va + vb, 1000u) << "cross-table atomicity violated";
+  EXPECT_EQ(va, 400u) << "mid-apply crash after commit mark must be completed by replay";
+}
+
+TEST(ArtTableTest, EngineRunsOnAdaptiveRadixTreeIndex) {
+  // The third index family (§5.1: "Other indexes are also possible"): a
+  // table indexed by the RoART-style ART, with scans and crash recovery.
+  NvmDevice dev(512ul << 20);
+  {
+    Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), 2);
+    SchemaBuilder schema("art_table");
+    schema.AddU64();
+    const TableId table = engine.CreateTable(schema, IndexKind::kArt);
+    Worker& w = engine.worker(0);
+    for (uint64_t k = 0; k < 500; ++k) {
+      Txn txn = w.Begin();
+      const uint64_t v = k * 11;
+      ASSERT_EQ(txn.Insert(table, k * 2, &v), Status::kOk);
+      ASSERT_EQ(txn.Commit(), Status::kOk);
+    }
+    // Updates, deletes, scans all work through the ART.
+    {
+      Txn txn = w.Begin();
+      const uint64_t v = 777;
+      ASSERT_EQ(txn.UpdateColumn(table, 10, 0, &v), Status::kOk);
+      ASSERT_EQ(txn.Delete(table, 20), Status::kOk);
+      ASSERT_EQ(txn.Commit(), Status::kOk);
+    }
+    Txn txn = w.Begin();
+    std::vector<uint64_t> keys;
+    ASSERT_EQ(txn.Scan(table, 10, 30, 100,
+                       [&](uint64_t key, const std::byte*) { keys.push_back(key); }),
+              Status::kOk);
+    EXPECT_EQ(keys.size(), 10u);  // 10,12,...,30 minus deleted 20
+    EXPECT_EQ(std::count(keys.begin(), keys.end(), 20), 0);
+    txn.Commit();
+  }
+  // Crash + reopen: the NVM-resident ART recovers instantly.
+  Engine recovered(&dev, EngineConfig::Falcon(CcScheme::kOcc), 2);
+  EXPECT_TRUE(recovered.recovery_report().recovered);
+  const TableId table = *recovered.FindTableId("art_table");
+  Worker& w = recovered.worker(0);
+  Txn txn = w.Begin();
+  uint64_t got = 0;
+  ASSERT_EQ(txn.ReadColumn(table, 10, 0, &got), Status::kOk);
+  EXPECT_EQ(got, 777u);
+  EXPECT_EQ(txn.ReadColumn(table, 20, 0, &got), Status::kNotFound);
+  txn.Commit();
+}
+
+TEST(WorkerCountTest, RecoveryIgnoresMismatchedWorkerHint) {
+  // Reopening with a different worker count must reuse the persisted layout.
+  NvmDevice dev(256ul << 20);
+  {
+    Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), 4);
+    SchemaBuilder schema("t");
+    schema.AddU64();
+    const TableId t = engine.CreateTable(schema, IndexKind::kHash);
+    Worker& w = engine.worker(3);
+    Txn txn = w.Begin();
+    const uint64_t v = 9;
+    ASSERT_EQ(txn.Insert(t, 1, &v), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  Engine recovered(&dev, EngineConfig::Falcon(CcScheme::kOcc), 16);
+  EXPECT_EQ(recovered.worker_count(), 4u) << "log-region layout is persistent";
+  Worker& w = recovered.worker(0);
+  Txn txn = w.Begin();
+  uint64_t got = 0;
+  ASSERT_EQ(txn.ReadColumn(*recovered.FindTableId("t"), 1, 0, &got), Status::kOk);
+  EXPECT_EQ(got, 9u);
+  txn.Commit();
+}
+
+}  // namespace
+}  // namespace falcon

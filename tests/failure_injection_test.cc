@@ -1,0 +1,208 @@
+// Failure injection: resource exhaustion and limit conditions must surface
+// as clean status codes with the engine still usable — never corruption.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace falcon {
+namespace {
+
+TEST(FailureInjectionTest, LogWindowOverflowAbortsCleanly) {
+  // §5.5 ①: "The small log window design limits the redo log size of one
+  // transaction." An oversized transaction must abort with kNoSpace and the
+  // engine must keep working.
+  NvmDevice dev(512ul << 20);
+  EngineConfig config = EngineConfig::Falcon(CcScheme::kOcc);
+  config.log_slot_bytes = 2048;  // tiny slots
+  Engine engine(&dev, config, 2);
+  SchemaBuilder schema("t");
+  schema.AddColumn(256);
+  const TableId table = engine.CreateTable(schema, IndexKind::kHash);
+
+  Worker& w = engine.worker(0);
+  std::vector<std::byte> row(256, std::byte{1});
+  for (uint64_t k = 0; k < 20; ++k) {
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.Insert(table, k, row.data()), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+
+  // One transaction updating many 256B tuples: (40 + 256) bytes per entry
+  // overflows a 2KB slot at the 7th entry.
+  Txn txn = w.Begin();
+  Status s = Status::kOk;
+  int applied = 0;
+  for (uint64_t k = 0; k < 20 && s == Status::kOk; ++k) {
+    s = txn.UpdateFull(table, k, row.data());
+    if (s == Status::kOk) {
+      ++applied;
+    }
+  }
+  EXPECT_EQ(s, Status::kNoSpace);
+  EXPECT_LT(applied, 20);
+
+  // The engine is still fully usable and the failed txn left no effects.
+  Txn check = w.Begin();
+  std::vector<std::byte> got(256);
+  ASSERT_EQ(check.Read(table, 0, got.data()), Status::kOk);
+  ASSERT_EQ(check.Commit(), Status::kOk);
+  Txn retry = w.Begin();
+  ASSERT_EQ(retry.UpdateFull(table, 0, row.data()), Status::kOk);
+  EXPECT_EQ(retry.Commit(), Status::kOk);
+}
+
+TEST(FailureInjectionTest, ArenaExhaustionSurfacesAsNoSpace) {
+  // A tiny device runs out of 2MB pages; inserts must fail with kNoSpace
+  // (not crash), and previously committed data stays readable.
+  NvmDevice dev(8ul << 20);  // 4 pages: superblock + logs + little else
+  EngineConfig config = EngineConfig::Falcon(CcScheme::kOcc);
+  Engine engine(&dev, config, 1);
+  SchemaBuilder schema("t");
+  schema.AddColumn(1024);
+  const TableId table = engine.CreateTable(schema, IndexKind::kHash);
+
+  Worker& w = engine.worker(0);
+  std::vector<std::byte> row(1024, std::byte{2});
+  uint64_t inserted = 0;
+  Status s = Status::kOk;
+  for (uint64_t k = 0; k < 100000; ++k) {
+    Txn txn = w.Begin();
+    s = txn.Insert(table, k, row.data());
+    if (s != Status::kOk) {
+      txn.Abort();
+      break;
+    }
+    if (txn.Commit() != Status::kOk) {
+      break;
+    }
+    ++inserted;
+  }
+  EXPECT_EQ(s, Status::kNoSpace);
+  EXPECT_GT(inserted, 0u);
+
+  // Everything inserted before exhaustion is intact.
+  Txn check = w.Begin();
+  std::vector<std::byte> got(1024);
+  ASSERT_EQ(check.Read(table, 0, got.data()), Status::kOk);
+  EXPECT_EQ(got[10], std::byte{2});
+  ASSERT_EQ(check.Read(table, inserted - 1, got.data()), Status::kOk);
+  check.Commit();
+
+  // Updates of existing tuples still work (no new allocation needed).
+  Txn update = w.Begin();
+  row[0] = std::byte{7};
+  ASSERT_EQ(update.UpdateFull(table, 0, row.data()), Status::kOk);
+  EXPECT_EQ(update.Commit(), Status::kOk);
+}
+
+TEST(FailureInjectionTest, DeleteReclaimReusesSpaceUnderPressure) {
+  // With a nearly-full arena, deleting and re-inserting must recycle slots
+  // through the deleted list instead of failing.
+  NvmDevice dev(8ul << 20);
+  Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), 1);
+  SchemaBuilder schema("t");
+  schema.AddColumn(1024);
+  const TableId table = engine.CreateTable(schema, IndexKind::kHash);
+  Worker& w = engine.worker(0);
+  std::vector<std::byte> row(1024, std::byte{3});
+
+  // Fill to exhaustion.
+  uint64_t inserted = 0;
+  for (uint64_t k = 0;; ++k) {
+    Txn txn = w.Begin();
+    if (txn.Insert(table, k, row.data()) != Status::kOk) {
+      txn.Abort();
+      break;
+    }
+    if (txn.Commit() != Status::kOk) {
+      break;
+    }
+    ++inserted;
+  }
+  ASSERT_GT(inserted, 100u);
+
+  // Delete a batch, then re-insert new keys: reclamation must serve them.
+  for (uint64_t k = 0; k < 50; ++k) {
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.Delete(table, k), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  uint64_t reinserted = 0;
+  for (uint64_t k = 0; k < 50; ++k) {
+    Txn txn = w.Begin();
+    const Status s = txn.Insert(table, 1000000 + k, row.data());
+    if (s == Status::kOk && txn.Commit() == Status::kOk) {
+      ++reinserted;
+    }
+  }
+  EXPECT_GE(reinserted, 40u) << "deleted-list reclamation must recycle slots (§5.4)";
+}
+
+TEST(FailureInjectionTest, InvalidColumnAndReadOnlyViolations) {
+  NvmDevice dev(64ul << 20);
+  Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), 1);
+  SchemaBuilder schema("t");
+  schema.AddU64();
+  const TableId table = engine.CreateTable(schema, IndexKind::kHash);
+  Worker& w = engine.worker(0);
+  const uint64_t v = 1;
+  {
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.Insert(table, 1, &v), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  Txn txn = w.Begin();
+  uint64_t out = 0;
+  EXPECT_EQ(txn.ReadColumn(table, 1, /*column=*/5, &out), Status::kInvalidArgument);
+  EXPECT_EQ(txn.UpdateColumn(table, 1, /*column=*/5, &v), Status::kInvalidArgument);
+  EXPECT_EQ(txn.Commit(), Status::kOk);
+
+  Txn ro = w.Begin(/*read_only=*/true);
+  EXPECT_EQ(ro.UpdateColumn(table, 1, 0, &v), Status::kInvalidArgument);
+  EXPECT_EQ(ro.Insert(table, 2, &v), Status::kInvalidArgument);
+  EXPECT_EQ(ro.Delete(table, 1), Status::kInvalidArgument);
+  EXPECT_EQ(ro.ReadColumn(table, 1, 0, &out), Status::kOk);
+  EXPECT_EQ(ro.Commit(), Status::kOk);
+}
+
+TEST(FailureInjectionTest, OperationsAfterAbortAreRejected) {
+  NvmDevice dev(64ul << 20);
+  Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), 1);
+  SchemaBuilder schema("t");
+  schema.AddU64();
+  const TableId table = engine.CreateTable(schema, IndexKind::kHash);
+  Worker& w = engine.worker(0);
+  const uint64_t v = 1;
+  {
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.Insert(table, 1, &v), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  Txn txn = w.Begin();
+  txn.Abort();
+  uint64_t out = 0;
+  EXPECT_EQ(txn.Read(table, 1, &out), Status::kAborted);
+  EXPECT_EQ(txn.UpdateColumn(table, 1, 0, &v), Status::kAborted);
+  EXPECT_EQ(txn.Insert(table, 2, &v), Status::kAborted);
+  EXPECT_EQ(txn.Commit(), Status::kAborted);
+  txn.Abort();  // double-abort is a no-op
+}
+
+TEST(FailureInjectionTest, CatalogTableLimitEnforcedThroughEngine) {
+  NvmDevice dev(256ul << 20);
+  Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), 1);
+  for (uint32_t i = 0; i < kMaxTables; ++i) {
+    SchemaBuilder schema(("t" + std::to_string(i)).c_str());
+    schema.AddU64();
+    engine.CreateTable(schema, IndexKind::kHash);
+  }
+  EXPECT_EQ(engine.FindTableId("t0").has_value(), true);
+  EXPECT_EQ(engine.FindTableId("t15").has_value(), true);
+  EXPECT_EQ(engine.FindTableId("t16").has_value(), false);
+}
+
+}  // namespace
+}  // namespace falcon

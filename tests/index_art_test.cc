@@ -1,0 +1,268 @@
+// Unit + property tests for the RoART-style adaptive radix tree, over NVM
+// and DRAM placements, including node growth through all four layouts,
+// ordered scans, concurrency, and crash re-attachment.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/index/art_index.h"
+#include "src/pmem/catalog.h"
+
+namespace falcon {
+namespace {
+
+enum class Placement { kNvm, kDram };
+
+class ArtIndexTest : public ::testing::TestWithParam<Placement> {
+ protected:
+  ArtIndexTest()
+      : dev_(512ul * 1024 * 1024), arena_(NvmArena::Format(&dev_)), ctx_(0, &dev_) {
+    if (GetParam() == Placement::kNvm) {
+      space_ = std::make_unique<NvmIndexSpace>(&arena_);
+    } else {
+      space_ = std::make_unique<DramIndexSpace>();
+    }
+    index_ = std::make_unique<ArtIndex>(space_.get(), ctx_);
+  }
+
+  NvmDevice dev_;
+  NvmArena arena_;
+  ThreadContext ctx_;
+  std::unique_ptr<IndexSpace> space_;
+  std::unique_ptr<ArtIndex> index_;
+};
+
+TEST_P(ArtIndexTest, EmptyTreeLookups) {
+  EXPECT_EQ(index_->Lookup(ctx_, 0), kNullPm);
+  EXPECT_EQ(index_->Lookup(ctx_, UINT64_MAX), kNullPm);
+  EXPECT_EQ(index_->Remove(ctx_, 1), Status::kNotFound);
+  EXPECT_EQ(index_->Update(ctx_, 1, 2), Status::kNotFound);
+  EXPECT_EQ(index_->Size(), 0u);
+}
+
+TEST_P(ArtIndexTest, SingleLeafRoot) {
+  ASSERT_EQ(index_->Insert(ctx_, 42, 0x100), Status::kOk);
+  EXPECT_EQ(index_->Lookup(ctx_, 42), 0x100u);
+  EXPECT_EQ(index_->Lookup(ctx_, 43), kNullPm);
+  EXPECT_EQ(index_->Insert(ctx_, 42, 0x200), Status::kDuplicate);
+  EXPECT_EQ(index_->Remove(ctx_, 42), Status::kOk);
+  EXPECT_EQ(index_->Lookup(ctx_, 42), kNullPm);
+  EXPECT_EQ(index_->Size(), 0u);
+}
+
+TEST_P(ArtIndexTest, LeafSplitCreatesInnerNode) {
+  // Two keys sharing 7 bytes of prefix: splits at the last byte.
+  ASSERT_EQ(index_->Insert(ctx_, 0x1000, 1), Status::kOk);
+  ASSERT_EQ(index_->Insert(ctx_, 0x1001, 2), Status::kOk);
+  EXPECT_EQ(index_->Lookup(ctx_, 0x1000), 1u);
+  EXPECT_EQ(index_->Lookup(ctx_, 0x1001), 2u);
+  // A key diverging high up forces a path split near the root.
+  ASSERT_EQ(index_->Insert(ctx_, 0xff00000000000000ull, 3), Status::kOk);
+  EXPECT_EQ(index_->Lookup(ctx_, 0xff00000000000000ull), 3u);
+  EXPECT_EQ(index_->Lookup(ctx_, 0x1000), 1u) << "path split must keep old subtree reachable";
+}
+
+TEST_P(ArtIndexTest, NodeGrowthThroughAllLayouts) {
+  // 300 children under one radix byte: N4 -> N16 -> N48 -> N256.
+  for (uint64_t k = 0; k < 256; ++k) {
+    ASSERT_EQ(index_->Insert(ctx_, k << 8, k + 1), Status::kOk) << k;
+  }
+  for (uint64_t k = 0; k < 256; ++k) {
+    EXPECT_EQ(index_->Lookup(ctx_, k << 8), k + 1) << k;
+  }
+  EXPECT_EQ(index_->Size(), 256u);
+}
+
+TEST_P(ArtIndexTest, SequentialAndSparseKeys) {
+  for (uint64_t k = 0; k < 50000; ++k) {
+    ASSERT_EQ(index_->Insert(ctx_, k, k + 1), Status::kOk);
+  }
+  // Sparse high keys exercise deep prefix compression.
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_EQ(index_->Insert(ctx_, (k << 40) | 0xdeadull, k), Status::kOk);
+  }
+  for (uint64_t k = 0; k < 50000; k += 997) {
+    EXPECT_EQ(index_->Lookup(ctx_, k), k + 1);
+  }
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(index_->Lookup(ctx_, (k << 40) | 0xdeadull), k);
+  }
+}
+
+TEST_P(ArtIndexTest, ScanReturnsSortedRange) {
+  for (uint64_t k = 0; k < 2000; ++k) {
+    ASSERT_EQ(index_->Insert(ctx_, k * 3, k), Status::kOk);
+  }
+  std::vector<IndexEntry> out;
+  ASSERT_EQ(index_->Scan(ctx_, 100, 400, 1000, out), Status::kOk);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front().key, 102u);  // first multiple of 3 >= 100
+  EXPECT_EQ(out.back().key, 399u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(),
+                             [](const auto& a, const auto& b) { return a.key < b.key; }));
+  EXPECT_EQ(out.size(), 100u);
+
+  out.clear();
+  ASSERT_EQ(index_->Scan(ctx_, 0, UINT64_MAX, 17, out), Status::kOk);
+  EXPECT_EQ(out.size(), 17u);
+  EXPECT_EQ(out.back().key, 48u);
+}
+
+TEST_P(ArtIndexTest, RandomizedAgainstReferenceMap) {
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(404);
+  for (int op = 0; op < 60000; ++op) {
+    // Mixed dense/sparse key space stresses both split kinds.
+    const uint64_t key = rng.NextBounded(2) == 0 ? rng.NextBounded(1500)
+                                                 : (rng.NextBounded(64) << 32);
+    const uint64_t value = rng.Next() | 1;
+    switch (rng.NextBounded(5)) {
+      case 0: {
+        const Status s = index_->Insert(ctx_, key, value);
+        if (reference.count(key) != 0) {
+          EXPECT_EQ(s, Status::kDuplicate);
+        } else {
+          EXPECT_EQ(s, Status::kOk);
+          reference[key] = value;
+        }
+        break;
+      }
+      case 1: {
+        const Status s = index_->Remove(ctx_, key);
+        EXPECT_EQ(s, reference.erase(key) != 0 ? Status::kOk : Status::kNotFound);
+        break;
+      }
+      case 2: {
+        const Status s = index_->Update(ctx_, key, value);
+        if (reference.count(key) != 0) {
+          EXPECT_EQ(s, Status::kOk);
+          reference[key] = value;
+        } else {
+          EXPECT_EQ(s, Status::kNotFound);
+        }
+        break;
+      }
+      case 3: {
+        const PmOffset got = index_->Lookup(ctx_, key);
+        const auto it = reference.find(key);
+        EXPECT_EQ(got, it == reference.end() ? kNullPm : it->second);
+        break;
+      }
+      default: {
+        const uint64_t hi = key + rng.NextBounded(300);
+        std::vector<IndexEntry> out;
+        ASSERT_EQ(index_->Scan(ctx_, key, hi, 1000, out), Status::kOk);
+        auto it = reference.lower_bound(key);
+        size_t i = 0;
+        while (it != reference.end() && it->first <= hi) {
+          ASSERT_LT(i, out.size()) << "scan missed key " << it->first;
+          EXPECT_EQ(out[i].key, it->first);
+          EXPECT_EQ(out[i].value, it->second);
+          ++i;
+          ++it;
+        }
+        EXPECT_EQ(i, out.size());
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(index_->Size(), reference.size());
+}
+
+TEST_P(ArtIndexTest, ConcurrentDisjointInserts) {
+  constexpr int kThreads = 6;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadContext ctx(static_cast<uint32_t>(t), &dev_);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key = i * kThreads + static_cast<uint64_t>(t);
+        ASSERT_EQ(index_->Insert(ctx, key, key + 1), Status::kOk);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(index_->Size(), kThreads * kPerThread);
+  for (uint64_t key = 0; key < kThreads * kPerThread; key += 101) {
+    EXPECT_EQ(index_->Lookup(ctx_, key), key + 1);
+  }
+}
+
+TEST_P(ArtIndexTest, ConcurrentReadersDuringInserts) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> progress{0};
+  constexpr uint64_t kKeys = 30000;
+
+  std::thread writer([&] {
+    ThreadContext ctx(1, &dev_);
+    Rng rng(5);
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      // Interleave dense and sparse keys to force prefix splits mid-run.
+      const uint64_t key = (k % 3 == 0) ? (k << 24) : k;
+      ASSERT_EQ(index_->Insert(ctx, key, key + 1), Status::kOk);
+      progress.store(k, std::memory_order_release);
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      ThreadContext ctx(static_cast<uint32_t>(2 + t), &dev_);
+      Rng rng(t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t hi = progress.load(std::memory_order_acquire);
+        const uint64_t k = rng.NextBounded(hi + 1);
+        const uint64_t key = (k % 3 == 0) ? (k << 24) : k;
+        ASSERT_EQ(index_->Lookup(ctx, key), key + 1)
+            << "published key lost during concurrent path splits";
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) {
+    th.join();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Placements, ArtIndexTest,
+                         ::testing::Values(Placement::kNvm, Placement::kDram),
+                         [](const auto& info) {
+                           return info.param == Placement::kNvm ? "Nvm" : "Dram";
+                         });
+
+TEST(ArtRecoveryTest, SurvivesReopen) {
+  NvmDevice dev(256ul * 1024 * 1024);
+  NvmArena arena = NvmArena::Format(&dev);
+  ThreadContext ctx(0, &dev);
+  NvmIndexSpace space(&arena);
+  IndexHandle root;
+  {
+    ArtIndex index(&space, ctx);
+    root = index.root_handle();
+    for (uint64_t k = 0; k < 20000; ++k) {
+      ASSERT_EQ(index.Insert(ctx, k * 7, k), Status::kOk);
+    }
+  }
+  ArtIndex recovered(&space, root);
+  recovered.Recover(ctx);
+  EXPECT_EQ(recovered.Size(), 20000u);
+  for (uint64_t k = 0; k < 20000; k += 53) {
+    EXPECT_EQ(recovered.Lookup(ctx, k * 7), k);
+  }
+  std::vector<IndexEntry> out;
+  ASSERT_EQ(recovered.Scan(ctx, 0, 70, 100, out), Status::kOk);
+  EXPECT_EQ(out.size(), 11u);  // 0, 7, ..., 70
+  EXPECT_EQ(recovered.Insert(ctx, 1, 99), Status::kOk);
+}
+
+}  // namespace
+}  // namespace falcon

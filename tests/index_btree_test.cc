@@ -1,0 +1,300 @@
+// Unit + property tests for the NBTree-style B+tree, over both NVM and DRAM
+// placements, including ordered scans and concurrent structure changes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/index/btree_index.h"
+#include "src/pmem/catalog.h"
+
+namespace falcon {
+namespace {
+
+enum class Placement { kNvm, kDram };
+
+class BTreeIndexTest : public ::testing::TestWithParam<Placement> {
+ protected:
+  BTreeIndexTest()
+      : dev_(512ul * 1024 * 1024), arena_(NvmArena::Format(&dev_)), ctx_(0, &dev_) {
+    if (GetParam() == Placement::kNvm) {
+      space_ = std::make_unique<NvmIndexSpace>(&arena_);
+    } else {
+      space_ = std::make_unique<DramIndexSpace>();
+    }
+    index_ = std::make_unique<BTreeIndex>(space_.get(), ctx_);
+  }
+
+  NvmDevice dev_;
+  NvmArena arena_;
+  ThreadContext ctx_;
+  std::unique_ptr<IndexSpace> space_;
+  std::unique_ptr<BTreeIndex> index_;
+};
+
+TEST_P(BTreeIndexTest, InsertLookupRemove) {
+  EXPECT_EQ(index_->Lookup(ctx_, 10), kNullPm);
+  EXPECT_EQ(index_->Insert(ctx_, 10, 0x10), Status::kOk);
+  EXPECT_EQ(index_->Insert(ctx_, 10, 0x20), Status::kDuplicate);
+  EXPECT_EQ(index_->Lookup(ctx_, 10), 0x10u);
+  EXPECT_EQ(index_->Remove(ctx_, 10), Status::kOk);
+  EXPECT_EQ(index_->Remove(ctx_, 10), Status::kNotFound);
+  EXPECT_EQ(index_->Lookup(ctx_, 10), kNullPm);
+}
+
+TEST_P(BTreeIndexTest, UpdateExistingKey) {
+  EXPECT_EQ(index_->Update(ctx_, 1, 0x99), Status::kNotFound);
+  ASSERT_EQ(index_->Insert(ctx_, 1, 0x11), Status::kOk);
+  EXPECT_EQ(index_->Update(ctx_, 1, 0x99), Status::kOk);
+  EXPECT_EQ(index_->Lookup(ctx_, 1), 0x99u);
+}
+
+TEST_P(BTreeIndexTest, SequentialInsertGrowsTree) {
+  constexpr uint64_t kKeys = 100000;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_EQ(index_->Insert(ctx_, k, k + 1), Status::kOk) << k;
+  }
+  EXPECT_EQ(index_->Size(), kKeys);
+  for (uint64_t k = 0; k < kKeys; k += 379) {
+    EXPECT_EQ(index_->Lookup(ctx_, k), k + 1);
+  }
+}
+
+TEST_P(BTreeIndexTest, ReverseAndRandomInsertOrders) {
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 20000; ++k) {
+    keys.push_back(k * 3 + 1);
+  }
+  Rng rng(5);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.NextBounded(i)]);
+  }
+  for (const uint64_t k : keys) {
+    ASSERT_EQ(index_->Insert(ctx_, k, k), Status::kOk);
+  }
+  for (const uint64_t k : keys) {
+    EXPECT_EQ(index_->Lookup(ctx_, k), k);
+  }
+  // Keys not inserted are absent.
+  EXPECT_EQ(index_->Lookup(ctx_, 2), kNullPm);
+}
+
+TEST_P(BTreeIndexTest, ScanReturnsSortedRange) {
+  for (uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_EQ(index_->Insert(ctx_, k * 2, k), Status::kOk);  // even keys only
+  }
+  std::vector<IndexEntry> out;
+  ASSERT_EQ(index_->Scan(ctx_, 101, 301, 1000, out), Status::kOk);
+  ASSERT_EQ(out.size(), 100u);  // 102, 104, ..., 300
+  EXPECT_EQ(out.front().key, 102u);
+  EXPECT_EQ(out.back().key, 300u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(),
+                             [](const auto& a, const auto& b) { return a.key < b.key; }));
+  for (const auto& e : out) {
+    EXPECT_EQ(e.value, e.key / 2);
+  }
+}
+
+TEST_P(BTreeIndexTest, ScanHonorsLimit) {
+  for (uint64_t k = 0; k < 1000; ++k) {
+    index_->Insert(ctx_, k, k);
+  }
+  std::vector<IndexEntry> out;
+  ASSERT_EQ(index_->Scan(ctx_, 0, UINT64_MAX, 17, out), Status::kOk);
+  EXPECT_EQ(out.size(), 17u);
+  EXPECT_EQ(out.back().key, 16u);
+}
+
+TEST_P(BTreeIndexTest, ScanEmptyRangeAndEmptyTree) {
+  std::vector<IndexEntry> out;
+  EXPECT_EQ(index_->Scan(ctx_, 0, UINT64_MAX, 10, out), Status::kOk);
+  EXPECT_TRUE(out.empty());
+  index_->Insert(ctx_, 500, 1);
+  EXPECT_EQ(index_->Scan(ctx_, 100, 400, 10, out), Status::kOk);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(BTreeIndexTest, ScanAcrossLeafBoundaries) {
+  constexpr uint64_t kKeys = 5000;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    index_->Insert(ctx_, k, k);
+  }
+  std::vector<IndexEntry> out;
+  ASSERT_EQ(index_->Scan(ctx_, 0, UINT64_MAX, kKeys + 10, out), Status::kOk);
+  ASSERT_EQ(out.size(), kKeys);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(out[k].key, k);
+  }
+}
+
+TEST_P(BTreeIndexTest, RandomizedAgainstReferenceMap) {
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(123);
+  for (int op = 0; op < 60000; ++op) {
+    const uint64_t key = rng.NextBounded(3000);
+    const uint64_t value = rng.Next() | 1;
+    switch (rng.NextBounded(5)) {
+      case 0: {
+        const Status s = index_->Insert(ctx_, key, value);
+        if (reference.count(key) != 0) {
+          EXPECT_EQ(s, Status::kDuplicate);
+        } else {
+          EXPECT_EQ(s, Status::kOk);
+          reference[key] = value;
+        }
+        break;
+      }
+      case 1: {
+        const Status s = index_->Remove(ctx_, key);
+        EXPECT_EQ(s, reference.erase(key) != 0 ? Status::kOk : Status::kNotFound);
+        break;
+      }
+      case 2: {
+        const Status s = index_->Update(ctx_, key, value);
+        if (reference.count(key) != 0) {
+          EXPECT_EQ(s, Status::kOk);
+          reference[key] = value;
+        } else {
+          EXPECT_EQ(s, Status::kNotFound);
+        }
+        break;
+      }
+      case 3: {
+        const PmOffset got = index_->Lookup(ctx_, key);
+        const auto it = reference.find(key);
+        EXPECT_EQ(got, it == reference.end() ? kNullPm : it->second);
+        break;
+      }
+      default: {
+        const uint64_t hi = key + rng.NextBounded(200);
+        std::vector<IndexEntry> out;
+        ASSERT_EQ(index_->Scan(ctx_, key, hi, 1000, out), Status::kOk);
+        auto it = reference.lower_bound(key);
+        size_t i = 0;
+        while (it != reference.end() && it->first <= hi) {
+          ASSERT_LT(i, out.size());
+          EXPECT_EQ(out[i].key, it->first);
+          EXPECT_EQ(out[i].value, it->second);
+          ++i;
+          ++it;
+        }
+        EXPECT_EQ(i, out.size());
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(index_->Size(), reference.size());
+}
+
+TEST_P(BTreeIndexTest, ConcurrentDisjointInserts) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 15000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadContext ctx(static_cast<uint32_t>(t), &dev_);
+      Rng rng(t);
+      // Interleaved stripes to force shared leaves and splits.
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key = i * kThreads + static_cast<uint64_t>(t);
+        ASSERT_EQ(index_->Insert(ctx, key, key + 1), Status::kOk);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(index_->Size(), kThreads * kPerThread);
+  for (uint64_t key = 0; key < kThreads * kPerThread; key += 101) {
+    EXPECT_EQ(index_->Lookup(ctx_, key), key + 1);
+  }
+}
+
+TEST_P(BTreeIndexTest, ConcurrentReadersAndScannersDuringInserts) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> write_progress{0};
+  constexpr uint64_t kKeys = 40000;
+
+  std::thread writer([&] {
+    ThreadContext ctx(1, &dev_);
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      ASSERT_EQ(index_->Insert(ctx, k, k + 1), Status::kOk);
+      write_progress.store(k, std::memory_order_release);
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      ThreadContext ctx(static_cast<uint32_t>(2 + t), &dev_);
+      Rng rng(t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t hi = write_progress.load(std::memory_order_acquire);
+        const uint64_t k = rng.NextBounded(hi + 1);
+        ASSERT_EQ(index_->Lookup(ctx, k), k + 1);
+      }
+    });
+  }
+  readers.emplace_back([&] {
+    ThreadContext ctx(5, &dev_);
+    Rng rng(42);
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t hi = write_progress.load(std::memory_order_acquire);
+      if (hi < 100) {
+        continue;
+      }
+      const uint64_t start = rng.NextBounded(hi - 99);
+      std::vector<IndexEntry> out;
+      ASSERT_EQ(index_->Scan(ctx, start, start + 99, 200, out), Status::kOk);
+      // Published prefix is dense: the scan must see every key in range.
+      ASSERT_EQ(out.size(), 100u) << "scan lost keys during concurrent splits";
+      for (size_t i = 0; i < out.size(); ++i) {
+        ASSERT_EQ(out[i].key, start + i);
+      }
+    }
+  });
+  writer.join();
+  for (auto& th : readers) {
+    th.join();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Placements, BTreeIndexTest,
+                         ::testing::Values(Placement::kNvm, Placement::kDram),
+                         [](const auto& info) {
+                           return info.param == Placement::kNvm ? "Nvm" : "Dram";
+                         });
+
+TEST(BTreeRecoveryTest, SurvivesReopen) {
+  NvmDevice dev(256ul * 1024 * 1024);
+  NvmArena arena = NvmArena::Format(&dev);
+  ThreadContext ctx(0, &dev);
+  NvmIndexSpace space(&arena);
+
+  IndexHandle root;
+  {
+    BTreeIndex index(&space, ctx);
+    root = index.root_handle();
+    for (uint64_t k = 0; k < 50000; ++k) {
+      ASSERT_EQ(index.Insert(ctx, k, k + 1), Status::kOk);
+    }
+  }
+  BTreeIndex recovered(&space, root);
+  recovered.Recover(ctx);
+  EXPECT_EQ(recovered.Size(), 50000u);
+  for (uint64_t k = 0; k < 50000; k += 73) {
+    EXPECT_EQ(recovered.Lookup(ctx, k), k + 1);
+  }
+  std::vector<IndexEntry> out;
+  ASSERT_EQ(recovered.Scan(ctx, 1000, 1099, 200, out), Status::kOk);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_EQ(recovered.Insert(ctx, 1ull << 50, 3), Status::kOk);
+}
+
+}  // namespace
+}  // namespace falcon

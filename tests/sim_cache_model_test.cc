@@ -1,0 +1,217 @@
+// Unit tests for the set-associative cache model: hit/miss behavior,
+// eviction-driven NVM traffic, clwb semantics, small-window residency.
+
+#include <gtest/gtest.h>
+
+#include "src/common/constants.h"
+#include "src/sim/cache_model.h"
+#include "src/sim/nvm_device.h"
+#include "src/sim/thread_context.h"
+
+namespace falcon {
+namespace {
+
+class CacheModelTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kCap = 16ul * 1024 * 1024;
+  CacheModelTest() : dev_(kCap), cache_(&dev_, Geometry(), CostParams{}) {}
+
+  static CacheGeometry Geometry() { return CacheGeometry{.sets = 64, .ways = 4}; }
+
+  uintptr_t Addr(uint64_t offset) const {
+    return reinterpret_cast<uintptr_t>(dev_.base()) + offset;
+  }
+
+  NvmDevice dev_;
+  CacheModel cache_;
+};
+
+TEST_F(CacheModelTest, FirstTouchMissesThenHits) {
+  const uint64_t miss_cost = cache_.OnLoad(Addr(0), 8);
+  EXPECT_EQ(cache_.stats().misses, 1u);
+  const uint64_t hit_cost = cache_.OnLoad(Addr(0), 8);
+  EXPECT_EQ(cache_.stats().hits, 1u);
+  EXPECT_GT(miss_cost, hit_cost);
+}
+
+TEST_F(CacheModelTest, NvmMissCostsMoreThanDramMiss) {
+  CostParams p;
+  const uint64_t nvm_cost = cache_.OnLoad(Addr(0), 1);
+  alignas(64) static char dram_buf[64];
+  const uint64_t dram_cost = cache_.OnLoad(reinterpret_cast<uintptr_t>(dram_buf), 1);
+  EXPECT_EQ(nvm_cost, p.nvm_miss_ns);
+  EXPECT_EQ(dram_cost, p.dram_miss_ns);
+}
+
+TEST_F(CacheModelTest, StoreMarksDirty) {
+  cache_.OnStore(Addr(128), 8);
+  EXPECT_TRUE(cache_.IsResident(Addr(128)));
+  EXPECT_TRUE(cache_.IsDirty(Addr(128)));
+  cache_.OnLoad(Addr(192), 8);
+  EXPECT_FALSE(cache_.IsDirty(Addr(192)));
+}
+
+TEST_F(CacheModelTest, MultiLineAccessTouchesEveryLine) {
+  cache_.OnStore(Addr(0), 256);  // 4 lines
+  EXPECT_EQ(cache_.stats().misses, 4u);
+  // Unaligned span crossing a line boundary touches both lines.
+  cache_.OnLoad(Addr(1024 + 60), 8);
+  EXPECT_EQ(cache_.stats().misses, 6u);
+}
+
+TEST_F(CacheModelTest, ClwbWritesBackDirtyLineAndKeepsItResident) {
+  cache_.OnStore(Addr(0), 64);
+  EXPECT_EQ(dev_.stats().line_writes, 0u);
+  cache_.Clwb(Addr(0), 64);
+  EXPECT_EQ(dev_.stats().line_writes, 1u);
+  EXPECT_TRUE(cache_.IsResident(Addr(0)));
+  EXPECT_FALSE(cache_.IsDirty(Addr(0)));
+  // Second clwb of the now-clean line sends nothing.
+  cache_.Clwb(Addr(0), 64);
+  EXPECT_EQ(dev_.stats().line_writes, 1u);
+}
+
+TEST_F(CacheModelTest, ClwbOfTupleMergesIntoFullBlocks) {
+  // Hinted flush: storing a 256B-aligned tuple and clwb-ing its whole span
+  // produces exactly one full-block media write — no amplification.
+  cache_.OnStore(Addr(512), 256);
+  cache_.Clwb(Addr(512), 256);
+  const DeviceStats s = dev_.stats();
+  EXPECT_EQ(s.media_writes, 1u);
+  EXPECT_EQ(s.media_reads, 0u);
+  EXPECT_EQ(s.full_drains, 1u);
+}
+
+TEST_F(CacheModelTest, DirtyEvictionReachesDevice) {
+  // Fill one set beyond capacity with dirty NVM lines. Set index is
+  // line_tag % 64, so stride = 64 lines * 64 B = 4096 B keeps us in one set.
+  const uint64_t stride = 64 * kCacheLineSize;
+  for (uint64_t i = 0; i < 5; ++i) {  // 4 ways -> fifth store evicts
+    cache_.OnStore(Addr(i * stride), 8);
+  }
+  EXPECT_EQ(cache_.stats().dirty_evictions, 1u);
+  // Evicted lines sit in the (uncontrolled-order) eviction pool until it
+  // fills or the cache is drained.
+  cache_.WritebackAll();
+  EXPECT_EQ(dev_.stats().line_writes, 5u);  // 1 eviction + 4 remaining dirty
+}
+
+TEST_F(CacheModelTest, EvictionOrderIsDecorrelated) {
+  // Store a long contiguous region far larger than the cache: every line is
+  // eventually evicted, but because eviction order is uncontrolled the
+  // device sees mostly partial (read-modify-write) drains — unlike a clwb
+  // sweep of the same region, which merges fully.
+  const size_t region = 256 * 1024;  // 16x the 16KB cache
+  for (size_t off = 0; off < region; off += kCacheLineSize) {
+    cache_.OnStore(Addr(off), 8);
+  }
+  cache_.WritebackAll();
+  dev_.DrainAll();
+  const DeviceStats evicted = dev_.stats();
+  EXPECT_GT(evicted.partial_drains, evicted.full_drains)
+      << "uncontrolled evictions must not merge like hinted flushes";
+}
+
+TEST_F(CacheModelTest, LruEvictsColdestLine) {
+  const uint64_t stride = 64 * kCacheLineSize;
+  for (uint64_t i = 0; i < 4; ++i) {
+    cache_.OnStore(Addr(i * stride), 8);
+  }
+  // Re-touch line 0 so line 1 becomes LRU.
+  cache_.OnLoad(Addr(0), 8);
+  cache_.OnStore(Addr(4 * stride), 8);
+  EXPECT_TRUE(cache_.IsResident(Addr(0)));
+  EXPECT_FALSE(cache_.IsResident(Addr(stride)));
+}
+
+TEST_F(CacheModelTest, HotWorkingSetStaysResident) {
+  // The small-log-window property: a working set smaller than the cache that
+  // is touched continuously is never evicted, so it generates zero NVM
+  // writes even though it is dirty NVM data.
+  const size_t window_bytes = 4 * 1024;  // cache is 64 sets * 4 ways * 64B = 16KB
+  for (int round = 0; round < 100; ++round) {
+    for (size_t off = 0; off < window_bytes; off += kCacheLineSize) {
+      cache_.OnStore(Addr(off), kCacheLineSize);
+    }
+  }
+  EXPECT_EQ(dev_.stats().line_writes, 0u);
+  EXPECT_EQ(cache_.stats().dirty_evictions, 0u);
+}
+
+TEST_F(CacheModelTest, OversizedWorkingSetThrashes) {
+  // A working set 4x the cache size cycled repeatedly evicts constantly —
+  // the Fig. 12 regime where the log window no longer fits.
+  const size_t window_bytes = 64 * 1024;
+  for (int round = 0; round < 4; ++round) {
+    for (size_t off = 0; off < window_bytes; off += kCacheLineSize) {
+      cache_.OnStore(Addr(off), kCacheLineSize);
+    }
+  }
+  EXPECT_GT(cache_.stats().dirty_evictions, 1000u);
+  EXPECT_GT(dev_.stats().line_writes, 1000u);
+}
+
+TEST_F(CacheModelTest, WritebackAllFlushesEveryDirtyLine) {
+  cache_.OnStore(Addr(0), 64);
+  cache_.OnStore(Addr(4096), 64);
+  alignas(64) static char dram_buf[64];
+  cache_.OnStore(reinterpret_cast<uintptr_t>(dram_buf), 8);  // DRAM line: no NVM traffic
+  cache_.WritebackAll();
+  EXPECT_EQ(dev_.stats().line_writes, 2u);
+  // Lines stay resident but clean; a second writeback is a no-op.
+  cache_.WritebackAll();
+  EXPECT_EQ(dev_.stats().line_writes, 2u);
+}
+
+TEST_F(CacheModelTest, InvalidateAllDropsWithoutWriteback) {
+  cache_.OnStore(Addr(0), 64);
+  cache_.InvalidateAll();
+  EXPECT_FALSE(cache_.IsResident(Addr(0)));
+  EXPECT_EQ(dev_.stats().line_writes, 0u);
+}
+
+TEST_F(CacheModelTest, SfenceCountsAndCharges) {
+  CostParams p;
+  EXPECT_EQ(cache_.Sfence(), p.sfence_ns);
+  EXPECT_EQ(cache_.stats().sfences, 1u);
+}
+
+TEST(ThreadContextTest, StoreActuallyCopiesAndCharges) {
+  NvmDevice dev(kPageSize);
+  ThreadContext ctx(0, &dev, CacheGeometry{.sets = 16, .ways = 2});
+  const uint64_t value = 0x1122334455667788ull;
+  auto* slot = reinterpret_cast<uint64_t*>(dev.base());
+  ctx.Store(slot, &value, sizeof(value));
+  EXPECT_EQ(*slot, value);
+  EXPECT_GT(ctx.sim_ns(), 0u);
+
+  uint64_t read_back = 0;
+  ctx.Load(&read_back, slot, sizeof(read_back));
+  EXPECT_EQ(read_back, value);
+}
+
+TEST(ThreadContextTest, WorkAdvancesClock) {
+  NvmDevice dev(kPageSize);
+  ThreadContext ctx(3, &dev);
+  EXPECT_EQ(ctx.thread_id(), 3u);
+  ctx.Work(123);
+  EXPECT_EQ(ctx.sim_ns(), 123u);
+  ctx.ResetClock();
+  EXPECT_EQ(ctx.sim_ns(), 0u);
+}
+
+TEST(ThreadContextTest, FlushSequenceReachesDevice) {
+  NvmDevice dev(kPageSize);
+  ThreadContext ctx(0, &dev);
+  char buf[256] = {};
+  // Store a 256B-aligned region in NVM and hint-flush it.
+  auto* dst = dev.base() + 1024;
+  ctx.Store(dst, buf, sizeof(buf));
+  ctx.Sfence();
+  ctx.Clwb(dst, sizeof(buf));
+  EXPECT_EQ(dev.stats().line_writes, 4u);
+  EXPECT_EQ(dev.stats().full_drains, 1u);
+}
+
+}  // namespace
+}  // namespace falcon

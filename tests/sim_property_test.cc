@@ -1,0 +1,192 @@
+// Property sweeps over the simulation substrate: invariants that must hold
+// for every cache geometry, XPBuffer size, and access pattern — the
+// foundations the benchmark shapes rest on.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sim/cache_model.h"
+#include "src/sim/nvm_device.h"
+#include "src/sim/thread_context.h"
+
+namespace falcon {
+namespace {
+
+// ---- Device invariants across XPBuffer sizes --------------------------------
+
+class XpBufferSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(XpBufferSweep, DrainAccountingAlwaysBalances) {
+  NvmDevice dev(64ul << 20, CostParams{}, GetParam());
+  Rng rng(GetParam());
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t block = rng.NextBounded(1000);
+    const uint64_t line = rng.NextBounded(kLinesPerBlock);
+    dev.LineWrite(reinterpret_cast<uintptr_t>(dev.base()) + block * kNvmBlockSize +
+                  line * kCacheLineSize);
+  }
+  dev.DrainAll();
+  const DeviceStats s = dev.stats();
+  EXPECT_EQ(s.line_writes, 50000u);
+  EXPECT_EQ(s.media_writes, s.full_drains + s.partial_drains)
+      << "every media write is exactly one drain";
+  EXPECT_EQ(s.media_reads, s.partial_drains) << "every partial drain costs one media read";
+  EXPECT_GE(s.busy_ns, s.media_writes * dev.params().media_write_ns);
+  // A drained block holds at most 4 lines; amplification is bounded below.
+  EXPECT_GE(s.media_writes * kLinesPerBlock, s.line_writes / kLinesPerBlock)
+      << "cannot drain fewer blocks than lines/4";
+}
+
+TEST_P(XpBufferSweep, SequentialFullBlockStreamNeverAmplifies) {
+  NvmDevice dev(64ul << 20, CostParams{}, GetParam());
+  for (uint64_t b = 0; b < 2000; ++b) {
+    for (uint64_t line = 0; line < kLinesPerBlock; ++line) {
+      dev.LineWrite(reinterpret_cast<uintptr_t>(dev.base()) + b * kNvmBlockSize +
+                    line * kCacheLineSize);
+    }
+  }
+  dev.DrainAll();
+  // Consecutive lines of one block arrive back-to-back: merging must be
+  // perfect regardless of buffer size (even a tiny buffer holds one block).
+  EXPECT_EQ(dev.stats().media_reads, 0u);
+  EXPECT_DOUBLE_EQ(dev.stats().WriteAmplification(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, XpBufferSweep, ::testing::Values(8u, 64u, 384u, 4096u),
+                         [](const auto& info) {
+                           return "Blocks" + std::to_string(info.param);
+                         });
+
+// ---- Cache invariants across geometries --------------------------------------
+
+struct Geo {
+  uint32_t sets;
+  uint32_t ways;
+};
+
+class CacheGeometrySweep : public ::testing::TestWithParam<Geo> {};
+
+TEST_P(CacheGeometrySweep, ResidentWorkingSetNeverWritesToNvm) {
+  // The small-log-window property must hold for every geometry: a cycled
+  // working set at half the cache capacity stays resident.
+  NvmDevice dev(64ul << 20);
+  CacheModel cache(&dev, CacheGeometry{GetParam().sets, GetParam().ways}, CostParams{});
+  const uint64_t capacity =
+      static_cast<uint64_t>(GetParam().sets) * GetParam().ways * kCacheLineSize;
+  const uint64_t window = capacity / 2;
+  const auto base = reinterpret_cast<uintptr_t>(dev.base());
+  for (int round = 0; round < 50; ++round) {
+    for (uint64_t off = 0; off < window; off += kCacheLineSize) {
+      cache.OnStore(base + off, 8);
+    }
+  }
+  EXPECT_EQ(cache.stats().dirty_evictions, 0u)
+      << "a window at half capacity must never thrash";
+  dev.DrainAll();
+  EXPECT_EQ(dev.stats().media_writes, 0u);
+}
+
+TEST_P(CacheGeometrySweep, OversizedWorkingSetAlwaysThrashes) {
+  NvmDevice dev(256ul << 20);
+  CacheModel cache(&dev, CacheGeometry{GetParam().sets, GetParam().ways}, CostParams{});
+  const uint64_t capacity =
+      static_cast<uint64_t>(GetParam().sets) * GetParam().ways * kCacheLineSize;
+  const uint64_t window = capacity * 4;
+  const auto base = reinterpret_cast<uintptr_t>(dev.base());
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t off = 0; off < window; off += kCacheLineSize) {
+      cache.OnStore(base + off, 8);
+    }
+  }
+  EXPECT_GT(cache.stats().dirty_evictions, window / kCacheLineSize)
+      << "a 4x working set must evict at least one full pass";
+}
+
+TEST_P(CacheGeometrySweep, HitsPlusMissesEqualsLineTouches) {
+  NvmDevice dev(64ul << 20);
+  CacheModel cache(&dev, CacheGeometry{GetParam().sets, GetParam().ways}, CostParams{});
+  Rng rng(9);
+  const auto base = reinterpret_cast<uintptr_t>(dev.base());
+  uint64_t touches = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t off = rng.NextBounded(1u << 20) * 8;
+    const size_t len = 1 + rng.NextBounded(300);
+    const uint64_t first = (base + off) / kCacheLineSize;
+    const uint64_t last = (base + off + len - 1) / kCacheLineSize;
+    touches += last - first + 1;
+    if (rng.NextBounded(2) == 0) {
+      cache.OnStore(base + off, len);
+    } else {
+      cache.OnLoad(base + off, len);
+    }
+  }
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, touches);
+}
+
+TEST_P(CacheGeometrySweep, ClwbThenEvictionNeverDoubleWrites) {
+  // A line flushed clean and then evicted must reach the device exactly once.
+  NvmDevice dev(64ul << 20);
+  CacheModel cache(&dev, CacheGeometry{GetParam().sets, GetParam().ways}, CostParams{});
+  const auto base = reinterpret_cast<uintptr_t>(dev.base());
+  cache.OnStore(base, 64);
+  cache.Clwb(base, 64);
+  // Force the line out by filling its set with conflicting lines.
+  const uint64_t set_stride =
+      static_cast<uint64_t>(GetParam().sets) * kCacheLineSize;
+  for (uint32_t w = 0; w <= GetParam().ways; ++w) {
+    cache.OnLoad(base + (w + 1) * set_stride, 8);
+  }
+  cache.WritebackAll();
+  dev.DrainAll();
+  EXPECT_EQ(dev.stats().line_writes, 1u) << "clean evictions must be silent";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Values(Geo{16, 2}, Geo{64, 4}, Geo{256, 16}, Geo{2048, 16}, Geo{128, 8}),
+    [](const auto& info) {
+      return "S" + std::to_string(info.param.sets) + "W" + std::to_string(info.param.ways);
+    });
+
+// ---- Hinted flush dominance (the D2 premise) ---------------------------------
+
+class FlushPatternSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FlushPatternSweep, HintedFlushNeverProducesMoreMediaTrafficThanEvictions) {
+  // For any tuple size, writing N tuples and hint-flushing them must cost at
+  // most as many media operations as writing them and letting evictions
+  // deliver the data (the whole justification for bringing clwb back, §3.3).
+  const uint32_t tuple_bytes = GetParam();
+  const auto run = [&](bool hinted) {
+    NvmDevice dev(256ul << 20);
+    ThreadContext ctx(0, &dev, CacheGeometry{.sets = 128, .ways = 8});
+    Rng rng(77);
+    std::vector<std::byte> payload(tuple_bytes, std::byte{1});
+    const uint64_t stride = 256ull * ((tuple_bytes + 255) / 256);
+    const uint64_t max_slots = dev.capacity() / stride;
+    for (int i = 0; i < 5000; ++i) {
+      const uint64_t slot = rng.NextBounded(std::min<uint64_t>(100000, max_slots));
+      std::byte* dst = dev.base() + slot * stride;
+      ctx.Store(dst, payload.data(), tuple_bytes);
+      if (hinted) {
+        ctx.Sfence();
+        ctx.Clwb(dst, tuple_bytes);
+      }
+    }
+    ctx.cache().WritebackAll();
+    dev.DrainAll();
+    const DeviceStats s = dev.stats();
+    return s.media_writes + s.media_reads;
+  };
+  const uint64_t hinted_ops = run(true);
+  const uint64_t evicted_ops = run(false);
+  EXPECT_LE(hinted_ops, evicted_ops)
+      << "hinted flush must never lose to uncontrolled eviction (tuple=" << tuple_bytes << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(TupleSizes, FlushPatternSweep,
+                         ::testing::Values(256u, 512u, 1024u, 4096u),
+                         [](const auto& info) { return "B" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace falcon

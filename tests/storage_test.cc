@@ -1,0 +1,300 @@
+// Unit tests for storage: schema layout, table catalog, tuple heap
+// allocation/deletion/reclamation, heap scans, version heap GC.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "src/pmem/arena.h"
+#include "src/pmem/catalog.h"
+#include "src/sim/thread_context.h"
+#include "src/storage/schema.h"
+#include "src/storage/table.h"
+#include "src/storage/tuple_heap.h"
+#include "src/storage/version_heap.h"
+
+namespace falcon {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  StorageTest()
+      : dev_(256ul * 1024 * 1024), arena_(NvmArena::Format(&dev_)), ctx_(0, &dev_) {}
+
+  TableMeta* MakeTable(const char* name, uint32_t column_size, uint32_t columns = 2) {
+    SchemaBuilder schema(name);
+    for (uint32_t i = 0; i < columns; ++i) {
+      schema.AddColumn(column_size);
+    }
+    return CreateTable(arena_, schema, IndexKind::kHash);
+  }
+
+  NvmDevice dev_;
+  NvmArena arena_;
+  ThreadContext ctx_;
+};
+
+TEST(SchemaTest, ColumnOffsetsArePacked) {
+  SchemaBuilder schema("t");
+  const uint32_t c0 = schema.AddU64();
+  const uint32_t c1 = schema.AddColumn(24);
+  const uint32_t c2 = schema.AddU64();
+  EXPECT_EQ(c0, 0u);
+  EXPECT_EQ(c1, 1u);
+  EXPECT_EQ(c2, 2u);
+  EXPECT_EQ(schema.columns()[0].offset, 0u);
+  EXPECT_EQ(schema.columns()[1].offset, 8u);
+  EXPECT_EQ(schema.columns()[2].offset, 32u);
+  EXPECT_EQ(schema.data_size(), 40u);
+}
+
+TEST(SchemaTest, LongNamesAreTruncatedSafely) {
+  SchemaBuilder schema("a_very_long_table_name_that_exceeds_the_limit");
+  EXPECT_EQ(std::strlen(schema.name()), kMaxTableNameLen);
+}
+
+TEST(SchemaTest, SlotSizeRounding) {
+  // Small tuples round to cache lines; slot <= 256B stays line-granular.
+  EXPECT_EQ(ComputeSlotSize(64, 8), 128u);
+  EXPECT_EQ(ComputeSlotSize(64, 64), 128u);
+  EXPECT_EQ(ComputeSlotSize(64, 192), 256u);
+  // Larger tuples round to whole 256B media blocks for hinted flush.
+  EXPECT_EQ(ComputeSlotSize(64, 200), 512u);
+  EXPECT_EQ(ComputeSlotSize(64, 1000), 1280u);
+  EXPECT_EQ(ComputeSlotSize(64, 1024), 1280u);
+}
+
+TEST_F(StorageTest, CreateAndFindTable) {
+  TableMeta* meta = MakeTable("orders", 8, 4);
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->tuple_data_size, 32u);
+  EXPECT_EQ(meta->slot_size, 128u);
+  EXPECT_EQ(meta->column_count, 4u);
+  EXPECT_EQ(FindTable(arena_, "orders"), meta);
+  EXPECT_EQ(FindTable(arena_, meta->id), meta);
+  EXPECT_EQ(FindTable(arena_, "nonexistent"), nullptr);
+  EXPECT_EQ(FindTable(arena_, 99u), nullptr);
+}
+
+TEST_F(StorageTest, DuplicateTableNameRejected) {
+  ASSERT_NE(MakeTable("t", 8), nullptr);
+  EXPECT_EQ(MakeTable("t", 8), nullptr);
+}
+
+TEST_F(StorageTest, CatalogCapacityEnforced) {
+  for (uint32_t i = 0; i < kMaxTables; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "t%u", i);
+    ASSERT_NE(MakeTable(name, 8), nullptr) << i;
+  }
+  EXPECT_EQ(MakeTable("overflow", 8), nullptr);
+}
+
+TEST_F(StorageTest, AllocateInitializesHeader) {
+  TableMeta* meta = MakeTable("t", 16);
+  TupleHeap heap(&arena_, meta);
+  const PmOffset slot = heap.Allocate(ctx_, /*key=*/42, /*min_active_tid=*/0);
+  ASSERT_NE(slot, kNullPm);
+  TupleHeader* header = heap.Header(slot);
+  EXPECT_EQ(header->key, 42u);
+  EXPECT_EQ(header->flags.load(), kTupleValid);
+  EXPECT_EQ(header->cc_word.load(), 0u);
+  EXPECT_EQ(header->prev.load(), kNullPm);
+  // Data area is writable.
+  std::memset(TupleData(header), 0xab, meta->tuple_data_size);
+  EXPECT_EQ(static_cast<unsigned char>(TupleData(header)[15]), 0xabu);
+}
+
+TEST_F(StorageTest, AllocationsAreDistinctAndAligned) {
+  TableMeta* meta = MakeTable("t", 8);
+  TupleHeap heap(&arena_, meta);
+  std::set<PmOffset> seen;
+  for (int i = 0; i < 100000; ++i) {
+    const PmOffset slot = heap.Allocate(ctx_, i, 0);
+    ASSERT_NE(slot, kNullPm);
+    EXPECT_EQ(slot % kCacheLineSize, 0u);
+    EXPECT_TRUE(seen.insert(slot).second);
+  }
+  EXPECT_EQ(heap.CountSlots(), 100000u);
+}
+
+TEST_F(StorageTest, LargeTupleSlotsAreBlockAligned) {
+  SchemaBuilder schema("big");
+  schema.AddColumn(1000);
+  TableMeta* meta = CreateTable(arena_, schema, IndexKind::kHash);
+  TupleHeap heap(&arena_, meta);
+  for (int i = 0; i < 10; ++i) {
+    const PmOffset slot = heap.Allocate(ctx_, i, 0);
+    EXPECT_EQ(slot % kNvmBlockSize, 0u);
+  }
+}
+
+TEST_F(StorageTest, HeapSpansMultiplePages) {
+  TableMeta* meta = MakeTable("t", 8);  // slot 128B -> ~16K slots per page
+  TupleHeap heap(&arena_, meta);
+  constexpr int kCount = 40000;  // needs 3 pages
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_NE(heap.Allocate(ctx_, i, 0), kNullPm);
+  }
+  EXPECT_EQ(heap.CountSlots(), static_cast<uint64_t>(kCount));
+  // Page chain for thread 0 has >= 3 pages.
+  int pages = 0;
+  PmOffset page = meta->heap_head[0];
+  while (page != kNullPm) {
+    ++pages;
+    page = arena_.Ptr<PageHeader>(page)->next_page;
+  }
+  EXPECT_GE(pages, 3);
+}
+
+TEST_F(StorageTest, PerThreadPagesAreDisjoint) {
+  TableMeta* meta = MakeTable("t", 8);
+  TupleHeap heap(&arena_, meta);
+  ThreadContext ctx1(1, &dev_);
+  const PmOffset a = heap.Allocate(ctx_, 1, 0);
+  const PmOffset b = heap.Allocate(ctx1, 2, 0);
+  EXPECT_NE(a / kPageSize, b / kPageSize);
+  EXPECT_NE(meta->heap_head[0], meta->heap_head[1]);
+}
+
+TEST_F(StorageTest, DeletedTupleIsReclaimedOnlyAfterMinActiveAdvances) {
+  TableMeta* meta = MakeTable("t", 8);
+  TupleHeap heap(&arena_, meta);
+  const PmOffset slot = heap.Allocate(ctx_, 1, 0);
+  heap.MarkDeleted(ctx_, slot, /*delete_tid=*/100);
+  EXPECT_NE(heap.Header(slot)->flags.load() & kTupleDeleted, 0u);
+
+  // A reader with TID <= 100 may still be looking at the tuple: not reused.
+  const PmOffset fresh = heap.Allocate(ctx_, 2, /*min_active_tid=*/100);
+  EXPECT_NE(fresh, slot);
+
+  // Once every active TID exceeds the delete timestamp, the slot recycles.
+  const PmOffset recycled = heap.Allocate(ctx_, 3, /*min_active_tid=*/101);
+  EXPECT_EQ(recycled, slot);
+  EXPECT_EQ(heap.Header(recycled)->key, 3u);
+  EXPECT_EQ(heap.Header(recycled)->flags.load(), kTupleValid);
+}
+
+TEST_F(StorageTest, DeletedListPreservesFifoTimestampOrder) {
+  TableMeta* meta = MakeTable("t", 8);
+  TupleHeap heap(&arena_, meta);
+  const PmOffset s1 = heap.Allocate(ctx_, 1, 0);
+  const PmOffset s2 = heap.Allocate(ctx_, 2, 0);
+  heap.MarkDeleted(ctx_, s1, 10);
+  heap.MarkDeleted(ctx_, s2, 20);
+  // min_active 15: only s1 reclaimable.
+  EXPECT_EQ(heap.Allocate(ctx_, 7, 15), s1);
+  const PmOffset next = heap.Allocate(ctx_, 8, 15);
+  EXPECT_NE(next, s2);
+  // Now s2 becomes reclaimable.
+  EXPECT_EQ(heap.Allocate(ctx_, 9, 25), s2);
+}
+
+TEST_F(StorageTest, ForEachSlotVisitsAcrossThreadsAndSkipsNothingValid) {
+  TableMeta* meta = MakeTable("t", 8);
+  TupleHeap heap(&arena_, meta);
+  ThreadContext ctx1(1, &dev_);
+  for (int i = 0; i < 100; ++i) {
+    heap.Allocate(ctx_, i, 0);
+    heap.Allocate(ctx1, 1000 + i, 0);
+  }
+  std::set<uint64_t> keys;
+  heap.ForEachSlot([&](PmOffset, TupleHeader* header) { keys.insert(header->key); });
+  EXPECT_EQ(keys.size(), 200u);
+  EXPECT_TRUE(keys.count(0) == 1 && keys.count(1099) == 1);
+}
+
+TEST_F(StorageTest, DeletedListSurvivesReopen) {
+  // The deleted list lives in the catalog + tuple headers (all NVM): after a
+  // simulated crash a new heap instance still reclaims from it.
+  TableMeta* meta = MakeTable("t", 8);
+  {
+    TupleHeap heap(&arena_, meta);
+    const PmOffset slot = heap.Allocate(ctx_, 1, 0);
+    heap.MarkDeleted(ctx_, slot, 5);
+  }
+  NvmArena reopened = NvmArena::Open(&dev_);
+  TupleHeap heap2(&reopened, FindTable(reopened, "t"));
+  const PmOffset slot = heap2.Allocate(ctx_, 2, /*min_active_tid=*/10);
+  EXPECT_EQ(heap2.Header(slot)->key, 2u);
+  EXPECT_EQ(heap2.CountSlots(), 1u);
+}
+
+TEST(TaggedPtrTest, RoundTripAndStaleDetection) {
+  int x = 0;
+  const uint64_t word = PackTaggedPtr(3, &x);
+  EXPECT_EQ(UnpackTaggedPtr<int>(3, word), &x);
+  EXPECT_EQ(UnpackTaggedPtr<int>(4, word), nullptr) << "stale generation must read as null";
+  EXPECT_EQ(UnpackTaggedPtr<int>(3, PackTaggedPtr(3, nullptr)), nullptr);
+}
+
+TEST(VersionHeapTest, AllocateFillsAndTracksBytes) {
+  VersionHeap heap;
+  Version* v = heap.Allocate(100);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->data_size, 100u);
+  std::memset(v->data(), 0x7f, 100);
+  EXPECT_GT(heap.live_bytes(), 100u);
+  heap.Enqueue(v);
+  heap.DropAll();
+  EXPECT_EQ(heap.live_bytes(), 0u);
+}
+
+TEST(VersionHeapTest, GcRecyclesOnlyBelowMinActive) {
+  VersionHeap heap(/*gc_threshold=*/4);
+  for (uint64_t ts = 1; ts <= 10; ++ts) {
+    Version* v = heap.Allocate(8);
+    v->end_ts = ts;
+    heap.Enqueue(v);
+  }
+  EXPECT_TRUE(heap.NeedsGc());
+  EXPECT_EQ(heap.Gc(/*min_active_tid=*/5), 4u);  // end_ts 1..4
+  EXPECT_EQ(heap.queued(), 6u);
+  EXPECT_EQ(heap.Gc(/*min_active_tid=*/100), 6u);
+  EXPECT_EQ(heap.queued(), 0u);
+  EXPECT_EQ(heap.live_bytes(), 0u);
+}
+
+TEST(VersionHeapTest, GcStopsAtFirstSurvivor) {
+  VersionHeap heap;
+  for (uint64_t ts : {2u, 9u, 3u}) {  // 3 after 9: front blocks the rest
+    Version* v = heap.Allocate(8);
+    v->end_ts = ts;
+    heap.Enqueue(v);
+  }
+  EXPECT_EQ(heap.Gc(5), 1u);
+  EXPECT_EQ(heap.queued(), 2u);
+}
+
+TEST(VersionHeapTest, ChainTraversalFindsSnapshotVersion) {
+  // Build the Figure 6 scenario: versions with [begin_ts, end_ts) ranges
+  // 2-5, 5-7, 7-10; a reader at TS=6 must select the 5-7 version.
+  VersionHeap heap;
+  Version* v2 = heap.Allocate(8);
+  v2->begin_ts = 2;
+  v2->end_ts = 5;
+  Version* v3 = heap.Allocate(8);
+  v3->begin_ts = 5;
+  v3->end_ts = 7;
+  v3->prev = v2;
+  Version* v4 = heap.Allocate(8);
+  v4->begin_ts = 7;
+  v4->end_ts = 10;
+  v4->prev = v3;
+
+  const uint64_t reader_ts = 6;
+  Version* cur = v4;
+  while (cur != nullptr && cur->begin_ts > reader_ts) {
+    cur = cur->prev;
+  }
+  ASSERT_NE(cur, nullptr);
+  EXPECT_EQ(cur->begin_ts, 5u);
+  EXPECT_EQ(cur->end_ts, 7u);
+  heap.Enqueue(v2);
+  heap.Enqueue(v3);
+  heap.Enqueue(v4);
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,222 @@
+// TPC-C workload tests: loading, each transaction type, the standard mix,
+// consistency invariants under concurrency, and cross-engine runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/workload/tpcc.h"
+
+namespace falcon {
+namespace {
+
+TpccConfig SmallConfig() {
+  TpccConfig c;
+  c.warehouses = 2;
+  c.districts_per_warehouse = 4;
+  c.customers_per_district = 64;
+  c.items = 200;
+  c.initial_orders_per_district = 20;
+  return c;
+}
+
+class TpccTest : public ::testing::Test {
+ protected:
+  TpccTest() : dev_(2ul << 30) { Setup(EngineConfig::Falcon(CcScheme::kOcc)); }
+
+  void Setup(EngineConfig config) {
+    engine_ = std::make_unique<Engine>(&dev_, config, 4);
+    workload_ = std::make_unique<TpccWorkload>(engine_.get(), SmallConfig());
+    workload_->LoadItems(engine_->worker(0));
+    workload_->LoadWarehouseSlice(engine_->worker(0), 1, 1);
+    workload_->LoadWarehouseSlice(engine_->worker(1), 2, 2);
+  }
+
+  NvmDevice dev_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<TpccWorkload> workload_;
+};
+
+TEST_F(TpccTest, LoadBuildsAllTables) {
+  Worker& w = engine_->worker(0);
+  Txn txn = w.Begin();
+  uint64_t price = 0;
+  EXPECT_EQ(txn.ReadColumn(workload_->item_, 1, ItemCol::kPrice, &price), Status::kOk);
+  EXPECT_GT(price, 0u);
+  uint64_t tax = 0;
+  EXPECT_EQ(txn.ReadColumn(workload_->warehouse_, 1, WarehouseCol::kTax, &tax), Status::kOk);
+  uint64_t balance = 0;
+  EXPECT_EQ(txn.ReadColumn(workload_->customer_, (((1ull << 4) | 1) << 12) | 1,
+                           CustomerCol::kBalance, &balance),
+            Status::kOk);
+  EXPECT_EQ(balance, 1'000'000'000ull);
+  txn.Commit();
+}
+
+TEST_F(TpccTest, NewOrderAdvancesDistrictCounter) {
+  Worker& w = engine_->worker(0);
+  Rng rng(1);
+  const uint64_t before = workload_->TotalNextOrderIds(w);
+  int committed = 0;
+  for (int i = 0; i < 50; ++i) {
+    committed += workload_->NewOrder(w, rng) ? 1 : 0;
+  }
+  EXPECT_GT(committed, 30);  // ~1% intentional rollbacks
+  const uint64_t after = workload_->TotalNextOrderIds(w);
+  EXPECT_EQ(after - before, static_cast<uint64_t>(committed))
+      << "each committed NewOrder bumps exactly one next_o_id";
+}
+
+TEST_F(TpccTest, PaymentMovesMoney) {
+  Worker& w = engine_->worker(0);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(workload_->Payment(w, rng));
+  }
+  // Warehouse ytd accumulated.
+  Txn txn = w.Begin();
+  uint64_t ytd = 0;
+  ASSERT_EQ(txn.ReadColumn(workload_->warehouse_, 1, WarehouseCol::kYtd, &ytd), Status::kOk);
+  EXPECT_GT(ytd, 0u);
+  txn.Commit();
+}
+
+TEST_F(TpccTest, OrderStatusReadsLatestOrder) {
+  Worker& w = engine_->worker(0);
+  Rng rng(3);
+  // Generate some orders first so customers have last_order set.
+  for (int i = 0; i < 30; ++i) {
+    workload_->NewOrder(w, rng);
+  }
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(workload_->OrderStatus(w, rng));
+  }
+}
+
+TEST_F(TpccTest, DeliveryConsumesNewOrders) {
+  Worker& w = engine_->worker(0);
+  Rng rng(4);
+  // The loader put the newest third of initial orders into NEW-ORDER.
+  int deliveries = 0;
+  for (int i = 0; i < 10; ++i) {
+    deliveries += workload_->Delivery(w, rng) ? 1 : 0;
+  }
+  EXPECT_GT(deliveries, 5);
+  // Customers got credited for delivered orders.
+  uint64_t credited = 0;
+  for (uint64_t c = 1; c <= 64; ++c) {
+    Txn txn = w.Begin();
+    uint64_t cnt = 0;
+    if (txn.ReadColumn(workload_->customer_, (((1ull << 4) | 1) << 12) | c,
+                       CustomerCol::kDeliveryCnt, &cnt) == Status::kOk) {
+      credited += cnt;
+    }
+    txn.Commit();
+  }
+  EXPECT_GT(credited, 0u);
+}
+
+TEST_F(TpccTest, StockLevelRuns) {
+  Worker& w = engine_->worker(0);
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(workload_->StockLevel(w, rng));
+  }
+}
+
+TEST_F(TpccTest, MixRunsAllTypes) {
+  Worker& w = engine_->worker(0);
+  Rng rng(6);
+  TpccStats stats;
+  for (int i = 0; i < 500; ++i) {
+    bool committed = false;
+    const TpccTxnType type = workload_->RunOne(w, rng, &committed);
+    if (committed) {
+      ++stats.committed[type];
+    } else {
+      ++stats.aborted[type];
+    }
+  }
+  EXPECT_GT(stats.committed[kNewOrder], 150u);
+  EXPECT_GT(stats.committed[kPayment], 150u);
+  EXPECT_GT(stats.committed[kOrderStatus], 1u);
+  EXPECT_GT(stats.committed[kDelivery], 1u);
+  EXPECT_GT(stats.committed[kStockLevel], 1u);
+}
+
+TEST_F(TpccTest, ConcurrentMixPreservesOrderCountInvariant) {
+  std::atomic<uint64_t> new_orders{0};
+  std::vector<std::thread> threads;
+  Worker& w0 = engine_->worker(0);
+  const uint64_t before = workload_->TotalNextOrderIds(w0);
+  for (uint32_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Worker& w = engine_->worker(t);
+      Rng rng(50 + t);
+      for (int i = 0; i < 500; ++i) {
+        bool committed = false;
+        const TpccTxnType type = workload_->RunOne(w, rng, &committed);
+        if (committed && type == kNewOrder) {
+          new_orders.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const uint64_t after = workload_->TotalNextOrderIds(w0);
+  EXPECT_EQ(after - before, new_orders.load())
+      << "district counters must equal committed NewOrders (serializability)";
+}
+
+struct EngineParam {
+  const char* label;
+  EngineConfig (*make)(CcScheme);
+  CcScheme cc;
+};
+
+class TpccEngineMatrixTest : public ::testing::TestWithParam<EngineParam> {};
+
+TEST_P(TpccEngineMatrixTest, MixRunsCleanlyOnEngine) {
+  NvmDevice dev(2ul << 30);
+  Engine engine(&dev, GetParam().make(GetParam().cc), 2);
+  TpccConfig config = SmallConfig();
+  config.warehouses = 1;
+  config.districts_per_warehouse = 2;
+  TpccWorkload workload(&engine, config);
+  workload.LoadItems(engine.worker(0));
+  workload.LoadWarehouseSlice(engine.worker(0), 1, 1);
+
+  Worker& w = engine.worker(0);
+  Rng rng(9);
+  TpccStats stats;
+  for (int i = 0; i < 300; ++i) {
+    bool committed = false;
+    const TpccTxnType type = workload.RunOne(w, rng, &committed);
+    (committed ? stats.committed : stats.aborted)[type] += 1;
+  }
+  EXPECT_GT(stats.TotalCommitted(), 250u);
+}
+
+EngineConfig MxFalcon(CcScheme cc) { return EngineConfig::Falcon(cc); }
+EngineConfig MxInp(CcScheme cc) { return EngineConfig::Inp(cc); }
+EngineConfig MxOutp(CcScheme cc) { return EngineConfig::Outp(cc); }
+EngineConfig MxZenS(CcScheme cc) { return EngineConfig::ZenS(cc); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, TpccEngineMatrixTest,
+    ::testing::Values(EngineParam{"Falcon_OCC", MxFalcon, CcScheme::kOcc},
+                      EngineParam{"Falcon_2PL", MxFalcon, CcScheme::k2pl},
+                      EngineParam{"Falcon_TO", MxFalcon, CcScheme::kTo},
+                      EngineParam{"Falcon_MV2PL", MxFalcon, CcScheme::kMv2pl},
+                      EngineParam{"Falcon_MVTO", MxFalcon, CcScheme::kMvTo},
+                      EngineParam{"Falcon_MVOCC", MxFalcon, CcScheme::kMvOcc},
+                      EngineParam{"Inp_OCC", MxInp, CcScheme::kOcc},
+                      EngineParam{"Outp_OCC", MxOutp, CcScheme::kOcc},
+                      EngineParam{"ZenS_OCC", MxZenS, CcScheme::kOcc}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+}  // namespace
+}  // namespace falcon

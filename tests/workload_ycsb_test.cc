@@ -1,0 +1,192 @@
+// YCSB workload driver tests: loading, per-workload op mixes, key
+// distributions, and cross-engine integrity under concurrency.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/workload/ycsb.h"
+
+namespace falcon {
+namespace {
+
+class YcsbTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kRecords = 2000;
+
+  YcsbTest() : dev_(1ul << 30) {}
+
+  void Setup(char workload, bool zipfian, EngineConfig config = EngineConfig::Falcon()) {
+    engine_ = std::make_unique<Engine>(&dev_, config, 4);
+    YcsbConfig yc;
+    yc.record_count = kRecords;
+    yc.field_count = 4;
+    yc.field_size = 25;
+    yc.workload = workload;
+    yc.zipfian = zipfian;
+    workload_ = std::make_unique<YcsbWorkload>(engine_.get(), yc);
+    workload_->LoadRange(engine_->worker(0), 0, kRecords);
+  }
+
+  NvmDevice dev_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<YcsbWorkload> workload_;
+};
+
+TEST_F(YcsbTest, LoadPopulatesEveryKey) {
+  Setup('A', false);
+  Worker& w = engine_->worker(0);
+  std::vector<std::byte> row(engine_->TupleDataSize(workload_->table()));
+  for (uint64_t k = 0; k < kRecords; k += 97) {
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.Read(workload_->table(), k, row.data()), Status::kOk) << k;
+    txn.Commit();
+  }
+  Txn txn = w.Begin();
+  EXPECT_EQ(txn.Read(workload_->table(), kRecords + 5, row.data()), Status::kNotFound);
+  txn.Commit();
+}
+
+TEST_F(YcsbTest, WorkloadARunsMixedOps) {
+  Setup('A', false);
+  Worker& w = engine_->worker(0);
+  YcsbThreadState state(workload_->config(), 0, 1, 7);
+  int committed = 0;
+  for (int i = 0; i < 2000; ++i) {
+    committed += workload_->RunOne(w, state) ? 1 : 0;
+  }
+  EXPECT_GT(committed, 1900);  // single-threaded: almost everything commits
+  EXPECT_GT(w.stats().writes, 800u);  // ~50% updates
+  EXPECT_GT(w.stats().reads, 800u);
+}
+
+TEST_F(YcsbTest, WorkloadCIsReadOnly) {
+  Setup('C', false);
+  Worker& w = engine_->worker(0);
+  w.ResetStats();  // discard the loader's insert counts
+  YcsbThreadState state(workload_->config(), 0, 1, 7);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(workload_->RunOne(w, state));
+  }
+  EXPECT_EQ(w.stats().writes, 0u);
+}
+
+TEST_F(YcsbTest, WorkloadDInsertsGrowTheTable) {
+  Setup('D', false);
+  Worker& w = engine_->worker(0);
+  YcsbThreadState state(workload_->config(), 0, 1, 7);
+  const uint64_t before = workload_->approx_records();
+  for (int i = 0; i < 2000; ++i) {
+    workload_->RunOne(w, state);
+  }
+  EXPECT_GT(workload_->approx_records(), before + 50);
+}
+
+TEST_F(YcsbTest, WorkloadEScansOnBTree) {
+  Setup('E', false);
+  Worker& w = engine_->worker(0);
+  YcsbThreadState state(workload_->config(), 0, 1, 7);
+  int committed = 0;
+  for (int i = 0; i < 500; ++i) {
+    committed += workload_->RunOne(w, state) ? 1 : 0;
+  }
+  EXPECT_GT(committed, 450);
+}
+
+TEST_F(YcsbTest, WorkloadFReadModifyWrite) {
+  Setup('F', false);
+  Worker& w = engine_->worker(0);
+  YcsbThreadState state(workload_->config(), 0, 1, 7);
+  int committed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    committed += workload_->RunOne(w, state) ? 1 : 0;
+  }
+  EXPECT_GT(committed, 950);
+  EXPECT_GT(w.stats().writes, 300u);
+}
+
+TEST_F(YcsbTest, ZipfianSkewsTraffic) {
+  Setup('A', true);
+  YcsbThreadState state(workload_->config(), 0, 1, 7);
+  std::vector<int> counts(kRecords, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[state.NextKey(kRecords)];
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  int top10 = 0;
+  for (int i = 0; i < 10; ++i) {
+    top10 += counts[i];
+  }
+  EXPECT_GT(top10, 50000 / 10) << "zipfian(0.99) top-10 keys must dominate";
+}
+
+TEST_F(YcsbTest, ParallelMixedWorkloadKeepsEngineConsistent) {
+  Setup('A', true, EngineConfig::Falcon(CcScheme::kOcc));
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> committed{0};
+  for (uint32_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Worker& w = engine_->worker(t);
+      YcsbThreadState state(workload_->config(), t, 4, 100 + t);
+      for (int i = 0; i < 5000; ++i) {
+        committed += workload_->RunOne(w, state) ? 1 : 0;
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_GT(committed.load(), 10000u);
+  // Every key still readable (no corruption under contention).
+  Worker& w = engine_->worker(0);
+  std::vector<std::byte> row(engine_->TupleDataSize(workload_->table()));
+  for (uint64_t k = 0; k < kRecords; k += 131) {
+    for (;;) {
+      Txn txn = w.Begin();
+      const Status s = txn.Read(workload_->table(), k, row.data());
+      if (s == Status::kOk && txn.Commit() == Status::kOk) {
+        break;
+      }
+      ASSERT_NE(s, Status::kNotFound) << "key lost: " << k;
+    }
+  }
+}
+
+TEST_F(YcsbTest, InsertKeysAreDisjointAcrossThreads) {
+  YcsbConfig yc;
+  yc.record_count = 100;
+  YcsbThreadState s0(yc, 0, 4, 1);
+  YcsbThreadState s1(yc, 1, 4, 2);
+  std::set<uint64_t> keys;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(keys.insert(s0.NextInsertKey()).second);
+    EXPECT_TRUE(keys.insert(s1.NextInsertKey()).second);
+  }
+  for (const uint64_t k : keys) {
+    EXPECT_GE(k, yc.record_count);
+  }
+}
+
+TEST_F(YcsbTest, LargeTupleConfiguration) {
+  // Fig. 12 regime: bigger tuples need bigger log slots.
+  EngineConfig config = EngineConfig::Falcon();
+  config.log_slot_bytes = 256 * 1024;
+  engine_ = std::make_unique<Engine>(&dev_, config, 2);
+  YcsbConfig yc;
+  yc.record_count = 100;
+  yc.field_count = 4;
+  yc.field_size = 16 * 1024;  // 64KB tuples
+  yc.workload = 'A';
+  workload_ = std::make_unique<YcsbWorkload>(engine_.get(), yc);
+  workload_->LoadRange(engine_->worker(0), 0, yc.record_count);
+  Worker& w = engine_->worker(0);
+  YcsbThreadState state(workload_->config(), 0, 1, 3);
+  int committed = 0;
+  for (int i = 0; i < 100; ++i) {
+    committed += workload_->RunOne(w, state) ? 1 : 0;
+  }
+  EXPECT_GT(committed, 95);
+}
+
+}  // namespace
+}  // namespace falcon
