@@ -1,0 +1,368 @@
+// Hot-path microbenchmark: HOST-CPU cost of the transaction execution path,
+// measured in wall-clock ns/op (not simulated ns — software overhead is real
+// time the paper's §6 says becomes the bottleneck once persistence is cheap).
+//
+// Scenarios:
+//   read_only    - 16 point reads per transaction
+//   update_heavy - 8 reads + 16 partial updates per transaction; also run at
+//                  8 threads (partitioned keys, conflict-free) for aggregate
+//                  commits/s
+//   new_order    - TPC-C New-Order-shaped: district RMW + 15 x (item read,
+//                  stock read, stock partial update, stock re-read) ~ 60
+//                  accesses per transaction. This is the quadratic-pressure
+//                  scenario for O(n) access-set tracking.
+//
+// Single-threaded scenarios also report DeviceStats totals so counter
+// refactors can be checked for behavioral drift (totals must not change).
+//
+// Output: human-readable table on stdout + machine-readable JSON
+// (BENCH_hotpath.json by default, or argv[1]).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/workload/bench_runner.h"
+
+namespace falcon {
+namespace {
+
+constexpr uint32_t kThreads = 8;
+constexpr uint64_t kKeysPerThread = 4096;
+constexpr uint32_t kTupleBytes = 64;
+
+struct ScenarioResult {
+  std::string name;
+  std::string scheme;
+  uint32_t threads = 0;
+  uint64_t txns = 0;
+  uint64_t ops_per_txn = 0;
+  uint64_t aborts = 0;
+  double wall_s = 0;
+  double ns_per_txn = 0;
+  double ns_per_op = 0;
+  double commits_per_s = 0;
+  bool has_device = false;
+  DeviceStats device;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+const char* SchemeName(CcScheme s) {
+  switch (BaseScheme(s)) {
+    case CcScheme::k2pl:
+      return "2pl";
+    case CcScheme::kTo:
+      return "to";
+    case CcScheme::kOcc:
+      return "occ";
+    default:
+      return "?";
+  }
+}
+
+struct Fixture {
+  std::unique_ptr<NvmDevice> device;
+  std::unique_ptr<Engine> engine;
+  TableId item = kInvalidTable;
+  TableId stock = kInvalidTable;
+  TableId district = kInvalidTable;
+};
+
+Fixture MakeFixture(CcScheme scheme) {
+  Fixture f;
+  f.device = std::make_unique<NvmDevice>(1ull << 30);
+  EngineConfig config = EngineConfig::Falcon(scheme);
+  config.cache_geometry = CacheGeometry{.sets = 256, .ways = 16};
+  f.engine = std::make_unique<Engine>(f.device.get(), config, kThreads);
+
+  const auto make_table = [&](const char* name) {
+    SchemaBuilder schema(name);
+    schema.AddU64();
+    schema.AddU64();
+    schema.AddColumn(kTupleBytes - 16);
+    return f.engine->CreateTable(schema, IndexKind::kHash);
+  };
+  f.item = make_table("item");
+  f.stock = make_table("stock");
+  f.district = make_table("district");
+
+  std::vector<std::byte> row(kTupleBytes, std::byte{0x5a});
+  Worker& loader = f.engine->worker(0);
+  for (uint64_t k = 0; k < kThreads * kKeysPerThread; ++k) {
+    Txn txn = loader.Begin();
+    (void)txn.Insert(f.item, k, row.data());
+    (void)txn.Insert(f.stock, k, row.data());
+    if (txn.Commit() != Status::kOk) {
+      std::fprintf(stderr, "load failed at key %lu\n", static_cast<unsigned long>(k));
+      std::exit(1);
+    }
+  }
+  for (uint64_t d = 0; d < kThreads; ++d) {
+    Txn txn = loader.Begin();
+    (void)txn.Insert(f.district, d, row.data());
+    if (txn.Commit() != Status::kOk) {
+      std::exit(1);
+    }
+  }
+  return f;
+}
+
+void QuiesceForMeasurement(Fixture& f) {
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    f.engine->worker(t).ctx().cache().WritebackAll();
+    f.engine->worker(t).ResetStats();
+  }
+  f.device->DrainAll();
+  f.device->ResetStats();
+}
+
+// One transaction body; returns committed and the access count on success.
+using TxnBody = uint64_t (*)(const Fixture&, Worker&, uint32_t, uint64_t, uint64_t*);
+
+uint64_t RunReadOnly(const Fixture& f, Worker& w, uint32_t thread, uint64_t i,
+                     uint64_t* aborts) {
+  const uint64_t base = thread * kKeysPerThread;
+  std::byte buf[kTupleBytes];
+  Txn txn = w.Begin();
+  for (uint64_t j = 0; j < 16; ++j) {
+    const uint64_t key = base + (i * 17 + j * 131) % kKeysPerThread;
+    if (txn.Read(f.stock, key, buf) != Status::kOk) {
+      txn.Abort();
+      ++*aborts;
+      return 0;
+    }
+  }
+  if (txn.Commit() != Status::kOk) {
+    ++*aborts;
+    return 0;
+  }
+  return 16;
+}
+
+uint64_t RunUpdateHeavy(const Fixture& f, Worker& w, uint32_t thread, uint64_t i,
+                        uint64_t* aborts) {
+  const uint64_t base = thread * kKeysPerThread;
+  std::byte buf[kTupleBytes];
+  const uint64_t stamp = i;
+  Txn txn = w.Begin();
+  for (uint64_t j = 0; j < 8; ++j) {
+    const uint64_t key = base + (i * 13 + j * 97) % kKeysPerThread;
+    if (txn.Read(f.stock, key, buf) != Status::kOk) {
+      txn.Abort();
+      ++*aborts;
+      return 0;
+    }
+  }
+  for (uint64_t j = 0; j < 16; ++j) {
+    const uint64_t key = base + (i * 29 + j * 61) % kKeysPerThread;
+    const uint32_t offset = static_cast<uint32_t>((j % 7) * 8);
+    if (txn.UpdatePartial(f.stock, key, offset, 8, &stamp) != Status::kOk) {
+      txn.Abort();
+      ++*aborts;
+      return 0;
+    }
+  }
+  if (txn.Commit() != Status::kOk) {
+    ++*aborts;
+    return 0;
+  }
+  return 24;
+}
+
+uint64_t RunNewOrder(const Fixture& f, Worker& w, uint32_t thread, uint64_t i,
+                     uint64_t* aborts) {
+  const uint64_t base = thread * kKeysPerThread;
+  std::byte buf[kTupleBytes];
+  const uint64_t stamp = i;
+  uint64_t ops = 0;
+  Txn txn = w.Begin();
+  // District read-modify-write (the contended row in real New-Order; here
+  // per-thread so the benchmark measures the software path, not aborts).
+  if (txn.Read(f.district, thread, buf) != Status::kOk ||
+      txn.UpdatePartial(f.district, thread, 0, 8, &stamp) != Status::kOk) {
+    txn.Abort();
+    ++*aborts;
+    return 0;
+  }
+  ops += 2;
+  for (uint64_t line = 0; line < 15; ++line) {
+    const uint64_t key = base + (i * 37 + line * 211) % kKeysPerThread;
+    if (txn.Read(f.item, key, buf) != Status::kOk ||
+        txn.Read(f.stock, key, buf) != Status::kOk ||
+        txn.UpdatePartial(f.stock, key, 8 * (line % 6), 8, &stamp) != Status::kOk ||
+        txn.Read(f.stock, key, buf) != Status::kOk) {  // read-own-write overlay
+      txn.Abort();
+      ++*aborts;
+      return 0;
+    }
+    ops += 4;
+  }
+  if (txn.Commit() != Status::kOk) {
+    ++*aborts;
+    return 0;
+  }
+  return ops;
+}
+
+ScenarioResult RunScenario(const char* name, CcScheme scheme, TxnBody body, uint32_t threads,
+                           uint64_t txns_per_thread, uint64_t warmup_per_thread) {
+  Fixture f = MakeFixture(scheme);
+
+  uint64_t warm_aborts = 0;
+  for (uint64_t i = 0; i < warmup_per_thread; ++i) {
+    for (uint32_t t = 0; t < threads; ++t) {
+      body(f, f.engine->worker(t), t, i, &warm_aborts);
+    }
+  }
+  QuiesceForMeasurement(f);
+
+  std::vector<uint64_t> ops(threads, 0);
+  std::vector<uint64_t> aborts(threads, 0);
+  const auto start = std::chrono::steady_clock::now();
+  if (threads == 1) {
+    for (uint64_t i = 0; i < txns_per_thread; ++i) {
+      ops[0] += body(f, f.engine->worker(0), 0, i, &aborts[0]);
+    }
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (uint64_t i = 0; i < txns_per_thread; ++i) {
+          ops[t] += body(f, f.engine->worker(t), t, i, &aborts[t]);
+        }
+      });
+    }
+    for (auto& th : pool) {
+      th.join();
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  ScenarioResult r;
+  r.name = name;
+  r.scheme = SchemeName(scheme);
+  r.threads = threads;
+  r.txns = txns_per_thread * threads;
+  r.wall_s = std::chrono::duration<double>(end - start).count();
+  uint64_t total_ops = 0;
+  for (uint32_t t = 0; t < threads; ++t) {
+    total_ops += ops[t];
+    r.aborts += aborts[t];
+  }
+  const uint64_t commits = r.txns - r.aborts;
+  r.ops_per_txn = commits == 0 ? 0 : total_ops / std::max<uint64_t>(1, commits);
+  r.ns_per_txn = r.txns == 0 ? 0 : r.wall_s * 1e9 / static_cast<double>(r.txns);
+  r.ns_per_op = total_ops == 0 ? 0 : r.wall_s * 1e9 / static_cast<double>(total_ops);
+  r.commits_per_s = r.wall_s == 0 ? 0 : static_cast<double>(commits) / r.wall_s;
+  if (threads == 1) {
+    // Deterministic single-threaded run: totals must be stable across
+    // refactors of the device counters (no behavioral drift).
+    for (uint32_t t = 0; t < kThreads; ++t) {
+      f.engine->worker(t).ctx().cache().WritebackAll();
+    }
+    f.device->DrainAll();
+    r.device = f.device->stats();
+    r.has_device = true;
+    for (uint32_t t = 0; t < kThreads; ++t) {
+      const CacheStats& cs = f.engine->worker(t).ctx().cache().stats();
+      r.cache_hits += cs.hits;
+      r.cache_misses += cs.misses;
+    }
+  }
+  return r;
+}
+
+void PrintRow(const ScenarioResult& r) {
+  std::printf("%-14s %-4s %2ut  txns=%-8lu ns/txn=%-9.1f ns/op=%-8.1f commits/s=%-12.0f "
+              "aborts=%lu\n",
+              r.name.c_str(), r.scheme.c_str(), r.threads, static_cast<unsigned long>(r.txns),
+              r.ns_per_txn, r.ns_per_op, r.commits_per_s, static_cast<unsigned long>(r.aborts));
+  if (r.has_device) {
+    std::printf("    device: line_writes=%lu media_writes=%lu media_reads=%lu "
+                "cache_hits=%lu cache_misses=%lu\n",
+                static_cast<unsigned long>(r.device.line_writes),
+                static_cast<unsigned long>(r.device.media_writes),
+                static_cast<unsigned long>(r.device.media_reads),
+                static_cast<unsigned long>(r.cache_hits),
+                static_cast<unsigned long>(r.cache_misses));
+  }
+}
+
+// Returns false when the file could not be opened or fully written (e.g. a
+// full disk), so main() can exit nonzero instead of reporting success.
+bool WriteJson(const char* path, const std::vector<ScenarioResult>& results) {
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"hotpath\",\n  \"unit\": \"wall_clock\",\n");
+  std::fprintf(out, "  \"scenarios\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"scheme\": \"%s\", \"threads\": %u, \"txns\": %lu, "
+                 "\"ops_per_txn\": %lu, \"aborts\": %lu, \"ns_per_txn\": %.1f, "
+                 "\"ns_per_op\": %.1f, \"commits_per_s\": %.0f",
+                 r.name.c_str(), r.scheme.c_str(), r.threads, static_cast<unsigned long>(r.txns),
+                 static_cast<unsigned long>(r.ops_per_txn), static_cast<unsigned long>(r.aborts),
+                 r.ns_per_txn, r.ns_per_op, r.commits_per_s);
+    if (r.has_device) {
+      std::fprintf(out,
+                   ", \"device\": {\"line_writes\": %lu, \"media_writes\": %lu, "
+                   "\"media_reads\": %lu}",
+                   static_cast<unsigned long>(r.device.line_writes),
+                   static_cast<unsigned long>(r.device.media_writes),
+                   static_cast<unsigned long>(r.device.media_reads));
+    }
+    std::fprintf(out, "}%s\n", i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  const bool had_error = std::ferror(out) != 0;
+  const bool close_ok = std::fclose(out) == 0;
+  if (had_error || !close_ok) {
+    std::fprintf(stderr, "write failed for %s\n", path);
+    return false;
+  }
+  std::printf("wrote %s\n", path);
+  return true;
+}
+
+}  // namespace
+}  // namespace falcon
+
+int main(int argc, char** argv) {
+  using namespace falcon;
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+  uint64_t scale = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  if (scale == 0) {
+    scale = 1;
+  }
+
+  std::vector<ScenarioResult> results;
+  results.push_back(
+      RunScenario("read_only", CcScheme::kOcc, RunReadOnly, 1, 60000 * scale, 5000));
+  results.push_back(
+      RunScenario("update_heavy", CcScheme::kOcc, RunUpdateHeavy, 1, 40000 * scale, 4000));
+  results.push_back(
+      RunScenario("update_heavy", CcScheme::kOcc, RunUpdateHeavy, kThreads, 20000 * scale, 2000));
+  results.push_back(
+      RunScenario("new_order", CcScheme::kOcc, RunNewOrder, 1, 20000 * scale, 2000));
+  results.push_back(
+      RunScenario("new_order", CcScheme::k2pl, RunNewOrder, 1, 20000 * scale, 2000));
+  results.push_back(
+      RunScenario("new_order", CcScheme::kTo, RunNewOrder, 1, 20000 * scale, 2000));
+
+  for (const ScenarioResult& r : results) {
+    PrintRow(r);
+  }
+  return WriteJson(json_path, results) ? 0 : 1;
+}

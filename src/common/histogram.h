@@ -40,17 +40,30 @@ class Histogram {
   uint64_t max() const { return max_; }
   double Mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
 
-  // Returns an upper bound on the p-th percentile (p in [0, 100]).
+  // Returns an upper bound on the p-th percentile. p is clamped to [0, 100]:
+  // p <= 0 reports the first non-empty bucket's bound, p >= 100 the exact
+  // recorded maximum (the saturation bucket's nominal bound can sit below a
+  // huge max, so the bucket scan alone is not an upper bound there).
   uint64_t Percentile(double p) const {
     if (count_ == 0) {
       return 0;
+    }
+    if (p >= 100.0) {
+      return max_;
+    }
+    if (p < 0.0) {
+      p = 0.0;
     }
     const auto target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_ - 1)) + 1;
     uint64_t seen = 0;
     for (size_t i = 0; i < buckets_.size(); ++i) {
       seen += buckets_[i];
       if (seen >= target) {
-        return UpperBoundFor(i);
+        if (i == buckets_.size() - 1) {
+          return max_;  // saturation bucket: its nominal bound may undershoot
+        }
+        // Every sample is <= max_, so the tighter of the two still bounds.
+        return UpperBoundFor(i) < max_ ? UpperBoundFor(i) : max_;
       }
     }
     return max_;

@@ -1,0 +1,132 @@
+// Per-transaction access-set index: a small open-addressed hash map from
+// tuple offset to {held-lock index, pending-write chain head/tail}.
+//
+// The transaction hot path asks three questions about every tuple it
+// touches — "do I hold its lock?", "is it in my write set?", "which of my
+// write entries overlay it?" — and a TPC-C New-Order transaction asks them
+// ~50 times. Linear scans of the lock/write vectors make the transaction
+// quadratic in its access count; this map answers each in O(1) and chains
+// same-tuple write entries by index so read-own-writes replays only that
+// tuple's entries.
+//
+// The map is owned by the Worker's scratch arena and cleared (not freed) at
+// Begin(). Clearing bumps a generation stamp instead of rewriting the slot
+// array, so Begin() costs O(1) no matter how large the table has grown.
+
+#ifndef SRC_CORE_ACCESS_MAP_H_
+#define SRC_CORE_ACCESS_MAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/pmem/arena.h"
+
+namespace falcon {
+
+class AccessMap {
+ public:
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+  struct Entry {
+    PmOffset tuple = kNullPm;
+    uint32_t lock_idx = kNone;    // index into the txn's lock vector
+    uint32_t write_head = kNone;  // first write entry for this tuple
+    uint32_t write_tail = kNone;  // last write entry (chain append point)
+    uint32_t gen = 0;             // slot is live iff gen == map generation
+  };
+
+  AccessMap() { slots_.resize(kInitialSlots); }
+
+  // Lookup without insertion; nullptr when the tuple was never accessed.
+  // The pointer is invalidated by the next Intern().
+  Entry* Find(PmOffset tuple) {
+    const size_t mask = slots_.size() - 1;
+    size_t pos = Mix64(tuple) & mask;
+    for (;;) {
+      Entry& e = slots_[pos];
+      if (e.gen != gen_) {
+        return nullptr;
+      }
+      if (e.tuple == tuple) {
+        return &e;
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  const Entry* Find(PmOffset tuple) const {
+    return const_cast<AccessMap*>(this)->Find(tuple);
+  }
+
+  // Find-or-insert. The reference is invalidated by the next Intern().
+  Entry& Intern(PmOffset tuple) {
+    if ((used_ + 1) * 2 > slots_.size()) {
+      Grow();
+    }
+    const size_t mask = slots_.size() - 1;
+    size_t pos = Mix64(tuple) & mask;
+    for (;;) {
+      Entry& e = slots_[pos];
+      if (e.gen != gen_) {
+        e = Entry{tuple, kNone, kNone, kNone, gen_};
+        ++used_;
+        return e;
+      }
+      if (e.tuple == tuple) {
+        return e;
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  // Forgets every entry but keeps (bounded) capacity: one transaction with a
+  // huge access set must not leave every later transaction probing an
+  // oversized table.
+  void Clear() {
+    high_water_ = used_ > high_water_ ? used_ : high_water_;
+    if (slots_.size() > kShrinkSlots && used_ * 8 < slots_.size()) {
+      slots_.assign(kShrinkSlots, Entry{});
+      gen_ = 1;
+    } else if (++gen_ == 0) {
+      // Generation wrapped: stale slots could alias the new stamp, so pay
+      // for one real wipe (once per 2^32 transactions).
+      std::fill(slots_.begin(), slots_.end(), Entry{});
+      gen_ = 1;
+    }
+    used_ = 0;
+  }
+
+  size_t size() const { return used_; }
+  size_t high_water() const { return high_water_; }
+
+ private:
+  static constexpr size_t kInitialSlots = 64;   // covers ~32 accesses
+  static constexpr size_t kShrinkSlots = 1024;  // probe-length / memory cap
+
+  void Grow() {
+    std::vector<Entry> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Entry{});
+    const size_t mask = slots_.size() - 1;
+    for (const Entry& e : old) {
+      if (e.gen != gen_) {
+        continue;
+      }
+      size_t pos = Mix64(e.tuple) & mask;
+      while (slots_[pos].gen == gen_) {
+        pos = (pos + 1) & mask;
+      }
+      slots_[pos] = e;
+    }
+  }
+
+  std::vector<Entry> slots_;
+  size_t used_ = 0;
+  size_t high_water_ = 0;
+  uint32_t gen_ = 1;  // slots start at gen 0 == empty
+};
+
+}  // namespace falcon
+
+#endif  // SRC_CORE_ACCESS_MAP_H_

@@ -21,6 +21,8 @@
 #ifndef SRC_CORE_ENGINE_H_
 #define SRC_CORE_ENGINE_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -29,6 +31,7 @@
 
 #include "src/cc/cc_scheme.h"
 #include "src/cc/tid.h"
+#include "src/core/access_map.h"
 #include "src/core/config.h"
 #include "src/core/hot_tuple_set.h"
 #include "src/core/log_window.h"
@@ -145,6 +148,7 @@ class Txn {
   struct ReadEntry {
     TupleHeader* header;
     uint64_t observed;  // cc_word snapshot (OCC validation)
+    PmOffset tuple;     // offset of the tuple (access-map key)
   };
 
   struct LockEntry {
@@ -163,6 +167,41 @@ class Txn {
     uint64_t payload_pos;  // byte offset of payload inside the log slot
     uint64_t observed;     // cc_word snapshot at op time (OCC)
     PmOffset new_version;  // out-of-place: freshly written version
+    // Next write entry for the same tuple (access-map chain); the overlay
+    // for read-own-writes replays exactly this chain, in program order.
+    uint32_t next_same = AccessMap::kNone;
+  };
+
+  // Worker-owned scratch arena for the access sets: Begin() clears instead
+  // of reallocating, with capacity pre-reserved from a running high-water
+  // mark, so steady-state transactions perform no heap allocation.
+  struct Scratch {
+    std::vector<ReadEntry> read_set;
+    std::vector<WriteEntry> write_set;
+    std::vector<LockEntry> locks;
+    AccessMap amap;
+    std::vector<std::byte> column_buf;  // ReadColumn whole-tuple staging
+    std::vector<std::byte> scan_buf;    // Scan row staging
+    std::vector<IndexEntry> scan_entries;
+    uint32_t scan_depth = 0;  // >0: a Scan visitor is live; nested Scans
+                              // fall back to local buffers
+    size_t read_hw = 0;
+    size_t write_hw = 0;
+    size_t locks_hw = 0;
+    bool in_use = false;  // one active transaction per worker
+
+    void BeginTxn() {
+      read_hw = std::max(read_hw, read_set.size());
+      write_hw = std::max(write_hw, write_set.size());
+      locks_hw = std::max(locks_hw, locks.size());
+      read_set.clear();
+      write_set.clear();
+      locks.clear();
+      amap.Clear();
+      read_set.reserve(read_hw);
+      write_set.reserve(write_hw);
+      locks.reserve(locks_hw);
+    }
   };
 
   Txn(Worker* worker, bool read_only);
@@ -199,19 +238,30 @@ class Txn {
   void CreateDramVersion(TableId table, TupleHeader* header);
 
   // Installs write_ts = tid and releases the tuple (Algorithm 1 line 5).
-  void FinalizeTuple(TupleHeader* header);
+  void FinalizeTuple(PmOffset tuple, TupleHeader* header);
 
   // Out-of-place apply helpers: stamp a committed version / retire the
   // superseded head while preserving its creation timestamp.
   void StampCommitted(TupleHeader* header);
-  void RetireOldVersion(TupleHeader* header, bool superseded);
+  void RetireOldVersion(PmOffset tuple, TupleHeader* header, bool superseded);
 
   // The tuple's commit timestamp under the current scheme.
   uint64_t WriteTsOf(TupleHeader* header) const;
 
   bool EnsureSlot();
-  LockEntry* FindLock(TupleHeader* header);
+
+  // O(1) access-set queries via the per-transaction map (keyed by tuple
+  // offset, which identifies the header uniquely across all heaps).
+  LockEntry* FindLock(PmOffset tuple);
   bool WriteSetContains(PmOffset tuple) const;
+
+  // Records locks_.back() / write_set_.back() in the access map.
+  void RegisterLock(PmOffset tuple);
+  void RegisterWrite(PmOffset tuple);
+
+  // Drops the tuple's lock entry (if any) so rollback won't touch it again.
+  void ForgetLock(PmOffset tuple);
+
   void ReleaseLocks();
   void MaybeCrash(CrashPoint point);
 
@@ -223,9 +273,11 @@ class Txn {
   bool read_only_;
   bool active_ = true;
   bool slot_open_ = false;
-  std::vector<ReadEntry> read_set_;
-  std::vector<WriteEntry> write_set_;
-  std::vector<LockEntry> locks_;  // 2PL locks / TO write locks held
+  // Access-set storage lives in the worker's scratch arena (see Scratch).
+  std::vector<ReadEntry>& read_set_;
+  std::vector<WriteEntry>& write_set_;
+  std::vector<LockEntry>& locks_;  // 2PL locks / TO write locks held
+  AccessMap& amap_;
 };
 
 // Per-thread session: simulation context, small log window, hot tuple set,
@@ -253,6 +305,7 @@ class Worker {
   HotTupleSet hot_;
   VersionHeap versions_;
   WorkerStats stats_;
+  Txn::Scratch scratch_;  // reused access-set storage (one live txn at a time)
 };
 
 class Engine {

@@ -3,6 +3,7 @@
 // commit, snapshot reads, and rollback.
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 #include "src/cc/locks.h"
@@ -10,7 +11,18 @@
 
 namespace falcon {
 
-Txn::Txn(Worker* worker, bool read_only) : worker_(worker), read_only_(read_only) {
+Txn::Txn(Worker* worker, bool read_only)
+    : worker_(worker),
+      read_only_(read_only),
+      read_set_(worker->scratch_.read_set),
+      write_set_(worker->scratch_.write_set),
+      locks_(worker->scratch_.locks),
+      amap_(worker->scratch_.amap) {
+  // One live transaction per worker: the access sets live in the worker's
+  // scratch arena, which Begin() recycles.
+  assert(!worker_->scratch_.in_use && "one active Txn per Worker");
+  worker_->scratch_.BeginTxn();
+  worker_->scratch_.in_use = true;
   Engine* engine = worker_->engine_;
   tid_ = engine->tid_gen_.Next(worker_->id_);
   // Publish before any access: the GC horizon must cover us (§5.4).
@@ -31,17 +43,45 @@ void Txn::MaybeCrash(CrashPoint point) {
     // destructor, which must NOT roll back — a power failure leaves state
     // exactly as-is, and that is what recovery is tested against.
     active_ = false;
+    worker_->scratch_.in_use = false;
     throw TxnCrashed{point};
   }
 }
 
-Txn::LockEntry* Txn::FindLock(TupleHeader* header) {
-  for (auto& lock : locks_) {
-    if (lock.header == header) {
-      return &lock;
-    }
+// ---- O(1) access-set tracking ----------------------------------------------
+//
+// Every query below is a single probe of the per-transaction access map
+// (keyed by tuple offset, which identifies the header uniquely across all
+// heaps because offsets are arena-global).
+
+Txn::LockEntry* Txn::FindLock(PmOffset tuple) {
+  AccessMap::Entry* e = amap_.Find(tuple);
+  if (e == nullptr || e->lock_idx == AccessMap::kNone) {
+    return nullptr;
   }
-  return nullptr;
+  return &locks_[e->lock_idx];
+}
+
+void Txn::RegisterLock(PmOffset tuple) {
+  amap_.Intern(tuple).lock_idx = static_cast<uint32_t>(locks_.size() - 1);
+}
+
+void Txn::RegisterWrite(PmOffset tuple) {
+  const auto idx = static_cast<uint32_t>(write_set_.size() - 1);
+  AccessMap::Entry& e = amap_.Intern(tuple);
+  if (e.write_head == AccessMap::kNone) {
+    e.write_head = idx;
+  } else {
+    write_set_[e.write_tail].next_same = idx;
+  }
+  e.write_tail = idx;
+}
+
+void Txn::ForgetLock(PmOffset tuple) {
+  AccessMap::Entry* e = amap_.Find(tuple);
+  if (e != nullptr && e->lock_idx != AccessMap::kNone) {
+    locks_[e->lock_idx].header = nullptr;
+  }
 }
 
 // ---- Reads ------------------------------------------------------------------
@@ -77,7 +117,7 @@ Status Txn::ReadColumn(TableId table, uint64_t key, uint32_t column, void* out) 
   // simulated cost of the extra bytes is what distinguishes columnar access
   // patterns, and it is charged by Load() below either way. For the large
   // tuples used in §6.4 a stack buffer would not do; reuse a worker scratch.
-  thread_local std::vector<std::byte> scratch;
+  std::vector<std::byte>& scratch = worker_->scratch_.column_buf;
   scratch.resize(meta.tuple_data_size);
   const Status s = Read(table, key, scratch.data());
   if (s != Status::kOk) {
@@ -96,16 +136,21 @@ Status Txn::ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out) {
   const CcScheme scheme = BaseScheme(engine->config().cc);
   const uint64_t gen = engine->lock_generation();
 
-  LockEntry* held = FindLock(header);
+  // One map probe answers both hot-path questions: do we hold the tuple's
+  // lock, and is it already in our write set (own inserts are born locked)?
+  const AccessMap::Entry* access = amap_.Find(tuple);
+  const bool have_lock = access != nullptr && access->lock_idx != AccessMap::kNone;
+  const bool pending_write = access != nullptr && access->write_head != AccessMap::kNone;
 
   switch (scheme) {
     case CcScheme::k2pl: {
-      if (held == nullptr && !WriteSetContains(tuple)) {  // own inserts are born locked
+      if (!have_lock && !pending_write) {
         if (!TryLockRead2pl(header->cc_word, gen)) {
           return Status::kAborted;  // no-wait (§5.2.1)
         }
         ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
         locks_.push_back(LockEntry{header, /*write=*/false});
+        RegisterLock(tuple);
       }
       if (header->key != key) {
         return Status::kNotFound;  // slot recycled under a stale index read
@@ -125,7 +170,7 @@ Status Txn::ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out) {
     }
     case CcScheme::kTo:
     case CcScheme::kOcc: {
-      const bool mine = held != nullptr || WriteSetContains(tuple);
+      const bool mine = have_lock || pending_write;
       uint64_t observed = 0;
       for (int attempt = 0;; ++attempt) {
         observed = header->cc_word.load(std::memory_order_acquire);
@@ -141,7 +186,7 @@ Status Txn::ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out) {
         }
         if (header->key != key || (cur_flags & kTupleDeleted) != 0) {
           if (scheme == CcScheme::kOcc && !mine) {
-            read_set_.push_back(ReadEntry{header, observed});
+            read_set_.push_back(ReadEntry{header, observed, tuple});
           }
           return Status::kNotFound;
         }
@@ -160,7 +205,7 @@ Status Txn::ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out) {
         AdvanceReadTs(header->read_ts, tid_);
         ctx.TouchStore(&header->read_ts, sizeof(uint64_t));
       } else if (!mine) {
-        read_set_.push_back(ReadEntry{header, observed});
+        read_set_.push_back(ReadEntry{header, observed, tuple});
       }
       if (out != nullptr) {
         OverlayPendingWrites(tuple, static_cast<std::byte*>(out), data_size);
@@ -300,21 +345,23 @@ Status Txn::ReadSnapshot(TableId table, uint64_t key, PmOffset tuple, void* out)
 }
 
 bool Txn::WriteSetContains(PmOffset tuple) const {
-  for (const WriteEntry& w : write_set_) {
-    if (w.tuple == tuple) {
-      return true;
-    }
-  }
-  return false;
+  const AccessMap::Entry* e = amap_.Find(tuple);
+  return e != nullptr && e->write_head != AccessMap::kNone;
 }
 
 void Txn::OverlayPendingWrites(PmOffset tuple, std::byte* buf, uint32_t data_size) {
+  // Replays exactly this tuple's write entries (chained by index, in program
+  // order) onto the freshly read image — read-own-writes in O(k) where k is
+  // the number of writes to THIS tuple, not the whole write set.
+  const AccessMap::Entry* e = amap_.Find(tuple);
+  if (e == nullptr || e->write_head == AccessMap::kNone) {
+    return;
+  }
   Engine* engine = worker_->engine_;
-  for (const WriteEntry& w : write_set_) {
-    if (w.tuple != tuple) {
-      continue;
-    }
-    if (engine->config().update_mode == UpdateMode::kOutOfPlace) {
+  const bool out_of_place = engine->config().update_mode == UpdateMode::kOutOfPlace;
+  for (uint32_t i = e->write_head; i != AccessMap::kNone; i = write_set_[i].next_same) {
+    const WriteEntry& w = write_set_[i];
+    if (out_of_place) {
       if (w.kind == LogOpKind::kUpdate && w.new_version != kNullPm) {
         TupleHeader* nh = engine->table_heap(w.table).Header(w.new_version);
         std::memcpy(buf, TupleData(nh), data_size);
@@ -369,8 +416,12 @@ Status Txn::AdmitWrite(PmOffset tuple, TupleHeader* header, uint64_t* observed_o
   ThreadContext& ctx = worker_->ctx_;
   const CcScheme scheme = BaseScheme(engine->config().cc);
   const uint64_t gen = engine->lock_generation();
-  LockEntry* held = FindLock(header);
-  const bool pending = WriteSetContains(tuple);  // e.g. our own fresh insert
+  const AccessMap::Entry* access = amap_.Find(tuple);
+  LockEntry* held = access != nullptr && access->lock_idx != AccessMap::kNone
+                        ? &locks_[access->lock_idx]
+                        : nullptr;
+  const bool pending =  // e.g. our own fresh insert
+      access != nullptr && access->write_head != AccessMap::kNone;
 
   switch (scheme) {
     case CcScheme::k2pl: {
@@ -387,6 +438,7 @@ Status Txn::AdmitWrite(PmOffset tuple, TupleHeader* header, uint64_t* observed_o
           return Status::kAborted;
         }
         locks_.push_back(LockEntry{header, /*write=*/true});
+        RegisterLock(tuple);
       }
       ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
       *observed_out = header->read_ts.load(std::memory_order_acquire);  // old write_ts
@@ -408,17 +460,16 @@ Status Txn::AdmitWrite(PmOffset tuple, TupleHeader* header, uint64_t* observed_o
         return Status::kAborted;
       }
       locks_.push_back(LockEntry{header, /*write=*/true, pre_ts});
+      RegisterLock(tuple);
       *observed_out = pre_ts;
       return Status::kOk;
     }
     case CcScheme::kOcc: {
       // Reuse the first observation for repeated writes to the same tuple
       // (including our own fresh inserts, which are born locked).
-      for (const WriteEntry& w : write_set_) {
-        if (w.tuple == tuple) {
-          *observed_out = w.observed;
-          return Status::kOk;
-        }
+      if (pending) {
+        *observed_out = write_set_[access->write_head].observed;
+        return Status::kOk;
       }
       const uint64_t word = header->cc_word.load(std::memory_order_acquire);
       if (IsLockedTs(word)) {
@@ -486,6 +537,7 @@ Status Txn::WriteIntent(TableId table, uint64_t key, LogOpKind kind, uint32_t of
   }
   write_set_.push_back(WriteEntry{table, key, tuple, kind, offset, len, payload_pos, observed,
                                   kNullPm});
+  RegisterWrite(tuple);
   ++worker_->stats_.writes;
   return Status::kOk;
 }
@@ -501,16 +553,21 @@ Status Txn::OutOfPlaceIntent(TableId table, uint64_t key, PmOffset tuple, LogOpK
   if (kind == LogOpKind::kDelete) {
     write_set_.push_back(
         WriteEntry{table, key, tuple, kind, 0, 0, 0, observed, kNullPm});
+    RegisterWrite(tuple);
     ++worker_->stats_.writes;
     return Status::kOk;
   }
 
-  // Repeated update of the same tuple: overlay onto the pending version.
-  for (WriteEntry& w : write_set_) {
-    if (w.tuple == tuple && w.kind == LogOpKind::kUpdate) {
-      TupleHeader* nh = heap.Header(w.new_version);
-      ctx.Store(TupleData(nh) + offset, value, len);
-      return Status::kOk;
+  // Repeated update of the same tuple: overlay onto the pending version
+  // (found via the tuple's write chain in the access map).
+  if (const AccessMap::Entry* access = amap_.Find(tuple); access != nullptr) {
+    for (uint32_t i = access->write_head; i != AccessMap::kNone; i = write_set_[i].next_same) {
+      WriteEntry& w = write_set_[i];
+      if (w.kind == LogOpKind::kUpdate) {
+        TupleHeader* nh = heap.Header(w.new_version);
+        ctx.Store(TupleData(nh) + offset, value, len);
+        return Status::kOk;
+      }
     }
   }
 
@@ -540,6 +597,7 @@ Status Txn::OutOfPlaceIntent(TableId table, uint64_t key, PmOffset tuple, LogOpK
 
   write_set_.push_back(
       WriteEntry{table, key, tuple, kind, offset, len, 0, observed, fresh});
+  RegisterWrite(tuple);
   ++worker_->stats_.writes;
   return Status::kOk;
 }
@@ -599,6 +657,7 @@ Status Txn::Insert(TableId table, uint64_t key, const void* data) {
     }
     write_set_.push_back(WriteEntry{table, key, existing, LogOpKind::kInsert, 0, data_size,
                                     payload_pos, observed, kNullPm});
+    RegisterWrite(existing);
     ++worker_->stats_.writes;
     return Status::kOk;
   }
@@ -644,6 +703,7 @@ Status Txn::Insert(TableId table, uint64_t key, const void* data) {
   }
   // len == 0 marks a fresh insert; revivals carry len == data_size.
   write_set_.push_back(WriteEntry{table, key, fresh, LogOpKind::kInsert, 0, 0, 0, 0, kNullPm});
+  RegisterWrite(fresh);
   ++worker_->stats_.writes;
   return Status::kOk;
 }
@@ -655,14 +715,31 @@ Status Txn::Scan(TableId table, uint64_t start_key, uint64_t end_key, size_t lim
     return Status::kAborted;
   }
   worker_->ctx_.Work(engine->config().cost_params.op_overhead_ns);
-  std::vector<IndexEntry> entries;
+  // Entry list and row buffer come from the worker scratch so repeated scans
+  // allocate nothing. A visitor that issues a nested Scan would alias the
+  // scratch, so nested scans fall back to local storage.
+  Scratch& scratch = worker_->scratch_;
+  const bool nested = scratch.scan_depth > 0;
+  struct DepthGuard {
+    uint32_t& depth;
+    explicit DepthGuard(uint32_t& d) : depth(d) { ++depth; }
+    ~DepthGuard() { --depth; }
+  } depth_guard(scratch.scan_depth);
+  std::vector<IndexEntry> local_entries;
+  std::vector<IndexEntry>& entries = nested ? local_entries : scratch.scan_entries;
+  entries.clear();
   const Status s =
       engine->table_index(table).Scan(worker_->ctx_, start_key, end_key, limit, entries);
   if (s != Status::kOk) {
     return s;
   }
   const auto data_size = engine->table_meta(table).tuple_data_size;
-  std::vector<std::byte> buf(data_size);
+  std::vector<std::byte> local_buf;
+  std::vector<std::byte>& buf = nested ? local_buf : scratch.scan_buf;
+  buf.resize(data_size);
+  // Visitor-driven read-set growth: each visited tuple may append one OCC
+  // read entry, so reserve once up front instead of growing mid-scan.
+  read_set_.reserve(read_set_.size() + entries.size());
   for (const IndexEntry& entry : entries) {
     Status rs;
     if (read_only_ && IsMultiVersion(engine->config().cc)) {
@@ -703,6 +780,7 @@ Status Txn::Commit() {
   }
 
   active_ = false;
+  worker_->scratch_.in_use = false;
   engine->active_tids_.Clear(worker_->id_);
   ++worker_->stats_.commits;
 
@@ -750,7 +828,7 @@ void Txn::CreateDramVersion(TableId table, TupleHeader* header) {
   worker_->versions_.Enqueue(version);
 }
 
-void Txn::FinalizeTuple(TupleHeader* header) {
+void Txn::FinalizeTuple(PmOffset tuple, TupleHeader* header) {
   // Install write_ts = tid and release the tuple (Algorithm 1 line 5).
   Engine* engine = worker_->engine_;
   const CcScheme scheme = BaseScheme(engine->config().cc);
@@ -762,11 +840,7 @@ void Txn::FinalizeTuple(TupleHeader* header) {
   }
   worker_->ctx_.TouchStore(header, sizeof(uint64_t) * 2);
   // Drop from the held-locks list so rollback won't touch it again.
-  for (auto& lock : locks_) {
-    if (lock.header == header && lock.write) {
-      lock.header = nullptr;
-    }
-  }
+  ForgetLock(tuple);
 }
 
 Status Txn::CommitInPlace() {
@@ -791,7 +865,7 @@ Status Txn::CommitInPlace() {
         continue;  // fresh inserts are born locked; revivals validate below
       }
       TupleHeader* header = engine->table_heap(w.table).Header(w.tuple);
-      if (FindLock(header) != nullptr) {
+      if (FindLock(w.tuple) != nullptr) {
         continue;  // already locked for an earlier entry
       }
       uint64_t pre_ts = 0;
@@ -801,6 +875,7 @@ Status Txn::CommitInPlace() {
       }
       ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
       locks_.push_back(LockEntry{header, /*write=*/true, pre_ts});
+      RegisterLock(w.tuple);
       // Raw-word comparison: a set retired bit is a real change (the
       // version was superseded since we observed it).
       if (pre_ts != w.observed) {
@@ -816,7 +891,7 @@ Status Txn::CommitInPlace() {
       }
       // Locked by us with an unchanged timestamp is still valid.
       if (IsLockedTs(now) && TsOf(now) == TsOf(r.observed) &&
-          FindLock(r.header) != nullptr) {
+          FindLock(r.tuple) != nullptr) {
         continue;
       }
       Abort();
@@ -840,20 +915,11 @@ Status Txn::CommitInPlace() {
     TupleHeap& heap = engine->table_heap(w.table);
     TupleHeader* header = heap.Header(w.tuple);
 
-    bool first_for_tuple = true;
-    for (size_t j = 0; j < i; ++j) {
-      if (write_set_[j].tuple == w.tuple) {
-        first_for_tuple = false;
-        break;
-      }
-    }
-    bool last_for_tuple = true;
-    for (size_t j = i + 1; j < n; ++j) {
-      if (write_set_[j].tuple == w.tuple) {
-        last_for_tuple = false;
-        break;
-      }
-    }
+    // First/last write for this tuple in program order, straight from the
+    // access map's per-tuple chain endpoints.
+    const AccessMap::Entry* access = amap_.Find(w.tuple);
+    const bool first_for_tuple = access->write_head == static_cast<uint32_t>(i);
+    const bool last_for_tuple = access->write_tail == static_cast<uint32_t>(i);
 
     if (mv && first_for_tuple && w.kind != LogOpKind::kInsert) {
       CreateDramVersion(w.table, header);
@@ -894,7 +960,7 @@ Status Txn::CommitInPlace() {
     }
 
     if (last_for_tuple) {
-      FinalizeTuple(header);
+      FinalizeTuple(w.tuple, header);
     }
     if (i == 0) {
       MaybeCrash(CrashPoint::kMidApply);
@@ -910,15 +976,8 @@ Status Txn::CommitInPlace() {
   if (cfg.flush_policy != FlushPolicy::kNone) {
     for (size_t i = 0; i < n; ++i) {
       const WriteEntry& w = write_set_[i];
-      bool first_for_tuple = true;
-      for (size_t j = 0; j < i; ++j) {
-        if (write_set_[j].tuple == w.tuple) {
-          first_for_tuple = false;
-          break;
-        }
-      }
-      if (!first_for_tuple) {
-        continue;
+      if (amap_.Find(w.tuple)->write_head != static_cast<uint32_t>(i)) {
+        continue;  // only the first entry per tuple issues the hinted flush
       }
       if (cfg.flush_policy == FlushPolicy::kSelective && worker_->hot_.Contains(w.tuple)) {
         continue;  // hot tuples are never manually flushed
@@ -964,7 +1023,7 @@ void Txn::StampCommitted(TupleHeader* header) {
   worker_->ctx_.TouchStore(header, sizeof(uint64_t) * 2);
 }
 
-void Txn::RetireOldVersion(TupleHeader* header, bool superseded) {
+void Txn::RetireOldVersion(PmOffset tuple, TupleHeader* header, bool superseded) {
   // Unlocks the retired head while PRESERVING its creation timestamp —
   // snapshot readers still need it for visibility (§5.2.3). The retired bit
   // (or the 2PL unlock) changes the word so concurrent optimistic readers
@@ -982,11 +1041,7 @@ void Txn::RetireOldVersion(TupleHeader* header, bool superseded) {
     header->cc_word.store(TsOf(word) | kCcRetiredBit, std::memory_order_release);
   }
   worker_->ctx_.TouchStore(header, sizeof(uint64_t) * 2);
-  for (auto& lock : locks_) {
-    if (lock.header == header) {
-      lock.header = nullptr;
-    }
-  }
+  ForgetLock(tuple);
 }
 
 Status Txn::CommitOutOfPlace() {
@@ -1007,7 +1062,7 @@ Status Txn::CommitOutOfPlace() {
         continue;
       }
       TupleHeader* header = engine->table_heap(w.table).Header(w.tuple);
-      if (FindLock(header) != nullptr) {
+      if (FindLock(w.tuple) != nullptr) {
         continue;
       }
       uint64_t pre_ts = 0;
@@ -1017,6 +1072,7 @@ Status Txn::CommitOutOfPlace() {
       }
       ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
       locks_.push_back(LockEntry{header, /*write=*/true, pre_ts});
+      RegisterLock(w.tuple);
       // Raw-word comparison: a set retired bit is a real change (the
       // version was superseded since we observed it).
       if (pre_ts != w.observed) {
@@ -1029,7 +1085,7 @@ Status Txn::CommitOutOfPlace() {
       ctx.TouchLoad(r.header, sizeof(uint64_t));
       if (now != r.observed &&
           !(IsLockedTs(now) && TsOf(now) == TsOf(r.observed) &&
-            FindLock(r.header) != nullptr)) {
+            FindLock(r.tuple) != nullptr)) {
         Abort();
         return Status::kAborted;
       }
@@ -1072,7 +1128,7 @@ Status Txn::CommitOutOfPlace() {
         // once no snapshot can need it. A revived tombstone predecessor is
         // already on the deleted list.
         TupleHeader* oh = heap.Header(w.tuple);
-        RetireOldVersion(oh, /*superseded=*/true);
+        RetireOldVersion(w.tuple, oh, /*superseded=*/true);
         if ((oh->flags.load(std::memory_order_acquire) & kTupleDeleted) == 0) {
           heap.MarkDeleted(ctx, w.tuple, tid_);
         }
@@ -1089,7 +1145,7 @@ Status Txn::CommitOutOfPlace() {
         // delete must still see it); deletion visibility comes from the
         // flag + delete_ts.
         TupleHeader* oh = heap.Header(w.tuple);
-        RetireOldVersion(oh, /*superseded=*/false);
+        RetireOldVersion(w.tuple, oh, /*superseded=*/false);
         heap.MarkDeleted(ctx, w.tuple, tid_);
         if (engine->tuple_cache_ != nullptr) {
           engine->tuple_cache_->Invalidate(ctx, w.table, w.key);
@@ -1167,11 +1223,7 @@ void Txn::Abort() {
       }
       heap.MarkDeleted(ctx, w.tuple, /*delete_tid=*/0);
       // Its born-locked state dies with the slot (reinitialized on reuse).
-      for (auto& lock : locks_) {
-        if (lock.header == heap.Header(w.tuple)) {
-          lock.header = nullptr;
-        }
-      }
+      ForgetLock(w.tuple);
     } else if (w.new_version != kNullPm) {
       heap.MarkDeleted(ctx, w.new_version, /*delete_tid=*/0);
     }
@@ -1181,6 +1233,7 @@ void Txn::Abort() {
     worker_->log_->Release(ctx);
   }
   active_ = false;
+  worker_->scratch_.in_use = false;
   engine->active_tids_.Clear(worker_->id_);
   ++worker_->stats_.aborts;
 }

@@ -44,16 +44,31 @@ class IndexSpace {
   // True if allocations live in the persistent arena.
   virtual bool persistent() const = 0;
 
+  // Handle translation runs on every node visit of every index operation,
+  // so the concrete spaces (both of which map handles linearly: NVM is
+  // arena base + offset, DRAM is identity) publish their base address and
+  // As() skips the virtual dispatch. Ptr() remains the general path.
   template <typename T>
   T* As(IndexHandle handle) const {
+    if (linear_) {
+      return handle == kNullHandle ? nullptr
+                                   : reinterpret_cast<T*>(linear_base_ + handle);
+    }
     return static_cast<T*>(Ptr(handle));
   }
+
+ protected:
+  uintptr_t linear_base_ = 0;
+  bool linear_ = false;
 };
 
 // Allocates index nodes from dedicated NVM arena pages.
 class NvmIndexSpace final : public IndexSpace {
  public:
-  explicit NvmIndexSpace(NvmArena* arena) : arena_(arena) {}
+  explicit NvmIndexSpace(NvmArena* arena) : arena_(arena) {
+    linear_base_ = reinterpret_cast<uintptr_t>(arena_->device()->base());
+    linear_ = true;
+  }
 
   IndexHandle Alloc(ThreadContext& ctx, size_t bytes, size_t align) override;
   void* Ptr(IndexHandle handle) const override { return arena_->Ptr<void>(handle); }
@@ -68,7 +83,7 @@ class NvmIndexSpace final : public IndexSpace {
 // Allocates index nodes from DRAM chunks owned by the space.
 class DramIndexSpace final : public IndexSpace {
  public:
-  DramIndexSpace() = default;
+  DramIndexSpace() { linear_ = true; }  // handles are object addresses
   ~DramIndexSpace() override;
 
   DramIndexSpace(const DramIndexSpace&) = delete;

@@ -27,24 +27,29 @@ uint64_t LinesCovered(uintptr_t addr, size_t len) {
 
 CacheModel::CacheModel(NvmDevice* device, CacheGeometry geometry, CostParams params)
     : device_(device), geometry_(geometry), params_(params) {
-  lines_.resize(static_cast<size_t>(geometry_.sets) * geometry_.ways);
-}
-
-uint32_t CacheModel::FindWay(const Line* set, uint64_t line_tag) const {
-  for (uint32_t w = 0; w < geometry_.ways; ++w) {
-    if (set[w].valid && set[w].tag == line_tag) {
-      return w;
-    }
+  const size_t n = static_cast<size_t>(geometry_.sets) * geometry_.ways;
+  lines_.assign(n, LineSlot{});
+  dirty_.assign(n, 0);
+  sets_pow2_ = geometry_.sets != 0 && (geometry_.sets & (geometry_.sets - 1)) == 0;
+  set_mask_ = sets_pow2_ ? geometry_.sets - 1 : 0;
+  // Hint table: power-of-two size covering every slot once (capped so a
+  // huge model does not double its footprint). All-zero is a valid initial
+  // state — slot 0 starts with kInvalidTag, and lookups validate anyway.
+  size_t hint_size = 64;
+  while (hint_size < n && hint_size < (size_t{1} << 20)) {
+    hint_size <<= 1;
   }
-  return kNoWay;
+  hint_.assign(hint_size, 0);
+  hint_mask_ = hint_size - 1;
 }
 
-void CacheModel::WritebackLine(const Line& line) {
+
+void CacheModel::WritebackLineAddr(uint64_t line_tag) {
   // clwb path: the program flushed this line deliberately, so it reaches the
   // device in program order (mergeable with its neighbors).
-  const uintptr_t addr = line.tag * kCacheLineSize;
+  const uintptr_t addr = line_tag * kCacheLineSize;
   if (device_ != nullptr && device_->Contains(reinterpret_cast<const void*>(addr))) {
-    device_->LineWrite(addr);
+    device_->LineWrite(addr, counters_);
   }
   // Dirty DRAM lines write back to DRAM; that traffic is not modeled.
 }
@@ -55,46 +60,48 @@ void CacheModel::PoolEvictedLine(uintptr_t line_addr) {
   }
   eviction_pool_.push_back(line_addr);
   if (eviction_pool_.size() >= kEvictionPoolSize) {
-    // Release a random pooled line: eviction order is uncontrollable.
-    const uint64_t pick = SplitMix64(pool_rng_) % eviction_pool_.size();
+    // Release a random pooled line: eviction order is uncontrollable. The
+    // pool holds exactly kEvictionPoolSize entries here (it never grows
+    // past the threshold), so the mask is the same as a modulo.
+    static_assert((kEvictionPoolSize & (kEvictionPoolSize - 1)) == 0);
+    const uint64_t pick = SplitMix64(pool_rng_) & (kEvictionPoolSize - 1);
     std::swap(eviction_pool_[pick], eviction_pool_.back());
-    device_->LineWrite(eviction_pool_.back());
+    device_->LineWrite(eviction_pool_.back(), counters_);
     eviction_pool_.pop_back();
   }
 }
 
 void CacheModel::FlushEvictionPool() {
   for (const uintptr_t addr : eviction_pool_) {
-    device_->LineWrite(addr);
+    device_->LineWrite(addr, counters_);
   }
   eviction_pool_.clear();
 }
 
-uint32_t CacheModel::EvictVictim(Line* set) {
+uint32_t CacheModel::EvictVictim(size_t base) {
   uint32_t victim = 0;
   uint64_t oldest = UINT64_MAX;
   for (uint32_t w = 0; w < geometry_.ways; ++w) {
-    if (!set[w].valid) {
+    if (lines_[base + w].tag == kInvalidTag) {
       return w;
     }
-    if (set[w].last_use < oldest) {
-      oldest = set[w].last_use;
+    if (lines_[base + w].last_use < oldest) {
+      oldest = lines_[base + w].last_use;
       victim = w;
     }
   }
-  if (set[victim].dirty) {
+  if (dirty_[base + victim] != 0) {
     ++stats_.dirty_evictions;
-    PoolEvictedLine(set[victim].tag * kCacheLineSize);
+    PoolEvictedLine(lines_[base + victim].tag * kCacheLineSize);
   }
-  set[victim].valid = false;
+  lines_[base + victim].tag = kInvalidTag;
   return victim;
 }
 
 uint64_t CacheModel::TouchLine(uint64_t line_tag, bool is_store, bool* prev_missed) {
-  Line* set = &lines_[static_cast<size_t>(line_tag % geometry_.sets) * geometry_.ways];
-  uint32_t way = FindWay(set, line_tag);
+  size_t slot = FindSlotHinted(line_tag);
   uint64_t cost = 0;
-  if (way != kNoWay) {
+  if (slot != SIZE_MAX) {
     ++stats_.hits;
     cost = params_.cache_hit_ns;
     *prev_missed = false;
@@ -115,36 +122,65 @@ uint64_t CacheModel::TouchLine(uint64_t line_tag, bool is_store, bool* prev_miss
       cost = nvm ? params_.nvm_miss_ns : params_.dram_miss_ns;
     }
     *prev_missed = true;
-    way = EvictVictim(set);
-    set[way].tag = line_tag;
-    set[way].valid = true;
-    set[way].dirty = false;
+    const size_t base = SetBase(line_tag);
+    const uint32_t way = EvictVictim(base);
+    slot = base + way;
+    lines_[slot].tag = line_tag;
+    dirty_[slot] = 0;
+    hint_[line_tag & hint_mask_] = static_cast<uint32_t>(slot);
   }
-  set[way].last_use = ++use_clock_;
+  lines_[slot].last_use = ++use_clock_;
   if (is_store) {
-    set[way].dirty = true;
+    dirty_[slot] = 1;
     cost += params_.store_issue_ns;
   }
   return cost;
 }
 
-uint64_t CacheModel::OnStore(uintptr_t addr, size_t len) {
+uint64_t CacheModel::OnStoreSlow(uintptr_t addr, size_t len) {
   const uint64_t first = LineTagOf(addr);
   const uint64_t n = LinesCovered(addr, len);
   uint64_t cost = 0;
+  // Hint-hit leading lines: same bookkeeping as TouchLine's hit path with
+  // the dispatch hoisted out of the loop. Most spans are fully resident.
+  uint64_t i = 0;
+  for (; i < n; ++i) {
+    const uint64_t tag = first + i;
+    const uint32_t s = hint_[tag & hint_mask_];
+    LineSlot& ls = lines_[s];
+    if (ls.tag != tag) {
+      break;
+    }
+    ++stats_.hits;
+    ls.last_use = ++use_clock_;
+    dirty_[s] = 1;
+    cost += params_.cache_hit_ns + params_.store_issue_ns;
+  }
   bool prev_missed = false;
-  for (uint64_t i = 0; i < n; ++i) {
+  for (; i < n; ++i) {
     cost += TouchLine(first + i, /*is_store=*/true, &prev_missed);
   }
   return cost;
 }
 
-uint64_t CacheModel::OnLoad(uintptr_t addr, size_t len) {
+uint64_t CacheModel::OnLoadSlow(uintptr_t addr, size_t len) {
   const uint64_t first = LineTagOf(addr);
   const uint64_t n = LinesCovered(addr, len);
   uint64_t cost = 0;
+  uint64_t i = 0;
+  for (; i < n; ++i) {
+    const uint64_t tag = first + i;
+    const uint32_t s = hint_[tag & hint_mask_];
+    LineSlot& ls = lines_[s];
+    if (ls.tag != tag) {
+      break;
+    }
+    ++stats_.hits;
+    ls.last_use = ++use_clock_;
+    cost += params_.cache_hit_ns;
+  }
   bool prev_missed = false;
-  for (uint64_t i = 0; i < n; ++i) {
+  for (; i < n; ++i) {
     cost += TouchLine(first + i, /*is_store=*/false, &prev_missed);
   }
   return cost;
@@ -156,14 +192,13 @@ uint64_t CacheModel::Clwb(uintptr_t addr, size_t len) {
   uint64_t cost = 0;
   for (uint64_t i = 0; i < n; ++i) {
     const uint64_t line_tag = first + i;
-    Line* set = &lines_[static_cast<size_t>(line_tag % geometry_.sets) * geometry_.ways];
-    const uint32_t way = FindWay(set, line_tag);
+    const size_t slot = FindSlotHinted(line_tag);
     cost += params_.clwb_issue_ns;
-    if (way != kNoWay && set[way].dirty) {
+    if (slot != SIZE_MAX && dirty_[slot] != 0) {
       ++stats_.clwb_writebacks;
-      WritebackLine(set[way]);
+      WritebackLineAddr(line_tag);
       // clwb retains the line in cache in a clean state.
-      set[way].dirty = false;
+      dirty_[slot] = 0;
     }
   }
   return cost;
@@ -181,39 +216,36 @@ void CacheModel::WritebackAll() {
   // uncontrollable-order penalty genuinely applies.
   FlushEvictionPool();
   std::vector<uint64_t> dirty_tags;
-  for (auto& line : lines_) {
-    if (line.valid && line.dirty) {
-      dirty_tags.push_back(line.tag);
-      line.dirty = false;
+  for (size_t i = 0; i < lines_.size(); ++i) {
+    if (lines_[i].tag != kInvalidTag && dirty_[i] != 0) {
+      dirty_tags.push_back(lines_[i].tag);
+      dirty_[i] = 0;
     }
   }
   std::sort(dirty_tags.begin(), dirty_tags.end());
   for (const uint64_t tag : dirty_tags) {
-    Line ordered;
-    ordered.tag = tag;
-    WritebackLine(ordered);
+    WritebackLineAddr(tag);
   }
 }
 
 void CacheModel::InvalidateAll() {
   eviction_pool_.clear();
-  for (auto& line : lines_) {
-    line.valid = false;
-    line.dirty = false;
+  for (LineSlot& ls : lines_) {
+    ls.tag = kInvalidTag;
   }
+  std::fill(dirty_.begin(), dirty_.end(), uint8_t{0});
 }
 
 bool CacheModel::IsResident(uintptr_t addr) const {
   const uint64_t line_tag = LineTagOf(addr);
-  const Line* set = &lines_[static_cast<size_t>(line_tag % geometry_.sets) * geometry_.ways];
-  return FindWay(set, line_tag) != kNoWay;
+  return FindWay(SetBase(line_tag), line_tag) != kNoWay;
 }
 
 bool CacheModel::IsDirty(uintptr_t addr) const {
   const uint64_t line_tag = LineTagOf(addr);
-  const Line* set = &lines_[static_cast<size_t>(line_tag % geometry_.sets) * geometry_.ways];
-  const uint32_t way = FindWay(set, line_tag);
-  return way != kNoWay && set[way].dirty;
+  const size_t base = SetBase(line_tag);
+  const uint32_t way = FindWay(base, line_tag);
+  return way != kNoWay && dirty_[base + way] != 0;
 }
 
 }  // namespace falcon

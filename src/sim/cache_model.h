@@ -5,6 +5,15 @@
 // to decide which accesses hit, when dirty lines are evicted to the NVM
 // device, and what each operation costs on the thread's simulated clock.
 //
+// This is the single hottest code in the simulator (every engine memory touch
+// runs a set lookup), so the lookup is tuned for the host: a direct-mapped
+// hint table short-circuits the way scan for recently touched lines, each
+// slot packs its tag and LRU stamp into one 16-byte record (the validate
+// and the recency update share a host cache line), and the set index is a
+// mask (not a divide) when the set count is a power of two. None of this
+// changes modeled behavior — hits, misses, evictions, and costs are
+// identical to the straightforward implementation.
+//
 // Persistence semantics under eADR are exact without buffering data: a crash
 // flushes caches, so the arena contents already equal the persistent image.
 // For ADR semantics (dirty lines lost on crash) see
@@ -39,13 +48,44 @@ class CacheModel {
   CacheModel& operator=(const CacheModel&) = delete;
   CacheModel(CacheModel&&) = default;
 
+  // Routes device counter increments into a per-thread block (see
+  // DeviceCounterBlock). nullptr (the default) uses the device's shard
+  // counters. The block must outlive the model.
+  void set_counter_block(DeviceCounterBlock* block) { counters_ = block; }
+
   // Store of `len` bytes at `addr`; marks the covered lines dirty. Returns
-  // the simulated cost in ns.
-  uint64_t OnStore(uintptr_t addr, size_t len);
+  // the simulated cost in ns. Inlined fast path: most engine touches cover a
+  // single already-resident line.
+  uint64_t OnStore(uintptr_t addr, size_t len) {
+    const uint64_t line_tag = addr / kCacheLineSize;
+    if (len != 0 && (addr + len - 1) / kCacheLineSize == line_tag) {
+      const uint32_t slot = hint_[line_tag & hint_mask_];
+      LineSlot& ls = lines_[slot];
+      if (ls.tag == line_tag) {
+        ++stats_.hits;
+        ls.last_use = ++use_clock_;
+        dirty_[slot] = 1;
+        return params_.cache_hit_ns + params_.store_issue_ns;
+      }
+    }
+    return OnStoreSlow(addr, len);
+  }
 
   // Load of `len` bytes at `addr`. Misses cost DRAM or NVM latency depending
   // on whether the line is inside the device arena.
-  uint64_t OnLoad(uintptr_t addr, size_t len);
+  uint64_t OnLoad(uintptr_t addr, size_t len) {
+    const uint64_t line_tag = addr / kCacheLineSize;
+    if (len != 0 && (addr + len - 1) / kCacheLineSize == line_tag) {
+      const uint32_t slot = hint_[line_tag & hint_mask_];
+      LineSlot& ls = lines_[slot];
+      if (ls.tag == line_tag) {
+        ++stats_.hits;
+        ls.last_use = ++use_clock_;
+        return params_.cache_hit_ns;
+      }
+    }
+    return OnLoadSlow(addr, len);
+  }
 
   // clwb over the covered lines: dirty lines are written back to the device
   // (and stay resident, clean). clwb is asynchronous, so only the issue cost
@@ -72,25 +112,98 @@ class CacheModel {
   const CacheGeometry& geometry() const { return geometry_; }
 
  private:
-  struct Line {
-    uint64_t tag = 0;       // line address (addr / 64)
-    uint64_t last_use = 0;  // LRU timestamp
-    bool valid = false;
-    bool dirty = false;
+  // An invalid way holds this tag; no real line address reaches 2^64/64, so
+  // the validity check folds into the tag compare.
+  static constexpr uint64_t kInvalidTag = UINT64_MAX;
+
+  // One cache line's record. Tag and LRU stamp stay adjacent so a hit's
+  // validate-then-stamp touches a single host cache line.
+  struct LineSlot {
+    uint64_t tag = kInvalidTag;
+    uint64_t last_use = 0;
   };
 
-  // Returns the way index of `line_tag` in its set, or UINT32_MAX.
-  uint32_t FindWay(const Line* set, uint64_t line_tag) const;
+  // Index of the first slot of `line_tag`'s set in the SoA arrays.
+  size_t SetBase(uint64_t line_tag) const {
+    const uint64_t set =
+        sets_pow2_ ? (line_tag & set_mask_) : (line_tag % geometry_.sets);
+    return static_cast<size_t>(set) * geometry_.ways;
+  }
+
+  // Fixed-trip-count scan the compiler can fully unroll: the whole row is
+  // compared branchlessly, then the match is selected. Tags are unique
+  // within a set (and the probe tag is never kInvalidTag), so at most one
+  // way matches.
+  template <uint32_t kWays>
+  static uint32_t FindWayFixed(const LineSlot* row, uint64_t line_tag) {
+    uint32_t found = UINT32_MAX;
+    for (uint32_t w = 0; w < kWays; ++w) {
+      if (row[w].tag == line_tag) {
+        found = w;
+      }
+    }
+    return found;
+  }
+
+  // Returns the way index of `line_tag` within the set starting at `base`,
+  // or UINT32_MAX. Kept in the header so the hot callers inline the whole
+  // dispatch; the way count is fixed per model, so the switch predicts
+  // perfectly.
+  uint32_t FindWay(size_t base, uint64_t line_tag) const {
+    const LineSlot* row = lines_.data() + base;
+    const uint32_t ways = geometry_.ways;
+    switch (ways) {
+      case 16:
+        return FindWayFixed<16>(row, line_tag);
+      case 8:
+        return FindWayFixed<8>(row, line_tag);
+      case 4:
+        return FindWayFixed<4>(row, line_tag);
+      case 2:
+        return FindWayFixed<2>(row, line_tag);
+      default:
+        break;
+    }
+    for (uint32_t w = 0; w < ways; ++w) {
+      if (row[w].tag == line_tag) {
+        return w;
+      }
+    }
+    return UINT32_MAX;
+  }
+
+  uint64_t OnStoreSlow(uintptr_t addr, size_t len);
+  uint64_t OnLoadSlow(uintptr_t addr, size_t len);
+
+  // Slot of `line_tag` if resident, else SIZE_MAX. Consults the hint table
+  // first (exact: a tag maps to one set, so tags_[slot] == line_tag is
+  // authoritative wherever the hint points), falling back to the way scan
+  // and refreshing the hint.
+  size_t FindSlotHinted(uint64_t line_tag) {
+    const size_t h = static_cast<size_t>(line_tag & hint_mask_);
+    const uint32_t hinted = hint_[h];
+    if (lines_[hinted].tag == line_tag) {
+      return hinted;
+    }
+    const size_t base = SetBase(line_tag);
+    const uint32_t way = FindWay(base, line_tag);
+    if (way == UINT32_MAX) {
+      return SIZE_MAX;
+    }
+    hint_[h] = static_cast<uint32_t>(base + way);
+    return base + way;
+  }
 
   // Touches one line for store/load; returns its cost. `prev_missed` tracks
   // whether the previous line of the same span missed (sequential misses
   // overlap in the memory system and cost bandwidth, not latency).
   uint64_t TouchLine(uint64_t line_tag, bool is_store, bool* prev_missed);
 
-  // Evicts the LRU way of `set` to make room; writes back if dirty + NVM.
-  uint32_t EvictVictim(Line* set);
+  // Evicts the LRU way of the set at `base` to make room; writes back if
+  // dirty + NVM. Returns the freed way index.
+  uint32_t EvictVictim(size_t base);
 
-  void WritebackLine(const Line& line);
+  void WritebackLineAddr(uint64_t line_tag);
 
   // Natural (capacity) evictions leave the cache in an order the program
   // cannot control (§4.4: "there is no direct mechanism in modern CPUs to
@@ -106,7 +219,22 @@ class CacheModel {
   NvmDevice* device_;
   CacheGeometry geometry_;
   CostParams params_;
-  std::vector<Line> lines_;  // sets * ways, set-major
+  DeviceCounterBlock* counters_ = nullptr;
+
+  // Line table, set-major: slot = set * ways + way. Dirty bits live in a
+  // dense side array so LineSlot stays a 16-byte power of two.
+  std::vector<LineSlot> lines_;
+  std::vector<uint8_t> dirty_;
+
+  uint64_t set_mask_ = 0;
+  bool sets_pow2_ = false;
+
+  // Direct-mapped hint table: hint_[tag & hint_mask_] is the slot where that
+  // tag was last seen. Hints are advisory — every use validates against
+  // tags_ — so stale entries are harmless and eviction needs no upkeep.
+  std::vector<uint32_t> hint_;
+  uint64_t hint_mask_ = 0;
+
   std::vector<uintptr_t> eviction_pool_;
   uint64_t pool_rng_ = 0x9e3779b97f4a7c15ull;
   uint64_t use_clock_ = 0;

@@ -139,21 +139,33 @@ void NvmDevice::Shard::LruUnlink(uint32_t slot) {
   }
 }
 
-void NvmDevice::DrainBlock(Shard& shard, uint32_t slot) {
+void NvmDevice::DrainBlock(Shard& shard, uint32_t slot, DeviceCounterBlock* local) {
   BufferedBlock& block = shard.slots[slot];
   const bool full = block.line_mask == (1u << kLinesPerBlock) - 1;
-  media_writes_.fetch_add(1, std::memory_order_relaxed);
   uint64_t service = params_.media_write_ns;
-  if (full) {
-    full_drains_.fetch_add(1, std::memory_order_relaxed);
+  if (local != nullptr) {
+    DeviceCounterBlock::Bump(local->media_writes);
+    if (full) {
+      DeviceCounterBlock::Bump(local->full_drains);
+    } else {
+      // Partial block: the XPController must fetch the 256B block from the
+      // media, merge the arrived lines, and write it back (Figure 2, W1).
+      DeviceCounterBlock::Bump(local->media_reads);
+      DeviceCounterBlock::Bump(local->partial_drains);
+      service += params_.media_read_ns;
+    }
+    DeviceCounterBlock::Bump(local->busy_ns, service);
   } else {
-    // Partial block: the XPController must fetch the 256B block from the
-    // media, merge the arrived lines, and write it back (Figure 2, W1).
-    media_reads_.fetch_add(1, std::memory_order_relaxed);
-    partial_drains_.fetch_add(1, std::memory_order_relaxed);
-    service += params_.media_read_ns;
+    ++shard.stats.media_writes;
+    if (full) {
+      ++shard.stats.full_drains;
+    } else {
+      ++shard.stats.media_reads;
+      ++shard.stats.partial_drains;
+      service += params_.media_read_ns;
+    }
+    shard.stats.busy_ns += service;
   }
-  busy_ns_.fetch_add(service, std::memory_order_relaxed);
 
   shard.Erase(block.block_index);
   shard.LruUnlink(slot);
@@ -162,14 +174,21 @@ void NvmDevice::DrainBlock(Shard& shard, uint32_t slot) {
   shard.free_slots.push_back(slot);
 }
 
-void NvmDevice::LineWrite(uintptr_t line_addr) {
-  line_writes_.fetch_add(1, std::memory_order_relaxed);
+void NvmDevice::LineWrite(uintptr_t line_addr, DeviceCounterBlock* local) {
   const uint64_t offset = line_addr - reinterpret_cast<uintptr_t>(base_);
   const uint64_t block_index = offset / kNvmBlockSize;
   const auto line_in_block = static_cast<uint8_t>((offset / kCacheLineSize) % kLinesPerBlock);
 
+  if (local != nullptr) {
+    // Thread-private block: no shared cache line touched for the count.
+    DeviceCounterBlock::Bump(local->line_writes);
+  }
+
   Shard& shard = ShardFor(block_index);
   std::lock_guard<SpinLatch> guard(shard.latch);
+  if (local == nullptr) {
+    ++shard.stats.line_writes;
+  }
 
   // Age-based drain: bounded buffer residency (see kDrainAge). The LRU tail
   // is the least recently touched block; drain every one that has sat idle
@@ -177,17 +196,23 @@ void NvmDevice::LineWrite(uintptr_t line_addr) {
   ++shard.write_ticks;
   while (shard.lru_tail != kNoSlot &&
          shard.write_ticks - shard.slots[shard.lru_tail].last_touch > drain_age_) {
-    DrainBlock(shard, shard.lru_tail);
+    DrainBlock(shard, shard.lru_tail, local);
   }
 
-  uint32_t slot = shard.Lookup(block_index);
+  uint32_t slot;
+  if (shard.mru_slot != kNoSlot && shard.slots[shard.mru_slot].valid &&
+      shard.slots[shard.mru_slot].block_index == block_index) {
+    slot = shard.mru_slot;
+  } else {
+    slot = shard.Lookup(block_index);
+  }
   if (slot == kNoSlot) {
     if (shard.free_slots.empty()) {
       // Buffer full: evict the least recently touched block. Under heavy
       // multi-threaded traffic this is what breaks merging (paper §6.4:
       // "cache thrashing in the underlying cache layer within the NVM
       // module").
-      DrainBlock(shard, shard.lru_tail);
+      DrainBlock(shard, shard.lru_tail, local);
     }
     slot = shard.free_slots.back();
     shard.free_slots.pop_back();
@@ -197,17 +222,18 @@ void NvmDevice::LineWrite(uintptr_t line_addr) {
     block.valid = true;
     shard.Insert(block_index, slot);
     shard.LruPushFront(slot);
-  } else {
+  } else if (shard.lru_head != slot) {
     shard.LruUnlink(slot);
     shard.LruPushFront(slot);
   }
 
+  shard.mru_slot = slot;
   BufferedBlock& block = shard.slots[slot];
   block.last_touch = shard.write_ticks;
   block.line_mask |= static_cast<uint8_t>(1u << line_in_block);
   if (block.line_mask == (1u << kLinesPerBlock) - 1) {
     // All four lines merged: drain immediately as one full media write.
-    DrainBlock(shard, slot);
+    DrainBlock(shard, slot, local);
   }
 }
 
@@ -222,29 +248,53 @@ void NvmDevice::DrainAll() {
     Shard& shard = *shard_ptr;
     std::lock_guard<SpinLatch> guard(shard.latch);
     while (shard.lru_head != kNoSlot) {
-      DrainBlock(shard, shard.lru_head);
+      DrainBlock(shard, shard.lru_head, /*local=*/nullptr);
+    }
+  }
+}
+
+void NvmDevice::RegisterCounters(DeviceCounterBlock* block) {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  blocks_.push_back(block);
+}
+
+void NvmDevice::UnregisterCounters(DeviceCounterBlock* block) {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i] == block) {
+      retired_ += block->Snapshot();
+      blocks_.erase(blocks_.begin() + static_cast<ptrdiff_t>(i));
+      return;
     }
   }
 }
 
 DeviceStats NvmDevice::stats() const {
   DeviceStats s;
-  s.line_writes = line_writes_.load(std::memory_order_relaxed);
-  s.media_writes = media_writes_.load(std::memory_order_relaxed);
-  s.media_reads = media_reads_.load(std::memory_order_relaxed);
-  s.full_drains = full_drains_.load(std::memory_order_relaxed);
-  s.partial_drains = partial_drains_.load(std::memory_order_relaxed);
-  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<SpinLatch> guard(shard.latch);
+    s += shard.stats;
+  }
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  for (const DeviceCounterBlock* block : blocks_) {
+    s += block->Snapshot();
+  }
+  s += retired_;
   return s;
 }
 
 void NvmDevice::ResetStats() {
-  line_writes_.store(0, std::memory_order_relaxed);
-  media_writes_.store(0, std::memory_order_relaxed);
-  media_reads_.store(0, std::memory_order_relaxed);
-  full_drains_.store(0, std::memory_order_relaxed);
-  partial_drains_.store(0, std::memory_order_relaxed);
-  busy_ns_.store(0, std::memory_order_relaxed);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<SpinLatch> guard(shard.latch);
+    shard.stats = DeviceStats{};
+  }
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  for (DeviceCounterBlock* block : blocks_) {
+    block->Zero();
+  }
+  retired_ = DeviceStats{};
 }
 
 }  // namespace falcon

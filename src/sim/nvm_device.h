@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/common/constants.h"
@@ -38,11 +39,60 @@ struct DeviceStats {
   uint64_t partial_drains = 0;  // blocks drained read-modify-write
   uint64_t busy_ns = 0;         // total media service time
 
+  DeviceStats& operator+=(const DeviceStats& o) {
+    line_writes += o.line_writes;
+    media_writes += o.media_writes;
+    media_reads += o.media_reads;
+    full_drains += o.full_drains;
+    partial_drains += o.partial_drains;
+    busy_ns += o.busy_ns;
+    return *this;
+  }
+
   // Bytes of application line writes vs bytes moved on the media.
   double WriteAmplification() const {
     const uint64_t app = line_writes * kCacheLineSize;
     const uint64_t media = (media_writes + media_reads) * kNvmBlockSize;
     return app == 0 ? 0.0 : static_cast<double>(media) / static_cast<double>(app);
+  }
+};
+
+// Per-thread delta counters, registered with the device. Each block has a
+// single writer (its owning simulation thread), so increments are plain
+// load+store with relaxed atomics: the hot loop never touches a cache line
+// shared with another thread. stats() readers see values at most one
+// increment stale, which is fine for reporting.
+struct alignas(kCacheLineSize) DeviceCounterBlock {
+  std::atomic<uint64_t> line_writes{0};
+  std::atomic<uint64_t> media_writes{0};
+  std::atomic<uint64_t> media_reads{0};
+  std::atomic<uint64_t> full_drains{0};
+  std::atomic<uint64_t> partial_drains{0};
+  std::atomic<uint64_t> busy_ns{0};
+
+  // Single-writer increment: no RMW, no lock prefix.
+  static void Bump(std::atomic<uint64_t>& c, uint64_t v = 1) {
+    c.store(c.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+  }
+
+  DeviceStats Snapshot() const {
+    DeviceStats s;
+    s.line_writes = line_writes.load(std::memory_order_relaxed);
+    s.media_writes = media_writes.load(std::memory_order_relaxed);
+    s.media_reads = media_reads.load(std::memory_order_relaxed);
+    s.full_drains = full_drains.load(std::memory_order_relaxed);
+    s.partial_drains = partial_drains.load(std::memory_order_relaxed);
+    s.busy_ns = busy_ns.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Zero() {
+    line_writes.store(0, std::memory_order_relaxed);
+    media_writes.store(0, std::memory_order_relaxed);
+    media_reads.store(0, std::memory_order_relaxed);
+    full_drains.store(0, std::memory_order_relaxed);
+    partial_drains.store(0, std::memory_order_relaxed);
+    busy_ns.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -80,7 +130,10 @@ class NvmDevice {
 
   // A 64B line write arrived at the device (clwb completion or cache
   // eviction). `line_addr` must be line-aligned and inside the arena.
-  void LineWrite(uintptr_t line_addr);
+  // When `local` is non-null, the counters for this write (and any drains it
+  // triggers) accumulate into that per-thread block instead of the shard's
+  // shared counters, so the hot path touches no shared counter lines.
+  void LineWrite(uintptr_t line_addr, DeviceCounterBlock* local = nullptr);
 
   // A cache-miss read of a line. Only used for stats; the latency is charged
   // by the cache model.
@@ -89,10 +142,19 @@ class NvmDevice {
   // Drains every buffered block (e.g. before reading final stats).
   void DrainAll();
 
-  // Snapshot of the cumulative stats (consistent enough for reporting).
+  // Registers a per-thread counter block. The block must stay registered (or
+  // be unregistered) before it is destroyed; Unregister folds its counts into
+  // the device's retired total so stats() stays cumulative.
+  void RegisterCounters(DeviceCounterBlock* block);
+  void UnregisterCounters(DeviceCounterBlock* block);
+
+  // Snapshot of the cumulative stats: per-shard counters plus every
+  // registered per-thread block plus retired blocks (consistent enough for
+  // reporting; quiesce writers for exact totals).
   DeviceStats stats() const;
 
-  // Resets all counters (not the arena or buffered state).
+  // Resets all counters, including registered per-thread blocks (not the
+  // arena or buffered state). Callers should quiesce writer threads first.
   void ResetStats();
 
  private:
@@ -111,10 +173,15 @@ class NvmDevice {
     SpinLatch latch;
     std::vector<BufferedBlock> slots;
     std::vector<uint32_t> free_slots;
+    DeviceStats stats;         // plain counters, mutated under `latch` only
     uint64_t write_ticks = 0;  // line writes seen; drives age-based draining
     // Intrusive LRU list head/tail over slot indexes; UINT32_MAX when empty.
     uint32_t lru_head = UINT32_MAX;
     uint32_t lru_tail = UINT32_MAX;
+    // Last slot served: consecutive line writes usually land in the same
+    // 256B block, so this skips the table probe. Validated against the
+    // slot's `valid` flag and block index before use.
+    uint32_t mru_slot = UINT32_MAX;
     // Open-addressed map from block_index to slot, sized 2x slot count.
     std::vector<uint32_t> table;
 
@@ -130,8 +197,9 @@ class NvmDevice {
   }
 
   // Drains one block: full blocks cost one media write, partial blocks a
-  // read-modify-write. Caller holds the shard latch.
-  void DrainBlock(Shard& shard, uint32_t slot);
+  // read-modify-write. Caller holds the shard latch. Counters go to `local`
+  // when non-null, else to the shard's counters.
+  void DrainBlock(Shard& shard, uint32_t slot, DeviceCounterBlock* local);
 
   std::byte* base_ = nullptr;
   size_t capacity_ = 0;
@@ -139,12 +207,11 @@ class NvmDevice {
   uint64_t drain_age_ = kDrainAge;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::atomic<uint64_t> line_writes_{0};
-  std::atomic<uint64_t> media_writes_{0};
-  std::atomic<uint64_t> media_reads_{0};
-  std::atomic<uint64_t> full_drains_{0};
-  std::atomic<uint64_t> partial_drains_{0};
-  std::atomic<uint64_t> busy_ns_{0};
+  // Registry of per-thread counter blocks; retired_ keeps the counts of
+  // blocks that unregistered so totals stay cumulative.
+  mutable std::mutex registry_mu_;
+  std::vector<DeviceCounterBlock*> blocks_;
+  DeviceStats retired_;
 };
 
 }  // namespace falcon

@@ -23,7 +23,26 @@ class ThreadContext {
  public:
   ThreadContext(uint32_t thread_id, NvmDevice* device, CacheGeometry geometry = {},
                 CostParams params = {})
-      : thread_id_(thread_id), params_(params), cache_(device, geometry, params) {}
+      : thread_id_(thread_id), params_(params), device_(device),
+        cache_(device, geometry, params) {
+    if (device_ != nullptr) {
+      // All device traffic from this thread counts into a thread-private
+      // block, so the hot path never bounces a shared counter line.
+      device_->RegisterCounters(&counters_);
+      cache_.set_counter_block(&counters_);
+    }
+  }
+
+  ~ThreadContext() {
+    if (device_ != nullptr) {
+      // Folds the block's counts into the device's retired total.
+      device_->UnregisterCounters(&counters_);
+    }
+  }
+
+  // The device holds a pointer to counters_; the context must not move.
+  ThreadContext(const ThreadContext&) = delete;
+  ThreadContext& operator=(const ThreadContext&) = delete;
 
   uint32_t thread_id() const { return thread_id_; }
   uint64_t sim_ns() const { return sim_ns_; }
@@ -78,6 +97,8 @@ class ThreadContext {
  private:
   uint32_t thread_id_;
   CostParams params_;
+  NvmDevice* device_;
+  DeviceCounterBlock counters_;
   CacheModel cache_;
   uint64_t sim_ns_ = 0;
   Rng rng_;

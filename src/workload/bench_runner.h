@@ -56,6 +56,9 @@ inline BenchResult RunBench(
   device.ResetStats();
 
   std::vector<std::thread> pool;
+  // Per-thread tallies are written once at thread exit; counting into
+  // thread-local accumulators keeps the measured loop free of false sharing
+  // on adjacent array slots.
   std::vector<uint64_t> commits(threads, 0);
   std::vector<uint64_t> aborts(threads, 0);
   std::vector<Histogram> latencies(threads);
@@ -63,15 +66,21 @@ inline BenchResult RunBench(
   for (uint32_t t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
       Worker& worker = engine.worker(t);
+      uint64_t local_commits = 0;
+      uint64_t local_aborts = 0;
+      Histogram local_latencies;
       for (uint64_t i = 0; i < txns_per_thread; ++i) {
         const uint64_t before = worker.ctx().sim_ns();
         if (run_txn(worker, t, i)) {
-          ++commits[t];
-          latencies[t].Record(worker.ctx().sim_ns() - before);
+          ++local_commits;
+          local_latencies.Record(worker.ctx().sim_ns() - before);
         } else {
-          ++aborts[t];
+          ++local_aborts;
         }
       }
+      commits[t] = local_commits;
+      aborts[t] = local_aborts;
+      latencies[t] = local_latencies;
     });
   }
   for (auto& th : pool) {

@@ -218,6 +218,49 @@ TEST(HistogramTest, MaxTracksLargest) {
   EXPECT_EQ(h.max(), 500000u);
 }
 
+TEST(HistogramTest, P100IsAtLeastMax) {
+  Histogram h;
+  h.Record(7);
+  h.Record(123456789);
+  EXPECT_GE(h.Percentile(100), h.max());
+  EXPECT_EQ(h.Percentile(100), 123456789u);
+}
+
+TEST(HistogramTest, P100CoversSaturationBucket) {
+  // Values past the last bucket's nominal range clamp into it; p=100 must
+  // still report a bound >= the recorded max.
+  Histogram h;
+  const uint64_t huge = uint64_t{1} << 62;
+  h.Record(1);
+  h.Record(huge);
+  EXPECT_EQ(h.max(), huge);
+  EXPECT_GE(h.Percentile(100), huge);
+  EXPECT_GE(h.Percentile(99.999), 1u);
+}
+
+TEST(HistogramTest, P0IsFirstNonEmptyBucket) {
+  Histogram h;
+  h.Record(3);
+  h.Record(900);
+  h.Record(900000);
+  // 3 lands in an exact small-value bucket, so p=0 reports it exactly.
+  EXPECT_EQ(h.Percentile(0), 3u);
+  // Out-of-range p clamps rather than wrapping.
+  EXPECT_EQ(h.Percentile(-5), h.Percentile(0));
+  EXPECT_EQ(h.Percentile(250), h.Percentile(100));
+}
+
+TEST(HistogramTest, PercentileNeverExceedsMax) {
+  Histogram h;
+  Rng rng(29);
+  for (int i = 0; i < 50000; ++i) {
+    h.Record(rng.NextBounded(1'000'000));
+  }
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_LE(h.Percentile(p), h.max()) << "p=" << p;
+  }
+}
+
 TEST(SpinLatchTest, MutualExclusion) {
   SpinLatch latch;
   int counter = 0;

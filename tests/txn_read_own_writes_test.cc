@@ -1,0 +1,170 @@
+// Read-own-writes torture test: one transaction piles 50+ partial updates
+// onto a single tuple (plus a second tuple as a decoy) and interleaves full
+// and column reads, which must be byte-exact against a mirror buffer at every
+// step. Exercises the per-tuple write-entry chain replay (OverlayPendingWrites)
+// under every CC scheme, in both in-place and out-of-place update modes.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace falcon {
+namespace {
+
+struct RowParam {
+  const char* label;
+  EngineConfig (*make)(CcScheme);
+  CcScheme cc;
+};
+
+EngineConfig MakeInPlace(CcScheme cc) {
+  EngineConfig config = EngineConfig::Falcon(cc);
+  // 50+ partial updates log ~48B each; the default slot would overflow
+  // mid-transaction, so give this stress test a roomy log slot.
+  config.log_slot_bytes = 16 * 1024;
+  return config;
+}
+
+EngineConfig MakeOutOfPlace(CcScheme cc) {
+  EngineConfig config = EngineConfig::Outp(cc);
+  config.log_slot_bytes = 16 * 1024;
+  return config;
+}
+
+class ReadOwnWritesTest : public ::testing::TestWithParam<RowParam> {
+ protected:
+  static constexpr uint32_t kRowBytes = 256;
+  static constexpr uint64_t kKey = 42;
+  static constexpr uint64_t kDecoyKey = 43;
+
+  ReadOwnWritesTest() : dev_(256ul * 1024 * 1024) {
+    engine_ = std::make_unique<Engine>(&dev_, GetParam().make(GetParam().cc),
+                                       /*workers=*/2);
+    SchemaBuilder schema("blob");
+    schema.AddU64();
+    schema.AddColumn(kRowBytes - 8);
+    table_ = engine_->CreateTable(schema, IndexKind::kHash);
+  }
+
+  void SeedRow(uint64_t key, std::byte fill) {
+    std::byte row[kRowBytes];
+    std::memset(row, static_cast<int>(fill), kRowBytes);
+    Worker& w = engine_->worker(0);
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.Insert(table_, key, row), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+
+  NvmDevice dev_;
+  std::unique_ptr<Engine> engine_;
+  TableId table_ = 0;
+};
+
+TEST_P(ReadOwnWritesTest, FiftyPartialUpdatesReadBackExactly) {
+  SeedRow(kKey, std::byte{0x11});
+  SeedRow(kDecoyKey, std::byte{0x22});
+
+  std::byte mirror[kRowBytes];
+  std::memset(mirror, 0x11, kRowBytes);
+  std::byte decoy_mirror[kRowBytes];
+  std::memset(decoy_mirror, 0x22, kRowBytes);
+
+  Worker& w = engine_->worker(0);
+  Txn txn = w.Begin();
+
+  // 60 8-byte partial updates walking the row with a stride, re-touching the
+  // same offsets several times so later chain entries overwrite earlier ones.
+  for (uint32_t i = 0; i < 60; ++i) {
+    const uint32_t offset = (i * 24) % (kRowBytes - 8);
+    uint8_t patch[8];
+    for (int b = 0; b < 8; ++b) {
+      patch[b] = static_cast<uint8_t>(i * 7 + b);
+    }
+    ASSERT_EQ(txn.UpdatePartial(table_, kKey, offset, sizeof(patch), patch),
+              Status::kOk)
+        << "update " << i;
+    std::memcpy(mirror + offset, patch, sizeof(patch));
+
+    // Every few updates, poke the decoy tuple so the write set interleaves
+    // entries of two tuples; its chain must not bleed into kKey's replay.
+    if (i % 8 == 3) {
+      uint8_t decoy_patch[4] = {static_cast<uint8_t>(i), 0xde, 0xc0, 0x01};
+      const uint32_t decoy_off = (i * 12) % (kRowBytes - 4);
+      ASSERT_EQ(txn.UpdatePartial(table_, kDecoyKey, decoy_off,
+                                  sizeof(decoy_patch), decoy_patch),
+                Status::kOk);
+      std::memcpy(decoy_mirror + decoy_off, decoy_patch, sizeof(decoy_patch));
+    }
+
+    // Interleaved full read must observe every pending write so far.
+    if (i % 5 == 0 || i == 59) {
+      std::byte got[kRowBytes];
+      ASSERT_EQ(txn.Read(table_, kKey, got), Status::kOk) << "read after " << i;
+      ASSERT_EQ(std::memcmp(got, mirror, kRowBytes), 0)
+          << "read-own-writes mismatch after update " << i;
+    }
+  }
+
+  {
+    std::byte got[kRowBytes];
+    ASSERT_EQ(txn.Read(table_, kDecoyKey, got), Status::kOk);
+    ASSERT_EQ(std::memcmp(got, decoy_mirror, kRowBytes), 0)
+        << "decoy tuple saw another tuple's chain";
+  }
+
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+
+  // Committed state must equal the mirror, read from the other worker.
+  Worker& w1 = engine_->worker(1);
+  Txn check = w1.Begin();
+  std::byte got[kRowBytes];
+  ASSERT_EQ(check.Read(table_, kKey, got), Status::kOk);
+  EXPECT_EQ(std::memcmp(got, mirror, kRowBytes), 0);
+  ASSERT_EQ(check.Read(table_, kDecoyKey, got), Status::kOk);
+  EXPECT_EQ(std::memcmp(got, decoy_mirror, kRowBytes), 0);
+  ASSERT_EQ(check.Commit(), Status::kOk);
+}
+
+TEST_P(ReadOwnWritesTest, AbortDiscardsChainedUpdates) {
+  SeedRow(kKey, std::byte{0x5a});
+
+  Worker& w = engine_->worker(0);
+  {
+    Txn txn = w.Begin();
+    for (uint32_t i = 0; i < 50; ++i) {
+      const uint64_t val = 0xdead0000 + i;
+      ASSERT_EQ(txn.UpdatePartial(table_, kKey, (i % 31) * 8, 8, &val),
+                Status::kOk);
+    }
+    txn.Abort();
+  }
+
+  std::byte expect[kRowBytes];
+  std::memset(expect, 0x5a, kRowBytes);
+  Txn check = w.Begin();
+  std::byte got[kRowBytes];
+  ASSERT_EQ(check.Read(table_, kKey, got), Status::kOk);
+  EXPECT_EQ(std::memcmp(got, expect, kRowBytes), 0);
+  ASSERT_EQ(check.Commit(), Status::kOk);
+}
+
+std::string ParamName(const ::testing::TestParamInfo<RowParam>& info) {
+  return info.param.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ReadOwnWritesTest,
+    ::testing::Values(RowParam{"InPlace_2PL", MakeInPlace, CcScheme::k2pl},
+                      RowParam{"InPlace_TO", MakeInPlace, CcScheme::kTo},
+                      RowParam{"InPlace_OCC", MakeInPlace, CcScheme::kOcc},
+                      RowParam{"OutOfPlace_2PL", MakeOutOfPlace, CcScheme::k2pl},
+                      RowParam{"OutOfPlace_TO", MakeOutOfPlace, CcScheme::kTo},
+                      RowParam{"OutOfPlace_OCC", MakeOutOfPlace, CcScheme::kOcc}),
+    ParamName);
+
+}  // namespace
+}  // namespace falcon
