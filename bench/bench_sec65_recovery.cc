@@ -58,6 +58,60 @@ RecoveryReport CrashAndMeasure(const EngineConfig& config, uint64_t rows) {
   return recovered.recovery_report();
 }
 
+// Recovery latency as a function of the write-set bytes outstanding at the
+// crash. Arm kAfterCommitMark: the slot is COMMITTED but no tuple has been
+// modified yet, so replay must re-apply the entire write set. Falcon's claim
+// is that replay scales with the log window, not the heap — this curve is the
+// log-window half of that statement.
+struct ReplayPoint {
+  uint64_t outstanding_bytes = 0;
+  RecoveryReport report;
+};
+
+ReplayPoint CrashWithOutstandingWrites(const EngineConfig& base, uint64_t rows, uint32_t ops) {
+  EngineConfig config = base;
+  config.log_slot_bytes = 256 * 1024;  // a 64-op write set must fit one slot
+  NvmDevice device(8ull << 30);
+  YcsbConfig yc;
+  yc.record_count = rows;
+  yc.field_count = 10;
+  yc.field_size = 100;
+
+  ReplayPoint point;
+  {
+    Engine engine(&device, config, 4);
+    YcsbWorkload workload(&engine, yc);
+    std::vector<std::thread> loaders;
+    for (uint32_t t = 0; t < 4; ++t) {
+      const uint64_t per = rows / 4;
+      const uint64_t begin = t * per;
+      const uint64_t end = t == 3 ? rows : begin + per;
+      loaders.emplace_back(
+          [&, t, begin, end] { workload.LoadRange(engine.worker(t), begin, end); });
+    }
+    for (auto& th : loaders) {
+      th.join();
+    }
+    Worker& w = engine.worker(0);
+    const uint64_t row_bytes = engine.TupleDataSize(workload.table());
+    std::vector<std::byte> row(row_bytes, std::byte{2});
+    engine.ArmCrashPoint(CrashPoint::kAfterCommitMark);
+    try {
+      Txn txn = w.Begin();
+      for (uint32_t i = 0; i < ops; ++i) {
+        txn.UpdateFull(workload.table(), 1 + i, row.data());
+      }
+      txn.Commit();
+    } catch (const TxnCrashed&) {
+    }
+    point.outstanding_bytes = static_cast<uint64_t>(ops) * row_bytes;
+  }
+
+  Engine recovered(&device, config, 4);
+  point.report = recovered.recovery_report();
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,5 +134,22 @@ int main(int argc, char** argv) {
       "\npaper shape: Falcon's recovery is flat in heap size (log-window replay only);\n"
       "ZenS's grows linearly with the heap (index rebuild scan). Paper: 3.3ms vs 9.4s\n"
       "at 256GB.\n");
+
+  std::printf(
+      "\n=== Recovery latency vs outstanding write-set bytes (crash after commit mark) ===\n");
+  std::printf("%-10s %-6s %14s %10s %10s %8s %10s\n", "engine", "ops", "outstanding B",
+              "replay ms", "total ms", "slots", "discarded");
+  const uint64_t curve_rows = 25000ull * scale;
+  for (const uint32_t ops : {1u, 4u, 16u, 64u}) {
+    const ReplayPoint p = CrashWithOutstandingWrites(
+        EngineConfig::Falcon(CcScheme::kOcc), curve_rows, ops);
+    std::printf("%-10s %-6u %14lu %10.3f %10.3f %8lu %10lu\n", "Falcon", ops,
+                p.outstanding_bytes, p.report.replay_ms, p.report.total_ms,
+                p.report.slots_replayed, p.report.slots_discarded);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\npaper shape: replay grows with the bytes outstanding in the log window and with\n"
+      "nothing else — the reason bounding the window bounds recovery.\n");
   return 0;
 }

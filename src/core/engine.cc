@@ -33,8 +33,11 @@ Worker::Worker(Engine* engine, uint32_t id, PmOffset log_base)
       versions_(engine->config().version_gc_threshold) {
   const EngineConfig& cfg = engine->config();
   const bool flush_log = LogIsFlushed(cfg.log_mode);
+  // Log-free (out-of-place) engines still keep a small slot per thread: the
+  // commit record plus explicit delete entries (deletes have no replacement
+  // version in the heap for recovery to find).
   const uint64_t slot_bytes =
-      cfg.log_mode == LogMode::kNone ? kCacheLineSize * 2 : cfg.log_slot_bytes;
+      cfg.log_mode == LogMode::kNone ? kCacheLineSize * 8 : cfg.log_slot_bytes;
   const uint32_t slots = cfg.log_mode == LogMode::kNone ? 4 : cfg.EffectiveLogSlots();
   log_ = std::make_unique<LogWindow>(&engine->arena(), log_base, slots, slot_bytes, flush_log);
 }
@@ -69,8 +72,9 @@ Engine::~Engine() = default;
 
 // Bytes of one worker's log region given the engine configuration.
 static uint64_t LogRegionBytes(const EngineConfig& cfg) {
+  // Must mirror the Worker constructor's slot geometry.
   const uint64_t slot_bytes =
-      cfg.log_mode == LogMode::kNone ? kCacheLineSize * 2 : cfg.log_slot_bytes;
+      cfg.log_mode == LogMode::kNone ? kCacheLineSize * 8 : cfg.log_slot_bytes;
   const uint32_t slots = cfg.log_mode == LogMode::kNone ? 4 : cfg.EffectiveLogSlots();
   return LogWindow::RegionBytes(slots, slot_bytes);
 }
@@ -153,6 +157,10 @@ void Engine::OpenExisting(uint32_t workers) {
     RebuildDramIndexes(ctx, report);
   }
   report.rebuild_ms = ElapsedMs(t0);
+
+  // Stage 5: reconcile the per-thread deleted lists (§5.4). O(list length),
+  // not a heap scan, so the Falcon configurations keep tuples_scanned == 0.
+  ReconcileDeletedLists(ctx, report);
 
   sb->max_committed_tid.store(floor, std::memory_order_relaxed);
   report.total_ms = ElapsedMs(t_start);
@@ -331,14 +339,33 @@ void Engine::RecoverInPlace(ThreadContext& ctx, RecoveryReport& report) {
       TableRuntime& table = tables_[entry.table_id];
       TupleHeader* header = table.heap->Header(entry.tuple);
 
+      const bool two_pl = config_.cc == CcScheme::k2pl || config_.cc == CcScheme::kMv2pl;
+
       if (p.committed) {
+        // Skip entries a LATER, fully-released transaction already
+        // overwrote: its slot is gone (freed at commit end), so replaying
+        // this older entry would regress the tuple to a stale image. The
+        // tuple's write timestamp tells us who wrote last.
+        const uint64_t tuple_ts =
+            two_pl ? header->read_ts.load(std::memory_order_relaxed)
+                   : TsOf(header->cc_word.load(std::memory_order_relaxed));
+        if (tuple_ts > slot->tid) {
+          continue;
+        }
         switch (static_cast<LogOpKind>(entry.kind)) {
           case LogOpKind::kUpdate:
             ctx.Store(TupleData(header) + entry.offset, value, entry.len);
             break;
           case LogOpKind::kInsert:
-            // Tuple data persisted at execution time (eADR); just make sure
-            // the index reaches it.
+            if (entry.len > 0) {
+              // Tombstone revival: the crashed apply may have died before
+              // installing the new image or clearing the delete flag —
+              // restore both from the logged payload.
+              ctx.Store(TupleData(header), value, entry.len);
+              header->flags.fetch_and(~kTupleDeleted, std::memory_order_relaxed);
+            }
+            // Fresh inserts persisted their data at execution time (eADR);
+            // just make sure the index reaches the tuple.
             if (nvm_index && table.index->Lookup(ctx, entry.key) != entry.tuple) {
               table.index->Insert(ctx, entry.key, entry.tuple);
             }
@@ -355,7 +382,7 @@ void Engine::RecoverInPlace(ThreadContext& ctx, RecoveryReport& report) {
         // Clear the lock and stamp the committing TID (replaying "clears the
         // lock bits", §6.5). 2PL generations make its locks self-clearing;
         // the TO/OCC word carries the write timestamp.
-        if (config_.cc == CcScheme::k2pl || config_.cc == CcScheme::kMv2pl) {
+        if (two_pl) {
           header->read_ts.store(slot->tid, std::memory_order_relaxed);
         } else {
           header->cc_word.store(slot->tid & kCcTsMask, std::memory_order_relaxed);
@@ -365,16 +392,29 @@ void Engine::RecoverInPlace(ThreadContext& ctx, RecoveryReport& report) {
         // Uncommitted: tuples are untouched (redo-only logging); undo the
         // execution-time side effects of inserts and clear lock bits.
         if (static_cast<LogOpKind>(entry.kind) == LogOpKind::kInsert) {
-          if (nvm_index && table.index->Lookup(ctx, entry.key) == entry.tuple) {
-            table.index->Remove(ctx, entry.key);
+          if (entry.len == 0) {
+            // Fresh insert: unlink from the index and retire the slot. A
+            // revival (len > 0) changed nothing at execution time — its
+            // tombstone stays indexed and listed; only its lock needs
+            // clearing below.
+            if (nvm_index && table.index->Lookup(ctx, entry.key) == entry.tuple) {
+              table.index->Remove(ctx, entry.key);
+            }
+            if ((header->flags.load(std::memory_order_relaxed) & kTupleDeleted) == 0) {
+              table.heap->MarkDeleted(ctx, entry.tuple, /*delete_tid=*/0);
+            }
           }
-          if ((header->flags.load(std::memory_order_relaxed) & kTupleDeleted) == 0) {
-            table.heap->MarkDeleted(ctx, entry.tuple, /*delete_tid=*/0);
+          // Inserts are born locked (and revivals lock their tombstone): a
+          // lock bit left on a deleted-list entry would block reclamation
+          // forever. 2PL words self-clear via the generation bump.
+          const uint64_t w = header->cc_word.load(std::memory_order_relaxed);
+          if (!two_pl && IsLockedTs(w)) {
+            header->cc_word.store(TsOf(w), std::memory_order_relaxed);
+            ctx.TouchStore(header, sizeof(uint64_t));
           }
         } else {
           const uint64_t w = header->cc_word.load(std::memory_order_relaxed);
-          if (config_.cc != CcScheme::k2pl && config_.cc != CcScheme::kMv2pl &&
-              IsLockedTs(w)) {
+          if (!two_pl && IsLockedTs(w)) {
             header->cc_word.store(TsOf(w), std::memory_order_relaxed);
             ctx.TouchStore(header, sizeof(uint64_t));
           }
@@ -394,8 +434,17 @@ void Engine::RecoverInPlace(ThreadContext& ctx, RecoveryReport& report) {
 
 void Engine::RecoverOutOfPlace(ThreadContext& ctx, RecoveryReport& report) {
   // Commit records: a transaction is committed iff its versions carry the
-  // committed flag, or its TID appears in a slot marked COMMITTED.
+  // committed flag, or its TID appears in a slot marked COMMITTED. Deletes
+  // ride in the commit slot as explicit entries (a delete leaves no
+  // replacement version in the heap for the scan below to find), so they
+  // are collected here and replayed after the winner scan.
+  struct PendingDelete {
+    uint64_t tid;
+    uint64_t table_id;
+    uint64_t key;
+  };
   std::unordered_set<uint64_t> committed_tids;
+  std::vector<PendingDelete> deletes;
   for (auto& worker : workers_) {
     LogWindow& log = *worker->log_;
     for (uint32_t s = 0; s < log.slot_count(); ++s) {
@@ -403,6 +452,17 @@ void Engine::RecoverOutOfPlace(ThreadContext& ctx, RecoveryReport& report) {
       const auto state = static_cast<SlotState>(slot->state.load(std::memory_order_acquire));
       if (state == SlotState::kCommitted) {
         committed_tids.insert(slot->tid);
+        const std::byte* payload = LogWindow::SlotPayload(slot);
+        uint64_t pos = 0;
+        for (uint64_t e = 0; e < slot->entry_count; ++e) {
+          LogEntryHeader entry;
+          std::memcpy(&entry, payload + pos, sizeof(entry));
+          ctx.TouchLoad(payload + pos, sizeof(entry));
+          pos += sizeof(entry) + entry.len;
+          if (static_cast<LogOpKind>(entry.kind) == LogOpKind::kDelete) {
+            deletes.push_back({slot->tid, entry.table_id, entry.key});
+          }
+        }
         ++report.slots_replayed;
       } else if (state == SlotState::kUncommitted) {
         ++report.slots_discarded;
@@ -429,7 +489,17 @@ void Engine::RecoverOutOfPlace(ThreadContext& ctx, RecoveryReport& report) {
       ctx.TouchLoad(header, sizeof(TupleHeader));
       const uint64_t flags = header->flags.load(std::memory_order_relaxed);
       if ((flags & kTupleDeleted) != 0) {
-        return;  // old version already retired
+        // Old version already retired — but a crashed transaction may have
+        // locked the tombstone (a revival insert locks the old head during
+        // validation). Strip the stale lock bit, keeping ts + retired bit,
+        // or post-recovery optimistic readers abort forever. (2PL lock words
+        // self-clear via the generation bump.)
+        const uint64_t stale = header->cc_word.load(std::memory_order_relaxed);
+        if (BaseScheme(config_.cc) != CcScheme::k2pl && IsLockedTs(stale)) {
+          header->cc_word.store(stale & ~kCcLockBit, std::memory_order_relaxed);
+          ctx.TouchStore(header, sizeof(uint64_t));
+        }
+        return;
       }
       const uint64_t word = header->cc_word.load(std::memory_order_relaxed);
       const uint64_t ts = BaseScheme(config_.cc) == CcScheme::k2pl
@@ -464,6 +534,14 @@ void Engine::RecoverOutOfPlace(ThreadContext& ctx, RecoveryReport& report) {
           table.index->Remove(ctx, header->key);
         }
       }
+      // Born-locked insert losers keep their lock bit past the crash; a
+      // locked head of the deleted list blocks reclamation forever. (2PL
+      // lock words self-clear via the generation bump.)
+      const uint64_t word = header->cc_word.load(std::memory_order_relaxed);
+      if (BaseScheme(config_.cc) != CcScheme::k2pl && IsLockedTs(word)) {
+        header->cc_word.store(TsOf(word), std::memory_order_relaxed);
+        ctx.TouchStore(header, sizeof(uint64_t));
+      }
       if ((header->flags.load(std::memory_order_relaxed) & kTupleDeleted) == 0) {
         table.heap->MarkDeleted(ctx, loser, /*delete_tid=*/0);
       }
@@ -483,6 +561,63 @@ void Engine::RecoverOutOfPlace(ThreadContext& ctx, RecoveryReport& report) {
           table.index->Insert(ctx, key, winner.tuple);
         }
       }
+    }
+
+    // Replay committed deletes: tombstone the winner unless a later
+    // committed transaction re-created the key (its version outranks the
+    // delete). A key with no winner is already dead — the delete's apply
+    // completed before the crash.
+    for (const PendingDelete& d : deletes) {
+      if (d.table_id != table.meta->id) {
+        continue;
+      }
+      const auto it = winners.find(d.key);
+      if (it == winners.end() || it->second.ts > d.tid) {
+        continue;
+      }
+      TupleHeader* header = table.heap->Header(it->second.tuple);
+      if ((header->flags.load(std::memory_order_relaxed) & kTupleDeleted) == 0) {
+        table.heap->MarkDeleted(ctx, it->second.tuple, d.tid);
+      }
+    }
+  }
+}
+
+void Engine::ReconcileDeletedLists(ThreadContext& ctx, RecoveryReport& report) {
+  for (auto& table : tables_) {
+    if (table.meta == nullptr) {
+      continue;
+    }
+    // Cycle bound: a well-formed list can never exceed the slot count.
+    const uint64_t bound = table.heap->CountSlots() + 1;
+    for (uint32_t t = 0; t < kMaxThreads; ++t) {
+      PmOffset prev = kNullPm;
+      PmOffset cur = table.meta->deleted_head[t];
+      uint64_t walked = 0;
+      while (cur != kNullPm) {
+        TupleHeader* header = table.heap->Header(cur);
+        ctx.TouchLoad(header, sizeof(TupleHeader));
+        if (++walked > bound ||
+            (header->flags.load(std::memory_order_relaxed) & kTupleValid) == 0) {
+          // Torn link (MarkDeleted died between its stores) or a cycle:
+          // truncate at the last good entry. Entries past the tear leak
+          // until a future delete re-lists them — safe, never reused early.
+          if (prev == kNullPm) {
+            table.meta->deleted_head[t] = kNullPm;
+          } else {
+            table.heap->Header(prev)->delete_next.store(kNullPm, std::memory_order_relaxed);
+            ctx.TouchStore(table.heap->Header(prev), sizeof(uint64_t));
+          }
+          break;
+        }
+        ++report.deleted_entries;
+        prev = cur;
+        cur = header->delete_next.load(std::memory_order_relaxed);
+      }
+      // The tail pointer is updated last in MarkDeleted, so a crash can
+      // leave it one entry behind; recompute it from the walk.
+      table.meta->deleted_tail[t] = prev;
+      ctx.TouchStore(&table.meta->deleted_tail[t], sizeof(PmOffset));
     }
   }
 }

@@ -22,6 +22,7 @@
 #define SRC_CORE_ENGINE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -60,8 +61,103 @@ enum class CrashPoint : uint8_t {
   kAfterApply,        // all modified, locks possibly still held
 };
 
+// Classification of the persistence-relevant events the step-counter crash
+// API (Engine::ArmCrashAtStep) counts. Every event that moves durable state
+// forward passes through exactly one of these, so a sweep over step numbers
+// crashes a workload at every distinct persistence step.
+enum class CrashStepKind : uint8_t {
+  kNone = 0,
+  kLogAppend,     // a write-set entry became durable in the txn's log slot
+  kIndexInstall,  // a fresh insert became reachable through the index
+  kCommitMark,    // about to flip the slot state to COMMITTED
+  kTupleApply,    // about to apply one write-set entry to the heap
+  kFlush,         // about to flush one applied tuple (selective persistence)
+  kSlotRelease,   // about to free the log slot (post-commit)
+};
+
+inline const char* CrashStepKindName(CrashStepKind kind) {
+  switch (kind) {
+    case CrashStepKind::kNone: return "none";
+    case CrashStepKind::kLogAppend: return "log-append";
+    case CrashStepKind::kIndexInstall: return "index-install";
+    case CrashStepKind::kCommitMark: return "commit-mark";
+    case CrashStepKind::kTupleApply: return "tuple-apply";
+    case CrashStepKind::kFlush: return "flush";
+    case CrashStepKind::kSlotRelease: return "slot-release";
+  }
+  return "?";
+}
+
+// A step before kCommitMark fired means the victim transaction was never
+// acknowledged: recovery must roll the whole write set back. From
+// kCommitMark's own throw onward the slot is still UNCOMMITTED (the mark
+// step fires *before* the state flip), so the boundary between all-old and
+// all-new outcomes is: kind <= kCommitMark ⇒ all-old, kind > ⇒ all-new.
+inline bool CrashStepPrecedesCommit(CrashStepKind kind) {
+  return kind <= CrashStepKind::kCommitMark;
+}
+
 struct TxnCrashed {
   CrashPoint point = CrashPoint::kNone;
+  CrashStepKind kind = CrashStepKind::kNone;  // set by step-counter crashes
+  uint64_t step = 0;                          // 1-based step that fired
+};
+
+// Shared crash-injection state. Two modes:
+//  - named points (legacy): one-shot CrashPoint consumed by the first commit
+//    that passes it;
+//  - step counter: every persistence-relevant event increments a global
+//    counter, and the thread whose fetch_add lands exactly on the armed step
+//    throws. fetch_add hands out unique step numbers, so even with many
+//    committers racing, TxnCrashed fires in exactly one thread.
+// Counting mode (Arm with crash disabled) measures how many steps a workload
+// produces so a sweep can enumerate 1..N.
+class CrashInjector {
+ public:
+  void ArmPoint(CrashPoint point) {
+    point_.store(static_cast<uint8_t>(point), std::memory_order_release);
+  }
+
+  // Arms a crash at the `step`-th persistence event from now (1-based).
+  void ArmStep(uint64_t step) {
+    counter_.store(0, std::memory_order_relaxed);
+    armed_step_.store(step, std::memory_order_release);
+  }
+
+  // Counting mode: events are numbered but never crash.
+  void BeginCount() { ArmStep(0); }
+
+  void Disarm() {
+    point_.store(0, std::memory_order_release);
+    armed_step_.store(UINT64_MAX, std::memory_order_release);
+  }
+
+  uint64_t StepsCounted() const { return counter_.load(std::memory_order_acquire); }
+
+  // Returns true iff this thread is the unique winner of `point`.
+  bool ConsumePoint(CrashPoint point) {
+    if (point_.load(std::memory_order_relaxed) != static_cast<uint8_t>(point)) {
+      return false;
+    }
+    return point_.exchange(0, std::memory_order_acq_rel) == static_cast<uint8_t>(point);
+  }
+
+  // Numbers one persistence event. Returns the step number if this event is
+  // the armed one (crash!), 0 otherwise. Disarmed (armed == UINT64_MAX)
+  // skips the fetch_add entirely so the production hot path stays one relaxed
+  // load.
+  uint64_t ConsumeStep() {
+    if (armed_step_.load(std::memory_order_relaxed) == UINT64_MAX) {
+      return 0;
+    }
+    const uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return n == armed_step_.load(std::memory_order_relaxed) ? n : 0;
+  }
+
+ private:
+  std::atomic<uint8_t> point_{0};
+  std::atomic<uint64_t> armed_step_{UINT64_MAX};  // UINT64_MAX = disarmed
+  std::atomic<uint64_t> counter_{0};
 };
 
 struct RecoveryReport {
@@ -74,6 +170,7 @@ struct RecoveryReport {
   uint64_t slots_replayed = 0;   // committed write sets re-applied
   uint64_t slots_discarded = 0;  // uncommitted write sets undone/ignored
   uint64_t tuples_scanned = 0;   // heap-scan recovery work (ZenS path)
+  uint64_t deleted_entries = 0;  // deleted-list entries reconciled (§5.4)
 };
 
 struct WorkerStats {
@@ -254,6 +351,11 @@ class Txn {
   // offset, which identifies the header uniquely across all heaps).
   LockEntry* FindLock(PmOffset tuple);
   bool WriteSetContains(PmOffset tuple) const;
+  // -1 when this txn has no pending write on the tuple, otherwise the
+  // LogOpKind of the last one. Own-txn visibility: a pending insert revives
+  // a tombstone (the physical delete flag clears only at apply), and a
+  // pending delete kills a physically-live tuple.
+  int LastPendingWriteKind(PmOffset tuple) const;
 
   // Records locks_.back() / write_set_.back() in the access map.
   void RegisterLock(PmOffset tuple);
@@ -264,6 +366,9 @@ class Txn {
 
   void ReleaseLocks();
   void MaybeCrash(CrashPoint point);
+  // Step-counter crash hook: numbers one persistence event of kind `kind`
+  // and throws TxnCrashed{kNone, kind, step} if it is the armed step.
+  void CrashStep(CrashStepKind kind);
 
   // Overlays this txn's pending writes of `tuple` onto `buf` (read-own-writes).
   void OverlayPendingWrites(PmOffset tuple, std::byte* buf, uint32_t data_size);
@@ -289,6 +394,7 @@ class Worker {
   ThreadContext& ctx() { return ctx_; }
   uint32_t id() const { return id_; }
   Engine* engine() { return engine_; }
+  LogWindow& log() { return *log_; }  // test/harness introspection
   const WorkerStats& stats() const { return stats_; }
   void ResetStats();
 
@@ -342,7 +448,20 @@ class Engine {
   uint64_t MinActiveTid() const;
 
   // Test hook: the next time any commit passes `point`, throw TxnCrashed.
-  void ArmCrashPoint(CrashPoint point) { crash_point_.store(static_cast<uint8_t>(point)); }
+  // Exactly one thread fires (atomic exchange on the armed point).
+  void ArmCrashPoint(CrashPoint point) { crash_.ArmPoint(point); }
+
+  // Test hook: crash at the `step`-th persistence-relevant event from now
+  // (1-based; log append, index install, commit mark, tuple apply, flush,
+  // slot release). Exactly one thread fires even under concurrency.
+  void ArmCrashAtStep(uint64_t step) { crash_.ArmStep(step); }
+
+  // Counting mode: number every persistence event without crashing, so a
+  // sweep can read CrashStepsCounted() and then enumerate 1..N.
+  void BeginCrashStepCount() { crash_.BeginCount(); }
+  uint64_t CrashStepsCounted() const { return crash_.StepsCounted(); }
+
+  void DisarmCrash() { crash_.Disarm(); }
 
   // Aggregated worker stats + device stats for benchmark reporting.
   WorkerStats AggregateStats() const;
@@ -366,6 +485,10 @@ class Engine {
   void RecoverInPlace(ThreadContext& ctx, RecoveryReport& report);
   void RecoverOutOfPlace(ThreadContext& ctx, RecoveryReport& report);
   void RebuildDramIndexes(ThreadContext& ctx, RecoveryReport& report);
+  // Walks every table's per-thread deleted lists, truncating at the first
+  // torn link (a crash can die between MarkDeleted's flag store and the
+  // predecessor/tail updates), and recomputes the tails. O(list length).
+  void ReconcileDeletedLists(ThreadContext& ctx, RecoveryReport& report);
 
   // Current 8-bit lock generation (stale 2PL lock words decode as free).
   uint64_t lock_generation() const { return lock_gen_; }
@@ -380,7 +503,7 @@ class Engine {
   TidGenerator tid_gen_;
   ActiveTidTable active_tids_;
   uint64_t lock_gen_ = 1;
-  std::atomic<uint8_t> crash_point_{0};
+  CrashInjector crash_;
   RecoveryReport recovery_report_;
 };
 

@@ -109,6 +109,19 @@ class LogWindow {
   uint32_t slot_count() const { return slots_; }
   uint64_t slot_bytes() const { return slot_bytes_; }
 
+  // Number of slots currently in state kFree. After recovery (or clean
+  // shutdown) every slot must be free; the crash-sweep harness asserts this.
+  uint32_t FreeSlotCount() const {
+    uint32_t n = 0;
+    for (uint32_t i = 0; i < slots_; ++i) {
+      if (static_cast<SlotState>(SlotAt(i)->state.load(std::memory_order_acquire)) ==
+          SlotState::kFree) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
   LogSlotHeader* SlotAt(uint32_t i) const {
     return arena_->Ptr<LogSlotHeader>(base_ + static_cast<uint64_t>(i) * slot_bytes_);
   }

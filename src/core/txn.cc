@@ -35,16 +35,23 @@ PmOffset Txn::Lookup(TableId table, uint64_t key) {
 }
 
 void Txn::MaybeCrash(CrashPoint point) {
-  Engine* engine = worker_->engine_;
-  uint8_t expected = static_cast<uint8_t>(point);
-  if (engine->crash_point_.load(std::memory_order_relaxed) == expected &&
-      engine->crash_point_.compare_exchange_strong(expected, 0)) {
+  if (worker_->engine_->crash_.ConsumePoint(point)) {
     // Freeze the transaction: the exception unwinds through the Txn's
     // destructor, which must NOT roll back — a power failure leaves state
     // exactly as-is, and that is what recovery is tested against.
     active_ = false;
     worker_->scratch_.in_use = false;
     throw TxnCrashed{point};
+  }
+}
+
+void Txn::CrashStep(CrashStepKind kind) {
+  const uint64_t step = worker_->engine_->crash_.ConsumeStep();
+  if (step != 0) {
+    // Same freeze-in-place semantics as MaybeCrash: no rollback on unwind.
+    active_ = false;
+    worker_->scratch_.in_use = false;
+    throw TxnCrashed{CrashPoint::kNone, kind, step};
   }
 }
 
@@ -159,8 +166,10 @@ Status Txn::ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out) {
       if ((flags_2pl & kTupleSuperseded) != 0) {
         return Status::kAborted;  // stale head: a newer version exists
       }
-      if ((flags_2pl & kTupleDeleted) != 0) {
-        return Status::kNotFound;
+      const int pending_2pl = pending_write ? LastPendingWriteKind(tuple) : -1;
+      if (pending_2pl == static_cast<int>(LogOpKind::kDelete) ||
+          (pending_2pl < 0 && (flags_2pl & kTupleDeleted) != 0)) {
+        return Status::kNotFound;  // deleted — physically, or by our own write
       }
       if (out != nullptr) {
         ReadTupleData(table, key, header, out, data_size);
@@ -184,7 +193,9 @@ Status Txn::ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out) {
         if ((cur_flags & kTupleSuperseded) != 0 && !mine) {
           return Status::kAborted;  // stale head: a newer version exists
         }
-        if (header->key != key || (cur_flags & kTupleDeleted) != 0) {
+        const int pending_to = pending_write ? LastPendingWriteKind(tuple) : -1;
+        if (header->key != key || pending_to == static_cast<int>(LogOpKind::kDelete) ||
+            (pending_to < 0 && (cur_flags & kTupleDeleted) != 0)) {
           if (scheme == CcScheme::kOcc && !mine) {
             read_set_.push_back(ReadEntry{header, observed, tuple});
           }
@@ -349,6 +360,14 @@ bool Txn::WriteSetContains(PmOffset tuple) const {
   return e != nullptr && e->write_head != AccessMap::kNone;
 }
 
+int Txn::LastPendingWriteKind(PmOffset tuple) const {
+  const AccessMap::Entry* e = amap_.Find(tuple);
+  if (e == nullptr || e->write_tail == AccessMap::kNone) {
+    return -1;
+  }
+  return static_cast<int>(write_set_[e->write_tail].kind);
+}
+
 void Txn::OverlayPendingWrites(PmOffset tuple, std::byte* buf, uint32_t data_size) {
   // Replays exactly this tuple's write entries (chained by index, in program
   // order) onto the freshly read image — read-own-writes in O(k) where k is
@@ -362,11 +381,14 @@ void Txn::OverlayPendingWrites(PmOffset tuple, std::byte* buf, uint32_t data_siz
   for (uint32_t i = e->write_head; i != AccessMap::kNone; i = write_set_[i].next_same) {
     const WriteEntry& w = write_set_[i];
     if (out_of_place) {
-      if (w.kind == LogOpKind::kUpdate && w.new_version != kNullPm) {
+      if ((w.kind == LogOpKind::kUpdate || w.kind == LogOpKind::kInsert) &&
+          w.new_version != kNullPm) {
         TupleHeader* nh = engine->table_heap(w.table).Header(w.new_version);
         std::memcpy(buf, TupleData(nh), data_size);
       }
-    } else if (w.kind == LogOpKind::kUpdate) {
+    } else if (w.kind == LogOpKind::kUpdate || w.kind == LogOpKind::kInsert) {
+      // kInsert covers tombstone revival: the full image lives in the log
+      // until apply, while the heap still holds the deleted tuple's bytes.
       const std::byte* payload =
           LogWindow::SlotPayload(worker_->log_->current_slot()) + w.payload_pos;
       std::memcpy(buf + w.offset, payload, w.len);
@@ -517,7 +539,15 @@ Status Txn::WriteIntent(TableId table, uint64_t key, LogOpKind kind, uint32_t of
     Abort();  // stale head: a newer version exists; retry from the index
     return Status::kAborted;
   }
-  if (header->key != key || (post_flags & kTupleDeleted) != 0) {
+  if (header->key != key) {
+    return Status::kNotFound;
+  }
+  // Own-txn visibility: a pending insert revives the tombstone even though
+  // the physical delete flag clears only at apply; a pending delete makes a
+  // physically-live tuple dead to us.
+  const int pending_kind = LastPendingWriteKind(tuple);
+  if (pending_kind == static_cast<int>(LogOpKind::kDelete) ||
+      (pending_kind < 0 && (post_flags & kTupleDeleted) != 0)) {
     return Status::kNotFound;
   }
 
@@ -539,6 +569,7 @@ Status Txn::WriteIntent(TableId table, uint64_t key, LogOpKind kind, uint32_t of
                                   kNullPm});
   RegisterWrite(tuple);
   ++worker_->stats_.writes;
+  CrashStep(CrashStepKind::kLogAppend);
   return Status::kOk;
 }
 
@@ -551,10 +582,37 @@ Status Txn::OutOfPlaceIntent(TableId table, uint64_t key, PmOffset tuple, LogOpK
   const auto data_size = static_cast<uint32_t>(engine->table_meta(table).tuple_data_size);
 
   if (kind == LogOpKind::kDelete) {
+    // Unlike updates — whose freshly written version IS the log — a delete
+    // leaves nothing in the heap for recovery to find, so it must ride in
+    // the commit slot as an explicit entry. Otherwise a crash after the
+    // commit mark but before the apply loop silently loses an acknowledged
+    // delete.
+    if (!EnsureSlot()) {
+      Abort();
+      return Status::kAborted;
+    }
+    if (!worker_->log_->Append(ctx, table, key, tuple, kind, 0, 0, nullptr)) {
+      Abort();
+      return Status::kNoSpace;
+    }
+    // If this txn already staged a replacement version for the key, the
+    // delete tombstones that version (the old head is retired by the
+    // update's own apply step; marking it deleted twice would corrupt the
+    // deleted list).
+    PmOffset pending = kNullPm;
+    if (const AccessMap::Entry* access = amap_.Find(tuple); access != nullptr) {
+      for (uint32_t i = access->write_head; i != AccessMap::kNone;
+           i = write_set_[i].next_same) {
+        if (write_set_[i].kind == LogOpKind::kUpdate) {
+          pending = write_set_[i].new_version;
+        }
+      }
+    }
     write_set_.push_back(
-        WriteEntry{table, key, tuple, kind, 0, 0, 0, observed, kNullPm});
+        WriteEntry{table, key, tuple, kind, 0, 0, 0, observed, pending});
     RegisterWrite(tuple);
     ++worker_->stats_.writes;
+    CrashStep(CrashStepKind::kLogAppend);
     return Status::kOk;
   }
 
@@ -566,6 +624,7 @@ Status Txn::OutOfPlaceIntent(TableId table, uint64_t key, PmOffset tuple, LogOpK
       if (w.kind == LogOpKind::kUpdate) {
         TupleHeader* nh = heap.Header(w.new_version);
         ctx.Store(TupleData(nh) + offset, value, len);
+        CrashStep(CrashStepKind::kLogAppend);
         return Status::kOk;
       }
     }
@@ -599,6 +658,7 @@ Status Txn::OutOfPlaceIntent(TableId table, uint64_t key, PmOffset tuple, LogOpK
       WriteEntry{table, key, tuple, kind, offset, len, 0, observed, fresh});
   RegisterWrite(tuple);
   ++worker_->stats_.writes;
+  CrashStep(CrashStepKind::kLogAppend);
   return Status::kOk;
 }
 
@@ -659,6 +719,7 @@ Status Txn::Insert(TableId table, uint64_t key, const void* data) {
                                     payload_pos, observed, kNullPm});
     RegisterWrite(existing);
     ++worker_->stats_.writes;
+    CrashStep(CrashStepKind::kLogAppend);
     return Status::kOk;
   }
 
@@ -694,6 +755,7 @@ Status Txn::Insert(TableId table, uint64_t key, const void* data) {
       Abort();
       return Status::kNoSpace;
     }
+    CrashStep(CrashStepKind::kLogAppend);
   }
 
   const Status inserted = engine->table_index(table).Insert(ctx, key, fresh);
@@ -705,6 +767,7 @@ Status Txn::Insert(TableId table, uint64_t key, const void* data) {
   write_set_.push_back(WriteEntry{table, key, fresh, LogOpKind::kInsert, 0, 0, 0, 0, kNullPm});
   RegisterWrite(fresh);
   ++worker_->stats_.writes;
+  CrashStep(CrashStepKind::kIndexInstall);
   return Status::kOk;
 }
 
@@ -900,6 +963,7 @@ Status Txn::CommitInPlace() {
   }
 
   MaybeCrash(CrashPoint::kBeforeCommitMark);
+  CrashStep(CrashStepKind::kCommitMark);
 
   // Commit point: the write-set state flips to COMMITTED in the (persistent-
   // by-eADR) log window (Algorithm 1 line 2).
@@ -911,6 +975,7 @@ Status Txn::CommitInPlace() {
   // per-tuple release.
   const size_t n = write_set_.size();
   for (size_t i = 0; i < n; ++i) {
+    CrashStep(CrashStepKind::kTupleApply);
     WriteEntry& w = write_set_[i];
     TupleHeap& heap = engine->table_heap(w.table);
     TupleHeader* header = heap.Header(w.tuple);
@@ -951,8 +1016,11 @@ Status Txn::CommitInPlace() {
       case LogOpKind::kDelete:
         // The index entry stays: tombstones remain reachable so snapshot
         // readers can traverse their version chains; the entry is removed
-        // when the slot is reclaimed (§5.4).
-        heap.MarkDeleted(ctx, w.tuple, tid_);
+        // when the slot is reclaimed (§5.4). The flag guard keeps a
+        // double-delete in one transaction from enqueueing the slot twice.
+        if ((header->flags.load(std::memory_order_acquire) & kTupleDeleted) == 0) {
+          heap.MarkDeleted(ctx, w.tuple, tid_);
+        }
         if (engine->tuple_cache_ != nullptr) {
           engine->tuple_cache_->Invalidate(ctx, w.table, w.key);
         }
@@ -982,6 +1050,7 @@ Status Txn::CommitInPlace() {
       if (cfg.flush_policy == FlushPolicy::kSelective && worker_->hot_.Contains(w.tuple)) {
         continue;  // hot tuples are never manually flushed
       }
+      CrashStep(CrashStepKind::kFlush);
       TupleHeader* header = engine->table_heap(w.table).Header(w.tuple);
       // Hinted flush: <sfence + clwbs> over the contiguous tuple lines lets
       // the XPBuffer merge them into full 256B writes (§4.4).
@@ -1005,6 +1074,7 @@ Status Txn::CommitInPlace() {
 
   ReleaseLocks();  // remaining 2PL read locks
   if (slot_open_) {
+    CrashStep(CrashStepKind::kSlotRelease);
     worker_->log_->Release(ctx);
   }
   return Status::kOk;
@@ -1101,6 +1171,7 @@ Status Txn::CommitOutOfPlace() {
   }
 
   MaybeCrash(CrashPoint::kBeforeCommitMark);
+  CrashStep(CrashStepKind::kCommitMark);
 
   worker_->log_->MarkCommitted(ctx);
 
@@ -1109,6 +1180,7 @@ Status Txn::CommitOutOfPlace() {
   // Apply: flag versions committed, repoint the index, retire old versions.
   const size_t n = write_set_.size();
   for (size_t i = 0; i < n; ++i) {
+    CrashStep(CrashStepKind::kTupleApply);
     WriteEntry& w = write_set_[i];
     TupleHeap& heap = engine->table_heap(w.table);
 
@@ -1141,12 +1213,25 @@ Status Txn::CommitOutOfPlace() {
         break;
       }
       case LogOpKind::kDelete: {
-        // The head keeps its creation timestamp (snapshots older than the
-        // delete must still see it); deletion visibility comes from the
-        // flag + delete_ts.
-        TupleHeader* oh = heap.Header(w.tuple);
-        RetireOldVersion(w.tuple, oh, /*superseded=*/false);
-        heap.MarkDeleted(ctx, w.tuple, tid_);
+        if (w.new_version != kNullPm) {
+          // This txn also staged a replacement version for the key; the
+          // update's apply step retired the old head, so the delete
+          // tombstones the (already index-visible) new version instead.
+          TupleHeader* nh = heap.Header(w.new_version);
+          RetireOldVersion(w.new_version, nh, /*superseded=*/false);
+          if ((nh->flags.load(std::memory_order_acquire) & kTupleDeleted) == 0) {
+            heap.MarkDeleted(ctx, w.new_version, tid_);
+          }
+        } else {
+          // The head keeps its creation timestamp (snapshots older than the
+          // delete must still see it); deletion visibility comes from the
+          // flag + delete_ts.
+          TupleHeader* oh = heap.Header(w.tuple);
+          RetireOldVersion(w.tuple, oh, /*superseded=*/false);
+          if ((oh->flags.load(std::memory_order_acquire) & kTupleDeleted) == 0) {
+            heap.MarkDeleted(ctx, w.tuple, tid_);
+          }
+        }
         if (engine->tuple_cache_ != nullptr) {
           engine->tuple_cache_->Invalidate(ctx, w.table, w.key);
         }
@@ -1165,6 +1250,7 @@ Status Txn::CommitOutOfPlace() {
     // Whole new versions flush as contiguous runs — out-of-place's one
     // advantage on full-tuple updates (§6.2.3).
     for (const WriteEntry& w : write_set_) {
+      CrashStep(CrashStepKind::kFlush);
       const PmOffset target = w.kind == LogOpKind::kUpdate ? w.new_version : w.tuple;
       TupleHeader* header = engine->table_heap(w.table).Header(target);
       ctx.Clwb(header, engine->table_meta(w.table).slot_size);
@@ -1173,6 +1259,7 @@ Status Txn::CommitOutOfPlace() {
 
   ReleaseLocks();
   if (slot_open_) {
+    CrashStep(CrashStepKind::kSlotRelease);
     worker_->log_->Release(ctx);
   }
   return Status::kOk;
@@ -1225,7 +1312,11 @@ void Txn::Abort() {
       // Its born-locked state dies with the slot (reinitialized on reuse).
       ForgetLock(w.tuple);
     } else if (w.new_version != kNullPm) {
-      heap.MarkDeleted(ctx, w.new_version, /*delete_tid=*/0);
+      // Guarded: an update and a delete of the same key share new_version.
+      TupleHeader* nh = heap.Header(w.new_version);
+      if ((nh->flags.load(std::memory_order_acquire) & kTupleDeleted) == 0) {
+        heap.MarkDeleted(ctx, w.new_version, /*delete_tid=*/0);
+      }
     }
   }
   ReleaseLocks();

@@ -7,6 +7,25 @@
 
 namespace falcon {
 
+namespace {
+
+// The bucket seqlock publishes through `version` (acquire/release): a reader
+// that raced a writer discards what it read when the version check fails.
+// The racing field accesses themselves still have to be atomic for that to
+// be defined behavior (and ThreadSanitizer-clean), so every field a lockless
+// reader may observe mid-write goes through these relaxed accessors.
+template <typename T>
+T SeqLoad(const T& field) {
+  return std::atomic_ref<const T>(field).load(std::memory_order_relaxed);
+}
+
+template <typename T>
+void SeqStore(T& field, T value) {
+  std::atomic_ref<T>(field).store(value, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 HashIndex::HashIndex(IndexSpace* space, ThreadContext& ctx) : space_(space) {
   root_ = space_->Alloc(ctx, sizeof(Root), alignof(Root));
   auto* r = root();
@@ -44,7 +63,10 @@ HashIndex::Location HashIndex::Locate(ThreadContext& ctx, uint64_t hash) const {
   auto* dir = space_->As<Directory>(loc.dir);
   ctx.TouchLoad(dir, sizeof(Directory));
   loc.slot = SlotFor(hash, dir->global_depth);
-  loc.bucket = dir->buckets[loc.slot];
+  // Acquire pairs with the release repoint in SplitBucket: a reader that
+  // sees a fresh sibling handle must also see the sibling's contents.
+  loc.bucket = std::atomic_ref<const IndexHandle>(dir->buckets[loc.slot])
+                   .load(std::memory_order_acquire);
   ctx.TouchLoad(&dir->buckets[loc.slot], sizeof(IndexHandle));
   return loc;
 }
@@ -54,7 +76,7 @@ bool HashIndex::StillMapped(const Location& loc) const {
     return false;
   }
   auto* dir = space_->As<Directory>(loc.dir);
-  return dir->buckets[loc.slot] == loc.bucket;
+  return SeqLoad(dir->buckets[loc.slot]) == loc.bucket;
 }
 
 uint32_t HashIndex::LockBucket(Bucket* bucket) {
@@ -88,11 +110,11 @@ PmOffset HashIndex::Lookup(ThreadContext& ctx, uint64_t key) {
       continue;  // writer active
     }
     PmOffset result = kNullPm;
-    const uint32_t count = bucket->count;
+    const uint32_t count = SeqLoad(bucket->count);
     ctx.TouchLoad(bucket, sizeof(Bucket));
     for (uint32_t i = 0; i < count && i < kHashBucketEntries; ++i) {
-      if (bucket->entries[i].key == key) {
-        result = bucket->entries[i].value;
+      if (SeqLoad(bucket->entries[i].key) == key) {
+        result = SeqLoad(bucket->entries[i].value);
         break;
       }
     }
@@ -120,8 +142,9 @@ Status HashIndex::Insert(ThreadContext& ctx, uint64_t key, PmOffset value) {
       }
     }
     if (bucket->count < kHashBucketEntries) {
-      bucket->entries[bucket->count] = Entry{key, value};
-      ++bucket->count;
+      SeqStore(bucket->entries[bucket->count].key, key);
+      SeqStore(bucket->entries[bucket->count].value, value);
+      SeqStore(bucket->count, bucket->count + 1);
       ctx.TouchStore(bucket, sizeof(Bucket));
       MaybeFlush(ctx, bucket, sizeof(Bucket));
       UnlockBucket(bucket);
@@ -148,7 +171,7 @@ Status HashIndex::Update(ThreadContext& ctx, uint64_t key, PmOffset value) {
     }
     for (uint32_t i = 0; i < bucket->count; ++i) {
       if (bucket->entries[i].key == key) {
-        bucket->entries[i].value = value;
+        SeqStore(bucket->entries[i].value, value);
         ctx.TouchStore(&bucket->entries[i], sizeof(Entry));
         MaybeFlush(ctx, &bucket->entries[i], sizeof(Entry));
         UnlockBucket(bucket);
@@ -172,8 +195,9 @@ Status HashIndex::Remove(ThreadContext& ctx, uint64_t key) {
     }
     for (uint32_t i = 0; i < bucket->count; ++i) {
       if (bucket->entries[i].key == key) {
-        bucket->entries[i] = bucket->entries[bucket->count - 1];
-        --bucket->count;
+        SeqStore(bucket->entries[i].key, bucket->entries[bucket->count - 1].key);
+        SeqStore(bucket->entries[i].value, bucket->entries[bucket->count - 1].value);
+        SeqStore(bucket->count, bucket->count - 1);
         ctx.TouchStore(bucket, sizeof(Bucket));
         MaybeFlush(ctx, bucket, sizeof(Bucket));
         UnlockBucket(bucket);
@@ -234,17 +258,23 @@ Status HashIndex::SplitBucket(ThreadContext& ctx, uint64_t hash) {
   auto* sibling = space_->As<Bucket>(sibling_handle);
   bucket->local_depth = old_depth + 1;
 
+  // The sibling is unpublished until the directory repoint below, so plain
+  // stores to it are fine; the old bucket stays visible to lockless readers
+  // throughout the split and needs the seqlock accessors.
   uint32_t kept = 0;
   for (uint32_t i = 0; i < bucket->count; ++i) {
-    const uint64_t entry_hash = Mix64(bucket->entries[i].key);
+    const Entry entry{bucket->entries[i].key, bucket->entries[i].value};
+    const uint64_t entry_hash = Mix64(entry.key);
     const bool to_sibling = ((entry_hash >> (63 - old_depth)) & 1u) != 0;
     if (to_sibling) {
-      sibling->entries[sibling->count++] = bucket->entries[i];
+      sibling->entries[sibling->count++] = entry;
     } else {
-      bucket->entries[kept++] = bucket->entries[i];
+      SeqStore(bucket->entries[kept].key, entry.key);
+      SeqStore(bucket->entries[kept].value, entry.value);
+      ++kept;
     }
   }
-  bucket->count = kept;
+  SeqStore(bucket->count, kept);
   ctx.TouchStore(bucket, sizeof(Bucket));
   ctx.TouchStore(sibling, sizeof(Bucket));
   MaybeFlush(ctx, bucket, sizeof(Bucket));
@@ -257,7 +287,8 @@ Status HashIndex::SplitBucket(ThreadContext& ctx, uint64_t hash) {
   const uint64_t range_size = 1ull << depth_gap;
   for (uint64_t i = 0; i < range_size; ++i) {
     if ((i >> (depth_gap - 1)) & 1u) {
-      dir->buckets[range_start + i] = sibling_handle;
+      std::atomic_ref<IndexHandle>(dir->buckets[range_start + i])
+          .store(sibling_handle, std::memory_order_release);
     }
   }
   ctx.TouchStore(&dir->buckets[range_start], range_size * sizeof(IndexHandle));

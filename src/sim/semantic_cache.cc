@@ -85,6 +85,16 @@ void SemanticCache::Clwb(void* addr, size_t len) {
   }
 }
 
+bool SemanticCache::IsDirty(const void* addr) const {
+  return lines_.count(LineBase(reinterpret_cast<uintptr_t>(addr))) != 0;
+}
+
+void SemanticCache::ForEachDirtyLine(const std::function<void(uintptr_t)>& fn) const {
+  for (const uintptr_t line : lru_) {
+    fn(line);
+  }
+}
+
 void SemanticCache::CrashAdr() {
   // Dirty cached data never reached the persistence domain: it is lost.
   lines_.clear();

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <list>
 #include <unordered_map>
 
@@ -51,6 +52,14 @@ class SemanticCache {
   void CrashEadr();
 
   size_t dirty_lines() const { return lines_.size(); }
+
+  // True when the line containing `addr` is buffered (i.e. would be lost by
+  // CrashAdr). Lets crash tests assert which lines are at risk.
+  bool IsDirty(const void* addr) const;
+
+  // Calls `fn` with the base address of every buffered line, most recently
+  // used first.
+  void ForEachDirtyLine(const std::function<void(uintptr_t)>& fn) const;
 
  private:
   struct LineBuf {

@@ -22,6 +22,11 @@ inline constexpr uint64_t kTupleCommitted = 1ull << 2;  // out-of-place: writer 
 // writes that land here (via a stale index observation) must abort; only
 // snapshot readers may traverse superseded versions.
 inline constexpr uint64_t kTupleSuperseded = 1ull << 3;
+// The tuple is chained into a thread's deleted list. Distinct from
+// kTupleDeleted: a revived tombstone clears the delete flag but stays listed
+// until TryReclaim drops it, and a second delete of such a tuple must NOT
+// append it again (a double append corrupts the chain).
+inline constexpr uint64_t kTupleListed = 1ull << 4;
 
 struct TupleHeader {
   // CC-dependent word: 2PL lock word, or write_ts with a lock bit for

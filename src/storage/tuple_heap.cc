@@ -29,9 +29,19 @@ PmOffset TupleHeap::Allocate(ThreadContext& ctx, uint64_t key, uint64_t min_acti
 void TupleHeap::MarkDeleted(ThreadContext& ctx, PmOffset tuple, uint64_t delete_tid) {
   TupleHeader* header = Header(tuple);
   header->delete_ts = delete_tid;
-  header->flags.fetch_or(kTupleDeleted, std::memory_order_release);
-  header->delete_next.store(kNullPm, std::memory_order_relaxed);
+  const uint64_t prev_flags =
+      header->flags.fetch_or(kTupleDeleted | kTupleListed, std::memory_order_release);
   ctx.TouchStore(header, sizeof(TupleHeader));
+  if ((prev_flags & kTupleDeleted) == 0) {
+    meta_->approx_tuple_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if ((prev_flags & kTupleListed) != 0) {
+    // Already chained into a deleted list: a revived tombstone stays listed
+    // until TryReclaim pops it, so deleting it again must not append a second
+    // time (the delete_next reset below would sever the chain behind it).
+    return;
+  }
+  header->delete_next.store(kNullPm, std::memory_order_relaxed);
 
   // Append to this thread's deleted list (tail pointer lives in the catalog;
   // entries chain through TupleHeader::delete_next). The list is local to
@@ -46,7 +56,6 @@ void TupleHeap::MarkDeleted(ThreadContext& ctx, PmOffset tuple, uint64_t delete_
   }
   meta_->deleted_tail[t] = tuple;
   ctx.TouchStore(&meta_->deleted_tail[t], sizeof(PmOffset));
-  meta_->approx_tuple_count.fetch_sub(1, std::memory_order_relaxed);
 }
 
 PmOffset TupleHeap::TryReclaim(ThreadContext& ctx, uint64_t min_active_tid) {
@@ -79,6 +88,8 @@ PmOffset TupleHeap::TryReclaim(ThreadContext& ctx, uint64_t min_active_tid) {
       meta_->deleted_tail[t] = kNullPm;
     }
     ctx.TouchStore(&meta_->deleted_head[t], sizeof(PmOffset));
+    // Off the list now; clear the listed bit so a future delete re-appends.
+    header->flags.fetch_and(~kTupleListed, std::memory_order_release);
     if (revived) {
       continue;
     }

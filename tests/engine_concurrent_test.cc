@@ -12,6 +12,7 @@
 
 #include "src/common/rng.h"
 #include "src/core/engine.h"
+#include "tests/harness/test_seed.h"
 
 namespace falcon {
 namespace {
@@ -75,12 +76,14 @@ TEST_P(ConcurrentEngineTest, TransfersPreserveTotalBalance) {
   // Classic serializability smoke: random transfers between accounts; the
   // sum of balances is invariant under any serializable execution.
   constexpr int kTransfersPerThread = 3000;
+  const uint64_t seed = test::TestSeed(7);
+  FALCON_SCOPED_SEED(seed);
   std::vector<std::thread> threads;
   std::atomic<uint64_t> committed{0};
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       Worker& w = engine_->worker(static_cast<uint32_t>(t));
-      Rng rng(t * 131 + 7);
+      Rng rng(seed + static_cast<uint64_t>(t) * 131);
       for (int i = 0; i < kTransfersPerThread; ++i) {
         const uint64_t from = rng.NextBounded(kAccounts);
         uint64_t to = rng.NextBounded(kAccounts);
@@ -185,7 +188,9 @@ TEST_P(ConcurrentEngineTest, ConcurrentInsertsOfDistinctKeys) {
     th.join();
   }
   Worker& w = engine_->worker(0);
-  Rng rng(3);
+  const uint64_t seed = test::TestSeed(3);
+  FALCON_SCOPED_SEED(seed);
+  Rng rng(seed);
   for (int i = 0; i < 2000; ++i) {
     const uint64_t key = 1000 + rng.NextBounded(kThreads * kPerThread);
     Txn txn = w.Begin();

@@ -1,0 +1,570 @@
+#include "tests/harness/crash_sweep.h"
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace falcon::test {
+namespace {
+
+// Shadow value meaning "key is dead". Generated values are Next() >> 1, so
+// the sentinel can never collide with a real value.
+constexpr uint64_t kDead = UINT64_MAX;
+constexpr uint32_t kValueColumn = 1;
+
+// Disjoint per-thread key partitions: thread t owns
+// [PartitionBase(t), PartitionBase(t) + 2 * keys_per_thread).
+uint64_t PartitionBase(uint32_t t) { return (uint64_t{t} + 1) << 20; }
+
+uint64_t InitialValue(uint64_t seed, uint64_t key) { return Mix64(seed ^ key) >> 1; }
+
+// key -> live value (absent = dead).
+using Shadow = std::map<uint64_t, uint64_t>;
+// key -> final value this txn will commit (kDead = delete).
+using Effects = std::map<uint64_t, uint64_t>;
+
+enum class OpKind : uint8_t { kRead, kUpdate, kInsert, kDelete };
+
+struct Op {
+  OpKind kind;
+  uint64_t key;
+  uint64_t value;
+};
+
+const char* OpName(OpKind k) {
+  switch (k) {
+    case OpKind::kRead: return "read";
+    case OpKind::kUpdate: return "update";
+    case OpKind::kInsert: return "insert";
+    case OpKind::kDelete: return "delete";
+  }
+  return "?";
+}
+
+// Plans one transaction against the thread's committed shadow. Fills
+// `effects` with the txn's intended final state per written key (reads
+// excluded). RNG consumption depends only on the shadow and seed, so the
+// counting run and every crash run draw identical plans.
+std::vector<Op> PlanTxn(Rng& rng, const SweepConfig& cfg, uint32_t t, const Shadow& shadow,
+                        Effects& effects) {
+  const uint64_t base = PartitionBase(t);
+  const uint64_t universe = 2ull * cfg.keys_per_thread;
+  const uint64_t n = 1 + rng.NextBounded(cfg.max_ops_per_txn);
+  std::vector<Op> ops;
+  std::set<uint64_t> tabu;  // keys deleted earlier in this txn: hands off
+  auto projected_live = [&](uint64_t key) {
+    const auto it = effects.find(key);
+    if (it != effects.end()) {
+      return it->second != kDead;
+    }
+    return shadow.count(key) != 0;
+  };
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    bool found = false;
+    for (int tries = 0; tries < 8; ++tries) {
+      key = base + rng.NextBounded(universe);
+      if (tabu.count(key) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      break;
+    }
+    if (projected_live(key)) {
+      // Mix reads, updates and deletes; updates dominate so update-then-
+      // delete and read-own-writes sequences occur regularly.
+      switch (rng.NextBounded(4)) {
+        case 0:
+          ops.push_back({OpKind::kRead, key, 0});
+          break;
+        case 1:
+        case 2: {
+          const uint64_t v = rng.Next() >> 1;
+          ops.push_back({OpKind::kUpdate, key, v});
+          effects[key] = v;
+          break;
+        }
+        default:
+          ops.push_back({OpKind::kDelete, key, 0});
+          effects[key] = kDead;
+          tabu.insert(key);
+          break;
+      }
+    } else {
+      const uint64_t v = rng.Next() >> 1;
+      ops.push_back({OpKind::kInsert, key, v});
+      effects[key] = v;
+    }
+  }
+  return ops;
+}
+
+enum class TxnOutcome : uint8_t { kCommitted, kGaveUp, kCrashed, kBroken };
+
+std::string DescribePlan(const std::vector<Op>& ops) {
+  std::ostringstream os;
+  os << " [plan:";
+  for (const Op& op : ops) {
+    os << " " << OpName(op.kind) << "(" << op.key << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+struct WoundedTxn {
+  bool fired = false;
+  CrashStepKind kind = CrashStepKind::kNone;
+  uint64_t step = 0;
+  Effects effects;  // intended final state of the crashed txn
+};
+
+// Executes one planned transaction with abort-retry. Reads are validated
+// against the shadow + own writes (exact: partitions are single-writer).
+TxnOutcome RunTxn(Worker& worker, TableId table, const std::vector<Op>& ops,
+                  const Shadow& shadow, WoundedTxn* wound, std::string* broken) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    try {
+      Txn txn = worker.Begin();
+      Effects applied;  // own writes executed so far (read-own-writes oracle)
+      auto expect = [&](uint64_t key) {
+        const auto it = applied.find(key);
+        if (it != applied.end()) {
+          return it->second;
+        }
+        const auto s = shadow.find(key);
+        return s == shadow.end() ? kDead : s->second;
+      };
+      bool aborted = false;
+      for (const Op& op : ops) {
+        Status s = Status::kOk;
+        switch (op.kind) {
+          case OpKind::kRead: {
+            uint64_t v = kDead;
+            s = txn.ReadColumn(table, op.key, kValueColumn, &v);
+            if (s == Status::kOk || s == Status::kNotFound) {
+              const uint64_t got = (s == Status::kOk) ? v : kDead;
+              const uint64_t want = expect(op.key);
+              if (got != want) {
+                std::ostringstream os;
+                os << "read of key " << op.key << " saw " << got << ", expected " << want
+                   << DescribePlan(ops);
+                *broken = os.str();
+                return TxnOutcome::kBroken;
+              }
+              s = Status::kOk;
+            }
+            break;
+          }
+          case OpKind::kUpdate:
+            s = txn.UpdateColumn(table, op.key, kValueColumn, &op.value);
+            if (s == Status::kOk) {
+              applied[op.key] = op.value;
+            }
+            break;
+          case OpKind::kInsert: {
+            const uint64_t row[2] = {op.key, op.value};
+            s = txn.Insert(table, op.key, row);
+            if (s == Status::kOk) {
+              applied[op.key] = op.value;
+            }
+            break;
+          }
+          case OpKind::kDelete:
+            s = txn.Delete(table, op.key);
+            if (s == Status::kOk) {
+              applied[op.key] = kDead;
+            }
+            break;
+        }
+        if (s == Status::kAborted) {
+          aborted = true;
+          break;
+        }
+        if (s != Status::kOk) {
+          std::ostringstream os;
+          os << OpName(op.kind) << " of key " << op.key << " returned status "
+             << static_cast<int>(s) << DescribePlan(ops);
+          *broken = os.str();
+          return TxnOutcome::kBroken;
+        }
+      }
+      if (!aborted) {
+        const Status cs = txn.Commit();
+        if (cs == Status::kOk) {
+          return TxnOutcome::kCommitted;
+        }
+        if (cs != Status::kAborted) {
+          std::ostringstream os;
+          os << "commit returned status " << static_cast<int>(cs);
+          *broken = os.str();
+          return TxnOutcome::kBroken;
+        }
+      }
+      // Aborted: the destructor rolled back whatever remained; retry the
+      // same plan so RNG consumption stays deterministic.
+    } catch (const TxnCrashed& crashed) {
+      wound->fired = true;
+      wound->kind = crashed.kind;
+      wound->step = crashed.step;
+      return TxnOutcome::kCrashed;
+    }
+  }
+  return TxnOutcome::kGaveUp;
+}
+
+class SweepRun {
+ public:
+  explicit SweepRun(const SweepConfig& cfg) : cfg_(cfg), shadows_(cfg.threads) {}
+
+  // Builds the engine, preloads the live half of every partition, and
+  // records the preloaded values in the shadows.
+  bool Preload(std::string* error) {
+    device_ = std::make_unique<NvmDevice>(cfg_.device_bytes);
+    engine_ = std::make_unique<Engine>(device_.get(), cfg_.make(cfg_.cc), cfg_.threads);
+    SchemaBuilder schema("sweep");
+    schema.AddU64();  // column 0: key copy
+    schema.AddU64();  // column 1: value
+    table_ = engine_->CreateTable(schema, IndexKind::kHash);
+    Worker& w = engine_->worker(0);
+    for (uint32_t t = 0; t < cfg_.threads; ++t) {
+      const uint64_t base = PartitionBase(t);
+      for (uint32_t i = 0; i < cfg_.keys_per_thread; ++i) {
+        const uint64_t key = base + i;
+        const uint64_t value = InitialValue(cfg_.seed, key);
+        Txn txn = w.Begin();
+        const uint64_t row[2] = {key, value};
+        if (txn.Insert(table_, key, row) != Status::kOk || txn.Commit() != Status::kOk) {
+          *error = "preload insert failed";
+          return false;
+        }
+        shadows_[t][key] = value;
+        ++commits_acked_;
+      }
+    }
+    return true;
+  }
+
+  // Runs the workload. `step` 0 = no crash; in counting mode the injector
+  // numbers steps without firing.
+  void RunWorkload(uint64_t step, bool count_only) {
+    if (count_only) {
+      engine_->BeginCrashStepCount();
+    } else if (step == 0) {
+      engine_->DisarmCrash();
+    } else {
+      engine_->ArmCrashAtStep(step);
+    }
+    if (cfg_.threads == 1) {
+      ThreadBody(0);
+      return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(cfg_.threads);
+    for (uint32_t t = 0; t < cfg_.threads; ++t) {
+      threads.emplace_back([this, t] { ThreadBody(t); });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+  }
+
+  // Simulated power failure: drop the engine (all completed stores survive
+  // in the device, the eADR model) and reopen over the same device.
+  void CrashAndReopen() {
+    engine_.reset();
+    engine_ = std::make_unique<Engine>(device_.get(), cfg_.make(cfg_.cc), cfg_.threads);
+  }
+
+  const SweepConfig& cfg_;
+  std::unique_ptr<NvmDevice> device_;
+  std::unique_ptr<Engine> engine_;
+  TableId table_ = 0;
+  std::vector<Shadow> shadows_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> commits_acked_{0};
+  WoundedTxn wound_;  // at most one thread fires (exactly-once injector)
+  std::mutex broken_mu_;
+  std::string broken_;
+
+ private:
+  void ThreadBody(uint32_t t) {
+    Rng rng(Mix64(cfg_.seed ^ (0x517cc1b727220a95ull + t)));
+    Shadow& shadow = shadows_[t];
+    Worker& worker = engine_->worker(t);
+    for (uint32_t i = 0; i < cfg_.txns_per_thread; ++i) {
+      if (stop_.load(std::memory_order_acquire)) {
+        break;
+      }
+      Effects effects;
+      const std::vector<Op> ops = PlanTxn(rng, cfg_, t, shadow, effects);
+      if (ops.empty()) {
+        continue;
+      }
+      WoundedTxn wound;
+      std::string broken;
+      const TxnOutcome outcome = RunTxn(worker, table_, ops, shadow, &wound, &broken);
+      switch (outcome) {
+        case TxnOutcome::kCommitted:
+          for (const auto& [key, value] : effects) {
+            if (value == kDead) {
+              shadow.erase(key);
+            } else {
+              shadow[key] = value;
+            }
+          }
+          commits_acked_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case TxnOutcome::kGaveUp:
+          break;  // conflict storm; plan was still drawn deterministically
+        case TxnOutcome::kCrashed:
+          wound.effects = std::move(effects);
+          wound_ = std::move(wound);  // single writer: injector fires once
+          stop_.store(true, std::memory_order_release);
+          return;
+        case TxnOutcome::kBroken: {
+          std::lock_guard<std::mutex> lock(broken_mu_);
+          if (broken_.empty()) {
+            broken_ = "thread " + std::to_string(t) + ": " + broken;
+          }
+          stop_.store(true, std::memory_order_release);
+          return;
+        }
+      }
+    }
+  }
+};
+
+std::string Prefix(const SweepConfig& cfg, uint64_t step) {
+  std::ostringstream os;
+  os << "[crash-sweep engine=" << cfg.make(cfg.cc).name << " cc=" << CcSchemeName(cfg.cc)
+     << " seed=" << cfg.seed << " step=" << step << "] ";
+  return os.str();
+}
+
+// Post-recovery verification. Returns the first violation, or "".
+std::string Verify(SweepRun& run, uint64_t step) {
+  const SweepConfig& cfg = run.cfg_;
+  Engine& engine = *run.engine_;
+  const TableId table = *engine.FindTableId("sweep");
+  const bool out_of_place = engine.config().update_mode == UpdateMode::kOutOfPlace;
+
+  if (!engine.recovery_report().recovered) {
+    return Prefix(cfg, step) + "reopen did not run recovery";
+  }
+
+  // Expected post-crash state: acknowledged shadows, plus the wounded txn's
+  // effects iff it crashed after the commit mark (all-new); a crash at or
+  // before the mark must leave every wounded key all-old.
+  std::map<uint64_t, uint64_t> expected;
+  for (uint32_t t = 0; t < cfg.threads; ++t) {
+    const uint64_t base = PartitionBase(t);
+    for (uint64_t k = base; k < base + 2ull * cfg.keys_per_thread; ++k) {
+      const auto it = run.shadows_[t].find(k);
+      expected[k] = it == run.shadows_[t].end() ? kDead : it->second;
+    }
+  }
+  if (run.wound_.fired && !CrashStepPrecedesCommit(run.wound_.kind)) {
+    for (const auto& [key, value] : run.wound_.effects) {
+      expected[key] = value;
+    }
+  }
+
+  // 1. Durability + atomicity via the transactional read path.
+  Worker& w = engine.worker(0);
+  constexpr uint64_t kUnreadable = kDead - 1;  // read never succeeded
+  auto read_value = [&](uint64_t key) {
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      Txn txn = w.Begin();
+      uint64_t value = 0;
+      const Status s = txn.ReadColumn(table, key, kValueColumn, &value);
+      if (s == Status::kNotFound) {
+        txn.Commit();
+        return kDead;
+      }
+      if (s == Status::kOk && txn.Commit() == Status::kOk) {
+        return value;
+      }
+    }
+    return kUnreadable;
+  };
+  for (const auto& [key, want] : expected) {
+    const uint64_t got = read_value(key);
+    if (got != want) {
+      std::ostringstream os;
+      os << Prefix(cfg, step) << "key " << key << ": recovered value ";
+      if (got == kDead) {
+        os << "<dead>";
+      } else {
+        os << got;
+      }
+      os << ", oracle expects ";
+      if (want == kDead) {
+        os << "<dead>";
+      } else {
+        os << want;
+      }
+      if (run.wound_.fired && run.wound_.effects.count(key) != 0) {
+        os << " (wounded txn, crashed at " << CrashStepKindName(run.wound_.kind)
+           << ", must be " << (CrashStepPrecedesCommit(run.wound_.kind) ? "all-old" : "all-new")
+           << ")";
+      }
+      // Header diagnostics: what does the index resolve to?
+      const PmOffset off = engine.table_index(table).Lookup(w.ctx(), key);
+      if (off == kNullPm) {
+        os << " [index: no entry]";
+      } else {
+        TupleHeader* header = engine.table_heap(table).Header(off);
+        os << " [index -> tuple key=" << header->key << " flags=0x" << std::hex
+           << header->flags.load(std::memory_order_acquire) << " cc_word=0x"
+           << header->cc_word.load(std::memory_order_acquire) << std::dec << "]";
+      }
+      return os.str();
+    }
+  }
+
+  // 2. Index/heap agreement per key.
+  Index& index = engine.table_index(table);
+  TupleHeap& heap = engine.table_heap(table);
+  ThreadContext& ctx = w.ctx();
+  for (const auto& [key, want] : expected) {
+    const PmOffset off = index.Lookup(ctx, key);
+    if (want == kDead) {
+      if (off != kNullPm) {
+        const uint64_t flags = heap.Header(off)->flags.load(std::memory_order_acquire);
+        if ((flags & kTupleDeleted) == 0 && (flags & kTupleValid) != 0 &&
+            (!out_of_place || (flags & kTupleCommitted) != 0)) {
+          std::ostringstream os;
+          os << Prefix(cfg, step) << "dead key " << key
+             << " resolves to a live tuple (flags=" << flags << ")";
+          return os.str();
+        }
+      }
+      continue;
+    }
+    if (off == kNullPm) {
+      std::ostringstream os;
+      os << Prefix(cfg, step) << "live key " << key << " missing from the index";
+      return os.str();
+    }
+    TupleHeader* header = heap.Header(off);
+    const uint64_t flags = header->flags.load(std::memory_order_acquire);
+    if (header->key != key || (flags & kTupleValid) == 0 || (flags & kTupleDeleted) != 0 ||
+        (flags & kTupleSuperseded) != 0 || (out_of_place && (flags & kTupleCommitted) == 0)) {
+      std::ostringstream os;
+      os << Prefix(cfg, step) << "live key " << key << " resolves to a bad header (key="
+         << header->key << " flags=" << flags << ")";
+      return os.str();
+    }
+  }
+
+  // 3. At most one live current version per key in the whole heap.
+  {
+    std::map<uint64_t, int> live;
+    std::string dup;
+    heap.ForEachSlot([&](PmOffset, TupleHeader* header) {
+      const uint64_t flags = header->flags.load(std::memory_order_acquire);
+      const bool current = (flags & kTupleValid) != 0 && (flags & kTupleDeleted) == 0 &&
+                           (flags & kTupleSuperseded) == 0 &&
+                           (!out_of_place || (flags & kTupleCommitted) != 0);
+      if (current && ++live[header->key] == 2 && dup.empty()) {
+        dup = std::to_string(header->key);
+      }
+    });
+    if (!dup.empty()) {
+      return Prefix(cfg, step) + "key " + dup + " has two live versions in the heap";
+    }
+  }
+
+  // 4. Every log slot is free again (nothing leaked across recovery).
+  for (uint32_t t = 0; t < engine.worker_count(); ++t) {
+    LogWindow& log = engine.worker(t).log();
+    if (log.FreeSlotCount() != log.slot_count()) {
+      std::ostringstream os;
+      os << Prefix(cfg, step) << "worker " << t << " log window leaked slots ("
+         << log.FreeSlotCount() << "/" << log.slot_count() << " free)";
+      return os.str();
+    }
+  }
+
+  // 5. Every partition stays writable: no lock, latch, or half-dead index
+  // entry may wedge a key after recovery.
+  for (uint32_t t = 0; t < cfg.threads; ++t) {
+    const uint64_t key = PartitionBase(t) + (t % (2ull * cfg.keys_per_thread));
+    const uint64_t fresh = Mix64(cfg.seed ^ step ^ key) >> 1;
+    bool done = false;
+    for (int attempt = 0; attempt < 16 && !done; ++attempt) {
+      Txn txn = w.Begin();
+      Status s;
+      if (expected[key] == kDead) {
+        const uint64_t row[2] = {key, fresh};
+        s = txn.Insert(table, key, row);
+      } else {
+        s = txn.UpdateColumn(table, key, kValueColumn, &fresh);
+      }
+      done = s == Status::kOk && txn.Commit() == Status::kOk;
+    }
+    if (!done) {
+      std::ostringstream os;
+      os << Prefix(cfg, step) << "key " << key << " is wedged after recovery";
+      return os.str();
+    }
+    if (read_value(key) != fresh) {
+      std::ostringstream os;
+      os << Prefix(cfg, step) << "post-recovery write to key " << key << " did not stick";
+      return os.str();
+    }
+  }
+
+  return "";
+}
+
+}  // namespace
+
+uint64_t CountSteps(const SweepConfig& cfg) {
+  SweepRun run(cfg);
+  std::string error;
+  if (!run.Preload(&error)) {
+    return 0;
+  }
+  run.RunWorkload(/*step=*/0, /*count_only=*/true);
+  return run.engine_->CrashStepsCounted();
+}
+
+SweepResult RunCrashAt(const SweepConfig& cfg, uint64_t step) {
+  SweepResult result;
+  SweepRun run(cfg);
+  std::string error;
+  if (!run.Preload(&error)) {
+    result.violation = Prefix(cfg, step) + error;
+    return result;
+  }
+  run.RunWorkload(step, /*count_only=*/false);
+  result.commits_acked = run.commits_acked_.load();
+  {
+    std::lock_guard<std::mutex> lock(run.broken_mu_);
+    if (!run.broken_.empty()) {
+      result.violation = Prefix(cfg, step) + "pre-crash oracle violation: " + run.broken_;
+      return result;
+    }
+  }
+  result.crashed = run.wound_.fired;
+  result.crash_step = run.wound_.step;
+  result.crash_kind = run.wound_.kind;
+  run.CrashAndReopen();
+  result.report = run.engine_->recovery_report();
+  result.violation = Verify(run, step);
+  return result;
+}
+
+}  // namespace falcon::test

@@ -1,0 +1,78 @@
+// Deterministic crash-sweep harness with a shadow-table oracle.
+//
+// A sweep runs a seeded mixed insert/update/delete workload against a fresh
+// engine, crashes it at one exact persistence step (Engine::ArmCrashAtStep),
+// reopens the engine over the surviving device image (the eADR crash model),
+// and checks every recovery invariant against a shadow table that recorded
+// each *acknowledged* commit:
+//
+//   durability   — every acknowledged write survives; nothing else appears
+//   atomicity    — the wounded transaction is all-old (crash at or before
+//                  the commit mark) or all-new (crash after it)
+//   consistency  — index and heap agree: at most one live version per key,
+//                  expected-dead keys resolve to tombstones or nothing
+//   liveness     — every log slot is free again and every touched key is
+//                  writable (no lock or latch survives the crash)
+//
+// Workers write disjoint key partitions, so each thread's shadow is exact
+// even in the multi-threaded sweep: an acknowledged commit on partition t
+// can only have come from thread t.
+//
+// CountSteps() runs the same seeded workload in counting mode (no crash) and
+// returns how many persistence steps it generates, so a driver can enumerate
+// RunCrashAt(cfg, 1..N) exhaustively. Step 0 means "never crash" (clean run,
+// still verified).
+//
+// The library is gtest-free so benchmarks can reuse it; tests wrap the
+// returned SweepResult in EXPECT/ASSERT.
+
+#ifndef TESTS_HARNESS_CRASH_SWEEP_H_
+#define TESTS_HARNESS_CRASH_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/engine.h"
+
+namespace falcon::test {
+
+struct SweepConfig {
+  // Engine preset under test, e.g. &EngineConfig::Falcon (taking the CC
+  // scheme so one sweep covers every scheme x engine combination).
+  EngineConfig (*make)(CcScheme) = nullptr;
+  CcScheme cc = CcScheme::kOcc;
+  uint32_t threads = 1;
+  uint32_t txns_per_thread = 32;
+  // Live keys preloaded per partition; the partition universe is twice this
+  // (the second half starts dead so inserts and revivals get exercised).
+  uint32_t keys_per_thread = 16;
+  uint32_t max_ops_per_txn = 4;
+  uint64_t seed = 1;
+  uint64_t device_bytes = 64ull << 20;
+};
+
+struct SweepResult {
+  bool crashed = false;  // the armed step fired
+  uint64_t crash_step = 0;
+  CrashStepKind crash_kind = CrashStepKind::kNone;
+  uint64_t commits_acked = 0;  // successful Commit() calls (incl. preload)
+  RecoveryReport report;       // from the post-crash reopen
+  // First oracle violation, empty when every invariant held. The message
+  // embeds the seed and step for deterministic replay.
+  std::string violation;
+
+  bool ok() const { return violation.empty(); }
+};
+
+// Runs the workload in counting mode and returns the number of persistence
+// steps it generates (>= 1 for any non-empty workload).
+uint64_t CountSteps(const SweepConfig& cfg);
+
+// Runs the workload crashing at `step` (1-based; 0 = no crash), recovers,
+// and verifies. With threads == 1 the run is fully deterministic in
+// cfg.seed, so a failure replays exactly.
+SweepResult RunCrashAt(const SweepConfig& cfg, uint64_t step);
+
+}  // namespace falcon::test
+
+#endif  // TESTS_HARNESS_CRASH_SWEEP_H_

@@ -1,0 +1,35 @@
+// FALCON_TEST_SEED support for RNG-seeded tests.
+//
+// Every randomized test derives its seed through TestSeed(default): normal
+// runs are deterministic (the default), and setting FALCON_TEST_SEED=<n>
+// replays a failure reported by FALCON_SCOPED_SEED. The macro attaches the
+// effective seed to every assertion in scope, so any failure prints the
+// exact environment line needed to reproduce it.
+
+#ifndef TESTS_HARNESS_TEST_SEED_H_
+#define TESTS_HARNESS_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace falcon::test {
+
+// Returns FALCON_TEST_SEED when the env var is set and parseable (decimal,
+// or hex with a 0x prefix), otherwise `fallback`.
+inline uint64_t TestSeed(uint64_t fallback) {
+  const char* env = std::getenv("FALCON_TEST_SEED");
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 0);
+  return end != env ? static_cast<uint64_t>(parsed) : fallback;
+}
+
+}  // namespace falcon::test
+
+// Requires <gtest/gtest.h> at the use site.
+#define FALCON_SCOPED_SEED(seed) \
+  SCOPED_TRACE(::testing::Message() << "replay with FALCON_TEST_SEED=" << (seed))
+
+#endif  // TESTS_HARNESS_TEST_SEED_H_

@@ -1,0 +1,207 @@
+// Delete-flag GC across recovery (paper §5.4): deleted-but-unreclaimed
+// tuples must stay deleted after a reopen, the per-thread deleted lists must
+// be rebuilt so reclamation keeps working, and delete-heavy transactions
+// must stay atomic across crashes — including the update-then-delete and
+// delete/revive/delete shapes that stress the tombstone bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/core/engine.h"
+
+namespace falcon {
+namespace {
+
+struct Param {
+  const char* label;
+  EngineConfig (*make)(CcScheme);
+  CcScheme cc;
+};
+
+EngineConfig MakeFalcon(CcScheme cc) { return EngineConfig::Falcon(cc); }
+EngineConfig MakeOutp(CcScheme cc) { return EngineConfig::Outp(cc); }
+EngineConfig MakeZenS(CcScheme cc) { return EngineConfig::ZenS(cc); }
+
+class DeletedGcRecoveryTest : public ::testing::TestWithParam<Param> {
+ protected:
+  static constexpr uint64_t kRows = 64;
+
+  DeletedGcRecoveryTest() : dev_(256ul * 1024 * 1024) { Open(); }
+
+  void Open() {
+    engine_ = std::make_unique<Engine>(&dev_, GetParam().make(GetParam().cc), 2);
+    if (!engine_->recovery_report().recovered) {
+      SchemaBuilder schema("t");
+      schema.AddU64();
+      schema.AddU64();
+      table_ = engine_->CreateTable(schema, IndexKind::kHash);
+      Worker& w = engine_->worker(0);
+      for (uint64_t k = 0; k < kRows; ++k) {
+        Txn txn = w.Begin();
+        const uint64_t row[2] = {k, 100 + k};
+        ASSERT_EQ(txn.Insert(table_, k, row), Status::kOk);
+        ASSERT_EQ(txn.Commit(), Status::kOk);
+      }
+    } else {
+      table_ = *engine_->FindTableId("t");
+    }
+  }
+
+  void Reopen() {
+    engine_.reset();
+    Open();
+    ASSERT_TRUE(engine_->recovery_report().recovered);
+  }
+
+  uint64_t ReadValue(uint64_t key) {
+    Worker& w = engine_->worker(0);
+    for (;;) {
+      Txn txn = w.Begin();
+      uint64_t value = 0;
+      const Status s = txn.ReadColumn(table_, key, 1, &value);
+      if (s == Status::kNotFound) {
+        return UINT64_MAX;
+      }
+      if (s == Status::kOk && txn.Commit() == Status::kOk) {
+        return value;
+      }
+    }
+  }
+
+  void Delete(uint64_t key) {
+    Worker& w = engine_->worker(0);
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.Delete(table_, key), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+
+  void Insert(uint64_t key, uint64_t value) {
+    Worker& w = engine_->worker(0);
+    Txn txn = w.Begin();
+    const uint64_t row[2] = {key, value};
+    ASSERT_EQ(txn.Insert(table_, key, row), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+
+  NvmDevice dev_;
+  std::unique_ptr<Engine> engine_;
+  TableId table_ = 0;
+};
+
+TEST_P(DeletedGcRecoveryTest, DeletedStaysDeletedAfterReopen) {
+  for (uint64_t k = 0; k < 16; ++k) {
+    Delete(k);
+  }
+  Reopen();
+  for (uint64_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(ReadValue(k), UINT64_MAX) << k;
+  }
+  for (uint64_t k = 16; k < 24; ++k) {
+    EXPECT_EQ(ReadValue(k), 100 + k) << k;
+  }
+}
+
+TEST_P(DeletedGcRecoveryTest, DeletedListIsRebuiltAndCounted) {
+  for (uint64_t k = 0; k < 16; ++k) {
+    Delete(k);
+  }
+  Reopen();
+  // Stage 5 reconciliation must have walked the surviving tombstones.
+  EXPECT_GE(engine_->recovery_report().deleted_entries, 16u);
+}
+
+TEST_P(DeletedGcRecoveryTest, TombstonesAreReclaimedAfterReopen) {
+  for (uint64_t k = 0; k < 32; ++k) {
+    Delete(k);
+  }
+  Reopen();
+  const uint64_t slots_before = engine_->table_heap(table_).CountSlots();
+  // Fresh inserts (new keys) should reuse the recovered tombstones instead
+  // of growing the heap: every pre-crash delete is older than any
+  // post-recovery TID, so the whole list is reclaimable.
+  for (uint64_t k = 0; k < 32; ++k) {
+    Insert(10000 + k, k);
+  }
+  const uint64_t slots_after = engine_->table_heap(table_).CountSlots();
+  EXPECT_EQ(slots_after, slots_before)
+      << "inserts after recovery must drain the rebuilt deleted list";
+  for (uint64_t k = 0; k < 32; ++k) {
+    EXPECT_EQ(ReadValue(10000 + k), k) << k;
+  }
+}
+
+TEST_P(DeletedGcRecoveryTest, DeleteReviveDeleteSurvivesReopen) {
+  // Exercises the tombstone "listed" bookkeeping: the revived tuple is still
+  // chained in the deleted list, and the second delete must not corrupt it.
+  Delete(3);
+  Insert(3, 9001);
+  EXPECT_EQ(ReadValue(3), 9001u);
+  Delete(3);
+  Reopen();
+  EXPECT_EQ(ReadValue(3), UINT64_MAX);
+  // The key (and the rest of the table) must remain fully usable.
+  Insert(3, 9002);
+  EXPECT_EQ(ReadValue(3), 9002u);
+  EXPECT_EQ(ReadValue(4), 104u);
+}
+
+TEST_P(DeletedGcRecoveryTest, UpdateThenDeleteInOneTxnIsAtomicAcrossCrash) {
+  for (const CrashPoint point : {CrashPoint::kBeforeCommitMark, CrashPoint::kAfterCommitMark}) {
+    const uint64_t key = point == CrashPoint::kBeforeCommitMark ? 40 : 41;
+    engine_->ArmCrashPoint(point);
+    bool crashed = false;
+    try {
+      Worker& w = engine_->worker(0);
+      Txn txn = w.Begin();
+      const uint64_t v = 7777;
+      ASSERT_EQ(txn.UpdateColumn(table_, key, 1, &v), Status::kOk);
+      ASSERT_EQ(txn.Delete(table_, key), Status::kOk);
+      txn.Commit();
+    } catch (const TxnCrashed&) {
+      crashed = true;
+    }
+    ASSERT_TRUE(crashed) << static_cast<int>(point);
+    Reopen();
+    if (point == CrashPoint::kBeforeCommitMark) {
+      EXPECT_EQ(ReadValue(key), 100 + key) << "all-old: neither update nor delete may land";
+    } else {
+      EXPECT_EQ(ReadValue(key), UINT64_MAX) << "all-new: the delete must be recovered";
+    }
+  }
+}
+
+TEST_P(DeletedGcRecoveryTest, CrashedDeleteLeavesKeyWritable) {
+  engine_->ArmCrashPoint(CrashPoint::kMidApply);
+  bool crashed = false;
+  try {
+    Worker& w = engine_->worker(0);
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.Delete(table_, 50), Status::kOk);
+    ASSERT_EQ(txn.Delete(table_, 51), Status::kOk);
+    txn.Commit();
+  } catch (const TxnCrashed&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+  Reopen();
+  // Crash after the mark mid-apply: both deletes must be completed by replay.
+  EXPECT_EQ(ReadValue(50), UINT64_MAX);
+  EXPECT_EQ(ReadValue(51), UINT64_MAX);
+  Insert(50, 1234);
+  EXPECT_EQ(ReadValue(50), 1234u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, DeletedGcRecoveryTest,
+    ::testing::Values(Param{"Falcon_OCC", MakeFalcon, CcScheme::kOcc},
+                      Param{"Falcon_2PL", MakeFalcon, CcScheme::k2pl},
+                      Param{"Falcon_TO", MakeFalcon, CcScheme::kTo},
+                      Param{"Falcon_MVOCC", MakeFalcon, CcScheme::kMvOcc},
+                      Param{"Outp_OCC", MakeOutp, CcScheme::kOcc},
+                      Param{"ZenS_OCC", MakeZenS, CcScheme::kOcc}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,125 @@
+// Multi-threaded randomized crash sweep: several workers run disjoint
+// partitions of the mixed workload while a random persistence step is armed;
+// exactly one thread crashes (the injector consumes the step atomically),
+// the engine is reopened, and the shadow oracle must hold. Every round's
+// seed and step are printed on failure for deterministic replay.
+//
+// Kept small enough to finish well under the 5-minute CI budget with
+// ThreadSanitizer instrumentation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "tests/harness/crash_sweep.h"
+#include "tests/harness/test_seed.h"
+
+namespace falcon::test {
+namespace {
+
+struct Param {
+  const char* label;
+  EngineConfig (*make)(CcScheme);
+  CcScheme cc;
+};
+
+EngineConfig MakeFalcon(CcScheme cc) { return EngineConfig::Falcon(cc); }
+EngineConfig MakeZenS(CcScheme cc) { return EngineConfig::ZenS(cc); }
+
+class ConcurrentCrashSweepTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ConcurrentCrashSweepTest, RandomCrashPointsRecover) {
+  constexpr int kRounds = 8;
+  const uint64_t base_seed = TestSeed(0xc0ffee ^ static_cast<uint64_t>(GetParam().cc));
+
+  SweepConfig cfg;
+  cfg.make = GetParam().make;
+  cfg.cc = GetParam().cc;
+  cfg.threads = 3;
+  cfg.txns_per_thread = 24;
+  cfg.keys_per_thread = 12;
+  cfg.max_ops_per_txn = 4;
+  cfg.seed = base_seed;
+
+  // Step budget from one counting run. Interleaving shifts the exact count
+  // round to round, so an armed step can fall past the end and never fire —
+  // the oracle must hold either way.
+  const uint64_t approx_steps = CountSteps(cfg);
+  ASSERT_GT(approx_steps, 0u);
+
+  Rng pick(Mix64(base_seed));
+  int fired = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    cfg.seed = Mix64(base_seed ^ static_cast<uint64_t>(round + 1));
+    const uint64_t step = 1 + pick.NextBounded(approx_steps);
+    FALCON_SCOPED_SEED(cfg.seed);
+    SCOPED_TRACE(::testing::Message() << "round " << round << " armed step " << step);
+    const SweepResult r = RunCrashAt(cfg, step);
+    ASSERT_TRUE(r.ok()) << r.violation;
+    if (r.crashed) {
+      ++fired;
+      EXPECT_EQ(r.crash_step, step);
+    }
+  }
+  EXPECT_GT(fired, 0) << "no round ever reached its armed step; sweep is vacuous";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, ConcurrentCrashSweepTest,
+    ::testing::Values(Param{"Falcon_OCC", MakeFalcon, CcScheme::kOcc},
+                      Param{"Falcon_2PL", MakeFalcon, CcScheme::k2pl},
+                      Param{"Falcon_MVTO", MakeFalcon, CcScheme::kMvTo},
+                      Param{"ZenS_OCC", MakeZenS, CcScheme::kOcc}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+// The injector itself must fire exactly once no matter how many threads race
+// past the armed step (satellite: race-safe crash injection).
+TEST(CrashInjectorTest, ExactlyOneThreadFires) {
+  for (int round = 0; round < 50; ++round) {
+    CrashInjector injector;
+    injector.ArmStep(64);
+    std::atomic<int> fired{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 64; ++i) {
+          if (injector.ConsumeStep() != 0) {
+            fired.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    EXPECT_EQ(fired.load(), 1) << "round " << round;
+  }
+}
+
+TEST(CrashInjectorTest, DisarmedInjectorNeverFires) {
+  CrashInjector injector;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.ConsumeStep(), 0u);
+  }
+  injector.ArmStep(5);
+  injector.Disarm();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.ConsumeStep(), 0u);
+  }
+}
+
+TEST(CrashInjectorTest, CountingModeNumbersWithoutFiring) {
+  CrashInjector injector;
+  injector.BeginCount();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(injector.ConsumeStep(), 0u);
+  }
+  EXPECT_EQ(injector.StepsCounted(), 10u);
+}
+
+}  // namespace
+}  // namespace falcon::test

@@ -8,6 +8,7 @@
 #include "src/sim/cache_model.h"
 #include "src/sim/nvm_device.h"
 #include "src/sim/thread_context.h"
+#include "tests/harness/test_seed.h"
 
 namespace falcon {
 namespace {
@@ -18,7 +19,9 @@ class XpBufferSweep : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(XpBufferSweep, DrainAccountingAlwaysBalances) {
   NvmDevice dev(64ul << 20, CostParams{}, GetParam());
-  Rng rng(GetParam());
+  const uint64_t seed = test::TestSeed(GetParam());
+  FALCON_SCOPED_SEED(seed);
+  Rng rng(seed);
   for (int i = 0; i < 50000; ++i) {
     const uint64_t block = rng.NextBounded(1000);
     const uint64_t line = rng.NextBounded(kLinesPerBlock);
@@ -105,7 +108,9 @@ TEST_P(CacheGeometrySweep, OversizedWorkingSetAlwaysThrashes) {
 TEST_P(CacheGeometrySweep, HitsPlusMissesEqualsLineTouches) {
   NvmDevice dev(64ul << 20);
   CacheModel cache(&dev, CacheGeometry{GetParam().sets, GetParam().ways}, CostParams{});
-  Rng rng(9);
+  const uint64_t seed = test::TestSeed(9);
+  FALCON_SCOPED_SEED(seed);
+  Rng rng(seed);
   const auto base = reinterpret_cast<uintptr_t>(dev.base());
   uint64_t touches = 0;
   for (int i = 0; i < 20000; ++i) {
@@ -157,10 +162,12 @@ TEST_P(FlushPatternSweep, HintedFlushNeverProducesMoreMediaTrafficThanEvictions)
   // most as many media operations as writing them and letting evictions
   // deliver the data (the whole justification for bringing clwb back, §3.3).
   const uint32_t tuple_bytes = GetParam();
+  const uint64_t seed = test::TestSeed(77);
+  FALCON_SCOPED_SEED(seed);
   const auto run = [&](bool hinted) {
     NvmDevice dev(256ul << 20);
     ThreadContext ctx(0, &dev, CacheGeometry{.sets = 128, .ways = 8});
-    Rng rng(77);
+    Rng rng(seed);
     std::vector<std::byte> payload(tuple_bytes, std::byte{1});
     const uint64_t stride = 256ull * ((tuple_bytes + 255) / 256);
     const uint64_t max_slots = dev.capacity() / stride;

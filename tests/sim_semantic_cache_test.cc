@@ -19,6 +19,14 @@ class SemanticCacheTest : public ::testing::Test {
 
   std::byte* At(size_t off) { return backing_.data() + off; }
 
+  // Like At(), but relative to the first XPBuffer-block-aligned address, so
+  // line/block arithmetic in tests is exact.
+  std::byte* AlignedAt(size_t off) {
+    const auto raw = reinterpret_cast<uintptr_t>(backing_.data());
+    const uintptr_t base = (raw + kNvmBlockSize - 1) & ~(kNvmBlockSize - 1);
+    return reinterpret_cast<std::byte*>(base) + off;
+  }
+
   std::vector<std::byte> backing_;
   SemanticCache cache_;
 };
@@ -158,6 +166,154 @@ TEST_F(SemanticCacheTest, RedoLogProtocolNeedsFlushUnderAdr) {
   uint64_t recovered_state = 0;
   std::memcpy(&recovered_state, At(512), sizeof(recovered_state));
   EXPECT_EQ(recovered_state, 0u);
+}
+
+// ---- Crash edge cases --------------------------------------------------------
+
+TEST_F(SemanticCacheTest, DirtyLinesStraddlingXpBufferBlocks) {
+  // A store whose dirty lines straddle a 256B XPBuffer block boundary: lines
+  // at 192 (block 0) and 256 (block 1). Flushing only the first line and
+  // crashing under ADR must tear the write exactly at the block boundary.
+  std::vector<std::byte> src(2 * kCacheLineSize, std::byte{0x7e});
+  cache_.Store(AlignedAt(kNvmBlockSize - kCacheLineSize), src.data(), src.size());
+
+  // Both lines are at risk, and they live in different XPBuffer blocks.
+  EXPECT_TRUE(cache_.IsDirty(AlignedAt(kNvmBlockSize - kCacheLineSize)));
+  EXPECT_TRUE(cache_.IsDirty(AlignedAt(kNvmBlockSize)));
+  std::vector<uintptr_t> blocks;
+  cache_.ForEachDirtyLine(
+      [&](uintptr_t line) { blocks.push_back(line / kNvmBlockSize); });
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_NE(blocks[0], blocks[1]) << "the two dirty lines must span two blocks";
+
+  cache_.Clwb(AlignedAt(kNvmBlockSize - kCacheLineSize), kCacheLineSize);
+  cache_.CrashAdr();
+
+  // First line persisted, second line (the other block) lost.
+  EXPECT_EQ(std::memcmp(src.data(), AlignedAt(kNvmBlockSize - kCacheLineSize), kCacheLineSize), 0);
+  std::vector<std::byte> zeros(kCacheLineSize, std::byte{0});
+  EXPECT_EQ(std::memcmp(zeros.data(), AlignedAt(kNvmBlockSize), kCacheLineSize), 0)
+      << "the unflushed line straddling into the next block must be lost";
+}
+
+TEST_F(SemanticCacheTest, CrashOnEmptyCacheIsHarmless) {
+  // Power failure with nothing buffered: both models are no-ops and must not
+  // disturb the persistent image.
+  const uint64_t v = 77;
+  std::memcpy(At(0), &v, sizeof(v));
+  EXPECT_FALSE(cache_.IsDirty(At(0)));
+  cache_.CrashAdr();
+  cache_.CrashEadr();
+  uint64_t raw = 0;
+  std::memcpy(&raw, At(0), sizeof(raw));
+  EXPECT_EQ(raw, 77u);
+  EXPECT_EQ(cache_.dirty_lines(), 0u);
+}
+
+TEST_F(SemanticCacheTest, DoubleCrashIsIdempotent) {
+  // A second power failure immediately after the first finds an empty cache;
+  // neither model may lose or resurrect anything on the repeat.
+  const uint64_t flushed = 1;
+  const uint64_t unflushed = 2;
+  cache_.Store(At(0), &flushed, sizeof(flushed));
+  cache_.Clwb(At(0), sizeof(flushed));
+  cache_.Store(At(256), &unflushed, sizeof(unflushed));
+  cache_.CrashAdr();
+  cache_.CrashAdr();  // second failure during "recovery"
+  cache_.CrashEadr();
+
+  uint64_t a = 0;
+  uint64_t b = 0;
+  std::memcpy(&a, At(0), sizeof(a));
+  std::memcpy(&b, At(256), sizeof(b));
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 0u) << "a repeated crash must not resurrect lost data";
+  EXPECT_EQ(cache_.dirty_lines(), 0u);
+
+  // The cache must remain fully usable after consecutive crashes.
+  const uint64_t again = 3;
+  cache_.Store(At(256), &again, sizeof(again));
+  cache_.CrashEadr();
+  std::memcpy(&b, At(256), sizeof(b));
+  EXPECT_EQ(b, 3u);
+}
+
+TEST_F(SemanticCacheTest, EadrThenAdrCrashKeepsOnlyPreCrashStores) {
+  // eADR crash persists everything; stores issued after reopen are governed
+  // by the NEXT crash's model.
+  const uint64_t before = 10;
+  cache_.Store(At(0), &before, sizeof(before));
+  cache_.CrashEadr();
+  const uint64_t after = 20;
+  cache_.Store(At(0), &after, sizeof(after));
+  cache_.CrashAdr();
+  uint64_t raw = 0;
+  std::memcpy(&raw, At(0), sizeof(raw));
+  EXPECT_EQ(raw, 10u) << "the ADR crash rolls back to the last persisted value";
+}
+
+TEST_F(SemanticCacheTest, CommitProtocolStepSweepAdrVsEadr) {
+  // Step-enumerated crash sweep over the miniature commit protocol, the
+  // single-threaded analogue of the engine's crash-sweep harness: crash after
+  // every prefix of stores and assert the commit invariant — a committed flag
+  // implies the payload is fully present.
+  struct LogSlot {
+    uint64_t state;  // 0=free, 1=uncommitted, 2=committed
+    uint64_t payload[4];
+  };
+  constexpr size_t kSlotOff = 512;
+  for (const bool eadr : {false, true}) {
+    for (int crash_step = 0; crash_step <= 3; ++crash_step) {
+      std::fill(backing_.begin(), backing_.end(), std::byte{0});
+      SemanticCache cache;
+      int step = 0;
+      const auto do_step = [&](const auto& fn) {
+        if (step++ < crash_step) {
+          fn();
+          return true;
+        }
+        return false;
+      };
+      // Step 0: payload + uncommitted state. Step 1: flush (ADR only needs
+      // it). Step 2: committed flag.
+      do_step([&] {
+        LogSlot slot = {};
+        slot.state = 1;
+        slot.payload[0] = 0xfeed;
+        slot.payload[3] = 0xf00d;
+        cache.Store(At(kSlotOff), &slot, sizeof(slot));
+      });
+      do_step([&] {
+        if (!eadr) {
+          cache.Clwb(At(kSlotOff), sizeof(LogSlot));
+        }
+      });
+      do_step([&] {
+        const uint64_t committed = 2;
+        cache.Store(At(kSlotOff), &committed, sizeof(committed));
+        if (!eadr) {
+          cache.Clwb(At(kSlotOff), sizeof(committed));
+        }
+      });
+      if (eadr) {
+        cache.CrashEadr();
+      } else {
+        cache.CrashAdr();
+      }
+      LogSlot recovered = {};
+      std::memcpy(&recovered, At(kSlotOff), sizeof(recovered));
+      if (recovered.state == 2) {
+        EXPECT_EQ(recovered.payload[0], 0xfeedu)
+            << "committed implies payload present (eadr=" << eadr
+            << " step=" << crash_step << ")";
+        EXPECT_EQ(recovered.payload[3], 0xf00du);
+      }
+      if (crash_step == 3) {
+        EXPECT_EQ(recovered.state, 2u)
+            << "all steps ran: commit must be durable (eadr=" << eadr << ")";
+      }
+    }
+  }
 }
 
 }  // namespace
