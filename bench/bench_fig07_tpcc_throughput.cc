@@ -48,6 +48,10 @@ int main(int argc, char** argv) {
                    });
       std::printf(" %8.3f", result.mtxn_per_s);
       std::fflush(stdout);
+      char label[128];
+      std::snprintf(label, sizeof(label), "fig07/%s/%s", entry.label,
+                    std::string(CcSchemeName(cc)).c_str());
+      MaybeAppendMetricsJson(label, result.metrics);
     }
     std::printf("\n");
   }

@@ -26,16 +26,20 @@ int main(int argc, char** argv) {
     for (uint32_t t = 0; t < threads; ++t) {
       rngs.emplace_back(4200 + t);
     }
-    RunBench(*f.engine, threads, txns_per_thread,
-             [&](Worker& worker, uint32_t t, uint64_t) {
-               const uint64_t before = worker.ctx().sim_ns();
-               bool committed = false;
-               const TpccTxnType type = f.workload->RunOne(worker, rngs[t], &committed);
-               if (committed) {
-                 latencies[t][type].Record(worker.ctx().sim_ns() - before);
-               }
-               return committed;
-             });
+    const BenchResult result =
+        RunBench(*f.engine, threads, txns_per_thread,
+                 [&](Worker& worker, uint32_t t, uint64_t) {
+                   const uint64_t before = worker.ctx().sim_ns();
+                   bool committed = false;
+                   const TpccTxnType type = f.workload->RunOne(worker, rngs[t], &committed);
+                   if (committed) {
+                     latencies[t][type].Record(worker.ctx().sim_ns() - before);
+                   }
+                   return committed;
+                 });
+    char label[128];
+    std::snprintf(label, sizeof(label), "fig08/%s", entry.label);
+    MaybeAppendMetricsJson(label, result.metrics);
 
     Histogram new_order;
     Histogram payment;

@@ -70,6 +70,9 @@ int main() {
                                        point.txns_per_thread);
         std::printf(" %13.1f", r.mtxn_per_s * 1000.0);
         std::fflush(stdout);
+        char label[64];
+        std::snprintf(label, sizeof(label), "fig12/%uKB/%u", point.field_size, threads);
+        MaybeAppendMetricsJson(label, r.metrics);
       }
     }
     std::printf("\n");

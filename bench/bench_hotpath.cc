@@ -222,6 +222,7 @@ ScenarioResult RunScenario(const char* name, CcScheme scheme, TxnBody body, uint
     }
   }
   QuiesceForMeasurement(f);
+  const MetricsSnapshot metrics_before = f.engine->SnapshotMetrics();
 
   std::vector<uint64_t> ops(threads, 0);
   std::vector<uint64_t> aborts(threads, 0);
@@ -277,6 +278,9 @@ ScenarioResult RunScenario(const char* name, CcScheme scheme, TxnBody body, uint
       r.cache_misses += cs.misses;
     }
   }
+  char label[96];
+  std::snprintf(label, sizeof(label), "hotpath/%s/%s/%ut", name, SchemeName(scheme), threads);
+  MaybeAppendMetricsJson(label, DiffMetrics(metrics_before, f.engine->SnapshotMetrics()));
   return r;
 }
 

@@ -59,6 +59,7 @@ void VerifyEngine(const EngineConfig& config) {
   Worker& w = engine.worker(0);
   w.ctx().cache().InvalidateAll();
   const auto before = w.ctx().cache().stats().clwb_writebacks;
+  const MetricsSnapshot metrics_before = engine.SnapshotMetrics();
   YcsbThreadState state(yc, 0, 1, 3);
   for (int i = 0; i < 2000; ++i) {
     workload.RunOne(w, state);
@@ -67,6 +68,9 @@ void VerifyEngine(const EngineConfig& config) {
 
   std::printf("  verified: clwb write-backs during 2000 txns = %-8lu (%s flush)\n", clwbs,
               FlushName(config.flush_policy));
+  char label[96];
+  std::snprintf(label, sizeof(label), "table1/%s", config.name.c_str());
+  MaybeAppendMetricsJson(label, DiffMetrics(metrics_before, engine.SnapshotMetrics()));
 }
 
 void PrintRow(const EngineConfig& c) {

@@ -87,6 +87,9 @@ static void DemoEngineRecovery(const EngineConfig& base_config, const char* labe
   txn.Commit();
   std::printf("%-22s post-recovery values: %lu / %lu (expected 123456 / 123456)\n", label, a,
               b);
+  char json_label[64];
+  std::snprintf(json_label, sizeof(json_label), "example/crash_recovery/%s", label);
+  MaybeAppendMetricsJson(json_label, engine.SnapshotMetrics());
 }
 
 int main() {

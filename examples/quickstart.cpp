@@ -81,5 +81,16 @@ int main() {
       stats.line_writes, stats.media_writes, stats.media_reads, stats.WriteAmplification());
   std::printf("simulated time on worker 0: %.1f us\n",
               static_cast<double>(worker.ctx().sim_ns()) / 1000.0);
+
+  // 8. The same numbers — and much more — through the metrics layer: one
+  //    engine-wide snapshot, exportable as JSON (set FALCON_METRICS_JSON).
+  const MetricsSnapshot metrics = engine.SnapshotMetrics();
+  std::printf("metrics: commits=%llu log media writes=%llu tuple-heap media writes=%llu\n",
+              static_cast<unsigned long long>(metrics.commits),
+              static_cast<unsigned long long>(
+                  metrics.device_region_media_writes[static_cast<size_t>(kRegionLog)]),
+              static_cast<unsigned long long>(
+                  metrics.device_region_media_writes[static_cast<size_t>(kRegionTupleHeap)]));
+  MaybeAppendMetricsJson("example/quickstart", metrics);
   return 0;
 }

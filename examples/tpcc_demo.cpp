@@ -75,5 +75,9 @@ int main(int argc, char** argv) {
       result.mtxn_per_s, result.avg_us, result.AbortRate() * 100);
   std::printf("NVM: %lu media writes, %lu media reads, write amplification %.2fx\n",
               result.device.media_writes, result.device.media_reads, result.write_amp);
+  std::printf("engine aborts incl. internal retries: %lu (bench-visible: %lu)\n",
+              static_cast<unsigned long>(result.txn_aborts),
+              static_cast<unsigned long>(result.attempt_aborts));
+  MaybeAppendMetricsJson("example/tpcc_demo", result.metrics);
   return 0;
 }

@@ -47,6 +47,9 @@ Txn Worker::Begin(bool read_only) { return Txn(this, read_only); }
 void Worker::ResetStats() {
   stats_ = WorkerStats{};
   ctx_.ResetClock();
+  log_->ResetStats();
+  hot_.ResetStats();
+  versions_.ResetStats();
 }
 
 // ---- Engine lifecycle -----------------------------------------------------
@@ -287,13 +290,98 @@ uint64_t Engine::MinActiveTid() const {
 WorkerStats Engine::AggregateStats() const {
   WorkerStats total;
   for (const auto& worker : workers_) {
-    total.commits += worker->stats().commits;
-    total.aborts += worker->stats().aborts;
-    total.reads += worker->stats().reads;
-    total.writes += worker->stats().writes;
-    total.sim_ns = std::max(total.sim_ns, worker->stats().sim_ns + worker->ctx_.sim_ns());
+    const WorkerStats& ws = worker->stats();
+    total.commits += ws.commits;
+    total.txn_aborts += ws.txn_aborts;
+    total.reads += ws.reads;
+    total.writes += ws.writes;
+    for (size_t r = 0; r < kAbortReasonCount; ++r) {
+      total.aborts_by_reason[r] += ws.aborts_by_reason[r];
+    }
+    for (size_t p = 0; p < kSimPhaseCount; ++p) {
+      total.phase_ns[p] += ws.phase_ns[p];
+    }
   }
   return total;
+}
+
+MetricsSnapshot Engine::SnapshotMetrics() const {
+  MetricsSnapshot s;
+  for (const auto& worker : workers_) {
+    const WorkerStats& ws = worker->stats();
+    s.commits += ws.commits;
+    s.txn_aborts += ws.txn_aborts;
+    s.reads += ws.reads;
+    s.writes += ws.writes;
+    s.aborts_user += ws.aborts_by_reason[static_cast<size_t>(AbortReason::kUser)];
+    s.aborts_lock_conflict +=
+        ws.aborts_by_reason[static_cast<size_t>(AbortReason::kLockConflict)];
+    s.aborts_ts_order += ws.aborts_by_reason[static_cast<size_t>(AbortReason::kTsOrder)];
+    s.aborts_occ_validation +=
+        ws.aborts_by_reason[static_cast<size_t>(AbortReason::kOccValidation)];
+    s.aborts_log_overflow +=
+        ws.aborts_by_reason[static_cast<size_t>(AbortReason::kLogOverflow)];
+    s.aborts_other += ws.aborts_by_reason[static_cast<size_t>(AbortReason::kOther)];
+
+    const uint64_t clock = worker->ctx_.sim_ns();
+    const uint64_t log_append = ws.phase_ns[static_cast<size_t>(SimPhase::kLogAppend)];
+    const uint64_t commit_flush = ws.phase_ns[static_cast<size_t>(SimPhase::kCommitFlush)];
+    const uint64_t hint_flush = ws.phase_ns[static_cast<size_t>(SimPhase::kHintFlush)];
+    const uint64_t version_gc = ws.phase_ns[static_cast<size_t>(SimPhase::kVersionGc)];
+    const uint64_t instrumented = log_append + commit_flush + hint_flush + version_gc;
+    s.log_append_ns += log_append;
+    s.commit_flush_ns += commit_flush;
+    s.hint_flush_ns += hint_flush;
+    s.version_gc_ns += version_gc;
+    // Execute time is everything the worker clock accumulated outside the
+    // instrumented commit phases.
+    s.execute_ns += clock > instrumented ? clock - instrumented : 0;
+    s.sim_ns_total += clock;
+    s.sim_ns_max = std::max(s.sim_ns_max, clock);
+
+    const HotTupleSetStats& hs = worker->hot_.stats();
+    s.hot_hits += hs.hits;
+    s.hot_misses += hs.misses;
+    s.hot_evictions += hs.evictions;
+    s.hot_inserts += hs.inserts;
+    s.hot_size += worker->hot_.size();
+    s.hot_capacity += worker->hot_.capacity();
+
+    const LogWindowStats& ls = worker->log_->stats();
+    s.log_slots_opened += ls.slots_opened;
+    s.log_wraps += ls.wraps;
+    s.log_appends += ls.appends;
+    s.log_append_overflows += ls.append_overflows;
+    s.log_bytes_appended += ls.bytes_appended;
+    s.log_free_slots += worker->log_->FreeSlotCount();
+    s.log_payload_high_water = std::max(s.log_payload_high_water, ls.payload_high_water);
+
+    s.versions_allocated += worker->versions_.allocated_total();
+    s.versions_recycled += worker->versions_.recycled_total();
+    s.version_gc_runs += worker->versions_.gc_runs();
+    s.versions_queued += worker->versions_.queued();
+    s.version_live_bytes += worker->versions_.live_bytes();
+
+    const CacheStats& cs = worker->ctx_.cache().stats();
+    s.cache_hits += cs.hits;
+    s.cache_misses += cs.misses;
+    s.cache_dirty_evictions += cs.dirty_evictions;
+    s.cache_clwb_writebacks += cs.clwb_writebacks;
+    s.cache_sfences += cs.sfences;
+  }
+
+  const DeviceStats ds = device_->stats();
+  s.device_line_writes = ds.line_writes;
+  s.device_media_writes = ds.media_writes;
+  s.device_media_reads = ds.media_reads;
+  s.device_full_drains = ds.full_drains;
+  s.device_partial_drains = ds.partial_drains;
+  s.device_busy_ns = ds.busy_ns;
+  for (size_t r = 0; r < kMediaRegionCount; ++r) {
+    s.device_region_line_writes[r] = ds.region_line_writes[r];
+    s.device_region_media_writes[r] = ds.region_media_writes[r];
+  }
+  return s;
 }
 
 // ---- Recovery: in-place (log replay, §5.3) --------------------------------

@@ -38,6 +38,7 @@
 #include "src/core/log_window.h"
 #include "src/core/tuple_cache.h"
 #include "src/index/index.h"
+#include "src/obs/metrics.h"
 #include "src/pmem/catalog.h"
 #include "src/sim/thread_context.h"
 #include "src/storage/schema.h"
@@ -173,13 +174,9 @@ struct RecoveryReport {
   uint64_t deleted_entries = 0;  // deleted-list entries reconciled (§5.4)
 };
 
-struct WorkerStats {
-  uint64_t commits = 0;
-  uint64_t aborts = 0;
-  uint64_t sim_ns = 0;
-  uint64_t reads = 0;
-  uint64_t writes = 0;
-};
+// WorkerStats (commits / txn_aborts / reads / writes / abort taxonomy /
+// phase breakdown) lives in src/obs/metrics.h with the rest of the
+// observability layer.
 
 class Engine;
 class Worker;
@@ -364,6 +361,14 @@ class Txn {
   // Drops the tuple's lock entry (if any) so rollback won't touch it again.
   void ForgetLock(PmOffset tuple);
 
+  // Stamps the reason the in-flight abort will be attributed to and returns
+  // kAborted, so failure sites read `return Fail(AbortReason::k...)`. The
+  // stamp is consumed (and reset) by Abort().
+  Status Fail(AbortReason reason) {
+    next_abort_reason_ = reason;
+    return Status::kAborted;
+  }
+
   void ReleaseLocks();
   void MaybeCrash(CrashPoint point);
   // Step-counter crash hook: numbers one persistence event of kind `kind`
@@ -378,6 +383,9 @@ class Txn {
   bool read_only_;
   bool active_ = true;
   bool slot_open_ = false;
+  // Attribution for the next Abort(): failure sites stamp it via Fail();
+  // an un-stamped abort is a user abort.
+  AbortReason next_abort_reason_ = AbortReason::kUser;
   // Access-set storage lives in the worker's scratch arena (see Scratch).
   std::vector<ReadEntry>& read_set_;
   std::vector<WriteEntry>& write_set_;
@@ -463,8 +471,15 @@ class Engine {
 
   void DisarmCrash() { crash_.Disarm(); }
 
-  // Aggregated worker stats + device stats for benchmark reporting.
+  // Sums the basic worker counters (commits / txn_aborts / reads / writes /
+  // abort taxonomy / phase breakdown) across workers.
   WorkerStats AggregateStats() const;
+
+  // One engine-wide metrics snapshot: aggregated worker counters, component
+  // stats (hot tuple sets, log windows, version heaps, cache models) and the
+  // device totals. Non-destructive — does not drain the XPBuffer or reset
+  // anything; diff two snapshots (DiffMetrics) to measure a window.
+  MetricsSnapshot SnapshotMetrics() const;
 
  private:
   friend class Txn;

@@ -22,6 +22,14 @@
 
 namespace falcon {
 
+// Tracking effectiveness counters. Single-writer (the owning worker).
+struct HotTupleSetStats {
+  uint64_t hits = 0;       // Contains() found the tuple (flush skipped)
+  uint64_t misses = 0;     // Contains() missed (tuple gets flushed + cached)
+  uint64_t evictions = 0;  // cold entry pushed out by Cache() at capacity
+  uint64_t inserts = 0;    // new tuples admitted by Cache()
+};
+
 class HotTupleSet {
  public:
   explicit HotTupleSet(size_t capacity) : capacity_(capacity) {
@@ -42,11 +50,17 @@ class HotTupleSet {
   bool Contains(PmOffset tuple) {
     const uint32_t slot = Lookup(tuple);
     if (slot == kNone) {
+      ++stats_.misses;
       return false;
     }
+    ++stats_.hits;
     MoveToFront(slot);
     return true;
   }
+
+  // Membership query without recency refresh or hit/miss accounting (for
+  // tests and diagnostics; the commit path uses Contains).
+  bool ContainsQuiet(PmOffset tuple) const { return Lookup(tuple) != kNone; }
 
   // Starts tracking `tuple`, evicting the coldest entry if full.
   void Cache(PmOffset tuple) {
@@ -65,6 +79,7 @@ class HotTupleSet {
       slots_[victim].next = free_head_;
       free_head_ = victim;
       --size_;
+      ++stats_.evictions;
     }
     const uint32_t slot = free_head_;
     free_head_ = slots_[slot].next;
@@ -72,6 +87,7 @@ class HotTupleSet {
     PushFront(slot);
     Insert(tuple, slot);
     ++size_;
+    ++stats_.inserts;
   }
 
   void Clear() {
@@ -88,6 +104,9 @@ class HotTupleSet {
 
   size_t size() const { return size_; }
   size_t capacity() const { return capacity_; }
+
+  const HotTupleSetStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = HotTupleSetStats{}; }
 
  private:
   static constexpr uint32_t kNone = UINT32_MAX;
@@ -182,6 +201,7 @@ class HotTupleSet {
   uint32_t free_head_ = kNone;
   uint32_t lru_head_ = kNone;
   uint32_t lru_tail_ = kNone;
+  HotTupleSetStats stats_;
 };
 
 }  // namespace falcon

@@ -6,6 +6,10 @@ namespace falcon {
 
 void LogWindow::OpenSlot(ThreadContext& ctx, uint64_t tid) {
   cursor_ = (cursor_ + 1) % slots_;
+  ++stats_.slots_opened;
+  if (cursor_ == 0) {
+    ++stats_.wraps;
+  }
   write_pos_ = 0;
   LogSlotHeader* slot = current_slot();
   slot->tid = tid;
@@ -21,6 +25,7 @@ bool LogWindow::Append(ThreadContext& ctx, uint64_t table_id, uint64_t key, PmOf
                        LogOpKind kind, uint32_t offset, uint32_t len, const void* payload) {
   const uint64_t need = sizeof(LogEntryHeader) + len;
   if (sizeof(LogSlotHeader) + write_pos_ + need > slot_bytes_) {
+    ++stats_.append_overflows;
     return false;
   }
   std::byte* dst = SlotPayload(current_slot()) + write_pos_;
@@ -36,6 +41,11 @@ bool LogWindow::Append(ThreadContext& ctx, uint64_t table_id, uint64_t key, PmOf
     ctx.Store(dst + sizeof(entry), payload, len);
   }
   write_pos_ += need;
+  ++stats_.appends;
+  stats_.bytes_appended += need;
+  if (write_pos_ > stats_.payload_high_water) {
+    stats_.payload_high_water = write_pos_;
+  }
   LogSlotHeader* slot = current_slot();
   slot->bytes = write_pos_;
   ++slot->entry_count;

@@ -62,6 +62,17 @@ struct LogEntryHeader {
 };
 static_assert(sizeof(LogEntryHeader) == 40);
 
+// Per-window counters: slot occupancy / wrap behaviour and append traffic.
+// Single-writer (the owning worker thread), plain uint64 bumps.
+struct LogWindowStats {
+  uint64_t slots_opened = 0;
+  uint64_t wraps = 0;  // cursor wrapped back to slot 0
+  uint64_t appends = 0;
+  uint64_t append_overflows = 0;  // Append refused: slot full (§5.5 ①)
+  uint64_t bytes_appended = 0;
+  uint64_t payload_high_water = 0;  // max payload bytes seen in one slot
+};
+
 // View over one thread's log region. The region itself is NVM (allocated at
 // engine creation and registered in the catalog); this class is a volatile
 // cursor over it.
@@ -131,6 +142,9 @@ class LogWindow {
     return reinterpret_cast<std::byte*>(slot) + sizeof(LogSlotHeader);
   }
 
+  const LogWindowStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LogWindowStats{}; }
+
  private:
   NvmArena* arena_;
   PmOffset base_;
@@ -139,6 +153,7 @@ class LogWindow {
   bool flush_to_nvm_;
   uint32_t cursor_ = 0;
   uint64_t write_pos_ = 0;  // payload bytes appended in the open slot
+  LogWindowStats stats_;
 };
 
 }  // namespace falcon

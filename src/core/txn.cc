@@ -11,6 +11,14 @@
 
 namespace falcon {
 
+namespace {
+
+inline uint64_t* PhaseAcc(WorkerStats& stats, SimPhase phase) {
+  return &stats.phase_ns[static_cast<size_t>(phase)];
+}
+
+}  // namespace
+
 Txn::Txn(Worker* worker, bool read_only)
     : worker_(worker),
       read_only_(read_only),
@@ -153,7 +161,7 @@ Status Txn::ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out) {
     case CcScheme::k2pl: {
       if (!have_lock && !pending_write) {
         if (!TryLockRead2pl(header->cc_word, gen)) {
-          return Status::kAborted;  // no-wait (§5.2.1)
+          return Fail(AbortReason::kLockConflict);  // no-wait (§5.2.1)
         }
         ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
         locks_.push_back(LockEntry{header, /*write=*/false});
@@ -164,7 +172,7 @@ Status Txn::ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out) {
       }
       const uint64_t flags_2pl = header->flags.load(std::memory_order_acquire);
       if ((flags_2pl & kTupleSuperseded) != 0) {
-        return Status::kAborted;  // stale head: a newer version exists
+        return Fail(AbortReason::kOther);  // stale head: a newer version exists
       }
       const int pending_2pl = pending_write ? LastPendingWriteKind(tuple) : -1;
       if (pending_2pl == static_cast<int>(LogOpKind::kDelete) ||
@@ -184,14 +192,14 @@ Status Txn::ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out) {
       for (int attempt = 0;; ++attempt) {
         observed = header->cc_word.load(std::memory_order_acquire);
         if (IsLockedTs(observed) && !mine) {
-          return Status::kAborted;  // writer in its commit window: no-wait
+          return Fail(AbortReason::kLockConflict);  // writer in its commit window: no-wait
         }
         if (scheme == CcScheme::kTo && TsOf(observed) > tid_) {
-          return Status::kAborted;  // we would read from our future
+          return Fail(AbortReason::kTsOrder);  // we would read from our future
         }
         const uint64_t cur_flags = header->flags.load(std::memory_order_acquire);
         if ((cur_flags & kTupleSuperseded) != 0 && !mine) {
-          return Status::kAborted;  // stale head: a newer version exists
+          return Fail(AbortReason::kOther);  // stale head: a newer version exists
         }
         const int pending_to = pending_write ? LastPendingWriteKind(tuple) : -1;
         if (header->key != key || pending_to == static_cast<int>(LogOpKind::kDelete) ||
@@ -209,7 +217,7 @@ Status Txn::ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out) {
           break;
         }
         if (attempt >= 8) {
-          return Status::kAborted;
+          return Fail(AbortReason::kOther);  // unstable word: retries exhausted
         }
       }
       if (scheme == CcScheme::kTo) {
@@ -452,12 +460,12 @@ Status Txn::AdmitWrite(PmOffset tuple, TupleHeader* header, uint64_t* observed_o
       }
       if (held != nullptr) {
         if (!TryUpgrade2pl(header->cc_word, gen)) {
-          return Status::kAborted;
+          return Fail(AbortReason::kLockConflict);
         }
         held->write = true;
       } else {
         if (!TryLockWrite2pl(header->cc_word, gen)) {
-          return Status::kAborted;
+          return Fail(AbortReason::kLockConflict);
         }
         locks_.push_back(LockEntry{header, /*write=*/true});
         RegisterLock(tuple);
@@ -473,13 +481,13 @@ Status Txn::AdmitWrite(PmOffset tuple, TupleHeader* header, uint64_t* observed_o
       }
       uint64_t pre_ts = 0;
       if (!TryLockTs(header->cc_word, &pre_ts)) {
-        return Status::kAborted;
+        return Fail(AbortReason::kLockConflict);
       }
       ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
       if (TsOf(pre_ts) > tid_ || header->read_ts.load(std::memory_order_acquire) > tid_) {
         // A younger transaction already read or wrote this tuple.
         UnlockRestoreTs(header->cc_word, pre_ts);
-        return Status::kAborted;
+        return Fail(AbortReason::kTsOrder);
       }
       locks_.push_back(LockEntry{header, /*write=*/true, pre_ts});
       RegisterLock(tuple);
@@ -495,7 +503,7 @@ Status Txn::AdmitWrite(PmOffset tuple, TupleHeader* header, uint64_t* observed_o
       }
       const uint64_t word = header->cc_word.load(std::memory_order_acquire);
       if (IsLockedTs(word)) {
-        return Status::kAborted;
+        return Fail(AbortReason::kLockConflict);
       }
       *observed_out = word;
       return Status::kOk;
@@ -536,6 +544,7 @@ Status Txn::WriteIntent(TableId table, uint64_t key, LogOpKind kind, uint32_t of
   }
   const uint64_t post_flags = header->flags.load(std::memory_order_acquire);
   if ((post_flags & kTupleSuperseded) != 0) {
+    Fail(AbortReason::kOther);
     Abort();  // stale head: a newer version exists; retry from the index
     return Status::kAborted;
   }
@@ -555,15 +564,21 @@ Status Txn::WriteIntent(TableId table, uint64_t key, LogOpKind kind, uint32_t of
     return OutOfPlaceIntent(table, key, tuple, kind, offset, len, value, observed);
   }
 
-  if (!EnsureSlot()) {
-    Abort();
-    return Status::kAborted;
-  }
-  const uint64_t payload_pos = worker_->log_->NextPayloadPos();
-  if (!worker_->log_->Append(ctx, table, key, tuple, kind, offset, len, value)) {
-    // Redo log larger than a window slot: the §5.5 limitation.
-    Abort();
-    return Status::kNoSpace;
+  uint64_t payload_pos = 0;
+  {
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend));
+    if (!EnsureSlot()) {
+      Fail(AbortReason::kOther);
+      Abort();
+      return Status::kAborted;
+    }
+    payload_pos = worker_->log_->NextPayloadPos();
+    if (!worker_->log_->Append(ctx, table, key, tuple, kind, offset, len, value)) {
+      // Redo log larger than a window slot: the §5.5 limitation.
+      Fail(AbortReason::kLogOverflow);
+      Abort();
+      return Status::kNoSpace;
+    }
   }
   write_set_.push_back(WriteEntry{table, key, tuple, kind, offset, len, payload_pos, observed,
                                   kNullPm});
@@ -587,13 +602,18 @@ Status Txn::OutOfPlaceIntent(TableId table, uint64_t key, PmOffset tuple, LogOpK
     // the commit slot as an explicit entry. Otherwise a crash after the
     // commit mark but before the apply loop silently loses an acknowledged
     // delete.
-    if (!EnsureSlot()) {
-      Abort();
-      return Status::kAborted;
-    }
-    if (!worker_->log_->Append(ctx, table, key, tuple, kind, 0, 0, nullptr)) {
-      Abort();
-      return Status::kNoSpace;
+    {
+      PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend));
+      if (!EnsureSlot()) {
+        Fail(AbortReason::kOther);
+        Abort();
+        return Status::kAborted;
+      }
+      if (!worker_->log_->Append(ctx, table, key, tuple, kind, 0, 0, nullptr)) {
+        Fail(AbortReason::kLogOverflow);
+        Abort();
+        return Status::kNoSpace;
+      }
     }
     // If this txn already staged a replacement version for the key, the
     // delete tombstones that version (the old head is retired by the
@@ -635,6 +655,7 @@ Status Txn::OutOfPlaceIntent(TableId table, uint64_t key, PmOffset tuple, LogOpK
   // (their predecessor sits at the head of this thread's deleted list).
   const PmOffset fresh = heap.Allocate(ctx, key, allow_reclaim ? engine->MinActiveTid() : 0);
   if (fresh == kNullPm) {
+    Fail(AbortReason::kOther);
     Abort();
     return Status::kNoSpace;
   }
@@ -696,6 +717,7 @@ Status Txn::Insert(TableId table, uint64_t key, const void* data) {
     const uint64_t ts_flags = tombstone->flags.load(std::memory_order_acquire);
     if (tombstone->key != key || (ts_flags & kTupleDeleted) == 0 ||
         (ts_flags & kTupleSuperseded) != 0) {
+      Fail(AbortReason::kOther);
       Abort();  // revived, superseded, or recycled while we were admitting
       return Status::kAborted;
     }
@@ -705,15 +727,21 @@ Status Txn::Insert(TableId table, uint64_t key, const void* data) {
       return OutOfPlaceIntent(table, key, existing, LogOpKind::kUpdate, 0, data_size, data,
                               observed, /*allow_reclaim=*/false);
     }
-    if (!EnsureSlot()) {
-      Abort();
-      return Status::kAborted;
-    }
-    const uint64_t payload_pos = worker_->log_->NextPayloadPos();
-    if (!worker_->log_->Append(ctx, table, key, existing, LogOpKind::kInsert, 0, data_size,
-                               data)) {
-      Abort();
-      return Status::kNoSpace;
+    uint64_t payload_pos = 0;
+    {
+      PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend));
+      if (!EnsureSlot()) {
+        Fail(AbortReason::kOther);
+        Abort();
+        return Status::kAborted;
+      }
+      payload_pos = worker_->log_->NextPayloadPos();
+      if (!worker_->log_->Append(ctx, table, key, existing, LogOpKind::kInsert, 0, data_size,
+                                 data)) {
+        Fail(AbortReason::kLogOverflow);
+        Abort();
+        return Status::kNoSpace;
+      }
     }
     write_set_.push_back(WriteEntry{table, key, existing, LogOpKind::kInsert, 0, data_size,
                                     payload_pos, observed, kNullPm});
@@ -725,6 +753,7 @@ Status Txn::Insert(TableId table, uint64_t key, const void* data) {
 
   const PmOffset fresh = heap.Allocate(ctx, key, engine->MinActiveTid());
   if (fresh == kNullPm) {
+    Fail(AbortReason::kOther);
     Abort();
     return Status::kNoSpace;
   }
@@ -746,12 +775,15 @@ Status Txn::Insert(TableId table, uint64_t key, const void* data) {
   // Log before exposing via the index: an UNCOMMITTED slot entry is what
   // recovery uses to undo the index insertion.
   if (engine->config().log_mode != LogMode::kNone) {
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend));
     if (!EnsureSlot()) {
+      Fail(AbortReason::kOther);
       Abort();
       return Status::kAborted;
     }
     if (!worker_->log_->Append(ctx, table, key, fresh, LogOpKind::kInsert, 0, 0, nullptr)) {
       heap.MarkDeleted(ctx, fresh, /*delete_tid=*/0);
+      Fail(AbortReason::kLogOverflow);
       Abort();
       return Status::kNoSpace;
     }
@@ -859,6 +891,8 @@ Status Txn::Commit() {
   // Opportunistic old-version recycling (§5.4): worker threads do their own
   // GC; no dedicated recycler.
   if (worker_->versions_.NeedsGc()) {
+    PhaseTimer timer(worker_->ctx_.sim_ns_ref(),
+                     PhaseAcc(worker_->stats_, SimPhase::kVersionGc));
     worker_->versions_.Gc(engine->MinActiveTid());
   }
   return Status::kOk;
@@ -933,6 +967,7 @@ Status Txn::CommitInPlace() {
       }
       uint64_t pre_ts = 0;
       if (!TryLockTs(header->cc_word, &pre_ts)) {
+        Fail(AbortReason::kOccValidation);
         Abort();
         return Status::kAborted;
       }
@@ -942,6 +977,7 @@ Status Txn::CommitInPlace() {
       // Raw-word comparison: a set retired bit is a real change (the
       // version was superseded since we observed it).
       if (pre_ts != w.observed) {
+        Fail(AbortReason::kOccValidation);
         Abort();
         return Status::kAborted;
       }
@@ -957,6 +993,7 @@ Status Txn::CommitInPlace() {
           FindLock(r.tuple) != nullptr) {
         continue;
       }
+      Fail(AbortReason::kOccValidation);
       Abort();
       return Status::kAborted;
     }
@@ -967,7 +1004,10 @@ Status Txn::CommitInPlace() {
 
   // Commit point: the write-set state flips to COMMITTED in the (persistent-
   // by-eADR) log window (Algorithm 1 line 2).
-  worker_->log_->MarkCommitted(ctx);
+  {
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush));
+    worker_->log_->MarkCommitted(ctx);
+  }
 
   MaybeCrash(CrashPoint::kAfterCommitMark);
 
@@ -1042,6 +1082,7 @@ Status Txn::CommitInPlace() {
 
   // Selective data flush (Algorithm 1 lines 8-11 / D2).
   if (cfg.flush_policy != FlushPolicy::kNone) {
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kHintFlush));
     for (size_t i = 0; i < n; ++i) {
       const WriteEntry& w = write_set_[i];
       if (amap_.Find(w.tuple)->write_head != static_cast<uint32_t>(i)) {
@@ -1075,6 +1116,7 @@ Status Txn::CommitInPlace() {
   ReleaseLocks();  // remaining 2PL read locks
   if (slot_open_) {
     CrashStep(CrashStepKind::kSlotRelease);
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush));
     worker_->log_->Release(ctx);
   }
   return Status::kOk;
@@ -1137,6 +1179,7 @@ Status Txn::CommitOutOfPlace() {
       }
       uint64_t pre_ts = 0;
       if (!TryLockTs(header->cc_word, &pre_ts)) {
+        Fail(AbortReason::kOccValidation);
         Abort();
         return Status::kAborted;
       }
@@ -1146,6 +1189,7 @@ Status Txn::CommitOutOfPlace() {
       // Raw-word comparison: a set retired bit is a real change (the
       // version was superseded since we observed it).
       if (pre_ts != w.observed) {
+        Fail(AbortReason::kOccValidation);
         Abort();
         return Status::kAborted;
       }
@@ -1156,6 +1200,7 @@ Status Txn::CommitOutOfPlace() {
       if (now != r.observed &&
           !(IsLockedTs(now) && TsOf(now) == TsOf(r.observed) &&
             FindLock(r.tuple) != nullptr)) {
+        Fail(AbortReason::kOccValidation);
         Abort();
         return Status::kAborted;
       }
@@ -1173,7 +1218,10 @@ Status Txn::CommitOutOfPlace() {
   MaybeCrash(CrashPoint::kBeforeCommitMark);
   CrashStep(CrashStepKind::kCommitMark);
 
-  worker_->log_->MarkCommitted(ctx);
+  {
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush));
+    worker_->log_->MarkCommitted(ctx);
+  }
 
   MaybeCrash(CrashPoint::kAfterCommitMark);
 
@@ -1249,6 +1297,7 @@ Status Txn::CommitOutOfPlace() {
   if (cfg.flush_policy != FlushPolicy::kNone) {
     // Whole new versions flush as contiguous runs — out-of-place's one
     // advantage on full-tuple updates (§6.2.3).
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kHintFlush));
     for (const WriteEntry& w : write_set_) {
       CrashStep(CrashStepKind::kFlush);
       const PmOffset target = w.kind == LogOpKind::kUpdate ? w.new_version : w.tuple;
@@ -1260,6 +1309,7 @@ Status Txn::CommitOutOfPlace() {
   ReleaseLocks();
   if (slot_open_) {
     CrashStep(CrashStepKind::kSlotRelease);
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush));
     worker_->log_->Release(ctx);
   }
   return Status::kOk;
@@ -1326,7 +1376,9 @@ void Txn::Abort() {
   active_ = false;
   worker_->scratch_.in_use = false;
   engine->active_tids_.Clear(worker_->id_);
-  ++worker_->stats_.aborts;
+  ++worker_->stats_.txn_aborts;
+  ++worker_->stats_.aborts_by_reason[static_cast<size_t>(next_abort_reason_)];
+  next_abort_reason_ = AbortReason::kUser;
 }
 
 }  // namespace falcon

@@ -1,0 +1,166 @@
+#include "src/obs/metrics.h"
+
+#include <cstdlib>
+
+namespace falcon {
+
+namespace {
+
+// Scalar fields, in MetricsSnapshot declaration order. The region arrays are
+// appended below with one named entry per region.
+#define FALCON_METRIC_FIELDS(X)            \
+  X(commits, kCounter)                     \
+  X(txn_aborts, kCounter)                  \
+  X(reads, kCounter)                       \
+  X(writes, kCounter)                      \
+  X(aborts_user, kCounter)                 \
+  X(aborts_lock_conflict, kCounter)        \
+  X(aborts_ts_order, kCounter)             \
+  X(aborts_occ_validation, kCounter)       \
+  X(aborts_log_overflow, kCounter)         \
+  X(aborts_other, kCounter)                \
+  X(execute_ns, kCounter)                  \
+  X(log_append_ns, kCounter)               \
+  X(commit_flush_ns, kCounter)             \
+  X(hint_flush_ns, kCounter)               \
+  X(version_gc_ns, kCounter)               \
+  X(sim_ns_total, kCounter)                \
+  X(sim_ns_max, kCounter)                  \
+  X(hot_hits, kCounter)                    \
+  X(hot_misses, kCounter)                  \
+  X(hot_evictions, kCounter)               \
+  X(hot_inserts, kCounter)                 \
+  X(hot_size, kGauge)                      \
+  X(hot_capacity, kGauge)                  \
+  X(log_slots_opened, kCounter)            \
+  X(log_wraps, kCounter)                   \
+  X(log_appends, kCounter)                 \
+  X(log_append_overflows, kCounter)        \
+  X(log_bytes_appended, kCounter)          \
+  X(log_free_slots, kGauge)                \
+  X(log_payload_high_water, kGauge)        \
+  X(versions_allocated, kCounter)          \
+  X(versions_recycled, kCounter)           \
+  X(version_gc_runs, kCounter)             \
+  X(versions_queued, kGauge)               \
+  X(version_live_bytes, kGauge)            \
+  X(cache_hits, kCounter)                  \
+  X(cache_misses, kCounter)                \
+  X(cache_dirty_evictions, kCounter)       \
+  X(cache_clwb_writebacks, kCounter)       \
+  X(cache_sfences, kCounter)               \
+  X(device_line_writes, kCounter)          \
+  X(device_media_writes, kCounter)         \
+  X(device_media_reads, kCounter)          \
+  X(device_full_drains, kCounter)          \
+  X(device_partial_drains, kCounter)       \
+  X(device_busy_ns, kCounter)
+
+// Stable names for the expanded region arrays (indexed by MediaRegion).
+const char* const kRegionLineWriteNames[kMediaRegionCount] = {
+    "device_line_writes_other",        "device_line_writes_log",
+    "device_line_writes_tuple_heap",   "device_line_writes_index",
+    "device_line_writes_version_heap",
+};
+const char* const kRegionMediaWriteNames[kMediaRegionCount] = {
+    "device_media_writes_other",        "device_media_writes_log",
+    "device_media_writes_tuple_heap",   "device_media_writes_index",
+    "device_media_writes_version_heap",
+};
+
+void StoreMetric(MetricsSnapshot* snapshot, const MetricField& field, uint64_t value) {
+  std::memcpy(reinterpret_cast<char*>(snapshot) + field.offset, &value, sizeof(value));
+}
+
+}  // namespace
+
+const std::vector<MetricField>& MetricFieldTable() {
+  static const std::vector<MetricField> table = [] {
+    std::vector<MetricField> t;
+#define X(field, kind) \
+  t.push_back({#field, offsetof(MetricsSnapshot, field), MetricKind::kind});
+    FALCON_METRIC_FIELDS(X)
+#undef X
+    for (size_t r = 0; r < kMediaRegionCount; ++r) {
+      t.push_back({kRegionLineWriteNames[r],
+                   offsetof(MetricsSnapshot, device_region_line_writes) + r * sizeof(uint64_t),
+                   MetricKind::kCounter});
+    }
+    for (size_t r = 0; r < kMediaRegionCount; ++r) {
+      t.push_back({kRegionMediaWriteNames[r],
+                   offsetof(MetricsSnapshot, device_region_media_writes) + r * sizeof(uint64_t),
+                   MetricKind::kCounter});
+    }
+    return t;
+  }();
+  return table;
+}
+
+MetricsSnapshot DiffMetrics(const MetricsSnapshot& before, const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const MetricField& field : MetricFieldTable()) {
+    const uint64_t b = MetricValue(before, field);
+    const uint64_t a = MetricValue(after, field);
+    if (field.kind == MetricKind::kCounter) {
+      StoreMetric(&delta, field, a >= b ? a - b : 0);
+    } else {
+      StoreMetric(&delta, field, a);
+    }
+  }
+  return delta;
+}
+
+std::string MetricsJsonLine(const char* label, const MetricsSnapshot& snapshot) {
+  std::string out = "{\"label\":\"";
+  // Labels are code-controlled identifiers; escape just enough to stay valid.
+  for (const char* p = label; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(*p);
+  }
+  out += "\",\"metrics\":{";
+  bool first = true;
+  char buf[32];
+  for (const MetricField& field : MetricFieldTable()) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.push_back('"');
+    out += field.name;
+    out += "\":";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(MetricValue(snapshot, field)));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+void WriteMetricsJson(std::FILE* out, const char* label, const MetricsSnapshot& snapshot) {
+  const std::string line = MetricsJsonLine(label, snapshot);
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fputc('\n', out);
+}
+
+bool AppendMetricsJson(const char* path, const char* label, const MetricsSnapshot& snapshot) {
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    return false;
+  }
+  WriteMetricsJson(f, label, snapshot);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+void MaybeAppendMetricsJson(const char* label, const MetricsSnapshot& snapshot) {
+  const char* path = std::getenv("FALCON_METRICS_JSON");
+  if (path == nullptr || path[0] == '\0') {
+    return;
+  }
+  AppendMetricsJson(path, label, snapshot);
+}
+
+}  // namespace falcon

@@ -1,0 +1,222 @@
+// Engine-wide observability layer: per-thread, allocation-free counters with
+// a snapshot / diff API and a uniform JSON export.
+//
+// Design:
+//  - Counters are bumped at the source as plain uint64 fields owned by one
+//    thread (WorkerStats, LogWindow, HotTupleSet, VersionHeap) or as
+//    single-writer relaxed atomics (DeviceCounterBlock), so the transaction
+//    hot path never allocates and never touches a shared counter line.
+//  - MetricsSnapshot is a flat, standard-layout struct of uint64 values. A
+//    single static field table (name, offset, kind) drives iteration,
+//    diffing, and JSON serialization, so adding a counter is one struct
+//    field plus one table line.
+//  - Diff semantics: kCounter fields subtract (saturating at zero, so a
+//    mid-window reset cannot produce absurd values); kGauge fields report
+//    the "after" value (sizes, capacities, high-water marks).
+//
+// Benchmarks measure a window as
+//   before = engine.SnapshotMetrics();  ...run...;
+//   window = DiffMetrics(before, engine.SnapshotMetrics());
+// and export it with WriteMetricsJson / MaybeAppendMetricsJson (the latter
+// appends one JSON line to $FALCON_METRICS_JSON when that variable is set,
+// giving every bench_* binary and example the same machine-readable dump).
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/sim/cache_model.h"
+#include "src/sim/nvm_device.h"
+
+namespace falcon {
+
+// Why a transaction aborted (counted once per Txn::Abort, at the source).
+enum class AbortReason : uint8_t {
+  kUser = 0,        // explicit Txn::Abort() by the application
+  kLockConflict,    // no-wait lock acquisition failed (2PL/TO lock, OCC
+                    // execution-time read of a locked word)
+  kTsOrder,         // TO timestamp-order violation (read/write from the past)
+  kOccValidation,   // OCC commit-phase validation failed (write lock, write
+                    // version check, or read-set re-validation)
+  kLogOverflow,     // write set outgrew the log-window slot (§5.5 ①)
+  kOther,           // allocation failure, superseded head, retry exhaustion
+};
+inline constexpr size_t kAbortReasonCount = 6;
+
+inline const char* AbortReasonName(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kUser: return "user";
+    case AbortReason::kLockConflict: return "lock_conflict";
+    case AbortReason::kTsOrder: return "ts_order";
+    case AbortReason::kOccValidation: return "occ_validation";
+    case AbortReason::kLogOverflow: return "log_overflow";
+    case AbortReason::kOther: return "other";
+  }
+  return "?";
+}
+
+// Where simulated time goes. kExecute is derived at snapshot time as the
+// worker clock minus the instrumented phases; the others are measured with
+// PhaseTimer scopes on the commit path.
+enum class SimPhase : uint8_t {
+  kExecute = 0,
+  kLogAppend,     // OpenSlot + Append (redo buffering)
+  kCommitFlush,   // MarkCommitted + slot Release (commit durability)
+  kHintFlush,     // hinted clwb of touched tuples (D2)
+  kVersionGc,     // old-version recycling
+};
+inline constexpr size_t kSimPhaseCount = 5;
+
+inline const char* SimPhaseName(SimPhase phase) {
+  switch (phase) {
+    case SimPhase::kExecute: return "execute";
+    case SimPhase::kLogAppend: return "log_append";
+    case SimPhase::kCommitFlush: return "commit_flush";
+    case SimPhase::kHintFlush: return "hint_flush";
+    case SimPhase::kVersionGc: return "version_gc";
+  }
+  return "?";
+}
+
+// Per-worker counters, owned and written by exactly one thread. Bumps are
+// plain increments on thread-private memory — the hot path stays
+// allocation-free and share-free.
+struct WorkerStats {
+  uint64_t commits = 0;
+  // One per Txn::Abort call, including aborts inside workload-level retry
+  // loops. Benchmark runners additionally count attempt_aborts (failed
+  // run_txn attempts); the two differ whenever workloads retry internally.
+  uint64_t txn_aborts = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t aborts_by_reason[kAbortReasonCount] = {};
+  // Simulated ns by phase; [kExecute] is filled in at snapshot time.
+  uint64_t phase_ns[kSimPhaseCount] = {};
+};
+
+// Accumulates the simulated-time delta of its scope into a phase counter.
+class PhaseTimer {
+ public:
+  PhaseTimer(const uint64_t& clock, uint64_t* acc) : clock_(clock), acc_(acc), start_(clock) {}
+  ~PhaseTimer() { *acc_ += clock_ - start_; }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  const uint64_t& clock_;
+  uint64_t* acc_;
+  uint64_t start_;
+};
+
+// One engine-wide snapshot: worker counters summed across workers, plus
+// component and device totals. Flat uint64 fields only — the field table
+// below indexes into it by offset.
+struct MetricsSnapshot {
+  // Worker aggregate.
+  uint64_t commits = 0;
+  uint64_t txn_aborts = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t aborts_user = 0;
+  uint64_t aborts_lock_conflict = 0;
+  uint64_t aborts_ts_order = 0;
+  uint64_t aborts_occ_validation = 0;
+  uint64_t aborts_log_overflow = 0;
+  uint64_t aborts_other = 0;
+
+  // Simulated-time breakdown, summed over workers.
+  uint64_t execute_ns = 0;
+  uint64_t log_append_ns = 0;
+  uint64_t commit_flush_ns = 0;
+  uint64_t hint_flush_ns = 0;
+  uint64_t version_gc_ns = 0;
+  uint64_t sim_ns_total = 0;  // sum of worker clocks
+  uint64_t sim_ns_max = 0;    // slowest worker clock (drives sim_seconds)
+
+  // Hot tuple tracking (D2), summed over workers.
+  uint64_t hot_hits = 0;
+  uint64_t hot_misses = 0;
+  uint64_t hot_evictions = 0;
+  uint64_t hot_inserts = 0;
+  uint64_t hot_size = 0;      // gauge
+  uint64_t hot_capacity = 0;  // gauge
+
+  // Log windows (D1), summed over workers.
+  uint64_t log_slots_opened = 0;
+  uint64_t log_wraps = 0;  // cursor wrapped back to slot 0
+  uint64_t log_appends = 0;
+  uint64_t log_append_overflows = 0;
+  uint64_t log_bytes_appended = 0;
+  uint64_t log_free_slots = 0;           // gauge: current occupancy complement
+  uint64_t log_payload_high_water = 0;   // gauge: max payload bytes in a slot
+
+  // Version heaps (MVCC), summed over workers.
+  uint64_t versions_allocated = 0;
+  uint64_t versions_recycled = 0;
+  uint64_t version_gc_runs = 0;
+  uint64_t versions_queued = 0;      // gauge
+  uint64_t version_live_bytes = 0;   // gauge
+
+  // CPU cache models, summed over workers.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_dirty_evictions = 0;
+  uint64_t cache_clwb_writebacks = 0;
+  uint64_t cache_sfences = 0;
+
+  // Device totals (all threads + retired blocks).
+  uint64_t device_line_writes = 0;
+  uint64_t device_media_writes = 0;
+  uint64_t device_media_reads = 0;
+  uint64_t device_full_drains = 0;
+  uint64_t device_partial_drains = 0;
+  uint64_t device_busy_ns = 0;
+  // Source-attributed traffic, indexed by MediaRegion. The D1 invariant is
+  // device_region_media_writes[kRegionLog] == 0 for eADR small-window logs.
+  uint64_t device_region_line_writes[kMediaRegionCount] = {};
+  uint64_t device_region_media_writes[kMediaRegionCount] = {};
+};
+
+enum class MetricKind : uint8_t {
+  kCounter,  // monotone; diff subtracts
+  kGauge,    // instantaneous; diff keeps the "after" value
+};
+
+struct MetricField {
+  const char* name;
+  size_t offset;  // byte offset of the uint64 within MetricsSnapshot
+  MetricKind kind;
+};
+
+// The full field inventory, in declaration order (region arrays expanded to
+// one named field per region).
+const std::vector<MetricField>& MetricFieldTable();
+
+inline uint64_t MetricValue(const MetricsSnapshot& snapshot, const MetricField& field) {
+  uint64_t v;
+  std::memcpy(&v, reinterpret_cast<const char*>(&snapshot) + field.offset, sizeof(v));
+  return v;
+}
+
+// Window delta: counters subtract (saturating), gauges take `after`.
+MetricsSnapshot DiffMetrics(const MetricsSnapshot& before, const MetricsSnapshot& after);
+
+// One JSON object ({"label": ..., "metrics": {...}}) on a single line.
+std::string MetricsJsonLine(const char* label, const MetricsSnapshot& snapshot);
+void WriteMetricsJson(std::FILE* out, const char* label, const MetricsSnapshot& snapshot);
+
+// Appends one JSON line to `path`; returns false on I/O failure.
+bool AppendMetricsJson(const char* path, const char* label, const MetricsSnapshot& snapshot);
+
+// Uniform bench/example hook: appends to $FALCON_METRICS_JSON when set.
+void MaybeAppendMetricsJson(const char* label, const MetricsSnapshot& snapshot);
+
+}  // namespace falcon
+
+#endif  // SRC_OBS_METRICS_H_

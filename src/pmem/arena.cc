@@ -32,6 +32,22 @@ PmOffset NvmArena::AllocPage(PagePurpose purpose, uint32_t owner_thread, uint64_
   return AllocContiguousPages(1, purpose, owner_thread, table_id);
 }
 
+namespace {
+
+// PagePurpose -> device traffic region (source attribution for media stats).
+MediaRegion RegionForPurpose(PagePurpose purpose) {
+  switch (purpose) {
+    case PagePurpose::kTupleHeap: return kRegionTupleHeap;
+    case PagePurpose::kLogWindow: return kRegionLog;
+    case PagePurpose::kIndex: return kRegionIndex;
+    case PagePurpose::kVersionHeap: return kRegionVersionHeap;
+    case PagePurpose::kFree: break;
+  }
+  return kRegionOther;
+}
+
+}  // namespace
+
 PmOffset NvmArena::AllocContiguousPages(uint64_t count, PagePurpose purpose,
                                         uint32_t owner_thread, uint64_t table_id) {
   auto* sb = GetSuperblock(*this);
@@ -40,6 +56,7 @@ PmOffset NvmArena::AllocContiguousPages(uint64_t count, PagePurpose purpose,
     sb->next_free_page.fetch_sub(count, std::memory_order_relaxed);
     return kNullPm;
   }
+  device_->TagRegion(page_index, count, RegionForPurpose(purpose));
   const PmOffset offset = page_index * kPageSize;
   auto* header = Ptr<PageHeader>(offset);
   header->purpose = static_cast<uint64_t>(purpose);

@@ -34,6 +34,12 @@ NvmDevice::NvmDevice(size_t capacity, const CostParams& params, uint32_t xpbuffe
   }
   base_ = static_cast<std::byte*>(mem);
 
+  const uint64_t pages = capacity_ / kPageSize;
+  page_region_ = std::make_unique<std::atomic<uint8_t>[]>(pages);
+  for (uint64_t p = 0; p < pages; ++p) {
+    page_region_[p].store(kRegionOther, std::memory_order_relaxed);
+  }
+
   const uint32_t slots_per_shard = std::max<uint32_t>(4, xpbuffer_blocks / kNumShards);
   shards_.reserve(kNumShards);
   for (uint32_t i = 0; i < kNumShards; ++i) {
@@ -142,9 +148,11 @@ void NvmDevice::Shard::LruUnlink(uint32_t slot) {
 void NvmDevice::DrainBlock(Shard& shard, uint32_t slot, DeviceCounterBlock* local) {
   BufferedBlock& block = shard.slots[slot];
   const bool full = block.line_mask == (1u << kLinesPerBlock) - 1;
+  const MediaRegion region = RegionOf(block.block_index);
   uint64_t service = params_.media_write_ns;
   if (local != nullptr) {
     DeviceCounterBlock::Bump(local->media_writes);
+    DeviceCounterBlock::Bump(local->region_media_writes[region]);
     if (full) {
       DeviceCounterBlock::Bump(local->full_drains);
     } else {
@@ -157,6 +165,7 @@ void NvmDevice::DrainBlock(Shard& shard, uint32_t slot, DeviceCounterBlock* loca
     DeviceCounterBlock::Bump(local->busy_ns, service);
   } else {
     ++shard.stats.media_writes;
+    ++shard.stats.region_media_writes[region];
     if (full) {
       ++shard.stats.full_drains;
     } else {
@@ -179,15 +188,18 @@ void NvmDevice::LineWrite(uintptr_t line_addr, DeviceCounterBlock* local) {
   const uint64_t block_index = offset / kNvmBlockSize;
   const auto line_in_block = static_cast<uint8_t>((offset / kCacheLineSize) % kLinesPerBlock);
 
+  const MediaRegion region = RegionOf(block_index);
   if (local != nullptr) {
     // Thread-private block: no shared cache line touched for the count.
     DeviceCounterBlock::Bump(local->line_writes);
+    DeviceCounterBlock::Bump(local->region_line_writes[region]);
   }
 
   Shard& shard = ShardFor(block_index);
   std::lock_guard<SpinLatch> guard(shard.latch);
   if (local == nullptr) {
     ++shard.stats.line_writes;
+    ++shard.stats.region_line_writes[region];
   }
 
   // Age-based drain: bounded buffer residency (see kDrainAge). The LRU tail
@@ -250,6 +262,13 @@ void NvmDevice::DrainAll() {
     while (shard.lru_head != kNoSlot) {
       DrainBlock(shard, shard.lru_head, /*local=*/nullptr);
     }
+  }
+}
+
+void NvmDevice::TagRegion(uint64_t first_page, uint64_t pages, MediaRegion region) {
+  const uint64_t page_count = capacity_ / kPageSize;
+  for (uint64_t p = first_page; p < first_page + pages && p < page_count; ++p) {
+    page_region_[p].store(static_cast<uint8_t>(region), std::memory_order_relaxed);
   }
 }
 

@@ -30,6 +30,31 @@
 
 namespace falcon {
 
+// Source attribution for device traffic: which arena region a line write or
+// media drain landed in. Regions are tagged page-granular by the arena's
+// allocator (log area vs. tuple heap vs. index), which turns claims like
+// D1's "logging causes zero NVM media writes" into directly assertable
+// counter invariants instead of whole-device guesses.
+enum MediaRegion : uint8_t {
+  kRegionOther = 0,  // superblock / untagged pages
+  kRegionLog,
+  kRegionTupleHeap,
+  kRegionIndex,
+  kRegionVersionHeap,
+};
+inline constexpr size_t kMediaRegionCount = 5;
+
+inline const char* MediaRegionName(MediaRegion region) {
+  switch (region) {
+    case kRegionOther: return "other";
+    case kRegionLog: return "log";
+    case kRegionTupleHeap: return "tuple_heap";
+    case kRegionIndex: return "index";
+    case kRegionVersionHeap: return "version_heap";
+  }
+  return "?";
+}
+
 // Media-traffic counters. All fields are cumulative since construction.
 struct DeviceStats {
   uint64_t line_writes = 0;     // 64B line writes received from caches
@@ -38,6 +63,9 @@ struct DeviceStats {
   uint64_t full_drains = 0;     // blocks drained with all 4 lines merged
   uint64_t partial_drains = 0;  // blocks drained read-modify-write
   uint64_t busy_ns = 0;         // total media service time
+  // Per-region splits of line_writes / media_writes (indexed by MediaRegion).
+  uint64_t region_line_writes[kMediaRegionCount] = {};
+  uint64_t region_media_writes[kMediaRegionCount] = {};
 
   DeviceStats& operator+=(const DeviceStats& o) {
     line_writes += o.line_writes;
@@ -46,6 +74,10 @@ struct DeviceStats {
     full_drains += o.full_drains;
     partial_drains += o.partial_drains;
     busy_ns += o.busy_ns;
+    for (size_t r = 0; r < kMediaRegionCount; ++r) {
+      region_line_writes[r] += o.region_line_writes[r];
+      region_media_writes[r] += o.region_media_writes[r];
+    }
     return *this;
   }
 
@@ -69,6 +101,8 @@ struct alignas(kCacheLineSize) DeviceCounterBlock {
   std::atomic<uint64_t> full_drains{0};
   std::atomic<uint64_t> partial_drains{0};
   std::atomic<uint64_t> busy_ns{0};
+  std::atomic<uint64_t> region_line_writes[kMediaRegionCount] = {};
+  std::atomic<uint64_t> region_media_writes[kMediaRegionCount] = {};
 
   // Single-writer increment: no RMW, no lock prefix.
   static void Bump(std::atomic<uint64_t>& c, uint64_t v = 1) {
@@ -83,6 +117,10 @@ struct alignas(kCacheLineSize) DeviceCounterBlock {
     s.full_drains = full_drains.load(std::memory_order_relaxed);
     s.partial_drains = partial_drains.load(std::memory_order_relaxed);
     s.busy_ns = busy_ns.load(std::memory_order_relaxed);
+    for (size_t r = 0; r < kMediaRegionCount; ++r) {
+      s.region_line_writes[r] = region_line_writes[r].load(std::memory_order_relaxed);
+      s.region_media_writes[r] = region_media_writes[r].load(std::memory_order_relaxed);
+    }
     return s;
   }
 
@@ -93,6 +131,10 @@ struct alignas(kCacheLineSize) DeviceCounterBlock {
     full_drains.store(0, std::memory_order_relaxed);
     partial_drains.store(0, std::memory_order_relaxed);
     busy_ns.store(0, std::memory_order_relaxed);
+    for (size_t r = 0; r < kMediaRegionCount; ++r) {
+      region_line_writes[r].store(0, std::memory_order_relaxed);
+      region_media_writes[r].store(0, std::memory_order_relaxed);
+    }
   }
 };
 
@@ -141,6 +183,19 @@ class NvmDevice {
 
   // Drains every buffered block (e.g. before reading final stats).
   void DrainAll();
+
+  // Tags `pages` pages starting at page index `first_page` with a traffic
+  // region; subsequent line writes / drains in that range count into the
+  // per-region splits. Called by the arena's page allocator. Tags are
+  // DRAM-side metadata: they persist across simulated crashes (the device
+  // object survives engine reopen) but not across device re-creation.
+  void TagRegion(uint64_t first_page, uint64_t pages, MediaRegion region);
+
+  // Region of a 256B media block (page-granular lookup).
+  MediaRegion RegionOf(uint64_t block_index) const {
+    const uint64_t page = block_index * kNvmBlockSize / kPageSize;
+    return static_cast<MediaRegion>(page_region_[page].load(std::memory_order_relaxed));
+  }
 
   // Registers a per-thread counter block. The block must stay registered (or
   // be unregistered) before it is destroyed; Unregister folds its counts into
@@ -206,6 +261,10 @@ class NvmDevice {
   CostParams params_;
   uint64_t drain_age_ = kDrainAge;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Page -> MediaRegion map. Atomics because the tagging thread (allocator)
+  // races benignly with draining threads reading regions; both sides relaxed.
+  std::unique_ptr<std::atomic<uint8_t>[]> page_region_;
 
   // Registry of per-thread counter blocks; retired_ keeps the counts of
   // blocks that unregistered so totals stay cumulative.

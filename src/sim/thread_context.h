@@ -46,7 +46,10 @@ class ThreadContext {
 
   uint32_t thread_id() const { return thread_id_; }
   uint64_t sim_ns() const { return sim_ns_; }
+  // Stable reference to the clock, for RAII phase timers.
+  const uint64_t& sim_ns_ref() const { return sim_ns_; }
   CacheModel& cache() { return cache_; }
+  const CacheModel& cache() const { return cache_; }
   Rng& rng() { return rng_; }
 
   // Copies `len` bytes from `src` to `dst` and charges store cost for the

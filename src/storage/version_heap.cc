@@ -15,18 +15,21 @@ Version* VersionHeap::Allocate(uint32_t data_size) {
   auto* version = new (mem) Version();
   version->data_size = data_size;
   live_bytes_ += sizeof(Version) + data_size;
+  ++allocated_total_;
   return version;
 }
 
 void VersionHeap::Enqueue(Version* version) { queue_.push_back(version); }
 
 size_t VersionHeap::Gc(uint64_t min_active_tid) {
+  ++gc_runs_;
   size_t recycled = 0;
   while (!queue_.empty() && queue_.front()->end_ts < min_active_tid) {
     Free(queue_.front());
     queue_.pop_front();
     ++recycled;
   }
+  recycled_total_ += recycled;
   return recycled;
 }
 

@@ -75,6 +75,17 @@ class VersionHeap {
   size_t queued() const { return queue_.size(); }
   size_t live_bytes() const { return live_bytes_; }
 
+  // Cumulative activity counters, proving the GC actually fires (versions
+  // recycled excludes DropAll, which models DRAM loss, not reclamation).
+  uint64_t allocated_total() const { return allocated_total_; }
+  uint64_t recycled_total() const { return recycled_total_; }
+  uint64_t gc_runs() const { return gc_runs_; }
+  void ResetStats() {
+    allocated_total_ = 0;
+    recycled_total_ = 0;
+    gc_runs_ = 0;
+  }
+
  private:
   void Free(Version* version);
 
@@ -84,6 +95,9 @@ class VersionHeap {
   // versions are malloc'd and freed, and their cost is modeled by the
   // simulated clock, not by host allocator performance.
   size_t live_bytes_ = 0;
+  uint64_t allocated_total_ = 0;
+  uint64_t recycled_total_ = 0;
+  uint64_t gc_runs_ = 0;
 };
 
 }  // namespace falcon

@@ -24,17 +24,27 @@ namespace falcon {
 
 struct BenchResult {
   uint64_t commits = 0;
-  uint64_t aborts = 0;
+  // Failed run_txn attempts, as observed by the bench loop. One logical
+  // transaction that internally retries N times before giving up counts once
+  // here but N times in txn_aborts below.
+  uint64_t attempt_aborts = 0;
+  // Txn::Abort invocations inside the engine during the measured window,
+  // including internal retries that eventually committed. Always >= the
+  // abort attempts visible to the bench loop.
+  uint64_t txn_aborts = 0;
   double sim_seconds = 0;
   double mtxn_per_s = 0;
   double avg_us = 0;        // mean simulated latency per committed txn
   uint64_t p95_ns = 0;
   DeviceStats device;       // media traffic during the measured window
   double write_amp = 0;
+  // Engine-wide metrics diff over the measured window (see src/obs/metrics.h).
+  MetricsSnapshot metrics;
 
   double AbortRate() const {
-    const uint64_t total = commits + aborts;
-    return total == 0 ? 0.0 : static_cast<double>(aborts) / static_cast<double>(total);
+    const uint64_t total = commits + attempt_aborts;
+    return total == 0 ? 0.0
+                      : static_cast<double>(attempt_aborts) / static_cast<double>(total);
   }
 };
 
@@ -54,6 +64,7 @@ inline BenchResult RunBench(
   }
   device.DrainAll();
   device.ResetStats();
+  const MetricsSnapshot before = engine.SnapshotMetrics();
 
   std::vector<std::thread> pool;
   // Per-thread tallies are written once at thread exit; counting into
@@ -95,11 +106,13 @@ inline BenchResult RunBench(
   device.DrainAll();
 
   BenchResult result;
+  result.metrics = DiffMetrics(before, engine.SnapshotMetrics());
+  result.txn_aborts = result.metrics.txn_aborts;
   uint64_t max_ns = 0;
   Histogram merged;
   for (uint32_t t = 0; t < threads; ++t) {
     result.commits += commits[t];
-    result.aborts += aborts[t];
+    result.attempt_aborts += aborts[t];
     max_ns = std::max(max_ns, engine.worker(t).ctx().sim_ns());
     merged.Merge(latencies[t]);
   }

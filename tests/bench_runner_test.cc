@@ -1,0 +1,128 @@
+// RunBench accounting: the two abort counters measure different things —
+// attempt_aborts is what the bench loop saw (failed run_txn attempts),
+// txn_aborts is what the engine did (every Txn::Abort, including internal
+// retries that eventually committed) — and the metrics window matches the
+// per-thread tallies.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/workload/bench_runner.h"
+
+namespace falcon {
+namespace {
+
+constexpr uint64_t kRowBytes = 32;
+
+struct Fixture {
+  NvmDevice dev{256ul * 1024 * 1024};
+  std::unique_ptr<Engine> engine;
+  TableId table = kInvalidTable;
+
+  explicit Fixture(uint32_t workers, EngineConfig config = EngineConfig::Falcon(CcScheme::kOcc)) {
+    engine = std::make_unique<Engine>(&dev, config, workers);
+    SchemaBuilder schema("t");
+    schema.AddU64();
+    schema.AddColumn(24);
+    table = engine->CreateTable(schema, IndexKind::kHash);
+    std::byte row[kRowBytes] = {};
+    for (uint64_t k = 0; k < 64; ++k) {
+      Txn txn = engine->worker(0).Begin();
+      std::memcpy(row, &k, sizeof(k));
+      EXPECT_EQ(txn.Insert(table, k, row), Status::kOk);
+      EXPECT_EQ(txn.Commit(), Status::kOk);
+    }
+  }
+};
+
+TEST(BenchRunner, CleanRunHasNoAbortsOfEitherKind) {
+  Fixture f(2);
+  const BenchResult r = RunBench(*f.engine, 2, 50, [&](Worker& w, uint32_t t, uint64_t i) {
+    const uint64_t v = i;
+    Txn txn = w.Begin();
+    // Partitioned keys: no conflicts possible.
+    if (txn.UpdatePartial(f.table, t * 32 + i % 32, 0, 8, &v) != Status::kOk) {
+      return false;
+    }
+    return txn.Commit() == Status::kOk;
+  });
+  EXPECT_EQ(r.commits, 100u);
+  EXPECT_EQ(r.attempt_aborts, 0u);
+  EXPECT_EQ(r.txn_aborts, 0u);
+  EXPECT_EQ(r.AbortRate(), 0.0);
+  // The metrics window agrees with the bench tallies.
+  EXPECT_EQ(r.metrics.commits, 100u);
+  EXPECT_EQ(r.metrics.txn_aborts, 0u);
+  EXPECT_GT(r.metrics.sim_ns_max, 0u);
+}
+
+TEST(BenchRunner, InternalRetriesCountInTxnAbortsOnly) {
+  Fixture f(1);
+  // Every "transaction" aborts twice internally before committing — the shape
+  // of a workload-level retry loop. The bench loop sees only successes.
+  const BenchResult r = RunBench(*f.engine, 1, 20, [&](Worker& w, uint32_t, uint64_t i) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      Txn txn = w.Begin();
+      const uint64_t v = i;
+      (void)txn.UpdatePartial(f.table, i % 32, 0, 8, &v);
+      txn.Abort();  // simulated internal failure
+    }
+    const uint64_t v = i;
+    Txn txn = w.Begin();
+    if (txn.UpdatePartial(f.table, i % 32, 0, 8, &v) != Status::kOk) {
+      return false;
+    }
+    return txn.Commit() == Status::kOk;
+  });
+  EXPECT_EQ(r.commits, 20u);
+  EXPECT_EQ(r.attempt_aborts, 0u);  // the loop never saw a failure...
+  EXPECT_EQ(r.txn_aborts, 40u);     // ...but the engine aborted 2x per txn
+  EXPECT_EQ(r.AbortRate(), 0.0);    // attempt-level rate
+  EXPECT_EQ(r.metrics.aborts_user, 40u);
+}
+
+TEST(BenchRunner, FailedAttemptsCountInBoth) {
+  Fixture f(1);
+  // Every third attempt gives up (one engine abort, one failed attempt).
+  const BenchResult r = RunBench(*f.engine, 1, 30, [&](Worker& w, uint32_t, uint64_t i) {
+    Txn txn = w.Begin();
+    const uint64_t v = i;
+    if (txn.UpdatePartial(f.table, i % 32, 0, 8, &v) != Status::kOk) {
+      return false;
+    }
+    if (i % 3 == 2) {
+      txn.Abort();
+      return false;
+    }
+    return txn.Commit() == Status::kOk;
+  });
+  EXPECT_EQ(r.commits, 20u);
+  EXPECT_EQ(r.attempt_aborts, 10u);
+  EXPECT_EQ(r.txn_aborts, 10u);
+  // The invariant the two counters must always satisfy: the engine aborts at
+  // least once per failed attempt.
+  EXPECT_GE(r.txn_aborts, r.attempt_aborts);
+  EXPECT_NEAR(r.AbortRate(), 10.0 / 30.0, 1e-12);
+}
+
+TEST(BenchRunner, MetricsWindowExcludesLoadPhase) {
+  Fixture f(1);
+  // The 64 loader inserts above happened before RunBench; the measured
+  // window must contain only the benchmarked transactions.
+  const BenchResult r = RunBench(*f.engine, 1, 10, [&](Worker& w, uint32_t, uint64_t i) {
+    const uint64_t v = i;
+    Txn txn = w.Begin();
+    if (txn.UpdatePartial(f.table, i % 32, 0, 8, &v) != Status::kOk) {
+      return false;
+    }
+    return txn.Commit() == Status::kOk;
+  });
+  EXPECT_EQ(r.metrics.commits, 10u);
+  EXPECT_EQ(r.metrics.writes, 10u);
+  // Device traffic in the window matches the DeviceStats the result reports.
+  EXPECT_EQ(r.metrics.device_media_writes, r.device.media_writes);
+}
+
+}  // namespace
+}  // namespace falcon

@@ -352,7 +352,7 @@ TEST_P(EngineTest, StatsCountCommitsAndAborts) {
     txn.Abort();
   }
   EXPECT_EQ(w.stats().commits, commits_before + 1);
-  EXPECT_GE(w.stats().aborts, 1u);
+  EXPECT_GE(w.stats().txn_aborts, 1u);
   EXPECT_GT(w.ctx().sim_ns(), 0u);
 }
 

@@ -1,0 +1,134 @@
+// HotTupleSet (paper D2, §4.4): LRU eviction order, open-addressing deletion
+// with probe-cluster re-insertion, reuse after Clear, the capacity-0 edge
+// case, and the hit/miss/eviction counters added for the metrics layer.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/hot_tuple_set.h"
+
+namespace falcon {
+namespace {
+
+TEST(HotTupleSet, EvictsInLruOrder) {
+  HotTupleSet set(3);
+  set.Cache(10);
+  set.Cache(20);
+  set.Cache(30);
+  ASSERT_EQ(set.size(), 3u);
+
+  // Touch 10 so 20 becomes the coldest entry.
+  EXPECT_TRUE(set.Contains(10));
+
+  set.Cache(40);  // evicts 20
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.ContainsQuiet(10));
+  EXPECT_FALSE(set.ContainsQuiet(20));
+  EXPECT_TRUE(set.ContainsQuiet(30));
+  EXPECT_TRUE(set.ContainsQuiet(40));
+
+  // Next victim is 30 (10 and 40 are warmer).
+  set.Cache(50);
+  EXPECT_FALSE(set.ContainsQuiet(30));
+  EXPECT_TRUE(set.ContainsQuiet(10));
+  EXPECT_TRUE(set.ContainsQuiet(40));
+  EXPECT_TRUE(set.ContainsQuiet(50));
+}
+
+TEST(HotTupleSet, CachingAnExistingTupleRefreshesInsteadOfDuplicating) {
+  HotTupleSet set(2);
+  set.Cache(1);
+  set.Cache(2);
+  set.Cache(1);  // refresh, not re-insert
+  EXPECT_EQ(set.size(), 2u);
+  set.Cache(3);  // evicts 2, the coldest
+  EXPECT_TRUE(set.ContainsQuiet(1));
+  EXPECT_FALSE(set.ContainsQuiet(2));
+  EXPECT_TRUE(set.ContainsQuiet(3));
+}
+
+TEST(HotTupleSet, EvictionKeepsProbeClustersSearchable) {
+  // Fill well past the point where the open-addressed table develops probe
+  // clusters, then churn: every surviving entry must stay findable after
+  // each eviction's delete + cluster re-insertion.
+  constexpr size_t kCapacity = 16;
+  HotTupleSet set(kCapacity);
+  std::vector<PmOffset> inserted;
+  for (PmOffset t = 1; t <= 200; ++t) {
+    set.Cache(t * 64);
+    inserted.push_back(t * 64);
+    ASSERT_EQ(set.size(), std::min<size_t>(t, kCapacity));
+    // The most recent kCapacity tuples are exactly the survivors (no
+    // Contains() calls, so insertion order == recency order).
+    const size_t first_live = inserted.size() > kCapacity ? inserted.size() - kCapacity : 0;
+    for (size_t i = 0; i < inserted.size(); ++i) {
+      ASSERT_EQ(set.ContainsQuiet(inserted[i]), i >= first_live)
+          << "tuple " << inserted[i] << " after inserting " << (t * 64);
+    }
+  }
+}
+
+TEST(HotTupleSet, ReusableAfterClear) {
+  HotTupleSet set(4);
+  for (PmOffset t = 1; t <= 8; ++t) {
+    set.Cache(t);
+  }
+  set.Clear();
+  EXPECT_EQ(set.size(), 0u);
+  for (PmOffset t = 1; t <= 8; ++t) {
+    EXPECT_FALSE(set.ContainsQuiet(t));
+  }
+  // Full capacity is available again and LRU behaves normally.
+  for (PmOffset t = 100; t < 104; ++t) {
+    set.Cache(t);
+  }
+  EXPECT_EQ(set.size(), 4u);
+  set.Cache(200);
+  EXPECT_FALSE(set.ContainsQuiet(100));
+  EXPECT_TRUE(set.ContainsQuiet(200));
+}
+
+TEST(HotTupleSet, CapacityZeroNeverTracks) {
+  HotTupleSet set(0);
+  set.Cache(1);
+  set.Cache(2);
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_FALSE(set.ContainsQuiet(2));
+}
+
+TEST(HotTupleSet, CountersTrackHitsMissesEvictionsInserts) {
+  HotTupleSet set(2);
+  EXPECT_FALSE(set.Contains(1));  // miss
+  set.Cache(1);                   // insert
+  set.Cache(2);                   // insert
+  EXPECT_TRUE(set.Contains(1));   // hit
+  set.Cache(3);                   // insert + eviction (victim: 2)
+  EXPECT_FALSE(set.Contains(2));  // miss
+
+  const HotTupleSetStats& s = set.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.inserts, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+
+  // ContainsQuiet must not perturb the counters.
+  (void)set.ContainsQuiet(1);
+  (void)set.ContainsQuiet(2);
+  EXPECT_EQ(set.stats().hits, 1u);
+  EXPECT_EQ(set.stats().misses, 2u);
+
+  set.ResetStats();
+  EXPECT_EQ(set.stats().hits, 0u);
+  EXPECT_EQ(set.stats().inserts, 0u);
+
+  // Clear() resets contents, not counters: tracking effectiveness is
+  // cumulative across benchmark warmup boundaries unless explicitly reset.
+  set.Cache(9);
+  set.Clear();
+  EXPECT_EQ(set.stats().inserts, 1u);
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,430 @@
+// The observability layer (src/obs): snapshot/diff semantics, the field
+// table, JSON export, the abort-reason taxonomy, the simulated-time phase
+// breakdown, and the source-attributed device counters that make the paper's
+// D1 claim ("zero log media writes under eADR") directly assertable.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "src/core/engine.h"
+
+namespace falcon {
+namespace {
+
+constexpr uint64_t kRowBytes = 32;
+
+void FillRow(std::byte* row, uint64_t seed) {
+  std::memset(row, static_cast<int>(seed & 0x7f), kRowBytes);
+  std::memcpy(row, &seed, sizeof(seed));
+}
+
+Status InsertRow(Worker& w, TableId table, uint64_t key, uint64_t seed) {
+  std::byte row[kRowBytes];
+  FillRow(row, seed);
+  Txn txn = w.Begin();
+  const Status s = txn.Insert(table, key, row);
+  if (s != Status::kOk) {
+    txn.Abort();
+    return s;
+  }
+  return txn.Commit();
+}
+
+TableId MakeTable(Engine& engine, const char* name = "t") {
+  SchemaBuilder schema(name);
+  schema.AddU64();
+  schema.AddColumn(24);
+  return engine.CreateTable(schema, IndexKind::kHash);
+}
+
+// --- Field table invariants -------------------------------------------------
+
+TEST(MetricFieldTable, CoversEveryFieldExactlyOnce) {
+  const auto& table = MetricFieldTable();
+  // MetricsSnapshot is all uint64 — the table must name each one exactly once.
+  EXPECT_EQ(table.size() * sizeof(uint64_t), sizeof(MetricsSnapshot));
+
+  std::set<std::string> names;
+  std::set<size_t> offsets;
+  for (const MetricField& f : table) {
+    EXPECT_TRUE(names.insert(f.name).second) << "duplicate name " << f.name;
+    EXPECT_TRUE(offsets.insert(f.offset).second) << "duplicate offset for " << f.name;
+    EXPECT_LT(f.offset, sizeof(MetricsSnapshot));
+    EXPECT_EQ(f.offset % sizeof(uint64_t), 0u);
+  }
+  // Spot-check that the region arrays were expanded into named fields.
+  EXPECT_EQ(names.count("device_line_writes_log"), 1u);
+  EXPECT_EQ(names.count("device_media_writes_log"), 1u);
+  EXPECT_EQ(names.count("device_media_writes_tuple_heap"), 1u);
+}
+
+TEST(MetricFieldTable, MetricValueReadsByOffset) {
+  MetricsSnapshot s;
+  s.commits = 42;
+  s.device_region_media_writes[static_cast<size_t>(kRegionLog)] = 7;
+  for (const MetricField& f : MetricFieldTable()) {
+    if (std::strcmp(f.name, "commits") == 0) {
+      EXPECT_EQ(MetricValue(s, f), 42u);
+    }
+    if (std::strcmp(f.name, "device_media_writes_log") == 0) {
+      EXPECT_EQ(MetricValue(s, f), 7u);
+    }
+  }
+}
+
+// --- Diff semantics ---------------------------------------------------------
+
+TEST(DiffMetrics, CountersSubtractGaugesTakeAfter) {
+  MetricsSnapshot before;
+  MetricsSnapshot after;
+  before.commits = 10;
+  after.commits = 25;
+  before.hot_size = 5;  // gauge
+  after.hot_size = 3;
+  const MetricsSnapshot diff = DiffMetrics(before, after);
+  EXPECT_EQ(diff.commits, 15u);
+  EXPECT_EQ(diff.hot_size, 3u);
+}
+
+TEST(DiffMetrics, CounterUnderflowSaturatesAtZero) {
+  MetricsSnapshot before;
+  MetricsSnapshot after;
+  before.commits = 100;
+  after.commits = 40;  // e.g. a reset happened mid-window
+  EXPECT_EQ(DiffMetrics(before, after).commits, 0u);
+}
+
+// --- JSON export ------------------------------------------------------------
+
+TEST(MetricsJson, LineContainsLabelAndEveryField) {
+  MetricsSnapshot s;
+  s.commits = 3;
+  const std::string line = MetricsJsonLine("bench/\"quoted\"", s);
+  EXPECT_NE(line.find("\"label\":\"bench/\\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(line.find("\"commits\":3"), std::string::npos);
+  for (const MetricField& f : MetricFieldTable()) {
+    EXPECT_NE(line.find(std::string("\"") + f.name + "\":"), std::string::npos) << f.name;
+  }
+  // Single line (WriteMetricsJson adds the newline), object-shaped.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+}
+
+TEST(MetricsJson, AppendWritesOneLinePerCall) {
+  const char* path = "obs_metrics_test_append.json";
+  std::remove(path);
+  MetricsSnapshot s;
+  ASSERT_TRUE(AppendMetricsJson(path, "a", s));
+  ASSERT_TRUE(AppendMetricsJson(path, "b", s));
+  std::FILE* in = std::fopen(path, "r");
+  ASSERT_NE(in, nullptr);
+  int lines = 0;
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  std::fclose(in);
+  std::remove(path);
+  EXPECT_EQ(lines, 2);
+}
+
+// --- Abort-reason taxonomy --------------------------------------------------
+
+TEST(AbortTaxonomy, UserAbortCountsAsUser) {
+  NvmDevice dev(256ul * 1024 * 1024);
+  Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), 1);
+  const TableId t = MakeTable(engine);
+  Worker& w = engine.worker(0);
+  ASSERT_EQ(InsertRow(w, t, 1, 1), Status::kOk);
+  {
+    Txn txn = w.Begin();
+    std::byte row[kRowBytes];
+    FillRow(row, 2);
+    ASSERT_EQ(txn.UpdateFull(t, 1, row), Status::kOk);
+    txn.Abort();
+  }
+  const MetricsSnapshot s = engine.SnapshotMetrics();
+  EXPECT_EQ(s.txn_aborts, 1u);
+  EXPECT_EQ(s.aborts_user, 1u);
+  EXPECT_EQ(s.aborts_lock_conflict + s.aborts_ts_order + s.aborts_occ_validation +
+                s.aborts_log_overflow + s.aborts_other,
+            0u);
+}
+
+TEST(AbortTaxonomy, TaxonomySumsToTxnAborts2pl) {
+  // Two workers fighting over one row under no-wait 2PL: the loser's aborts
+  // must be attributed (mostly kLockConflict) and the taxonomy must sum to
+  // txn_aborts exactly.
+  NvmDevice dev(256ul * 1024 * 1024);
+  Engine engine(&dev, EngineConfig::Falcon(CcScheme::k2pl), 2);
+  const TableId t = MakeTable(engine);
+  ASSERT_EQ(InsertRow(engine.worker(0), t, 1, 1), Status::kOk);
+
+  Worker& w0 = engine.worker(0);
+  Worker& w1 = engine.worker(1);
+  const uint64_t v = 9;
+  // w0 holds a write lock on key 1 across w1's attempt.
+  Txn holder = w0.Begin();
+  ASSERT_EQ(holder.UpdatePartial(t, 1, 0, 8, &v), Status::kOk);
+  {
+    Txn loser = w1.Begin();
+    EXPECT_EQ(loser.UpdatePartial(t, 1, 0, 8, &v), Status::kAborted);
+  }
+  ASSERT_EQ(holder.Commit(), Status::kOk);
+
+  const MetricsSnapshot s = engine.SnapshotMetrics();
+  EXPECT_GE(s.aborts_lock_conflict, 1u);
+  EXPECT_EQ(s.aborts_user + s.aborts_lock_conflict + s.aborts_ts_order +
+                s.aborts_occ_validation + s.aborts_log_overflow + s.aborts_other,
+            s.txn_aborts);
+}
+
+TEST(AbortTaxonomy, OccValidationConflictAttributed) {
+  // Classic OCC write-write race: both transactions observe the tuple, one
+  // commits, the other fails commit-phase validation.
+  NvmDevice dev(256ul * 1024 * 1024);
+  Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), 2);
+  const TableId t = MakeTable(engine);
+  ASSERT_EQ(InsertRow(engine.worker(0), t, 1, 1), Status::kOk);
+
+  const uint64_t v = 5;
+  Txn a = engine.worker(0).Begin();
+  Txn b = engine.worker(1).Begin();
+  ASSERT_EQ(a.UpdatePartial(t, 1, 0, 8, &v), Status::kOk);
+  ASSERT_EQ(b.UpdatePartial(t, 1, 0, 8, &v), Status::kOk);
+  ASSERT_EQ(a.Commit(), Status::kOk);
+  EXPECT_EQ(b.Commit(), Status::kAborted);
+
+  const MetricsSnapshot s = engine.SnapshotMetrics();
+  EXPECT_EQ(s.aborts_occ_validation, 1u);
+  EXPECT_EQ(s.txn_aborts, 1u);
+}
+
+TEST(AbortTaxonomy, LogOverflowAttributed) {
+  // A write set larger than one log slot must be refused by LogWindow::Append
+  // and surface as kNoSpace + an aborts_log_overflow tick.
+  NvmDevice dev(256ul * 1024 * 1024);
+  EngineConfig config = EngineConfig::Falcon(CcScheme::kOcc);
+  config.log_slot_bytes = 4096;
+  Engine engine(&dev, config, 1);
+  SchemaBuilder schema("wide");
+  schema.AddU64();
+  schema.AddColumn(8192 - 8);  // one full-tuple update cannot fit a 4KB slot
+  const TableId t = engine.CreateTable(schema, IndexKind::kHash);
+  Worker& w = engine.worker(0);
+
+  std::vector<std::byte> row(8192, std::byte{1});
+  {
+    // Insert commits via the out-of-band path only if it fits; an 8KB redo
+    // payload in a 4KB slot must overflow either at insert or update time.
+    Txn txn = w.Begin();
+    const Status insert_status = txn.Insert(t, 1, row.data());
+    if (insert_status == Status::kOk) {
+      (void)txn.Commit();
+      Txn upd = w.Begin();
+      EXPECT_EQ(upd.UpdateFull(t, 1, row.data()), Status::kNoSpace);
+    } else {
+      EXPECT_EQ(insert_status, Status::kNoSpace);
+    }
+  }
+  const MetricsSnapshot s = engine.SnapshotMetrics();
+  EXPECT_GE(s.aborts_log_overflow, 1u);
+  EXPECT_GE(s.log_append_overflows, 1u);
+}
+
+// --- AggregateStats regression (satellite: WorkerStats::sim_ns removed) -----
+
+TEST(AggregateStats, SumsWorkerCountersAndClockLivesInSnapshot) {
+  NvmDevice dev(256ul * 1024 * 1024);
+  Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), 2);
+  const TableId t = MakeTable(engine);
+  ASSERT_EQ(InsertRow(engine.worker(0), t, 1, 1), Status::kOk);
+  ASSERT_EQ(InsertRow(engine.worker(1), t, 2, 2), Status::kOk);
+
+  const WorkerStats agg = engine.AggregateStats();
+  EXPECT_EQ(agg.commits,
+            engine.worker(0).stats().commits + engine.worker(1).stats().commits);
+  EXPECT_EQ(agg.writes,
+            engine.worker(0).stats().writes + engine.worker(1).stats().writes);
+
+  // Simulated time is not a WorkerStats field any more (the old sim_ns was
+  // dead weight — never populated); the clock is reported by the snapshot.
+  const MetricsSnapshot s = engine.SnapshotMetrics();
+  const uint64_t c0 = engine.worker(0).ctx().sim_ns();
+  const uint64_t c1 = engine.worker(1).ctx().sim_ns();
+  EXPECT_EQ(s.sim_ns_total, c0 + c1);
+  EXPECT_EQ(s.sim_ns_max, std::max(c0, c1));
+  EXPECT_GT(s.sim_ns_max, 0u);
+}
+
+// --- Phase breakdown --------------------------------------------------------
+
+TEST(PhaseBreakdown, CommitPhasesAccountedAndBoundedByClock) {
+  NvmDevice dev(256ul * 1024 * 1024);
+  Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), 1);
+  const TableId t = MakeTable(engine);
+  Worker& w = engine.worker(0);
+  for (uint64_t k = 0; k < 64; ++k) {
+    ASSERT_EQ(InsertRow(w, t, k, k), Status::kOk);
+  }
+  const uint64_t v = 1;
+  for (uint64_t k = 0; k < 64; ++k) {
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.UpdatePartial(t, k, 0, 8, &v), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+
+  const MetricsSnapshot s = engine.SnapshotMetrics();
+  EXPECT_GT(s.log_append_ns, 0u);
+  EXPECT_GT(s.commit_flush_ns, 0u);
+  // Falcon selective-flushes cold tuples at commit.
+  EXPECT_GT(s.hint_flush_ns, 0u);
+  EXPECT_GT(s.execute_ns, 0u);
+  EXPECT_EQ(s.execute_ns + s.log_append_ns + s.commit_flush_ns + s.hint_flush_ns +
+                s.version_gc_ns,
+            s.sim_ns_total);
+}
+
+// --- Version GC audit (satellite: prove the GC actually fires) --------------
+
+TEST(VersionGc, GcRunsAndRecyclesUnderMvcc) {
+  NvmDevice dev(256ul * 1024 * 1024);
+  EngineConfig config = EngineConfig::Falcon(CcScheme::kMvOcc);
+  config.version_gc_threshold = 8;  // recycle promptly so the test sees it
+  Engine engine(&dev, config, 1);
+  const TableId t = MakeTable(engine);
+  Worker& w = engine.worker(0);
+  ASSERT_EQ(InsertRow(w, t, 1, 1), Status::kOk);
+
+  const uint64_t v = 3;
+  for (int i = 0; i < 256; ++i) {
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.UpdatePartial(t, 1, 0, 8, &v), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+
+  const MetricsSnapshot s = engine.SnapshotMetrics();
+  EXPECT_GT(s.versions_allocated, 0u);
+  EXPECT_GT(s.version_gc_runs, 0u);
+  EXPECT_GT(s.versions_recycled, 0u);
+  // Prompt GC keeps the queue near the threshold, not growing without bound.
+  EXPECT_LE(s.versions_queued, 2 * config.version_gc_threshold);
+  EXPECT_LE(s.versions_recycled, s.versions_allocated);
+}
+
+// --- D1 acceptance: source-attributed device traffic ------------------------
+
+// Runs `updates` single-row-update transactions and returns the metrics
+// snapshot after draining the XPBuffer. Deliberately does NOT force cache
+// writeback: under eADR the persistent cache's content is durable, and
+// force-evicting it is exactly what would fake log media traffic.
+MetricsSnapshot RunUpdatesAndDrain(const EngineConfig& config, int updates) {
+  NvmDevice dev(512ul * 1024 * 1024);
+  Engine engine(&dev, config, 1);
+  const TableId t = MakeTable(engine);
+  Worker& w = engine.worker(0);
+  for (uint64_t k = 0; k < 32; ++k) {
+    EXPECT_EQ(InsertRow(w, t, k, k), Status::kOk);
+  }
+  const uint64_t v = 7;
+  for (int i = 0; i < updates; ++i) {
+    Txn txn = w.Begin();
+    EXPECT_EQ(txn.UpdatePartial(t, static_cast<uint64_t>(i) % 32, 0, 8, &v), Status::kOk);
+    EXPECT_EQ(txn.Commit(), Status::kOk);
+  }
+  dev.DrainAll();
+  return engine.SnapshotMetrics();
+}
+
+TEST(RegionAttribution, FalconSmallWindowWritesZeroLogBytesToMedia) {
+  // The paper's D1 claim, asserted from the source-attributed counters: the
+  // 48KB per-thread log window stays resident in the (persistent) cache, so
+  // logging causes zero NVM media writes — while a conventional flushed log
+  // pushes every appended line to the media.
+  const MetricsSnapshot falcon =
+      RunUpdatesAndDrain(EngineConfig::Falcon(CcScheme::kOcc), 512);
+  const MetricsSnapshot inp = RunUpdatesAndDrain(EngineConfig::Inp(CcScheme::kOcc), 512);
+
+  const size_t log_region = static_cast<size_t>(kRegionLog);
+  ASSERT_GT(falcon.log_appends, 0u);  // the log was exercised...
+  EXPECT_EQ(falcon.device_region_media_writes[log_region], 0u)
+      << "eADR small-window logging must not reach the media";
+  EXPECT_GT(inp.device_region_media_writes[log_region], 0u)
+      << "a flushed NVM log must reach the media";
+  // Both engines do write tuple data to media (flush policies reach the heap).
+  EXPECT_GT(inp.device_region_media_writes[static_cast<size_t>(kRegionTupleHeap)], 0u);
+}
+
+TEST(RegionAttribution, RegionTotalsAddUpToDeviceTotals) {
+  const MetricsSnapshot s = RunUpdatesAndDrain(EngineConfig::Inp(CcScheme::kOcc), 256);
+  uint64_t line_sum = 0;
+  uint64_t media_sum = 0;
+  for (size_t r = 0; r < kMediaRegionCount; ++r) {
+    line_sum += s.device_region_line_writes[r];
+    media_sum += s.device_region_media_writes[r];
+  }
+  EXPECT_EQ(line_sum, s.device_line_writes);
+  EXPECT_EQ(media_sum, s.device_media_writes);
+  // Traffic is attributed, not dumped into "other".
+  EXPECT_GT(s.device_region_line_writes[static_cast<size_t>(kRegionLog)] +
+                s.device_region_line_writes[static_cast<size_t>(kRegionTupleHeap)] +
+                s.device_region_line_writes[static_cast<size_t>(kRegionIndex)],
+            0u);
+}
+
+// --- Log-window occupancy counters ------------------------------------------
+
+TEST(LogWindowMetrics, WrapsAndOccupancyReported) {
+  NvmDevice dev(256ul * 1024 * 1024);
+  Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), 1);
+  const TableId t = MakeTable(engine);
+  Worker& w = engine.worker(0);
+  ASSERT_EQ(InsertRow(w, t, 1, 1), Status::kOk);
+  const uint64_t v = 2;
+  // More committed writers than slots forces the cursor to wrap.
+  for (int i = 0; i < 16; ++i) {
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.UpdatePartial(t, 1, 0, 8, &v), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  const MetricsSnapshot s = engine.SnapshotMetrics();
+  EXPECT_GE(s.log_slots_opened, 16u);
+  EXPECT_GT(s.log_wraps, 0u);
+  EXPECT_GT(s.log_bytes_appended, 0u);
+  EXPECT_GT(s.log_payload_high_water, 0u);
+  // Quiescent engine: every slot is free again.
+  EXPECT_EQ(s.log_free_slots, engine.config().log_window_slots);
+}
+
+// --- Hot-tuple counters through the engine ----------------------------------
+
+TEST(HotTupleMetrics, SelectiveFlushPopulatesHitMissCounters) {
+  NvmDevice dev(256ul * 1024 * 1024);
+  Engine engine(&dev, EngineConfig::Falcon(CcScheme::kOcc), 1);
+  const TableId t = MakeTable(engine);
+  Worker& w = engine.worker(0);
+  ASSERT_EQ(InsertRow(w, t, 1, 1), Status::kOk);
+  const uint64_t v = 4;
+  for (int i = 0; i < 8; ++i) {
+    Txn txn = w.Begin();
+    ASSERT_EQ(txn.UpdatePartial(t, 1, 0, 8, &v), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  const MetricsSnapshot s = engine.SnapshotMetrics();
+  // First committed update misses (tuple cold, gets cached); later ones hit.
+  EXPECT_GE(s.hot_misses, 1u);
+  EXPECT_GE(s.hot_hits, 1u);
+  EXPECT_GE(s.hot_inserts, 1u);
+  EXPECT_EQ(s.hot_size, 1u);
+  EXPECT_EQ(s.hot_capacity, engine.config().hot_tuple_capacity);
+}
+
+}  // namespace
+}  // namespace falcon
