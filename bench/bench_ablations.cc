@@ -8,6 +8,7 @@
 //  3. Hot-tuple-set capacity (D2) — Zipfian media writes vs LRU size.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/fixtures.h"
 
@@ -59,9 +60,9 @@ void WindowSlotsAblation() {
     std::printf("%-8u %12.3f %16.2f\n", slots, r.mtxn_per_s,
                 static_cast<double>(r.device.media_writes) /
                     static_cast<double>(std::max<uint64_t>(1, r.commits)));
-    char label[64];
-    std::snprintf(label, sizeof(label), "ablation/log_slots/%u", slots);
-    MaybeAppendMetricsJson(label, r.metrics);
+    MaybeAppendMetricsJson(
+        BenchLabel("ablation", "log_slots_" + std::to_string(slots), 8).c_str(),
+        r.metrics, r.latency);
   }
 }
 
@@ -88,9 +89,9 @@ void HotCapacityAblation() {
     std::printf("%-10zu %12.3f %16.2f\n", capacity, r.mtxn_per_s,
                 static_cast<double>(r.device.media_writes) /
                     static_cast<double>(std::max<uint64_t>(1, r.commits)));
-    char label[64];
-    std::snprintf(label, sizeof(label), "ablation/hot_capacity/%zu", capacity);
-    MaybeAppendMetricsJson(label, r.metrics);
+    MaybeAppendMetricsJson(
+        BenchLabel("ablation", "hot_capacity_" + std::to_string(capacity), 8).c_str(),
+        r.metrics, r.latency);
   }
 }
 

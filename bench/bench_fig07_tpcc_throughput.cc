@@ -40,18 +40,17 @@ int main(int argc, char** argv) {
         rngs.emplace_back(900 + t);
       }
       const BenchResult result =
-          RunBench(*f.engine, threads, txns_per_thread,
-                   [&](Worker& worker, uint32_t t, uint64_t) {
-                     bool committed = false;
-                     f.workload->RunOne(worker, rngs[t], &committed);
-                     return committed;
-                   });
+          RunBenchTyped(*f.engine, threads, txns_per_thread, TpccTxnNames(),
+                        [&](Worker& worker, uint32_t t, uint64_t) {
+                          bool committed = false;
+                          const TpccTxnType type = f.workload->RunOne(worker, rngs[t], &committed);
+                          return committed ? static_cast<int>(type) : -1;
+                        });
       std::printf(" %8.3f", result.mtxn_per_s);
       std::fflush(stdout);
-      char label[128];
-      std::snprintf(label, sizeof(label), "fig07/%s/%s", entry.label,
-                    std::string(CcSchemeName(cc)).c_str());
-      MaybeAppendMetricsJson(label, result.metrics);
+      const std::string label = BenchLabel(
+          "fig07", std::string(entry.label) + "/" + std::string(CcSchemeName(cc)), threads);
+      MaybeAppendMetricsJson(label.c_str(), result.metrics, result.latency);
     }
     std::printf("\n");
   }

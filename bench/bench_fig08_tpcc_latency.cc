@@ -27,19 +27,19 @@ int main(int argc, char** argv) {
       rngs.emplace_back(4200 + t);
     }
     const BenchResult result =
-        RunBench(*f.engine, threads, txns_per_thread,
-                 [&](Worker& worker, uint32_t t, uint64_t) {
-                   const uint64_t before = worker.ctx().sim_ns();
-                   bool committed = false;
-                   const TpccTxnType type = f.workload->RunOne(worker, rngs[t], &committed);
-                   if (committed) {
-                     latencies[t][type].Record(worker.ctx().sim_ns() - before);
-                   }
-                   return committed;
-                 });
-    char label[128];
-    std::snprintf(label, sizeof(label), "fig08/%s", entry.label);
-    MaybeAppendMetricsJson(label, result.metrics);
+        RunBenchTyped(*f.engine, threads, txns_per_thread, TpccTxnNames(),
+                      [&](Worker& worker, uint32_t t, uint64_t) {
+                        const uint64_t before = worker.ctx().sim_ns();
+                        bool committed = false;
+                        const TpccTxnType type = f.workload->RunOne(worker, rngs[t], &committed);
+                        if (!committed) {
+                          return -1;
+                        }
+                        latencies[t][type].Record(worker.ctx().sim_ns() - before);
+                        return static_cast<int>(type);
+                      });
+    MaybeAppendMetricsJson(BenchLabel("fig08", entry.label, threads).c_str(),
+                           result.metrics, result.latency);
 
     Histogram new_order;
     Histogram payment;

@@ -45,10 +45,10 @@ int main(int argc, char** argv) {
                     static_cast<double>(result.device.media_writes) /
                         static_cast<double>(std::max<uint64_t>(1, result.commits)));
         std::fflush(stdout);
-        char label[128];
-        std::snprintf(label, sizeof(label), "fig09/%c/%s/%s", *wl,
-                      zipf ? "zipf" : "uniform", entry.label);
-        MaybeAppendMetricsJson(label, result.metrics);
+        const std::string config = std::string(1, *wl) + "/" +
+                                   (zipf ? "zipf" : "uniform") + "/" + entry.label;
+        MaybeAppendMetricsJson(BenchLabel("fig09", config, threads).c_str(),
+                               result.metrics, result.latency);
       }
     }
   }

@@ -87,9 +87,9 @@ int main(int argc, char** argv) {
         }
         std::printf(" %7.3f", result.mtxn_per_s);
         std::fflush(stdout);
-        char label[128];
-        std::snprintf(label, sizeof(label), "fig11/%s/%s/%u", scenario, entry.label, threads);
-        MaybeAppendMetricsJson(label, result.metrics);
+        const std::string config = std::string(scenario) + "/" + entry.label;
+        MaybeAppendMetricsJson(BenchLabel("fig11", config, threads).c_str(),
+                               result.metrics, result.latency);
       }
       std::printf("\n");
     }

@@ -10,6 +10,8 @@
 //     the XPBuffer, breaking write combining.
 
 #include <cstdio>
+#include <string>
+#include <utility>
 
 #include "bench/fixtures.h"
 
@@ -64,15 +66,18 @@ int main() {
   for (const SizePoint& point : sizes) {
     std::printf("%6uKB  ", point.field_size);
     std::fflush(stdout);
-    for (const auto make : {MakeFalcon, MakeInp, MakeOutp}) {
+    const std::pair<const char*, EngineConfig (*)(CcScheme)> engines[] = {
+        {"Falcon", MakeFalcon}, {"Inp", MakeInp}, {"Outp", MakeOutp}};
+    for (const auto& [name, make] : engines) {
       for (const uint32_t threads : {16u, 48u}) {
         const BenchResult r = RunPoint(make(CcScheme::kOcc), threads, point.field_size,
                                        point.txns_per_thread);
         std::printf(" %13.1f", r.mtxn_per_s * 1000.0);
         std::fflush(stdout);
-        char label[64];
-        std::snprintf(label, sizeof(label), "fig12/%uKB/%u", point.field_size, threads);
-        MaybeAppendMetricsJson(label, r.metrics);
+        const std::string config =
+            std::string(name) + "/" + std::to_string(point.field_size) + "KB";
+        MaybeAppendMetricsJson(BenchLabel("fig12", config, threads).c_str(),
+                               r.metrics, r.latency);
       }
     }
     std::printf("\n");

@@ -226,18 +226,31 @@ ScenarioResult RunScenario(const char* name, CcScheme scheme, TxnBody body, uint
 
   std::vector<uint64_t> ops(threads, 0);
   std::vector<uint64_t> aborts(threads, 0);
+  std::vector<Histogram> latencies(threads);
   const auto start = std::chrono::steady_clock::now();
   if (threads == 1) {
+    Worker& w = f.engine->worker(0);
     for (uint64_t i = 0; i < txns_per_thread; ++i) {
-      ops[0] += body(f, f.engine->worker(0), 0, i, &aborts[0]);
+      const uint64_t before = w.ctx().sim_ns();
+      const uint64_t done = body(f, w, 0, i, &aborts[0]);
+      ops[0] += done;
+      if (done != 0) {
+        latencies[0].Record(w.ctx().sim_ns() - before);
+      }
     }
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (uint32_t t = 0; t < threads; ++t) {
       pool.emplace_back([&, t] {
+        Worker& w = f.engine->worker(t);
         for (uint64_t i = 0; i < txns_per_thread; ++i) {
-          ops[t] += body(f, f.engine->worker(t), t, i, &aborts[t]);
+          const uint64_t before = w.ctx().sim_ns();
+          const uint64_t done = body(f, w, t, i, &aborts[t]);
+          ops[t] += done;
+          if (done != 0) {
+            latencies[t].Record(w.ctx().sim_ns() - before);
+          }
         }
       });
     }
@@ -278,9 +291,17 @@ ScenarioResult RunScenario(const char* name, CcScheme scheme, TxnBody body, uint
       r.cache_misses += cs.misses;
     }
   }
-  char label[96];
-  std::snprintf(label, sizeof(label), "hotpath/%s/%s/%ut", name, SchemeName(scheme), threads);
-  MaybeAppendMetricsJson(label, DiffMetrics(metrics_before, f.engine->SnapshotMetrics()));
+  Histogram merged;
+  for (uint32_t t = 0; t < threads; ++t) {
+    merged.Merge(latencies[t]);
+  }
+  MaybeAppendMetricsJson(
+      BenchLabel("hotpath", std::string(name) + "/" + SchemeName(scheme), threads).c_str(),
+      DiffMetrics(metrics_before, f.engine->SnapshotMetrics()),
+      {SummarizeHistogram("all", merged)});
+  if (f.engine->tracing_enabled()) {
+    MaybeDumpPerfetto(f.engine->tracer(), "falcon_trace.json");
+  }
   return r;
 }
 

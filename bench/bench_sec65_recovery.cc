@@ -8,6 +8,7 @@
 // scaled-down heap; the scaling behavior is the reproduced result.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/fixtures.h"
 
@@ -55,12 +56,11 @@ RecoveryReport CrashAndMeasure(const EngineConfig& config, uint64_t rows) {
   }
 
   Engine recovered(&device, config, 4);
-  char label[96];
-  std::snprintf(label, sizeof(label), "sec65/%s/%lu", config.name.c_str(),
-                static_cast<unsigned long>(rows));
   // Cumulative snapshot right after reopen: the device-region traffic here is
   // exactly the recovery work (catalog/index/log-window reads).
-  MaybeAppendMetricsJson(label, recovered.SnapshotMetrics());
+  MaybeAppendMetricsJson(
+      BenchLabel("sec65", config.name + "/" + std::to_string(rows), 4).c_str(),
+      recovered.SnapshotMetrics());
   return recovered.recovery_report();
 }
 

@@ -68,9 +68,8 @@ void VerifyEngine(const EngineConfig& config) {
 
   std::printf("  verified: clwb write-backs during 2000 txns = %-8lu (%s flush)\n", clwbs,
               FlushName(config.flush_policy));
-  char label[96];
-  std::snprintf(label, sizeof(label), "table1/%s", config.name.c_str());
-  MaybeAppendMetricsJson(label, DiffMetrics(metrics_before, engine.SnapshotMetrics()));
+  MaybeAppendMetricsJson(BenchLabel("table1", config.name, 1).c_str(),
+                         DiffMetrics(metrics_before, engine.SnapshotMetrics()));
 }
 
 void PrintRow(const EngineConfig& c) {

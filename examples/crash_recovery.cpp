@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 
 #include "src/sim/semantic_cache.h"
 #include "src/workload/ycsb.h"
@@ -87,9 +88,9 @@ static void DemoEngineRecovery(const EngineConfig& base_config, const char* labe
   txn.Commit();
   std::printf("%-22s post-recovery values: %lu / %lu (expected 123456 / 123456)\n", label, a,
               b);
-  char json_label[64];
-  std::snprintf(json_label, sizeof(json_label), "example/crash_recovery/%s", label);
-  MaybeAppendMetricsJson(json_label, engine.SnapshotMetrics());
+  MaybeAppendMetricsJson(
+      BenchLabel("example", std::string("crash_recovery/") + label, 2).c_str(),
+      engine.SnapshotMetrics());
 }
 
 int main() {

@@ -91,6 +91,6 @@ int main() {
                   metrics.device_region_media_writes[static_cast<size_t>(kRegionLog)]),
               static_cast<unsigned long long>(
                   metrics.device_region_media_writes[static_cast<size_t>(kRegionTupleHeap)]));
-  MaybeAppendMetricsJson("example/quickstart", metrics);
+  MaybeAppendMetricsJson(BenchLabel("example", "quickstart", 1).c_str(), metrics);
   return 0;
 }

@@ -52,13 +52,13 @@ int main(int argc, char** argv) {
     rngs.emplace_back(1000 + t);
   }
   const BenchResult result =
-      RunBench(engine, threads, /*txns_per_thread=*/20000,
-               [&](Worker& worker, uint32_t t, uint64_t) {
-                 bool committed = false;
-                 const TpccTxnType type = workload.RunOne(worker, rngs[t], &committed);
-                 (committed ? stats[t].committed : stats[t].aborted)[type] += 1;
-                 return committed;
-               });
+      RunBenchTyped(engine, threads, /*txns_per_thread=*/20000, TpccTxnNames(),
+                    [&](Worker& worker, uint32_t t, uint64_t) {
+                      bool committed = false;
+                      const TpccTxnType type = workload.RunOne(worker, rngs[t], &committed);
+                      (committed ? stats[t].committed : stats[t].aborted)[type] += 1;
+                      return committed ? static_cast<int>(type) : -1;
+                    });
 
   TpccStats merged;
   for (const TpccStats& s : stats) {
@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
   std::printf("engine aborts incl. internal retries: %lu (bench-visible: %lu)\n",
               static_cast<unsigned long>(result.txn_aborts),
               static_cast<unsigned long>(result.attempt_aborts));
-  MaybeAppendMetricsJson("example/tpcc_demo", result.metrics);
+  MaybeAppendMetricsJson(BenchLabel("example", "tpcc_demo", threads).c_str(),
+                         result.metrics, result.latency);
   return 0;
 }

@@ -52,9 +52,9 @@ static void RunEngine(const EngineConfig& config, uint32_t threads) {
               static_cast<double>(result.device.media_writes) /
                   static_cast<double>(std::max<uint64_t>(1, result.commits)),
               result.write_amp);
-  char label[96];
-  std::snprintf(label, sizeof(label), "example/ycsb_engine_compare/%s", config.name.c_str());
-  MaybeAppendMetricsJson(label, result.metrics);
+  MaybeAppendMetricsJson(
+      BenchLabel("example", "ycsb_engine_compare/" + config.name, threads).c_str(),
+      result.metrics, result.latency);
 }
 
 int main(int argc, char** argv) {

@@ -121,6 +121,17 @@ inline void UnlockRestoreTs(std::atomic<uint64_t>& word, uint64_t old_ts) {
 inline bool IsLockedTs(uint64_t word) { return (word & kCcLockBit) != 0; }
 inline uint64_t TsOf(uint64_t word) { return word & kCcTsMask; }
 
+// Trace payload for a CC conflict edge: the "wounding" side a failed
+// acquisition observed. TS schemes embed the writer's TID in the word
+// (TsOf). 2PL words carry no owner identity — readers are an anonymous
+// count — so the best stand-ins are the tuple's write timestamp when
+// write-locked (the last writer published it there) and the reader count
+// when readers block a write/upgrade.
+inline uint64_t ConflictHolder2pl(uint64_t word, uint64_t gen, uint64_t write_ts) {
+  const uint64_t norm = Normalize2pl(word, gen);
+  return (norm & k2plWriteBit) != 0 ? write_ts : (norm & k2plReaderMask);
+}
+
 // Monotone max update of a read timestamp (TO).
 inline void AdvanceReadTs(std::atomic<uint64_t>& read_ts, uint64_t tid) {
   uint64_t cur = read_ts.load(std::memory_order_relaxed);

@@ -69,6 +69,16 @@ Engine::Engine(NvmDevice* device, EngineConfig config, uint32_t workers)
   } else {
     OpenExisting(workers);
   }
+  if (Tracer::EnabledByEnv()) {
+    EnableTracing();
+  }
+}
+
+void Engine::EnableTracing(size_t capacity_per_thread) {
+  tracer_.Enable(worker_count(), capacity_per_thread);
+  for (uint32_t t = 0; t < worker_count(); ++t) {
+    workers_[t]->set_trace(tracer_.ring(t));
+  }
 }
 
 Engine::~Engine() = default;

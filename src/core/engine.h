@@ -369,6 +369,11 @@ class Txn {
     return Status::kAborted;
   }
 
+  // Fail() for CC conflicts: additionally records a conflict edge in the
+  // flight recorder (wounded txn = this one, `holder` = the CC word / ts of
+  // the wounding side observed at the conflict).
+  Status FailConflict(AbortReason reason, PmOffset tuple, uint64_t holder);
+
   void ReleaseLocks();
   void MaybeCrash(CrashPoint point);
   // Step-counter crash hook: numbers one persistence event of kind `kind`
@@ -383,6 +388,8 @@ class Txn {
   bool read_only_;
   bool active_ = true;
   bool slot_open_ = false;
+  // Simulated begin time, captured only when tracing (closes the txn span).
+  uint64_t trace_begin_ns_ = 0;
   // Attribution for the next Abort(): failure sites stamp it via Fail();
   // an un-stamped abort is a user abort.
   AbortReason next_abort_reason_ = AbortReason::kUser;
@@ -412,6 +419,13 @@ class Worker {
 
   Worker(Engine* engine, uint32_t id, PmOffset log_base);
 
+  // Wires this worker's flight-recorder ring through every emitter it owns.
+  void set_trace(TraceRing* trace) {
+    trace_ = trace;
+    ctx_.set_trace(trace);
+    log_->set_trace(trace);
+  }
+
   Engine* engine_;
   uint32_t id_;
   ThreadContext ctx_;
@@ -420,6 +434,7 @@ class Worker {
   VersionHeap versions_;
   WorkerStats stats_;
   Txn::Scratch scratch_;  // reused access-set storage (one live txn at a time)
+  TraceRing* trace_ = nullptr;  // null = tracing disabled
 };
 
 class Engine {
@@ -481,6 +496,15 @@ class Engine {
   // anything; diff two snapshots (DiffMetrics) to measure a window.
   MetricsSnapshot SnapshotMetrics() const;
 
+  // Allocates one flight-recorder ring per worker and wires it through every
+  // emitter (Txn, ThreadContext, LogWindow). Called automatically at
+  // construction when FALCON_TRACE is set; tests and the crash-sweep harness
+  // call it directly. capacity_per_thread == 0 reads FALCON_TRACE_EVENTS.
+  void EnableTracing(size_t capacity_per_thread = 0);
+  bool tracing_enabled() const { return tracer_.enabled(); }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
  private:
   friend class Txn;
   friend class Worker;
@@ -520,6 +544,7 @@ class Engine {
   uint64_t lock_gen_ = 1;
   CrashInjector crash_;
   RecoveryReport recovery_report_;
+  Tracer tracer_;
 };
 
 }  // namespace falcon

@@ -9,6 +9,9 @@ void LogWindow::OpenSlot(ThreadContext& ctx, uint64_t tid) {
   ++stats_.slots_opened;
   if (cursor_ == 0) {
     ++stats_.wraps;
+    if (trace_ != nullptr) {
+      trace_->Emit(TraceEventKind::kLogWrap, ctx.sim_ns(), stats_.wraps, slots_);
+    }
   }
   write_pos_ = 0;
   LogSlotHeader* slot = current_slot();
@@ -26,6 +29,10 @@ bool LogWindow::Append(ThreadContext& ctx, uint64_t table_id, uint64_t key, PmOf
   const uint64_t need = sizeof(LogEntryHeader) + len;
   if (sizeof(LogSlotHeader) + write_pos_ + need > slot_bytes_) {
     ++stats_.append_overflows;
+    if (trace_ != nullptr) {
+      trace_->Emit(TraceEventKind::kLogOverflow, ctx.sim_ns(), need,
+                   slot_bytes_ - sizeof(LogSlotHeader));
+    }
     return false;
   }
   std::byte* dst = SlotPayload(current_slot()) + write_pos_;

@@ -145,6 +145,10 @@ class LogWindow {
   const LogWindowStats& stats() const { return stats_; }
   void ResetStats() { stats_ = LogWindowStats{}; }
 
+  // Flight-recorder ring (null = tracing disabled). Wrap and overflow events
+  // carry no simulated-time cost.
+  void set_trace(TraceRing* trace) { trace_ = trace; }
+
  private:
   NvmArena* arena_;
   PmOffset base_;
@@ -154,6 +158,7 @@ class LogWindow {
   uint32_t cursor_ = 0;
   uint64_t write_pos_ = 0;  // payload bytes appended in the open slot
   LogWindowStats stats_;
+  TraceRing* trace_ = nullptr;
 };
 
 }  // namespace falcon

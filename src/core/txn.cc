@@ -36,6 +36,11 @@ Txn::Txn(Worker* worker, bool read_only)
   // Publish before any access: the GC horizon must cover us (§5.4).
   engine->active_tids_.Publish(worker_->id_, tid_);
   worker_->ctx_.Work(engine->config().cost_params.txn_overhead_ns);
+  if (TraceRing* tr = worker_->trace_; tr != nullptr) {
+    tr->set_current_txn(tid_);
+    trace_begin_ns_ = worker_->ctx_.sim_ns();
+    tr->Emit(TraceEventKind::kTxnBegin, trace_begin_ns_, read_only_ ? 1 : 0);
+  }
 }
 
 PmOffset Txn::Lookup(TableId table, uint64_t key) {
@@ -59,8 +64,25 @@ void Txn::CrashStep(CrashStepKind kind) {
     // Same freeze-in-place semantics as MaybeCrash: no rollback on unwind.
     active_ = false;
     worker_->scratch_.in_use = false;
+    if (TraceRing* tr = worker_->trace_; tr != nullptr) {
+      tr->Emit(TraceEventKind::kCrashFired, worker_->ctx_.sim_ns(),
+               static_cast<uint64_t>(kind), step);
+    }
     throw TxnCrashed{CrashPoint::kNone, kind, step};
   }
+}
+
+Status Txn::FailConflict(AbortReason reason, PmOffset tuple, uint64_t holder) {
+  if (TraceRing* tr = worker_->trace_; tr != nullptr) {
+    TraceEventKind kind = TraceEventKind::kLockConflict;
+    if (reason == AbortReason::kTsOrder) {
+      kind = TraceEventKind::kTsConflict;
+    } else if (reason == AbortReason::kOccValidation) {
+      kind = TraceEventKind::kOccConflict;
+    }
+    tr->Emit(kind, worker_->ctx_.sim_ns(), tuple, holder);
+  }
+  return Fail(reason);
 }
 
 // ---- O(1) access-set tracking ----------------------------------------------
@@ -79,6 +101,10 @@ Txn::LockEntry* Txn::FindLock(PmOffset tuple) {
 
 void Txn::RegisterLock(PmOffset tuple) {
   amap_.Intern(tuple).lock_idx = static_cast<uint32_t>(locks_.size() - 1);
+  if (TraceRing* tr = worker_->trace_; tr != nullptr) {
+    tr->Emit(TraceEventKind::kLockAcquire, worker_->ctx_.sim_ns(), tuple,
+             locks_.back().write ? 1 : 0);
+  }
 }
 
 void Txn::RegisterWrite(PmOffset tuple) {
@@ -161,7 +187,10 @@ Status Txn::ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out) {
     case CcScheme::k2pl: {
       if (!have_lock && !pending_write) {
         if (!TryLockRead2pl(header->cc_word, gen)) {
-          return Fail(AbortReason::kLockConflict);  // no-wait (§5.2.1)
+          // No-wait (§5.2.1); the conflict edge names the last writer.
+          return FailConflict(AbortReason::kLockConflict, tuple,
+                              ConflictHolder2pl(header->cc_word.load(std::memory_order_relaxed),
+                                                gen, header->read_ts.load(std::memory_order_relaxed)));
         }
         ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
         locks_.push_back(LockEntry{header, /*write=*/false});
@@ -192,10 +221,12 @@ Status Txn::ReadTuple(TableId table, uint64_t key, PmOffset tuple, void* out) {
       for (int attempt = 0;; ++attempt) {
         observed = header->cc_word.load(std::memory_order_acquire);
         if (IsLockedTs(observed) && !mine) {
-          return Fail(AbortReason::kLockConflict);  // writer in its commit window: no-wait
+          // Writer in its commit window: no-wait.
+          return FailConflict(AbortReason::kLockConflict, tuple, TsOf(observed));
         }
         if (scheme == CcScheme::kTo && TsOf(observed) > tid_) {
-          return Fail(AbortReason::kTsOrder);  // we would read from our future
+          // We would read from our future.
+          return FailConflict(AbortReason::kTsOrder, tuple, TsOf(observed));
         }
         const uint64_t cur_flags = header->flags.load(std::memory_order_acquire);
         if ((cur_flags & kTupleSuperseded) != 0 && !mine) {
@@ -460,12 +491,16 @@ Status Txn::AdmitWrite(PmOffset tuple, TupleHeader* header, uint64_t* observed_o
       }
       if (held != nullptr) {
         if (!TryUpgrade2pl(header->cc_word, gen)) {
-          return Fail(AbortReason::kLockConflict);
+          return FailConflict(AbortReason::kLockConflict, tuple,
+                              ConflictHolder2pl(header->cc_word.load(std::memory_order_relaxed),
+                                                gen, header->read_ts.load(std::memory_order_relaxed)));
         }
         held->write = true;
       } else {
         if (!TryLockWrite2pl(header->cc_word, gen)) {
-          return Fail(AbortReason::kLockConflict);
+          return FailConflict(AbortReason::kLockConflict, tuple,
+                              ConflictHolder2pl(header->cc_word.load(std::memory_order_relaxed),
+                                                gen, header->read_ts.load(std::memory_order_relaxed)));
         }
         locks_.push_back(LockEntry{header, /*write=*/true});
         RegisterLock(tuple);
@@ -481,13 +516,14 @@ Status Txn::AdmitWrite(PmOffset tuple, TupleHeader* header, uint64_t* observed_o
       }
       uint64_t pre_ts = 0;
       if (!TryLockTs(header->cc_word, &pre_ts)) {
-        return Fail(AbortReason::kLockConflict);
+        return FailConflict(AbortReason::kLockConflict, tuple, TsOf(pre_ts));
       }
       ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
-      if (TsOf(pre_ts) > tid_ || header->read_ts.load(std::memory_order_acquire) > tid_) {
+      const uint64_t read_ts = header->read_ts.load(std::memory_order_acquire);
+      if (TsOf(pre_ts) > tid_ || read_ts > tid_) {
         // A younger transaction already read or wrote this tuple.
         UnlockRestoreTs(header->cc_word, pre_ts);
-        return Fail(AbortReason::kTsOrder);
+        return FailConflict(AbortReason::kTsOrder, tuple, std::max(TsOf(pre_ts), read_ts));
       }
       locks_.push_back(LockEntry{header, /*write=*/true, pre_ts});
       RegisterLock(tuple);
@@ -503,7 +539,7 @@ Status Txn::AdmitWrite(PmOffset tuple, TupleHeader* header, uint64_t* observed_o
       }
       const uint64_t word = header->cc_word.load(std::memory_order_acquire);
       if (IsLockedTs(word)) {
-        return Fail(AbortReason::kLockConflict);
+        return FailConflict(AbortReason::kLockConflict, tuple, TsOf(word));
       }
       *observed_out = word;
       return Status::kOk;
@@ -566,7 +602,8 @@ Status Txn::WriteIntent(TableId table, uint64_t key, LogOpKind kind, uint32_t of
 
   uint64_t payload_pos = 0;
   {
-    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend));
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend),
+                     worker_->trace_, SimPhase::kLogAppend);
     if (!EnsureSlot()) {
       Fail(AbortReason::kOther);
       Abort();
@@ -603,7 +640,8 @@ Status Txn::OutOfPlaceIntent(TableId table, uint64_t key, PmOffset tuple, LogOpK
     // commit mark but before the apply loop silently loses an acknowledged
     // delete.
     {
-      PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend));
+      PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend),
+                     worker_->trace_, SimPhase::kLogAppend);
       if (!EnsureSlot()) {
         Fail(AbortReason::kOther);
         Abort();
@@ -729,7 +767,8 @@ Status Txn::Insert(TableId table, uint64_t key, const void* data) {
     }
     uint64_t payload_pos = 0;
     {
-      PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend));
+      PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend),
+                     worker_->trace_, SimPhase::kLogAppend);
       if (!EnsureSlot()) {
         Fail(AbortReason::kOther);
         Abort();
@@ -775,7 +814,8 @@ Status Txn::Insert(TableId table, uint64_t key, const void* data) {
   // Log before exposing via the index: an UNCOMMITTED slot entry is what
   // recovery uses to undo the index insertion.
   if (engine->config().log_mode != LogMode::kNone) {
-    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend));
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend),
+                     worker_->trace_, SimPhase::kLogAppend);
     if (!EnsureSlot()) {
       Fail(AbortReason::kOther);
       Abort();
@@ -892,8 +932,13 @@ Status Txn::Commit() {
   // GC; no dedicated recycler.
   if (worker_->versions_.NeedsGc()) {
     PhaseTimer timer(worker_->ctx_.sim_ns_ref(),
-                     PhaseAcc(worker_->stats_, SimPhase::kVersionGc));
+                     PhaseAcc(worker_->stats_, SimPhase::kVersionGc),
+                     worker_->trace_, SimPhase::kVersionGc);
     worker_->versions_.Gc(engine->MinActiveTid());
+  }
+  if (TraceRing* tr = worker_->trace_; tr != nullptr) {
+    tr->Emit(TraceEventKind::kTxnCommit, worker_->ctx_.sim_ns(), trace_begin_ns_);
+    tr->set_current_txn(0);
   }
   return Status::kOk;
 }
@@ -967,7 +1012,7 @@ Status Txn::CommitInPlace() {
       }
       uint64_t pre_ts = 0;
       if (!TryLockTs(header->cc_word, &pre_ts)) {
-        Fail(AbortReason::kOccValidation);
+        FailConflict(AbortReason::kOccValidation, w.tuple, TsOf(pre_ts));
         Abort();
         return Status::kAborted;
       }
@@ -977,7 +1022,7 @@ Status Txn::CommitInPlace() {
       // Raw-word comparison: a set retired bit is a real change (the
       // version was superseded since we observed it).
       if (pre_ts != w.observed) {
-        Fail(AbortReason::kOccValidation);
+        FailConflict(AbortReason::kOccValidation, w.tuple, TsOf(pre_ts));
         Abort();
         return Status::kAborted;
       }
@@ -993,7 +1038,7 @@ Status Txn::CommitInPlace() {
           FindLock(r.tuple) != nullptr) {
         continue;
       }
-      Fail(AbortReason::kOccValidation);
+      FailConflict(AbortReason::kOccValidation, r.tuple, TsOf(now));
       Abort();
       return Status::kAborted;
     }
@@ -1005,7 +1050,8 @@ Status Txn::CommitInPlace() {
   // Commit point: the write-set state flips to COMMITTED in the (persistent-
   // by-eADR) log window (Algorithm 1 line 2).
   {
-    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush));
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush),
+                     worker_->trace_, SimPhase::kCommitFlush);
     worker_->log_->MarkCommitted(ctx);
   }
 
@@ -1082,7 +1128,8 @@ Status Txn::CommitInPlace() {
 
   // Selective data flush (Algorithm 1 lines 8-11 / D2).
   if (cfg.flush_policy != FlushPolicy::kNone) {
-    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kHintFlush));
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kHintFlush),
+                     worker_->trace_, SimPhase::kHintFlush);
     for (size_t i = 0; i < n; ++i) {
       const WriteEntry& w = write_set_[i];
       if (amap_.Find(w.tuple)->write_head != static_cast<uint32_t>(i)) {
@@ -1116,7 +1163,8 @@ Status Txn::CommitInPlace() {
   ReleaseLocks();  // remaining 2PL read locks
   if (slot_open_) {
     CrashStep(CrashStepKind::kSlotRelease);
-    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush));
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush),
+                     worker_->trace_, SimPhase::kCommitFlush);
     worker_->log_->Release(ctx);
   }
   return Status::kOk;
@@ -1179,7 +1227,7 @@ Status Txn::CommitOutOfPlace() {
       }
       uint64_t pre_ts = 0;
       if (!TryLockTs(header->cc_word, &pre_ts)) {
-        Fail(AbortReason::kOccValidation);
+        FailConflict(AbortReason::kOccValidation, w.tuple, TsOf(pre_ts));
         Abort();
         return Status::kAborted;
       }
@@ -1189,7 +1237,7 @@ Status Txn::CommitOutOfPlace() {
       // Raw-word comparison: a set retired bit is a real change (the
       // version was superseded since we observed it).
       if (pre_ts != w.observed) {
-        Fail(AbortReason::kOccValidation);
+        FailConflict(AbortReason::kOccValidation, w.tuple, TsOf(pre_ts));
         Abort();
         return Status::kAborted;
       }
@@ -1200,7 +1248,7 @@ Status Txn::CommitOutOfPlace() {
       if (now != r.observed &&
           !(IsLockedTs(now) && TsOf(now) == TsOf(r.observed) &&
             FindLock(r.tuple) != nullptr)) {
-        Fail(AbortReason::kOccValidation);
+        FailConflict(AbortReason::kOccValidation, r.tuple, TsOf(now));
         Abort();
         return Status::kAborted;
       }
@@ -1219,7 +1267,8 @@ Status Txn::CommitOutOfPlace() {
   CrashStep(CrashStepKind::kCommitMark);
 
   {
-    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush));
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush),
+                     worker_->trace_, SimPhase::kCommitFlush);
     worker_->log_->MarkCommitted(ctx);
   }
 
@@ -1297,7 +1346,8 @@ Status Txn::CommitOutOfPlace() {
   if (cfg.flush_policy != FlushPolicy::kNone) {
     // Whole new versions flush as contiguous runs — out-of-place's one
     // advantage on full-tuple updates (§6.2.3).
-    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kHintFlush));
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kHintFlush),
+                     worker_->trace_, SimPhase::kHintFlush);
     for (const WriteEntry& w : write_set_) {
       CrashStep(CrashStepKind::kFlush);
       const PmOffset target = w.kind == LogOpKind::kUpdate ? w.new_version : w.tuple;
@@ -1309,7 +1359,8 @@ Status Txn::CommitOutOfPlace() {
   ReleaseLocks();
   if (slot_open_) {
     CrashStep(CrashStepKind::kSlotRelease);
-    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush));
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush),
+                     worker_->trace_, SimPhase::kCommitFlush);
     worker_->log_->Release(ctx);
   }
   return Status::kOk;
@@ -1378,6 +1429,11 @@ void Txn::Abort() {
   engine->active_tids_.Clear(worker_->id_);
   ++worker_->stats_.txn_aborts;
   ++worker_->stats_.aborts_by_reason[static_cast<size_t>(next_abort_reason_)];
+  if (TraceRing* tr = worker_->trace_; tr != nullptr) {
+    tr->Emit(TraceEventKind::kTxnAbort, ctx.sim_ns(), trace_begin_ns_,
+             static_cast<uint64_t>(next_abort_reason_));
+    tr->set_current_txn(0);
+  }
   next_abort_reason_ = AbortReason::kUser;
 }
 

@@ -110,18 +110,98 @@ MetricsSnapshot DiffMetrics(const MetricsSnapshot& before, const MetricsSnapshot
   return delta;
 }
 
-std::string MetricsJsonLine(const char* label, const MetricsSnapshot& snapshot) {
-  std::string out = "{\"label\":\"";
-  // Labels are code-controlled identifiers; escape just enough to stay valid.
-  for (const char* p = label; *p != '\0'; ++p) {
-    if (*p == '"' || *p == '\\') {
-      out.push_back('\\');
+std::string SanitizeLabelPart(std::string_view part) {
+  std::string out;
+  out.reserve(part.size());
+  bool pending_sep = false;
+  for (const char c : part) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (ok) {
+      if (pending_sep && !out.empty()) {
+        out.push_back('_');
+      }
+      pending_sep = false;
+      out.push_back(c);
+    } else {
+      pending_sep = true;  // collapse runs; trim via the !out.empty() guard
     }
-    out.push_back(*p);
   }
+  return out;
+}
+
+std::string BenchLabel(std::string_view bench, std::string_view config, uint32_t threads) {
+  std::string out = SanitizeLabelPart(bench);
+  out.push_back('/');
+  // Sanitize each '/'-separated subpart of the config so intentional
+  // hierarchy survives while everything else is normalized.
+  size_t start = 0;
+  bool first = true;
+  while (start <= config.size()) {
+    const size_t slash = config.find('/', start);
+    const size_t end = slash == std::string_view::npos ? config.size() : slash;
+    const std::string part = SanitizeLabelPart(config.substr(start, end - start));
+    if (!part.empty()) {
+      if (!first) {
+        out.push_back('/');
+      }
+      first = false;
+      out += part;
+    }
+    if (slash == std::string_view::npos) {
+      break;
+    }
+    start = slash + 1;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "/%ut", threads);
+  out += buf;
+  return out;
+}
+
+namespace {
+
+// Full JSON string escaping: quote, backslash, and all control characters.
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (const char* p = s; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+        break;
+    }
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsJsonLine(const char* label, const MetricsSnapshot& snapshot,
+                            const std::vector<LatencySummary>& latency) {
+  std::string out = "{\"schema_version\":";
+  AppendU64(&out, kMetricsSchemaVersion);
+  out += ",\"label\":\"";
+  AppendJsonEscaped(&out, label);
   out += "\",\"metrics\":{";
   bool first = true;
-  char buf[32];
   for (const MetricField& field : MetricFieldTable()) {
     if (!first) {
       out.push_back(',');
@@ -130,37 +210,63 @@ std::string MetricsJsonLine(const char* label, const MetricsSnapshot& snapshot) 
     out.push_back('"');
     out += field.name;
     out += "\":";
-    std::snprintf(buf, sizeof(buf), "%llu",
-                  static_cast<unsigned long long>(MetricValue(snapshot, field)));
-    out += buf;
+    AppendU64(&out, MetricValue(snapshot, field));
   }
-  out += "}}";
+  out += "}";
+  if (!latency.empty()) {
+    out += ",\"latency\":{";
+    first = true;
+    for (const LatencySummary& s : latency) {
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      out.push_back('"');
+      AppendJsonEscaped(&out, s.name.c_str());
+      out += "\":{\"count\":";
+      AppendU64(&out, s.count);
+      out += ",\"p50_ns\":";
+      AppendU64(&out, s.p50_ns);
+      out += ",\"p95_ns\":";
+      AppendU64(&out, s.p95_ns);
+      out += ",\"p99_ns\":";
+      AppendU64(&out, s.p99_ns);
+      out += ",\"max_ns\":";
+      AppendU64(&out, s.max_ns);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "}";
   return out;
 }
 
-void WriteMetricsJson(std::FILE* out, const char* label, const MetricsSnapshot& snapshot) {
-  const std::string line = MetricsJsonLine(label, snapshot);
+void WriteMetricsJson(std::FILE* out, const char* label, const MetricsSnapshot& snapshot,
+                      const std::vector<LatencySummary>& latency) {
+  const std::string line = MetricsJsonLine(label, snapshot, latency);
   std::fwrite(line.data(), 1, line.size(), out);
   std::fputc('\n', out);
 }
 
-bool AppendMetricsJson(const char* path, const char* label, const MetricsSnapshot& snapshot) {
+bool AppendMetricsJson(const char* path, const char* label, const MetricsSnapshot& snapshot,
+                       const std::vector<LatencySummary>& latency) {
   std::FILE* f = std::fopen(path, "a");
   if (f == nullptr) {
     return false;
   }
-  WriteMetricsJson(f, label, snapshot);
+  WriteMetricsJson(f, label, snapshot, latency);
   const bool ok = std::ferror(f) == 0;
   std::fclose(f);
   return ok;
 }
 
-void MaybeAppendMetricsJson(const char* label, const MetricsSnapshot& snapshot) {
+void MaybeAppendMetricsJson(const char* label, const MetricsSnapshot& snapshot,
+                            const std::vector<LatencySummary>& latency) {
   const char* path = std::getenv("FALCON_METRICS_JSON");
   if (path == nullptr || path[0] == '\0') {
     return;
   }
-  AppendMetricsJson(path, label, snapshot);
+  AppendMetricsJson(path, label, snapshot, latency);
 }
 
 }  // namespace falcon

@@ -29,8 +29,11 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/common/histogram.h"
+#include "src/obs/trace.h"
 #include "src/sim/cache_model.h"
 #include "src/sim/nvm_device.h"
 
@@ -101,10 +104,19 @@ struct WorkerStats {
 };
 
 // Accumulates the simulated-time delta of its scope into a phase counter.
+// With a trace ring the scope is additionally emitted as a kPhaseEnd event,
+// so Perfetto timelines mirror the phase breakdown exactly.
 class PhaseTimer {
  public:
   PhaseTimer(const uint64_t& clock, uint64_t* acc) : clock_(clock), acc_(acc), start_(clock) {}
-  ~PhaseTimer() { *acc_ += clock_ - start_; }
+  PhaseTimer(const uint64_t& clock, uint64_t* acc, TraceRing* trace, SimPhase phase)
+      : clock_(clock), acc_(acc), start_(clock), trace_(trace), phase_(phase) {}
+  ~PhaseTimer() {
+    *acc_ += clock_ - start_;
+    if (trace_ != nullptr) {
+      trace_->Emit(TraceEventKind::kPhaseEnd, clock_, static_cast<uint64_t>(phase_), start_);
+    }
+  }
   PhaseTimer(const PhaseTimer&) = delete;
   PhaseTimer& operator=(const PhaseTimer&) = delete;
 
@@ -112,6 +124,8 @@ class PhaseTimer {
   const uint64_t& clock_;
   uint64_t* acc_;
   uint64_t start_;
+  TraceRing* trace_ = nullptr;
+  SimPhase phase_ = SimPhase::kExecute;
 };
 
 // One engine-wide snapshot: worker counters summed across workers, plus
@@ -207,15 +221,57 @@ inline uint64_t MetricValue(const MetricsSnapshot& snapshot, const MetricField& 
 // Window delta: counters subtract (saturating), gauges take `after`.
 MetricsSnapshot DiffMetrics(const MetricsSnapshot& before, const MetricsSnapshot& after);
 
-// One JSON object ({"label": ..., "metrics": {...}}) on a single line.
-std::string MetricsJsonLine(const char* label, const MetricsSnapshot& snapshot);
-void WriteMetricsJson(std::FILE* out, const char* label, const MetricsSnapshot& snapshot);
+// Percentile summary of one latency histogram (per txn type, or "all").
+struct LatencySummary {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+inline LatencySummary SummarizeHistogram(std::string name, const Histogram& hist) {
+  LatencySummary s;
+  s.name = std::move(name);
+  s.count = hist.count();
+  if (s.count > 0) {
+    s.p50_ns = hist.Percentile(50);
+    s.p95_ns = hist.Percentile(95);
+    s.p99_ns = hist.Percentile(99);
+    s.max_ns = hist.max();
+  }
+  return s;
+}
+
+// Bumped whenever the metrics JSON shape changes. v2 added schema_version
+// itself, full label escaping, and the optional "latency" section.
+inline constexpr int kMetricsSchemaVersion = 2;
+
+// Normalizes one path segment of a metrics label: every character outside
+// [A-Za-z0-9._-] becomes '_', runs collapse, edges are trimmed. Keeps
+// human-chosen names (engine labels with spaces/parens) machine-friendly.
+std::string SanitizeLabelPart(std::string_view part);
+
+// The uniform bench label: "<bench>/<config>/<threads>t", each part
+// sanitized. `config` may itself contain '/'-separated subparts.
+std::string BenchLabel(std::string_view bench, std::string_view config, uint32_t threads);
+
+// One JSON object on a single line:
+//   {"schema_version":2,"label":...,"metrics":{...}[,"latency":{...}]}
+// The label is fully escaped (quotes, backslashes, control characters).
+std::string MetricsJsonLine(const char* label, const MetricsSnapshot& snapshot,
+                            const std::vector<LatencySummary>& latency = {});
+void WriteMetricsJson(std::FILE* out, const char* label, const MetricsSnapshot& snapshot,
+                      const std::vector<LatencySummary>& latency = {});
 
 // Appends one JSON line to `path`; returns false on I/O failure.
-bool AppendMetricsJson(const char* path, const char* label, const MetricsSnapshot& snapshot);
+bool AppendMetricsJson(const char* path, const char* label, const MetricsSnapshot& snapshot,
+                       const std::vector<LatencySummary>& latency = {});
 
 // Uniform bench/example hook: appends to $FALCON_METRICS_JSON when set.
-void MaybeAppendMetricsJson(const char* label, const MetricsSnapshot& snapshot);
+void MaybeAppendMetricsJson(const char* label, const MetricsSnapshot& snapshot,
+                            const std::vector<LatencySummary>& latency = {});
 
 }  // namespace falcon
 

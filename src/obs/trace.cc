@@ -1,0 +1,264 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/obs/metrics.h"
+#include "src/sim/nvm_device.h"
+
+namespace falcon {
+
+namespace {
+
+// Mirrors CrashStepKindName in src/core/engine.h (obs cannot include core;
+// keep the two tables in sync).
+const char* CrashKindName(uint64_t kind) {
+  static const char* const kNames[] = {"none",        "log_append", "index_install",
+                                       "commit_mark", "tuple_apply", "flush",
+                                       "slot_release"};
+  return kind < sizeof(kNames) / sizeof(kNames[0]) ? kNames[kind] : "?";
+}
+
+const char* RegionName(uint64_t region) {
+  return region < kMediaRegionCount
+             ? MediaRegionName(static_cast<MediaRegion>(region))
+             : "?";
+}
+
+const char* PhaseName(uint64_t phase) {
+  return phase < kSimPhaseCount ? SimPhaseName(static_cast<SimPhase>(phase)) : "?";
+}
+
+const char* ReasonName(uint64_t reason) {
+  return reason < kAbortReasonCount ? AbortReasonName(static_cast<AbortReason>(reason))
+                                    : "?";
+}
+
+double ToUs(uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kNone: return "none";
+    case TraceEventKind::kTxnBegin: return "txn_begin";
+    case TraceEventKind::kTxnCommit: return "txn_commit";
+    case TraceEventKind::kTxnAbort: return "txn_abort";
+    case TraceEventKind::kPhaseEnd: return "phase";
+    case TraceEventKind::kReadStall: return "read_stall";
+    case TraceEventKind::kFlushStall: return "flush_stall";
+    case TraceEventKind::kLockAcquire: return "lock_acquire";
+    case TraceEventKind::kLockConflict: return "lock_conflict";
+    case TraceEventKind::kTsConflict: return "ts_conflict";
+    case TraceEventKind::kOccConflict: return "occ_conflict";
+    case TraceEventKind::kLogWrap: return "log_wrap";
+    case TraceEventKind::kLogOverflow: return "log_overflow";
+    case TraceEventKind::kCacheFlush: return "cache_flush";
+    case TraceEventKind::kCrashFired: return "crash_fired";
+  }
+  return "?";
+}
+
+bool Tracer::EnabledByEnv() {
+  const char* v = std::getenv("FALCON_TRACE");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+size_t Tracer::CapacityFromEnv() {
+  const char* v = std::getenv("FALCON_TRACE_EVENTS");
+  if (v == nullptr || v[0] == '\0') {
+    return kDefaultCapacity;
+  }
+  const unsigned long long parsed = std::strtoull(v, nullptr, 10);
+  return parsed == 0 ? kDefaultCapacity : static_cast<size_t>(parsed);
+}
+
+void Tracer::Enable(uint32_t threads, size_t capacity_per_thread) {
+  if (rings_.size() == threads) {
+    return;
+  }
+  if (capacity_per_thread == 0) {
+    capacity_per_thread = CapacityFromEnv();
+  }
+  rings_.clear();
+  rings_.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    rings_.push_back(std::make_unique<TraceRing>(t, capacity_per_thread));
+  }
+}
+
+void Tracer::DumpPerfetto(std::FILE* out) const {
+  std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", out);
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      std::fputc(',', out);
+    }
+    first = false;
+  };
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings_) {
+    sep();
+    std::fprintf(out,
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+                 "\"args\":{\"name\":\"worker-%u\"}}",
+                 ring->thread(), ring->thread());
+    ring->Snapshot(&events);
+    for (const TraceEvent& e : events) {
+      const auto kind = static_cast<TraceEventKind>(e.kind);
+      sep();
+      switch (kind) {
+        case TraceEventKind::kTxnCommit:
+          std::fprintf(out,
+                       "{\"name\":\"txn\",\"cat\":\"txn\",\"ph\":\"X\",\"ts\":%.3f,"
+                       "\"dur\":%.3f,\"pid\":0,\"tid\":%u,\"args\":{\"txn\":%" PRIu64 "}}",
+                       ToUs(e.a), ToUs(e.ts - e.a), e.thread, e.txn);
+          break;
+        case TraceEventKind::kTxnAbort:
+          std::fprintf(out,
+                       "{\"name\":\"txn_abort\",\"cat\":\"txn\",\"ph\":\"X\",\"ts\":%.3f,"
+                       "\"dur\":%.3f,\"pid\":0,\"tid\":%u,\"args\":{\"txn\":%" PRIu64
+                       ",\"reason\":\"%s\"}}",
+                       ToUs(e.a), ToUs(e.ts - e.a), e.thread, e.txn, ReasonName(e.b));
+          break;
+        case TraceEventKind::kPhaseEnd:
+          std::fprintf(out,
+                       "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":%.3f,"
+                       "\"dur\":%.3f,\"pid\":0,\"tid\":%u,\"args\":{\"txn\":%" PRIu64 "}}",
+                       PhaseName(e.a), ToUs(e.b), ToUs(e.ts - e.b), e.thread, e.txn);
+          break;
+        case TraceEventKind::kReadStall:
+        case TraceEventKind::kFlushStall:
+          std::fprintf(out,
+                       "{\"name\":\"%s\",\"cat\":\"stall\",\"ph\":\"i\",\"s\":\"t\","
+                       "\"ts\":%.3f,\"pid\":0,\"tid\":%u,\"args\":{\"txn\":%" PRIu64
+                       ",\"region\":\"%s\",\"ns\":%" PRIu64 "}}",
+                       TraceEventKindName(kind), ToUs(e.ts), e.thread, e.txn,
+                       RegionName(e.a), e.b);
+          break;
+        case TraceEventKind::kCrashFired:
+          std::fprintf(out,
+                       "{\"name\":\"crash_fired\",\"cat\":\"crash\",\"ph\":\"i\","
+                       "\"s\":\"g\",\"ts\":%.3f,\"pid\":0,\"tid\":%u,"
+                       "\"args\":{\"txn\":%" PRIu64 ",\"kind\":\"%s\",\"step\":%" PRIu64
+                       "}}",
+                       ToUs(e.ts), e.thread, e.txn, CrashKindName(e.a), e.b);
+          break;
+        case TraceEventKind::kTxnBegin:
+          std::fprintf(out,
+                       "{\"name\":\"txn_begin\",\"cat\":\"txn\",\"ph\":\"i\",\"s\":\"t\","
+                       "\"ts\":%.3f,\"pid\":0,\"tid\":%u,\"args\":{\"txn\":%" PRIu64
+                       ",\"read_only\":%" PRIu64 "}}",
+                       ToUs(e.ts), e.thread, e.txn, e.a);
+          break;
+        default:
+          std::fprintf(out,
+                       "{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\","
+                       "\"ts\":%.3f,\"pid\":0,\"tid\":%u,\"args\":{\"txn\":%" PRIu64
+                       ",\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}}",
+                       TraceEventKindName(kind), ToUs(e.ts), e.thread, e.txn, e.a, e.b);
+          break;
+      }
+    }
+  }
+  std::fputs("]}\n", out);
+}
+
+bool Tracer::DumpPerfettoFile(const char* path) const {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    return false;
+  }
+  DumpPerfetto(out);
+  const bool ok = std::ferror(out) == 0;
+  std::fclose(out);
+  return ok;
+}
+
+void Tracer::DumpFlightRecorder(std::FILE* out, size_t last_n) const {
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings_) {
+    ring->Snapshot(&events, last_n);
+    std::fprintf(out, "== thread %u: %zu events shown (emitted %" PRIu64
+                      ", dropped %" PRIu64 ") ==\n",
+                 ring->thread(), events.size(), ring->total(), ring->dropped());
+    for (const TraceEvent& e : events) {
+      const auto kind = static_cast<TraceEventKind>(e.kind);
+      std::fprintf(out, "  [%12" PRIu64 " ns] txn=%-8" PRIu64 " %-13s ", e.ts, e.txn,
+                   TraceEventKindName(kind));
+      switch (kind) {
+        case TraceEventKind::kTxnBegin:
+          std::fprintf(out, "read_only=%" PRIu64, e.a);
+          break;
+        case TraceEventKind::kTxnCommit:
+        case TraceEventKind::kTxnAbort:
+          std::fprintf(out, "begin=%" PRIu64 " dur=%" PRIu64 " ns", e.a, e.ts - e.a);
+          if (kind == TraceEventKind::kTxnAbort) {
+            std::fprintf(out, " reason=%s", ReasonName(e.b));
+          }
+          break;
+        case TraceEventKind::kPhaseEnd:
+          std::fprintf(out, "%s dur=%" PRIu64 " ns", PhaseName(e.a), e.ts - e.b);
+          break;
+        case TraceEventKind::kReadStall:
+        case TraceEventKind::kFlushStall:
+          std::fprintf(out, "region=%s cost=%" PRIu64 " ns", RegionName(e.a), e.b);
+          break;
+        case TraceEventKind::kLockAcquire:
+          std::fprintf(out, "tuple=0x%" PRIx64 " %s", e.a, e.b != 0 ? "write" : "read");
+          break;
+        case TraceEventKind::kLockConflict:
+        case TraceEventKind::kTsConflict:
+        case TraceEventKind::kOccConflict:
+          std::fprintf(out, "tuple=0x%" PRIx64 " holder=0x%" PRIx64, e.a, e.b);
+          break;
+        case TraceEventKind::kLogWrap:
+          std::fprintf(out, "wrap=%" PRIu64 " slots=%" PRIu64, e.a, e.b);
+          break;
+        case TraceEventKind::kLogOverflow:
+          std::fprintf(out, "need=%" PRIu64 " B capacity=%" PRIu64 " B", e.a, e.b);
+          break;
+        case TraceEventKind::kCacheFlush:
+          std::fprintf(out, "lines=%" PRIu64 " cost=%" PRIu64 " ns", e.a, e.b);
+          break;
+        case TraceEventKind::kCrashFired:
+          std::fprintf(out, "kind=%s step=%" PRIu64, CrashKindName(e.a), e.b);
+          break;
+        default:
+          std::fprintf(out, "a=%" PRIu64 " b=%" PRIu64, e.a, e.b);
+          break;
+      }
+      std::fputc('\n', out);
+    }
+  }
+}
+
+bool Tracer::DumpFlightRecorderFile(const char* path, size_t last_n) const {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    return false;
+  }
+  DumpFlightRecorder(out, last_n);
+  const bool ok = std::ferror(out) == 0;
+  std::fclose(out);
+  return ok;
+}
+
+bool MaybeDumpPerfetto(const Tracer& tracer, const char* fallback_path) {
+  if (!tracer.enabled()) {
+    return false;
+  }
+  const char* path = std::getenv("FALCON_TRACE_OUT");
+  if (path == nullptr || path[0] == '\0') {
+    path = fallback_path;
+  }
+  if (!tracer.DumpPerfettoFile(path)) {
+    std::fprintf(stderr, "trace: failed to write %s\n", path);
+    return false;
+  }
+  std::fprintf(stderr, "trace: wrote %s (open in ui.perfetto.dev)\n", path);
+  return true;
+}
+
+}  // namespace falcon

@@ -1,0 +1,195 @@
+// Per-transaction flight recorder: an allocation-free, per-thread binary
+// trace of engine events on the simulated clock.
+//
+// Design:
+//  - One TraceRing per worker thread, single writer, fixed capacity
+//    (power of two, allocated once at enable time). Emit() is a handful of
+//    plain stores plus one release store of the head index; it charges ZERO
+//    simulated time and touches no modeled memory, so enabling tracing never
+//    changes device totals or simulated throughput — only wall clock.
+//  - Disabled mode is a null TraceRing pointer at every instrumentation
+//    site: one predictable branch on the hot path, nothing else. Defining
+//    FALCON_TRACE_COMPILED_OUT compiles even that branch down to a constant.
+//  - Runtime enable: setting FALCON_TRACE=1 in the environment makes every
+//    Engine construct its rings (FALCON_TRACE_EVENTS overrides the per-
+//    thread capacity). Tests and the crash-sweep harness call
+//    Engine::EnableTracing() directly.
+//  - Readers (exporters) run after the writer quiesced (threads joined).
+//    The head index is release/acquire so a post-join Snapshot() is exact;
+//    concurrent snapshots of a live ring are not supported.
+//
+// Exporters:
+//  - Tracer::DumpPerfetto writes Chrome trace_event JSON that loads directly
+//    in ui.perfetto.dev (txns and phases as duration spans, stalls and
+//    conflicts as instants).
+//  - Tracer::DumpFlightRecorder writes the last N events of every thread as
+//    a readable text timeline — the crash-sweep harness dumps one whenever
+//    the shadow-table oracle fails.
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace falcon {
+
+#if defined(FALCON_TRACE_COMPILED_OUT)
+inline constexpr bool kTraceCompiled = false;
+#else
+inline constexpr bool kTraceCompiled = true;
+#endif
+
+// Event taxonomy. The two payload words `a` and `b` are kind-specific.
+enum class TraceEventKind : uint32_t {
+  kNone = 0,
+  kTxnBegin,      // a = 1 when read-only
+  kTxnCommit,     // a = begin sim_ns (the commit event closes the txn span)
+  kTxnAbort,      // a = begin sim_ns, b = AbortReason
+  kPhaseEnd,      // a = SimPhase, b = start sim_ns (mirrors PhaseTimer)
+  kReadStall,     // a = MediaRegion, b = charged ns (load cost >= a miss)
+  kFlushStall,    // a = MediaRegion, b = charged ns (clwb writeback)
+  kLockAcquire,   // a = tuple PmOffset, b = 1 write / 0 read
+  kLockConflict,  // a = tuple PmOffset, b = holder's CC word (wounding side);
+                  //     event's txn field is the wounded transaction
+  kTsConflict,    // a = tuple PmOffset, b = conflicting timestamp
+  kOccConflict,   // a = tuple PmOffset, b = observed timestamp at validation
+  kLogWrap,       // a = wrap ordinal, b = slot count
+  kLogOverflow,   // a = bytes needed, b = slot payload capacity
+  kCacheFlush,    // a = lines written back (SemanticCache), b = charged ns
+  kCrashFired,    // a = CrashStepKind, b = 1-based step ordinal
+};
+inline constexpr size_t kTraceEventKindCount = 15;
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+// Fixed-size POD record; 40 bytes so a 64Ki-event ring is 2.5MB per thread.
+struct TraceEvent {
+  uint64_t ts = 0;    // simulated ns at emission
+  uint64_t txn = 0;   // tid of the transaction open on the thread (0 = none)
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint32_t thread = 0;
+  uint32_t kind = 0;  // TraceEventKind
+};
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+static_assert(sizeof(TraceEvent) == 40);
+
+// Single-writer ring buffer of TraceEvents. The owning worker thread emits;
+// anyone may Snapshot() after the writer has quiesced (e.g. joined).
+class TraceRing {
+ public:
+  TraceRing(uint32_t thread, size_t capacity) : thread_(thread) {
+    size_t cap = 1;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    events_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  // Records one event. Never allocates, never blocks, charges no simulated
+  // time. Oldest events are overwritten once the ring is full.
+  void Emit(TraceEventKind kind, uint64_t ts, uint64_t a = 0, uint64_t b = 0) {
+    if (!kTraceCompiled) {
+      return;
+    }
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    TraceEvent& e = events_[head & mask_];
+    e.ts = ts;
+    e.txn = current_txn_;
+    e.a = a;
+    e.b = b;
+    e.thread = thread_;
+    e.kind = static_cast<uint32_t>(kind);
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  // The transaction id subsequent events are attributed to. Set by the Txn
+  // constructor and cleared on commit/abort, so deep emitters (ThreadContext,
+  // LogWindow) need no transaction plumbing.
+  void set_current_txn(uint64_t tid) { current_txn_ = tid; }
+  uint64_t current_txn() const { return current_txn_; }
+
+  uint32_t thread() const { return thread_; }
+  size_t capacity() const { return events_.size(); }
+  // Events emitted over the ring's lifetime (>= capacity means wrapped).
+  uint64_t total() const { return head_.load(std::memory_order_acquire); }
+  uint64_t dropped() const {
+    const uint64_t t = total();
+    return t > events_.size() ? t - events_.size() : 0;
+  }
+
+  // Copies the last min(last_n, total, capacity) events in chronological
+  // order (last_n == 0 means "all retained"). Only valid once the writer
+  // has quiesced.
+  void Snapshot(std::vector<TraceEvent>* out, size_t last_n = 0) const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    uint64_t n = std::min<uint64_t>(head, events_.size());
+    if (last_n != 0) {
+      n = std::min<uint64_t>(n, last_n);
+    }
+    out->clear();
+    out->reserve(n);
+    for (uint64_t i = head - n; i != head; ++i) {
+      out->push_back(events_[i & mask_]);
+    }
+  }
+
+ private:
+  uint32_t thread_;
+  uint64_t current_txn_ = 0;
+  size_t mask_ = 0;
+  std::atomic<uint64_t> head_{0};
+  std::vector<TraceEvent> events_;
+};
+
+// Owns one ring per worker thread and the exporters.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 64 * 1024;  // events per thread
+
+  // True when FALCON_TRACE is set to anything but "" or "0".
+  static bool EnabledByEnv();
+  // FALCON_TRACE_EVENTS (events per thread) or kDefaultCapacity.
+  static size_t CapacityFromEnv();
+
+  // Allocates one ring per thread. capacity_per_thread == 0 reads the
+  // environment. Idempotent for a matching thread count.
+  void Enable(uint32_t threads, size_t capacity_per_thread = 0);
+
+  bool enabled() const { return !rings_.empty(); }
+  uint32_t thread_count() const { return static_cast<uint32_t>(rings_.size()); }
+  TraceRing* ring(uint32_t thread) { return rings_[thread].get(); }
+  const TraceRing* ring(uint32_t thread) const { return rings_[thread].get(); }
+
+  // Chrome/Perfetto trace_event JSON ({"traceEvents":[...]}); open the file
+  // in ui.perfetto.dev or chrome://tracing.
+  void DumpPerfetto(std::FILE* out) const;
+  bool DumpPerfettoFile(const char* path) const;
+
+  // Readable per-thread timeline of the last `last_n` events of every
+  // thread (0 = everything retained).
+  void DumpFlightRecorder(std::FILE* out, size_t last_n = 0) const;
+  bool DumpFlightRecorderFile(const char* path, size_t last_n = 0) const;
+
+ private:
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+// Bench hook: when `tracer` is enabled, writes Perfetto JSON to
+// $FALCON_TRACE_OUT (or `fallback_path` when unset) and prints the path.
+// Returns true when a file was written.
+bool MaybeDumpPerfetto(const Tracer& tracer, const char* fallback_path);
+
+}  // namespace falcon
+
+#endif  // SRC_OBS_TRACE_H_

@@ -197,6 +197,16 @@ class NvmDevice {
     return static_cast<MediaRegion>(page_region_[page].load(std::memory_order_relaxed));
   }
 
+  // Region of an arbitrary address; kRegionOther for DRAM-side pointers
+  // outside the arena. Used by the trace layer to tag stalls.
+  MediaRegion RegionOfAddr(const void* addr) const {
+    if (!Contains(addr)) {
+      return kRegionOther;
+    }
+    const uint64_t offset = static_cast<const std::byte*>(addr) - base_;
+    return RegionOf(offset / kNvmBlockSize);
+  }
+
   // Registers a per-thread counter block. The block must stay registered (or
   // be unregistered) before it is destroyed; Unregister folds its counts into
   // the device's retired total so stats() stays cumulative.

@@ -76,13 +76,22 @@ void SemanticCache::Load(void* dst, const void* src, size_t len) {
   }
 }
 
+void SemanticCache::EmitFlush(size_t lines_written) {
+  if (trace_ != nullptr && lines_written > 0) {
+    trace_->Emit(TraceEventKind::kCacheFlush, ++trace_seq_, lines_written, 0);
+  }
+}
+
 void SemanticCache::Clwb(void* addr, size_t len) {
   const auto base = reinterpret_cast<uintptr_t>(addr);
   const uintptr_t first = LineBase(base);
   const uintptr_t last = LineBase(base + (len == 0 ? 0 : len - 1));
+  size_t written = 0;
   for (uintptr_t line = first; line <= last; line += kCacheLineSize) {
+    written += lines_.count(line);
     WritebackAndErase(line);
   }
+  EmitFlush(written);
 }
 
 bool SemanticCache::IsDirty(const void* addr) const {
@@ -104,9 +113,11 @@ void SemanticCache::CrashAdr() {
 void SemanticCache::CrashEadr() {
   // The eADR flush domain includes the cache: hardware writes everything
   // back on power failure.
+  const size_t written = lines_.size();
   while (!lru_.empty()) {
     WritebackAndErase(lru_.back());
   }
+  EmitFlush(written);
 }
 
 }  // namespace falcon

@@ -26,6 +26,7 @@
 #include <unordered_map>
 
 #include "src/common/constants.h"
+#include "src/obs/trace.h"
 
 namespace falcon {
 
@@ -61,6 +62,11 @@ class SemanticCache {
   // used first.
   void ForEachDirtyLine(const std::function<void(uintptr_t)>& fn) const;
 
+  // Optional flight recorder: Clwb and the crash writeback paths emit
+  // kCacheFlush events (payload a = lines written back). SemanticCache has
+  // no simulated clock, so event timestamps are a local sequence number.
+  void set_trace(TraceRing* trace) { trace_ = trace; }
+
  private:
   struct LineBuf {
     std::array<std::byte, kCacheLineSize> data;
@@ -71,9 +77,13 @@ class SemanticCache {
   void WritebackAndErase(uintptr_t line_addr);
   void EvictIfNeeded();
 
+  void EmitFlush(size_t lines_written);
+
   size_t max_lines_;
   std::unordered_map<uintptr_t, LineBuf> lines_;
   std::list<uintptr_t> lru_;  // front = most recent
+  TraceRing* trace_ = nullptr;
+  uint64_t trace_seq_ = 0;  // stand-in timestamp (no simulated clock here)
 };
 
 }  // namespace falcon

@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "src/common/rng.h"
+#include "src/obs/trace.h"
 #include "src/sim/cache_model.h"
 #include "src/sim/nvm_device.h"
 
@@ -70,13 +71,21 @@ class ThreadContext {
   // source lines.
   void Load(void* dst, const void* src, size_t len) {
     std::memcpy(dst, src, len);
-    sim_ns_ += cache_.OnLoad(reinterpret_cast<uintptr_t>(src), len);
+    const uint64_t cost = cache_.OnLoad(reinterpret_cast<uintptr_t>(src), len);
+    sim_ns_ += cost;
+    if (trace_ != nullptr && cost >= params_.dram_miss_ns) {
+      EmitStall(TraceEventKind::kReadStall, src, cost);
+    }
   }
 
   // Charges load cost for `len` bytes at `src` without copying (the caller
   // reads through a typed pointer).
   void TouchLoad(const void* src, size_t len) {
-    sim_ns_ += cache_.OnLoad(reinterpret_cast<uintptr_t>(src), len);
+    const uint64_t cost = cache_.OnLoad(reinterpret_cast<uintptr_t>(src), len);
+    sim_ns_ += cost;
+    if (trace_ != nullptr && cost >= params_.dram_miss_ns) {
+      EmitStall(TraceEventKind::kReadStall, src, cost);
+    }
   }
 
   // Charges store cost without copying (caller already wrote, e.g. via CAS).
@@ -86,7 +95,11 @@ class ThreadContext {
 
   // Issues clwb over [addr, addr+len).
   void Clwb(const void* addr, size_t len) {
-    sim_ns_ += cache_.Clwb(reinterpret_cast<uintptr_t>(addr), len);
+    const uint64_t cost = cache_.Clwb(reinterpret_cast<uintptr_t>(addr), len);
+    sim_ns_ += cost;
+    if (trace_ != nullptr && cost > 0) {
+      EmitStall(TraceEventKind::kFlushStall, addr, cost);
+    }
   }
 
   void Sfence() { sim_ns_ += cache_.Sfence(); }
@@ -97,7 +110,20 @@ class ThreadContext {
   // Resets the simulated clock (benchmark warmup boundaries).
   void ResetClock() { sim_ns_ = 0; }
 
+  // Flight-recorder ring for this thread (null = tracing disabled, which
+  // costs one predictable branch per primitive). Trace emission charges no
+  // simulated time and touches no modeled memory, so enabling tracing never
+  // perturbs the clock or the device counters.
+  void set_trace(TraceRing* trace) { trace_ = trace; }
+  TraceRing* trace() const { return trace_; }
+
  private:
+  void EmitStall(TraceEventKind kind, const void* addr, uint64_t cost) {
+    const MediaRegion region =
+        device_ != nullptr ? device_->RegionOfAddr(addr) : kRegionOther;
+    trace_->Emit(kind, sim_ns_, static_cast<uint64_t>(region), cost);
+  }
+
   uint32_t thread_id_;
   CostParams params_;
   NvmDevice* device_;
@@ -105,6 +131,7 @@ class ThreadContext {
   CacheModel cache_;
   uint64_t sim_ns_ = 0;
   Rng rng_;
+  TraceRing* trace_ = nullptr;
 };
 
 }  // namespace falcon

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,6 +41,9 @@ struct BenchResult {
   double write_amp = 0;
   // Engine-wide metrics diff over the measured window (see src/obs/metrics.h).
   MetricsSnapshot metrics;
+  // Commit-latency percentiles: [0] is always "all"; RunBenchTyped appends
+  // one entry per transaction type. Feed this to MaybeAppendMetricsJson.
+  std::vector<LatencySummary> latency;
 
   double AbortRate() const {
     const uint64_t total = commits + attempt_aborts;
@@ -49,11 +53,16 @@ struct BenchResult {
 };
 
 // Runs `txns_per_thread` transactions on each of `threads` workers.
-// `run_txn(worker, thread_id, i)` returns true when the transaction
-// committed. Worker clocks and device stats are reset before the run.
-inline BenchResult RunBench(
+// `run_txn(worker, thread_id, i)` returns the committed transaction's type
+// index into `type_names` (a value past the end still counts as a commit but
+// lands only in the "all" histogram), or a negative value on abort. Worker
+// clocks and device stats are reset before the run. When tracing is enabled
+// on the engine, a Perfetto dump is written at the end of the run (see
+// MaybeDumpPerfetto).
+inline BenchResult RunBenchTyped(
     Engine& engine, uint32_t threads, uint64_t txns_per_thread,
-    const std::function<bool(Worker&, uint32_t, uint64_t)>& run_txn) {
+    const std::vector<std::string>& type_names,
+    const std::function<int(Worker&, uint32_t, uint64_t)>& run_txn) {
   NvmDevice& device = *engine.device();
   // Start from a quiescent state: dirty lines left by loading (e.g. index
   // buckets that selective-flush engines never clwb) belong to the load
@@ -73,6 +82,10 @@ inline BenchResult RunBench(
   std::vector<uint64_t> commits(threads, 0);
   std::vector<uint64_t> aborts(threads, 0);
   std::vector<Histogram> latencies(threads);
+  const size_t types = type_names.size();
+  // [thread][type], merged after the join like the "all" histograms.
+  std::vector<std::vector<Histogram>> typed_latencies(threads,
+                                                      std::vector<Histogram>(types));
   pool.reserve(threads);
   for (uint32_t t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
@@ -80,11 +93,17 @@ inline BenchResult RunBench(
       uint64_t local_commits = 0;
       uint64_t local_aborts = 0;
       Histogram local_latencies;
+      std::vector<Histogram> local_typed(types);
       for (uint64_t i = 0; i < txns_per_thread; ++i) {
         const uint64_t before = worker.ctx().sim_ns();
-        if (run_txn(worker, t, i)) {
+        const int type = run_txn(worker, t, i);
+        if (type >= 0) {
           ++local_commits;
-          local_latencies.Record(worker.ctx().sim_ns() - before);
+          const uint64_t lat = worker.ctx().sim_ns() - before;
+          local_latencies.Record(lat);
+          if (static_cast<size_t>(type) < types) {
+            local_typed[static_cast<size_t>(type)].Record(lat);
+          }
         } else {
           ++local_aborts;
         }
@@ -92,6 +111,7 @@ inline BenchResult RunBench(
       commits[t] = local_commits;
       aborts[t] = local_aborts;
       latencies[t] = local_latencies;
+      typed_latencies[t] = std::move(local_typed);
     });
   }
   for (auto& th : pool) {
@@ -129,7 +149,31 @@ inline BenchResult RunBench(
   }
   result.avg_us = merged.Mean() / 1000.0;
   result.p95_ns = merged.Percentile(95);
+
+  result.latency.push_back(SummarizeHistogram("all", merged));
+  for (size_t k = 0; k < types; ++k) {
+    Histogram h;
+    for (uint32_t t = 0; t < threads; ++t) {
+      h.Merge(typed_latencies[t][k]);
+    }
+    result.latency.push_back(SummarizeHistogram(type_names[k], h));
+  }
+
+  if (engine.tracing_enabled()) {
+    MaybeDumpPerfetto(engine.tracer(), "falcon_trace.json");
+  }
   return result;
+}
+
+// Boolean-commit convenience wrapper: every commit lands in the "all"
+// latency bucket only.
+inline BenchResult RunBench(
+    Engine& engine, uint32_t threads, uint64_t txns_per_thread,
+    const std::function<bool(Worker&, uint32_t, uint64_t)>& run_txn) {
+  return RunBenchTyped(engine, threads, txns_per_thread, {},
+                       [&run_txn](Worker& worker, uint32_t t, uint64_t i) {
+                         return run_txn(worker, t, i) ? 0 : -1;
+                       });
 }
 
 }  // namespace falcon

@@ -59,6 +59,14 @@ enum TpccTxnType : int {
   kStockLevel = 4,
 };
 
+inline constexpr const char* kTpccTxnTypeNames[5] = {
+    "new_order", "payment", "order_status", "delivery", "stock_level"};
+
+// Type-name list in TpccTxnType order, shaped for RunBenchTyped.
+inline std::vector<std::string> TpccTxnNames() {
+  return {kTpccTxnTypeNames, kTpccTxnTypeNames + 5};
+}
+
 class TpccWorkload {
  public:
   // Creates all 9 tables in a fresh engine.

@@ -1,6 +1,8 @@
 #include "tests/harness/crash_sweep.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -232,6 +234,9 @@ class SweepRun {
   bool Preload(std::string* error) {
     device_ = std::make_unique<NvmDevice>(cfg_.device_bytes);
     engine_ = std::make_unique<Engine>(device_.get(), cfg_.make(cfg_.cc), cfg_.threads);
+    if (cfg_.trace_events != 0) {
+      engine_->EnableTracing(cfg_.trace_events);
+    }
     SchemaBuilder schema("sweep");
     schema.AddU64();  // column 0: key copy
     schema.AddU64();  // column 1: value
@@ -344,6 +349,44 @@ class SweepRun {
     }
   }
 };
+
+// Renders the engine's flight recorder into a string (the rings die with the
+// engine on reopen, so this must run before CrashAndReopen).
+std::string CaptureFlightRecorder(Engine& engine, size_t last_n) {
+  if (!engine.tracing_enabled()) {
+    return "";
+  }
+  char* buf = nullptr;
+  size_t len = 0;
+  std::FILE* mem = open_memstream(&buf, &len);
+  if (mem == nullptr) {
+    return "";
+  }
+  engine.tracer().DumpFlightRecorder(mem, last_n);
+  std::fclose(mem);
+  std::string out(buf, len);
+  std::free(buf);
+  return out;
+}
+
+// Writes the captured timeline to $FALCON_FLIGHT_DIR (when set) and appends
+// the file path to the violation message so CI logs point at the artifact.
+void PublishFlightRecorder(const SweepConfig& cfg, uint64_t step, SweepResult* result) {
+  const char* dir = std::getenv("FALCON_FLIGHT_DIR");
+  if (dir == nullptr || dir[0] == '\0' || result->flight_recorder.empty()) {
+    return;
+  }
+  std::ostringstream path;
+  path << dir << "/flight_" << SanitizeLabelPart(cfg.make(cfg.cc).name) << "_seed" << cfg.seed
+       << "_step" << step << ".txt";
+  std::FILE* f = std::fopen(path.str().c_str(), "w");
+  if (f == nullptr) {
+    return;
+  }
+  std::fwrite(result->flight_recorder.data(), 1, result->flight_recorder.size(), f);
+  std::fclose(f);
+  result->violation += " [flight recorder: " + path.str() + "]";
+}
 
 std::string Prefix(const SweepConfig& cfg, uint64_t step) {
   std::ostringstream os;
@@ -555,15 +598,27 @@ SweepResult RunCrashAt(const SweepConfig& cfg, uint64_t step) {
     std::lock_guard<std::mutex> lock(run.broken_mu_);
     if (!run.broken_.empty()) {
       result.violation = Prefix(cfg, step) + "pre-crash oracle violation: " + run.broken_;
+      result.flight_recorder = CaptureFlightRecorder(*run.engine_, cfg.flight_last_n);
+      PublishFlightRecorder(cfg, step, &result);
       return result;
     }
   }
   result.crashed = run.wound_.fired;
   result.crash_step = run.wound_.step;
   result.crash_kind = run.wound_.kind;
+  // Capture the timeline while the crashed engine (and its rings) still
+  // exists; it is published only if verification fails below.
+  std::string flight = CaptureFlightRecorder(*run.engine_, cfg.flight_last_n);
   run.CrashAndReopen();
   result.report = run.engine_->recovery_report();
   result.violation = Verify(run, step);
+  if (result.violation.empty() && cfg.force_violation) {
+    result.violation = Prefix(cfg, step) + "forced violation (SweepConfig::force_violation)";
+  }
+  if (!result.violation.empty()) {
+    result.flight_recorder = std::move(flight);
+    PublishFlightRecorder(cfg, step, &result);
+  }
   return result;
 }
 

@@ -49,6 +49,16 @@ struct SweepConfig {
   uint32_t max_ops_per_txn = 4;
   uint64_t seed = 1;
   uint64_t device_bytes = 64ull << 20;
+  // Flight recorder: the harness enables tracing with this per-thread ring
+  // capacity (0 turns it off) and, when the oracle fails, captures the last
+  // `flight_last_n` events of every thread into SweepResult::flight_recorder.
+  // If $FALCON_FLIGHT_DIR names a directory, the capture is also written to
+  // a file there and the path is appended to the violation message.
+  size_t trace_events = 4096;
+  size_t flight_last_n = 64;
+  // Test hook for the dump path: report a fabricated violation even when
+  // every invariant held.
+  bool force_violation = false;
 };
 
 struct SweepResult {
@@ -60,6 +70,9 @@ struct SweepResult {
   // First oracle violation, empty when every invariant held. The message
   // embeds the seed and step for deterministic replay.
   std::string violation;
+  // Per-thread event timeline captured just before the simulated power
+  // failure; filled only when the run ends in a violation (see SweepConfig).
+  std::string flight_recorder;
 
   bool ok() const { return violation.empty(); }
 };

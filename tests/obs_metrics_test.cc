@@ -115,6 +115,61 @@ TEST(MetricsJson, LineContainsLabelAndEveryField) {
   EXPECT_EQ(line.back(), '}');
 }
 
+TEST(MetricsJson, SchemaVersionAndEscaping) {
+  MetricsSnapshot s;
+  const std::string line = MetricsJsonLine("a\\b\n\tc\x01", s);
+  EXPECT_NE(line.find("\"schema_version\":2"), std::string::npos);
+  // Backslash, newline, tab, and raw control bytes all escape to valid JSON.
+  EXPECT_NE(line.find("a\\\\b\\n\\tc\\u0001"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(MetricsJson, LatencySectionEmittedWhenProvided) {
+  MetricsSnapshot s;
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h.Record(v * 1000);
+  }
+  const std::string line =
+      MetricsJsonLine("l", s, {SummarizeHistogram("all", h), SummarizeHistogram("empty", {})});
+  EXPECT_NE(line.find("\"latency\":{"), std::string::npos);
+  EXPECT_NE(line.find("\"all\":{\"count\":100"), std::string::npos);
+  EXPECT_NE(line.find("\"p50_ns\":"), std::string::npos);
+  EXPECT_NE(line.find("\"p95_ns\":"), std::string::npos);
+  EXPECT_NE(line.find("\"p99_ns\":"), std::string::npos);
+  EXPECT_NE(line.find("\"max_ns\":"), std::string::npos);
+  EXPECT_NE(line.find("\"empty\":{\"count\":0"), std::string::npos);
+  // Without summaries the section is absent entirely.
+  EXPECT_EQ(MetricsJsonLine("l", s).find("latency"), std::string::npos);
+}
+
+TEST(MetricsJson, SummarizeHistogramPercentilesOrdered) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Record(v);
+  }
+  const LatencySummary sum = SummarizeHistogram("x", h);
+  EXPECT_EQ(sum.count, 1000u);
+  EXPECT_LE(sum.p50_ns, sum.p95_ns);
+  EXPECT_LE(sum.p95_ns, sum.p99_ns);
+  EXPECT_LE(sum.p99_ns, sum.max_ns);
+  EXPECT_GT(sum.p50_ns, 0u);
+}
+
+TEST(MetricsJson, SanitizeLabelPartScrubsHostileBytes) {
+  EXPECT_EQ(SanitizeLabelPart("Falcon (All Flush)"), "Falcon_All_Flush");
+  EXPECT_EQ(SanitizeLabelPart("a b\tc"), "a_b_c");
+  EXPECT_EQ(SanitizeLabelPart("ok-1.2_x"), "ok-1.2_x");
+  EXPECT_EQ(SanitizeLabelPart("  edge  "), "edge");
+  EXPECT_EQ(SanitizeLabelPart(""), "");
+}
+
+TEST(MetricsJson, BenchLabelUniformShape) {
+  EXPECT_EQ(BenchLabel("fig07", "Falcon (DRAM Index)/OCC", 48),
+            "fig07/Falcon_DRAM_Index/OCC/48t");
+  EXPECT_EQ(BenchLabel("hotpath", "read_only/occ", 1), "hotpath/read_only/occ/1t");
+}
+
 TEST(MetricsJson, AppendWritesOneLinePerCall) {
   const char* path = "obs_metrics_test_append.json";
   std::remove(path);

@@ -1,0 +1,508 @@
+// Flight-recorder tests: ring semantics, engine instrumentation, the
+// zero-simulated-cost invariant (device totals are byte-identical with
+// tracing on or off), exporter well-formedness, and the crash-sweep
+// flight-recorder hook.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "tests/harness/crash_sweep.h"
+
+namespace falcon {
+namespace {
+
+EngineConfig MakeFalconOcc(CcScheme cc) { return EngineConfig::Falcon(cc); }
+
+// ---- Minimal JSON well-formedness checker ---------------------------------
+// Enough of RFC 8259 to catch a malformed exporter: objects, arrays,
+// strings with escapes, numbers, true/false/null. Validates the WHOLE input
+// is exactly one value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.substr(pos_, len) != word) {
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+std::string CaptureDump(const Tracer& tracer, bool perfetto) {
+  char* buf = nullptr;
+  size_t len = 0;
+  std::FILE* mem = open_memstream(&buf, &len);
+  if (perfetto) {
+    tracer.DumpPerfetto(mem);
+  } else {
+    tracer.DumpFlightRecorder(mem);
+  }
+  std::fclose(mem);
+  std::string out(buf, len);
+  std::free(buf);
+  return out;
+}
+
+// ---- TraceRing ------------------------------------------------------------
+
+TEST(TraceRing, WraparoundKeepsChronologicalTail) {
+  TraceRing ring(/*thread=*/3, /*capacity=*/8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (uint64_t i = 0; i < 20; ++i) {
+    ring.Emit(TraceEventKind::kTxnBegin, /*ts=*/100 + i, /*a=*/i);
+  }
+  EXPECT_EQ(ring.total(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+
+  std::vector<TraceEvent> events;
+  ring.Snapshot(&events);
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts, 100 + 12 + i);  // oldest 12 overwritten
+    EXPECT_EQ(events[i].thread, 3u);
+    if (i > 0) {
+      EXPECT_LT(events[i - 1].ts, events[i].ts);
+    }
+  }
+
+  ring.Snapshot(&events, /*last_n=*/3);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ts, 117u);
+  EXPECT_EQ(events[2].ts, 119u);
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  TraceRing ring(0, 5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  TraceRing exact(0, 16);
+  EXPECT_EQ(exact.capacity(), 16u);
+}
+
+TEST(TraceRing, CurrentTxnAttributesDeepEvents) {
+  TraceRing ring(0, 16);
+  ring.set_current_txn(42);
+  ring.Emit(TraceEventKind::kReadStall, 5, 1, 80);
+  ring.set_current_txn(0);
+  ring.Emit(TraceEventKind::kLogWrap, 6, 0, 3);
+  std::vector<TraceEvent> events;
+  ring.Snapshot(&events);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].txn, 42u);
+  EXPECT_EQ(events[1].txn, 0u);
+}
+
+// ---- Engine instrumentation -----------------------------------------------
+
+constexpr uint64_t kRowBytes = 32;
+
+struct Fixture {
+  std::unique_ptr<NvmDevice> device;
+  std::unique_ptr<Engine> engine;
+  TableId table = kInvalidTable;
+};
+
+Fixture MakeFixture(uint32_t workers, bool traced) {
+  Fixture f;
+  f.device = std::make_unique<NvmDevice>(256ull << 20);
+  f.engine = std::make_unique<Engine>(f.device.get(), EngineConfig::Falcon(CcScheme::kOcc),
+                                      workers);
+  if (traced) {
+    f.engine->EnableTracing(/*capacity_per_thread=*/1024);
+  }
+  SchemaBuilder schema("t");
+  schema.AddU64();
+  schema.AddColumn(kRowBytes - 8);
+  f.table = f.engine->CreateTable(schema, IndexKind::kHash);
+  return f;
+}
+
+// Deterministic single-thread workload; returns committed count.
+uint64_t RunWorkload(Fixture& f, uint32_t thread, uint64_t keys) {
+  Worker& w = f.engine->worker(thread);
+  std::byte row[kRowBytes];
+  std::memset(row, 0x5a, sizeof(row));
+  uint64_t commits = 0;
+  const uint64_t base = (uint64_t{thread} + 1) << 20;
+  for (uint64_t k = 0; k < keys; ++k) {
+    Txn txn = w.Begin();
+    if (txn.Insert(f.table, base + k, row) == Status::kOk && txn.Commit() == Status::kOk) {
+      ++commits;
+    }
+  }
+  for (uint64_t k = 0; k < keys; ++k) {
+    Txn txn = w.Begin();
+    const uint64_t stamp = k;
+    if (txn.UpdatePartial(f.table, base + k, 0, 8, &stamp) == Status::kOk &&
+        txn.Commit() == Status::kOk) {
+      ++commits;
+    }
+  }
+  return commits;
+}
+
+TEST(TraceEngine, DisabledByDefaultAndZeroSideEffects) {
+  Fixture off = MakeFixture(1, /*traced=*/false);
+  Fixture on = MakeFixture(1, /*traced=*/true);
+  EXPECT_FALSE(off.engine->tracing_enabled());
+  EXPECT_TRUE(on.engine->tracing_enabled());
+
+  const uint64_t commits_off = RunWorkload(off, 0, 200);
+  const uint64_t commits_on = RunWorkload(on, 0, 200);
+  EXPECT_EQ(commits_off, commits_on);
+
+  for (Fixture* f : {&off, &on}) {
+    f->engine->worker(0).ctx().cache().WritebackAll();
+    f->device->DrainAll();
+  }
+  // The invariant the whole subsystem leans on: emission charges no
+  // simulated time and touches no modeled memory.
+  const DeviceStats a = off.device->stats();
+  const DeviceStats b = on.device->stats();
+  EXPECT_EQ(a.line_writes, b.line_writes);
+  EXPECT_EQ(a.media_writes, b.media_writes);
+  EXPECT_EQ(a.media_reads, b.media_reads);
+  EXPECT_EQ(off.engine->worker(0).ctx().sim_ns(), on.engine->worker(0).ctx().sim_ns());
+
+  // Disabled engine has no rings at all.
+  EXPECT_FALSE(off.engine->tracer().enabled());
+  EXPECT_GT(on.engine->tracer().ring(0)->total(), 0u);
+}
+
+TEST(TraceEngine, TxnLifecycleEventsRecorded) {
+  Fixture f = MakeFixture(1, /*traced=*/true);
+  RunWorkload(f, 0, 10);
+  // One user abort for the kTxnAbort path.
+  {
+    Worker& w = f.engine->worker(0);
+    Txn txn = w.Begin();
+    const uint64_t stamp = 1;
+    (void)txn.UpdatePartial(f.table, (1ull << 20) + 1, 0, 8, &stamp);
+    txn.Abort();
+  }
+
+  std::vector<TraceEvent> events;
+  f.engine->tracer().ring(0)->Snapshot(&events);
+  uint64_t begins = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t phases = 0;
+  for (const TraceEvent& e : events) {
+    switch (static_cast<TraceEventKind>(e.kind)) {
+      case TraceEventKind::kTxnBegin:
+        ++begins;
+        break;
+      case TraceEventKind::kTxnCommit:
+        ++commits;
+        EXPECT_NE(e.txn, 0u);
+        EXPECT_LE(e.a, e.ts);  // span start <= end
+        break;
+      case TraceEventKind::kTxnAbort:
+        ++aborts;
+        EXPECT_EQ(e.b, static_cast<uint64_t>(AbortReason::kUser));
+        break;
+      case TraceEventKind::kPhaseEnd:
+        ++phases;
+        EXPECT_LT(e.a, static_cast<uint64_t>(kSimPhaseCount));
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(begins, 0u);
+  EXPECT_GT(commits, 0u);
+  EXPECT_EQ(aborts, 1u);
+  EXPECT_GT(phases, 0u);
+}
+
+TEST(TraceEngine, ConcurrentWritersStayInTheirOwnRings) {
+  constexpr uint32_t kThreads = 4;
+  Fixture f = MakeFixture(kThreads, /*traced=*/true);
+  std::vector<std::thread> pool;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&f, t] { RunWorkload(f, t, 100); });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    std::vector<TraceEvent> events;
+    f.engine->tracer().ring(t)->Snapshot(&events);
+    ASSERT_FALSE(events.empty());
+    for (const TraceEvent& e : events) {
+      EXPECT_EQ(e.thread, t);
+    }
+  }
+}
+
+// ---- Exporters ------------------------------------------------------------
+
+TEST(TraceExport, PerfettoDumpIsWellFormedJson) {
+  Fixture f = MakeFixture(2, /*traced=*/true);
+  RunWorkload(f, 0, 50);
+  RunWorkload(f, 1, 50);
+
+  const std::string json = CaptureDump(f.engine->tracer(), /*perfetto=*/true);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"txn\""), std::string::npos);
+}
+
+TEST(TraceExport, FlightRecorderDumpListsEveryThread) {
+  Fixture f = MakeFixture(2, /*traced=*/true);
+  RunWorkload(f, 0, 20);
+  RunWorkload(f, 1, 20);
+  const std::string text = CaptureDump(f.engine->tracer(), /*perfetto=*/false);
+  EXPECT_NE(text.find("== thread 0:"), std::string::npos);
+  EXPECT_NE(text.find("== thread 1:"), std::string::npos);
+  EXPECT_NE(text.find("txn_commit"), std::string::npos);
+}
+
+TEST(TraceExport, MaybeDumpPerfettoWritesFileWhenEnabled) {
+  Fixture f = MakeFixture(1, /*traced=*/true);
+  RunWorkload(f, 0, 10);
+  const char* path = "obs_trace_test_perfetto.json";
+  std::remove(path);
+  setenv("FALCON_TRACE_OUT", path, 1);
+  EXPECT_TRUE(MaybeDumpPerfetto(f.engine->tracer(), "unused_fallback.json"));
+  unsetenv("FALCON_TRACE_OUT");
+  std::FILE* in = std::fopen(path, "r");
+  ASSERT_NE(in, nullptr);
+  std::string json;
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
+    json.append(chunk, n);
+  }
+  std::fclose(in);
+  std::remove(path);
+  EXPECT_TRUE(JsonChecker(json).Valid());
+
+  Fixture off = MakeFixture(1, /*traced=*/false);
+  EXPECT_FALSE(MaybeDumpPerfetto(off.engine->tracer(), "unused_fallback.json"));
+}
+
+// ---- Crash-sweep flight recorder ------------------------------------------
+
+TEST(TraceFlightRecorder, ForcedViolationDumpsArmedCrashStep) {
+  test::SweepConfig cfg;
+  cfg.make = MakeFalconOcc;
+  cfg.force_violation = true;
+
+  const uint64_t steps = test::CountSteps(cfg);
+  ASSERT_GT(steps, 0u);
+  const uint64_t step = steps / 2 + 1;
+
+  char dir_template[] = "/tmp/falcon_flight_test_XXXXXX";
+  char* dir = mkdtemp(dir_template);
+  ASSERT_NE(dir, nullptr);
+  setenv("FALCON_FLIGHT_DIR", dir, 1);
+  const test::SweepResult result = test::RunCrashAt(cfg, step);
+  unsetenv("FALCON_FLIGHT_DIR");
+
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.violation.find("forced violation"), std::string::npos);
+  ASSERT_TRUE(result.crashed);
+  EXPECT_EQ(result.crash_step, step);
+
+  // The captured timeline must show the armed crash firing.
+  ASSERT_FALSE(result.flight_recorder.empty());
+  EXPECT_NE(result.flight_recorder.find("crash_fired"), std::string::npos);
+  EXPECT_NE(result.flight_recorder.find("step=" + std::to_string(step)), std::string::npos);
+  EXPECT_NE(result.flight_recorder.find("== thread 0:"), std::string::npos);
+
+  // And the violation message must point at the published artifact.
+  const size_t tag = result.violation.find("[flight recorder: ");
+  ASSERT_NE(tag, std::string::npos) << result.violation;
+  const size_t start = tag + std::strlen("[flight recorder: ");
+  const size_t end = result.violation.find(']', start);
+  ASSERT_NE(end, std::string::npos);
+  const std::string path = result.violation.substr(start, end - start);
+  std::FILE* in = std::fopen(path.c_str(), "r");
+  ASSERT_NE(in, nullptr) << path;
+  std::fclose(in);
+  std::remove(path.c_str());
+  rmdir(dir);
+}
+
+TEST(TraceFlightRecorder, CleanSweepStaysSilent) {
+  test::SweepConfig cfg;
+  cfg.make = MakeFalconOcc;
+  const test::SweepResult result = test::RunCrashAt(cfg, /*step=*/0);
+  EXPECT_TRUE(result.ok()) << result.violation;
+  EXPECT_TRUE(result.flight_recorder.empty());
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Compare two Falcon metrics dumps and fail on regressions.
+
+Accepts either side in any of these shapes:
+
+  * bench_hotpath-style JSON: an object with a "scenarios" array (fresh run)
+    or the committed BENCH_hotpath.json with "baseline"/"after" arrays (the
+    "after" column is used). Records are keyed "name/scheme/<threads>t" and
+    numeric fields are flattened ("device.line_writes", ...).
+  * metrics JSONL as written by $FALCON_METRICS_JSON: one
+    {"schema_version":2,"label":...,"metrics":{...},"latency":{...}} object
+    per line, keyed by label, with metrics and latency fields flattened
+    ("metrics.commits", "latency.all.p99_ns", ...).
+
+Only records and fields present on BOTH sides are compared; coverage is
+printed so a silently-empty intersection is visible. Exit status is 1 when
+any compared field regresses beyond --tolerance percent (or differs at all
+for --exact prefixes), 0 otherwise.
+
+Typical CI use — device counters of the hot-path bench are deterministic, so
+they must match the committed reference exactly:
+
+  python3 tools/metrics_compare.py BENCH_hotpath.json fresh.json \
+      --only device. --exact device.
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten(prefix, value, out):
+    if isinstance(value, dict):
+        for k, v in value.items():
+            flatten(f"{prefix}{k}.", v, out)
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        out[prefix[:-1]] = value
+
+
+def scenario_key(rec):
+    name = rec.get("name", "?")
+    scheme = rec.get("scheme", "?")
+    threads = rec.get("threads", "?")
+    return f"{name}/{scheme}/{threads}t"
+
+
+def load_records(path):
+    """Returns {record_key: {field: number}}."""
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    records = {}
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict):
+        rows = doc.get("after") or doc.get("scenarios") or doc.get("baseline")
+        if not isinstance(rows, list):
+            raise SystemExit(f"{path}: no scenarios/after/baseline array")
+        for rec in rows:
+            fields = {}
+            flatten("", rec, fields)
+            for drop in ("threads",):
+                fields.pop(drop, None)
+            records[scenario_key(rec)] = fields
+        return records
+    # JSONL: one metrics object per line.
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"{path}:{lineno}: not JSON ({e})")
+        label = rec.get("label", f"line{lineno}")
+        fields = {}
+        flatten("metrics.", rec.get("metrics", {}), fields)
+        flatten("latency.", rec.get("latency", {}), fields)
+        records[label] = fields
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("base", help="reference dump")
+    ap.add_argument("new", help="candidate dump")
+    ap.add_argument("--tolerance", type=float, default=5.0,
+                    help="max allowed relative change in percent (default 5)")
+    ap.add_argument("--only", action="append", default=[],
+                    help="compare only fields starting with this prefix (repeatable)")
+    ap.add_argument("--ignore", action="append", default=[],
+                    help="skip fields starting with this prefix (repeatable)")
+    ap.add_argument("--exact", action="append", default=[],
+                    help="fields starting with this prefix must match exactly (repeatable)")
+    args = ap.parse_args()
+
+    base = load_records(args.base)
+    new = load_records(args.new)
+    shared = sorted(set(base) & set(new))
+    if not shared:
+        print(f"FAIL: no common records between {args.base} and {args.new}")
+        return 1
+
+    failures = []
+    compared = 0
+    for key in shared:
+        for field in sorted(set(base[key]) & set(new[key])):
+            if args.only and not any(field.startswith(p) for p in args.only):
+                continue
+            if any(field.startswith(p) for p in args.ignore):
+                continue
+            b, n = base[key][field], new[key][field]
+            compared += 1
+            if any(field.startswith(p) for p in args.exact):
+                if b != n:
+                    failures.append((key, field, b, n, "exact"))
+                continue
+            denom = abs(b) if b != 0 else 1.0
+            pct = 100.0 * abs(n - b) / denom
+            if pct > args.tolerance:
+                failures.append((key, field, b, n, f"{pct:.1f}%"))
+
+    print(f"compared {compared} fields across {len(shared)} shared records "
+          f"({len(base)} base, {len(new)} new)")
+    for key, field, b, n, why in failures:
+        print(f"FAIL {key} {field}: {b} -> {n} ({why}, tolerance {args.tolerance}%)")
+    if failures:
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
