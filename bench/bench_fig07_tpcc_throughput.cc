@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
                         [&](Worker& worker, uint32_t t, uint64_t) {
                           bool committed = false;
                           const TpccTxnType type = f.workload->RunOne(worker, rngs[t], &committed);
-                          return committed ? static_cast<int>(type) : -1;
+                          return committed ? static_cast<int>(type) : ~static_cast<int>(type);
                         });
       std::printf(" %8.3f", result.mtxn_per_s);
       std::fflush(stdout);

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
                         bool committed = false;
                         const TpccTxnType type = f.workload->RunOne(worker, rngs[t], &committed);
                         if (!committed) {
-                          return -1;
+                          return ~static_cast<int>(type);
                         }
                         latencies[t][type].Record(worker.ctx().sim_ns() - before);
                         return static_cast<int>(type);

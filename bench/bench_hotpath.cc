@@ -36,6 +36,8 @@ namespace {
 constexpr uint32_t kThreads = 8;
 constexpr uint64_t kKeysPerThread = 4096;
 constexpr uint32_t kTupleBytes = 64;
+// District rows per worker for batched new_order (see MakeFixture).
+constexpr uint64_t kDistrictSlots = 10;
 
 struct ScenarioResult {
   std::string name;
@@ -75,11 +77,12 @@ struct Fixture {
   TableId district = kInvalidTable;
 };
 
-Fixture MakeFixture(CcScheme scheme) {
+Fixture MakeFixture(CcScheme scheme, uint32_t batch_size = 1) {
   Fixture f;
   f.device = std::make_unique<NvmDevice>(1ull << 30);
   EngineConfig config = EngineConfig::Falcon(scheme);
   config.cache_geometry = CacheGeometry{.sets = 256, .ways = 16};
+  config.batch_size = batch_size;
   f.engine = std::make_unique<Engine>(f.device.get(), config, kThreads);
 
   const auto make_table = [&](const char* name) {
@@ -104,7 +107,14 @@ Fixture MakeFixture(CcScheme scheme) {
       std::exit(1);
     }
   }
-  for (uint64_t d = 0; d < kThreads; ++d) {
+  // The serial bodies pin one district row per thread. Batched execution
+  // keeps several sibling transactions live per worker, so each worker gets
+  // kDistrictSlots rows (picked by transaction index, like TPC-C's 10
+  // districts) — otherwise every sibling would collide on the one row and
+  // no-wait CC would abort the whole batch.
+  const uint64_t district_rows =
+      batch_size > 1 ? kThreads * kDistrictSlots : kThreads;
+  for (uint64_t d = 0; d < district_rows; ++d) {
     Txn txn = loader.Begin();
     (void)txn.Insert(f.district, d, row.data());
     if (txn.Commit() != Status::kOk) {
@@ -209,6 +219,287 @@ uint64_t RunNewOrder(const Fixture& f, Worker& w, uint32_t thread, uint64_t i,
     return 0;
   }
   return ops;
+}
+
+// ---- Batched scenario frames (FALCON_BATCH > 1) -----------------------------
+//
+// Each frame replays exactly the ops of the serial body above, one access
+// per Step(), so Worker::RunBatch can overlap one frame's NVM stalls with
+// sibling frames' compute. The serial bodies stay the measured path at
+// batch_size == 1 (and the CI device-counter pin runs that path).
+
+class HotFrame : public TxnFrame {
+ public:
+  HotFrame(const Fixture& f, uint32_t thread) : f_(f), thread_(thread) {}
+
+  void Reset(uint64_t i) {
+    i_ = i;
+    op_ = 0;
+    ops_done_ = 0;
+    set_result(0);
+  }
+  uint64_t ops_done() const { return ops_done_; }
+
+ protected:
+  bool FinishAborted() {
+    if (has_txn()) {
+      txn().Abort();
+      EndTxn();
+    }
+    set_result(~0);
+    return true;
+  }
+  bool FinishCommit(uint64_t ops) {
+    const Status s = txn().Commit();
+    EndTxn();
+    if (s != Status::kOk) {
+      set_result(~0);
+      return true;
+    }
+    ops_done_ = ops;
+    set_result(0);
+    return true;
+  }
+
+  const Fixture& f_;
+  uint32_t thread_;
+  uint64_t i_ = 0;
+  uint32_t op_ = 0;
+  uint64_t ops_done_ = 0;
+  std::byte buf_[kTupleBytes];
+};
+
+class ReadOnlyFrame final : public HotFrame {
+ public:
+  using HotFrame::HotFrame;
+  bool Step(Worker& w) override {
+    const uint64_t base = thread_ * kKeysPerThread;
+    if (op_ == 0) {
+      BeginTxn(w);
+    }
+    if (op_ < 16) {
+      const uint64_t key = base + (i_ * 17 + op_ * 131) % kKeysPerThread;
+      if (txn().Read(f_.stock, key, buf_) != Status::kOk) {
+        return FinishAborted();
+      }
+      ++op_;
+      return false;
+    }
+    return FinishCommit(16);
+  }
+};
+
+class UpdateHeavyFrame final : public HotFrame {
+ public:
+  using HotFrame::HotFrame;
+  bool Step(Worker& w) override {
+    const uint64_t base = thread_ * kKeysPerThread;
+    const uint64_t stamp = i_;
+    if (op_ == 0) {
+      BeginTxn(w);
+    }
+    if (op_ < 8) {
+      const uint64_t key = base + (i_ * 13 + op_ * 97) % kKeysPerThread;
+      if (txn().Read(f_.stock, key, buf_) != Status::kOk) {
+        return FinishAborted();
+      }
+      ++op_;
+      return false;
+    }
+    if (op_ < 24) {
+      const uint64_t j = op_ - 8;
+      const uint64_t key = base + (i_ * 29 + j * 61) % kKeysPerThread;
+      const uint32_t offset = static_cast<uint32_t>((j % 7) * 8);
+      if (txn().UpdatePartial(f_.stock, key, offset, 8, &stamp) != Status::kOk) {
+        return FinishAborted();
+      }
+      ++op_;
+      return false;
+    }
+    return FinishCommit(24);
+  }
+};
+
+class NewOrderHotFrame final : public HotFrame {
+ public:
+  using HotFrame::HotFrame;
+  bool Step(Worker& w) override {
+    const uint64_t base = thread_ * kKeysPerThread;
+    const uint64_t stamp = i_;
+    if (op_ == 0) {
+      // Per-transaction district slot: consecutive frame indices map to
+      // distinct rows, so in-flight siblings rarely contend (kDistrictSlots
+      // is coprime-ish with any sane batch size <= 8 consecutive indices).
+      const uint64_t district = thread_ * kDistrictSlots + i_ % kDistrictSlots;
+      Txn& txn = BeginTxn(w);
+      if (txn.Read(f_.district, district, buf_) != Status::kOk ||
+          txn.UpdatePartial(f_.district, district, 0, 8, &stamp) != Status::kOk) {
+        return FinishAborted();
+      }
+      ++op_;
+      return false;
+    }
+    if (op_ <= 15) {
+      const uint64_t line = op_ - 1;
+      const uint64_t key = base + (i_ * 37 + line * 211) % kKeysPerThread;
+      Txn& t = txn();
+      if (t.Read(f_.item, key, buf_) != Status::kOk ||
+          t.Read(f_.stock, key, buf_) != Status::kOk ||
+          t.UpdatePartial(f_.stock, key, 8 * (line % 6), 8, &stamp) != Status::kOk ||
+          t.Read(f_.stock, key, buf_) != Status::kOk) {  // read-own-write overlay
+        return FinishAborted();
+      }
+      ++op_;
+      return false;
+    }
+    return FinishCommit(62);
+  }
+};
+
+template <typename FrameT>
+class HotFrameSource final : public FrameSource {
+ public:
+  HotFrameSource(const Fixture& f, uint32_t thread, uint64_t txns, uint32_t batch,
+                 uint64_t* ops, uint64_t* aborts, Histogram* latencies)
+      : txns_(txns), ops_(ops), aborts_(aborts), latencies_(latencies) {
+    pool_.reserve(batch);
+    free_.reserve(batch);
+    for (uint32_t k = 0; k < batch; ++k) {
+      pool_.push_back(std::make_unique<FrameT>(f, thread));
+      free_.push_back(pool_.back().get());
+    }
+  }
+
+  TxnFrame* Next(Worker&) override {
+    if (next_i_ >= txns_ || free_.empty()) {
+      return nullptr;
+    }
+    FrameT* frame = free_.back();
+    free_.pop_back();
+    frame->Reset(next_i_++);
+    return frame;
+  }
+
+  void Done(Worker&, TxnFrame* frame, uint64_t begin_ns, uint64_t end_ns) override {
+    auto* f = static_cast<FrameT*>(frame);
+    if (f->result() >= 0) {
+      *ops_ += f->ops_done();
+      latencies_->Record(end_ns - begin_ns);
+    } else {
+      ++*aborts_;
+    }
+    free_.push_back(f);
+  }
+
+ private:
+  uint64_t txns_;
+  uint64_t next_i_ = 0;
+  uint64_t* ops_;
+  uint64_t* aborts_;
+  Histogram* latencies_;
+  std::vector<std::unique_ptr<FrameT>> pool_;
+  std::vector<FrameT*> free_;
+};
+
+enum class FrameKind { kReadOnly, kUpdateHeavy, kNewOrder };
+
+std::unique_ptr<FrameSource> MakeHotSource(FrameKind kind, const Fixture& f, uint32_t thread,
+                                           uint64_t txns, uint32_t batch, uint64_t* ops,
+                                           uint64_t* aborts, Histogram* latencies) {
+  switch (kind) {
+    case FrameKind::kReadOnly:
+      return std::make_unique<HotFrameSource<ReadOnlyFrame>>(f, thread, txns, batch, ops,
+                                                             aborts, latencies);
+    case FrameKind::kUpdateHeavy:
+      return std::make_unique<HotFrameSource<UpdateHeavyFrame>>(f, thread, txns, batch, ops,
+                                                                aborts, latencies);
+    case FrameKind::kNewOrder:
+      return std::make_unique<HotFrameSource<NewOrderHotFrame>>(f, thread, txns, batch, ops,
+                                                                aborts, latencies);
+  }
+  return nullptr;
+}
+
+ScenarioResult RunScenarioBatched(const char* name, CcScheme scheme, TxnBody body,
+                                  FrameKind kind, uint32_t threads, uint64_t txns_per_thread,
+                                  uint64_t warmup_per_thread, uint32_t batch) {
+  Fixture f = MakeFixture(scheme, batch);
+
+  // Warm up on the serial path (same bodies, same keys).
+  uint64_t warm_aborts = 0;
+  for (uint64_t i = 0; i < warmup_per_thread; ++i) {
+    for (uint32_t t = 0; t < threads; ++t) {
+      body(f, f.engine->worker(t), t, i, &warm_aborts);
+    }
+  }
+  QuiesceForMeasurement(f);
+  const MetricsSnapshot metrics_before = f.engine->SnapshotMetrics();
+
+  std::vector<uint64_t> ops(threads, 0);
+  std::vector<uint64_t> aborts(threads, 0);
+  std::vector<Histogram> latencies(threads);
+  const auto start = std::chrono::steady_clock::now();
+  if (threads == 1) {
+    auto source =
+        MakeHotSource(kind, f, 0, txns_per_thread, batch, &ops[0], &aborts[0], &latencies[0]);
+    f.engine->worker(0).RunBatch(batch, *source);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        auto source = MakeHotSource(kind, f, t, txns_per_thread, batch, &ops[t], &aborts[t],
+                                    &latencies[t]);
+        f.engine->worker(t).RunBatch(batch, *source);
+      });
+    }
+    for (auto& th : pool) {
+      th.join();
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  ScenarioResult r;
+  r.name = name;
+  r.scheme = SchemeName(scheme);
+  r.threads = threads;
+  r.txns = txns_per_thread * threads;
+  r.wall_s = std::chrono::duration<double>(end - start).count();
+  uint64_t total_ops = 0;
+  for (uint32_t t = 0; t < threads; ++t) {
+    total_ops += ops[t];
+    r.aborts += aborts[t];
+  }
+  const uint64_t commits = r.txns - r.aborts;
+  r.ops_per_txn = commits == 0 ? 0 : total_ops / std::max<uint64_t>(1, commits);
+  r.ns_per_txn = r.txns == 0 ? 0 : r.wall_s * 1e9 / static_cast<double>(r.txns);
+  r.ns_per_op = total_ops == 0 ? 0 : r.wall_s * 1e9 / static_cast<double>(total_ops);
+  r.commits_per_s = r.wall_s == 0 ? 0 : static_cast<double>(commits) / r.wall_s;
+  if (threads == 1) {
+    for (uint32_t t = 0; t < kThreads; ++t) {
+      f.engine->worker(t).ctx().cache().WritebackAll();
+    }
+    f.device->DrainAll();
+    r.device = f.device->stats();
+    r.has_device = true;
+    for (uint32_t t = 0; t < kThreads; ++t) {
+      const CacheStats& cs = f.engine->worker(t).ctx().cache().stats();
+      r.cache_hits += cs.hits;
+      r.cache_misses += cs.misses;
+    }
+  }
+  Histogram merged;
+  for (uint32_t t = 0; t < threads; ++t) {
+    merged.Merge(latencies[t]);
+  }
+  MaybeAppendMetricsJson(
+      BenchLabel("hotpath", std::string(name) + "/" + SchemeName(scheme), threads).c_str(),
+      DiffMetrics(metrics_before, f.engine->SnapshotMetrics()),
+      {SummarizeHistogram("all", merged)});
+  if (f.engine->tracing_enabled()) {
+    MaybeDumpPerfetto(f.engine->tracer(), "falcon_trace.json");
+  }
+  return r;
 }
 
 ScenarioResult RunScenario(const char* name, CcScheme scheme, TxnBody body, uint32_t threads,
@@ -372,19 +663,39 @@ int main(int argc, char** argv) {
     scale = 1;
   }
 
+  const uint32_t batch = BatchSizeFromEnv();
   std::vector<ScenarioResult> results;
-  results.push_back(
-      RunScenario("read_only", CcScheme::kOcc, RunReadOnly, 1, 60000 * scale, 5000));
-  results.push_back(
-      RunScenario("update_heavy", CcScheme::kOcc, RunUpdateHeavy, 1, 40000 * scale, 4000));
-  results.push_back(
-      RunScenario("update_heavy", CcScheme::kOcc, RunUpdateHeavy, kThreads, 20000 * scale, 2000));
-  results.push_back(
-      RunScenario("new_order", CcScheme::kOcc, RunNewOrder, 1, 20000 * scale, 2000));
-  results.push_back(
-      RunScenario("new_order", CcScheme::k2pl, RunNewOrder, 1, 20000 * scale, 2000));
-  results.push_back(
-      RunScenario("new_order", CcScheme::kTo, RunNewOrder, 1, 20000 * scale, 2000));
+  if (batch <= 1) {
+    results.push_back(
+        RunScenario("read_only", CcScheme::kOcc, RunReadOnly, 1, 60000 * scale, 5000));
+    results.push_back(
+        RunScenario("update_heavy", CcScheme::kOcc, RunUpdateHeavy, 1, 40000 * scale, 4000));
+    results.push_back(RunScenario("update_heavy", CcScheme::kOcc, RunUpdateHeavy, kThreads,
+                                  20000 * scale, 2000));
+    results.push_back(
+        RunScenario("new_order", CcScheme::kOcc, RunNewOrder, 1, 20000 * scale, 2000));
+    results.push_back(
+        RunScenario("new_order", CcScheme::k2pl, RunNewOrder, 1, 20000 * scale, 2000));
+    results.push_back(
+        RunScenario("new_order", CcScheme::kTo, RunNewOrder, 1, 20000 * scale, 2000));
+  } else {
+    std::printf("FALCON_BATCH=%u: batched execution path (frames via Worker::RunBatch)\n",
+                batch);
+    results.push_back(RunScenarioBatched("read_only", CcScheme::kOcc, RunReadOnly,
+                                         FrameKind::kReadOnly, 1, 60000 * scale, 5000, batch));
+    results.push_back(RunScenarioBatched("update_heavy", CcScheme::kOcc, RunUpdateHeavy,
+                                         FrameKind::kUpdateHeavy, 1, 40000 * scale, 4000,
+                                         batch));
+    results.push_back(RunScenarioBatched("update_heavy", CcScheme::kOcc, RunUpdateHeavy,
+                                         FrameKind::kUpdateHeavy, kThreads, 20000 * scale,
+                                         2000, batch));
+    results.push_back(RunScenarioBatched("new_order", CcScheme::kOcc, RunNewOrder,
+                                         FrameKind::kNewOrder, 1, 20000 * scale, 2000, batch));
+    results.push_back(RunScenarioBatched("new_order", CcScheme::k2pl, RunNewOrder,
+                                         FrameKind::kNewOrder, 1, 20000 * scale, 2000, batch));
+    results.push_back(RunScenarioBatched("new_order", CcScheme::kTo, RunNewOrder,
+                                         FrameKind::kNewOrder, 1, 20000 * scale, 2000, batch));
+  }
 
   for (const ScenarioResult& r : results) {
     PrintRow(r);

@@ -1,0 +1,108 @@
+#include "src/core/batch.h"
+
+#include <vector>
+
+#include "src/sim/batch_clock.h"
+
+namespace falcon {
+
+namespace {
+
+// RunBatch may unwind through a frame Step (TxnCrashed from the crash
+// injector); stall capture must not stay enabled on the worker afterwards.
+struct CaptureGuard {
+  ThreadContext& ctx;
+  explicit CaptureGuard(ThreadContext& c) : ctx(c) { ctx.EnableStallCapture(true); }
+  ~CaptureGuard() { ctx.EnableStallCapture(false); }
+};
+
+}  // namespace
+
+BatchRunStats Worker::RunBatch(uint32_t batch_size, FrameSource& source) {
+  if (batch_size == 0) {
+    batch_size = 1;
+  }
+  if (batch_size > 64) {
+    batch_size = 64;  // BatchClock::PickNext uses a 64-bit active mask
+  }
+
+  BatchClock clock(batch_size);
+  std::vector<TxnFrame*> frames(batch_size, nullptr);
+  std::vector<uint64_t> begin_ns(batch_size, 0);
+  std::vector<uint64_t> slices_run(batch_size, 0);
+  uint64_t active_mask = 0;
+  uint32_t active_count = 0;
+  BatchRunStats out;
+
+  CaptureGuard guard(ctx_);
+
+  for (uint32_t s = 0; s < batch_size; ++s) {
+    TxnFrame* f = source.Next(*this);
+    if (f == nullptr) {
+      break;
+    }
+    frames[s] = f;
+    clock.Admit(s);
+    begin_ns[s] = clock.FinishTime(s);
+    active_mask |= uint64_t{1} << s;
+    ++active_count;
+  }
+
+  uint32_t current = UINT32_MAX;
+  while (active_mask != 0) {
+    const uint32_t s = clock.PickNext(active_mask, current);
+    if (current != UINT32_MAX && s != current) {
+      ++out.switches;
+      if (trace_ != nullptr) {
+        trace_->Emit(TraceEventKind::kFrameSwitch, ctx_.sim_ns(), current, s);
+        if (slices_run[s] > 0) {
+          trace_->Emit(TraceEventKind::kFrameResume, ctx_.sim_ns(), s, slices_run[s]);
+        }
+      }
+    }
+    current = s;
+    if (trace_ != nullptr) {
+      trace_->set_current_txn(frames[s]->current_tid());
+    }
+    const bool done = frames[s]->Step(*this);
+    uint64_t compute = 0;
+    uint64_t stall = 0;
+    ctx_.TakeSlice(&compute, &stall);
+    clock.Account(s, compute, stall, active_count);
+    ++slices_run[s];
+    ++out.slices;
+    if (done) {
+      source.Done(*this, frames[s], begin_ns[s], clock.FinishTime(s));
+      ++out.frames;
+      frames[s] = nullptr;
+      TxnFrame* next = source.Next(*this);
+      if (next != nullptr) {
+        frames[s] = next;
+        clock.Admit(s);
+        begin_ns[s] = clock.FinishTime(s);
+        slices_run[s] = 0;
+      } else {
+        active_mask &= ~(uint64_t{1} << s);
+        --active_count;
+        current = UINT32_MAX;  // the slot is gone; the next pick is a switch
+      }
+    }
+  }
+
+  out.elapsed_ns = clock.Elapsed();
+  out.serial_ns = clock.SerialNs();
+  out.stall_ns = clock.StallNs();
+  out.hidden_stall_ns = clock.HiddenStallNs();
+  out.idle_ns = clock.IdleNs();
+  out.inflight_weighted_ns = clock.InflightWeightedNs();
+
+  stats_.batch_slices += out.slices;
+  stats_.batch_switches += out.switches;
+  stats_.batch_stall_ns += out.stall_ns;
+  stats_.batch_hidden_stall_ns += out.hidden_stall_ns;
+  stats_.batch_idle_ns += out.idle_ns;
+  stats_.batch_inflight_ns += out.inflight_weighted_ns;
+  return out;
+}
+
+}  // namespace falcon

@@ -1,0 +1,147 @@
+// Intra-worker batched transaction execution (ROADMAP: "batched /
+// interleaved transaction execution to hide NVM stalls").
+//
+// A TxnFrame is a hand-rolled resumable transaction: a state machine whose
+// Step() runs the transaction up to its next natural yield boundary and
+// returns true when the transaction has finished (committed or given up).
+// No C++20 coroutines in the engine core — frames are plain virtual
+// dispatch over explicit state, so they stay allocation-free and
+// crash-sweep deterministic.
+//
+// Worker::RunBatch keeps up to N frames in flight. After every Step it
+// drains the ThreadContext stall-capture slice (compute vs stall ns) and
+// feeds it to the BatchClock (src/sim/batch_clock.h), which schedules the
+// frames on one simulated core: a frame's NVM-miss or fence stall overlaps
+// sibling frames' compute, so the batch timeline is shorter than the serial
+// sum. Device busy time is never discounted — media occupancy accrues in
+// full exactly as in serial mode.
+//
+// Conflicts between in-flight siblings are safe by construction: every CC
+// scheme in src/cc/ is no-wait (TryLock failure aborts the requester), so a
+// frame blocked on a sibling's lock aborts-and-retries instead of waiting,
+// and a worker can never deadlock against itself. A retry slice charges
+// compute, which pushes the retrier's ready time past the holder's, so the
+// scheduler always lets the holder progress (no livelock).
+
+#ifndef SRC_CORE_BATCH_H_
+#define SRC_CORE_BATCH_H_
+
+#include <cassert>
+#include <cstdint>
+#include <new>
+
+#include "src/core/engine.h"
+
+namespace falcon {
+
+// Aggregate result of one Worker::RunBatch call, on the batch timeline.
+struct BatchRunStats {
+  uint64_t elapsed_ns = 0;       // overlap-aware batch timeline length
+  uint64_t serial_ns = 0;        // what the serial clock charged (sum)
+  uint64_t frames = 0;           // frames completed
+  uint64_t slices = 0;           // Step() calls accounted
+  uint64_t switches = 0;         // slices that resumed a different frame
+  uint64_t stall_ns = 0;         // total stall time charged
+  uint64_t hidden_stall_ns = 0;  // stall time overlapped by sibling compute
+  uint64_t idle_ns = 0;          // stall time nobody could cover
+  uint64_t inflight_weighted_ns = 0;  // ∫ active-frames dt (occupancy)
+};
+
+// A resumable transaction frame. Subclasses own their workload state
+// (pre-rolled keys, op index, retry counter) and drive one Txn through the
+// protected handle below. The frame, not the worker, owns the access-set
+// scratch arena, so several frames coexist on one worker.
+class TxnFrame {
+ public:
+  virtual ~TxnFrame() { DestroyTxn(); }
+
+  // Runs the transaction to its next yield boundary. Returns true when the
+  // frame is finished (no Txn left open). RunBatch calls Step repeatedly;
+  // between two Steps of the same frame, sibling frames may run.
+  virtual bool Step(Worker& worker) = 0;
+
+  // Workload-defined completion code (e.g. txn type, or ~type on abort).
+  int result() const { return result_; }
+
+  // TID of the open transaction, 0 if none (trace attribution).
+  uint64_t current_tid() const { return has_txn_ ? txn_ptr()->tid() : 0; }
+  bool has_txn() const { return has_txn_; }
+
+  // Crash-harness hook: drop the transaction handle WITHOUT rollback,
+  // mirroring what a power failure leaves behind. After a sibling frame
+  // throws TxnCrashed, the engine state must stay frozen; destroying a
+  // frame normally would roll its open transaction back.
+  void Freeze() {
+    if (has_txn_) {
+      txn_ptr()->active_ = false;
+      txn_ptr()->scratch_->in_use = false;
+      DestroyTxn();
+    }
+  }
+
+ protected:
+  TxnFrame() = default;
+  TxnFrame(const TxnFrame&) = delete;
+  TxnFrame& operator=(const TxnFrame&) = delete;
+
+  // Opens a transaction in this frame's storage. C++17 guaranteed elision
+  // constructs the (immovable) Txn directly in place.
+  Txn& BeginTxn(Worker& worker, bool read_only = false) {
+    assert(!has_txn_);
+    Txn* t = ::new (static_cast<void*>(storage_)) Txn(&worker, &scratch_, read_only);
+    has_txn_ = true;
+    return *t;
+  }
+
+  // Destroys the handle after Commit()/Abort() resolved it.
+  void EndTxn() { DestroyTxn(); }
+
+  Txn& txn() {
+    assert(has_txn_);
+    return *txn_ptr();
+  }
+
+  void set_result(int r) { result_ = r; }
+
+ private:
+  Txn* txn_ptr() const {
+    return const_cast<Txn*>(reinterpret_cast<const Txn*>(storage_));
+  }
+
+  void DestroyTxn() {
+    if (has_txn_) {
+      txn_ptr()->~Txn();
+      has_txn_ = false;
+    }
+  }
+
+  alignas(Txn) unsigned char storage_[sizeof(Txn)];
+  Txn::Scratch scratch_;
+  bool has_txn_ = false;
+  int result_ = 0;
+};
+
+// Supplies frames to Worker::RunBatch and takes them back when finished.
+// The source owns frame storage (it may recycle a fixed pool).
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+
+  // Next frame to admit, or nullptr when the workload is exhausted. The
+  // returned frame must be reset (no open Txn, fresh workload state).
+  virtual TxnFrame* Next(Worker& worker) = 0;
+
+  // `frame` finished (its last Step returned true). begin/end are on the
+  // batch timeline: admission time and the frame's last stall resolution.
+  virtual void Done(Worker& worker, TxnFrame* frame, uint64_t begin_ns,
+                    uint64_t end_ns) {
+    (void)worker;
+    (void)frame;
+    (void)begin_ns;
+    (void)end_ns;
+  }
+};
+
+}  // namespace falcon
+
+#endif  // SRC_CORE_BATCH_H_

@@ -59,8 +59,17 @@ struct EngineConfig {
   uint32_t large_log_slots = 64;
   uint64_t log_slot_bytes = kLogSlotBytes;
 
+  // In-flight transaction frames per worker (Worker::RunBatch). 1 = serial
+  // execution, the historical path.
+  uint32_t batch_size = 1;
+
   uint32_t EffectiveLogSlots() const {
-    return log_mode == LogMode::kSmallWindow ? log_window_slots : large_log_slots;
+    const uint32_t base =
+        log_mode == LogMode::kSmallWindow ? log_window_slots : large_log_slots;
+    // Every in-flight frame can hold one open slot, plus one so commit's
+    // slot release never blocks the window. batch_size = 1 never changes
+    // the base geometry (all presets have base >= 2).
+    return base > batch_size + 1 ? base : batch_size + 1;
   }
   size_t hot_tuple_capacity = kHotTupleCapacity;
   size_t tuple_cache_slots = 1 << 16;

@@ -38,11 +38,32 @@ Worker::Worker(Engine* engine, uint32_t id, PmOffset log_base)
   // version in the heap for recovery to find).
   const uint64_t slot_bytes =
       cfg.log_mode == LogMode::kNone ? kCacheLineSize * 8 : cfg.log_slot_bytes;
-  const uint32_t slots = cfg.log_mode == LogMode::kNone ? 4 : cfg.EffectiveLogSlots();
+  const uint32_t slots = cfg.log_mode == LogMode::kNone
+                             ? std::max(4u, cfg.batch_size + 1)
+                             : cfg.EffectiveLogSlots();
   log_ = std::make_unique<LogWindow>(&engine->arena(), log_base, slots, slot_bytes, flush_log);
 }
 
-Txn Worker::Begin(bool read_only) { return Txn(this, read_only); }
+Txn Worker::Begin(bool read_only) { return Txn(this, &scratch_, read_only); }
+
+void Worker::PublishTid(uint64_t tid) {
+  active_frame_tids_.push_back(tid);
+  engine_->active_tids_.Publish(id_, active_frame_tids_.front());
+}
+
+void Worker::RetireTid(uint64_t tid) {
+  for (size_t i = 0; i < active_frame_tids_.size(); ++i) {
+    if (active_frame_tids_[i] == tid) {
+      active_frame_tids_.erase(active_frame_tids_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (active_frame_tids_.empty()) {
+    engine_->active_tids_.Clear(id_);
+  } else {
+    engine_->active_tids_.Publish(id_, active_frame_tids_.front());
+  }
+}
 
 void Worker::ResetStats() {
   stats_ = WorkerStats{};
@@ -88,7 +109,9 @@ static uint64_t LogRegionBytes(const EngineConfig& cfg) {
   // Must mirror the Worker constructor's slot geometry.
   const uint64_t slot_bytes =
       cfg.log_mode == LogMode::kNone ? kCacheLineSize * 8 : cfg.log_slot_bytes;
-  const uint32_t slots = cfg.log_mode == LogMode::kNone ? 4 : cfg.EffectiveLogSlots();
+  const uint32_t slots = cfg.log_mode == LogMode::kNone
+                             ? std::max(4u, cfg.batch_size + 1)
+                             : cfg.EffectiveLogSlots();
   return LogWindow::RegionBytes(slots, slot_bytes);
 }
 
@@ -311,6 +334,12 @@ WorkerStats Engine::AggregateStats() const {
     for (size_t p = 0; p < kSimPhaseCount; ++p) {
       total.phase_ns[p] += ws.phase_ns[p];
     }
+    total.batch_slices += ws.batch_slices;
+    total.batch_switches += ws.batch_switches;
+    total.batch_stall_ns += ws.batch_stall_ns;
+    total.batch_hidden_stall_ns += ws.batch_hidden_stall_ns;
+    total.batch_idle_ns += ws.batch_idle_ns;
+    total.batch_inflight_ns += ws.batch_inflight_ns;
   }
   return total;
 }
@@ -348,6 +377,13 @@ MetricsSnapshot Engine::SnapshotMetrics() const {
     s.execute_ns += clock > instrumented ? clock - instrumented : 0;
     s.sim_ns_total += clock;
     s.sim_ns_max = std::max(s.sim_ns_max, clock);
+
+    s.batch_slices += ws.batch_slices;
+    s.batch_switches += ws.batch_switches;
+    s.batch_stall_ns += ws.batch_stall_ns;
+    s.batch_hidden_stall_ns += ws.batch_hidden_stall_ns;
+    s.batch_idle_ns += ws.batch_idle_ns;
+    s.batch_inflight_ns += ws.batch_inflight_ns;
 
     const HotTupleSetStats& hs = worker->hot_.stats();
     s.hot_hits += hs.hits;

@@ -180,6 +180,9 @@ struct RecoveryReport {
 
 class Engine;
 class Worker;
+class TxnFrame;
+class FrameSource;
+struct BatchRunStats;
 
 // A transaction handle. Not thread safe; lives on one worker.
 class Txn {
@@ -238,6 +241,7 @@ class Txn {
 
  private:
   friend class Worker;
+  friend class TxnFrame;
 
   struct ReadEntry {
     TupleHeader* header;
@@ -298,7 +302,10 @@ class Txn {
     }
   };
 
-  Txn(Worker* worker, bool read_only);
+  // `scratch` is the access-set arena the transaction runs on: the worker's
+  // own arena for serial execution, a frame's private arena for batched
+  // execution (several transactions in flight on one worker).
+  Txn(Worker* worker, Scratch* scratch, bool read_only);
 
   // Resolves key -> tuple offset via the table's index.
   PmOffset Lookup(TableId table, uint64_t key);
@@ -384,10 +391,12 @@ class Txn {
   void OverlayPendingWrites(PmOffset tuple, std::byte* buf, uint32_t data_size);
 
   Worker* worker_;
+  Scratch* scratch_;  // access-set arena this txn runs on
   uint64_t tid_;
   bool read_only_;
   bool active_ = true;
   bool slot_open_ = false;
+  LogCursor log_cursor_;  // open log slot handle (valid while slot_open_)
   // Simulated begin time, captured only when tracing (closes the txn span).
   uint64_t trace_begin_ns_ = 0;
   // Attribution for the next Abort(): failure sites stamp it via Fail();
@@ -406,6 +415,12 @@ class Worker {
  public:
   Txn Begin(bool read_only = false);
 
+  // Batched execution (src/core/batch.h): runs frames pulled from `source`
+  // with up to `batch_size` in flight, interleaving them at simulated stall
+  // boundaries on the overlap-aware BatchClock. batch_size = 1 degenerates
+  // to serial execution with identical device traffic.
+  BatchRunStats RunBatch(uint32_t batch_size, FrameSource& source);
+
   ThreadContext& ctx() { return ctx_; }
   uint32_t id() const { return id_; }
   Engine* engine() { return engine_; }
@@ -416,8 +431,16 @@ class Worker {
  private:
   friend class Engine;
   friend class Txn;
+  friend class TxnFrame;
 
   Worker(Engine* engine, uint32_t id, PmOffset log_base);
+
+  // Active-TID bookkeeping that tolerates several in-flight transactions on
+  // this worker. TIDs are handed out monotonically per worker, so the front
+  // of the list is always the oldest — the one the global table must
+  // publish for the GC horizon.
+  void PublishTid(uint64_t tid);
+  void RetireTid(uint64_t tid);
 
   // Wires this worker's flight-recorder ring through every emitter it owns.
   void set_trace(TraceRing* trace) {
@@ -433,7 +456,9 @@ class Worker {
   HotTupleSet hot_;
   VersionHeap versions_;
   WorkerStats stats_;
-  Txn::Scratch scratch_;  // reused access-set storage (one live txn at a time)
+  Txn::Scratch scratch_;  // reused access-set storage (one live serial txn)
+  // In-flight TIDs, oldest first (TIDs are per-worker monotone).
+  std::vector<uint64_t> active_frame_tids_;
   TraceRing* trace_ = nullptr;  // null = tracing disabled
 };
 

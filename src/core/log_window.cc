@@ -4,30 +4,44 @@
 
 namespace falcon {
 
-void LogWindow::OpenSlot(ThreadContext& ctx, uint64_t tid) {
-  cursor_ = (cursor_ + 1) % slots_;
-  ++stats_.slots_opened;
-  if (cursor_ == 0) {
-    ++stats_.wraps;
-    if (trace_ != nullptr) {
-      trace_->Emit(TraceEventKind::kLogWrap, ctx.sim_ns(), stats_.wraps, slots_);
+bool LogWindow::OpenSlot(ThreadContext& ctx, uint64_t tid, LogCursor& cursor) {
+  for (uint32_t probes = 0; probes < slots_; ++probes) {
+    cursor_ = (cursor_ + 1) % slots_;
+    if (cursor_ == 0) {
+      ++stats_.wraps;
+      if (trace_ != nullptr) {
+        trace_->Emit(TraceEventKind::kLogWrap, ctx.sim_ns(), stats_.wraps, slots_);
+      }
     }
+    LogSlotHeader* slot = SlotAt(cursor_);
+    // Plain host-side probe, not a modeled load: the worker owns this window
+    // and tracks slot states in its own cache. In-flight sibling frames may
+    // still hold slots kUncommitted; skip those.
+    if (static_cast<SlotState>(slot->state.load(std::memory_order_relaxed)) !=
+        SlotState::kFree) {
+      continue;
+    }
+    ++stats_.slots_opened;
+    cursor.slot = cursor_;
+    cursor.write_pos = 0;
+    slot->tid = tid;
+    slot->bytes = 0;
+    slot->entry_count = 0;
+    // State last: a torn crash before this store leaves the previous state
+    // (kFree), which recovery correctly ignores.
+    slot->state.store(static_cast<uint64_t>(SlotState::kUncommitted),
+                      std::memory_order_release);
+    ctx.TouchStore(slot, sizeof(LogSlotHeader));
+    return true;
   }
-  write_pos_ = 0;
-  LogSlotHeader* slot = current_slot();
-  slot->tid = tid;
-  slot->bytes = 0;
-  slot->entry_count = 0;
-  // State last: a torn crash before this store leaves the previous state
-  // (kFree), which recovery correctly ignores.
-  slot->state.store(static_cast<uint64_t>(SlotState::kUncommitted), std::memory_order_release);
-  ctx.TouchStore(slot, sizeof(LogSlotHeader));
+  return false;  // every slot held by an in-flight transaction
 }
 
-bool LogWindow::Append(ThreadContext& ctx, uint64_t table_id, uint64_t key, PmOffset tuple,
-                       LogOpKind kind, uint32_t offset, uint32_t len, const void* payload) {
+bool LogWindow::Append(ThreadContext& ctx, LogCursor& cursor, uint64_t table_id,
+                       uint64_t key, PmOffset tuple, LogOpKind kind, uint32_t offset,
+                       uint32_t len, const void* payload) {
   const uint64_t need = sizeof(LogEntryHeader) + len;
-  if (sizeof(LogSlotHeader) + write_pos_ + need > slot_bytes_) {
+  if (sizeof(LogSlotHeader) + cursor.write_pos + need > slot_bytes_) {
     ++stats_.append_overflows;
     if (trace_ != nullptr) {
       trace_->Emit(TraceEventKind::kLogOverflow, ctx.sim_ns(), need,
@@ -35,7 +49,8 @@ bool LogWindow::Append(ThreadContext& ctx, uint64_t table_id, uint64_t key, PmOf
     }
     return false;
   }
-  std::byte* dst = SlotPayload(current_slot()) + write_pos_;
+  LogSlotHeader* slot = SlotAt(cursor.slot);
+  std::byte* dst = SlotPayload(slot) + cursor.write_pos;
   LogEntryHeader entry;
   entry.table_id = table_id;
   entry.key = key;
@@ -47,21 +62,20 @@ bool LogWindow::Append(ThreadContext& ctx, uint64_t table_id, uint64_t key, PmOf
   if (len > 0) {
     ctx.Store(dst + sizeof(entry), payload, len);
   }
-  write_pos_ += need;
+  cursor.write_pos += need;
   ++stats_.appends;
   stats_.bytes_appended += need;
-  if (write_pos_ > stats_.payload_high_water) {
-    stats_.payload_high_water = write_pos_;
+  if (cursor.write_pos > stats_.payload_high_water) {
+    stats_.payload_high_water = cursor.write_pos;
   }
-  LogSlotHeader* slot = current_slot();
-  slot->bytes = write_pos_;
+  slot->bytes = cursor.write_pos;
   ++slot->entry_count;
   ctx.TouchStore(slot, sizeof(LogSlotHeader));
   return true;
 }
 
-void LogWindow::MarkCommitted(ThreadContext& ctx) {
-  LogSlotHeader* slot = current_slot();
+void LogWindow::MarkCommitted(ThreadContext& ctx, const LogCursor& cursor) {
+  LogSlotHeader* slot = SlotAt(cursor.slot);
   if (flush_to_nvm_) {
     // Conventional protocol: persist the log body, fence, then persist the
     // commit state. Two explicit NVM round trips per transaction — exactly
@@ -83,8 +97,8 @@ void LogWindow::MarkCommitted(ThreadContext& ctx) {
   }
 }
 
-void LogWindow::Release(ThreadContext& ctx) {
-  LogSlotHeader* slot = current_slot();
+void LogWindow::Release(ThreadContext& ctx, const LogCursor& cursor) {
+  LogSlotHeader* slot = SlotAt(cursor.slot);
   slot->state.store(static_cast<uint64_t>(SlotState::kFree), std::memory_order_release);
   ctx.TouchStore(slot, sizeof(uint64_t));
 }

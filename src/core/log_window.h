@@ -73,6 +73,15 @@ struct LogWindowStats {
   uint64_t payload_high_water = 0;  // max payload bytes seen in one slot
 };
 
+// Volatile handle to one open slot: which slot a transaction writes and how
+// many payload bytes it has appended there. Each in-flight transaction frame
+// owns its own cursor, so a batched worker can hold several slots open at
+// once; serial execution simply has one live cursor at a time.
+struct LogCursor {
+  uint32_t slot = 0;
+  uint64_t write_pos = 0;  // payload bytes appended in the open slot
+};
+
 // View over one thread's log region. The region itself is NVM (allocated at
 // engine creation and registered in the catalog); this class is a volatile
 // cursor over it.
@@ -93,30 +102,35 @@ class LogWindow {
     return static_cast<uint64_t>(slots) * slot_bytes;
   }
 
-  // Opens the next slot for a transaction: state <- kUncommitted, cursor
-  // reset. The previous occupant of the slot is long since applied (commit
-  // is synchronous), so reuse is safe.
-  void OpenSlot(ThreadContext& ctx, uint64_t tid);
+  // Opens the next free slot for a transaction: state <- kUncommitted,
+  // cursor filled in. Probes at most one full revolution starting after the
+  // last opened slot; returns false when every slot is held by an in-flight
+  // transaction (the caller aborts). Serial execution releases each slot
+  // before opening the next, so the first probe always succeeds and the
+  // rotation is byte-identical to the historical single-cursor path.
+  bool OpenSlot(ThreadContext& ctx, uint64_t tid, LogCursor& cursor);
 
   // Appends one redo entry; returns false if the slot cannot fit it (the
   // caller aborts the transaction — the paper's stated limitation §5.5 ①).
-  bool Append(ThreadContext& ctx, uint64_t table_id, uint64_t key, PmOffset tuple,
-              LogOpKind kind, uint32_t offset, uint32_t len, const void* payload);
+  bool Append(ThreadContext& ctx, LogCursor& cursor, uint64_t table_id, uint64_t key,
+              PmOffset tuple, LogOpKind kind, uint32_t offset, uint32_t len,
+              const void* payload);
 
   // Durably marks the slot committed. For flushed logs this issues
   // clwb+sfence over the written bytes first (the conventional protocol);
   // for window logs persistence comes from eADR and only an sfence is
   // needed for ordering (§4.3).
-  void MarkCommitted(ThreadContext& ctx);
+  void MarkCommitted(ThreadContext& ctx, const LogCursor& cursor);
 
   // Marks the slot free again (after apply, or on abort).
-  void Release(ThreadContext& ctx);
+  void Release(ThreadContext& ctx, const LogCursor& cursor);
 
   // Payload-relative offset where the next Append's value bytes will land
   // (call before Append; used for read-own-writes overlays).
-  uint64_t NextPayloadPos() const { return write_pos_ + sizeof(LogEntryHeader); }
+  static uint64_t NextPayloadPos(const LogCursor& cursor) {
+    return cursor.write_pos + sizeof(LogEntryHeader);
+  }
 
-  LogSlotHeader* current_slot() const { return SlotAt(cursor_); }
   uint32_t slot_count() const { return slots_; }
   uint64_t slot_bytes() const { return slot_bytes_; }
 
@@ -155,8 +169,7 @@ class LogWindow {
   uint32_t slots_;
   uint64_t slot_bytes_;
   bool flush_to_nvm_;
-  uint32_t cursor_ = 0;
-  uint64_t write_pos_ = 0;  // payload bytes appended in the open slot
+  uint32_t cursor_ = 0;  // last opened slot; OpenSlot probes from cursor_ + 1
   LogWindowStats stats_;
   TraceRing* trace_ = nullptr;
 };

@@ -19,22 +19,23 @@ inline uint64_t* PhaseAcc(WorkerStats& stats, SimPhase phase) {
 
 }  // namespace
 
-Txn::Txn(Worker* worker, bool read_only)
+Txn::Txn(Worker* worker, Scratch* scratch, bool read_only)
     : worker_(worker),
+      scratch_(scratch),
       read_only_(read_only),
-      read_set_(worker->scratch_.read_set),
-      write_set_(worker->scratch_.write_set),
-      locks_(worker->scratch_.locks),
-      amap_(worker->scratch_.amap) {
-  // One live transaction per worker: the access sets live in the worker's
-  // scratch arena, which Begin() recycles.
-  assert(!worker_->scratch_.in_use && "one active Txn per Worker");
-  worker_->scratch_.BeginTxn();
-  worker_->scratch_.in_use = true;
+      read_set_(scratch->read_set),
+      write_set_(scratch->write_set),
+      locks_(scratch->locks),
+      amap_(scratch->amap) {
+  // One live transaction per arena: serial execution recycles the worker's
+  // own scratch; batched frames each bring their own.
+  assert(!scratch_->in_use && "one active Txn per scratch arena");
+  scratch_->BeginTxn();
+  scratch_->in_use = true;
   Engine* engine = worker_->engine_;
   tid_ = engine->tid_gen_.Next(worker_->id_);
   // Publish before any access: the GC horizon must cover us (§5.4).
-  engine->active_tids_.Publish(worker_->id_, tid_);
+  worker_->PublishTid(tid_);
   worker_->ctx_.Work(engine->config().cost_params.txn_overhead_ns);
   if (TraceRing* tr = worker_->trace_; tr != nullptr) {
     tr->set_current_txn(tid_);
@@ -51,9 +52,10 @@ void Txn::MaybeCrash(CrashPoint point) {
   if (worker_->engine_->crash_.ConsumePoint(point)) {
     // Freeze the transaction: the exception unwinds through the Txn's
     // destructor, which must NOT roll back — a power failure leaves state
-    // exactly as-is, and that is what recovery is tested against.
+    // exactly as-is, and that is what recovery is tested against. The TID
+    // stays published on purpose (the frozen txn is still "in flight").
     active_ = false;
-    worker_->scratch_.in_use = false;
+    scratch_->in_use = false;
     throw TxnCrashed{point};
   }
 }
@@ -63,7 +65,7 @@ void Txn::CrashStep(CrashStepKind kind) {
   if (step != 0) {
     // Same freeze-in-place semantics as MaybeCrash: no rollback on unwind.
     active_ = false;
-    worker_->scratch_.in_use = false;
+    scratch_->in_use = false;
     if (TraceRing* tr = worker_->trace_; tr != nullptr) {
       tr->Emit(TraceEventKind::kCrashFired, worker_->ctx_.sim_ns(),
                static_cast<uint64_t>(kind), step);
@@ -158,7 +160,7 @@ Status Txn::ReadColumn(TableId table, uint64_t key, uint32_t column, void* out) 
   // simulated cost of the extra bytes is what distinguishes columnar access
   // patterns, and it is charged by Load() below either way. For the large
   // tuples used in §6.4 a stack buffer would not do; reuse a worker scratch.
-  std::vector<std::byte>& scratch = worker_->scratch_.column_buf;
+  std::vector<std::byte>& scratch = scratch_->column_buf;
   scratch.resize(meta.tuple_data_size);
   const Status s = Read(table, key, scratch.data());
   if (s != Status::kOk) {
@@ -429,7 +431,7 @@ void Txn::OverlayPendingWrites(PmOffset tuple, std::byte* buf, uint32_t data_siz
       // kInsert covers tombstone revival: the full image lives in the log
       // until apply, while the heap still holds the deleted tuple's bytes.
       const std::byte* payload =
-          LogWindow::SlotPayload(worker_->log_->current_slot()) + w.payload_pos;
+          LogWindow::SlotPayload(worker_->log_->SlotAt(log_cursor_.slot)) + w.payload_pos;
       std::memcpy(buf + w.offset, payload, w.len);
     }
   }
@@ -465,7 +467,11 @@ bool Txn::EnsureSlot() {
   if (slot_open_) {
     return true;
   }
-  worker_->log_->OpenSlot(worker_->ctx_, tid_);
+  // Can fail only when sibling in-flight frames hold every slot; the window
+  // is sized batch_size + 1 so this is an overload signal, not the norm.
+  if (!worker_->log_->OpenSlot(worker_->ctx_, tid_, log_cursor_)) {
+    return false;
+  }
   slot_open_ = true;
   return true;
 }
@@ -605,12 +611,13 @@ Status Txn::WriteIntent(TableId table, uint64_t key, LogOpKind kind, uint32_t of
     PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend),
                      worker_->trace_, SimPhase::kLogAppend);
     if (!EnsureSlot()) {
-      Fail(AbortReason::kOther);
+      Fail(AbortReason::kLogOverflow);
       Abort();
       return Status::kAborted;
     }
-    payload_pos = worker_->log_->NextPayloadPos();
-    if (!worker_->log_->Append(ctx, table, key, tuple, kind, offset, len, value)) {
+    payload_pos = LogWindow::NextPayloadPos(log_cursor_);
+    if (!worker_->log_->Append(ctx, log_cursor_, table, key, tuple, kind, offset, len,
+                               value)) {
       // Redo log larger than a window slot: the §5.5 limitation.
       Fail(AbortReason::kLogOverflow);
       Abort();
@@ -643,11 +650,12 @@ Status Txn::OutOfPlaceIntent(TableId table, uint64_t key, PmOffset tuple, LogOpK
       PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend),
                      worker_->trace_, SimPhase::kLogAppend);
       if (!EnsureSlot()) {
-        Fail(AbortReason::kOther);
+        Fail(AbortReason::kLogOverflow);
         Abort();
         return Status::kAborted;
       }
-      if (!worker_->log_->Append(ctx, table, key, tuple, kind, 0, 0, nullptr)) {
+      if (!worker_->log_->Append(ctx, log_cursor_, table, key, tuple, kind, 0, 0,
+                                 nullptr)) {
         Fail(AbortReason::kLogOverflow);
         Abort();
         return Status::kNoSpace;
@@ -770,13 +778,13 @@ Status Txn::Insert(TableId table, uint64_t key, const void* data) {
       PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend),
                      worker_->trace_, SimPhase::kLogAppend);
       if (!EnsureSlot()) {
-        Fail(AbortReason::kOther);
+        Fail(AbortReason::kLogOverflow);
         Abort();
         return Status::kAborted;
       }
-      payload_pos = worker_->log_->NextPayloadPos();
-      if (!worker_->log_->Append(ctx, table, key, existing, LogOpKind::kInsert, 0, data_size,
-                                 data)) {
+      payload_pos = LogWindow::NextPayloadPos(log_cursor_);
+      if (!worker_->log_->Append(ctx, log_cursor_, table, key, existing, LogOpKind::kInsert,
+                                 0, data_size, data)) {
         Fail(AbortReason::kLogOverflow);
         Abort();
         return Status::kNoSpace;
@@ -817,11 +825,13 @@ Status Txn::Insert(TableId table, uint64_t key, const void* data) {
     PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend),
                      worker_->trace_, SimPhase::kLogAppend);
     if (!EnsureSlot()) {
-      Fail(AbortReason::kOther);
+      heap.MarkDeleted(ctx, fresh, /*delete_tid=*/0);
+      Fail(AbortReason::kLogOverflow);
       Abort();
       return Status::kAborted;
     }
-    if (!worker_->log_->Append(ctx, table, key, fresh, LogOpKind::kInsert, 0, 0, nullptr)) {
+    if (!worker_->log_->Append(ctx, log_cursor_, table, key, fresh, LogOpKind::kInsert, 0, 0,
+                               nullptr)) {
       heap.MarkDeleted(ctx, fresh, /*delete_tid=*/0);
       Fail(AbortReason::kLogOverflow);
       Abort();
@@ -850,10 +860,10 @@ Status Txn::Scan(TableId table, uint64_t start_key, uint64_t end_key, size_t lim
     return Status::kAborted;
   }
   worker_->ctx_.Work(engine->config().cost_params.op_overhead_ns);
-  // Entry list and row buffer come from the worker scratch so repeated scans
-  // allocate nothing. A visitor that issues a nested Scan would alias the
-  // scratch, so nested scans fall back to local storage.
-  Scratch& scratch = worker_->scratch_;
+  // Entry list and row buffer come from the txn's scratch arena so repeated
+  // scans allocate nothing. A visitor that issues a nested Scan would alias
+  // the scratch, so nested scans fall back to local storage.
+  Scratch& scratch = *scratch_;
   const bool nested = scratch.scan_depth > 0;
   struct DepthGuard {
     uint32_t& depth;
@@ -915,8 +925,8 @@ Status Txn::Commit() {
   }
 
   active_ = false;
-  worker_->scratch_.in_use = false;
-  engine->active_tids_.Clear(worker_->id_);
+  scratch_->in_use = false;
+  worker_->RetireTid(tid_);
   ++worker_->stats_.commits;
 
   // Lazily maintain the persistent TID high-water mark (recovery floor).
@@ -995,7 +1005,7 @@ Status Txn::CommitInPlace() {
   if (write_set_.empty()) {
     ReleaseLocks();
     if (slot_open_) {
-      worker_->log_->Release(ctx);
+      worker_->log_->Release(ctx, log_cursor_);
     }
     return Status::kOk;
   }
@@ -1052,7 +1062,7 @@ Status Txn::CommitInPlace() {
   {
     PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush),
                      worker_->trace_, SimPhase::kCommitFlush);
-    worker_->log_->MarkCommitted(ctx);
+    worker_->log_->MarkCommitted(ctx, log_cursor_);
   }
 
   MaybeCrash(CrashPoint::kAfterCommitMark);
@@ -1079,7 +1089,7 @@ Status Txn::CommitInPlace() {
     switch (w.kind) {
       case LogOpKind::kUpdate: {
         const std::byte* payload =
-            LogWindow::SlotPayload(worker_->log_->current_slot()) + w.payload_pos;
+            LogWindow::SlotPayload(worker_->log_->SlotAt(log_cursor_.slot)) + w.payload_pos;
         ctx.Store(TupleData(header) + w.offset, payload, w.len);
         if (engine->tuple_cache_ != nullptr) {
           engine->tuple_cache_->Invalidate(ctx, w.table, w.key);
@@ -1090,7 +1100,7 @@ Status Txn::CommitInPlace() {
         if (w.len > 0) {
           // Tombstone revival: install the new image and clear the flag.
           const std::byte* payload =
-              LogWindow::SlotPayload(worker_->log_->current_slot()) + w.payload_pos;
+              LogWindow::SlotPayload(worker_->log_->SlotAt(log_cursor_.slot)) + w.payload_pos;
           ctx.Store(TupleData(header), payload, w.len);
           header->flags.fetch_and(~kTupleDeleted, std::memory_order_release);
           ctx.TouchStore(&header->flags, sizeof(uint64_t));
@@ -1165,7 +1175,7 @@ Status Txn::CommitInPlace() {
     CrashStep(CrashStepKind::kSlotRelease);
     PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush),
                      worker_->trace_, SimPhase::kCommitFlush);
-    worker_->log_->Release(ctx);
+    worker_->log_->Release(ctx, log_cursor_);
   }
   return Status::kOk;
 }
@@ -1259,7 +1269,11 @@ Status Txn::CommitOutOfPlace() {
   // protocol (Zen-style). Versions become "committed" when either their
   // flag is set or this record names their TID.
   if (!slot_open_) {
-    worker_->log_->OpenSlot(ctx, tid_);
+    if (!worker_->log_->OpenSlot(ctx, tid_, log_cursor_)) {
+      Fail(AbortReason::kLogOverflow);
+      Abort();
+      return Status::kAborted;
+    }
     slot_open_ = true;
   }
 
@@ -1269,7 +1283,7 @@ Status Txn::CommitOutOfPlace() {
   {
     PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush),
                      worker_->trace_, SimPhase::kCommitFlush);
-    worker_->log_->MarkCommitted(ctx);
+    worker_->log_->MarkCommitted(ctx, log_cursor_);
   }
 
   MaybeCrash(CrashPoint::kAfterCommitMark);
@@ -1361,7 +1375,7 @@ Status Txn::CommitOutOfPlace() {
     CrashStep(CrashStepKind::kSlotRelease);
     PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush),
                      worker_->trace_, SimPhase::kCommitFlush);
-    worker_->log_->Release(ctx);
+    worker_->log_->Release(ctx, log_cursor_);
   }
   return Status::kOk;
 }
@@ -1422,11 +1436,11 @@ void Txn::Abort() {
   }
   ReleaseLocks();
   if (slot_open_) {
-    worker_->log_->Release(ctx);
+    worker_->log_->Release(ctx, log_cursor_);
   }
   active_ = false;
-  worker_->scratch_.in_use = false;
-  engine->active_tids_.Clear(worker_->id_);
+  scratch_->in_use = false;
+  worker_->RetireTid(tid_);
   ++worker_->stats_.txn_aborts;
   ++worker_->stats_.aborts_by_reason[static_cast<size_t>(next_abort_reason_)];
   if (TraceRing* tr = worker_->trace_; tr != nullptr) {

@@ -26,6 +26,12 @@ namespace {
   X(version_gc_ns, kCounter)               \
   X(sim_ns_total, kCounter)                \
   X(sim_ns_max, kCounter)                  \
+  X(batch_slices, kCounter)                \
+  X(batch_switches, kCounter)              \
+  X(batch_stall_ns, kCounter)              \
+  X(batch_hidden_stall_ns, kCounter)       \
+  X(batch_idle_ns, kCounter)               \
+  X(batch_inflight_ns, kCounter)           \
   X(hot_hits, kCounter)                    \
   X(hot_misses, kCounter)                  \
   X(hot_evictions, kCounter)               \
@@ -225,6 +231,8 @@ std::string MetricsJsonLine(const char* label, const MetricsSnapshot& snapshot,
       AppendJsonEscaped(&out, s.name.c_str());
       out += "\":{\"count\":";
       AppendU64(&out, s.count);
+      out += ",\"aborts\":";
+      AppendU64(&out, s.aborts);
       out += ",\"p50_ns\":";
       AppendU64(&out, s.p50_ns);
       out += ",\"p95_ns\":";

@@ -101,6 +101,13 @@ struct WorkerStats {
   uint64_t aborts_by_reason[kAbortReasonCount] = {};
   // Simulated ns by phase; [kExecute] is filled in at snapshot time.
   uint64_t phase_ns[kSimPhaseCount] = {};
+  // Batched execution (Worker::RunBatch); all zero on the serial path.
+  uint64_t batch_slices = 0;       // frame steps accounted on the BatchClock
+  uint64_t batch_switches = 0;     // steps that resumed a different frame
+  uint64_t batch_stall_ns = 0;     // stall time charged (hidden or not)
+  uint64_t batch_hidden_stall_ns = 0;  // stall overlapped by sibling compute
+  uint64_t batch_idle_ns = 0;      // stall time no sibling could cover
+  uint64_t batch_inflight_ns = 0;  // ∫ active-frames dt (occupancy weight)
 };
 
 // Accumulates the simulated-time delta of its scope into a phase counter.
@@ -152,6 +159,15 @@ struct MetricsSnapshot {
   uint64_t version_gc_ns = 0;
   uint64_t sim_ns_total = 0;  // sum of worker clocks
   uint64_t sim_ns_max = 0;    // slowest worker clock (drives sim_seconds)
+
+  // Batched execution (Worker::RunBatch), summed over workers. Zero unless
+  // a batch ran; hidden_stall accounts for the batch-vs-serial speedup.
+  uint64_t batch_slices = 0;
+  uint64_t batch_switches = 0;
+  uint64_t batch_stall_ns = 0;
+  uint64_t batch_hidden_stall_ns = 0;
+  uint64_t batch_idle_ns = 0;
+  uint64_t batch_inflight_ns = 0;
 
   // Hot tuple tracking (D2), summed over workers.
   uint64_t hot_hits = 0;
@@ -222,9 +238,13 @@ inline uint64_t MetricValue(const MetricsSnapshot& snapshot, const MetricField& 
 MetricsSnapshot DiffMetrics(const MetricsSnapshot& before, const MetricsSnapshot& after);
 
 // Percentile summary of one latency histogram (per txn type, or "all").
+// `aborts` counts failed attempts of the same type — latencies are recorded
+// for committed attempts only, so the abort count rides alongside rather
+// than inside the histogram.
 struct LatencySummary {
   std::string name;
   uint64_t count = 0;
+  uint64_t aborts = 0;
   uint64_t p50_ns = 0;
   uint64_t p95_ns = 0;
   uint64_t p99_ns = 0;
@@ -245,8 +265,9 @@ inline LatencySummary SummarizeHistogram(std::string name, const Histogram& hist
 }
 
 // Bumped whenever the metrics JSON shape changes. v2 added schema_version
-// itself, full label escaping, and the optional "latency" section.
-inline constexpr int kMetricsSchemaVersion = 2;
+// itself, full label escaping, and the optional "latency" section. v3 added
+// the batch_* metrics and the per-type "aborts" count in "latency".
+inline constexpr int kMetricsSchemaVersion = 3;
 
 // Normalizes one path segment of a metrics label: every character outside
 // [A-Za-z0-9._-] becomes '_', runs collapse, edges are trimmed. Keeps

@@ -56,6 +56,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kLogOverflow: return "log_overflow";
     case TraceEventKind::kCacheFlush: return "cache_flush";
     case TraceEventKind::kCrashFired: return "crash_fired";
+    case TraceEventKind::kFrameSwitch: return "frame_switch";
+    case TraceEventKind::kFrameResume: return "frame_resume";
   }
   return "?";
 }
@@ -224,6 +226,12 @@ void Tracer::DumpFlightRecorder(std::FILE* out, size_t last_n) const {
           break;
         case TraceEventKind::kCrashFired:
           std::fprintf(out, "kind=%s step=%" PRIu64, CrashKindName(e.a), e.b);
+          break;
+        case TraceEventKind::kFrameSwitch:
+          std::fprintf(out, "slot %" PRIu64 " -> %" PRIu64, e.a, e.b);
+          break;
+        case TraceEventKind::kFrameResume:
+          std::fprintf(out, "slot=%" PRIu64 " slice=%" PRIu64, e.a, e.b);
           break;
         default:
           std::fprintf(out, "a=%" PRIu64 " b=%" PRIu64, e.a, e.b);

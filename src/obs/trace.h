@@ -63,8 +63,10 @@ enum class TraceEventKind : uint32_t {
   kLogOverflow,   // a = bytes needed, b = slot payload capacity
   kCacheFlush,    // a = lines written back (SemanticCache), b = charged ns
   kCrashFired,    // a = CrashStepKind, b = 1-based step ordinal
+  kFrameSwitch,   // a = from slot, b = to slot (batched execution)
+  kFrameResume,   // a = slot resumed, b = slices this frame has run
 };
-inline constexpr size_t kTraceEventKindCount = 15;
+inline constexpr size_t kTraceEventKindCount = 17;
 
 const char* TraceEventKindName(TraceEventKind kind);
 
@@ -119,6 +121,14 @@ class TraceRing {
   void set_current_txn(uint64_t tid) { current_txn_ = tid; }
   uint64_t current_txn() const { return current_txn_; }
 
+  // Discards all retained events (measured-window reset: benchmark runners
+  // clear the rings after warmup so dumps contain no load-phase events).
+  // Only valid while the owning thread is quiesced.
+  void Clear() {
+    head_.store(0, std::memory_order_release);
+    current_txn_ = 0;
+  }
+
   uint32_t thread() const { return thread_; }
   size_t capacity() const { return events_.size(); }
   // Events emitted over the ring's lifetime (>= capacity means wrapped).
@@ -168,6 +178,13 @@ class Tracer {
 
   bool enabled() const { return !rings_.empty(); }
   uint32_t thread_count() const { return static_cast<uint32_t>(rings_.size()); }
+
+  // Clears every ring (see TraceRing::Clear). All writers must be quiesced.
+  void ClearAll() {
+    for (auto& ring : rings_) {
+      ring->Clear();
+    }
+  }
   TraceRing* ring(uint32_t thread) { return rings_[thread].get(); }
   const TraceRing* ring(uint32_t thread) const { return rings_[thread].get(); }
 

@@ -54,26 +54,30 @@ class ThreadContext {
   Rng& rng() { return rng_; }
 
   // Copies `len` bytes from `src` to `dst` and charges store cost for the
-  // destination lines.
+  // destination lines. Store issue is bandwidth-like (fire-and-forget into
+  // the store buffer), so it counts as compute for stall capture.
   void Store(void* dst, const void* src, size_t len) {
     std::memcpy(dst, src, len);
-    sim_ns_ += cache_.OnStore(reinterpret_cast<uintptr_t>(dst), len);
+    Charge(cache_.OnStore(reinterpret_cast<uintptr_t>(dst), len), /*stall=*/false);
   }
 
   // Writes an 8-byte value with release semantics (for persistent state
   // flags read by recovery and by concurrent readers).
   void StoreRelease64(uint64_t* dst, uint64_t value) {
     reinterpret_cast<std::atomic<uint64_t>*>(dst)->store(value, std::memory_order_release);
-    sim_ns_ += cache_.OnStore(reinterpret_cast<uintptr_t>(dst), sizeof(uint64_t));
+    Charge(cache_.OnStore(reinterpret_cast<uintptr_t>(dst), sizeof(uint64_t)),
+           /*stall=*/false);
   }
 
   // Copies `len` bytes from `src` to `dst` and charges load cost for the
-  // source lines.
+  // source lines. A load that misses to DRAM or NVM is a dependent stall:
+  // the core has nothing to do until the line arrives.
   void Load(void* dst, const void* src, size_t len) {
     std::memcpy(dst, src, len);
     const uint64_t cost = cache_.OnLoad(reinterpret_cast<uintptr_t>(src), len);
-    sim_ns_ += cost;
-    if (trace_ != nullptr && cost >= params_.dram_miss_ns) {
+    const bool stall = cost >= params_.dram_miss_ns;
+    Charge(cost, stall);
+    if (trace_ != nullptr && stall) {
       EmitStall(TraceEventKind::kReadStall, src, cost);
     }
   }
@@ -82,33 +86,60 @@ class ThreadContext {
   // reads through a typed pointer).
   void TouchLoad(const void* src, size_t len) {
     const uint64_t cost = cache_.OnLoad(reinterpret_cast<uintptr_t>(src), len);
-    sim_ns_ += cost;
-    if (trace_ != nullptr && cost >= params_.dram_miss_ns) {
+    const bool stall = cost >= params_.dram_miss_ns;
+    Charge(cost, stall);
+    if (trace_ != nullptr && stall) {
       EmitStall(TraceEventKind::kReadStall, src, cost);
     }
   }
 
   // Charges store cost without copying (caller already wrote, e.g. via CAS).
   void TouchStore(const void* dst, size_t len) {
-    sim_ns_ += cache_.OnStore(reinterpret_cast<uintptr_t>(dst), len);
+    Charge(cache_.OnStore(reinterpret_cast<uintptr_t>(dst), len), /*stall=*/false);
   }
 
-  // Issues clwb over [addr, addr+len).
+  // Issues clwb over [addr, addr+len). Clwb issue itself is asynchronous
+  // (the drain wait is the following sfence), so it counts as compute.
   void Clwb(const void* addr, size_t len) {
     const uint64_t cost = cache_.Clwb(reinterpret_cast<uintptr_t>(addr), len);
-    sim_ns_ += cost;
+    Charge(cost, /*stall=*/false);
     if (trace_ != nullptr && cost > 0) {
       EmitStall(TraceEventKind::kFlushStall, addr, cost);
     }
   }
 
-  void Sfence() { sim_ns_ += cache_.Sfence(); }
+  // The fence waits for outstanding flushes/stores to drain: a stall.
+  void Sfence() { Charge(cache_.Sfence(), /*stall=*/true); }
 
   // Charges fixed CPU work (parsing, hashing, ...) to the simulated clock.
-  void Work(uint64_t ns) { sim_ns_ += ns; }
+  void Work(uint64_t ns) { Charge(ns, /*stall=*/false); }
 
   // Resets the simulated clock (benchmark warmup boundaries).
   void ResetClock() { sim_ns_ = 0; }
+
+  // --- Stall capture (batched execution) ---------------------------------
+  //
+  // When enabled, every cost charged to the clock is also classified as
+  // either compute (the core is busy) or stall (the core waits on the memory
+  // system: a DRAM/NVM miss or a fence drain) and accumulated into a slice.
+  // Worker::RunBatch drains the slice after each frame step and feeds it to
+  // the overlap-aware BatchClock. Disabled (the default) this costs one
+  // predictable branch per primitive; sim_ns_ itself always advances by the
+  // full cost either way, so the serial clock is unaffected.
+  void EnableStallCapture(bool on) {
+    capture_ = on;
+    slice_compute_ns_ = 0;
+    slice_stall_ns_ = 0;
+  }
+  bool stall_capture_enabled() const { return capture_; }
+
+  // Returns and zeroes the accumulated slice.
+  void TakeSlice(uint64_t* compute_ns, uint64_t* stall_ns) {
+    *compute_ns = slice_compute_ns_;
+    *stall_ns = slice_stall_ns_;
+    slice_compute_ns_ = 0;
+    slice_stall_ns_ = 0;
+  }
 
   // Flight-recorder ring for this thread (null = tracing disabled, which
   // costs one predictable branch per primitive). Trace emission charges no
@@ -118,6 +149,15 @@ class ThreadContext {
   TraceRing* trace() const { return trace_; }
 
  private:
+  // Single funnel for every cost charged to the clock: advances sim_ns_ and,
+  // when capture is on, banks the cost into the current slice by class.
+  void Charge(uint64_t cost, bool stall) {
+    sim_ns_ += cost;
+    if (capture_) {
+      (stall ? slice_stall_ns_ : slice_compute_ns_) += cost;
+    }
+  }
+
   void EmitStall(TraceEventKind kind, const void* addr, uint64_t cost) {
     const MediaRegion region =
         device_ != nullptr ? device_->RegionOfAddr(addr) : kRegionOther;
@@ -132,6 +172,9 @@ class ThreadContext {
   uint64_t sim_ns_ = 0;
   Rng rng_;
   TraceRing* trace_ = nullptr;
+  bool capture_ = false;
+  uint64_t slice_compute_ns_ = 0;
+  uint64_t slice_stall_ns_ = 0;
 };
 
 }  // namespace falcon

@@ -13,15 +13,33 @@
 #define SRC_WORKLOAD_BENCH_RUNNER_H_
 
 #include <atomic>
+#include <cstdlib>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/core/batch.h"
 #include "src/core/engine.h"
 
 namespace falcon {
+
+// FALCON_BATCH: in-flight transactions per worker for batch-aware bench
+// binaries. Unset/0/1 selects the serial path; values are clamped to
+// Worker::RunBatch's 64-frame ceiling.
+inline uint32_t BatchSizeFromEnv() {
+  const char* v = std::getenv("FALCON_BATCH");
+  if (v == nullptr || v[0] == '\0') {
+    return 1;
+  }
+  const unsigned long long parsed = std::strtoull(v, nullptr, 10);
+  if (parsed <= 1) {
+    return 1;
+  }
+  return parsed > 64 ? 64u : static_cast<uint32_t>(parsed);
+}
 
 struct BenchResult {
   uint64_t commits = 0;
@@ -55,10 +73,11 @@ struct BenchResult {
 // Runs `txns_per_thread` transactions on each of `threads` workers.
 // `run_txn(worker, thread_id, i)` returns the committed transaction's type
 // index into `type_names` (a value past the end still counts as a commit but
-// lands only in the "all" histogram), or a negative value on abort. Worker
-// clocks and device stats are reset before the run. When tracing is enabled
-// on the engine, a Perfetto dump is written at the end of the run (see
-// MaybeDumpPerfetto).
+// lands only in the "all" histogram), or a negative value on abort. An abort
+// return of ~type (bitwise NOT, so type 0 aborts as -1) attributes the abort
+// to that type's latency summary. Worker clocks and device stats are reset
+// before the run. When tracing is enabled on the engine, a Perfetto dump is
+// written at the end of the run (see MaybeDumpPerfetto).
 inline BenchResult RunBenchTyped(
     Engine& engine, uint32_t threads, uint64_t txns_per_thread,
     const std::vector<std::string>& type_names,
@@ -66,10 +85,14 @@ inline BenchResult RunBenchTyped(
   NvmDevice& device = *engine.device();
   // Start from a quiescent state: dirty lines left by loading (e.g. index
   // buckets that selective-flush engines never clwb) belong to the load
-  // phase, not the measured window.
+  // phase, not the measured window. Trace rings reset with the stats so a
+  // Perfetto dump never contains load-phase events.
   for (uint32_t t = 0; t < threads; ++t) {
     engine.worker(t).ctx().cache().WritebackAll();
     engine.worker(t).ResetStats();
+  }
+  if (engine.tracing_enabled()) {
+    engine.tracer().ClearAll();
   }
   device.DrainAll();
   device.ResetStats();
@@ -86,6 +109,8 @@ inline BenchResult RunBenchTyped(
   // [thread][type], merged after the join like the "all" histograms.
   std::vector<std::vector<Histogram>> typed_latencies(threads,
                                                       std::vector<Histogram>(types));
+  std::vector<std::vector<uint64_t>> typed_aborts(threads,
+                                                  std::vector<uint64_t>(types, 0));
   pool.reserve(threads);
   for (uint32_t t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
@@ -94,24 +119,30 @@ inline BenchResult RunBenchTyped(
       uint64_t local_aborts = 0;
       Histogram local_latencies;
       std::vector<Histogram> local_typed(types);
+      std::vector<uint64_t> local_typed_aborts(types, 0);
       for (uint64_t i = 0; i < txns_per_thread; ++i) {
-        const uint64_t before = worker.ctx().sim_ns();
+        const uint64_t txn_start = worker.ctx().sim_ns();
         const int type = run_txn(worker, t, i);
         if (type >= 0) {
           ++local_commits;
-          const uint64_t lat = worker.ctx().sim_ns() - before;
+          const uint64_t lat = worker.ctx().sim_ns() - txn_start;
           local_latencies.Record(lat);
           if (static_cast<size_t>(type) < types) {
             local_typed[static_cast<size_t>(type)].Record(lat);
           }
         } else {
           ++local_aborts;
+          // ~type recovers the attempted type from the abort return.
+          if (static_cast<size_t>(~type) < types) {
+            ++local_typed_aborts[static_cast<size_t>(~type)];
+          }
         }
       }
       commits[t] = local_commits;
       aborts[t] = local_aborts;
       latencies[t] = local_latencies;
       typed_latencies[t] = std::move(local_typed);
+      typed_aborts[t] = std::move(local_typed_aborts);
     });
   }
   for (auto& th : pool) {
@@ -151,12 +182,16 @@ inline BenchResult RunBenchTyped(
   result.p95_ns = merged.Percentile(95);
 
   result.latency.push_back(SummarizeHistogram("all", merged));
+  result.latency.back().aborts = result.attempt_aborts;
   for (size_t k = 0; k < types; ++k) {
     Histogram h;
+    uint64_t k_aborts = 0;
     for (uint32_t t = 0; t < threads; ++t) {
       h.Merge(typed_latencies[t][k]);
+      k_aborts += typed_aborts[t][k];
     }
     result.latency.push_back(SummarizeHistogram(type_names[k], h));
+    result.latency.back().aborts = k_aborts;
   }
 
   if (engine.tracing_enabled()) {
@@ -174,6 +209,155 @@ inline BenchResult RunBench(
                        [&run_txn](Worker& worker, uint32_t t, uint64_t i) {
                          return run_txn(worker, t, i) ? 0 : -1;
                        });
+}
+
+namespace bench_internal {
+
+// Wraps a workload FrameSource to tally commits/aborts/latencies from each
+// finished frame's result() (>= 0: committed type; < 0: ~type abort).
+// Latencies are measured on the batch timeline (admission to finish).
+class TallyingFrameSource final : public FrameSource {
+ public:
+  TallyingFrameSource(FrameSource& inner, size_t types)
+      : typed_latencies(types), typed_aborts(types, 0), inner_(inner) {}
+
+  TxnFrame* Next(Worker& worker) override { return inner_.Next(worker); }
+
+  void Done(Worker& worker, TxnFrame* frame, uint64_t begin_ns, uint64_t end_ns) override {
+    const int r = frame->result();
+    if (r >= 0) {
+      ++commits;
+      latencies.Record(end_ns - begin_ns);
+      if (static_cast<size_t>(r) < typed_latencies.size()) {
+        typed_latencies[static_cast<size_t>(r)].Record(end_ns - begin_ns);
+      }
+    } else {
+      ++aborts;
+      if (static_cast<size_t>(~r) < typed_aborts.size()) {
+        ++typed_aborts[static_cast<size_t>(~r)];
+      }
+    }
+    inner_.Done(worker, frame, begin_ns, end_ns);
+  }
+
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  Histogram latencies;
+  std::vector<Histogram> typed_latencies;
+  std::vector<uint64_t> typed_aborts;
+
+ private:
+  FrameSource& inner_;
+};
+
+}  // namespace bench_internal
+
+// Batched counterpart of RunBenchTyped: each worker drives its FrameSource
+// through Worker::RunBatch with `batch_size` transactions in flight, so NVM
+// stalls overlap sibling compute. `make_source(worker, thread)` builds the
+// per-thread source (which bounds its own transaction count).
+//
+// Throughput uses the overlap-aware batch timeline: the elapsed time of a
+// run is max(slowest worker's BatchRunStats::elapsed_ns, device busy time /
+// channels) — device service time is never discounted by the overlap.
+inline BenchResult RunBenchBatchedTyped(
+    Engine& engine, uint32_t threads, uint32_t batch_size,
+    const std::vector<std::string>& type_names,
+    const std::function<std::unique_ptr<FrameSource>(Worker&, uint32_t)>& make_source) {
+  NvmDevice& device = *engine.device();
+  for (uint32_t t = 0; t < threads; ++t) {
+    engine.worker(t).ctx().cache().WritebackAll();
+    engine.worker(t).ResetStats();
+  }
+  if (engine.tracing_enabled()) {
+    engine.tracer().ClearAll();
+  }
+  device.DrainAll();
+  device.ResetStats();
+  const MetricsSnapshot before = engine.SnapshotMetrics();
+
+  const size_t types = type_names.size();
+  std::vector<std::thread> pool;
+  std::vector<uint64_t> commits(threads, 0);
+  std::vector<uint64_t> aborts(threads, 0);
+  std::vector<uint64_t> elapsed(threads, 0);
+  std::vector<Histogram> latencies(threads);
+  std::vector<std::vector<Histogram>> typed_latencies(threads,
+                                                      std::vector<Histogram>(types));
+  std::vector<std::vector<uint64_t>> typed_aborts(threads,
+                                                  std::vector<uint64_t>(types, 0));
+  pool.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      Worker& worker = engine.worker(t);
+      std::unique_ptr<FrameSource> source = make_source(worker, t);
+      bench_internal::TallyingFrameSource tally(*source, types);
+      const BatchRunStats stats = worker.RunBatch(batch_size, tally);
+      commits[t] = tally.commits;
+      aborts[t] = tally.aborts;
+      elapsed[t] = stats.elapsed_ns;
+      latencies[t] = std::move(tally.latencies);
+      typed_latencies[t] = std::move(tally.typed_latencies);
+      typed_aborts[t] = std::move(tally.typed_aborts);
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+  for (uint32_t t = 0; t < threads; ++t) {
+    engine.worker(t).ctx().cache().WritebackAll();
+  }
+  device.DrainAll();
+
+  BenchResult result;
+  result.metrics = DiffMetrics(before, engine.SnapshotMetrics());
+  result.txn_aborts = result.metrics.txn_aborts;
+  uint64_t max_ns = 0;
+  Histogram merged;
+  for (uint32_t t = 0; t < threads; ++t) {
+    result.commits += commits[t];
+    result.attempt_aborts += aborts[t];
+    max_ns = std::max(max_ns, elapsed[t]);
+    merged.Merge(latencies[t]);
+  }
+  result.device = device.stats();
+  result.write_amp = result.device.WriteAmplification();
+
+  const uint32_t channels =
+      std::min<uint32_t>(engine.config().cost_params.device_channels, threads);
+  const double device_s =
+      static_cast<double>(result.device.busy_ns) / std::max(1u, channels) / 1e9;
+  result.sim_seconds = std::max(static_cast<double>(max_ns) / 1e9, device_s);
+  if (result.sim_seconds > 0) {
+    result.mtxn_per_s = static_cast<double>(result.commits) / result.sim_seconds / 1e6;
+  }
+  result.avg_us = merged.Mean() / 1000.0;
+  result.p95_ns = merged.Percentile(95);
+
+  result.latency.push_back(SummarizeHistogram("all", merged));
+  result.latency.back().aborts = result.attempt_aborts;
+  for (size_t k = 0; k < types; ++k) {
+    Histogram h;
+    uint64_t k_aborts = 0;
+    for (uint32_t t = 0; t < threads; ++t) {
+      h.Merge(typed_latencies[t][k]);
+      k_aborts += typed_aborts[t][k];
+    }
+    result.latency.push_back(SummarizeHistogram(type_names[k], h));
+    result.latency.back().aborts = k_aborts;
+  }
+
+  if (engine.tracing_enabled()) {
+    MaybeDumpPerfetto(engine.tracer(), "falcon_trace.json");
+  }
+  return result;
+}
+
+// Untyped batched wrapper.
+inline BenchResult RunBenchBatched(
+    Engine& engine, uint32_t threads, uint32_t batch_size,
+    const std::function<std::unique_ptr<FrameSource>(Worker&, uint32_t)>& make_source) {
+  return RunBenchBatchedTyped(engine, threads, batch_size, {}, make_source);
 }
 
 }  // namespace falcon

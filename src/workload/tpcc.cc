@@ -1,5 +1,7 @@
 #include "src/workload/tpcc.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <set>
 #include <vector>
@@ -535,6 +537,194 @@ bool TpccWorkload::StockLevel(Worker& worker, Rng& rng) {
     }
     return txn.Commit();
   });
+}
+
+// ---- Batched New-Order frames ------------------------------------------------
+
+NewOrderFrame::NewOrderFrame(TpccWorkload* workload)
+    : workload_(workload),
+      order_row_(workload->engine_->TupleDataSize(workload->order_)),
+      no_row_(workload->engine_->TupleDataSize(workload->new_order_)),
+      line_row_(workload->engine_->TupleDataSize(workload->order_line_)) {}
+
+void NewOrderFrame::Reset(Worker& worker, Rng& rng) {
+  assert(!has_txn());
+  const TpccConfig& cfg = workload_->config_;
+  stage_ = Stage::kHeader;
+  line_idx_ = 0;
+  attempts_ = 0;
+  committed_ = false;
+  set_result(0);
+  w_ = 1 + (worker.id() % cfg.warehouses);
+  d_ = workload_->RandomDistrict(rng);
+  c_ = workload_->RandomCustomer(rng);
+  const uint64_t line_count =
+      cfg.min_order_lines + rng.NextBounded(cfg.max_order_lines - cfg.min_order_lines + 1);
+  lines_.resize(line_count);
+  for (Line& line : lines_) {
+    line.item = workload_->RandomItem(rng);
+    line.supply_w = w_;
+    if (cfg.warehouses > 1 && rng.NextBounded(100) < cfg.remote_warehouse_pct) {
+      do {
+        line.supply_w = workload_->RandomWarehouse(rng);
+      } while (line.supply_w == w_);
+    }
+    line.quantity = 1 + rng.NextBounded(10);
+  }
+  rollback_ = rng.NextBounded(100) < cfg.invalid_item_pct;
+}
+
+Status NewOrderFrame::StepHeader(Worker& worker) {
+  TpccWorkload& wl = *workload_;
+  Txn& txn = BeginTxn(worker);
+  uint64_t w_tax = 0;
+  TPCC_TRY(txn.ReadColumn(wl.warehouse_, w_, WarehouseCol::kTax, &w_tax));
+
+  uint64_t next_o_id = 0;
+  TPCC_TRY(txn.ReadColumn(wl.district_, wl.DistrictKey(w_, d_), DistrictCol::kNextOid,
+                          &next_o_id));
+  const uint64_t bumped = next_o_id + 1;
+  TPCC_TRY(txn.UpdateColumn(wl.district_, wl.DistrictKey(w_, d_), DistrictCol::kNextOid,
+                            &bumped));
+
+  uint64_t balance = 0;
+  TPCC_TRY(txn.ReadColumn(wl.customer_, wl.CustomerKey(w_, d_, c_), CustomerCol::kBalance,
+                          &balance));
+
+  if (rollback_) {
+    // Simulated invalid-item abort (user-initiated rollback) — not retried.
+    txn.Abort();
+    return Status::kInvalidArgument;
+  }
+
+  order_id_ = next_o_id;
+  const uint64_t line_count = lines_.size();
+  std::fill(order_row_.begin(), order_row_.end(), std::byte{0});
+  std::memcpy(order_row_.data(), &c_, sizeof(c_));
+  std::memcpy(order_row_.data() + 8, &order_id_, sizeof(order_id_));
+  std::memcpy(order_row_.data() + 24, &line_count, sizeof(line_count));
+  TPCC_TRY(txn.Insert(wl.order_, wl.OrderKey(w_, d_, order_id_), order_row_.data()));
+
+  std::fill(no_row_.begin(), no_row_.end(), std::byte{0});
+  TPCC_TRY(txn.Insert(wl.new_order_, wl.OrderKey(w_, d_, order_id_), no_row_.data()));
+
+  stage_ = lines_.empty() ? Stage::kCommit : Stage::kLine;
+  return Status::kOk;
+}
+
+Status NewOrderFrame::StepLine() {
+  TpccWorkload& wl = *workload_;
+  Txn& txn = this->txn();
+  const Line& line = lines_[line_idx_];
+  uint64_t price = 0;
+  TPCC_TRY(txn.ReadColumn(wl.item_, line.item, ItemCol::kPrice, &price));
+
+  const uint64_t stock_key = wl.StockKey(line.supply_w, line.item);
+  uint64_t quantity = 0;
+  TPCC_TRY(txn.ReadColumn(wl.stock_, stock_key, StockCol::kQuantity, &quantity));
+  const uint64_t new_quantity = quantity >= line.quantity + 10
+                                    ? quantity - line.quantity
+                                    : quantity + 91 - line.quantity;
+  TPCC_TRY(txn.UpdateColumn(wl.stock_, stock_key, StockCol::kQuantity, &new_quantity));
+  uint64_t ytd = 0;
+  TPCC_TRY(txn.ReadColumn(wl.stock_, stock_key, StockCol::kYtd, &ytd));
+  ytd += line.quantity;
+  TPCC_TRY(txn.UpdateColumn(wl.stock_, stock_key, StockCol::kYtd, &ytd));
+
+  std::fill(line_row_.begin(), line_row_.end(), std::byte{0});
+  std::memcpy(line_row_.data(), &line.item, sizeof(uint64_t));
+  std::memcpy(line_row_.data() + 8, &line.supply_w, sizeof(uint64_t));
+  std::memcpy(line_row_.data() + 24, &line.quantity, sizeof(uint64_t));
+  const uint64_t amount = price * line.quantity;
+  std::memcpy(line_row_.data() + 32, &amount, sizeof(uint64_t));
+  TPCC_TRY(txn.Insert(wl.order_line_, wl.OrderLineKey(w_, d_, order_id_, line_idx_ + 1),
+                      line_row_.data()));
+
+  if (++line_idx_ == lines_.size()) {
+    stage_ = Stage::kCommit;
+  }
+  return Status::kOk;
+}
+
+Status NewOrderFrame::StepCommit() {
+  TpccWorkload& wl = *workload_;
+  Txn& txn = this->txn();
+  TPCC_TRY(txn.UpdateColumn(wl.customer_, wl.CustomerKey(w_, d_, c_), CustomerCol::kLastOrder,
+                            &order_id_));
+  const Status s = txn.Commit();
+  if (s == Status::kOk) {
+    committed_ = true;
+  }
+  return s;
+}
+
+bool NewOrderFrame::Step(Worker& worker) {
+  Status s = Status::kOk;
+  switch (stage_) {
+    case Stage::kHeader:
+      s = StepHeader(worker);
+      break;
+    case Stage::kLine:
+      s = StepLine();
+      break;
+    case Stage::kCommit:
+      s = StepCommit();
+      break;
+  }
+  if (s == Status::kOk) {
+    if (committed_) {
+      EndTxn();
+      set_result(kNewOrder);
+      return true;
+    }
+    return false;  // yield; siblings may run before the next stage
+  }
+  if (has_txn()) {
+    txn().Abort();  // no-op when the engine already rolled back
+    EndTxn();
+  }
+  if (s == Status::kAborted && ++attempts_ < kMaxAttempts) {
+    // CC conflict: replay the SAME pre-generated plan from the top, exactly
+    // like RunToCompletion in the serial driver.
+    stage_ = Stage::kHeader;
+    line_idx_ = 0;
+    return false;
+  }
+  set_result(~kNewOrder);
+  return true;
+}
+
+NewOrderFrameSource::NewOrderFrameSource(TpccWorkload* workload, Rng* rng,
+                                         uint64_t txn_count, uint32_t batch_size)
+    : workload_(workload), rng_(rng), remaining_(txn_count) {
+  if (batch_size == 0) {
+    batch_size = 1;
+  }
+  pool_.reserve(batch_size);
+  free_.reserve(batch_size);
+  for (uint32_t i = 0; i < batch_size; ++i) {
+    pool_.push_back(std::make_unique<NewOrderFrame>(workload_));
+    free_.push_back(pool_.back().get());
+  }
+}
+
+TxnFrame* NewOrderFrameSource::Next(Worker& worker) {
+  if (remaining_ == 0 || free_.empty()) {
+    return nullptr;
+  }
+  --remaining_;
+  NewOrderFrame* frame = free_.back();
+  free_.pop_back();
+  frame->Reset(worker, *rng_);
+  return frame;
+}
+
+void NewOrderFrameSource::Done(Worker& worker, TxnFrame* frame, uint64_t begin_ns,
+                               uint64_t end_ns) {
+  (void)worker;
+  (void)begin_ns;
+  (void)end_ns;
+  free_.push_back(static_cast<NewOrderFrame*>(frame));
 }
 
 uint64_t TpccWorkload::TotalNextOrderIds(Worker& worker) {

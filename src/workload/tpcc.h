@@ -13,7 +13,10 @@
 #define SRC_WORKLOAD_TPCC_H_
 
 #include <array>
+#include <memory>
+#include <vector>
 
+#include "src/core/batch.h"
 #include "src/core/engine.h"
 
 namespace falcon {
@@ -119,6 +122,8 @@ class TpccWorkload {
   }
   uint64_t StockKey(uint64_t w, uint64_t i) const { return (w << kItemBits) | i; }
 
+  friend class NewOrderFrame;
+
   uint64_t RandomWarehouse(Rng& rng) const { return 1 + rng.NextBounded(config_.warehouses); }
   uint64_t RandomDistrict(Rng& rng) const {
     return 1 + rng.NextBounded(config_.districts_per_warehouse);
@@ -173,6 +178,67 @@ struct ItemCol {
 };
 struct HistoryCol {
   enum : uint32_t { kAmount = 0, kWarehouse = 1, kDistrict = 2, kCustomer = 3, kData = 4 };
+};
+
+// Resumable New-Order transaction for Worker::RunBatch. Reset() pre-generates
+// the full order plan (district, customer, every line's item/warehouse/
+// quantity, the 1% rollback roll) from the thread's Rng, so CC-conflict
+// retries replay the exact same transaction — matching RunToCompletion in
+// the serial driver. Yield boundaries: after the header (warehouse/district/
+// customer + order inserts), after each order line (each line touches a
+// random stock tuple — the NVM-miss hot spot), and before commit.
+class NewOrderFrame final : public TxnFrame {
+ public:
+  explicit NewOrderFrame(TpccWorkload* workload);
+
+  // Pre-generates the next order. `worker` picks the home warehouse the
+  // same way the serial driver does (worker id modulo warehouses).
+  void Reset(Worker& worker, Rng& rng);
+
+  // result(): kNewOrder on commit, ~kNewOrder on abort/give-up.
+  bool Step(Worker& worker) override;
+
+ private:
+  enum class Stage : uint8_t { kHeader, kLine, kCommit };
+  struct Line {
+    uint64_t item;
+    uint64_t supply_w;
+    uint64_t quantity;
+  };
+  static constexpr uint32_t kMaxAttempts = 64;  // mirrors RunToCompletion
+
+  Status StepHeader(Worker& worker);
+  Status StepLine();
+  Status StepCommit();
+
+  TpccWorkload* workload_;
+  Stage stage_ = Stage::kHeader;
+  uint64_t w_ = 0, d_ = 0, c_ = 0;
+  bool rollback_ = false;
+  std::vector<Line> lines_;
+  uint64_t order_id_ = 0;
+  uint32_t line_idx_ = 0;
+  uint32_t attempts_ = 0;
+  bool committed_ = false;
+  std::vector<std::byte> order_row_, no_row_, line_row_;
+};
+
+// Per-thread frame pool feeding `txn_count` New-Order transactions through
+// up to `batch_size` concurrently live frames.
+class NewOrderFrameSource final : public FrameSource {
+ public:
+  NewOrderFrameSource(TpccWorkload* workload, Rng* rng, uint64_t txn_count,
+                      uint32_t batch_size);
+
+  TxnFrame* Next(Worker& worker) override;
+  void Done(Worker& worker, TxnFrame* frame, uint64_t begin_ns, uint64_t end_ns) override;
+
+ private:
+  TpccWorkload* workload_;
+  Rng* rng_;
+  uint64_t remaining_;
+  std::vector<std::unique_ptr<NewOrderFrame>> pool_;
+  std::vector<NewOrderFrame*> free_;
 };
 
 }  // namespace falcon

@@ -182,4 +182,197 @@ bool YcsbWorkload::TxnScan(Worker& worker, YcsbThreadState& state, uint64_t key)
   return txn.Commit() == Status::kOk;
 }
 
+// ---- Batched frames ----------------------------------------------------------
+
+YcsbFrame::YcsbFrame(YcsbWorkload* workload)
+    : workload_(workload), row_(workload->data_size_) {}
+
+void YcsbFrame::Reset(YcsbThreadState& state) {
+  assert(!has_txn());
+  stage_ = 0;
+  set_result(0);
+  const YcsbConfig& cfg = workload_->config_;
+  const uint64_t roll = state.rng().NextBounded(100);
+  key_ = state.NextKey(workload_->records_.load(std::memory_order_relaxed));
+  switch (cfg.workload) {
+    case 'A':
+      op_ = roll < 50 ? Op::kRead : Op::kUpdate;
+      break;
+    case 'B':
+      op_ = roll < 95 ? Op::kRead : Op::kUpdate;
+      break;
+    case 'C':
+      op_ = Op::kRead;
+      break;
+    case 'D':
+      op_ = roll < 95 ? Op::kRead : Op::kInsert;
+      break;
+    case 'E':
+      op_ = roll < 95 ? Op::kScan : Op::kInsert;
+      break;
+    case 'F':
+      op_ = roll < 50 ? Op::kRead : Op::kReadModifyWrite;
+      break;
+    default:
+      op_ = Op::kRead;
+      break;
+  }
+  switch (op_) {
+    case Op::kUpdate:
+      workload_->FillRow(row_.data(), key_ ^ state.rng().Next());
+      break;
+    case Op::kReadModifyWrite:
+      rmw_seed_ = state.rng().Next();
+      break;
+    case Op::kInsert:
+      key_ = state.NextInsertKey();
+      workload_->FillRow(row_.data(), key_);
+      break;
+    case Op::kScan:
+      scan_len_ = 1 + state.rng().NextBounded(cfg.scan_max_len);
+      break;
+    case Op::kRead:
+      break;
+  }
+}
+
+bool YcsbFrame::FinishAborted() {
+  if (has_txn()) {
+    txn().Abort();  // no-op when the engine already aborted internally
+    EndTxn();
+  }
+  set_result(~0);
+  return true;
+}
+
+bool YcsbFrame::FinishCommit(bool count_insert) {
+  const Status s = txn().Commit();
+  EndTxn();
+  if (s != Status::kOk) {
+    set_result(~0);
+    return true;
+  }
+  if (count_insert) {
+    workload_->records_.fetch_add(1, std::memory_order_relaxed);
+  }
+  set_result(0);
+  return true;
+}
+
+bool YcsbFrame::Step(Worker& worker) {
+  const TableId table = workload_->table_;
+  switch (op_) {
+    case Op::kRead:
+      if (stage_ == 0) {
+        Txn& txn = BeginTxn(worker);
+        // Mirrors TxnRead: a kNotFound read still commits.
+        if (txn.Read(table, key_, row_.data()) == Status::kAborted) {
+          return FinishAborted();
+        }
+        stage_ = 1;
+        return false;
+      }
+      return FinishCommit(false);
+
+    case Op::kUpdate:
+      if (stage_ == 0) {
+        Txn& txn = BeginTxn(worker);
+        if (txn.UpdateFull(table, key_, row_.data()) != Status::kOk) {
+          return FinishAborted();
+        }
+        stage_ = 1;
+        return false;
+      }
+      return FinishCommit(false);
+
+    case Op::kReadModifyWrite:
+      if (stage_ == 0) {
+        Txn& txn = BeginTxn(worker);
+        if (txn.Read(table, key_, row_.data()) != Status::kOk) {
+          return FinishAborted();
+        }
+        stage_ = 1;
+        return false;
+      }
+      if (stage_ == 1) {
+        // Modify every field based on the read value (idempotent redo, as
+        // in TxnReadModifyWrite, but driven by the pre-rolled seed).
+        uint64_t chain = rmw_seed_;
+        const uint32_t field = workload_->config_.field_size;
+        for (uint32_t i = 0; i + sizeof(uint64_t) <= workload_->data_size_; i += field) {
+          uint64_t v = 0;
+          std::memcpy(&v, row_.data() + i, sizeof(v));
+          chain = Mix64(chain);
+          v = Mix64(v + chain);
+          std::memcpy(row_.data() + i, &v, sizeof(v));
+        }
+        if (txn().UpdateFull(table, key_, row_.data()) != Status::kOk) {
+          return FinishAborted();
+        }
+        stage_ = 2;
+        return false;
+      }
+      return FinishCommit(false);
+
+    case Op::kInsert:
+      if (stage_ == 0) {
+        Txn& txn = BeginTxn(worker);
+        if (txn.Insert(table, key_, row_.data()) != Status::kOk) {
+          return FinishAborted();
+        }
+        stage_ = 1;
+        return false;
+      }
+      return FinishCommit(true);
+
+    case Op::kScan:
+      if (stage_ == 0) {
+        Txn& txn = BeginTxn(worker);
+        size_t seen = 0;
+        if (txn.Scan(table, key_, UINT64_MAX, scan_len_,
+                     [&seen](uint64_t, const std::byte*) { ++seen; }) != Status::kOk) {
+          return FinishAborted();
+        }
+        stage_ = 1;
+        return false;
+      }
+      return FinishCommit(false);
+  }
+  return FinishAborted();  // unreachable
+}
+
+YcsbFrameSource::YcsbFrameSource(YcsbWorkload* workload, YcsbThreadState* state,
+                                 uint64_t txn_count, uint32_t batch_size)
+    : workload_(workload), state_(state), remaining_(txn_count) {
+  if (batch_size == 0) {
+    batch_size = 1;
+  }
+  pool_.reserve(batch_size);
+  free_.reserve(batch_size);
+  for (uint32_t i = 0; i < batch_size; ++i) {
+    pool_.push_back(std::make_unique<YcsbFrame>(workload_));
+    free_.push_back(pool_.back().get());
+  }
+}
+
+TxnFrame* YcsbFrameSource::Next(Worker& worker) {
+  (void)worker;
+  if (remaining_ == 0 || free_.empty()) {
+    return nullptr;
+  }
+  --remaining_;
+  YcsbFrame* frame = free_.back();
+  free_.pop_back();
+  frame->Reset(*state_);
+  return frame;
+}
+
+void YcsbFrameSource::Done(Worker& worker, TxnFrame* frame, uint64_t begin_ns,
+                           uint64_t end_ns) {
+  (void)worker;
+  (void)begin_ns;
+  (void)end_ns;
+  free_.push_back(static_cast<YcsbFrame*>(frame));
+}
+
 }  // namespace falcon

@@ -15,8 +15,10 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "src/common/zipf.h"
+#include "src/core/batch.h"
 #include "src/core/engine.h"
 
 namespace falcon {
@@ -72,6 +74,8 @@ class YcsbWorkload {
   }
 
  private:
+  friend class YcsbFrame;
+
   YcsbWorkload(Engine* engine, YcsbConfig config, TableId table);
 
   void FillRow(std::byte* row, uint64_t key) const;
@@ -87,6 +91,59 @@ class YcsbWorkload {
   TableId table_ = 0;
   uint32_t data_size_ = 0;
   std::atomic<uint64_t> records_{0};
+};
+
+// One resumable YCSB transaction for Worker::RunBatch. Reset() pre-rolls
+// everything the transaction needs from the thread's generator (operation
+// mix roll, key, update image, scan length), so Step() consumes no shared
+// state and the frame replays deterministically regardless of how its
+// slices interleave with siblings. Yield boundaries sit between the access
+// phase and commit (and between read and write-back for RMW), which is
+// where the NVM-miss and flush/fence stalls happen.
+class YcsbFrame final : public TxnFrame {
+ public:
+  explicit YcsbFrame(YcsbWorkload* workload);
+
+  // Prepares the next transaction of the mix. The frame must be finished
+  // (no open Txn).
+  void Reset(YcsbThreadState& state);
+
+  // result(): 0 on commit, ~0 on abort (YCSB transactions are untyped).
+  bool Step(Worker& worker) override;
+
+ private:
+  enum class Op : uint8_t { kRead, kUpdate, kReadModifyWrite, kInsert, kScan };
+
+  // Resolves the frame as aborted; rolls back any open transaction.
+  bool FinishAborted();
+  // Commits the open transaction and resolves the frame.
+  bool FinishCommit(bool count_insert);
+
+  YcsbWorkload* workload_;
+  Op op_ = Op::kRead;
+  uint8_t stage_ = 0;
+  uint64_t key_ = 0;
+  uint64_t rmw_seed_ = 0;
+  uint64_t scan_len_ = 0;
+  std::vector<std::byte> row_;
+};
+
+// Per-thread frame pool feeding Worker::RunBatch `txn_count` YCSB
+// transactions through up to `batch_size` concurrently live frames.
+class YcsbFrameSource final : public FrameSource {
+ public:
+  YcsbFrameSource(YcsbWorkload* workload, YcsbThreadState* state, uint64_t txn_count,
+                  uint32_t batch_size);
+
+  TxnFrame* Next(Worker& worker) override;
+  void Done(Worker& worker, TxnFrame* frame, uint64_t begin_ns, uint64_t end_ns) override;
+
+ private:
+  YcsbWorkload* workload_;
+  YcsbThreadState* state_;
+  uint64_t remaining_;
+  std::vector<std::unique_ptr<YcsbFrame>> pool_;
+  std::vector<YcsbFrame*> free_;
 };
 
 }  // namespace falcon

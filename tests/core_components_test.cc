@@ -39,8 +39,9 @@ class LogWindowTest : public ::testing::Test {
 };
 
 TEST_F(LogWindowTest, OpenSlotInitializesHeader) {
-  log_.OpenSlot(ctx_, /*tid=*/77);
-  LogSlotHeader* slot = log_.current_slot();
+  LogCursor cur;
+  ASSERT_TRUE(log_.OpenSlot(ctx_, /*tid=*/77, cur));
+  LogSlotHeader* slot = log_.SlotAt(cur.slot);
   EXPECT_EQ(slot->tid, 77u);
   EXPECT_EQ(slot->bytes, 0u);
   EXPECT_EQ(slot->entry_count, 0u);
@@ -48,11 +49,12 @@ TEST_F(LogWindowTest, OpenSlotInitializesHeader) {
 }
 
 TEST_F(LogWindowTest, AppendWritesEntryAndPayload) {
-  log_.OpenSlot(ctx_, 1);
+  LogCursor cur;
+  ASSERT_TRUE(log_.OpenSlot(ctx_, 1, cur));
   const uint64_t payload = 0xabcdef;
-  ASSERT_TRUE(log_.Append(ctx_, /*table=*/2, /*key=*/9, /*tuple=*/0x1000, LogOpKind::kUpdate,
-                          /*offset=*/16, /*len=*/8, &payload));
-  LogSlotHeader* slot = log_.current_slot();
+  ASSERT_TRUE(log_.Append(ctx_, cur, /*table=*/2, /*key=*/9, /*tuple=*/0x1000,
+                          LogOpKind::kUpdate, /*offset=*/16, /*len=*/8, &payload));
+  LogSlotHeader* slot = log_.SlotAt(cur.slot);
   EXPECT_EQ(slot->entry_count, 1u);
   EXPECT_EQ(slot->bytes, sizeof(LogEntryHeader) + 8);
 
@@ -70,10 +72,11 @@ TEST_F(LogWindowTest, AppendWritesEntryAndPayload) {
 
 TEST_F(LogWindowTest, AppendFailsWhenSlotFull) {
   // The §5.5 limitation: one transaction's redo must fit a slot.
-  log_.OpenSlot(ctx_, 1);
+  LogCursor cur;
+  ASSERT_TRUE(log_.OpenSlot(ctx_, 1, cur));
   std::byte big[1024] = {};
   int appended = 0;
-  while (log_.Append(ctx_, 0, 0, 64, LogOpKind::kUpdate, 0, sizeof(big), big)) {
+  while (log_.Append(ctx_, cur, 0, 0, 64, LogOpKind::kUpdate, 0, sizeof(big), big)) {
     ++appended;
   }
   EXPECT_EQ(appended, 3);  // 3 x (40 + 1024) fits in 4096 - 32; the 4th does not
@@ -82,10 +85,11 @@ TEST_F(LogWindowTest, AppendFailsWhenSlotFull) {
 TEST_F(LogWindowTest, WindowCyclesThroughSlots) {
   LogSlotHeader* seen[5];
   for (int i = 0; i < 5; ++i) {
-    log_.OpenSlot(ctx_, static_cast<uint64_t>(i + 1));
-    seen[i] = log_.current_slot();
-    log_.MarkCommitted(ctx_);
-    log_.Release(ctx_);
+    LogCursor cur;
+    ASSERT_TRUE(log_.OpenSlot(ctx_, static_cast<uint64_t>(i + 1), cur));
+    seen[i] = log_.SlotAt(cur.slot);
+    log_.MarkCommitted(ctx_, cur);
+    log_.Release(ctx_, cur);
   }
   EXPECT_NE(seen[0], seen[1]);
   EXPECT_NE(seen[1], seen[2]);
@@ -94,24 +98,49 @@ TEST_F(LogWindowTest, WindowCyclesThroughSlots) {
 }
 
 TEST_F(LogWindowTest, CommitAndReleaseDriveSlotStates) {
-  log_.OpenSlot(ctx_, 5);
-  LogSlotHeader* slot = log_.current_slot();
-  log_.MarkCommitted(ctx_);
+  LogCursor cur;
+  ASSERT_TRUE(log_.OpenSlot(ctx_, 5, cur));
+  LogSlotHeader* slot = log_.SlotAt(cur.slot);
+  log_.MarkCommitted(ctx_, cur);
   EXPECT_EQ(static_cast<SlotState>(slot->state.load()), SlotState::kCommitted);
-  log_.Release(ctx_);
+  log_.Release(ctx_, cur);
   EXPECT_EQ(static_cast<SlotState>(slot->state.load()), SlotState::kFree);
+}
+
+TEST_F(LogWindowTest, OpenSlotFailsWhenAllSlotsBusy) {
+  // Batched execution keeps several slots uncommitted at once; once the
+  // window is exhausted the next open must fail rather than reuse a live
+  // sibling's slot.
+  LogCursor held[kSlots];
+  for (uint32_t i = 0; i < kSlots; ++i) {
+    ASSERT_TRUE(log_.OpenSlot(ctx_, i + 1, held[i]));
+  }
+  for (uint32_t i = 0; i < kSlots; ++i) {
+    for (uint32_t j = i + 1; j < kSlots; ++j) {
+      EXPECT_NE(held[i].slot, held[j].slot) << "concurrent opens must get distinct slots";
+    }
+  }
+  LogCursor extra;
+  EXPECT_FALSE(log_.OpenSlot(ctx_, 99, extra));
+  // Releasing one slot makes exactly one open succeed again.
+  log_.MarkCommitted(ctx_, held[1]);
+  log_.Release(ctx_, held[1]);
+  EXPECT_TRUE(log_.OpenSlot(ctx_, 100, extra));
+  EXPECT_EQ(extra.slot, held[1].slot);
 }
 
 TEST_F(LogWindowTest, UnflushedWindowStaysOutOfNvm) {
   // D1's whole point: the cycling window generates no NVM media writes.
   std::byte payload[256] = {};
   for (int txn = 0; txn < 200; ++txn) {
-    log_.OpenSlot(ctx_, static_cast<uint64_t>(txn + 1));
+    LogCursor cur;
+    ASSERT_TRUE(log_.OpenSlot(ctx_, static_cast<uint64_t>(txn + 1), cur));
     for (int e = 0; e < 8; ++e) {
-      ASSERT_TRUE(log_.Append(ctx_, 0, e, 64, LogOpKind::kUpdate, 0, sizeof(payload), payload));
+      ASSERT_TRUE(
+          log_.Append(ctx_, cur, 0, e, 64, LogOpKind::kUpdate, 0, sizeof(payload), payload));
     }
-    log_.MarkCommitted(ctx_);
-    log_.Release(ctx_);
+    log_.MarkCommitted(ctx_, cur);
+    log_.Release(ctx_, cur);
   }
   dev_.DrainAll();
   EXPECT_EQ(dev_.stats().media_writes, 0u)
@@ -124,11 +153,12 @@ TEST_F(LogWindowTest, FlushedLogWritesThroughEveryCommit) {
   LogWindow flushed(&arena_, base_, kSlots, kSlotBytes, /*flush_to_nvm=*/true);
   std::byte payload[256] = {};
   for (int txn = 0; txn < 50; ++txn) {
-    flushed.OpenSlot(ctx_, static_cast<uint64_t>(txn + 1));
+    LogCursor cur;
+    ASSERT_TRUE(flushed.OpenSlot(ctx_, static_cast<uint64_t>(txn + 1), cur));
     ASSERT_TRUE(
-        flushed.Append(ctx_, 0, 1, 64, LogOpKind::kUpdate, 0, sizeof(payload), payload));
-    flushed.MarkCommitted(ctx_);
-    flushed.Release(ctx_);
+        flushed.Append(ctx_, cur, 0, 1, 64, LogOpKind::kUpdate, 0, sizeof(payload), payload));
+    flushed.MarkCommitted(ctx_, cur);
+    flushed.Release(ctx_, cur);
   }
   dev_.DrainAll();
   EXPECT_GT(dev_.stats().media_writes, 50u);

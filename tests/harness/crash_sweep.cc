@@ -1,5 +1,6 @@
 #include "tests/harness/crash_sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/core/batch.h"
 
 namespace falcon::test {
 namespace {
@@ -229,11 +231,20 @@ class SweepRun {
  public:
   explicit SweepRun(const SweepConfig& cfg) : cfg_(cfg), shadows_(cfg.threads) {}
 
+  // Engine preset with the sweep's batch size applied: the log-window slot
+  // geometry scales with batch_size, and the reopened engine must see the
+  // same geometry to scan the surviving log region.
+  EngineConfig MakeEngineConfig() const {
+    EngineConfig config = cfg_.make(cfg_.cc);
+    config.batch_size = cfg_.batch_size;
+    return config;
+  }
+
   // Builds the engine, preloads the live half of every partition, and
   // records the preloaded values in the shadows.
   bool Preload(std::string* error) {
     device_ = std::make_unique<NvmDevice>(cfg_.device_bytes);
-    engine_ = std::make_unique<Engine>(device_.get(), cfg_.make(cfg_.cc), cfg_.threads);
+    engine_ = std::make_unique<Engine>(device_.get(), MakeEngineConfig(), cfg_.threads);
     if (cfg_.trace_events != 0) {
       engine_->EnableTracing(cfg_.trace_events);
     }
@@ -288,7 +299,7 @@ class SweepRun {
   // in the device, the eADR model) and reopen over the same device.
   void CrashAndReopen() {
     engine_.reset();
-    engine_ = std::make_unique<Engine>(device_.get(), cfg_.make(cfg_.cc), cfg_.threads);
+    engine_ = std::make_unique<Engine>(device_.get(), MakeEngineConfig(), cfg_.threads);
   }
 
   const SweepConfig& cfg_;
@@ -303,7 +314,14 @@ class SweepRun {
   std::string broken_;
 
  private:
+  // Batched driver (cfg_.batch_size > 1); defined after SweepFrameSource.
+  void BatchThreadBody(uint32_t t);
+
   void ThreadBody(uint32_t t) {
+    if (cfg_.batch_size > 1) {
+      BatchThreadBody(t);
+      return;
+    }
     Rng rng(Mix64(cfg_.seed ^ (0x517cc1b727220a95ull + t)));
     Shadow& shadow = shadows_[t];
     Worker& worker = engine_->worker(t);
@@ -349,6 +367,276 @@ class SweepRun {
     }
   }
 };
+
+// One planned sweep transaction as a resumable frame for Worker::RunBatch.
+// Executes one op per Step() (a yield boundary between every access), so
+// sibling frames interleave at every point the real batched drivers do.
+//
+// Because several sibling transactions are now live on one partition, a plan
+// drawn against the committed shadow can be stale by the time it executes (a
+// sibling committed first): an update may hit a key a sibling deleted
+// (kNotFound -> execute as insert), an insert may hit a key a sibling
+// revived (kDuplicate -> execute as update), a delete may find the key
+// already dead (skip). The frame's `effects_` records what was actually
+// applied, and the commit step folds them into the thread's live shadow.
+//
+// Read oracle: own writes win; otherwise the value must match either the
+// begin-of-attempt snapshot (multi-version reads) or the current committed
+// shadow (single-version reads). Values are random 63-bit draws, so an
+// accidental match is negligible.
+class SweepFrame final : public TxnFrame {
+ public:
+  SweepFrame(SweepRun* run, uint32_t t) : run_(run), t_(t) {}
+
+  void Reset(std::vector<Op> ops) {
+    plan_ = std::move(ops);
+    op_idx_ = 0;
+    attempts_ = 0;
+    applied_.clear();
+    effects_.clear();
+    snapshot_.clear();
+    set_result(0);
+  }
+
+  bool Step(Worker& worker) override {
+    try {
+      return StepImpl(worker);
+    } catch (const TxnCrashed& crashed) {
+      // Record the wounded transaction, then drop the handle without
+      // rollback — the power already failed; the device image is final.
+      WoundedTxn wound;
+      wound.fired = true;
+      wound.kind = crashed.kind;
+      wound.step = crashed.step;
+      wound.effects = effects_;
+      run_->wound_ = std::move(wound);
+      Freeze();
+      throw;
+    }
+  }
+
+ private:
+  bool StepImpl(Worker& worker) {
+    Shadow& live = run_->shadows_[t_];
+    if (!has_txn()) {
+      BeginTxn(worker);
+      snapshot_ = live;
+      applied_.clear();
+      effects_.clear();
+    }
+    if (op_idx_ < plan_.size()) {
+      const Op& op = plan_[op_idx_];
+      Txn& txn = this->txn();
+      Status s = Status::kOk;
+      switch (op.kind) {
+        case OpKind::kRead: {
+          uint64_t v = kDead;
+          s = txn.ReadColumn(run_->table_, op.key, kValueColumn, &v);
+          if (s == Status::kOk || s == Status::kNotFound) {
+            const uint64_t got = s == Status::kOk ? v : kDead;
+            uint64_t want_snapshot;
+            uint64_t want_live;
+            const auto a = applied_.find(op.key);
+            if (a != applied_.end()) {
+              want_snapshot = want_live = a->second;
+            } else {
+              const auto sn = snapshot_.find(op.key);
+              want_snapshot = sn == snapshot_.end() ? kDead : sn->second;
+              const auto lv = live.find(op.key);
+              want_live = lv == live.end() ? kDead : lv->second;
+            }
+            if (got != want_snapshot && got != want_live) {
+              std::ostringstream os;
+              os << "batched read of key " << op.key << " saw " << got << ", expected "
+                 << want_snapshot;
+              if (want_live != want_snapshot) {
+                os << " (snapshot) or " << want_live << " (live)";
+              }
+              os << DescribePlan(plan_);
+              return Break(os.str());
+            }
+            s = Status::kOk;
+          }
+          break;
+        }
+        case OpKind::kUpdate:
+          s = txn.UpdateColumn(run_->table_, op.key, kValueColumn, &op.value);
+          if (s == Status::kNotFound) {
+            // A sibling's delete committed after this plan was drawn.
+            const uint64_t row[2] = {op.key, op.value};
+            s = txn.Insert(run_->table_, op.key, row);
+          }
+          if (s == Status::kOk) {
+            applied_[op.key] = op.value;
+            effects_[op.key] = op.value;
+          }
+          break;
+        case OpKind::kInsert: {
+          const uint64_t row[2] = {op.key, op.value};
+          s = txn.Insert(run_->table_, op.key, row);
+          if (s == Status::kDuplicate) {
+            // A sibling's insert (or revival) committed first.
+            s = txn.UpdateColumn(run_->table_, op.key, kValueColumn, &op.value);
+          }
+          if (s == Status::kOk) {
+            applied_[op.key] = op.value;
+            effects_[op.key] = op.value;
+          }
+          break;
+        }
+        case OpKind::kDelete:
+          s = txn.Delete(run_->table_, op.key);
+          if (s == Status::kNotFound) {
+            s = Status::kOk;  // a sibling's delete committed first
+          }
+          if (s == Status::kOk) {
+            applied_[op.key] = kDead;
+            effects_[op.key] = kDead;
+          }
+          break;
+      }
+      if (s == Status::kAborted) {
+        return Retry();
+      }
+      if (s != Status::kOk) {
+        std::ostringstream os;
+        os << "batched " << OpName(op.kind) << " of key " << op.key << " returned status "
+           << static_cast<int>(s) << DescribePlan(plan_);
+        return Break(os.str());
+      }
+      ++op_idx_;
+      return false;  // yield between ops
+    }
+    const Status cs = txn().Commit();
+    EndTxn();
+    if (cs == Status::kOk) {
+      for (const auto& [key, value] : effects_) {
+        if (value == kDead) {
+          live.erase(key);
+        } else {
+          live[key] = value;
+        }
+      }
+      run_->commits_acked_.fetch_add(1, std::memory_order_relaxed);
+      set_result(0);
+      return true;
+    }
+    if (cs != Status::kAborted) {
+      std::ostringstream os;
+      os << "batched commit returned status " << static_cast<int>(cs) << DescribePlan(plan_);
+      return Break(os.str());
+    }
+    return Retry();
+  }
+
+  // Sibling conflict: roll back and replay the same plan (stale-plan op
+  // conversions re-derive from the then-current shadow on the next attempt).
+  bool Retry() {
+    if (has_txn()) {
+      txn().Abort();
+      EndTxn();
+    }
+    op_idx_ = 0;
+    if (++attempts_ >= 16) {
+      set_result(~0);  // conflict storm; give up like the serial driver
+      return true;
+    }
+    return false;
+  }
+
+  bool Break(std::string message) {
+    if (has_txn()) {
+      txn().Abort();
+      EndTxn();
+    }
+    {
+      std::lock_guard<std::mutex> lock(run_->broken_mu_);
+      if (run_->broken_.empty()) {
+        run_->broken_ = "thread " + std::to_string(t_) + ": " + std::move(message);
+      }
+    }
+    run_->stop_.store(true, std::memory_order_release);
+    set_result(~0);
+    return true;
+  }
+
+  SweepRun* run_;
+  uint32_t t_;
+  std::vector<Op> plan_;
+  size_t op_idx_ = 0;
+  int attempts_ = 0;
+  Effects applied_;   // own writes executed so far (read-own-writes oracle)
+  Effects effects_;   // final state this txn will commit, as executed
+  Shadow snapshot_;   // committed shadow at BeginTxn (multi-version reads)
+};
+
+// Plans transactions on demand and feeds them through a fixed frame pool.
+// Plans are drawn against the live shadow, which by construction includes
+// every sibling commit that retired before this admission.
+class SweepFrameSource final : public FrameSource {
+ public:
+  SweepFrameSource(SweepRun* run, uint32_t t, Rng* rng) : run_(run), t_(t), rng_(rng) {
+    const uint32_t pool = std::max(2u, run->cfg_.batch_size);
+    pool_.reserve(pool);
+    for (uint32_t i = 0; i < pool; ++i) {
+      pool_.push_back(std::make_unique<SweepFrame>(run, t));
+      free_.push_back(pool_.back().get());
+    }
+  }
+
+  TxnFrame* Next(Worker&) override {
+    if (free_.empty()) {
+      return nullptr;
+    }
+    while (issued_ < run_->cfg_.txns_per_thread &&
+           !run_->stop_.load(std::memory_order_acquire)) {
+      ++issued_;
+      Effects projection;
+      std::vector<Op> ops = PlanTxn(*rng_, run_->cfg_, t_, run_->shadows_[t_], projection);
+      if (ops.empty()) {
+        continue;
+      }
+      SweepFrame* frame = free_.back();
+      free_.pop_back();
+      frame->Reset(std::move(ops));
+      return frame;
+    }
+    return nullptr;
+  }
+
+  void Done(Worker&, TxnFrame* frame, uint64_t, uint64_t) override {
+    free_.push_back(static_cast<SweepFrame*>(frame));
+  }
+
+  // Power failed mid-batch: drop every outstanding transaction handle
+  // without rollback, leaving the engine image exactly as the crash did.
+  void FreezeAll() {
+    for (auto& frame : pool_) {
+      frame->Freeze();
+    }
+  }
+
+ private:
+  SweepRun* run_;
+  uint32_t t_;
+  Rng* rng_;
+  uint64_t issued_ = 0;
+  std::vector<std::unique_ptr<SweepFrame>> pool_;
+  std::vector<SweepFrame*> free_;
+};
+
+void SweepRun::BatchThreadBody(uint32_t t) {
+  Rng rng(Mix64(cfg_.seed ^ (0x517cc1b727220a95ull + t)));
+  SweepFrameSource source(this, t, &rng);
+  try {
+    engine_->worker(t).RunBatch(cfg_.batch_size, source);
+  } catch (const TxnCrashed&) {
+    // The crashing frame already recorded the wound and froze itself;
+    // freeze the rest of the batch before the engine is torn down.
+    source.FreezeAll();
+    stop_.store(true, std::memory_order_release);
+  }
+}
 
 // Renders the engine's flight recorder into a string (the rings die with the
 // engine on reopen, so this must run before CrashAndReopen).

@@ -43,6 +43,10 @@ struct SweepConfig {
   CcScheme cc = CcScheme::kOcc;
   uint32_t threads = 1;
   uint32_t txns_per_thread = 32;
+  // > 1 drives each worker through Worker::RunBatch with this many resumable
+  // transaction frames in flight (sibling conflicts, frame interleaving and
+  // mid-batch crashes all exercised). 1 keeps the serial driver.
+  uint32_t batch_size = 1;
   // Live keys preloaded per partition; the partition universe is twice this
   // (the second half starts dead so inserts and revivals get exercised).
   uint32_t keys_per_thread = 16;

@@ -118,7 +118,7 @@ TEST(MetricsJson, LineContainsLabelAndEveryField) {
 TEST(MetricsJson, SchemaVersionAndEscaping) {
   MetricsSnapshot s;
   const std::string line = MetricsJsonLine("a\\b\n\tc\x01", s);
-  EXPECT_NE(line.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(line.find("\"schema_version\":3"), std::string::npos);
   // Backslash, newline, tab, and raw control bytes all escape to valid JSON.
   EXPECT_NE(line.find("a\\\\b\\n\\tc\\u0001"), std::string::npos);
   EXPECT_EQ(line.find('\n'), std::string::npos);
