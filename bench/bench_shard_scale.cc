@@ -1,0 +1,246 @@
+// Shard-scaling bench: throughput of the Database facade as the shard count
+// (independent engines, each with its own simulated device) grows.
+//
+// Each session drives worker i of every shard; transactions route by key
+// hash, cross-shard writes commit with 2PC. A single shard saturates at one
+// device's bandwidth and one engine's worker clocks; additional shards add
+// both, so multi-shard throughput scales past a single engine's ceiling —
+// minus the 2PC tax on cross-shard transactions.
+//
+// Output: one row per (workload, shard count) plus the uniform metrics JSON
+// (set FALCON_METRICS_JSON). FALCON_SHARDS pins the shard count, otherwise
+// the sweep runs M in {1, 2, 4}.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/workload/bench_runner.h"
+#include "src/workload/sharded.h"
+
+namespace falcon {
+namespace {
+
+// Each shard brings one engine's worth of cores: sessions scale with the
+// shard count (16 per shard), while the total transaction count stays
+// fixed. A single engine saturates its one device (6 channels) well below
+// 16 sessions' compute under a write-heavy mix, so the M = 1 row is the
+// one-engine ceiling and the multi-shard rows scale past it on both axes
+// (M× devices, M× worker cores).
+constexpr uint32_t kSessionsPerShard = 16;
+
+struct ShardRunResult {
+  uint64_t commits = 0;
+  uint64_t attempts_failed = 0;
+  double sim_seconds = 0;
+  double cpu_seconds = 0;     // slowest session's summed branch clocks
+  double device_seconds = 0;  // slowest shard device: busy / channels
+  double mtxn_per_s = 0;
+  MetricsSnapshot metrics;
+};
+
+// Quiesces caches/devices and zeroes every per-worker clock and stat.
+void ResetAll(Database& db) {
+  for (uint32_t m = 0; m < db.shards(); ++m) {
+    Engine& engine = db.engine(m);
+    for (uint32_t s = 0; s < db.sessions(); ++s) {
+      engine.worker(s).ctx().cache().WritebackAll();
+      engine.worker(s).ResetStats();
+    }
+    engine.device()->DrainAll();
+    engine.device()->ResetStats();
+  }
+}
+
+// Simulated elapsed time of a sharded run. A session's compute is serial
+// across its per-shard branch clocks (sum over shards); sessions and devices
+// run concurrently (max over sessions / shards).
+void FillSimSeconds(Database& db, ShardRunResult* result) {
+  uint64_t max_session_ns = 0;
+  for (uint32_t s = 0; s < db.sessions(); ++s) {
+    uint64_t session_ns = 0;
+    for (uint32_t m = 0; m < db.shards(); ++m) {
+      session_ns += db.engine(m).worker(s).ctx().sim_ns();
+    }
+    max_session_ns = std::max(max_session_ns, session_ns);
+  }
+  double device_s = 0;
+  for (uint32_t m = 0; m < db.shards(); ++m) {
+    const uint32_t channels = std::min<uint32_t>(
+        db.engine(m).config().cost_params.device_channels, db.sessions());
+    const DeviceStats stats = db.engine(m).device()->stats();
+    device_s = std::max(device_s, static_cast<double>(stats.busy_ns) /
+                                      std::max(1u, channels) / 1e9);
+  }
+  result->cpu_seconds = static_cast<double>(max_session_ns) / 1e9;
+  result->device_seconds = device_s;
+  result->sim_seconds = std::max(result->cpu_seconds, device_s);
+}
+
+ShardRunResult RunSessions(Database& db, uint64_t txns_per_session,
+                           const std::function<bool(uint32_t, Rng&)>& run_one) {
+  ResetAll(db);
+  const MetricsSnapshot before = db.SnapshotMetrics();
+
+  std::vector<uint64_t> commits(db.sessions(), 0);
+  std::vector<uint64_t> failed(db.sessions(), 0);
+  std::vector<std::thread> pool;
+  pool.reserve(db.sessions());
+  for (uint32_t s = 0; s < db.sessions(); ++s) {
+    pool.emplace_back([&, s] {
+      Rng rng(0x5eedull * (s + 1));
+      uint64_t local_commits = 0;
+      uint64_t local_failed = 0;
+      for (uint64_t i = 0; i < txns_per_session; ++i) {
+        if (run_one(s, rng)) {
+          ++local_commits;
+        } else {
+          ++local_failed;
+        }
+      }
+      commits[s] = local_commits;
+      failed[s] = local_failed;
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+  for (uint32_t m = 0; m < db.shards(); ++m) {
+    for (uint32_t s = 0; s < db.sessions(); ++s) {
+      db.engine(m).worker(s).ctx().cache().WritebackAll();
+    }
+    db.engine(m).device()->DrainAll();
+  }
+
+  ShardRunResult result;
+  result.metrics = DiffMetrics(before, db.SnapshotMetrics());
+  for (uint32_t s = 0; s < db.sessions(); ++s) {
+    result.commits += commits[s];
+    result.attempts_failed += failed[s];
+  }
+  FillSimSeconds(db, &result);
+  if (result.sim_seconds > 0) {
+    result.mtxn_per_s =
+        static_cast<double>(result.commits) / result.sim_seconds / 1e6;
+  }
+  return result;
+}
+
+// Runs `fn(session)` on every session concurrently (load parallelism).
+void ForEachSession(uint32_t sessions, const std::function<void(uint32_t)>& fn) {
+  std::vector<std::thread> pool;
+  pool.reserve(sessions);
+  for (uint32_t s = 0; s < sessions; ++s) {
+    pool.emplace_back([&fn, s] { fn(s); });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+}
+
+ShardRunResult RunYcsb(uint32_t shards, uint64_t total_txns) {
+  DatabaseConfig cfg;
+  cfg.engine = EngineConfig::Falcon(CcScheme::kOcc);
+  cfg.shards = shards;
+  cfg.sessions = kSessionsPerShard * shards;
+  cfg.device_bytes_per_shard = 1ull << 30;
+  Database db(cfg);
+  ShardedYcsbConfig wl;
+  wl.record_count = 65536;
+  wl.cross_shard_pct = 10;
+  wl.read_pct = 20;  // write-heavy: the device, not the CPU, is the limit
+  ShardedYcsb ycsb(&db, wl);
+  const uint64_t per_load = wl.record_count / cfg.sessions;
+  ForEachSession(cfg.sessions, [&](uint32_t s) {
+    const uint64_t begin = s * per_load;
+    const uint64_t end = s + 1 == cfg.sessions ? wl.record_count : begin + per_load;
+    ycsb.LoadRange(s, begin, end);
+  });
+  return RunSessions(db, total_txns / cfg.sessions, [&](uint32_t s, Rng& rng) {
+    return ycsb.RunOne(s, rng);
+  });
+}
+
+ShardRunResult RunTpcc(uint32_t shards, uint64_t total_txns) {
+  DatabaseConfig cfg;
+  cfg.engine = EngineConfig::Falcon(CcScheme::kOcc);
+  cfg.shards = shards;
+  cfg.sessions = kSessionsPerShard * shards;
+  cfg.device_bytes_per_shard = 1ull << 30;
+  Database db(cfg);
+  ShardedTpccConfig wl;
+  wl.warehouses = cfg.sessions;  // one home warehouse per session
+  ShardedTpcc tpcc(&db, wl);
+  ForEachSession(cfg.sessions, [&](uint32_t s) {
+    tpcc.LoadWarehouses(s, s + 1, s + 1);
+  });
+  return RunSessions(db, total_txns / cfg.sessions, [&](uint32_t s, Rng& rng) {
+    bool committed = false;
+    tpcc.RunOne(s, rng, &committed);
+    return committed;
+  });
+}
+
+void PrintRow(const char* workload, uint32_t shards, const ShardRunResult& r,
+              double base_mtps) {
+  std::printf(
+      "%-6s M=%u  commits=%-8" PRIu64 " Mtxn/s=%-8.3f sim_s=%-8.4f "
+      "(cpu=%.4f dev=%.4f) 2pc_commits=%-7" PRIu64 " 2pc_aborts=%-5" PRIu64
+      " speedup=%.2fx\n",
+      workload, shards, r.commits, r.mtxn_per_s, r.sim_seconds, r.cpu_seconds,
+      r.device_seconds, r.metrics.twopc_commits, r.metrics.twopc_aborts,
+      base_mtps > 0 ? r.mtxn_per_s / base_mtps : 1.0);
+}
+
+}  // namespace
+}  // namespace falcon
+
+int main(int argc, char** argv) {
+  using namespace falcon;
+  uint64_t scale = 1;
+  if (argc > 1) {
+    const auto parsed = ParsePositiveKnob(argv[1], 1000000);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "usage: %s [scale]\n", argv[0]);
+      return 2;
+    }
+    scale = *parsed;
+  }
+  std::vector<uint32_t> sweep;
+  const uint32_t pinned = ShardCountFromEnv(0);
+  if (pinned > 0) {
+    sweep.push_back(pinned);
+  } else {
+    sweep = {1, 2, 4};
+  }
+
+  const uint64_t ycsb_txns = 320000 * scale;  // total, fixed across the sweep
+  const uint64_t tpcc_txns = 128000 * scale;
+  double ycsb_base = 0;
+  double tpcc_base = 0;
+  std::printf("shard scaling, %u sessions per shard, Falcon/OCC\n",
+              kSessionsPerShard);
+  for (const uint32_t m : sweep) {
+    const uint32_t sessions = kSessionsPerShard * m;
+    const ShardRunResult ycsb = RunYcsb(m, ycsb_txns);
+    if (ycsb_base == 0) {
+      ycsb_base = ycsb.mtxn_per_s;
+    }
+    PrintRow("ycsb", m, ycsb, ycsb_base);
+    char label[64];
+    std::snprintf(label, sizeof(label), "shard_scale/ycsb_m%u/%ut", m, sessions);
+    MaybeAppendMetricsJson(label, ycsb.metrics, {});
+
+    const ShardRunResult tpcc = RunTpcc(m, tpcc_txns);
+    if (tpcc_base == 0) {
+      tpcc_base = tpcc.mtxn_per_s;
+    }
+    PrintRow("tpcc", m, tpcc, tpcc_base);
+    std::snprintf(label, sizeof(label), "shard_scale/tpcc_m%u/%ut", m, sessions);
+    MaybeAppendMetricsJson(label, tpcc.metrics, {});
+  }
+  return 0;
+}

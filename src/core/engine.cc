@@ -75,7 +75,7 @@ void Worker::ResetStats() {
 
 // ---- Engine lifecycle -----------------------------------------------------
 
-Engine::Engine(NvmDevice* device, EngineConfig config, uint32_t workers)
+Engine::Engine(NvmDevice* device, EngineConfig config, uint32_t workers, bool defer_recovery)
     : device_(device),
       config_(std::move(config)),
       arena_(NvmArena::IsFormatted(*device) ? NvmArena::Open(device) : NvmArena::Format(device)) {
@@ -87,9 +87,25 @@ Engine::Engine(NvmDevice* device, EngineConfig config, uint32_t workers)
   Superblock* sb = GetSuperblock(arena_);
   if (sb->worker_count == 0) {
     FormatFresh(workers);
+  } else if (defer_recovery) {
+    // Database-layer 2PC resolution runs between now and FinishOpen(); no
+    // tables or workers exist until then.
+    open_deferred_ = true;
+    deferred_workers_ = workers;
   } else {
     OpenExisting(workers);
   }
+  if (!open_deferred_ && Tracer::EnabledByEnv()) {
+    EnableTracing();
+  }
+}
+
+void Engine::FinishOpen() {
+  if (!open_deferred_) {
+    return;
+  }
+  open_deferred_ = false;
+  OpenExisting(deferred_workers_);
   if (Tracer::EnabledByEnv()) {
     EnableTracing();
   }
@@ -104,15 +120,108 @@ void Engine::EnableTracing(size_t capacity_per_thread) {
 
 Engine::~Engine() = default;
 
-// Bytes of one worker's log region given the engine configuration.
-static uint64_t LogRegionBytes(const EngineConfig& cfg) {
-  // Must mirror the Worker constructor's slot geometry.
+// Per-worker log-slot geometry. Must mirror the Worker constructor.
+namespace {
+struct SlotGeometry {
+  uint32_t slots;
+  uint64_t slot_bytes;
+};
+
+SlotGeometry SlotGeometryFor(const EngineConfig& cfg) {
   const uint64_t slot_bytes =
       cfg.log_mode == LogMode::kNone ? kCacheLineSize * 8 : cfg.log_slot_bytes;
   const uint32_t slots = cfg.log_mode == LogMode::kNone
                              ? std::max(4u, cfg.batch_size + 1)
                              : cfg.EffectiveLogSlots();
-  return LogWindow::RegionBytes(slots, slot_bytes);
+  return {slots, slot_bytes};
+}
+}  // namespace
+
+// Bytes of one worker's log region given the engine configuration.
+static uint64_t LogRegionBytes(const EngineConfig& cfg) {
+  const SlotGeometry geo = SlotGeometryFor(cfg);
+  return LogWindow::RegionBytes(geo.slots, geo.slot_bytes);
+}
+
+// ---- Two-phase commit resolution (pre-recovery, Database layer) ------------
+//
+// These walk the raw log regions straight off the superblock so they work on
+// a deferred-open engine, before AttachWorkers/AttachTable ran. Resolution
+// must happen before replay: out-of-place recovery's winner scan would
+// otherwise classify a prepared transaction's versions as losers and
+// tombstone them, making a post-replay commit decision unapplyable.
+
+std::vector<PreparedTwoPcSlot> Engine::ScanPreparedTwoPc() const {
+  std::vector<PreparedTwoPcSlot> out;
+  Superblock* sb = GetSuperblock(arena_);
+  const SlotGeometry geo = SlotGeometryFor(config_);
+  for (uint32_t t = 0; t < sb->worker_count; ++t) {
+    for (uint32_t s = 0; s < geo.slots; ++s) {
+      auto* slot = arena_.Ptr<LogSlotHeader>(sb->log_windows[t] +
+                                             static_cast<uint64_t>(s) * geo.slot_bytes);
+      if (static_cast<SlotState>(slot->state.load(std::memory_order_acquire)) !=
+          SlotState::kPrepared) {
+        continue;
+      }
+      PreparedTwoPcSlot p;
+      p.worker = t;
+      p.slot = s;
+      p.tid = slot->tid;
+      const std::byte* payload = LogWindow::SlotPayload(slot);
+      uint64_t pos = 0;
+      for (uint64_t e = 0; e < slot->entry_count; ++e) {
+        LogEntryHeader entry;
+        std::memcpy(&entry, payload + pos, sizeof(entry));
+        pos += sizeof(entry) + entry.len;
+        if (entry.table_id == kInvalidTable &&
+            static_cast<LogOpKind>(entry.kind) == LogOpKind::kPrepare2pc) {
+          p.gid = entry.key;
+          p.coordinator = entry.offset;
+          p.has_marker = true;
+        }
+      }
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+bool Engine::FindTwoPcCommitDecision(uint64_t gid) const {
+  Superblock* sb = GetSuperblock(arena_);
+  const SlotGeometry geo = SlotGeometryFor(config_);
+  for (uint32_t t = 0; t < sb->worker_count; ++t) {
+    for (uint32_t s = 0; s < geo.slots; ++s) {
+      auto* slot = arena_.Ptr<LogSlotHeader>(sb->log_windows[t] +
+                                             static_cast<uint64_t>(s) * geo.slot_bytes);
+      if (static_cast<SlotState>(slot->state.load(std::memory_order_acquire)) !=
+          SlotState::kCommitted) {
+        continue;
+      }
+      const std::byte* payload = LogWindow::SlotPayload(slot);
+      uint64_t pos = 0;
+      for (uint64_t e = 0; e < slot->entry_count; ++e) {
+        LogEntryHeader entry;
+        std::memcpy(&entry, payload + pos, sizeof(entry));
+        pos += sizeof(entry) + entry.len;
+        if (entry.table_id == kInvalidTable &&
+            static_cast<LogOpKind>(entry.kind) == LogOpKind::kPrepare2pc &&
+            entry.key == gid) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+void Engine::ResolveTwoPcSlot(const PreparedTwoPcSlot& p, bool commit) {
+  Superblock* sb = GetSuperblock(arena_);
+  const SlotGeometry geo = SlotGeometryFor(config_);
+  auto* slot = arena_.Ptr<LogSlotHeader>(sb->log_windows[p.worker] +
+                                         static_cast<uint64_t>(p.slot) * geo.slot_bytes);
+  slot->state.store(
+      static_cast<uint64_t>(commit ? SlotState::kCommitted : SlotState::kUncommitted),
+      std::memory_order_release);
 }
 
 void Engine::FormatFresh(uint32_t workers) {
@@ -340,6 +449,9 @@ WorkerStats Engine::AggregateStats() const {
     total.batch_hidden_stall_ns += ws.batch_hidden_stall_ns;
     total.batch_idle_ns += ws.batch_idle_ns;
     total.batch_inflight_ns += ws.batch_inflight_ns;
+    total.twopc_prepares += ws.twopc_prepares;
+    total.twopc_commits += ws.twopc_commits;
+    total.twopc_aborts += ws.twopc_aborts;
   }
   return total;
 }
@@ -384,6 +496,10 @@ MetricsSnapshot Engine::SnapshotMetrics() const {
     s.batch_hidden_stall_ns += ws.batch_hidden_stall_ns;
     s.batch_idle_ns += ws.batch_idle_ns;
     s.batch_inflight_ns += ws.batch_inflight_ns;
+
+    s.twopc_prepares += ws.twopc_prepares;
+    s.twopc_commits += ws.twopc_commits;
+    s.twopc_aborts += ws.twopc_aborts;
 
     const HotTupleSetStats& hs = worker->hot_.stats();
     s.hot_hits += hs.hits;
@@ -453,6 +569,11 @@ void Engine::RecoverInPlace(ThreadContext& ctx, RecoveryReport& report) {
         pending.push_back({slot->tid, slot, true});
       } else if (state == SlotState::kUncommitted) {
         pending.push_back({slot->tid, slot, false});
+      } else if (state == SlotState::kPrepared) {
+        // Presumed abort: a prepared slot whose coordinator decided commit
+        // was already patched to kCommitted by the Database layer before
+        // this replay; anything still prepared rolls back.
+        pending.push_back({slot->tid, slot, false});
       }
     }
   }
@@ -469,6 +590,10 @@ void Engine::RecoverInPlace(ThreadContext& ctx, RecoveryReport& report) {
       ctx.TouchLoad(payload + pos, sizeof(entry) + entry.len);
       const std::byte* value = payload + pos + sizeof(entry);
       pos += sizeof(entry) + entry.len;
+
+      if (entry.table_id == kInvalidTable) {
+        continue;  // 2PC marker entry: metadata only, no tuple effect
+      }
 
       TableRuntime& table = tables_[entry.table_id];
       TupleHeader* header = table.heap->Header(entry.tuple);
@@ -512,6 +637,8 @@ void Engine::RecoverInPlace(ThreadContext& ctx, RecoveryReport& report) {
               table.index->Remove(ctx, entry.key);
             }
             break;
+          case LogOpKind::kPrepare2pc:
+            break;  // unreachable: markers were skipped above
         }
         // Clear the lock and stamp the committing TID (replaying "clears the
         // lock bits", §6.5). 2PL generations make its locks self-clearing;
@@ -598,7 +725,11 @@ void Engine::RecoverOutOfPlace(ThreadContext& ctx, RecoveryReport& report) {
           }
         }
         ++report.slots_replayed;
-      } else if (state == SlotState::kUncommitted) {
+      } else if (state == SlotState::kUncommitted || state == SlotState::kPrepared) {
+        // kPrepared: presumed abort (any coordinator-decided commit was
+        // patched to kCommitted before this pass). The transaction's
+        // versions carry no committed flag and its TID is not in
+        // committed_tids, so the winner scan below discards them.
         ++report.slots_discarded;
       }
       slot->state.store(static_cast<uint64_t>(SlotState::kFree), std::memory_order_release);

@@ -70,6 +70,7 @@ enum class CrashStepKind : uint8_t {
   kNone = 0,
   kLogAppend,     // a write-set entry became durable in the txn's log slot
   kIndexInstall,  // a fresh insert became reachable through the index
+  kPrepareMark,   // about to flip the slot state to PREPARED (2PC phase one)
   kCommitMark,    // about to flip the slot state to COMMITTED
   kTupleApply,    // about to apply one write-set entry to the heap
   kFlush,         // about to flush one applied tuple (selective persistence)
@@ -81,6 +82,7 @@ inline const char* CrashStepKindName(CrashStepKind kind) {
     case CrashStepKind::kNone: return "none";
     case CrashStepKind::kLogAppend: return "log-append";
     case CrashStepKind::kIndexInstall: return "index-install";
+    case CrashStepKind::kPrepareMark: return "prepare-mark";
     case CrashStepKind::kCommitMark: return "commit-mark";
     case CrashStepKind::kTupleApply: return "tuple-apply";
     case CrashStepKind::kFlush: return "flush";
@@ -94,8 +96,24 @@ inline const char* CrashStepKindName(CrashStepKind kind) {
 // kCommitMark's own throw onward the slot is still UNCOMMITTED (the mark
 // step fires *before* the state flip), so the boundary between all-old and
 // all-new outcomes is: kind <= kCommitMark ⇒ all-old, kind > ⇒ all-new.
+// kPrepareMark sits below kCommitMark: a crash during 2PC phase one leaves
+// the coordinator undecided, so presumed abort rolls the transaction back on
+// every shard — all-old.
 inline bool CrashStepPrecedesCommit(CrashStepKind kind) {
   return kind <= CrashStepKind::kCommitMark;
+}
+
+// 2PC refinement of the same boundary. The single-shard rule holds verbatim
+// on the coordinator (its kCommitMark throw fires before the decision flips),
+// but a *participant* only reaches its own kCommitMark after the coordinator's
+// decision is already durable — the Database commit protocol marks the
+// coordinator first — so on a participant the decision precedes the crash
+// from kCommitMark onward: every participant step >= kCommitMark is all-new.
+// (Read-only branches fire no steps at all: an empty write set commits
+// without touching durable state.)
+inline bool CrashStepPrecedesTwoPcDecision(CrashStepKind kind, bool on_coordinator) {
+  return on_coordinator ? kind <= CrashStepKind::kCommitMark
+                        : kind < CrashStepKind::kCommitMark;
 }
 
 struct TxnCrashed {
@@ -183,6 +201,7 @@ class Worker;
 class TxnFrame;
 class FrameSource;
 struct BatchRunStats;
+class DbTxn;  // src/db/database.h: cross-shard transaction handle
 
 // A transaction handle. Not thread safe; lives on one worker.
 class Txn {
@@ -238,10 +257,12 @@ class Txn {
 
   uint64_t tid() const { return tid_; }
   bool read_only() const { return read_only_; }
+  bool prepared() const { return prepared_; }
 
  private:
   friend class Worker;
   friend class TxnFrame;
+  friend class DbTxn;
 
   struct ReadEntry {
     TupleHeader* header;
@@ -335,6 +356,26 @@ class Txn {
   Status CommitInPlace();
   Status CommitOutOfPlace();
 
+  // Commit-path building blocks, shared with the 2PC path below. They are
+  // verbatim extractions from CommitInPlace/CommitOutOfPlace: same ctx
+  // charges in the same order, so single-shard commits stay byte-identical.
+  Status OccValidate();               // lock write set + revalidate read set
+  void ApplyInPlace();                // apply + flush + unlock + slot release
+  void ApplyOutOfPlace();
+  void FinishCommitBookkeeping();     // retire tid, bump commits, GC, trace
+
+  // Two-phase commit participant API (driven by DbTxn, src/db/database.h).
+  // Prepare2pc validates exactly like Commit would, appends a kPrepare2pc
+  // marker entry carrying {gid, coordinator shard}, and durably flips the
+  // slot to PREPARED — locks and the slot stay held. MarkDecidedCommit flips
+  // PREPARED -> COMMITTED (the decision record; on the coordinator this is
+  // the whole transaction's commit point). FinishCommitPrepared applies the
+  // write set and runs the normal post-commit bookkeeping. Abort() works
+  // unchanged on a prepared branch (presumed abort: slot -> FREE).
+  Status Prepare2pc(uint64_t gid, uint32_t coordinator_shard);
+  void MarkDecidedCommit();
+  Status FinishCommitPrepared();
+
   // Copies the pre-image into the DRAM version heap and links the chain.
   void CreateDramVersion(TableId table, TupleHeader* header);
 
@@ -396,6 +437,7 @@ class Txn {
   bool read_only_;
   bool active_ = true;
   bool slot_open_ = false;
+  bool prepared_ = false;  // 2PC: Prepare2pc succeeded, awaiting decision
   LogCursor log_cursor_;  // open log slot handle (valid while slot_open_)
   // Simulated begin time, captured only when tracing (closes the txn span).
   uint64_t trace_begin_ns_ = 0;
@@ -432,6 +474,7 @@ class Worker {
   friend class Engine;
   friend class Txn;
   friend class TxnFrame;
+  friend class DbTxn;
 
   Worker(Engine* engine, uint32_t id, PmOffset log_base);
 
@@ -462,11 +505,29 @@ class Worker {
   TraceRing* trace_ = nullptr;  // null = tracing disabled
 };
 
+// One prepared-but-undecided 2PC slot found in a crashed engine's log
+// regions before recovery ran (see Engine::ScanPreparedTwoPc).
+struct PreparedTwoPcSlot {
+  uint32_t worker = 0;
+  uint32_t slot = 0;
+  uint64_t tid = 0;
+  uint64_t gid = 0;          // global transaction id (marker entry's key)
+  uint32_t coordinator = 0;  // coordinator shard (marker entry's offset)
+  bool has_marker = false;   // marker entry parsed successfully
+};
+
 class Engine {
  public:
   // Formats a fresh database on `device`, or — if the device already holds a
   // formatted arena — opens it and runs recovery (§5.3).
-  Engine(NvmDevice* device, EngineConfig config, uint32_t workers);
+  //
+  // `defer_recovery` (Database layer): when the device holds a formatted
+  // arena, skip recovery for now — the caller inspects and resolves prepared
+  // 2PC slots first (ScanPreparedTwoPc / ResolveTwoPcSlot) and then calls
+  // FinishOpen() to run the normal open + replay. A fresh device formats
+  // immediately and FinishOpen() is a no-op.
+  Engine(NvmDevice* device, EngineConfig config, uint32_t workers,
+         bool defer_recovery = false);
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -486,6 +547,26 @@ class Engine {
   NvmArena& arena() { return arena_; }
   NvmDevice* device() { return device_; }
   const RecoveryReport& recovery_report() const { return recovery_report_; }
+
+  // Deferred-open protocol (see the constructor). The scan/resolve calls
+  // below work on a deferred engine: they walk the raw log regions straight
+  // off the superblock, before any tables or workers are attached.
+  bool open_deferred() const { return open_deferred_; }
+  void FinishOpen();
+
+  // Every slot still in state kPrepared, with its 2PC marker entry parsed.
+  std::vector<PreparedTwoPcSlot> ScanPreparedTwoPc() const;
+
+  // True iff some slot in state kCommitted carries a kPrepare2pc marker for
+  // `gid` — i.e. this engine (as coordinator) durably decided commit.
+  // Decided-and-fully-applied transactions release their slot, so a freed
+  // slot never matches; presumed abort covers that case because the
+  // coordinator only frees its slot after every participant has committed.
+  bool FindTwoPcCommitDecision(uint64_t gid) const;
+
+  // Patches one prepared slot to kCommitted (commit) or kUncommitted
+  // (abort) so the normal recovery pass replays or discards it.
+  void ResolveTwoPcSlot(const PreparedTwoPcSlot& slot, bool commit);
 
   uint64_t TupleDataSize(TableId table) const { return tables_[table].meta->tuple_data_size; }
   const TableMeta& table_meta(TableId table) const { return *tables_[table].meta; }
@@ -570,6 +651,8 @@ class Engine {
   CrashInjector crash_;
   RecoveryReport recovery_report_;
   Tracer tracer_;
+  bool open_deferred_ = false;       // constructor deferred OpenExisting
+  uint32_t deferred_workers_ = 0;    // worker count requested at construction
 };
 
 }  // namespace falcon

@@ -97,6 +97,23 @@ void LogWindow::MarkCommitted(ThreadContext& ctx, const LogCursor& cursor) {
   }
 }
 
+void LogWindow::MarkPrepared(ThreadContext& ctx, const LogCursor& cursor) {
+  LogSlotHeader* slot = SlotAt(cursor.slot);
+  if (flush_to_nvm_) {
+    ctx.Clwb(slot, sizeof(LogSlotHeader) + slot->bytes);
+    ctx.Sfence();
+    slot->state.store(static_cast<uint64_t>(SlotState::kPrepared), std::memory_order_release);
+    ctx.TouchStore(slot, sizeof(uint64_t));
+    ctx.Clwb(slot, kCacheLineSize);
+    ctx.Sfence();
+  } else {
+    ctx.Sfence();
+    slot->state.store(static_cast<uint64_t>(SlotState::kPrepared), std::memory_order_release);
+    ctx.TouchStore(slot, sizeof(uint64_t));
+    ctx.Sfence();
+  }
+}
+
 void LogWindow::Release(ThreadContext& ctx, const LogCursor& cursor) {
   LogSlotHeader* slot = SlotAt(cursor.slot);
   slot->state.store(static_cast<uint64_t>(SlotState::kFree), std::memory_order_release);

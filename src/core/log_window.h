@@ -34,12 +34,21 @@ enum class SlotState : uint64_t {
   kFree = 0,
   kUncommitted = 1,
   kCommitted = 2,
+  // Two-phase commit participant state: the slot is durable and the
+  // transaction's fate belongs to its coordinator. Standalone recovery
+  // treats it as uncommitted (presumed abort); the Database layer resolves
+  // it against the coordinator's decision record before replay.
+  kPrepared = 3,
 };
 
 enum class LogOpKind : uint32_t {
   kUpdate = 0,  // overwrite [offset, offset+len) of the tuple data
   kInsert = 1,  // full tuple image; replay re-links the index
   kDelete = 2,  // raise the delete flag; replay re-removes from the index
+  // 2PC marker entry (table_id == kInvalidTable, len == 0): key carries the
+  // global transaction id, offset carries the coordinator shard. Recovery
+  // replay skips it; pre-replay resolution parses it.
+  kPrepare2pc = 3,
 };
 
 struct LogSlotHeader {
@@ -121,6 +130,11 @@ class LogWindow {
   // for window logs persistence comes from eADR and only an sfence is
   // needed for ordering (§4.3).
   void MarkCommitted(ThreadContext& ctx, const LogCursor& cursor);
+
+  // Durably marks the slot prepared (2PC phase one). Same durability dance
+  // as MarkCommitted — the prepared mark must be recoverable so a restarted
+  // shard can ask its coordinator for the verdict.
+  void MarkPrepared(ThreadContext& ctx, const LogCursor& cursor);
 
   // Marks the slot free again (after apply, or on abort).
   void Release(ThreadContext& ctx, const LogCursor& cursor);

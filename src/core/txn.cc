@@ -924,6 +924,12 @@ Status Txn::Commit() {
     return result;
   }
 
+  FinishCommitBookkeeping();
+  return Status::kOk;
+}
+
+void Txn::FinishCommitBookkeeping() {
+  Engine* engine = worker_->engine_;
   active_ = false;
   scratch_->in_use = false;
   worker_->RetireTid(tid_);
@@ -950,7 +956,6 @@ Status Txn::Commit() {
     tr->Emit(TraceEventKind::kTxnCommit, worker_->ctx_.sim_ns(), trace_begin_ns_);
     tr->set_current_txn(0);
   }
-  return Status::kOk;
 }
 
 uint64_t Txn::WriteTsOf(TupleHeader* header) const {
@@ -995,12 +1000,60 @@ void Txn::FinalizeTuple(PmOffset tuple, TupleHeader* header) {
   ForgetLock(tuple);
 }
 
-Status Txn::CommitInPlace() {
+// OCC validation phase (lock write set, then verify the read set). Shared
+// by both update modes and the 2PC prepare path; a no-op for non-OCC
+// schemes. On failure the transaction is already aborted.
+Status Txn::OccValidate() {
   Engine* engine = worker_->engine_;
   ThreadContext& ctx = worker_->ctx_;
-  const EngineConfig& cfg = engine->config();
-  const CcScheme scheme = BaseScheme(cfg.cc);
-  const bool mv = IsMultiVersion(cfg.cc);
+  if (BaseScheme(engine->config().cc) != CcScheme::kOcc) {
+    return Status::kOk;
+  }
+  for (WriteEntry& w : write_set_) {
+    if (w.kind == LogOpKind::kInsert && w.len == 0) {
+      continue;  // fresh inserts are born locked; revivals validate below
+    }
+    TupleHeader* header = engine->table_heap(w.table).Header(w.tuple);
+    if (FindLock(w.tuple) != nullptr) {
+      continue;  // already locked for an earlier entry
+    }
+    uint64_t pre_ts = 0;
+    if (!TryLockTs(header->cc_word, &pre_ts)) {
+      FailConflict(AbortReason::kOccValidation, w.tuple, TsOf(pre_ts));
+      Abort();
+      return Status::kAborted;
+    }
+    ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
+    locks_.push_back(LockEntry{header, /*write=*/true, pre_ts});
+    RegisterLock(w.tuple);
+    // Raw-word comparison: a set retired bit is a real change (the
+    // version was superseded since we observed it).
+    if (pre_ts != w.observed) {
+      FailConflict(AbortReason::kOccValidation, w.tuple, TsOf(pre_ts));
+      Abort();
+      return Status::kAborted;
+    }
+  }
+  for (const ReadEntry& r : read_set_) {
+    const uint64_t now = r.header->cc_word.load(std::memory_order_acquire);
+    ctx.TouchLoad(r.header, sizeof(uint64_t));
+    if (now == r.observed) {
+      continue;
+    }
+    // Locked by us with an unchanged timestamp is still valid.
+    if (IsLockedTs(now) && TsOf(now) == TsOf(r.observed) &&
+        FindLock(r.tuple) != nullptr) {
+      continue;
+    }
+    FailConflict(AbortReason::kOccValidation, r.tuple, TsOf(now));
+    Abort();
+    return Status::kAborted;
+  }
+  return Status::kOk;
+}
+
+Status Txn::CommitInPlace() {
+  ThreadContext& ctx = worker_->ctx_;
 
   if (write_set_.empty()) {
     ReleaseLocks();
@@ -1010,48 +1063,8 @@ Status Txn::CommitInPlace() {
     return Status::kOk;
   }
 
-  // OCC validation phase (lock write set, then verify the read set).
-  if (scheme == CcScheme::kOcc) {
-    for (WriteEntry& w : write_set_) {
-      if (w.kind == LogOpKind::kInsert && w.len == 0) {
-        continue;  // fresh inserts are born locked; revivals validate below
-      }
-      TupleHeader* header = engine->table_heap(w.table).Header(w.tuple);
-      if (FindLock(w.tuple) != nullptr) {
-        continue;  // already locked for an earlier entry
-      }
-      uint64_t pre_ts = 0;
-      if (!TryLockTs(header->cc_word, &pre_ts)) {
-        FailConflict(AbortReason::kOccValidation, w.tuple, TsOf(pre_ts));
-        Abort();
-        return Status::kAborted;
-      }
-      ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
-      locks_.push_back(LockEntry{header, /*write=*/true, pre_ts});
-      RegisterLock(w.tuple);
-      // Raw-word comparison: a set retired bit is a real change (the
-      // version was superseded since we observed it).
-      if (pre_ts != w.observed) {
-        FailConflict(AbortReason::kOccValidation, w.tuple, TsOf(pre_ts));
-        Abort();
-        return Status::kAborted;
-      }
-    }
-    for (const ReadEntry& r : read_set_) {
-      const uint64_t now = r.header->cc_word.load(std::memory_order_acquire);
-      ctx.TouchLoad(r.header, sizeof(uint64_t));
-      if (now == r.observed) {
-        continue;
-      }
-      // Locked by us with an unchanged timestamp is still valid.
-      if (IsLockedTs(now) && TsOf(now) == TsOf(r.observed) &&
-          FindLock(r.tuple) != nullptr) {
-        continue;
-      }
-      FailConflict(AbortReason::kOccValidation, r.tuple, TsOf(now));
-      Abort();
-      return Status::kAborted;
-    }
+  if (OccValidate() != Status::kOk) {
+    return Status::kAborted;
   }
 
   MaybeCrash(CrashPoint::kBeforeCommitMark);
@@ -1067,8 +1080,19 @@ Status Txn::CommitInPlace() {
 
   MaybeCrash(CrashPoint::kAfterCommitMark);
 
-  // Apply phase (Algorithm 1 lines 3-6): in-place updates, versions for MV,
-  // per-tuple release.
+  ApplyInPlace();
+  return Status::kOk;
+}
+
+// Apply phase (Algorithm 1 lines 3-6): in-place updates, versions for MV,
+// per-tuple release; then the selective flush, lock release and slot
+// release. Runs after the commit (or 2PC decision) mark.
+void Txn::ApplyInPlace() {
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+  const EngineConfig& cfg = engine->config();
+  const bool mv = IsMultiVersion(cfg.cc);
+
   const size_t n = write_set_.size();
   for (size_t i = 0; i < n; ++i) {
     CrashStep(CrashStepKind::kTupleApply);
@@ -1121,6 +1145,8 @@ Status Txn::CommitInPlace() {
           engine->tuple_cache_->Invalidate(ctx, w.table, w.key);
         }
         break;
+      case LogOpKind::kPrepare2pc:
+        break;  // markers are appended directly, never via the write set
     }
 
     if (last_for_tuple) {
@@ -1163,6 +1189,8 @@ Status Txn::CommitInPlace() {
         case LogOpKind::kDelete:
           ctx.Clwb(header, sizeof(TupleHeader));
           break;
+        case LogOpKind::kPrepare2pc:
+          break;  // never in a write set
       }
       if (cfg.flush_policy == FlushPolicy::kSelective) {
         worker_->hot_.Cache(w.tuple);
@@ -1177,7 +1205,6 @@ Status Txn::CommitInPlace() {
                      worker_->trace_, SimPhase::kCommitFlush);
     worker_->log_->Release(ctx, log_cursor_);
   }
-  return Status::kOk;
 }
 
 void Txn::StampCommitted(TupleHeader* header) {
@@ -1215,10 +1242,7 @@ void Txn::RetireOldVersion(PmOffset tuple, TupleHeader* header, bool superseded)
 }
 
 Status Txn::CommitOutOfPlace() {
-  Engine* engine = worker_->engine_;
   ThreadContext& ctx = worker_->ctx_;
-  const EngineConfig& cfg = engine->config();
-  const CcScheme scheme = BaseScheme(cfg.cc);
 
   if (write_set_.empty()) {
     ReleaseLocks();
@@ -1226,43 +1250,8 @@ Status Txn::CommitOutOfPlace() {
   }
 
   // OCC validation (on the *old* tuple headers readers see).
-  if (scheme == CcScheme::kOcc) {
-    for (WriteEntry& w : write_set_) {
-      if (w.kind == LogOpKind::kInsert && w.len == 0) {
-        continue;
-      }
-      TupleHeader* header = engine->table_heap(w.table).Header(w.tuple);
-      if (FindLock(w.tuple) != nullptr) {
-        continue;
-      }
-      uint64_t pre_ts = 0;
-      if (!TryLockTs(header->cc_word, &pre_ts)) {
-        FailConflict(AbortReason::kOccValidation, w.tuple, TsOf(pre_ts));
-        Abort();
-        return Status::kAborted;
-      }
-      ctx.TouchStore(&header->cc_word, sizeof(uint64_t));
-      locks_.push_back(LockEntry{header, /*write=*/true, pre_ts});
-      RegisterLock(w.tuple);
-      // Raw-word comparison: a set retired bit is a real change (the
-      // version was superseded since we observed it).
-      if (pre_ts != w.observed) {
-        FailConflict(AbortReason::kOccValidation, w.tuple, TsOf(pre_ts));
-        Abort();
-        return Status::kAborted;
-      }
-    }
-    for (const ReadEntry& r : read_set_) {
-      const uint64_t now = r.header->cc_word.load(std::memory_order_acquire);
-      ctx.TouchLoad(r.header, sizeof(uint64_t));
-      if (now != r.observed &&
-          !(IsLockedTs(now) && TsOf(now) == TsOf(r.observed) &&
-            FindLock(r.tuple) != nullptr)) {
-        FailConflict(AbortReason::kOccValidation, r.tuple, TsOf(now));
-        Abort();
-        return Status::kAborted;
-      }
-    }
+  if (OccValidate() != Status::kOk) {
+    return Status::kAborted;
   }
 
   // Commit record: one tiny per-thread slot {tid, COMMITTED} — the log-free
@@ -1288,7 +1277,18 @@ Status Txn::CommitOutOfPlace() {
 
   MaybeCrash(CrashPoint::kAfterCommitMark);
 
-  // Apply: flag versions committed, repoint the index, retire old versions.
+  ApplyOutOfPlace();
+  return Status::kOk;
+}
+
+// Apply: flag versions committed, repoint the index, retire old versions;
+// then flush the new versions, release locks and the commit-record slot.
+// Runs after the commit (or 2PC decision) mark.
+void Txn::ApplyOutOfPlace() {
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+  const EngineConfig& cfg = engine->config();
+
   const size_t n = write_set_.size();
   for (size_t i = 0; i < n; ++i) {
     CrashStep(CrashStepKind::kTupleApply);
@@ -1348,6 +1348,8 @@ Status Txn::CommitOutOfPlace() {
         }
         break;
       }
+      case LogOpKind::kPrepare2pc:
+        break;  // never in a write set
     }
     if (i == 0) {
       MaybeCrash(CrashPoint::kMidApply);
@@ -1377,6 +1379,91 @@ Status Txn::CommitOutOfPlace() {
                      worker_->trace_, SimPhase::kCommitFlush);
     worker_->log_->Release(ctx, log_cursor_);
   }
+}
+
+// ---- Two-phase commit (Database layer, src/db) -------------------------------
+
+// Phase one: validate exactly as Commit would, then durably mark the slot
+// PREPARED instead of COMMITTED. The marker entry records the global txn id
+// and the coordinator shard so a crashed shard can resolve the branch at
+// reopen. Locks and the slot survive until the decision.
+Status Txn::Prepare2pc(uint64_t gid, uint32_t coordinator_shard) {
+  Engine* engine = worker_->engine_;
+  ThreadContext& ctx = worker_->ctx_;
+  if (!active_) {
+    return Status::kAborted;
+  }
+  ctx.Work(engine->config().cost_params.txn_overhead_ns);
+
+  if (write_set_.empty()) {
+    // Nothing to decide on this shard; the branch votes yes trivially and
+    // the decision/apply steps below degrade to lock release.
+    prepared_ = true;
+    return Status::kOk;
+  }
+
+  if (OccValidate() != Status::kOk) {
+    return Status::kAborted;
+  }
+
+  // Out-of-place engines open their commit-record slot here (in-place
+  // engines already hold one: the write set lives in it).
+  if (!slot_open_) {
+    if (!worker_->log_->OpenSlot(ctx, tid_, log_cursor_)) {
+      Fail(AbortReason::kLogOverflow);
+      Abort();
+      return Status::kAborted;
+    }
+    slot_open_ = true;
+  }
+
+  {
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kLogAppend),
+                     worker_->trace_, SimPhase::kLogAppend);
+    if (!worker_->log_->Append(ctx, log_cursor_, kInvalidTable, gid, kNullPm,
+                               LogOpKind::kPrepare2pc, coordinator_shard, 0, nullptr)) {
+      Fail(AbortReason::kLogOverflow);
+      Abort();
+      return Status::kAborted;
+    }
+  }
+  CrashStep(CrashStepKind::kLogAppend);
+
+  CrashStep(CrashStepKind::kPrepareMark);
+  {
+    PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush),
+                     worker_->trace_, SimPhase::kCommitFlush);
+    worker_->log_->MarkPrepared(ctx, log_cursor_);
+  }
+  prepared_ = true;
+  ++worker_->stats_.twopc_prepares;
+  return Status::kOk;
+}
+
+// The decision record: PREPARED -> COMMITTED. On the coordinator branch
+// this flip is the whole cross-shard transaction's commit point.
+void Txn::MarkDecidedCommit() {
+  if (!slot_open_) {
+    return;  // trivially-prepared branch (empty write set): nothing durable
+  }
+  ThreadContext& ctx = worker_->ctx_;
+  CrashStep(CrashStepKind::kCommitMark);
+  PhaseTimer timer(ctx.sim_ns_ref(), PhaseAcc(worker_->stats_, SimPhase::kCommitFlush),
+                   worker_->trace_, SimPhase::kCommitFlush);
+  worker_->log_->MarkCommitted(ctx, log_cursor_);
+}
+
+// Phase two (commit): apply the write set and run the normal post-commit
+// bookkeeping. Must follow MarkDecidedCommit on the same branch.
+Status Txn::FinishCommitPrepared() {
+  Engine* engine = worker_->engine_;
+  if (engine->config().update_mode == UpdateMode::kInPlace) {
+    ApplyInPlace();
+  } else {
+    ApplyOutOfPlace();
+  }
+  ++worker_->stats_.twopc_commits;
+  FinishCommitBookkeeping();
   return Status::kOk;
 }
 
@@ -1443,6 +1530,12 @@ void Txn::Abort() {
   worker_->RetireTid(tid_);
   ++worker_->stats_.txn_aborts;
   ++worker_->stats_.aborts_by_reason[static_cast<size_t>(next_abort_reason_)];
+  if (prepared_) {
+    // A prepared branch rolled back: presumed abort (peer shard failed to
+    // prepare, or the coordinator decided abort).
+    ++worker_->stats_.twopc_aborts;
+    prepared_ = false;
+  }
   if (TraceRing* tr = worker_->trace_; tr != nullptr) {
     tr->Emit(TraceEventKind::kTxnAbort, ctx.sim_ns(), trace_begin_ns_,
              static_cast<uint64_t>(next_abort_reason_));

@@ -1,0 +1,351 @@
+#include "src/db/database.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace falcon {
+
+// ---- Database ------------------------------------------------------------
+
+Database::Database(const DatabaseConfig& cfg) {
+  assert(cfg.shards >= 1);
+  owned_devices_.reserve(cfg.shards);
+  for (uint32_t s = 0; s < cfg.shards; ++s) {
+    owned_devices_.push_back(std::make_unique<NvmDevice>(
+        cfg.device_bytes_per_shard, cfg.engine.cost_params));
+    devices_.push_back(owned_devices_.back().get());
+  }
+  Open(cfg);
+}
+
+Database::Database(const DatabaseConfig& cfg, std::vector<NvmDevice*> devices)
+    : devices_(std::move(devices)) {
+  assert(devices_.size() == cfg.shards);
+  Open(cfg);
+}
+
+Database::~Database() = default;
+
+void Database::Open(const DatabaseConfig& cfg) {
+  sessions_ = cfg.sessions;
+  engines_.reserve(devices_.size());
+  if (devices_.size() == 1) {
+    // Single shard: the legacy constructor path, including immediate
+    // recovery — device traffic stays byte-identical to a bare Engine.
+    engines_.push_back(
+        std::make_unique<Engine>(devices_[0], cfg.engine, cfg.sessions));
+    return;
+  }
+  for (NvmDevice* dev : devices_) {
+    engines_.push_back(std::make_unique<Engine>(dev, cfg.engine, cfg.sessions,
+                                                /*defer_recovery=*/true));
+  }
+  // Resolve prepared-but-undecided 2PC slots before any engine replays:
+  // commit iff the coordinator shard holds a durable commit decision for the
+  // global transaction id, otherwise presumed abort. (Engines that formatted
+  // fresh are not deferred and hold no prepared slots.)
+  for (auto& engine : engines_) {
+    if (!engine->open_deferred()) {
+      continue;
+    }
+    for (const PreparedTwoPcSlot& p : engine->ScanPreparedTwoPc()) {
+      const bool commit = p.has_marker && p.coordinator < engines_.size() &&
+                          engines_[p.coordinator]->FindTwoPcCommitDecision(p.gid);
+      engine->ResolveTwoPcSlot(p, commit);
+    }
+  }
+  for (auto& engine : engines_) {
+    engine->FinishOpen();
+  }
+}
+
+TableId Database::CreateTable(const SchemaBuilder& schema, IndexKind index_kind) {
+  TableId id = kInvalidTable;
+  for (size_t s = 0; s < engines_.size(); ++s) {
+    const TableId t = engines_[s]->CreateTable(schema, index_kind);
+    if (s == 0) {
+      id = t;
+    } else {
+      // Tables are created in lockstep on every shard, so ids agree.
+      assert(t == id && "shard catalogs diverged");
+      (void)t;
+    }
+    if (t == kInvalidTable) {
+      return kInvalidTable;
+    }
+  }
+  if (id != kInvalidTable && id >= route_shift_.size()) {
+    route_shift_.resize(id + 1, 0);
+  }
+  return id;
+}
+
+std::optional<TableId> Database::FindTableId(std::string_view name) const {
+  return engines_[0]->FindTableId(name);
+}
+
+void Database::SetRouteShift(TableId table, uint32_t shift) {
+  if (table >= route_shift_.size()) {
+    route_shift_.resize(table + 1, 0);
+  }
+  route_shift_[table] = shift;
+}
+
+bool Database::recovered() const {
+  for (const auto& engine : engines_) {
+    if (engine->recovery_report().recovered) {
+      return true;
+    }
+  }
+  return false;
+}
+
+MetricsSnapshot Database::SnapshotMetrics() const {
+  MetricsSnapshot total = engines_[0]->SnapshotMetrics();
+  for (size_t s = 1; s < engines_.size(); ++s) {
+    const MetricsSnapshot shard = engines_[s]->SnapshotMetrics();
+    for (const MetricField& field : MetricFieldTable()) {
+      const uint64_t sum = MetricValue(total, field) + MetricValue(shard, field);
+      std::memcpy(reinterpret_cast<char*>(&total) + field.offset, &sum,
+                  sizeof(sum));
+    }
+    // Shards run concurrently: wall-clock is the slowest worker anywhere,
+    // not the sum of the per-shard maxima.
+    total.sim_ns_max = std::max(total.sim_ns_max - shard.sim_ns_max,
+                                shard.sim_ns_max);
+  }
+  return total;
+}
+
+// ---- DbTxn ---------------------------------------------------------------
+
+DbTxn::DbTxn(Database* db, uint32_t session, bool read_only)
+    : db_(db), session_(session), read_only_(read_only), branches_(db->shards()) {}
+
+DbTxn::~DbTxn() {
+  // ~Txn rolls back branches still active; frozen or committed branches were
+  // already destroyed.
+  for (BranchSlot& slot : branches_) {
+    DestroyBranch(slot);
+  }
+}
+
+Txn& DbTxn::Branch(uint32_t shard) {
+  BranchSlot& slot = branches_[shard];
+  if (!slot.open) {
+    Worker& worker = db_->engine(shard).worker(session_);
+    ::new (static_cast<void*>(slot.storage))
+        Txn(&worker, &worker.scratch_, read_only_);
+    slot.open = true;
+  }
+  return *std::launder(reinterpret_cast<Txn*>(slot.storage));
+}
+
+Txn* DbTxn::BranchIfOpen(uint32_t shard) {
+  BranchSlot& slot = branches_[shard];
+  if (!slot.open) {
+    return nullptr;
+  }
+  return std::launder(reinterpret_cast<Txn*>(slot.storage));
+}
+
+void DbTxn::DestroyBranch(BranchSlot& slot) {
+  if (!slot.open) {
+    return;
+  }
+  std::launder(reinterpret_cast<Txn*>(slot.storage))->~Txn();
+  slot.open = false;
+}
+
+void DbTxn::AbortAll() {
+  for (BranchSlot& slot : branches_) {
+    DestroyBranch(slot);  // ~Txn aborts active branches
+  }
+  active_ = false;
+}
+
+void DbTxn::DestroyAll() {
+  for (BranchSlot& slot : branches_) {
+    DestroyBranch(slot);
+  }
+}
+
+uint32_t DbTxn::branches_open() const {
+  uint32_t n = 0;
+  for (const BranchSlot& slot : branches_) {
+    n += slot.open ? 1 : 0;
+  }
+  return n;
+}
+
+Status DbTxn::Read(TableId table, uint64_t key, void* out) {
+  return Branch(db_->ShardOf(table, key)).Read(table, key, out);
+}
+
+Status DbTxn::ReadColumn(TableId table, uint64_t key, uint32_t column, void* out) {
+  return Branch(db_->ShardOf(table, key)).ReadColumn(table, key, column, out);
+}
+
+Status DbTxn::UpdateColumn(TableId table, uint64_t key, uint32_t column,
+                           const void* value) {
+  return Branch(db_->ShardOf(table, key)).UpdateColumn(table, key, column, value);
+}
+
+Status DbTxn::UpdatePartial(TableId table, uint64_t key, uint32_t offset,
+                            uint32_t len, const void* value) {
+  return Branch(db_->ShardOf(table, key))
+      .UpdatePartial(table, key, offset, len, value);
+}
+
+Status DbTxn::UpdateFull(TableId table, uint64_t key, const void* value) {
+  return Branch(db_->ShardOf(table, key)).UpdateFull(table, key, value);
+}
+
+Status DbTxn::Insert(TableId table, uint64_t key, const void* data) {
+  return Branch(db_->ShardOf(table, key)).Insert(table, key, data);
+}
+
+Status DbTxn::Delete(TableId table, uint64_t key) {
+  return Branch(db_->ShardOf(table, key)).Delete(table, key);
+}
+
+Status DbTxn::Scan(TableId table, uint64_t start_key, uint64_t end_key,
+                   size_t limit,
+                   const std::function<void(uint64_t, const std::byte*)>& visit) {
+  if (db_->shards() == 1) {
+    return Branch(0).Scan(table, start_key, end_key, limit, visit);
+  }
+  // Hash partitioning scatters a key range over every shard: scan them all,
+  // merge in key order, truncate to the limit.
+  struct Row {
+    uint64_t key;
+    std::vector<std::byte> data;
+  };
+  std::vector<Row> rows;
+  const uint64_t data_size = db_->engine(0).TupleDataSize(table);
+  for (uint32_t shard = 0; shard < db_->shards(); ++shard) {
+    const Status st = Branch(shard).Scan(
+        table, start_key, end_key, limit,
+        [&rows, data_size](uint64_t key, const std::byte* data) {
+          rows.push_back(Row{key, std::vector<std::byte>(data, data + data_size)});
+        });
+    if (st != Status::kOk) {
+      return st;
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.key < b.key; });
+  if (rows.size() > limit) {
+    rows.resize(limit);
+  }
+  for (const Row& row : rows) {
+    visit(row.key, row.data.data());
+  }
+  return Status::kOk;
+}
+
+Status DbTxn::Commit() {
+  if (!active_) {
+    return Status::kAborted;
+  }
+  active_ = false;
+
+  // Partition the open branches. A branch a prior operation left inactive
+  // cannot happen (operations never self-abort), but guard anyway.
+  std::vector<uint32_t> write_shards;
+  std::vector<uint32_t> readonly_shards;
+  for (uint32_t shard = 0; shard < db_->shards(); ++shard) {
+    Txn* txn = BranchIfOpen(shard);
+    if (txn == nullptr) {
+      continue;
+    }
+    if (!txn->active_) {
+      AbortAll();
+      return Status::kAborted;
+    }
+    if (txn->write_set_.empty()) {
+      readonly_shards.push_back(shard);
+    } else {
+      write_shards.push_back(shard);
+    }
+  }
+
+  if (write_shards.size() <= 1) {
+    // At most one shard has writes: the branch's own commit protocol is the
+    // whole story (this is the M = 1 byte-identical path).
+    if (!write_shards.empty()) {
+      const Status st = Branch(write_shards[0]).Commit();
+      if (st != Status::kOk) {
+        AbortAll();  // the write branch already rolled back; drop the rest
+        return st;
+      }
+    }
+    for (const uint32_t shard : readonly_shards) {
+      Branch(shard).Commit();  // empty write set: cannot fail
+    }
+    DestroyAll();
+    return Status::kOk;
+  }
+
+  // Two-phase commit. Coordinator = lowest write shard; the global id folds
+  // the coordinator shard into its branch tid so any shard's recovery can
+  // find the decision slot.
+  const uint32_t coord = write_shards[0];
+  Txn& coord_txn = Branch(coord);
+  const uint64_t gid = (coord_txn.tid() << 8) | coord;
+
+  // Phase one: participants prepare first, coordinator last. A failure
+  // anywhere aborts every branch (prepared participants roll back under
+  // presumed abort).
+  for (size_t i = 1; i < write_shards.size(); ++i) {
+    if (Branch(write_shards[i]).Prepare2pc(gid, coord) != Status::kOk) {
+      AbortAll();
+      return Status::kAborted;
+    }
+  }
+  if (coord_txn.Prepare2pc(gid, coord) != Status::kOk) {
+    AbortAll();
+    return Status::kAborted;
+  }
+
+  // Phase two. The coordinator's durable COMMITTED mark is the commit point:
+  // every participant is prepared, so recovery on either side of this store
+  // agrees with the outcome.
+  coord_txn.MarkDecidedCommit();
+  for (size_t i = 1; i < write_shards.size(); ++i) {
+    Txn& txn = Branch(write_shards[i]);
+    txn.MarkDecidedCommit();
+    txn.FinishCommitPrepared();
+  }
+  for (const uint32_t shard : readonly_shards) {
+    Branch(shard).Commit();
+  }
+  // The coordinator applies and frees its slot only after every participant
+  // committed: while any participant is still prepared, the decision record
+  // must stay findable.
+  coord_txn.FinishCommitPrepared();
+  DestroyAll();
+  return Status::kOk;
+}
+
+void DbTxn::Abort() {
+  AbortAll();
+}
+
+void DbTxn::Freeze() {
+  for (BranchSlot& slot : branches_) {
+    if (!slot.open) {
+      continue;
+    }
+    Txn* txn = std::launder(reinterpret_cast<Txn*>(slot.storage));
+    // Detach without rollback: the crash already froze engine state, and the
+    // scratch arena must be reusable for the post-reopen inspection txns.
+    txn->active_ = false;
+    txn->scratch_->in_use = false;
+    DestroyBranch(slot);
+  }
+  active_ = false;
+}
+
+}  // namespace falcon

@@ -1,0 +1,199 @@
+// The Database facade: a thin front door over one or more Engine instances.
+//
+// A Database hash-partitions every table across M independent engines
+// ("shards"), each with its own simulated NVM device, arenas, log windows
+// and metrics. Sessions are the unit of client concurrency: session i owns
+// worker i of every shard, so a session's transactions never contend with
+// another session's over scratch state.
+//
+// Transactions run through DbTxn, which lazily opens one engine-level Txn
+// branch per shard the transaction touches. A transaction whose writes land
+// on a single shard commits through the branch's normal Commit() — with
+// M = 1 that path is byte-identical to driving the Engine directly. A
+// transaction with writes on several shards commits with two-phase commit
+// layered on the per-engine commit protocol:
+//
+//   1. every non-coordinator write branch prepares (durable log append with
+//      a kPrepare2pc marker entry + slot state PREPARED),
+//   2. the coordinator (lowest write shard) prepares,
+//   3. the coordinator's MarkDecidedCommit flips its slot to COMMITTED —
+//      that single durable store is the transaction's commit point,
+//   4. participants learn the decision, mark COMMITTED and apply,
+//   5. read-only branches commit (cannot fail — empty write set),
+//   6. the coordinator applies and frees its slot last, so the decision
+//      record stays durable while any participant is still prepared.
+//
+// Recovery (M > 1): engines open with recovery deferred, prepared slots are
+// resolved against the coordinator shard's durable decision (presumed abort
+// when none is found), then each engine runs its normal replay.
+
+#ifndef SRC_DB_DATABASE_H_
+#define SRC_DB_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/config.h"
+#include "src/core/engine.h"
+#include "src/obs/metrics.h"
+#include "src/sim/nvm_device.h"
+
+namespace falcon {
+
+struct DatabaseConfig {
+  EngineConfig engine;
+  uint32_t shards = 1;    // independent Engine instances (M)
+  uint32_t sessions = 1;  // workers per engine; session i = worker i everywhere
+  // Capacity of each shard's simulated device (owning constructor only).
+  uint64_t device_bytes_per_shard = 256ull << 20;
+};
+
+class Database;
+
+// A cross-shard transaction handle. Lives on one session; not thread safe.
+// Mirrors the Txn API: operations return Status and never abort the
+// transaction themselves — on kAborted the caller calls Abort() (or Commit(),
+// which will fail) exactly as with a raw Txn.
+class DbTxn {
+ public:
+  DbTxn(DbTxn&&) = delete;
+  DbTxn(const DbTxn&) = delete;
+  DbTxn& operator=(const DbTxn&) = delete;
+  DbTxn& operator=(DbTxn&&) = delete;
+
+  // Dropped while still active: every open branch rolls back.
+  ~DbTxn();
+
+  Status Read(TableId table, uint64_t key, void* out);
+  Status ReadColumn(TableId table, uint64_t key, uint32_t column, void* out);
+  Status UpdateColumn(TableId table, uint64_t key, uint32_t column, const void* value);
+  Status UpdatePartial(TableId table, uint64_t key, uint32_t offset, uint32_t len,
+                       const void* value);
+  Status UpdateFull(TableId table, uint64_t key, const void* value);
+  Status Insert(TableId table, uint64_t key, const void* data);
+  Status Delete(TableId table, uint64_t key);
+
+  // Ordered scan (B+tree tables). With several shards the per-shard results
+  // are merged in key order and truncated to `limit` before visiting.
+  Status Scan(TableId table, uint64_t start_key, uint64_t end_key, size_t limit,
+              const std::function<void(uint64_t, const std::byte*)>& visit);
+
+  // Commits every branch: single-write-shard transactions take the branch's
+  // normal commit path, multi-shard ones run 2PC (see file comment). On
+  // kAborted every branch has rolled back.
+  Status Commit();
+
+  // Explicit abort: rolls back every open branch.
+  void Abort();
+
+  // Crash-harness hook: detaches every open branch without rolling back,
+  // leaving engine state exactly as the simulated power failure froze it.
+  void Freeze();
+
+  bool active() const { return active_; }
+  // Shards this transaction has opened a branch on (test introspection).
+  uint32_t branches_open() const;
+
+ private:
+  friend class Database;
+
+  DbTxn(Database* db, uint32_t session, bool read_only);
+
+  // Engine-level Txn branches, lazily constructed per shard. Txn is
+  // immovable, so branches live in placement-new storage that never moves
+  // (the vector is sized once at construction).
+  struct BranchSlot {
+    alignas(alignof(Txn)) unsigned char storage[sizeof(Txn)];
+    bool open = false;
+  };
+
+  Txn& Branch(uint32_t shard);
+  Txn* BranchIfOpen(uint32_t shard);
+  void DestroyBranch(BranchSlot& slot);
+  // Rolls back and destroys every open branch; deactivates the handle.
+  void AbortAll();
+  // Destroys every open branch without rollback (post-commit cleanup).
+  void DestroyAll();
+
+  Database* db_;
+  uint32_t session_;
+  bool read_only_;
+  bool active_ = true;
+  std::vector<BranchSlot> branches_;
+};
+
+class Database {
+ public:
+  // Owns the devices: creates `cfg.shards` fresh simulated devices of
+  // `cfg.device_bytes_per_shard` each.
+  explicit Database(const DatabaseConfig& cfg);
+
+  // Runs over caller-owned devices (crash tests reopen the same devices).
+  // devices.size() must equal cfg.shards. Devices already holding a
+  // formatted arena are recovered; with M > 1 prepared 2PC slots are
+  // resolved against the coordinator shard's decision first.
+  Database(const DatabaseConfig& cfg, std::vector<NvmDevice*> devices);
+
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Creates the table on every shard (same schema everywhere) and returns
+  // the common table id; kInvalidTable on failure.
+  TableId CreateTable(const SchemaBuilder& schema, IndexKind index_kind);
+
+  std::optional<TableId> FindTableId(std::string_view name) const;
+
+  // Routing: keys are pre-shifted by the table's route shift, then hashed.
+  // A route shift of s colocates keys sharing their top bits above bit s
+  // (e.g. TPC-C keys packing the warehouse id high colocate per warehouse).
+  // Route shifts are DRAM-only routing policy, not persisted — workloads
+  // re-register them after reopen.
+  void SetRouteShift(TableId table, uint32_t shift);
+
+  uint32_t ShardOf(TableId table, uint64_t key) const {
+    if (engines_.size() == 1) {
+      return 0;
+    }
+    const uint32_t shift =
+        table < route_shift_.size() ? route_shift_[table] : 0;
+    return static_cast<uint32_t>(Mix64(key >> shift) % engines_.size());
+  }
+
+  DbTxn Begin(uint32_t session, bool read_only = false) {
+    return DbTxn(this, session, read_only);
+  }
+
+  uint32_t shards() const { return static_cast<uint32_t>(engines_.size()); }
+  uint32_t sessions() const { return sessions_; }
+  Engine& engine(uint32_t shard) { return *engines_[shard]; }
+  const Engine& engine(uint32_t shard) const { return *engines_[shard]; }
+  const EngineConfig& config() const { return engines_[0]->config(); }
+
+  // True when any shard's open ran recovery (vs a fresh format).
+  bool recovered() const;
+
+  // Field-wise sum of every shard's snapshot (sim_ns_max takes the max:
+  // shards run concurrently, so the slowest worker anywhere drives time).
+  MetricsSnapshot SnapshotMetrics() const;
+
+ private:
+  void Open(const DatabaseConfig& cfg);
+
+  std::vector<std::unique_ptr<NvmDevice>> owned_devices_;
+  std::vector<NvmDevice*> devices_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  uint32_t sessions_ = 1;
+  std::vector<uint32_t> route_shift_;  // indexed by TableId; default 0
+};
+
+}  // namespace falcon
+
+#endif  // SRC_DB_DATABASE_H_

@@ -32,6 +32,9 @@ namespace {
   X(batch_hidden_stall_ns, kCounter)       \
   X(batch_idle_ns, kCounter)               \
   X(batch_inflight_ns, kCounter)           \
+  X(twopc_prepares, kCounter)              \
+  X(twopc_commits, kCounter)               \
+  X(twopc_aborts, kCounter)                \
   X(hot_hits, kCounter)                    \
   X(hot_misses, kCounter)                  \
   X(hot_evictions, kCounter)               \

@@ -108,6 +108,11 @@ struct WorkerStats {
   uint64_t batch_hidden_stall_ns = 0;  // stall overlapped by sibling compute
   uint64_t batch_idle_ns = 0;      // stall time no sibling could cover
   uint64_t batch_inflight_ns = 0;  // ∫ active-frames dt (occupancy weight)
+  // Two-phase commit participation (cross-shard transactions through the
+  // Database facade, src/db); all zero for single-shard workloads.
+  uint64_t twopc_prepares = 0;  // Prepare2pc durably marked a slot PREPARED
+  uint64_t twopc_commits = 0;   // prepared branches that committed
+  uint64_t twopc_aborts = 0;    // prepared branches rolled back
 };
 
 // Accumulates the simulated-time delta of its scope into a phase counter.
@@ -168,6 +173,11 @@ struct MetricsSnapshot {
   uint64_t batch_hidden_stall_ns = 0;
   uint64_t batch_idle_ns = 0;
   uint64_t batch_inflight_ns = 0;
+
+  // Two-phase commit (Database facade, src/db), summed over workers.
+  uint64_t twopc_prepares = 0;
+  uint64_t twopc_commits = 0;
+  uint64_t twopc_aborts = 0;
 
   // Hot tuple tracking (D2), summed over workers.
   uint64_t hot_hits = 0;
@@ -266,7 +276,9 @@ inline LatencySummary SummarizeHistogram(std::string name, const Histogram& hist
 
 // Bumped whenever the metrics JSON shape changes. v2 added schema_version
 // itself, full label escaping, and the optional "latency" section. v3 added
-// the batch_* metrics and the per-type "aborts" count in "latency".
+// the batch_* metrics, the per-type "aborts" count in "latency", and the
+// twopc_* counters (new fields only — still v3; tools/metrics_compare.py
+// flags one-sided fields instead of silently skipping them).
 inline constexpr int kMetricsSchemaVersion = 3;
 
 // Normalizes one path segment of a metrics label: every character outside

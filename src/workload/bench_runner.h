@@ -13,9 +13,12 @@
 #define SRC_WORKLOAD_BENCH_RUNNER_H_
 
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,19 +29,62 @@
 
 namespace falcon {
 
-// FALCON_BATCH: in-flight transactions per worker for batch-aware bench
-// binaries. Unset/0/1 selects the serial path; values are clamped to
-// Worker::RunBatch's 64-frame ceiling.
-inline uint32_t BatchSizeFromEnv() {
-  const char* v = std::getenv("FALCON_BATCH");
+// Strict parser for positive-integer tuning knobs. Accepts only all-digit
+// strings: returns nullopt for empty, non-numeric, negative (strtoull would
+// silently wrap "-3" to a huge value) and zero inputs. A genuine positive
+// value above `max_value` clamps to `max_value` (including out-of-range
+// digit strings).
+inline std::optional<uint32_t> ParsePositiveKnob(const char* text, uint32_t max_value) {
+  if (text == nullptr || text[0] == '\0') {
+    return std::nullopt;
+  }
+  for (const char* q = text; *q != '\0'; ++q) {
+    if (*q < '0' || *q > '9') {
+      return std::nullopt;  // rejects "-3", "abc", "4x", " 4"
+    }
+  }
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(text, nullptr, 10);
+  if (parsed == 0) {
+    return std::nullopt;  // "0", "000"
+  }
+  if (errno == ERANGE || parsed > max_value) {
+    return max_value;
+  }
+  return static_cast<uint32_t>(parsed);
+}
+
+// Reads env knob `name` as a positive integer. Unset or empty returns
+// `fallback`; a malformed value (zero, negative, non-numeric) is a hard
+// error — benches must not silently run a different configuration than the
+// one the caller asked for.
+inline uint32_t PositiveKnobFromEnv(const char* name, uint32_t max_value,
+                                    uint32_t fallback) {
+  const char* v = std::getenv(name);
   if (v == nullptr || v[0] == '\0') {
-    return 1;
+    return fallback;
   }
-  const unsigned long long parsed = std::strtoull(v, nullptr, 10);
-  if (parsed <= 1) {
-    return 1;
+  const std::optional<uint32_t> parsed = ParsePositiveKnob(v, max_value);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "error: %s=\"%s\" is not a positive integer (expected 1..%u)\n",
+                 name, v, max_value);
+    std::exit(2);
   }
-  return parsed > 64 ? 64u : static_cast<uint32_t>(parsed);
+  return *parsed;
+}
+
+// FALCON_BATCH: in-flight transactions per worker for batch-aware bench
+// binaries. Unset selects the serial path; values are clamped to
+// Worker::RunBatch's 64-frame ceiling; malformed values are a hard error.
+inline uint32_t BatchSizeFromEnv() {
+  return PositiveKnobFromEnv("FALCON_BATCH", 64, 1);
+}
+
+// FALCON_SHARDS: shard (engine) count for Database-level benches. Unset
+// returns `fallback` (0 = "run the bench's default sweep").
+inline uint32_t ShardCountFromEnv(uint32_t fallback = 0) {
+  return PositiveKnobFromEnv("FALCON_SHARDS", 64, fallback);
 }
 
 struct BenchResult {

@@ -1,0 +1,379 @@
+#include "src/workload/sharded.h"
+
+#include <cstring>
+
+namespace falcon {
+
+// ---- ShardedYcsb ---------------------------------------------------------
+
+ShardedYcsb::ShardedYcsb(Database* db, ShardedYcsbConfig config)
+    : db_(db), config_(config) {
+  SchemaBuilder schema("sharded_usertable");
+  for (uint32_t f = 0; f < config_.field_count; ++f) {
+    schema.AddColumn(config_.field_size);
+  }
+  table_ = db_->CreateTable(schema, IndexKind::kHash);
+  data_size_ = static_cast<uint32_t>(db_->engine(0).TupleDataSize(table_));
+}
+
+ShardedYcsb::ShardedYcsb(Database* db, ShardedYcsbConfig config, TableId table)
+    : db_(db), config_(config), table_(table) {
+  data_size_ = static_cast<uint32_t>(db_->engine(0).TupleDataSize(table_));
+}
+
+std::unique_ptr<ShardedYcsb> ShardedYcsb::Attach(Database* db,
+                                                 ShardedYcsbConfig config) {
+  const auto table = db->FindTableId("sharded_usertable");
+  if (!table.has_value()) {
+    return nullptr;
+  }
+  return std::unique_ptr<ShardedYcsb>(new ShardedYcsb(db, config, *table));
+}
+
+void ShardedYcsb::FillRow(std::byte* row, uint64_t key) const {
+  uint64_t acc = Mix64(key);
+  for (uint32_t i = 0; i < data_size_; i += sizeof(uint64_t)) {
+    const size_t n = std::min<size_t>(sizeof(uint64_t), data_size_ - i);
+    std::memcpy(row + i, &acc, n);
+    acc = Mix64(acc);
+  }
+}
+
+void ShardedYcsb::LoadRange(uint32_t session, uint64_t begin, uint64_t end) {
+  std::vector<std::byte> row(data_size_);
+  for (uint64_t key = begin; key < end; ++key) {
+    FillRow(row.data(), key);
+    for (;;) {
+      DbTxn txn = db_->Begin(session);
+      const Status s = txn.Insert(table_, key, row.data());
+      if (s == Status::kOk && txn.Commit() == Status::kOk) {
+        break;
+      }
+      if (s == Status::kDuplicate) {
+        break;  // reloaded after recovery
+      }
+      txn.Abort();
+    }
+  }
+}
+
+bool ShardedYcsb::TxnRead(uint32_t session, uint64_t key) {
+  std::vector<std::byte> buf(data_size_);
+  for (uint32_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    DbTxn txn = db_->Begin(session);
+    if (txn.Read(table_, key, buf.data()) == Status::kOk &&
+        txn.Commit() == Status::kOk) {
+      return true;
+    }
+    txn.Abort();
+  }
+  return false;
+}
+
+bool ShardedYcsb::TxnRmw(uint32_t session, Rng& rng, uint64_t key) {
+  std::vector<std::byte> buf(data_size_);
+  const uint64_t stamp = rng.Next();
+  for (uint32_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    DbTxn txn = db_->Begin(session);
+    if (txn.Read(table_, key, buf.data()) != Status::kOk) {
+      txn.Abort();
+      continue;
+    }
+    std::memcpy(buf.data(), &stamp, sizeof(stamp));
+    if (txn.UpdateFull(table_, key, buf.data()) == Status::kOk &&
+        txn.Commit() == Status::kOk) {
+      return true;
+    }
+    txn.Abort();
+  }
+  return false;
+}
+
+bool ShardedYcsb::TxnCrossShardRmw(uint32_t session, Rng& rng, uint64_t k1,
+                                   uint64_t k2) {
+  std::vector<std::byte> buf(data_size_);
+  const uint64_t stamp = rng.Next();
+  for (uint32_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    DbTxn txn = db_->Begin(session);
+    bool ok = true;
+    for (const uint64_t key : {k1, k2}) {
+      if (txn.Read(table_, key, buf.data()) != Status::kOk) {
+        ok = false;
+        break;
+      }
+      std::memcpy(buf.data(), &stamp, sizeof(stamp));
+      if (txn.UpdateFull(table_, key, buf.data()) != Status::kOk) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && txn.Commit() == Status::kOk) {
+      return true;
+    }
+    txn.Abort();
+  }
+  return false;
+}
+
+bool ShardedYcsb::RunOne(uint32_t session, Rng& rng) {
+  const uint64_t roll = rng.NextBounded(100);
+  const uint64_t k1 = rng.NextBounded(config_.record_count);
+  if (roll < config_.cross_shard_pct && db_->shards() > 1) {
+    // Force the pair onto two shards: re-roll the second key a few times.
+    uint64_t k2 = k1;
+    for (uint32_t tries = 0; tries < 16; ++tries) {
+      k2 = rng.NextBounded(config_.record_count);
+      if (db_->ShardOf(table_, k2) != db_->ShardOf(table_, k1)) {
+        break;
+      }
+    }
+    return TxnCrossShardRmw(session, rng, k1, k2);
+  }
+  if (roll < config_.cross_shard_pct + config_.read_pct) {
+    return TxnRead(session, k1);
+  }
+  return TxnRmw(session, rng, k1);
+}
+
+// ---- ShardedTpcc ---------------------------------------------------------
+
+ShardedTpcc::ShardedTpcc(Database* db, ShardedTpccConfig config)
+    : ShardedTpcc(db, config, /*create=*/true) {}
+
+ShardedTpcc::ShardedTpcc(Database* db, ShardedTpccConfig config, bool create)
+    : db_(db), config_(config) {
+  if (create) {
+    SchemaBuilder warehouse("s_warehouse");
+    warehouse.AddColumn(8);  // ytd
+    SchemaBuilder district("s_district");
+    district.AddColumn(8);  // ytd
+    district.AddColumn(8);  // next_oid
+    SchemaBuilder customer("s_customer");
+    customer.AddColumn(8);  // balance
+    customer.AddColumn(8);  // ytd_payment
+    customer.AddColumn(8);  // payment_cnt
+    SchemaBuilder stock("s_stock");
+    stock.AddColumn(8);  // quantity
+    stock.AddColumn(8);  // ytd
+    stock.AddColumn(8);  // remote_cnt
+    SchemaBuilder order("s_order");
+    order.AddColumn(8);  // customer
+    order.AddColumn(8);  // line_count
+    warehouse_ = db_->CreateTable(warehouse, IndexKind::kHash);
+    district_ = db_->CreateTable(district, IndexKind::kHash);
+    customer_ = db_->CreateTable(customer, IndexKind::kHash);
+    stock_ = db_->CreateTable(stock, IndexKind::kHash);
+    order_ = db_->CreateTable(order, IndexKind::kHash);
+  }
+  RegisterRouteShifts();
+}
+
+std::unique_ptr<ShardedTpcc> ShardedTpcc::Attach(Database* db,
+                                                 ShardedTpccConfig config) {
+  std::unique_ptr<ShardedTpcc> w(new ShardedTpcc(db, config, /*create=*/false));
+  const auto warehouse = db->FindTableId("s_warehouse");
+  const auto district = db->FindTableId("s_district");
+  const auto customer = db->FindTableId("s_customer");
+  const auto stock = db->FindTableId("s_stock");
+  const auto order = db->FindTableId("s_order");
+  if (!warehouse || !district || !customer || !stock || !order) {
+    return nullptr;
+  }
+  w->warehouse_ = *warehouse;
+  w->district_ = *district;
+  w->customer_ = *customer;
+  w->stock_ = *stock;
+  w->order_ = *order;
+  w->RegisterRouteShifts();
+  return w;
+}
+
+void ShardedTpcc::RegisterRouteShifts() {
+  // Shifting the low field bits away leaves the warehouse id, so every row
+  // of a warehouse routes to one shard.
+  db_->SetRouteShift(warehouse_, 0);
+  db_->SetRouteShift(district_, kDistrictShift);
+  db_->SetRouteShift(customer_, kCustomerShift);
+  db_->SetRouteShift(stock_, kStockShift);
+  db_->SetRouteShift(order_, kOrderShift);
+}
+
+uint64_t ShardedTpcc::RandomOtherWarehouse(Rng& rng, uint64_t home) const {
+  if (config_.warehouses <= 1) {
+    return home;
+  }
+  uint64_t w = 1 + rng.NextBounded(config_.warehouses - 1);
+  if (w >= home) {
+    ++w;
+  }
+  return w;
+}
+
+void ShardedTpcc::LoadWarehouses(uint32_t session, uint32_t first, uint32_t last) {
+  const uint64_t zero = 0;
+  auto insert_one = [&](TableId table, uint64_t key, const void* row) {
+    for (;;) {
+      DbTxn txn = db_->Begin(session);
+      const Status s = txn.Insert(table, key, row);
+      if (s == Status::kOk && txn.Commit() == Status::kOk) {
+        return;
+      }
+      if (s == Status::kDuplicate) {
+        return;  // reloaded after recovery
+      }
+      txn.Abort();
+    }
+  };
+  for (uint64_t w = first; w <= last; ++w) {
+    insert_one(warehouse_, w, &zero);
+    for (uint64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+      const uint64_t district_row[2] = {0, 1};  // ytd, next_oid
+      insert_one(district_, DistrictKey(w, d), district_row);
+      for (uint64_t c = 1; c <= config_.customers_per_district; ++c) {
+        const uint64_t customer_row[3] = {0, 0, 0};
+        insert_one(customer_, CustomerKey(w, d, c), customer_row);
+      }
+    }
+    for (uint64_t i = 1; i <= config_.items; ++i) {
+      const uint64_t stock_row[3] = {100, 0, 0};  // quantity, ytd, remote_cnt
+      insert_one(stock_, StockKey(w, i), stock_row);
+    }
+  }
+}
+
+Status ShardedTpcc::BumpColumn(DbTxn& txn, TableId table, uint64_t key,
+                               uint32_t col, uint64_t delta) {
+  uint64_t value = 0;
+  Status s = txn.ReadColumn(table, key, col, &value);
+  if (s != Status::kOk) {
+    return s;
+  }
+  value += delta;
+  return txn.UpdateColumn(table, key, col, &value);
+}
+
+bool ShardedTpcc::NewOrderLite(uint32_t session, Rng& rng) {
+  const uint64_t w = HomeWarehouse(session);
+  const uint64_t d = 1 + rng.NextBounded(config_.districts_per_warehouse);
+  const uint64_t c = 1 + rng.NextBounded(config_.customers_per_district);
+  // Pre-roll the order plan so retries replay the same transaction.
+  struct Line {
+    uint64_t item;
+    uint64_t supply_w;
+  };
+  std::vector<Line> lines(config_.order_lines);
+  for (Line& line : lines) {
+    line.item = 1 + rng.NextBounded(config_.items);
+    line.supply_w = rng.NextBounded(100) < config_.remote_stock_pct
+                        ? RandomOtherWarehouse(rng, w)
+                        : w;
+  }
+  for (uint32_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    DbTxn txn = db_->Begin(session);
+    uint64_t next_oid = 0;
+    if (txn.ReadColumn(district_, DistrictKey(w, d), ShardedDistrictCol::kNextOid,
+                       &next_oid) != Status::kOk) {
+      txn.Abort();
+      continue;
+    }
+    const uint64_t bumped = next_oid + 1;
+    if (txn.UpdateColumn(district_, DistrictKey(w, d), ShardedDistrictCol::kNextOid,
+                         &bumped) != Status::kOk) {
+      txn.Abort();
+      continue;
+    }
+    const uint64_t order_row[2] = {c, config_.order_lines};
+    if (txn.Insert(order_, OrderKey(w, d, next_oid), order_row) != Status::kOk) {
+      txn.Abort();
+      continue;
+    }
+    bool ok = true;
+    for (const Line& line : lines) {
+      const uint64_t key = StockKey(line.supply_w, line.item);
+      uint64_t quantity = 0;
+      if (txn.ReadColumn(stock_, key, ShardedStockCol::kQuantity, &quantity) !=
+          Status::kOk) {
+        ok = false;
+        break;
+      }
+      const uint64_t updated = quantity >= 10 ? quantity - 5 : quantity + 86;
+      if (txn.UpdateColumn(stock_, key, ShardedStockCol::kQuantity, &updated) !=
+          Status::kOk) {
+        ok = false;
+        break;
+      }
+      if (line.supply_w != w &&
+          BumpColumn(txn, stock_, key, ShardedStockCol::kRemoteCnt, 1) !=
+              Status::kOk) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && txn.Commit() == Status::kOk) {
+      return true;
+    }
+    txn.Abort();
+  }
+  return false;
+}
+
+bool ShardedTpcc::PaymentLite(uint32_t session, Rng& rng) {
+  const uint64_t w = HomeWarehouse(session);
+  const uint64_t d = 1 + rng.NextBounded(config_.districts_per_warehouse);
+  const uint64_t c = 1 + rng.NextBounded(config_.customers_per_district);
+  const uint64_t c_w = rng.NextBounded(100) < config_.remote_customer_pct
+                           ? RandomOtherWarehouse(rng, w)
+                           : w;
+  const uint64_t amount = 1 + rng.NextBounded(5000);
+  for (uint32_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    DbTxn txn = db_->Begin(session);
+    if (BumpColumn(txn, warehouse_, w, ShardedWarehouseCol::kYtd, amount) !=
+            Status::kOk ||
+        BumpColumn(txn, district_, DistrictKey(w, d), ShardedDistrictCol::kYtd,
+                   amount) != Status::kOk ||
+        BumpColumn(txn, customer_, CustomerKey(c_w, d, c),
+                   ShardedCustomerCol::kBalance, amount) != Status::kOk ||
+        BumpColumn(txn, customer_, CustomerKey(c_w, d, c),
+                   ShardedCustomerCol::kPaymentCnt, 1) != Status::kOk) {
+      txn.Abort();
+      continue;
+    }
+    if (txn.Commit() == Status::kOk) {
+      return true;
+    }
+    txn.Abort();
+  }
+  return false;
+}
+
+ShardedTpccTxnType ShardedTpcc::RunOne(uint32_t session, Rng& rng,
+                                       bool* committed) {
+  if (rng.NextBounded(2) == 0) {
+    *committed = NewOrderLite(session, rng);
+    return kNewOrderLite;
+  }
+  *committed = PaymentLite(session, rng);
+  return kPaymentLite;
+}
+
+uint64_t ShardedTpcc::TotalNextOrderIds(uint32_t session) {
+  uint64_t total = 0;
+  for (uint64_t w = 1; w <= config_.warehouses; ++w) {
+    for (uint64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+      for (;;) {
+        DbTxn txn = db_->Begin(session, /*read_only=*/false);
+        uint64_t next_oid = 0;
+        if (txn.ReadColumn(district_, DistrictKey(w, d),
+                           ShardedDistrictCol::kNextOid, &next_oid) == Status::kOk &&
+            txn.Commit() == Status::kOk) {
+          total += next_oid;
+          break;
+        }
+        txn.Abort();
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace falcon

@@ -1,0 +1,177 @@
+// Sharded workload drivers over the Database facade (src/db/database.h).
+//
+// ShardedYcsb: the YCSB table hash-partitioned across shards with a
+// configurable fraction of two-key read-modify-write transactions forced to
+// span two shards, exercising the 2PC commit path under a tunable rate.
+//
+// ShardedTpcc: a compact TPC-C subset (warehouse, district, customer, stock,
+// order) whose keys pack the warehouse id in the top bits; per-table route
+// shifts colocate each warehouse's rows on one shard, so only the standard
+// remote accesses (1% remote stock in NewOrderLite, 15% remote customer in
+// PaymentLite) cross shards — the TPC-C sharding story from the literature.
+
+#ifndef SRC_WORKLOAD_SHARDED_H_
+#define SRC_WORKLOAD_SHARDED_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/db/database.h"
+
+namespace falcon {
+
+// ---- ShardedYcsb ---------------------------------------------------------
+
+struct ShardedYcsbConfig {
+  uint64_t record_count = 65536;
+  uint32_t field_count = 10;
+  uint32_t field_size = 100;
+  uint32_t read_pct = 50;         // single-key full reads
+  uint32_t cross_shard_pct = 10;  // two-key RMW spanning two shards
+  uint32_t max_attempts = 64;     // CC-abort retries before giving up
+};
+
+class ShardedYcsb {
+ public:
+  // Creates the table on every shard (fresh databases only).
+  ShardedYcsb(Database* db, ShardedYcsbConfig config);
+
+  // Attaches to an existing table after reopen; null if absent.
+  static std::unique_ptr<ShardedYcsb> Attach(Database* db, ShardedYcsbConfig config);
+
+  // Loads rows [begin, end) through the given session (one txn per row:
+  // every load commit is single-shard).
+  void LoadRange(uint32_t session, uint64_t begin, uint64_t end);
+
+  // Runs one transaction of the mix to completion; returns true on commit.
+  bool RunOne(uint32_t session, Rng& rng);
+
+  TableId table() const { return table_; }
+  const ShardedYcsbConfig& config() const { return config_; }
+
+ private:
+  ShardedYcsb(Database* db, ShardedYcsbConfig config, TableId table);
+
+  void FillRow(std::byte* row, uint64_t key) const;
+  bool TxnRead(uint32_t session, uint64_t key);
+  bool TxnRmw(uint32_t session, Rng& rng, uint64_t key);
+  bool TxnCrossShardRmw(uint32_t session, Rng& rng, uint64_t k1, uint64_t k2);
+
+  Database* db_;
+  ShardedYcsbConfig config_;
+  TableId table_ = 0;
+  uint32_t data_size_ = 0;
+};
+
+// ---- ShardedTpcc ---------------------------------------------------------
+
+struct ShardedTpccConfig {
+  uint32_t warehouses = 4;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 64;
+  uint32_t items = 1000;  // stock rows per warehouse
+  uint32_t order_lines = 5;
+  uint32_t remote_stock_pct = 1;      // NewOrderLite: line supplied remotely
+  uint32_t remote_customer_pct = 15;  // PaymentLite: remote customer
+  uint32_t max_attempts = 64;
+};
+
+enum ShardedTpccTxnType : int {
+  kNewOrderLite = 0,
+  kPaymentLite = 1,
+};
+
+inline constexpr const char* kShardedTpccTxnTypeNames[2] = {"new_order_lite",
+                                                            "payment_lite"};
+
+inline std::vector<std::string> ShardedTpccTxnNames() {
+  return {kShardedTpccTxnTypeNames, kShardedTpccTxnTypeNames + 2};
+}
+
+class ShardedTpcc {
+ public:
+  // Creates the tables on every shard and registers the warehouse-colocating
+  // route shifts (fresh databases only).
+  ShardedTpcc(Database* db, ShardedTpccConfig config);
+
+  // Attaches after reopen: re-finds the table ids and re-registers the route
+  // shifts (routing is DRAM-only policy, not persisted). Null if absent.
+  static std::unique_ptr<ShardedTpcc> Attach(Database* db, ShardedTpccConfig config);
+
+  // Loads warehouses [first, last] (1-based, inclusive) via `session`. Every
+  // load commit is single-shard (warehouse colocation).
+  void LoadWarehouses(uint32_t session, uint32_t first, uint32_t last);
+
+  // Runs one transaction of the 50/50 mix; returns its type. `*committed`
+  // reports whether it committed within the retry budget.
+  ShardedTpccTxnType RunOne(uint32_t session, Rng& rng, bool* committed);
+
+  bool NewOrderLite(uint32_t session, Rng& rng);
+  bool PaymentLite(uint32_t session, Rng& rng);
+
+  const ShardedTpccConfig& config() const { return config_; }
+
+  // Consistency probe: sum of district next_o_id counters minus the loaded
+  // base equals the number of committed NewOrderLite transactions.
+  uint64_t TotalNextOrderIds(uint32_t session);
+
+  // Table ids (exposed for tests).
+  TableId warehouse_ = 0, district_ = 0, customer_ = 0, stock_ = 0, order_ = 0;
+
+ private:
+  // Key packing: warehouse id in the top bits, so a route shift of the low
+  // field width makes ShardOf a pure function of the warehouse.
+  static constexpr uint32_t kDistrictShift = 4;   // <= 16 districts
+  static constexpr uint32_t kCustomerShift = 16;  // district + <= 4096 customers
+  static constexpr uint32_t kStockShift = 20;     // <= 1M items
+  static constexpr uint32_t kOrderShift = 28;     // district + <= 16M orders
+
+  ShardedTpcc(Database* db, ShardedTpccConfig config, bool create);
+
+  uint64_t DistrictKey(uint64_t w, uint64_t d) const {
+    return (w << kDistrictShift) | d;
+  }
+  uint64_t CustomerKey(uint64_t w, uint64_t d, uint64_t c) const {
+    return (w << kCustomerShift) | (d << 12) | c;
+  }
+  uint64_t StockKey(uint64_t w, uint64_t i) const { return (w << kStockShift) | i; }
+  uint64_t OrderKey(uint64_t w, uint64_t d, uint64_t o) const {
+    return (w << kOrderShift) | (d << 24) | o;
+  }
+
+  uint64_t HomeWarehouse(uint32_t session) const {
+    return 1 + session % config_.warehouses;
+  }
+  uint64_t RandomOtherWarehouse(Rng& rng, uint64_t home) const;
+
+  void RegisterRouteShifts();
+
+  // Reads column `col` (u64), adds `delta`, writes it back.
+  Status BumpColumn(DbTxn& txn, TableId table, uint64_t key, uint32_t col,
+                    uint64_t delta);
+
+  Database* db_;
+  ShardedTpccConfig config_;
+};
+
+// Column indices (schemas live in sharded.cc and must match).
+struct ShardedWarehouseCol {
+  enum : uint32_t { kYtd = 0 };
+};
+struct ShardedDistrictCol {
+  enum : uint32_t { kYtd = 0, kNextOid = 1 };
+};
+struct ShardedCustomerCol {
+  enum : uint32_t { kBalance = 0, kYtdPayment = 1, kPaymentCnt = 2 };
+};
+struct ShardedStockCol {
+  enum : uint32_t { kQuantity = 0, kYtd = 1, kRemoteCnt = 2 };
+};
+struct ShardedOrderCol {
+  enum : uint32_t { kCustomer = 0, kLineCount = 1 };
+};
+
+}  // namespace falcon
+
+#endif  // SRC_WORKLOAD_SHARDED_H_

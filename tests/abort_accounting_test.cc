@@ -1,0 +1,212 @@
+// Abort-accounting invariants, swept across all six CC schemes and batch
+// sizes {1, 4, 8}:
+//
+//   * the per-reason abort counters (aborts_user, aborts_lock_conflict,
+//     aborts_ts_order, aborts_occ_validation, aborts_log_overflow,
+//     aborts_other) partition txn_aborts — their sum matches exactly, never
+//     over- or under-attributing an abort;
+//   * txn_aborts >= attempt_aborts — the engine aborts at least once per
+//     failed attempt the bench loop observed;
+//   * the swept workloads genuinely abort (a vacuously-true invariant over
+//     an abort-free run proves nothing).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/batch.h"
+#include "src/workload/bench_runner.h"
+
+namespace falcon {
+namespace {
+
+constexpr CcScheme kAllSchemes[] = {CcScheme::k2pl,   CcScheme::kTo,   CcScheme::kOcc,
+                                    CcScheme::kMv2pl, CcScheme::kMvTo, CcScheme::kMvOcc};
+constexpr uint32_t kBatchSizes[] = {1, 4, 8};
+constexpr uint32_t kValueColumn = 1;
+
+uint64_t SumAbortReasons(const MetricsSnapshot& m) {
+  return m.aborts_user + m.aborts_lock_conflict + m.aborts_ts_order +
+         m.aborts_occ_validation + m.aborts_log_overflow + m.aborts_other;
+}
+
+void CheckInvariants(const BenchResult& r, std::string_view where) {
+  EXPECT_EQ(SumAbortReasons(r.metrics), r.metrics.txn_aborts)
+      << where << ": per-reason abort counters must partition txn_aborts";
+  EXPECT_EQ(r.txn_aborts, r.metrics.txn_aborts)
+      << where << ": BenchResult and the metrics window disagree";
+  EXPECT_GE(r.txn_aborts, r.attempt_aborts)
+      << where << ": a failed attempt without an engine abort is impossible";
+  EXPECT_GT(r.txn_aborts, 0u)
+      << where << ": workload never aborted — the sweep is vacuous";
+}
+
+struct Fixture {
+  std::unique_ptr<NvmDevice> device;
+  std::unique_ptr<Engine> engine;
+  TableId table = kInvalidTable;
+
+  static Fixture Create(CcScheme cc, uint32_t workers, uint32_t batch_size,
+                        uint64_t preload_keys) {
+    Fixture f;
+    f.device = std::make_unique<NvmDevice>(256ull << 20);
+    EngineConfig config = EngineConfig::Falcon(cc);
+    config.batch_size = batch_size;
+    f.engine = std::make_unique<Engine>(f.device.get(), config, workers);
+    SchemaBuilder schema("acct");
+    schema.AddU64();  // column 0: key copy
+    schema.AddU64();  // column 1: value
+    f.table = f.engine->CreateTable(schema, IndexKind::kHash);
+    Worker& w = f.engine->worker(0);
+    for (uint64_t k = 0; k < preload_keys; ++k) {
+      Txn txn = w.Begin();
+      const uint64_t row[2] = {k, k * 100};
+      EXPECT_EQ(txn.Insert(f.table, k, row), Status::kOk);
+      EXPECT_EQ(txn.Commit(), Status::kOk);
+    }
+    return f;
+  }
+};
+
+// Serial path: two workers hammer a four-key set (CC-induced aborts under
+// every scheme) and every fifth transaction gives up voluntarily
+// (aborts_user), so the partition always has at least one non-zero bucket.
+TEST(AbortAccounting, SerialPartitionHoldsAcrossSchemes) {
+  for (const CcScheme cc : kAllSchemes) {
+    SCOPED_TRACE(CcSchemeName(cc));
+    Fixture f = Fixture::Create(cc, /*workers=*/2, /*batch_size=*/1,
+                                /*preload_keys=*/4);
+    const BenchResult r =
+        RunBench(*f.engine, 2, 300, [&](Worker& w, uint32_t t, uint64_t i) {
+          Txn txn = w.Begin();
+          const uint64_t v = t * 1000 + i;
+          if (txn.UpdateColumn(f.table, i % 4, kValueColumn, &v) != Status::kOk) {
+            txn.Abort();
+            return false;
+          }
+          if (i % 5 == 4) {
+            txn.Abort();  // simulated application-level give-up
+            return false;
+          }
+          return txn.Commit() == Status::kOk;
+        });
+    CheckInvariants(r, CcSchemeName(cc));
+    EXPECT_GT(r.metrics.aborts_user, 0u)
+        << "the voluntary give-ups must land in aborts_user";
+    EXPECT_GE(r.attempt_aborts, r.metrics.aborts_user)
+        << "every voluntary give-up is also a failed attempt";
+  }
+}
+
+// Batched frame: reads the one shared key, yields, updates it, yields, then
+// commits — the read makes sibling collisions visible to every scheme,
+// including OCC, whose validation would wave a blind write through. Every
+// fourth frame gives up voluntarily instead of committing. Single attempt —
+// a CC abort resolves the frame as aborted (~0).
+class MixFrame final : public TxnFrame {
+ public:
+  MixFrame(TableId table, uint64_t key, uint64_t value, bool user_abort)
+      : table_(table), key_(key), value_(value), user_abort_(user_abort) {}
+
+  bool Step(Worker& worker) override {
+    if (!has_txn()) {
+      BeginTxn(worker);
+      stage_ = 0;
+    }
+    Status s = Status::kOk;
+    switch (stage_) {
+      case 0: {
+        uint64_t got = 0;
+        s = txn().ReadColumn(table_, key_, kValueColumn, &got);
+        break;
+      }
+      case 1:
+        s = txn().UpdateColumn(table_, key_, kValueColumn, &value_);
+        break;
+      default: {
+        if (user_abort_) {
+          txn().Abort();
+          EndTxn();
+          set_result(~0);
+          return true;
+        }
+        const Status cs = txn().Commit();
+        EndTxn();
+        set_result(cs == Status::kOk ? 0 : ~0);
+        return true;
+      }
+    }
+    if (s != Status::kOk) {
+      if (has_txn()) {
+        txn().Abort();
+        EndTxn();
+      }
+      set_result(~0);
+      return true;
+    }
+    ++stage_;
+    return false;  // yield: siblings run between update and commit
+  }
+
+ private:
+  TableId table_;
+  uint64_t key_;
+  uint64_t value_;
+  bool user_abort_;
+  int stage_ = 0;
+};
+
+class MixFrameSource final : public FrameSource {
+ public:
+  MixFrameSource(TableId table, uint64_t frames) : table_(table), frames_(frames) {}
+
+  TxnFrame* Next(Worker&) override {
+    if (issued_ >= frames_) {
+      return nullptr;
+    }
+    const uint64_t i = issued_++;
+    owned_.push_back(
+        std::make_unique<MixFrame>(table_, /*key=*/0, 5000 + i, i % 4 == 3));
+    return owned_.back().get();
+  }
+
+ private:
+  TableId table_;
+  uint64_t frames_;
+  uint64_t issued_ = 0;
+  std::vector<std::unique_ptr<MixFrame>> owned_;
+};
+
+// Batched path (Worker::RunBatch): the same partition and ordering
+// invariants hold for batch sizes {1, 4, 8} under every scheme — including
+// batch 1, where only the voluntary give-ups abort.
+TEST(AbortAccounting, BatchedPartitionHoldsAcrossSchemesAndBatchSizes) {
+  for (const CcScheme cc : kAllSchemes) {
+    for (const uint32_t batch : kBatchSizes) {
+      const std::string where =
+          std::string(CcSchemeName(cc)) + " batch=" + std::to_string(batch);
+      SCOPED_TRACE(where);
+      Fixture f = Fixture::Create(cc, /*workers=*/1, batch, /*preload_keys=*/1);
+      const BenchResult r = RunBenchBatched(
+          *f.engine, /*threads=*/1, batch, [&](Worker&, uint32_t)
+              -> std::unique_ptr<FrameSource> {
+            return std::make_unique<MixFrameSource>(f.table, /*frames=*/64);
+          });
+      EXPECT_EQ(r.commits + r.attempt_aborts, 64u)
+          << where << ": every frame must resolve exactly once";
+      CheckInvariants(r, where);
+      EXPECT_GT(r.metrics.aborts_user, 0u) << where;
+      if (batch > 1) {
+        EXPECT_GT(r.metrics.txn_aborts, r.metrics.aborts_user)
+            << where << ": sibling conflicts on the shared key never "
+            << "produced a CC abort";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace falcon

@@ -2,11 +2,15 @@
 // attempt_aborts is what the bench loop saw (failed run_txn attempts),
 // txn_aborts is what the engine did (every Txn::Abort, including internal
 // retries that eventually committed) — and the metrics window matches the
-// per-thread tallies.
+// per-thread tallies. Also covers the strict env-knob parser: FALCON_BATCH
+// and FALCON_SHARDS must reject zero/negative/non-numeric values loudly
+// instead of silently running a different configuration.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "src/workload/bench_runner.h"
 
@@ -122,6 +126,123 @@ TEST(BenchRunner, MetricsWindowExcludesLoadPhase) {
   EXPECT_EQ(r.metrics.writes, 10u);
   // Device traffic in the window matches the DeviceStats the result reports.
   EXPECT_EQ(r.metrics.device_media_writes, r.device.media_writes);
+}
+
+// Sets (or unsets, for value == nullptr) an env var for one test and
+// restores the previous state on scope exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) {
+      old_ = old;
+    }
+    if (value != nullptr) {
+      setenv(name, value, /*overwrite=*/1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      setenv(name_, old_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(PositiveKnob, ParseAcceptsPositiveIntegersAndClamps) {
+  EXPECT_EQ(ParsePositiveKnob("1", 64), 1u);
+  EXPECT_EQ(ParsePositiveKnob("8", 64), 8u);
+  EXPECT_EQ(ParsePositiveKnob("64", 64), 64u);
+  EXPECT_EQ(ParsePositiveKnob("007", 64), 7u);  // leading zeros are digits
+  // A genuine positive value above the ceiling clamps instead of failing —
+  // including digit strings past the uint64 range (strtoull ERANGE).
+  EXPECT_EQ(ParsePositiveKnob("65", 64), 64u);
+  EXPECT_EQ(ParsePositiveKnob("4294967296", 64), 64u);
+  EXPECT_EQ(ParsePositiveKnob("99999999999999999999999999", 64), 64u);
+}
+
+TEST(PositiveKnob, ParseRejectsZeroNegativeAndNonNumeric) {
+  EXPECT_FALSE(ParsePositiveKnob(nullptr, 64).has_value());
+  EXPECT_FALSE(ParsePositiveKnob("", 64).has_value());
+  EXPECT_FALSE(ParsePositiveKnob("0", 64).has_value());
+  EXPECT_FALSE(ParsePositiveKnob("000", 64).has_value());
+  // strtoull would silently wrap "-3" to a huge value; the parser must not.
+  EXPECT_FALSE(ParsePositiveKnob("-3", 64).has_value());
+  EXPECT_FALSE(ParsePositiveKnob("+4", 64).has_value());
+  EXPECT_FALSE(ParsePositiveKnob("abc", 64).has_value());
+  EXPECT_FALSE(ParsePositiveKnob("4x", 64).has_value());
+  EXPECT_FALSE(ParsePositiveKnob(" 4", 64).has_value());
+  EXPECT_FALSE(ParsePositiveKnob("4 ", 64).has_value());
+  EXPECT_FALSE(ParsePositiveKnob("1e3", 64).has_value());
+  EXPECT_FALSE(ParsePositiveKnob("0x8", 64).has_value());
+}
+
+TEST(PositiveKnob, BatchSizeFromEnvDefaultsParsesAndClamps) {
+  {
+    ScopedEnv unset("FALCON_BATCH", nullptr);
+    EXPECT_EQ(BatchSizeFromEnv(), 1u) << "unset must select the serial path";
+  }
+  {
+    ScopedEnv empty("FALCON_BATCH", "");
+    EXPECT_EQ(BatchSizeFromEnv(), 1u) << "empty must behave like unset";
+  }
+  {
+    ScopedEnv set("FALCON_BATCH", "8");
+    EXPECT_EQ(BatchSizeFromEnv(), 8u);
+  }
+  {
+    ScopedEnv big("FALCON_BATCH", "1000");
+    EXPECT_EQ(BatchSizeFromEnv(), 64u) << "must clamp to the 64-frame ceiling";
+  }
+}
+
+TEST(PositiveKnob, ShardCountFromEnvDefaultsParsesAndClamps) {
+  {
+    ScopedEnv unset("FALCON_SHARDS", nullptr);
+    EXPECT_EQ(ShardCountFromEnv(), 0u) << "unset means 'run the default sweep'";
+    EXPECT_EQ(ShardCountFromEnv(4), 4u);
+  }
+  {
+    ScopedEnv set("FALCON_SHARDS", "3");
+    EXPECT_EQ(ShardCountFromEnv(), 3u);
+    EXPECT_EQ(ShardCountFromEnv(4), 3u) << "an explicit value beats the fallback";
+  }
+  {
+    ScopedEnv big("FALCON_SHARDS", "200");
+    EXPECT_EQ(ShardCountFromEnv(), 64u);
+  }
+}
+
+// Malformed knobs are a hard error (exit 2): benches must never silently run
+// a different configuration than the caller asked for.
+TEST(PositiveKnobDeathTest, MalformedEnvValuesAreFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  {
+    ScopedEnv zero("FALCON_BATCH", "0");
+    EXPECT_EXIT(BatchSizeFromEnv(), ::testing::ExitedWithCode(2),
+                "FALCON_BATCH.*not a positive integer");
+  }
+  {
+    ScopedEnv negative("FALCON_BATCH", "-2");
+    EXPECT_EXIT(BatchSizeFromEnv(), ::testing::ExitedWithCode(2),
+                "not a positive integer");
+  }
+  {
+    ScopedEnv junk("FALCON_SHARDS", "two");
+    EXPECT_EXIT(ShardCountFromEnv(), ::testing::ExitedWithCode(2),
+                "FALCON_SHARDS.*not a positive integer");
+  }
 }
 
 }  // namespace

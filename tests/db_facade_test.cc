@@ -1,0 +1,379 @@
+// Database facade semantics: the M = 1 byte-identity guarantee (the facade
+// adds zero device traffic over driving the Engine directly), cross-shard
+// routing, 2PC accounting, multi-shard scan merging, rollback on abort, and
+// recovery through the external-devices constructor.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "src/db/database.h"
+
+namespace falcon {
+namespace {
+
+constexpr uint64_t kDeviceBytes = 128ull << 20;
+
+// Finds a key >= start routed to `shard`.
+uint64_t KeyOnShard(const Database& db, TableId table, uint32_t shard, uint64_t start) {
+  uint64_t key = start;
+  while (db.ShardOf(table, key) != shard) {
+    ++key;
+  }
+  return key;
+}
+
+// A fixed mixed workload driven through any Begin() callable returning a
+// transaction handle with the shared Txn/DbTxn operation surface. Both the
+// bare Engine and the M = 1 Database run this verbatim for the identity test.
+template <typename BeginFn>
+void RunIdentityWorkload(BeginFn begin, TableId hash_table, TableId btree_table) {
+  Rng rng(0xfacadeull);
+  auto commit = [](auto& txn) { ASSERT_EQ(txn.Commit(), Status::kOk); };
+  // Inserts.
+  for (uint64_t key = 1; key <= 64; ++key) {
+    auto txn = begin();
+    const uint64_t row[2] = {key, rng.Next() >> 1};
+    ASSERT_EQ(txn.Insert(hash_table, key, row), Status::kOk);
+    const uint64_t brow[2] = {key, key * 3};
+    ASSERT_EQ(txn.Insert(btree_table, key, brow), Status::kOk);
+    commit(txn);
+  }
+  // Mixed updates / reads / deletes.
+  for (uint32_t i = 0; i < 128; ++i) {
+    auto txn = begin();
+    const uint64_t key = 1 + rng.NextBounded(64);
+    switch (rng.NextBounded(4)) {
+      case 0: {
+        uint64_t value = 0;
+        const Status s = txn.ReadColumn(hash_table, key, 1, &value);
+        ASSERT_TRUE(s == Status::kOk || s == Status::kNotFound);
+        break;
+      }
+      case 1: {
+        const uint64_t v = rng.Next() >> 1;
+        const Status s = txn.UpdateColumn(hash_table, key, 1, &v);
+        ASSERT_TRUE(s == Status::kOk || s == Status::kNotFound);
+        break;
+      }
+      case 2: {
+        const Status s = txn.Delete(hash_table, key);
+        ASSERT_TRUE(s == Status::kOk || s == Status::kNotFound);
+        break;
+      }
+      default: {
+        uint64_t seen = 0;
+        ASSERT_EQ(txn.Scan(btree_table, 1, 64, 10,
+                           [&seen](uint64_t, const std::byte*) { ++seen; }),
+                  Status::kOk);
+        break;
+      }
+    }
+    commit(txn);
+  }
+}
+
+bool SameDeviceStats(const DeviceStats& a, const DeviceStats& b, std::string* diff) {
+  auto check = [&](const char* name, uint64_t x, uint64_t y) {
+    if (x != y && diff->empty()) {
+      *diff = std::string(name) + ": " + std::to_string(x) + " vs " + std::to_string(y);
+    }
+    return x == y;
+  };
+  bool same = check("line_writes", a.line_writes, b.line_writes) &
+              check("media_writes", a.media_writes, b.media_writes) &
+              check("media_reads", a.media_reads, b.media_reads) &
+              check("full_drains", a.full_drains, b.full_drains) &
+              check("partial_drains", a.partial_drains, b.partial_drains) &
+              check("busy_ns", a.busy_ns, b.busy_ns);
+  for (size_t r = 0; r < kMediaRegionCount; ++r) {
+    same &= check(MediaRegionName(static_cast<MediaRegion>(r)),
+                  a.region_line_writes[r], b.region_line_writes[r]);
+    same &= check(MediaRegionName(static_cast<MediaRegion>(r)),
+                  a.region_media_writes[r], b.region_media_writes[r]);
+  }
+  return same;
+}
+
+// The acceptance bar for the facade: with one shard, a workload driven
+// through Database produces device traffic byte-identical to the same
+// workload driven through the Engine directly.
+TEST(DbFacade, SingleShardIsByteIdenticalToBareEngine) {
+  const EngineConfig engine_cfg = EngineConfig::Falcon(CcScheme::kOcc);
+  SchemaBuilder schema("identity");
+  schema.AddU64();
+  schema.AddU64();
+  SchemaBuilder ordered("identity_btree");
+  ordered.AddU64();
+  ordered.AddU64();
+
+  // Side A: bare engine.
+  NvmDevice bare_dev(kDeviceBytes, engine_cfg.cost_params);
+  DeviceStats bare_stats;
+  MetricsSnapshot bare_metrics;
+  {
+    Engine engine(&bare_dev, engine_cfg, /*workers=*/1);
+    const TableId hash_table = engine.CreateTable(schema, IndexKind::kHash);
+    const TableId btree_table = engine.CreateTable(ordered, IndexKind::kBTree);
+    Worker& w = engine.worker(0);
+    RunIdentityWorkload([&w] { return w.Begin(); }, hash_table, btree_table);
+    w.ctx().cache().WritebackAll();
+    bare_dev.DrainAll();
+    bare_stats = bare_dev.stats();
+    bare_metrics = engine.SnapshotMetrics();
+  }
+
+  // Side B: the facade with M = 1.
+  DatabaseConfig db_cfg;
+  db_cfg.engine = engine_cfg;
+  db_cfg.shards = 1;
+  db_cfg.sessions = 1;
+  db_cfg.device_bytes_per_shard = kDeviceBytes;
+  Database db(db_cfg);
+  const TableId hash_table = db.CreateTable(schema, IndexKind::kHash);
+  const TableId btree_table = db.CreateTable(ordered, IndexKind::kBTree);
+  RunIdentityWorkload([&db] { return db.Begin(0); }, hash_table, btree_table);
+  db.engine(0).worker(0).ctx().cache().WritebackAll();
+  db.engine(0).device()->DrainAll();
+
+  std::string diff;
+  EXPECT_TRUE(SameDeviceStats(bare_stats, db.engine(0).device()->stats(), &diff))
+      << "facade changed device traffic at M=1: " << diff;
+
+  // Engine-side accounting is identical too, not just the media image.
+  const MetricsSnapshot facade_metrics = db.SnapshotMetrics();
+  for (const MetricField& field : MetricFieldTable()) {
+    EXPECT_EQ(MetricValue(bare_metrics, field), MetricValue(facade_metrics, field))
+        << "metric " << field.name << " diverged at M=1";
+  }
+  EXPECT_EQ(facade_metrics.twopc_prepares, 0u);
+}
+
+class DbFacadeShardedTest : public ::testing::Test {
+ protected:
+  DbFacadeShardedTest() {
+    cfg_.engine = EngineConfig::Falcon(CcScheme::kOcc);
+    cfg_.shards = 2;
+    cfg_.sessions = 2;
+    cfg_.device_bytes_per_shard = kDeviceBytes;
+    db_ = std::make_unique<Database>(cfg_);
+    SchemaBuilder schema("pairs");
+    schema.AddU64();
+    schema.AddU64();
+    table_ = db_->CreateTable(schema, IndexKind::kHash);
+  }
+
+  void InsertKey(uint64_t key, uint64_t value) {
+    DbTxn txn = db_->Begin(0);
+    const uint64_t row[2] = {key, value};
+    ASSERT_EQ(txn.Insert(table_, key, row), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+
+  uint64_t ReadKey(uint64_t key) {
+    DbTxn txn = db_->Begin(0);
+    uint64_t value = UINT64_MAX;
+    const Status s = txn.ReadColumn(table_, key, 1, &value);
+    EXPECT_TRUE(s == Status::kOk || s == Status::kNotFound);
+    EXPECT_EQ(txn.Commit(), Status::kOk);
+    return s == Status::kOk ? value : UINT64_MAX;
+  }
+
+  DatabaseConfig cfg_;
+  std::unique_ptr<Database> db_;
+  TableId table_ = kInvalidTable;
+};
+
+TEST_F(DbFacadeShardedTest, CrossShardCommitRunsTwoPcOnBothShards) {
+  const uint64_t k0 = KeyOnShard(*db_, table_, 0, 1);
+  const uint64_t k1 = KeyOnShard(*db_, table_, 1, 1);
+  InsertKey(k0, 10);
+  InsertKey(k1, 20);
+
+  const MetricsSnapshot before = db_->SnapshotMetrics();
+  DbTxn txn = db_->Begin(0);
+  const uint64_t v0 = 11;
+  const uint64_t v1 = 21;
+  ASSERT_EQ(txn.UpdateColumn(table_, k0, 1, &v0), Status::kOk);
+  ASSERT_EQ(txn.UpdateColumn(table_, k1, 1, &v1), Status::kOk);
+  EXPECT_EQ(txn.branches_open(), 2u);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  const MetricsSnapshot delta = DiffMetrics(before, db_->SnapshotMetrics());
+
+  EXPECT_EQ(delta.twopc_prepares, 2u);  // coordinator + one participant
+  EXPECT_EQ(delta.twopc_commits, 2u);
+  EXPECT_EQ(delta.twopc_aborts, 0u);
+  EXPECT_EQ(ReadKey(k0), v0);
+  EXPECT_EQ(ReadKey(k1), v1);
+}
+
+TEST_F(DbFacadeShardedTest, SingleShardWritesSkipTwoPc) {
+  const uint64_t a = KeyOnShard(*db_, table_, 0, 1);
+  const uint64_t b = KeyOnShard(*db_, table_, 0, a + 1);
+  const MetricsSnapshot before = db_->SnapshotMetrics();
+  DbTxn txn = db_->Begin(0);
+  const uint64_t rowa[2] = {a, 1};
+  const uint64_t rowb[2] = {b, 2};
+  ASSERT_EQ(txn.Insert(table_, a, rowa), Status::kOk);
+  ASSERT_EQ(txn.Insert(table_, b, rowb), Status::kOk);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  const MetricsSnapshot delta = DiffMetrics(before, db_->SnapshotMetrics());
+  EXPECT_EQ(delta.twopc_prepares, 0u) << "same-shard writes must not pay for 2PC";
+  EXPECT_EQ(delta.commits, 1u);
+}
+
+TEST_F(DbFacadeShardedTest, ReadOnlyBranchRidesSingleWriteShardCommit) {
+  const uint64_t k0 = KeyOnShard(*db_, table_, 0, 1);
+  const uint64_t k1 = KeyOnShard(*db_, table_, 1, 1);
+  InsertKey(k0, 5);
+  InsertKey(k1, 6);
+  const MetricsSnapshot before = db_->SnapshotMetrics();
+  DbTxn txn = db_->Begin(0);
+  uint64_t seen = 0;
+  ASSERT_EQ(txn.ReadColumn(table_, k0, 1, &seen), Status::kOk);
+  EXPECT_EQ(seen, 5u);
+  const uint64_t v = 7;
+  ASSERT_EQ(txn.UpdateColumn(table_, k1, 1, &v), Status::kOk);
+  EXPECT_EQ(txn.branches_open(), 2u);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  const MetricsSnapshot delta = DiffMetrics(before, db_->SnapshotMetrics());
+  EXPECT_EQ(delta.twopc_prepares, 0u) << "one write shard never needs 2PC";
+  EXPECT_EQ(ReadKey(k1), v);
+}
+
+TEST_F(DbFacadeShardedTest, ReadYourOwnWritesAcrossShards) {
+  const uint64_t k0 = KeyOnShard(*db_, table_, 0, 1);
+  const uint64_t k1 = KeyOnShard(*db_, table_, 1, 1);
+  DbTxn txn = db_->Begin(0);
+  const uint64_t row0[2] = {k0, 100};
+  const uint64_t row1[2] = {k1, 200};
+  ASSERT_EQ(txn.Insert(table_, k0, row0), Status::kOk);
+  ASSERT_EQ(txn.Insert(table_, k1, row1), Status::kOk);
+  uint64_t v = 0;
+  ASSERT_EQ(txn.ReadColumn(table_, k0, 1, &v), Status::kOk);
+  EXPECT_EQ(v, 100u);
+  ASSERT_EQ(txn.ReadColumn(table_, k1, 1, &v), Status::kOk);
+  EXPECT_EQ(v, 200u);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+}
+
+TEST_F(DbFacadeShardedTest, AbortRollsBackEveryShard) {
+  const uint64_t k0 = KeyOnShard(*db_, table_, 0, 1);
+  const uint64_t k1 = KeyOnShard(*db_, table_, 1, 1);
+  InsertKey(k0, 1);
+  InsertKey(k1, 2);
+  {
+    DbTxn txn = db_->Begin(0);
+    const uint64_t v = 99;
+    ASSERT_EQ(txn.UpdateColumn(table_, k0, 1, &v), Status::kOk);
+    ASSERT_EQ(txn.UpdateColumn(table_, k1, 1, &v), Status::kOk);
+    txn.Abort();
+    EXPECT_FALSE(txn.active());
+  }
+  EXPECT_EQ(ReadKey(k0), 1u);
+  EXPECT_EQ(ReadKey(k1), 2u);
+  {
+    // Implicit rollback on destruction behaves the same.
+    DbTxn txn = db_->Begin(1);
+    const uint64_t v = 98;
+    ASSERT_EQ(txn.UpdateColumn(table_, k0, 1, &v), Status::kOk);
+    ASSERT_EQ(txn.UpdateColumn(table_, k1, 1, &v), Status::kOk);
+  }
+  EXPECT_EQ(ReadKey(k0), 1u);
+  EXPECT_EQ(ReadKey(k1), 2u);
+}
+
+TEST(DbFacadeScan, MergesShardsInKeyOrder) {
+  DatabaseConfig cfg;
+  cfg.engine = EngineConfig::Falcon(CcScheme::kOcc);
+  cfg.shards = 2;
+  cfg.sessions = 1;
+  cfg.device_bytes_per_shard = kDeviceBytes;
+  Database db(cfg);
+  SchemaBuilder schema("ordered");
+  schema.AddU64();
+  schema.AddU64();
+  const TableId table = db.CreateTable(schema, IndexKind::kBTree);
+
+  std::set<uint32_t> shards_used;
+  for (uint64_t key = 1; key <= 32; ++key) {
+    DbTxn txn = db.Begin(0);
+    const uint64_t row[2] = {key, key * 7};
+    ASSERT_EQ(txn.Insert(table, key, row), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+    shards_used.insert(db.ShardOf(table, key));
+  }
+  ASSERT_EQ(shards_used.size(), 2u) << "hash routing left a shard empty";
+
+  DbTxn txn = db.Begin(0);
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> values;
+  ASSERT_EQ(txn.Scan(table, 1, 32, 10,
+                     [&](uint64_t key, const std::byte* data) {
+                       keys.push_back(key);
+                       uint64_t v = 0;
+                       std::memcpy(&v, data + sizeof(uint64_t), sizeof(v));
+                       values.push_back(v);
+                     }),
+            Status::kOk);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  ASSERT_EQ(keys.size(), 10u) << "limit not applied across the shard merge";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], i + 1) << "merge broke key order";
+    EXPECT_EQ(values[i], (i + 1) * 7);
+  }
+}
+
+TEST(DbFacadeRecovery, CrossShardCommitsSurviveReopen) {
+  DatabaseConfig cfg;
+  cfg.engine = EngineConfig::Falcon(CcScheme::kOcc);
+  cfg.shards = 2;
+  cfg.sessions = 1;
+  cfg.device_bytes_per_shard = kDeviceBytes;
+  std::vector<std::unique_ptr<NvmDevice>> devices;
+  std::vector<NvmDevice*> raw;
+  for (uint32_t s = 0; s < cfg.shards; ++s) {
+    devices.push_back(
+        std::make_unique<NvmDevice>(cfg.device_bytes_per_shard, cfg.engine.cost_params));
+    raw.push_back(devices.back().get());
+  }
+
+  SchemaBuilder schema("durable_pairs");
+  schema.AddU64();
+  schema.AddU64();
+  uint64_t k0 = 0;
+  uint64_t k1 = 0;
+  {
+    Database db(cfg, raw);
+    const TableId table = db.CreateTable(schema, IndexKind::kHash);
+    k0 = KeyOnShard(db, table, 0, 1);
+    k1 = KeyOnShard(db, table, 1, 1);
+    DbTxn txn = db.Begin(0);
+    const uint64_t row0[2] = {k0, 41};
+    const uint64_t row1[2] = {k1, 42};
+    ASSERT_EQ(txn.Insert(table, k0, row0), Status::kOk);
+    ASSERT_EQ(txn.Insert(table, k1, row1), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+    for (uint32_t s = 0; s < cfg.shards; ++s) {
+      db.engine(s).worker(0).ctx().cache().WritebackAll();
+      db.engine(s).device()->DrainAll();
+    }
+  }
+
+  Database db(cfg, raw);
+  EXPECT_TRUE(db.recovered());
+  const auto table = db.FindTableId("durable_pairs");
+  ASSERT_TRUE(table.has_value());
+  DbTxn txn = db.Begin(0);
+  uint64_t v = 0;
+  ASSERT_EQ(txn.ReadColumn(*table, k0, 1, &v), Status::kOk);
+  EXPECT_EQ(v, 41u);
+  ASSERT_EQ(txn.ReadColumn(*table, k1, 1, &v), Status::kOk);
+  EXPECT_EQ(v, 42u);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+}
+
+}  // namespace
+}  // namespace falcon

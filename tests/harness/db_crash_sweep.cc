@@ -1,0 +1,590 @@
+#include "tests/harness/db_crash_sweep.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace falcon::test {
+namespace {
+
+// Shadow value meaning "key is dead". Generated values are Next() >> 1, so
+// the sentinel can never collide with a real value.
+constexpr uint64_t kDead = UINT64_MAX;
+constexpr uint32_t kValueColumn = 1;
+
+uint64_t InitialValue(uint64_t seed, uint64_t key) { return Mix64(seed ^ key) >> 1; }
+
+// key -> live value (absent = dead).
+using Shadow = std::map<uint64_t, uint64_t>;
+// key -> final value this txn will commit (kDead = delete).
+using Effects = std::map<uint64_t, uint64_t>;
+
+enum class OpKind : uint8_t { kRead, kUpdate, kInsert, kDelete };
+
+struct Op {
+  OpKind kind;
+  uint64_t key;
+  uint64_t value;
+};
+
+const char* OpName(OpKind k) {
+  switch (k) {
+    case OpKind::kRead: return "read";
+    case OpKind::kUpdate: return "update";
+    case OpKind::kInsert: return "insert";
+    case OpKind::kDelete: return "delete";
+  }
+  return "?";
+}
+
+std::string DescribePlan(const std::vector<Op>& ops) {
+  std::ostringstream os;
+  os << " [plan:";
+  for (const Op& op : ops) {
+    os << " " << OpName(op.kind) << "(" << op.key << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+struct WoundedTxn {
+  bool fired = false;
+  CrashStepKind kind = CrashStepKind::kNone;
+  uint64_t step = 0;
+  bool all_new = false;  // decision preceded the crash: recovery must commit
+  Effects effects;       // intended final state of the crashed txn
+};
+
+enum class TxnOutcome : uint8_t { kCommitted, kGaveUp, kCrashed, kBroken };
+
+class DbSweepRun {
+ public:
+  explicit DbSweepRun(const DbSweepConfig& cfg) : cfg_(cfg) {}
+
+  DatabaseConfig MakeDbConfig() const {
+    DatabaseConfig db;
+    db.engine = cfg_.make(cfg_.cc);
+    db.shards = cfg_.shards;
+    db.sessions = 1;  // serial session: deterministic persistence schedule
+    return db;
+  }
+
+  // Builds the devices and database, buckets a key universe into per-shard
+  // pools, and preloads the live half of every pool (single-shard commits,
+  // before the injector is armed).
+  bool Preload(std::string* error) {
+    const DatabaseConfig db_cfg = MakeDbConfig();
+    devices_.reserve(cfg_.shards);
+    std::vector<NvmDevice*> raw;
+    for (uint32_t s = 0; s < cfg_.shards; ++s) {
+      devices_.push_back(std::make_unique<NvmDevice>(cfg_.device_bytes_per_shard,
+                                                     db_cfg.engine.cost_params));
+      raw.push_back(devices_.back().get());
+    }
+    db_ = std::make_unique<Database>(db_cfg, raw);
+    SchemaBuilder schema("db_sweep");
+    schema.AddU64();  // column 0: key copy
+    schema.AddU64();  // column 1: value
+    table_ = db_->CreateTable(schema, IndexKind::kHash);
+    if (table_ == kInvalidTable) {
+      *error = "CreateTable failed";
+      return false;
+    }
+
+    // Hash routing scatters consecutive keys; walk the key space until every
+    // shard owns a full pool (2x keys_per_shard: the first half preloads
+    // live, the second half starts dead).
+    pools_.assign(cfg_.shards, {});
+    const uint64_t pool_size = 2ull * cfg_.keys_per_shard;
+    uint32_t full = 0;
+    for (uint64_t key = 1; full < cfg_.shards; ++key) {
+      std::vector<uint64_t>& pool = pools_[db_->ShardOf(table_, key)];
+      if (pool.size() == pool_size) {
+        continue;
+      }
+      pool.push_back(key);
+      if (pool.size() == pool_size) {
+        ++full;
+      }
+    }
+
+    for (uint32_t s = 0; s < cfg_.shards; ++s) {
+      for (uint32_t i = 0; i < cfg_.keys_per_shard; ++i) {
+        const uint64_t key = pools_[s][i];
+        const uint64_t value = InitialValue(cfg_.seed, key);
+        DbTxn txn = db_->Begin(0);
+        const uint64_t row[2] = {key, value};
+        if (txn.Insert(table_, key, row) != Status::kOk ||
+            txn.Commit() != Status::kOk) {
+          *error = "preload insert failed";
+          return false;
+        }
+        shadow_[key] = value;
+        ++commits_acked_;
+      }
+    }
+    return true;
+  }
+
+  // Plans one transaction against the committed shadow. Every plan draws the
+  // same RNG stream across the counting run and every crash run.
+  std::vector<Op> PlanTxn(Rng& rng, Effects& effects) {
+    std::vector<Op> ops;
+    std::set<uint64_t> used;
+    auto pick_key = [&](uint32_t shard) -> uint64_t {
+      const std::vector<uint64_t>& pool = pools_[shard];
+      for (int tries = 0; tries < 8; ++tries) {
+        const uint64_t key = pool[rng.NextBounded(pool.size())];
+        if (used.insert(key).second) {
+          return key;
+        }
+      }
+      return 0;  // pool exhausted by this txn: skip the op
+    };
+    auto plan_write = [&](uint32_t shard) {
+      const uint64_t key = pick_key(shard);
+      if (key == 0) {
+        return;
+      }
+      if (shadow_.count(key) != 0) {
+        // Mix updates and deletes; updates dominate so cross-shard pairs
+        // usually carry two applied writes.
+        if (rng.NextBounded(4) == 3) {
+          ops.push_back({OpKind::kDelete, key, 0});
+          effects[key] = kDead;
+        } else {
+          const uint64_t v = rng.Next() >> 1;
+          ops.push_back({OpKind::kUpdate, key, v});
+          effects[key] = v;
+        }
+      } else {
+        const uint64_t v = rng.Next() >> 1;
+        ops.push_back({OpKind::kInsert, key, v});
+        effects[key] = v;
+      }
+    };
+    auto plan_read = [&](uint32_t shard) {
+      const uint64_t key = pick_key(shard);
+      if (key != 0) {
+        ops.push_back({OpKind::kRead, key, 0});
+      }
+    };
+    auto two_shards = [&](uint32_t* a, uint32_t* b) {
+      *a = rng.NextBounded(cfg_.shards);
+      *b = (*a + 1 + rng.NextBounded(cfg_.shards - 1)) % cfg_.shards;
+    };
+
+    const uint32_t roll = rng.NextBounded(100);
+    uint32_t a = 0;
+    uint32_t b = 0;
+    if (roll < 45) {
+      // Cross-shard write pair: the canonical 2PC transaction.
+      two_shards(&a, &b);
+      plan_write(a);
+      plan_write(b);
+    } else if (roll < 60) {
+      // Cross-shard writes plus a read (the read may land on a third shard,
+      // adding a read-only branch to the 2PC commit).
+      two_shards(&a, &b);
+      plan_write(a);
+      plan_write(b);
+      plan_read(rng.NextBounded(cfg_.shards));
+    } else if (roll < 80) {
+      // Single-shard transaction through the facade (1-2 writes).
+      a = rng.NextBounded(cfg_.shards);
+      plan_write(a);
+      if (rng.NextBounded(2) == 0) {
+        plan_write(a);
+      }
+    } else {
+      // Read-only branch + one write branch: the single-write-shard path
+      // with several branches open.
+      two_shards(&a, &b);
+      plan_read(a);
+      plan_write(b);
+    }
+    return ops;
+  }
+
+  // Executes one planned transaction with abort-retry (the serial session
+  // should never conflict, but the protocol surfaces kAborted uniformly).
+  TxnOutcome RunTxn(const std::vector<Op>& ops, const Effects& effects,
+                    uint32_t armed_shard, std::string* broken) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      DbTxn txn = db_->Begin(0);
+      try {
+        Effects applied;  // own writes so far (read-own-writes oracle)
+        auto expect = [&](uint64_t key) {
+          const auto it = applied.find(key);
+          if (it != applied.end()) {
+            return it->second;
+          }
+          const auto s = shadow_.find(key);
+          return s == shadow_.end() ? kDead : s->second;
+        };
+        bool aborted = false;
+        for (const Op& op : ops) {
+          Status s = Status::kOk;
+          switch (op.kind) {
+            case OpKind::kRead: {
+              uint64_t v = kDead;
+              s = txn.ReadColumn(table_, op.key, kValueColumn, &v);
+              if (s == Status::kOk || s == Status::kNotFound) {
+                const uint64_t got = (s == Status::kOk) ? v : kDead;
+                const uint64_t want = expect(op.key);
+                if (got != want) {
+                  std::ostringstream os;
+                  os << "read of key " << op.key << " saw " << got << ", expected "
+                     << want << DescribePlan(ops);
+                  *broken = os.str();
+                  return TxnOutcome::kBroken;
+                }
+                s = Status::kOk;
+              }
+              break;
+            }
+            case OpKind::kUpdate:
+              s = txn.UpdateColumn(table_, op.key, kValueColumn, &op.value);
+              if (s == Status::kOk) {
+                applied[op.key] = op.value;
+              }
+              break;
+            case OpKind::kInsert: {
+              const uint64_t row[2] = {op.key, op.value};
+              s = txn.Insert(table_, op.key, row);
+              if (s == Status::kOk) {
+                applied[op.key] = op.value;
+              }
+              break;
+            }
+            case OpKind::kDelete:
+              s = txn.Delete(table_, op.key);
+              if (s == Status::kOk) {
+                applied[op.key] = kDead;
+              }
+              break;
+          }
+          if (s == Status::kAborted) {
+            aborted = true;
+            break;
+          }
+          if (s != Status::kOk) {
+            std::ostringstream os;
+            os << OpName(op.kind) << " of key " << op.key << " returned status "
+               << static_cast<int>(s) << DescribePlan(ops);
+            *broken = os.str();
+            return TxnOutcome::kBroken;
+          }
+        }
+        if (!aborted) {
+          const Status cs = txn.Commit();
+          if (cs == Status::kOk) {
+            return TxnOutcome::kCommitted;
+          }
+          if (cs != Status::kAborted) {
+            std::ostringstream os;
+            os << "commit returned status " << static_cast<int>(cs)
+               << DescribePlan(ops);
+            *broken = os.str();
+            return TxnOutcome::kBroken;
+          }
+        } else {
+          txn.Abort();
+        }
+        // Aborted: retry the same plan (RNG consumption stays deterministic).
+      } catch (const TxnCrashed& crashed) {
+        // Simulated power failure: freeze every open branch in place and
+        // classify the outcome. Only write branches fire persistence steps,
+        // so the armed shard is a write shard of this transaction; the
+        // coordinator is its lowest write shard.
+        uint32_t coord = UINT32_MAX;
+        for (const auto& [key, value] : effects) {
+          coord = std::min(coord, db_->ShardOf(table_, key));
+        }
+        wound_.fired = true;
+        wound_.kind = crashed.kind;
+        wound_.step = crashed.step;
+        wound_.all_new =
+            !CrashStepPrecedesTwoPcDecision(crashed.kind, armed_shard == coord);
+        wound_.effects = effects;
+        txn.Freeze();
+        return TxnOutcome::kCrashed;
+      }
+    }
+    return TxnOutcome::kGaveUp;
+  }
+
+  // Runs the workload. `step` 0 = no crash; in counting mode the armed
+  // shard's injector numbers steps without firing.
+  void RunWorkload(uint32_t armed_shard, uint64_t step, bool count_only,
+                   std::string* broken) {
+    for (uint32_t s = 0; s < cfg_.shards; ++s) {
+      db_->engine(s).DisarmCrash();
+    }
+    if (count_only) {
+      db_->engine(armed_shard).BeginCrashStepCount();
+    } else if (step != 0) {
+      db_->engine(armed_shard).ArmCrashAtStep(step);
+    }
+    Rng rng(Mix64(cfg_.seed ^ 0x517cc1b727220a95ull));
+    for (uint32_t i = 0; i < cfg_.txns; ++i) {
+      Effects effects;
+      const std::vector<Op> ops = PlanTxn(rng, effects);
+      if (ops.empty()) {
+        continue;
+      }
+      switch (RunTxn(ops, effects, armed_shard, broken)) {
+        case TxnOutcome::kCommitted: {
+          std::set<uint32_t> write_shards;
+          for (const auto& [key, value] : effects) {
+            write_shards.insert(db_->ShardOf(table_, key));
+            if (value == kDead) {
+              shadow_.erase(key);
+            } else {
+              shadow_[key] = value;
+            }
+          }
+          ++commits_acked_;
+          if (write_shards.size() >= 2) {
+            ++cross_shard_acked_;
+          }
+          break;
+        }
+        case TxnOutcome::kGaveUp:
+          break;  // plan was still drawn deterministically
+        case TxnOutcome::kCrashed:
+        case TxnOutcome::kBroken:
+          return;
+      }
+    }
+  }
+
+  // Simulated power failure: drop the database (all completed stores survive
+  // in the devices, the eADR model) and reopen over the same devices. With
+  // M > 1 this runs the deferred-open 2PC resolution before replay.
+  void CrashAndReopen() {
+    db_.reset();
+    std::vector<NvmDevice*> raw;
+    for (auto& dev : devices_) {
+      raw.push_back(dev.get());
+    }
+    db_ = std::make_unique<Database>(MakeDbConfig(), raw);
+  }
+
+  const DbSweepConfig& cfg_;
+  std::vector<std::unique_ptr<NvmDevice>> devices_;
+  std::unique_ptr<Database> db_;
+  TableId table_ = kInvalidTable;
+  std::vector<std::vector<uint64_t>> pools_;  // per-shard key universe
+  Shadow shadow_;
+  uint64_t commits_acked_ = 0;
+  uint64_t cross_shard_acked_ = 0;
+  WoundedTxn wound_;
+};
+
+std::string Prefix(const DbSweepConfig& cfg, uint32_t armed_shard, uint64_t step) {
+  std::ostringstream os;
+  os << "[db-crash-sweep engine=" << cfg.make(cfg.cc).name
+     << " cc=" << CcSchemeName(cfg.cc) << " shards=" << cfg.shards
+     << " armed=" << armed_shard << " seed=" << cfg.seed << " step=" << step << "] ";
+  return os.str();
+}
+
+// Post-recovery verification. Returns the first violation, or "".
+std::string Verify(DbSweepRun& run, uint32_t armed_shard, uint64_t step) {
+  const DbSweepConfig& cfg = run.cfg_;
+  Database& db = *run.db_;
+  const auto found = db.FindTableId("db_sweep");
+  if (!found.has_value()) {
+    return Prefix(cfg, armed_shard, step) + "table missing after reopen";
+  }
+  const TableId table = *found;
+
+  for (uint32_t s = 0; s < cfg.shards; ++s) {
+    if (!db.engine(s).recovery_report().recovered) {
+      return Prefix(cfg, armed_shard, step) + "shard " + std::to_string(s) +
+             " reopened without running recovery";
+    }
+  }
+
+  // Expected post-crash state: acknowledged shadow, plus the wounded txn's
+  // effects iff the coordinator's decision preceded the crash (all-new); a
+  // crash before the decision must leave every wounded key all-old on every
+  // shard (presumed abort, even for participants already PREPARED).
+  std::map<uint64_t, uint64_t> expected;
+  for (uint32_t s = 0; s < cfg.shards; ++s) {
+    for (const uint64_t key : run.pools_[s]) {
+      const auto it = run.shadow_.find(key);
+      expected[key] = it == run.shadow_.end() ? kDead : it->second;
+    }
+  }
+  if (run.wound_.fired && run.wound_.all_new) {
+    for (const auto& [key, value] : run.wound_.effects) {
+      expected[key] = value;
+    }
+  }
+
+  // 1. Durability + cross-shard atomicity via the transactional read path.
+  auto read_value = [&](uint64_t key) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      DbTxn txn = db.Begin(0);
+      uint64_t value = 0;
+      const Status s = txn.ReadColumn(table, key, kValueColumn, &value);
+      if (s == Status::kNotFound) {
+        txn.Commit();
+        return kDead;
+      }
+      if (s == Status::kOk && txn.Commit() == Status::kOk) {
+        return value;
+      }
+    }
+    return kDead - 1;  // read never succeeded
+  };
+  for (const auto& [key, want] : expected) {
+    const uint64_t got = read_value(key);
+    if (got != want) {
+      std::ostringstream os;
+      os << Prefix(cfg, armed_shard, step) << "key " << key << " (shard "
+         << db.ShardOf(table, key) << "): recovered value ";
+      if (got == kDead) {
+        os << "<dead>";
+      } else {
+        os << got;
+      }
+      os << ", oracle expects ";
+      if (want == kDead) {
+        os << "<dead>";
+      } else {
+        os << want;
+      }
+      if (run.wound_.fired && run.wound_.effects.count(key) != 0) {
+        os << " (wounded txn, crashed at " << CrashStepKindName(run.wound_.kind)
+           << " on shard " << armed_shard << ", must be "
+           << (run.wound_.all_new ? "all-new" : "all-old") << ")";
+      }
+      return os.str();
+    }
+  }
+
+  // 2. Liveness: every log slot on every shard is free again — in
+  // particular, no slot is still PREPARED after resolution.
+  for (uint32_t s = 0; s < cfg.shards; ++s) {
+    Engine& engine = db.engine(s);
+    for (uint32_t t = 0; t < engine.worker_count(); ++t) {
+      LogWindow& log = engine.worker(t).log();
+      if (log.FreeSlotCount() != log.slot_count()) {
+        std::ostringstream os;
+        os << Prefix(cfg, armed_shard, step) << "shard " << s << " worker " << t
+           << " log window leaked slots (" << log.FreeSlotCount() << "/"
+           << log.slot_count() << " free)";
+        return os.str();
+      }
+    }
+  }
+
+  // 3. Every shard stays writable through the facade, including cross-shard:
+  // one fresh 2PC pair touching the armed shard and its successor.
+  for (uint32_t s = 0; s < cfg.shards; ++s) {
+    const uint64_t key = run.pools_[s][s % run.pools_[s].size()];
+    const uint64_t fresh = Mix64(cfg.seed ^ step ^ key) >> 1;
+    bool done = false;
+    for (int attempt = 0; attempt < 8 && !done; ++attempt) {
+      DbTxn txn = db.Begin(0);
+      Status st;
+      if (expected[key] == kDead) {
+        const uint64_t row[2] = {key, fresh};
+        st = txn.Insert(table, key, row);
+      } else {
+        st = txn.UpdateColumn(table, key, kValueColumn, &fresh);
+      }
+      done = st == Status::kOk && txn.Commit() == Status::kOk;
+    }
+    if (!done) {
+      std::ostringstream os;
+      os << Prefix(cfg, armed_shard, step) << "shard " << s << " key " << key
+         << " is wedged after recovery";
+      return os.str();
+    }
+    if (read_value(key) != fresh) {
+      std::ostringstream os;
+      os << Prefix(cfg, armed_shard, step) << "post-recovery write to key " << key
+         << " did not stick";
+      return os.str();
+    }
+    expected[key] = fresh;
+  }
+  if (cfg.shards >= 2) {
+    const uint64_t k1 = run.pools_[armed_shard].back();
+    const uint64_t k2 = run.pools_[(armed_shard + 1) % cfg.shards].back();
+    const uint64_t v1 = Mix64(cfg.seed ^ step ^ 0xabcdull) >> 1;
+    const uint64_t v2 = Mix64(cfg.seed ^ step ^ 0xef01ull) >> 1;
+    bool done = false;
+    for (int attempt = 0; attempt < 8 && !done; ++attempt) {
+      DbTxn txn = db.Begin(0);
+      auto put = [&](uint64_t key, const uint64_t& v) {
+        if (expected[key] == kDead) {
+          const uint64_t row[2] = {key, v};
+          return txn.Insert(table, key, row);
+        }
+        return txn.UpdateColumn(table, key, kValueColumn, &v);
+      };
+      done = put(k1, v1) == Status::kOk && put(k2, v2) == Status::kOk &&
+             txn.Commit() == Status::kOk;
+    }
+    if (!done || read_value(k1) != v1 || read_value(k2) != v2) {
+      std::ostringstream os;
+      os << Prefix(cfg, armed_shard, step)
+         << "post-recovery cross-shard commit failed (keys " << k1 << ", " << k2
+         << ")";
+      return os.str();
+    }
+  }
+
+  return "";
+}
+
+}  // namespace
+
+uint64_t CountDbSteps(const DbSweepConfig& cfg, uint32_t armed_shard) {
+  DbSweepRun run(cfg);
+  std::string error;
+  if (!run.Preload(&error)) {
+    return 0;
+  }
+  run.RunWorkload(armed_shard, /*step=*/0, /*count_only=*/true, &error);
+  return run.db_->engine(armed_shard).CrashStepsCounted();
+}
+
+DbSweepResult RunDbCrashAt(const DbSweepConfig& cfg, uint32_t armed_shard,
+                           uint64_t step) {
+  DbSweepResult result;
+  DbSweepRun run(cfg);
+  std::string error;
+  if (!run.Preload(&error)) {
+    result.violation = Prefix(cfg, armed_shard, step) + error;
+    return result;
+  }
+  std::string broken;
+  run.RunWorkload(armed_shard, step, /*count_only=*/false, &broken);
+  result.commits_acked = run.commits_acked_;
+  result.cross_shard_acked = run.cross_shard_acked_;
+  if (!broken.empty()) {
+    result.violation =
+        Prefix(cfg, armed_shard, step) + "pre-crash oracle violation: " + broken;
+    return result;
+  }
+  result.crashed = run.wound_.fired;
+  result.crash_step = run.wound_.step;
+  result.crash_kind = run.wound_.kind;
+  result.wounded_all_new = run.wound_.all_new;
+  run.CrashAndReopen();
+  result.violation = Verify(run, armed_shard, step);
+  return result;
+}
+
+}  // namespace falcon::test

@@ -1,0 +1,88 @@
+// Deterministic cross-shard (2PC) crash-sweep harness with a shadow-table
+// oracle, the Database-facade counterpart of crash_sweep.h.
+//
+// A sweep runs a seeded single-session workload of cross-shard write pairs,
+// single-shard transactions and read-only-branch mixes against a fresh
+// M-shard Database, crashes ONE engine at one exact persistence step
+// (Engine::ArmCrashAtStep on the armed shard only), reopens a Database over
+// the surviving device images, and checks recovery against a shadow table of
+// acknowledged commits:
+//
+//   durability — every acknowledged cross-shard commit survives on every
+//                shard it touched; nothing unacknowledged appears, except:
+//   atomicity  — the wounded transaction is all-old or all-new ON EVERY
+//                SHARD AT ONCE, decided by where the crash fell relative to
+//                the coordinator's durable decision mark
+//                (CrashStepPrecedesTwoPcDecision): a participant's own
+//                kCommitMark is already post-decision, so recovery must
+//                roll it FORWARD via the coordinator's record, while any
+//                crash at or before the coordinator's mark must roll every
+//                prepared participant BACK (presumed abort);
+//   liveness   — every log slot on every shard is free again (no prepared
+//                slot outlives recovery) and every shard stays writable.
+//
+// The session is serial and the plans are drawn from a seeded RNG against
+// the committed shadow, so the counting run and every crash run execute the
+// same persistence schedule per engine; a failure replays exactly from
+// (seed, armed_shard, step).
+//
+// CountDbSteps() runs the workload in counting mode on one engine and
+// returns how many persistence steps that engine generates, so a driver can
+// enumerate RunDbCrashAt(cfg, shard, 1..N) exhaustively — sweeping the
+// coordinator shard and a participant shard covers every distinct 2PC
+// failure point. Step 0 means "never crash" (clean run, still verified).
+//
+// The library is gtest-free so benchmarks can reuse it; tests wrap the
+// returned DbSweepResult in EXPECT/ASSERT.
+
+#ifndef TESTS_HARNESS_DB_CRASH_SWEEP_H_
+#define TESTS_HARNESS_DB_CRASH_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/db/database.h"
+
+namespace falcon::test {
+
+struct DbSweepConfig {
+  // Engine preset under test, e.g. &EngineConfig::Falcon (taking the CC
+  // scheme so one sweep covers every scheme x engine combination).
+  EngineConfig (*make)(CcScheme) = nullptr;
+  CcScheme cc = CcScheme::kOcc;
+  uint32_t shards = 2;
+  uint32_t txns = 24;
+  // Live keys preloaded per shard; the per-shard key universe is twice this
+  // (the second half starts dead so inserts and revivals get exercised).
+  uint32_t keys_per_shard = 8;
+  uint64_t seed = 1;
+  uint64_t device_bytes_per_shard = 64ull << 20;
+};
+
+struct DbSweepResult {
+  bool crashed = false;  // the armed step fired
+  uint64_t crash_step = 0;
+  CrashStepKind crash_kind = CrashStepKind::kNone;
+  // Oracle classification of the wounded transaction (meaningful only when
+  // crashed): true = the decision preceded the crash, recovery must commit.
+  bool wounded_all_new = false;
+  uint64_t commits_acked = 0;  // successful DbTxn commits (incl. preload)
+  uint64_t cross_shard_acked = 0;  // acked commits with writes on >= 2 shards
+  // First oracle violation, empty when every invariant held. The message
+  // embeds the seed, armed shard and step for deterministic replay.
+  std::string violation;
+
+  bool ok() const { return violation.empty(); }
+};
+
+// Runs the workload in counting mode on `armed_shard`'s engine and returns
+// the number of persistence steps that engine generates.
+uint64_t CountDbSteps(const DbSweepConfig& cfg, uint32_t armed_shard);
+
+// Runs the workload crashing `armed_shard`'s engine at `step` (1-based;
+// 0 = no crash), reopens a Database over the same devices, and verifies.
+DbSweepResult RunDbCrashAt(const DbSweepConfig& cfg, uint32_t armed_shard, uint64_t step);
+
+}  // namespace falcon::test
+
+#endif  // TESTS_HARNESS_DB_CRASH_SWEEP_H_

@@ -167,7 +167,10 @@ TEST_P(HashIndexTest, ConcurrentReadersDuringWrites) {
     ThreadContext ctx(1, &dev_);
     for (uint64_t k = 0; k < kKeys; ++k) {
       ASSERT_EQ(index_->Insert(ctx, k, k + 1), Status::kOk);
-      write_progress.store(k, std::memory_order_release);
+      // Publish the COUNT of inserted keys, not the last key: the initial 0
+      // must mean "nothing published yet", or a reader that starts before
+      // the first insert looks up key 0 and reports it lost.
+      write_progress.store(k + 1, std::memory_order_release);
     }
     stop.store(true);
   });
@@ -179,8 +182,11 @@ TEST_P(HashIndexTest, ConcurrentReadersDuringWrites) {
       Rng rng(t);
       while (!stop.load(std::memory_order_acquire)) {
         const uint64_t hi = write_progress.load(std::memory_order_acquire);
-        const uint64_t k = rng.NextBounded(hi + 1);
-        // Keys <= write_progress are fully published: must be found.
+        if (hi == 0) {
+          continue;  // nothing published yet
+        }
+        const uint64_t k = rng.NextBounded(hi);
+        // Keys < write_progress are fully published: must be found.
         ASSERT_EQ(index_->Lookup(ctx, k), k + 1) << "lost key during concurrent growth";
       }
     });

@@ -1,0 +1,224 @@
+// Sharded workload drivers (src/workload/sharded.h) over a small multi-shard
+// Database: cross-shard YCSB transactions really run 2PC, TPC-C warehouse
+// colocation keeps home-warehouse transactions single-shard, the district
+// next_o_id consistency probe balances against committed NewOrderLite
+// transactions, and Attach() re-binds both drivers after a reopen.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/workload/sharded.h"
+#include "tests/harness/test_seed.h"
+
+namespace falcon {
+namespace {
+
+constexpr uint64_t kDeviceBytes = 128ull << 20;
+
+DatabaseConfig SmallDb(uint32_t shards, uint32_t sessions) {
+  DatabaseConfig cfg;
+  cfg.engine = EngineConfig::Falcon(CcScheme::kOcc);
+  cfg.shards = shards;
+  cfg.sessions = sessions;
+  cfg.device_bytes_per_shard = kDeviceBytes;
+  return cfg;
+}
+
+TEST(ShardedYcsbTest, CrossShardTransactionsRunTwoPc) {
+  Database db(SmallDb(/*shards=*/2, /*sessions=*/1));
+  ShardedYcsbConfig cfg;
+  cfg.record_count = 512;
+  cfg.cross_shard_pct = 50;
+  cfg.read_pct = 25;
+  ShardedYcsb ycsb(&db, cfg);
+  ycsb.LoadRange(0, 0, cfg.record_count);
+
+  const MetricsSnapshot before = db.SnapshotMetrics();
+  Rng rng(test::TestSeed(0x5ca1e));
+  uint64_t commits = 0;
+  for (uint32_t i = 0; i < 200; ++i) {
+    commits += ycsb.RunOne(0, rng) ? 1 : 0;
+  }
+  const MetricsSnapshot delta = DiffMetrics(before, db.SnapshotMetrics());
+
+  EXPECT_EQ(commits, 200u) << "single-session mix should never exhaust retries";
+  EXPECT_GT(delta.twopc_commits, 0u)
+      << "a 50% cross-shard mix never exercised 2PC";
+  EXPECT_EQ(delta.twopc_commits % 2, 0u)
+      << "every 2PC transaction commits exactly two prepared branches";
+  EXPECT_EQ(delta.twopc_aborts, 0u);
+}
+
+TEST(ShardedYcsbTest, AttachRebindsAfterReopen) {
+  const DatabaseConfig cfg = SmallDb(/*shards=*/2, /*sessions=*/1);
+  std::vector<std::unique_ptr<NvmDevice>> devices;
+  std::vector<NvmDevice*> raw;
+  for (uint32_t s = 0; s < cfg.shards; ++s) {
+    devices.push_back(
+        std::make_unique<NvmDevice>(cfg.device_bytes_per_shard, cfg.engine.cost_params));
+    raw.push_back(devices.back().get());
+  }
+  ShardedYcsbConfig wl;
+  wl.record_count = 128;
+  {
+    Database db(cfg, raw);
+    ShardedYcsb ycsb(&db, wl);
+    ycsb.LoadRange(0, 0, wl.record_count);
+    for (uint32_t s = 0; s < cfg.shards; ++s) {
+      db.engine(s).worker(0).ctx().cache().WritebackAll();
+      db.engine(s).device()->DrainAll();
+    }
+  }
+  Database db(cfg, raw);
+  EXPECT_TRUE(db.recovered());
+  std::unique_ptr<ShardedYcsb> ycsb = ShardedYcsb::Attach(&db, wl);
+  ASSERT_NE(ycsb, nullptr);
+  Rng rng(test::TestSeed(0xa77ac4));
+  uint64_t commits = 0;
+  for (uint32_t i = 0; i < 50; ++i) {
+    commits += ycsb->RunOne(0, rng) ? 1 : 0;
+  }
+  EXPECT_EQ(commits, 50u);
+}
+
+class ShardedTpccTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kSessions = 2;
+
+  ShardedTpccTest() : db_(SmallDb(/*shards=*/2, kSessions)) {
+    cfg_.warehouses = 4;
+    cfg_.districts_per_warehouse = 4;
+    cfg_.customers_per_district = 16;
+    cfg_.items = 64;
+    tpcc_ = std::make_unique<ShardedTpcc>(&db_, cfg_);
+    for (uint32_t w = 1; w <= cfg_.warehouses; ++w) {
+      tpcc_->LoadWarehouses(/*session=*/0, w, w);
+    }
+  }
+
+  Database db_;
+  ShardedTpccConfig cfg_;
+  std::unique_ptr<ShardedTpcc> tpcc_;
+};
+
+TEST_F(ShardedTpccTest, WarehouseColocationKeepsHomeTransactionsSingleShard) {
+  // With remote accesses disabled, every NewOrderLite and PaymentLite touches
+  // a single warehouse, and the per-table route shifts colocate all of that
+  // warehouse's rows — so no transaction should ever pay for 2PC.
+  cfg_.remote_stock_pct = 0;
+  cfg_.remote_customer_pct = 0;
+  const std::unique_ptr<ShardedTpcc> driver = ShardedTpcc::Attach(&db_, cfg_);
+  ASSERT_NE(driver, nullptr);
+
+  const MetricsSnapshot before = db_.SnapshotMetrics();
+  Rng rng(test::TestSeed(0x79cc1));
+  uint64_t commits = 0;
+  for (uint32_t i = 0; i < 150; ++i) {
+    bool committed = false;
+    driver->RunOne(0, rng, &committed);
+    commits += committed ? 1 : 0;
+  }
+  const MetricsSnapshot delta = DiffMetrics(before, db_.SnapshotMetrics());
+  EXPECT_EQ(commits, 150u);
+  EXPECT_EQ(delta.twopc_prepares, 0u)
+      << "home-warehouse transactions crossed shards: colocation is broken";
+}
+
+TEST_F(ShardedTpccTest, RemoteAccessesCrossShardsWhenWarehousesDo) {
+  // Remote accesses pick a different warehouse; whether that crosses a shard
+  // depends on where the warehouses hash. Force remote on every transaction
+  // and require 2PC iff at least two warehouses land on different shards.
+  const auto wid = db_.FindTableId("s_warehouse");
+  ASSERT_TRUE(wid.has_value());
+  std::set<uint32_t> shards;
+  for (uint64_t w = 1; w <= cfg_.warehouses; ++w) {
+    shards.insert(db_.ShardOf(*wid, w));
+  }
+  if (shards.size() < 2) {
+    GTEST_SKIP() << "all warehouses hashed to one shard for this config";
+  }
+  cfg_.remote_stock_pct = 100;
+  cfg_.remote_customer_pct = 100;
+  const std::unique_ptr<ShardedTpcc> driver = ShardedTpcc::Attach(&db_, cfg_);
+  ASSERT_NE(driver, nullptr);
+
+  const MetricsSnapshot before = db_.SnapshotMetrics();
+  Rng rng(test::TestSeed(0x7e307e));
+  for (uint32_t i = 0; i < 100; ++i) {
+    bool committed = false;
+    driver->RunOne(0, rng, &committed);
+    EXPECT_TRUE(committed);
+  }
+  const MetricsSnapshot delta = DiffMetrics(before, db_.SnapshotMetrics());
+  EXPECT_GT(delta.twopc_commits, 0u)
+      << "forced remote accesses never produced a cross-shard commit";
+}
+
+TEST_F(ShardedTpccTest, NextOrderIdsBalanceCommittedNewOrders) {
+  const uint64_t base = tpcc_->TotalNextOrderIds(0);
+  EXPECT_EQ(base, uint64_t{cfg_.warehouses} * cfg_.districts_per_warehouse)
+      << "every district loads with next_o_id = 1";
+
+  Rng rng(test::TestSeed(0xba1a2ce));
+  uint64_t new_orders = 0;
+  for (uint32_t i = 0; i < 120; ++i) {
+    bool committed = false;
+    const ShardedTpccTxnType type = tpcc_->RunOne(i % kSessions, rng, &committed);
+    if (committed && type == ShardedTpccTxnType::kNewOrderLite) {
+      ++new_orders;
+    }
+  }
+  EXPECT_GT(new_orders, 0u);
+  EXPECT_EQ(tpcc_->TotalNextOrderIds(0) - base, new_orders)
+      << "district next_o_id counters drifted from committed NewOrderLite count";
+}
+
+TEST(ShardedTpccReopenTest, AttachRestoresConsistencyAcrossReopen) {
+  const DatabaseConfig cfg = SmallDb(/*shards=*/2, /*sessions=*/1);
+  std::vector<std::unique_ptr<NvmDevice>> devices;
+  std::vector<NvmDevice*> raw;
+  for (uint32_t s = 0; s < cfg.shards; ++s) {
+    devices.push_back(
+        std::make_unique<NvmDevice>(cfg.device_bytes_per_shard, cfg.engine.cost_params));
+    raw.push_back(devices.back().get());
+  }
+  ShardedTpccConfig wl;
+  wl.warehouses = 2;
+  wl.districts_per_warehouse = 4;
+  wl.customers_per_district = 16;
+  wl.items = 64;
+
+  uint64_t next_oids_before = 0;
+  {
+    Database db(cfg, raw);
+    ShardedTpcc tpcc(&db, wl);
+    tpcc.LoadWarehouses(0, 1, wl.warehouses);
+    Rng rng(test::TestSeed(0x0af7e2));
+    for (uint32_t i = 0; i < 60; ++i) {
+      bool committed = false;
+      tpcc.RunOne(0, rng, &committed);
+    }
+    next_oids_before = tpcc.TotalNextOrderIds(0);
+    for (uint32_t s = 0; s < cfg.shards; ++s) {
+      db.engine(s).worker(0).ctx().cache().WritebackAll();
+      db.engine(s).device()->DrainAll();
+    }
+  }
+
+  Database db(cfg, raw);
+  EXPECT_TRUE(db.recovered());
+  std::unique_ptr<ShardedTpcc> tpcc = ShardedTpcc::Attach(&db, wl);
+  ASSERT_NE(tpcc, nullptr);
+  EXPECT_EQ(tpcc->TotalNextOrderIds(0), next_oids_before)
+      << "district counters did not survive the reopen";
+  Rng rng(test::TestSeed(0x0af7e3));
+  bool committed = false;
+  tpcc->RunOne(0, rng, &committed);
+  EXPECT_TRUE(committed) << "driver wedged after Attach";
+}
+
+}  // namespace
+}  // namespace falcon

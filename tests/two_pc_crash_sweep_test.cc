@@ -1,0 +1,110 @@
+// Exhaustive deterministic 2PC crash sweep over the Database facade: count
+// every persistence step a seeded cross-shard workload generates on one
+// shard's engine, then crash at each step in turn — arming the coordinator
+// shard and a participant shard separately — and hold the recovered database
+// against the shadow-table oracle. Cross-shard atomicity must hold at every
+// step: the wounded transaction lands all-old on every shard (crash at or
+// before the coordinator's decision mark, presumed abort) or all-new on
+// every shard (decision durable, participants roll forward through the
+// coordinator's record).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tests/harness/db_crash_sweep.h"
+#include "tests/harness/test_seed.h"
+
+namespace falcon::test {
+namespace {
+
+struct Param {
+  const char* label;
+  EngineConfig (*make)(CcScheme);
+  CcScheme cc;
+  uint32_t shards;
+  // Acceptance floor on distinct crash points per armed shard.
+  uint64_t min_steps;
+};
+
+EngineConfig MakeFalcon(CcScheme cc) { return EngineConfig::Falcon(cc); }
+EngineConfig MakeOutp(CcScheme cc) { return EngineConfig::Outp(cc); }
+
+DbSweepConfig MakeConfig(const Param& p) {
+  DbSweepConfig cfg;
+  cfg.make = p.make;
+  cfg.cc = p.cc;
+  cfg.shards = p.shards;
+  cfg.txns = 24;
+  cfg.keys_per_shard = 8;
+  cfg.seed = TestSeed(0x2bc0 + static_cast<uint64_t>(p.cc) + 17 * p.shards);
+  return cfg;
+}
+
+class TwoPcCrashSweepTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TwoPcCrashSweepTest, StepCountIsDeterministicPerShard) {
+  const DbSweepConfig cfg = MakeConfig(GetParam());
+  FALCON_SCOPED_SEED(cfg.seed);
+  for (uint32_t shard = 0; shard < cfg.shards; ++shard) {
+    const uint64_t a = CountDbSteps(cfg, shard);
+    const uint64_t b = CountDbSteps(cfg, shard);
+    EXPECT_EQ(a, b) << "shard " << shard
+                    << ": same seed must generate the same persistence schedule";
+    EXPECT_GE(a, GetParam().min_steps) << "shard " << shard;
+  }
+}
+
+TEST_P(TwoPcCrashSweepTest, CleanRunSatisfiesTheOracle) {
+  const DbSweepConfig cfg = MakeConfig(GetParam());
+  FALCON_SCOPED_SEED(cfg.seed);
+  const DbSweepResult clean = RunDbCrashAt(cfg, /*armed_shard=*/0, /*step=*/0);
+  ASSERT_TRUE(clean.ok()) << clean.violation;
+  EXPECT_FALSE(clean.crashed);
+  EXPECT_GT(clean.commits_acked, uint64_t{cfg.shards} * cfg.keys_per_shard)
+      << "workload committed nothing beyond the preload";
+  EXPECT_GT(clean.cross_shard_acked, 0u)
+      << "workload never exercised a cross-shard (2PC) commit";
+}
+
+// The tentpole guarantee: every persistence step of every shard — 2PC
+// prepare marks, the coordinator's decision mark, participant decision
+// marks, applies, flushes and slot releases — recovers atomically.
+TEST_P(TwoPcCrashSweepTest, EveryStepOnEveryShardRecoversAtomically) {
+  const DbSweepConfig cfg = MakeConfig(GetParam());
+  FALCON_SCOPED_SEED(cfg.seed);
+  bool saw_all_old = false;
+  bool saw_all_new = false;
+  for (uint32_t shard = 0; shard < cfg.shards; ++shard) {
+    const uint64_t steps = CountDbSteps(cfg, shard);
+    ASSERT_GE(steps, GetParam().min_steps)
+        << "shard " << shard << ": workload too small for a meaningful sweep";
+    for (uint64_t step = 1; step <= steps; ++step) {
+      const DbSweepResult r = RunDbCrashAt(cfg, shard, step);
+      ASSERT_TRUE(r.ok()) << r.violation;
+      // The serial session is deterministic: every counted step fires.
+      ASSERT_TRUE(r.crashed) << "shard " << shard << ": armed step " << step
+                             << " of " << steps << " never fired";
+      ASSERT_EQ(r.crash_step, step);
+      (r.wounded_all_new ? saw_all_new : saw_all_old) = true;
+    }
+  }
+  // The sweep must cross the decision boundary in both directions, or it
+  // proved nothing about 2PC atomicity.
+  EXPECT_TRUE(saw_all_old) << "no crash step landed before a commit decision";
+  EXPECT_TRUE(saw_all_new) << "no crash step landed after a commit decision";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, TwoPcCrashSweepTest,
+    ::testing::Values(Param{"Falcon_OCC_M2", MakeFalcon, CcScheme::kOcc, 2, 100},
+                      Param{"Falcon_2PL_M2", MakeFalcon, CcScheme::k2pl, 2, 100},
+                      Param{"Falcon_MVOCC_M2", MakeFalcon, CcScheme::kMvOcc, 2, 100},
+                      Param{"Outp_OCC_M2", MakeOutp, CcScheme::kOcc, 2, 40},
+                      // Three shards spread the same txn count thinner, so
+                      // the per-shard step floor is lower.
+                      Param{"Falcon_OCC_M3", MakeFalcon, CcScheme::kOcc, 3, 50}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+}  // namespace
+}  // namespace falcon::test

@@ -8,25 +8,38 @@ Accepts either side in any of these shapes:
     "after" column is used). Records are keyed "name/scheme/<threads>t" and
     numeric fields are flattened ("device.line_writes", ...).
   * metrics JSONL as written by $FALCON_METRICS_JSON: one
-    {"schema_version":2,"label":...,"metrics":{...},"latency":{...}} object
+    {"schema_version":N,"label":...,"metrics":{...},"latency":{...}} object
     per line, keyed by label, with metrics and latency fields flattened
     ("metrics.commits", "latency.all.p99_ns", ...).
 
-Only records and fields present on BOTH sides are compared; coverage is
-printed so a silently-empty intersection is visible. Exit status is 1 when
-any compared field regresses beyond --tolerance percent (or differs at all
-for --exact prefixes), 0 otherwise.
+Records present on only one side are reported as coverage (the comparison
+runs over the shared records). Within a shared record, a field in scope
+(after --only/--ignore) that exists on only ONE side is an error by default:
+schema drift (e.g. a v2 dump missing the v3 batch_* and abort-count fields)
+must be visible, not silently skipped. --allow-missing-fields downgrades
+one-sided fields to a warning, for deliberate cross-version comparisons.
+A schema_version mismatch between the two files is always reported.
+
+Exit status is 1 when any compared field regresses beyond --tolerance
+percent (or differs at all for --exact prefixes), or when one-sided fields
+were found without --allow-missing-fields; 0 otherwise.
 
 Typical CI use — device counters of the hot-path bench are deterministic, so
 they must match the committed reference exactly:
 
   python3 tools/metrics_compare.py BENCH_hotpath.json fresh.json \
       --only device. --exact device.
+
+`--self-test` runs the tool against synthesized v2/v3 records and exercises
+every verdict (pass, regression, exact mismatch, one-sided field, missing
+record); CI runs it before trusting any real comparison.
 """
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 
 
 def flatten(prefix, value, out):
@@ -45,25 +58,28 @@ def scenario_key(rec):
 
 
 def load_records(path):
-    """Returns {record_key: {field: number}}."""
+    """Returns ({record_key: {field: number}}, {schema_version, ...})."""
     with open(path, "r", encoding="utf-8") as f:
         text = f.read()
     records = {}
+    versions = set()
     try:
         doc = json.loads(text)
     except json.JSONDecodeError:
         doc = None
+    rows = None
     if isinstance(doc, dict):
         rows = doc.get("after") or doc.get("scenarios") or doc.get("baseline")
-        if not isinstance(rows, list):
+        if not isinstance(rows, list) and not ("label" in doc or "metrics" in doc):
             raise SystemExit(f"{path}: no scenarios/after/baseline array")
+    if isinstance(rows, list):
         for rec in rows:
             fields = {}
             flatten("", rec, fields)
             for drop in ("threads",):
                 fields.pop(drop, None)
             records[scenario_key(rec)] = fields
-        return records
+        return records, versions
     # JSONL: one metrics object per line.
     for lineno, line in enumerate(text.splitlines(), 1):
         line = line.strip()
@@ -73,18 +89,178 @@ def load_records(path):
             rec = json.loads(line)
         except json.JSONDecodeError as e:
             raise SystemExit(f"{path}:{lineno}: not JSON ({e})")
+        if "schema_version" in rec:
+            versions.add(rec["schema_version"])
         label = rec.get("label", f"line{lineno}")
         fields = {}
         flatten("metrics.", rec.get("metrics", {}), fields)
         flatten("latency.", rec.get("latency", {}), fields)
         records[label] = fields
-    return records
+    return records, versions
+
+
+def compare_files(base_path, new_path, only=(), ignore=(), exact=(),
+                  ignore_records=(), tolerance=5.0, allow_missing_fields=False,
+                  out=sys.stdout):
+    """Runs the comparison; returns the process exit status (0 or 1)."""
+    base, base_versions = load_records(base_path)
+    new, new_versions = load_records(new_path)
+    if base_versions and new_versions and base_versions != new_versions:
+        print(f"note: schema_version differs: {sorted(base_versions)} (base) vs "
+              f"{sorted(new_versions)} (new); one-sided fields are expected",
+              file=out)
+    shared = sorted(k for k in set(base) & set(new)
+                    if not any(k.startswith(p) for p in ignore_records))
+    if not shared:
+        print(f"FAIL: no common records between {base_path} and {new_path}",
+              file=out)
+        return 1
+
+    def in_scope(field):
+        if only and not any(field.startswith(p) for p in only):
+            return False
+        return not any(field.startswith(p) for p in ignore)
+
+    failures = []
+    one_sided = []
+    compared = 0
+    for key in shared:
+        bf, nf = base[key], new[key]
+        for field in sorted(f for f in set(bf) | set(nf) if in_scope(f)):
+            if field not in bf or field not in nf:
+                one_sided.append((key, field, "base" if field not in bf else "new"))
+                continue
+            b, n = bf[field], nf[field]
+            compared += 1
+            if any(field.startswith(p) for p in exact):
+                if b != n:
+                    failures.append((key, field, b, n, "exact"))
+                continue
+            denom = abs(b) if b != 0 else 1.0
+            pct = 100.0 * abs(n - b) / denom
+            if pct > tolerance:
+                failures.append((key, field, b, n, f"{pct:.1f}%"))
+
+    print(f"compared {compared} fields across {len(shared)} shared records "
+          f"({len(base)} base, {len(new)} new)", file=out)
+    for key, field, side in one_sided:
+        verdict = "WARN" if allow_missing_fields else "FAIL"
+        print(f"{verdict} {key} {field}: absent on the {side} side", file=out)
+    for key, field, b, n, why in failures:
+        print(f"FAIL {key} {field}: {b} -> {n} ({why}, tolerance {tolerance}%)",
+              file=out)
+    if one_sided and not allow_missing_fields:
+        print("hint: pass --allow-missing-fields for deliberate cross-schema "
+              "comparisons", file=out)
+    if failures or (one_sided and not allow_missing_fields):
+        return 1
+    print("OK: within tolerance", file=out)
+    return 0
+
+
+# ---- self-test -------------------------------------------------------------
+
+def _jsonl(*recs):
+    return "\n".join(json.dumps(r) for r in recs) + "\n"
+
+
+def _v3_record(label="bench/occ/4t", commits=1000, line_writes=500):
+    return {
+        "schema_version": 3,
+        "label": label,
+        "metrics": {
+            "commits": commits,
+            "txn_aborts": 8,
+            "aborts_user": 3,
+            "aborts_occ_validation": 5,
+            "batch_slices": 40,
+            "batch_stall_ns": 9000,
+            "device": {"line_writes": line_writes},
+        },
+        "latency": {"all": {"p50_ns": 120, "p99_ns": 900, "aborts": 8}},
+    }
+
+
+def _v2_record(label="bench/occ/4t"):
+    # Pre-batch, pre-abort-breakdown schema: no batch_* and no aborts_* keys.
+    return {
+        "schema_version": 2,
+        "label": label,
+        "metrics": {"commits": 1000, "txn_aborts": 8,
+                    "device": {"line_writes": 500}},
+        "latency": {"all": {"p50_ns": 120, "p99_ns": 900}},
+    }
+
+
+def self_test():
+    cases = []
+
+    def case(name, expect_rc, base, new, **kwargs):
+        cases.append((name, expect_rc, base, new, kwargs))
+
+    v3 = _jsonl(_v3_record())
+    case("identical v3 dumps pass", 0, v3, v3)
+    case("regression beyond tolerance fails", 1,
+         v3, _jsonl(_v3_record(commits=800)), tolerance=5.0)
+    case("drift within tolerance passes", 0,
+         v3, _jsonl(_v3_record(commits=1010)), tolerance=5.0)
+    case("exact prefix rejects off-by-one", 1,
+         v3, _jsonl(_v3_record(line_writes=501)),
+         exact=("metrics.device.",), tolerance=50.0)
+    # The historical bug: a v2 dump lacks the v3 batch_* and abort-count
+    # fields, and comparing intersections silently passed. One-sided fields
+    # in scope must now fail...
+    case("one-sided batch/abort fields fail by default", 1,
+         _jsonl(_v2_record()), v3, only=("metrics.",))
+    # ...unless the cross-schema comparison is deliberate.
+    case("--allow-missing-fields downgrades to a warning", 0,
+         _jsonl(_v2_record()), v3, only=("metrics.",),
+         allow_missing_fields=True)
+    # --only scoping keeps out-of-scope one-sided fields out of the verdict.
+    case("out-of-scope one-sided fields are ignored", 0,
+         _jsonl(_v2_record()), v3, only=("latency.all.p",))
+    case("disjoint records fail", 1, v3, _jsonl(_v3_record(label="other/2t")))
+    # Record-level exclusion: a known-nondeterministic record can be skipped
+    # without loosening the comparison of the others.
+    two_base = _jsonl(_v3_record(), _v3_record(label="bench/occ/8t"))
+    two_new = _jsonl(_v3_record(), _v3_record(label="bench/occ/8t", commits=990))
+    case("a drifting record fails without --ignore-records", 1,
+         two_base, two_new, exact=("metrics.",))
+    case("--ignore-records excludes the drifting record", 0,
+         two_base, two_new, exact=("metrics.",),
+         ignore_records=("bench/occ/8t",))
+    # bench_hotpath-style documents still parse and compare.
+    hotpath = json.dumps({"scenarios": [
+        {"name": "hot", "scheme": "occ", "threads": 2,
+         "device": {"line_writes": 77}}]})
+    case("hotpath-style document passes against itself", 0, hotpath, hotpath,
+         only=("device.",), exact=("device.",))
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for i, (name, expect_rc, base, new, kwargs) in enumerate(cases):
+            base_path = os.path.join(tmp, f"base{i}.json")
+            new_path = os.path.join(tmp, f"new{i}.json")
+            with open(base_path, "w", encoding="utf-8") as f:
+                f.write(base)
+            with open(new_path, "w", encoding="utf-8") as f:
+                f.write(new)
+            with open(os.devnull, "w", encoding="utf-8") as devnull:
+                rc = compare_files(base_path, new_path, out=devnull, **kwargs)
+            verdict = "ok" if rc == expect_rc else "FAIL"
+            print(f"self-test [{verdict}] {name} (rc={rc}, want {expect_rc})")
+            failures += rc != expect_rc
+    if failures:
+        print(f"self-test: {failures}/{len(cases)} cases FAILED")
+        return 1
+    print(f"self-test: all {len(cases)} cases passed")
+    return 0
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("base", help="reference dump")
-    ap.add_argument("new", help="candidate dump")
+    ap.add_argument("base", nargs="?", help="reference dump")
+    ap.add_argument("new", nargs="?", help="candidate dump")
     ap.add_argument("--tolerance", type=float, default=5.0,
                     help="max allowed relative change in percent (default 5)")
     ap.add_argument("--only", action="append", default=[],
@@ -93,42 +269,25 @@ def main():
                     help="skip fields starting with this prefix (repeatable)")
     ap.add_argument("--exact", action="append", default=[],
                     help="fields starting with this prefix must match exactly (repeatable)")
+    ap.add_argument("--ignore-records", action="append", default=[],
+                    help="skip records whose key starts with this prefix, e.g. a "
+                         "multi-threaded scenario whose counters are legitimately "
+                         "nondeterministic (repeatable)")
+    ap.add_argument("--allow-missing-fields", action="store_true",
+                    help="report one-sided fields as warnings instead of failing "
+                         "(for deliberate cross-schema comparisons)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in scenario suite and exit")
     args = ap.parse_args()
 
-    base = load_records(args.base)
-    new = load_records(args.new)
-    shared = sorted(set(base) & set(new))
-    if not shared:
-        print(f"FAIL: no common records between {args.base} and {args.new}")
-        return 1
-
-    failures = []
-    compared = 0
-    for key in shared:
-        for field in sorted(set(base[key]) & set(new[key])):
-            if args.only and not any(field.startswith(p) for p in args.only):
-                continue
-            if any(field.startswith(p) for p in args.ignore):
-                continue
-            b, n = base[key][field], new[key][field]
-            compared += 1
-            if any(field.startswith(p) for p in args.exact):
-                if b != n:
-                    failures.append((key, field, b, n, "exact"))
-                continue
-            denom = abs(b) if b != 0 else 1.0
-            pct = 100.0 * abs(n - b) / denom
-            if pct > args.tolerance:
-                failures.append((key, field, b, n, f"{pct:.1f}%"))
-
-    print(f"compared {compared} fields across {len(shared)} shared records "
-          f"({len(base)} base, {len(new)} new)")
-    for key, field, b, n, why in failures:
-        print(f"FAIL {key} {field}: {b} -> {n} ({why}, tolerance {args.tolerance}%)")
-    if failures:
-        return 1
-    print("OK: within tolerance")
-    return 0
+    if args.self_test:
+        return self_test()
+    if args.base is None or args.new is None:
+        ap.error("base and new dumps are required (or use --self-test)")
+    return compare_files(args.base, args.new, only=args.only, ignore=args.ignore,
+                         exact=args.exact, ignore_records=args.ignore_records,
+                         tolerance=args.tolerance,
+                         allow_missing_fields=args.allow_missing_fields)
 
 
 if __name__ == "__main__":
